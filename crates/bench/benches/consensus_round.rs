@@ -1,0 +1,72 @@
+//! End-to-end consensus simulation benchmarks: how much host time one
+//! simulated committee-second costs at several scales, plus ablations
+//! (batch size, split vs shared queues).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ahl_consensus::clients::OpenLoopClient;
+use ahl_consensus::pbft::{build_group, BftVariant, PbftConfig};
+use ahl_simkit::{QueueConfig, SimDuration, SimTime};
+use ahl_workload::KvStoreWorkload;
+
+fn run_committee(cfg: PbftConfig, secs: u64) -> u64 {
+    let net = Box::new(ahl_net::ClusterNetwork::new());
+    let (mut sim, group) = build_group(&cfg, net, Some(1e9), &[], 11);
+    let stop = SimTime::ZERO + SimDuration::from_secs(secs);
+    for c in 0..4 {
+        let client = OpenLoopClient::new(
+            group.clone(),
+            SimDuration::from_millis(4),
+            stop,
+            KvStoreWorkload::single_shard().factory(c),
+        );
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+    }
+    sim.run_until(stop);
+    sim.stats().counter(ahl_consensus::stat::TXN_COMMITTED)
+}
+
+fn bench_committee_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ahl_plus_committee_1s");
+    g.sample_size(10);
+    for n in [4usize, 7, 13] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_committee(PbftConfig::new(BftVariant::AhlPlus, n), 1));
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_size_ablation");
+    g.sample_size(10);
+    for batch in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut cfg = PbftConfig::new(BftVariant::AhlPlus, 7);
+                cfg.batch_size = batch;
+                run_committee(cfg, 1)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_queue_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_ablation");
+    g.sample_size(10);
+    for split in [false, true] {
+        let name = if split { "split" } else { "shared" };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &split, |b, &split| {
+            b.iter(|| {
+                let mut cfg = PbftConfig::new(BftVariant::Ahl, 7);
+                cfg.split_queues = split;
+                run_committee(cfg, 1)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_committee_sizes, bench_batch_ablation, bench_queue_ablation);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the cryptographic substrate (the software
+//! counterparts of Table 2's enclave operations).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use ahl_crypto::{hmac_sha256, sha256, KeyRegistry, MerkleTree, Sha256};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(std::hint::black_box(&data)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental_hash(c: &mut Criterion) {
+    c.bench_function("sha256_incremental_1MB_in_4K_chunks", |b| {
+        let chunk = vec![0x5au8; 4096];
+        b.iter(|| {
+            let mut h = Sha256::new();
+            for _ in 0..256 {
+                h.update(std::hint::black_box(&chunk));
+            }
+            h.finalize()
+        });
+    });
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let msg = [9u8; 32];
+    c.bench_function("hmac_sha256_32B", |b| {
+        b.iter(|| hmac_sha256(std::hint::black_box(&key), std::hint::black_box(&msg)));
+    });
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let mut reg = KeyRegistry::new();
+    let key = reg.generate(1);
+    let digest = sha256(b"consensus message");
+    c.bench_function("sig_sign", |b| {
+        b.iter(|| key.sign(std::hint::black_box(&digest)));
+    });
+    let sig = key.sign(&digest);
+    c.bench_function("sig_verify", |b| {
+        b.iter(|| reg.verify(std::hint::black_box(&digest), std::hint::black_box(&sig)));
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle");
+    for n in [64usize, 1024] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("txn-{i}").into_bytes()).collect();
+        g.bench_function(format!("build_{n}_leaves"), |b| {
+            b.iter(|| MerkleTree::build(std::hint::black_box(&leaves)));
+        });
+        let tree = MerkleTree::build(&leaves);
+        g.bench_function(format!("prove_verify_{n}"), |b| {
+            b.iter_batched(
+                || tree.prove(n / 2).expect("in range"),
+                |proof| ahl_crypto::verify_proof(&tree.root(), &leaves[n / 2], &proof),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_incremental_hash,
+    bench_hmac,
+    bench_sign_verify,
+    bench_merkle
+);
+criterion_main!(benches);

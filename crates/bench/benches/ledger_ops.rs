@@ -1,0 +1,97 @@
+//! Benchmarks of the ledger substrate: state execution (2PL path), block
+//! construction and chain verification.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use ahl_crypto::Hash;
+use ahl_ledger::{smallbank, Block, Chain, Op, StateStore, TxId};
+
+fn store_with_accounts(n: usize) -> StateStore {
+    let mut s = StateStore::new();
+    for (k, v) in smallbank::genesis(n, 1_000_000, 1_000_000) {
+        s.put(k, v);
+    }
+    s
+}
+
+fn bench_direct_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_execute");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("send_payment_direct", |b| {
+        b.iter_batched(
+            || store_with_accounts(1000),
+            |mut s| {
+                for i in 0..100u64 {
+                    let from = format!("acc{}", i % 1000);
+                    let to = format!("acc{}", (i + 7) % 1000);
+                    s.execute(&Op::Direct {
+                        txid: TxId(i),
+                        op: smallbank::send_payment(&from, &to, 5),
+                    });
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("prepare_commit_2pc", |b| {
+        b.iter_batched(
+            || store_with_accounts(1000),
+            |mut s| {
+                for i in 0..100u64 {
+                    let from = format!("acc{}", i % 1000);
+                    let to = format!("acc{}", (i + 7) % 1000);
+                    s.execute(&Op::Prepare {
+                        txid: TxId(i),
+                        op: smallbank::send_payment(&from, &to, 5),
+                    });
+                    s.execute(&Op::Commit { txid: TxId(i) });
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_block_build(c: &mut Criterion) {
+    let ops: Vec<Op> = (0..100)
+        .map(|i| Op::Direct {
+            txid: TxId(i),
+            op: smallbank::send_payment("acc0", "acc1", 1),
+        })
+        .collect();
+    c.bench_function("block_build_100_txns", |b| {
+        b.iter(|| {
+            Block::build(
+                0,
+                Hash::ZERO,
+                std::hint::black_box(ops.clone()),
+                Hash::ZERO,
+                0,
+                0,
+            )
+        });
+    });
+}
+
+fn bench_chain_verify(c: &mut Criterion) {
+    let mut chain = Chain::new();
+    for h in 0..50u64 {
+        let ops: Vec<Op> = (0..20)
+            .map(|i| Op::Direct {
+                txid: TxId(h * 100 + i),
+                op: smallbank::send_payment("acc0", "acc1", 1),
+            })
+            .collect();
+        let b = Block::build(h, chain.tip_digest(), ops, Hash::ZERO, h, 0);
+        chain.append(b, vec![]).expect("sequential");
+    }
+    c.bench_function("chain_verify_50_blocks", |b| {
+        b.iter(|| std::hint::black_box(&chain).verify());
+    });
+}
+
+criterion_group!(benches, bench_direct_execution, bench_block_build, bench_chain_verify);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks of shard-formation mathematics: hypergeometric tails,
+//! committee-size search, assignment derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ahl_shard::{faulty_committee_prob, min_committee_size, Assignment, LnFact, Resilience};
+
+fn bench_tail(c: &mut Criterion) {
+    let lf = LnFact::new(4096);
+    c.bench_function("hypergeom_tail_n80", |b| {
+        b.iter(|| {
+            faulty_committee_prob(
+                std::hint::black_box(&lf),
+                1000,
+                0.25,
+                80,
+                Resilience::OneHalf,
+            )
+        });
+    });
+}
+
+fn bench_sizing_search(c: &mut Criterion) {
+    let lf = LnFact::new(4096);
+    c.bench_function("min_committee_size_25pct", |b| {
+        b.iter(|| {
+            min_committee_size(
+                std::hint::black_box(&lf),
+                2400,
+                0.25,
+                Resilience::OneHalf,
+                20.0,
+            )
+        });
+    });
+}
+
+fn bench_lnfact_build(c: &mut Criterion) {
+    c.bench_function("lnfact_table_4096", |b| {
+        b.iter(|| LnFact::new(std::hint::black_box(4096)));
+    });
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    c.bench_function("assignment_derive_1000_nodes_12_shards", |b| {
+        b.iter(|| Assignment::derive(1000, 12, std::hint::black_box(42)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tail,
+    bench_sizing_search,
+    bench_lnfact_build,
+    bench_assignment
+);
+criterion_main!(benches);

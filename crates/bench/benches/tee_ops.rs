@@ -1,0 +1,62 @@
+//! Microbenchmarks of the TEE substrate: attested-log appends, beacon
+//! invocations, sealing (host-time of the simulation datapath; the
+//! *simulated* costs are Table 2's and are asserted separately in tests).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ahl_crypto::{sha256, KeyRegistry};
+use ahl_simkit::{SimDuration, SimTime};
+use ahl_tee::{AttestedLog, LogId, Measurement, RandomnessBeacon, Sealer, Slot};
+
+fn bench_attested_append(c: &mut Criterion) {
+    c.bench_function("attested_log_append", |b| {
+        let mut reg = KeyRegistry::new();
+        let key = reg.generate(1);
+        let digest = sha256(b"prepare");
+        b.iter_batched(
+            || AttestedLog::new(key.clone()),
+            |mut log| {
+                for seq in 0..64u64 {
+                    log.append(LogId(1), Slot { view: 0, seq }, digest)
+                        .expect("fresh slots");
+                }
+                log
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_beacon_invoke(c: &mut Criterion) {
+    c.bench_function("beacon_invoke", |b| {
+        let mut reg = KeyRegistry::new();
+        let mut epoch = 1u64;
+        let key = reg.generate(2);
+        let mut beacon = RandomnessBeacon::new(
+            key,
+            7,
+            0,
+            SimDuration::from_secs(1),
+            SimTime::ZERO,
+        );
+        let late = SimTime::ZERO + SimDuration::from_secs(10);
+        b.iter(|| {
+            epoch += 1;
+            beacon.invoke(std::hint::black_box(epoch), late)
+        });
+    });
+}
+
+fn bench_sealing(c: &mut Criterion) {
+    let sealer = Sealer::new(Measurement(sha256(b"enclave")), 1);
+    let state = vec![0xcdu8; 4096];
+    c.bench_function("seal_unseal_4KB", |b| {
+        b.iter(|| {
+            let blob = sealer.seal(1, std::hint::black_box(&state));
+            sealer.unseal(&blob, 0).expect("authentic")
+        });
+    });
+}
+
+criterion_group!(benches, bench_attested_append, bench_beacon_invoke, bench_sealing);
+criterion_main!(benches);

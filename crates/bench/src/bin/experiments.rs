@@ -1,0 +1,96 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p ahl-bench --bin experiments -- <id>... [--quick]
+//! cargo run --release -p ahl-bench --bin experiments -- all --quick
+//! cargo run --release -p ahl-bench --bin experiments -- list
+//! ```
+
+use ahl_bench::{figs, run_all, Scale};
+
+const IDS: &[(&str, &str)] = &[
+    ("table1", "methodology comparison vs other sharded blockchains"),
+    ("table2", "enclave operation costs"),
+    ("table3", "GCP inter-region latency matrix"),
+    ("eq1", "committee sizing (Equation 1)"),
+    ("eq2", "epoch-transition exposure (Equation 2)"),
+    ("eq3", "cross-shard probability (Equation 3)"),
+    ("fig2", "BFT comparison: HL vs Tendermint vs IBFT vs Raft"),
+    ("fig8", "AHL variants on cluster (vs N, vs f)"),
+    ("fig9", "AHL variants on GCP (4 & 8 regions)"),
+    ("fig10", "optimization ablation"),
+    ("fig11", "committee size + shard formation time vs RandHound"),
+    ("fig12", "throughput during resharding"),
+    ("fig13", "sharding with/without reference committee; skew"),
+    ("fig14", "large-scale GCP sharding (12.5% / 25%)"),
+    ("fig15", "latency vs N"),
+    ("fig16", "view changes"),
+    ("fig17", "consensus vs execution cost"),
+    ("fig18", "sharding: KVStore vs Smallbank"),
+    ("fig19", "tps vs clients on GCP"),
+    ("fig20", "tps vs clients on cluster"),
+    ("fig21", "PoET vs PoET+ throughput"),
+    ("fig22", "PoET vs PoET+ stale rate"),
+];
+
+fn usage() -> ! {
+    println!("usage: experiments <id>... [--quick]\n");
+    println!("experiments:");
+    for (id, desc) in IDS {
+        println!("  {id:8} {desc}");
+    }
+    println!("  all      run everything");
+    println!("  list     print this list");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() || ids.contains(&"list") {
+        usage();
+    }
+
+    let started = std::time::Instant::now();
+    for id in ids {
+        match id {
+            "all" => run_all(scale),
+            "table1" => figs::table1(),
+            "table2" => figs::table2(),
+            "table3" => figs::table3(),
+            "eq1" => figs::eq1(),
+            "eq2" => figs::eq2(),
+            "eq3" => figs::eq3(),
+            "fig2" => figs::fig2(scale),
+            "fig8" => figs::fig8(scale),
+            "fig9" => figs::fig9(scale),
+            "fig10" => figs::fig10(scale),
+            "fig11" => figs::fig11(scale),
+            "fig12" => figs::fig12(scale),
+            "fig13" => figs::fig13(scale),
+            "fig14" => figs::fig14(scale),
+            "fig15" => figs::fig15(scale),
+            "fig16" => figs::fig16(scale),
+            "fig17" => figs::fig17(scale),
+            "fig18" => figs::fig18(scale),
+            "fig19" => figs::fig19(scale),
+            "fig20" => figs::fig20(scale),
+            "fig21" => figs::fig21(scale),
+            "fig22" => figs::fig22(scale),
+            other => {
+                println!("unknown experiment: {other}\n");
+                usage();
+            }
+        }
+    }
+    println!("\n(total wall time: {:.1}s)", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,137 @@
+//! Plain-text table rendering for experiment output.
+
+/// A printable results table.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                } else {
+                    widths.push(c.len());
+                }
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("| ");
+            for (i, c) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(c.len());
+                line.push_str(&format!("{c:>w$} | "));
+            }
+            line
+        };
+        println!("{}", fmt_row(&self.header));
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        println!("{}", "-".repeat(total));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Format a float with one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float with three decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a probability in scientific notation.
+pub fn sci(v: f64) -> String {
+    format!("{v:.2e}")
+}
+
+/// Render a compact sparkline for a series (throughput-over-time plots).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    let max = values.iter().copied().fold(0.0f64, f64::max).max(1e-9);
+    values
+        .iter()
+        .map(|v| BARS[((v / max) * 7.0).round().min(7.0) as usize])
+        .collect()
+}
+
+/// Run independent experiment cells on worker threads, preserving order.
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<(T, R)>
+where
+    T: Send + Sync + Clone,
+    R: Send,
+    F: Fn(&T) -> R + Send + Sync,
+{
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|input| {
+                let f = &f;
+                scope.spawn(move || f(input))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment cell panicked"))
+            .collect()
+    });
+    inputs.into_iter().zip(results).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.len(), 1);
+        t.print();
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(vec![1, 2, 3], |x| format!("{}", x * 10));
+        assert_eq!(out[0].1, "10");
+        assert_eq!(out[2].1, "30");
+    }
+}

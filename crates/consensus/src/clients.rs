@@ -1,0 +1,298 @@
+//! Benchmark client drivers (BLOCKBENCH-style, §7).
+//!
+//! * [`OpenLoopClient`] — submits at a fixed rate regardless of completion
+//!   (the paper's single-shard driver).
+//! * [`ClosedLoopClient`] — maintains a window of outstanding requests and
+//!   issues a new one per completion (the paper's multi-shard driver, with
+//!   128 outstanding requests per client).
+//!
+//! Clients are generic over the protocol message type through
+//! [`ClientProtocol`], so every consensus implementation reuses them.
+
+use ahl_simkit::{Actor, Ctx, NodeId, SimDuration, SimTime};
+use std::collections::HashSet;
+
+use crate::common::{stat, OpFactory, Request};
+
+/// Adapter between generic clients and a concrete protocol message type.
+pub trait ClientProtocol: Clone {
+    /// Wrap a request for submission to a replica.
+    fn make_request(req: Request) -> Self;
+    /// If this message is a reply to a request, its request id.
+    fn reply_id(&self) -> Option<u64>;
+}
+
+const TIMER_SEND: u64 = 1;
+
+/// Open-loop driver: issues one request every `interval`, round-robin over
+/// `targets`, without waiting for completions.
+pub struct OpenLoopClient<M> {
+    targets: Vec<NodeId>,
+    interval: SimDuration,
+    factory: OpFactory,
+    stop_at: SimTime,
+    seq: u32,
+    next_target: usize,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> OpenLoopClient<M> {
+    /// Create a driver submitting to `targets` every `interval` until
+    /// `stop_at`, generating operations from `factory`.
+    pub fn new(
+        targets: Vec<NodeId>,
+        interval: SimDuration,
+        stop_at: SimTime,
+        factory: OpFactory,
+    ) -> Self {
+        assert!(!targets.is_empty(), "need at least one target replica");
+        OpenLoopClient {
+            targets,
+            interval,
+            factory,
+            stop_at,
+            seq: 0,
+            next_target: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M: ClientProtocol + 'static> Actor for OpenLoopClient<M> {
+    type Msg = M;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        // Stagger client start within one interval to avoid phase lock.
+        let jitter = SimDuration::from_nanos(
+            (ctx.id() as u64).wrapping_mul(7_919) % self.interval.as_nanos().max(1),
+        );
+        ctx.set_timer(jitter, TIMER_SEND);
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: M, ctx: &mut Ctx<'_, M>) {
+        // Open-loop: replies (if any) are ignored beyond accounting.
+        ctx.stats().inc("client.replies", 1);
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Ctx<'_, M>) {
+        if kind != TIMER_SEND || ctx.now() >= self.stop_at {
+            return;
+        }
+        let op = (self.factory)(ctx.rng());
+        let req = Request {
+            id: Request::make_id(ctx.id(), self.seq),
+            client: ctx.id(),
+            op,
+            submitted: ctx.now(),
+        };
+        self.seq = self.seq.wrapping_add(1);
+        let target = self.targets[self.next_target % self.targets.len()];
+        self.next_target += 1;
+        ctx.send(target, M::make_request(req));
+        ctx.stats().inc("client.submitted", 1);
+        ctx.set_timer(self.interval, TIMER_SEND);
+    }
+}
+
+const TIMER_RETRY: u64 = 2;
+
+/// Closed-loop driver: keeps `window` requests outstanding; issues a new
+/// request whenever one completes. Retransmits round-robin on timeout
+/// (needed for liveness across view changes).
+pub struct ClosedLoopClient<M> {
+    targets: Vec<NodeId>,
+    window: usize,
+    factory: OpFactory,
+    stop_at: SimTime,
+    retry_after: SimDuration,
+    seq: u32,
+    next_target: usize,
+    outstanding: HashSet<u64>,
+    last_progress: SimTime,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> ClosedLoopClient<M> {
+    /// Create a closed-loop driver with `window` outstanding requests.
+    pub fn new(
+        targets: Vec<NodeId>,
+        window: usize,
+        stop_at: SimTime,
+        retry_after: SimDuration,
+        factory: OpFactory,
+    ) -> Self {
+        assert!(!targets.is_empty(), "need at least one target replica");
+        ClosedLoopClient {
+            targets,
+            window: window.max(1),
+            factory,
+            stop_at,
+            retry_after,
+            seq: 0,
+            next_target: 0,
+            outstanding: HashSet::new(),
+            last_progress: SimTime::ZERO,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn submit_one(&mut self, ctx: &mut Ctx<'_, M>)
+    where
+        M: ClientProtocol + 'static,
+    {
+        let op = (self.factory)(ctx.rng());
+        let req = Request {
+            id: Request::make_id(ctx.id(), self.seq),
+            client: ctx.id(),
+            op,
+            submitted: ctx.now(),
+        };
+        self.seq = self.seq.wrapping_add(1);
+        self.outstanding.insert(req.id);
+        let target = self.targets[self.next_target % self.targets.len()];
+        self.next_target += 1;
+        ctx.send(target, M::make_request(req));
+        ctx.stats().inc("client.submitted", 1);
+    }
+}
+
+impl<M: ClientProtocol + 'static> Actor for ClosedLoopClient<M> {
+    type Msg = M;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        for _ in 0..self.window {
+            self.submit_one(ctx);
+        }
+        ctx.set_timer(self.retry_after, TIMER_RETRY);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: M, ctx: &mut Ctx<'_, M>) {
+        let Some(id) = msg.reply_id() else { return };
+        if self.outstanding.remove(&id) {
+            self.last_progress = ctx.now();
+            ctx.stats().inc(stat::CLIENT_COMPLETED, 1);
+            if ctx.now() < self.stop_at {
+                self.submit_one(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Ctx<'_, M>) {
+        if kind != TIMER_RETRY || ctx.now() >= self.stop_at {
+            return;
+        }
+        // If nothing completed for a full retry interval, top the window
+        // back up (requests may have been lost to queue drops or a faulty
+        // leader; the new submissions reach the current leader).
+        if ctx.now().since(self.last_progress) >= self.retry_after
+            && self.outstanding.len() < self.window * 2
+        {
+            for _ in 0..(self.window - self.outstanding.len().min(self.window)) {
+                self.submit_one(ctx);
+            }
+            ctx.stats().inc("client.retries", 1);
+        }
+        ctx.set_timer(self.retry_after, TIMER_RETRY);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahl_ledger::Op;
+    use ahl_simkit::{QueueConfig, Sim, SimConfig};
+
+    #[derive(Clone, Debug)]
+    enum EchoMsg {
+        Req(Request),
+        Reply(u64),
+    }
+
+    impl ClientProtocol for EchoMsg {
+        fn make_request(req: Request) -> Self {
+            EchoMsg::Req(req)
+        }
+        fn reply_id(&self) -> Option<u64> {
+            match self {
+                EchoMsg::Reply(id) => Some(*id),
+                _ => None,
+            }
+        }
+    }
+
+    /// A replica that immediately acknowledges every request.
+    struct EchoServer;
+    impl Actor for EchoServer {
+        type Msg = EchoMsg;
+        fn on_message(&mut self, from: NodeId, msg: EchoMsg, ctx: &mut Ctx<'_, EchoMsg>) {
+            if let EchoMsg::Req(r) = msg {
+                ctx.consume_cpu(SimDuration::from_micros(100));
+                ctx.send(from, EchoMsg::Reply(r.id));
+            }
+        }
+    }
+
+    fn noop_factory() -> OpFactory {
+        Box::new(|_rng| Op::Noop)
+    }
+
+    #[test]
+    fn open_loop_sends_at_rate() {
+        let mut sim: Sim<EchoMsg> = Sim::new(SimConfig::new(1));
+        sim.add_actor(Box::new(EchoServer), QueueConfig::unbounded());
+        let client = OpenLoopClient::new(
+            vec![0],
+            SimDuration::from_millis(10),
+            SimTime::ZERO + SimDuration::from_secs(1),
+            noop_factory(),
+        );
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let submitted = sim.stats().counter("client.submitted");
+        // 1 second at 100/s, ±1 for phase.
+        assert!((99..=101).contains(&submitted), "submitted {submitted}");
+    }
+
+    #[test]
+    fn closed_loop_keeps_window() {
+        let mut sim: Sim<EchoMsg> = Sim::new(SimConfig::new(2));
+        sim.add_actor(Box::new(EchoServer), QueueConfig::unbounded());
+        let client = ClosedLoopClient::new(
+            vec![0],
+            8,
+            SimTime::ZERO + SimDuration::from_secs(1),
+            SimDuration::from_millis(500),
+            noop_factory(),
+        );
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let completed = sim.stats().counter(stat::CLIENT_COMPLETED);
+        // RTT ≈ 2 ms + 100 µs service; window 8 → ~8 / 2.1 ms ≈ 3800/s.
+        assert!(completed > 2_000, "completed {completed}");
+        // Submissions track completions + initial window.
+        let submitted = sim.stats().counter("client.submitted");
+        assert!(submitted >= completed && submitted <= completed + 16);
+    }
+
+    #[test]
+    fn closed_loop_retries_when_server_dead() {
+        /// A server that drops everything.
+        struct BlackHole;
+        impl Actor for BlackHole {
+            type Msg = EchoMsg;
+            fn on_message(&mut self, _f: NodeId, _m: EchoMsg, _c: &mut Ctx<'_, EchoMsg>) {}
+        }
+        let mut sim: Sim<EchoMsg> = Sim::new(SimConfig::new(3));
+        sim.add_actor(Box::new(BlackHole), QueueConfig::unbounded());
+        let client = ClosedLoopClient::new(
+            vec![0],
+            4,
+            SimTime::ZERO + SimDuration::from_secs(5),
+            SimDuration::from_millis(200),
+            noop_factory(),
+        );
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        assert!(sim.stats().counter("client.retries") >= 5);
+    }
+}

@@ -1,0 +1,85 @@
+//! Types shared by all consensus protocol implementations.
+
+use ahl_ledger::Op;
+use ahl_simkit::{NodeId, SimTime};
+use rand::rngs::SmallRng;
+
+/// A client request: an identified ledger operation.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Globally unique request id (`client_id << 32 | client_seq`).
+    pub id: u64,
+    /// The submitting client's actor id (for replies).
+    pub client: NodeId,
+    /// The ledger operation to order and execute.
+    pub op: Op,
+    /// Submission time (for end-to-end latency measurement).
+    pub submitted: SimTime,
+}
+
+impl Request {
+    /// Build the globally unique request id.
+    pub fn make_id(client: NodeId, seq: u32) -> u64 {
+        ((client as u64) << 32) | seq as u64
+    }
+}
+
+/// Whether to actually compute MACs/signatures or only charge their cost.
+///
+/// `Real` exercises the full `ahl-crypto`/`ahl-tee` paths (used by tests);
+/// `CostOnly` charges the same simulated latencies without spending host CPU
+/// (used by the large-scale experiment harness). Both produce identical
+/// simulated timings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CryptoMode {
+    /// Compute and verify real MACs.
+    Real,
+    /// Charge latencies only.
+    CostOnly,
+}
+
+/// Generates the next ledger operation for a client. Implemented by the
+/// workload crate (KVStore, SmallBank); consensus only needs the closure.
+pub type OpFactory = Box<dyn FnMut(&mut SmallRng) -> Op + Send>;
+
+/// Counter/series names the protocols record (shared so harnesses and tests
+/// agree on spelling).
+pub mod stat {
+    /// Counter: committed transactions.
+    pub const TXN_COMMITTED: &str = "txn.committed";
+    /// Counter: aborted transactions (execution-level aborts).
+    pub const TXN_ABORTED: &str = "txn.aborted";
+    /// Series: committed transaction count per commit event.
+    pub const COMMIT_SERIES: &str = "txn.commit_series";
+    /// Histogram: request submission → execution latency.
+    pub const TXN_LATENCY: &str = "txn.latency";
+    /// Counter: view changes adopted (counted at the new leader).
+    pub const VIEW_CHANGES: &str = "consensus.view_changes";
+    /// Counter: nanoseconds of CPU spent in consensus message handling.
+    pub const CONSENSUS_CPU_NS: &str = "consensus.cpu_ns";
+    /// Counter: nanoseconds of CPU spent executing transactions.
+    pub const EXEC_CPU_NS: &str = "exec.cpu_ns";
+    /// Counter: blocks committed.
+    pub const BLOCKS_COMMITTED: &str = "consensus.blocks";
+    /// Counter: stale (off-chain) blocks in Nakamoto-style protocols.
+    pub const STALE_BLOCKS: &str = "poet.stale_blocks";
+    /// Counter: total blocks produced in Nakamoto-style protocols.
+    pub const TOTAL_BLOCKS: &str = "poet.total_blocks";
+    /// Counter: completed (replied) client requests.
+    pub const CLIENT_COMPLETED: &str = "client.completed";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_unique_per_client_seq() {
+        let a = Request::make_id(1, 1);
+        let b = Request::make_id(1, 2);
+        let c = Request::make_id(2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a >> 32, 1);
+    }
+}

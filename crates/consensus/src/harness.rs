@@ -1,0 +1,267 @@
+//! Single-committee experiment harness: builds a network + committee +
+//! clients, runs for a measured interval, and extracts the metrics the
+//! paper's figures report.
+
+use ahl_ledger::Value;
+use ahl_net::{ClusterNetwork, GcpNetwork};
+use ahl_simkit::{Network, QueueConfig, SimDuration, SimTime};
+
+use crate::clients::{ClosedLoopClient, OpenLoopClient};
+use crate::common::{stat, OpFactory};
+use crate::pbft::{build_group, PbftConfig};
+
+/// Which testbed to simulate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NetChoice {
+    /// The in-house local cluster (1 Gbps LAN).
+    Cluster,
+    /// Google Cloud over `regions` regions (Table 3 latencies).
+    Gcp {
+        /// Number of regions (4 or 8 in the paper).
+        regions: usize,
+    },
+}
+
+impl NetChoice {
+    fn build(self, total_nodes: usize) -> Box<dyn Network> {
+        match self {
+            NetChoice::Cluster => Box::new(ClusterNetwork::new()),
+            NetChoice::Gcp { regions } => Box::new(GcpNetwork::new(total_nodes, regions)),
+        }
+    }
+
+    fn uplink_bps(self) -> f64 {
+        match self {
+            NetChoice::Cluster => 1e9,
+            // Effective cross-region egress of the 2-vCPU instances.
+            NetChoice::Gcp { .. } => 300e6,
+        }
+    }
+
+    /// CPU scale: GCP nodes have 2 vCPUs vs the cluster's Xeon E5-1650.
+    pub fn cpu_scale(self) -> f64 {
+        match self {
+            NetChoice::Cluster => 1.0,
+            NetChoice::Gcp { .. } => 2.0,
+        }
+    }
+}
+
+/// Client drive mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClientMode {
+    /// Open loop at `rate` requests/s per client (single-shard experiments).
+    Open {
+        /// Requests per second per client.
+        rate: f64,
+    },
+    /// Closed loop with `outstanding` in-flight requests per client
+    /// (multi-shard experiments use 128).
+    Closed {
+        /// Window size per client.
+        outstanding: usize,
+    },
+}
+
+/// One single-committee experiment.
+pub struct ShardExperiment {
+    /// Protocol configuration (variant, n, costs, Byzantine count, ...).
+    pub pbft: PbftConfig,
+    /// Testbed.
+    pub net: NetChoice,
+    /// Number of client actors.
+    pub clients: usize,
+    /// Client drive mode.
+    pub client_mode: ClientMode,
+    /// Measured interval (after warmup).
+    pub duration: SimDuration,
+    /// Warmup excluded from measurement.
+    pub warmup: SimDuration,
+    /// Genesis state installed on every replica.
+    pub genesis: Vec<(String, Value)>,
+    /// Per-client operation factory.
+    pub make_factory: Box<dyn Fn(usize) -> OpFactory>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ShardExperiment {
+    /// Sensible defaults: open loop at 200 req/s/client, 10 clients,
+    /// cluster network, 20 s measured after 5 s warmup.
+    pub fn new(pbft: PbftConfig, make_factory: Box<dyn Fn(usize) -> OpFactory>) -> Self {
+        ShardExperiment {
+            pbft,
+            net: NetChoice::Cluster,
+            clients: 10,
+            client_mode: ClientMode::Open { rate: 200.0 },
+            duration: SimDuration::from_secs(20),
+            warmup: SimDuration::from_secs(5),
+            genesis: Vec::new(),
+            make_factory,
+            seed: 42,
+        }
+    }
+}
+
+/// Metrics extracted from a run (one row of a paper figure).
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Committed transactions per second over the measured window.
+    pub tps: f64,
+    /// Total committed transactions (whole run).
+    pub committed: u64,
+    /// Total aborted transactions.
+    pub aborted: u64,
+    /// Mean request latency.
+    pub latency_mean: SimDuration,
+    /// 50th percentile latency.
+    pub latency_p50: SimDuration,
+    /// 99th percentile latency.
+    pub latency_p99: SimDuration,
+    /// View changes adopted.
+    pub view_changes: u64,
+    /// Consensus messages dropped at full queues.
+    pub dropped_consensus: u64,
+    /// Request messages dropped at full queues.
+    pub dropped_requests: u64,
+    /// CPU seconds spent in consensus handling (all replicas).
+    pub consensus_cpu_s: f64,
+    /// CPU seconds spent in execution (all replicas).
+    pub exec_cpu_s: f64,
+    /// Blocks committed (reporter's count).
+    pub blocks: u64,
+    /// Client-observed completions (closed-loop runs).
+    pub completed: u64,
+}
+
+impl RunMetrics {
+    /// Abort ratio among finished transactions.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / total as f64
+        }
+    }
+}
+
+/// Run a single-committee experiment and report metrics.
+pub fn run_shard_experiment(exp: ShardExperiment) -> RunMetrics {
+    let total_nodes = exp.pbft.n + exp.clients;
+    let mut pbft = exp.pbft;
+    pbft.cpu_scale *= exp.net.cpu_scale();
+    let network = exp.net.build(total_nodes);
+    let (mut sim, group) = build_group(&pbft, network, Some(exp.net.uplink_bps()), &exp.genesis, exp.seed);
+
+    let stop = SimTime::ZERO + exp.warmup + exp.duration;
+    for c in 0..exp.clients {
+        let factory = (exp.make_factory)(c);
+        match exp.client_mode {
+            ClientMode::Open { rate } => {
+                let interval = SimDuration::from_secs_f64(1.0 / rate.max(1e-9));
+                let client = OpenLoopClient::new(group.clone(), interval, stop, factory);
+                sim.add_actor(Box::new(client), QueueConfig::unbounded());
+            }
+            ClientMode::Closed { outstanding } => {
+                // Each closed-loop client pins to one replica (BLOCKBENCH
+                // attaches drivers to specific peers).
+                let target = group[c % group.len()];
+                let client = ClosedLoopClient::new(
+                    vec![target],
+                    outstanding,
+                    stop,
+                    SimDuration::from_secs(4),
+                    factory,
+                );
+                sim.add_actor(Box::new(client), QueueConfig::unbounded());
+            }
+        }
+    }
+
+    // Run past the stop time to drain in-flight work.
+    sim.run_until(stop + SimDuration::from_secs(5));
+
+    let stats = sim.stats();
+    let from = SimTime::ZERO + exp.warmup;
+    let tps = stats.rate_in_window(stat::COMMIT_SERIES, from, stop);
+    let lat = stats.histogram(stat::TXN_LATENCY);
+    RunMetrics {
+        tps,
+        committed: stats.counter(stat::TXN_COMMITTED),
+        aborted: stats.counter(stat::TXN_ABORTED),
+        latency_mean: lat.map(|h| h.mean()).unwrap_or_default(),
+        latency_p50: lat.map(|h| h.quantile(0.5)).unwrap_or_default(),
+        latency_p99: lat.map(|h| h.quantile(0.99)).unwrap_or_default(),
+        view_changes: stats.counter(stat::VIEW_CHANGES),
+        dropped_consensus: stats.counter("queue.dropped_consensus"),
+        dropped_requests: stats.counter("queue.dropped_request"),
+        consensus_cpu_s: stats.counter(stat::CONSENSUS_CPU_NS) as f64 / 1e9,
+        exec_cpu_s: stats.counter(stat::EXEC_CPU_NS) as f64 / 1e9,
+        blocks: stats.counter(stat::BLOCKS_COMMITTED),
+        completed: stats.counter(stat::CLIENT_COMPLETED),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbft::BftVariant;
+    use ahl_ledger::{kvstore, Op, TxId};
+
+    fn kv_factory(client: usize) -> OpFactory {
+        let mut i = client as u64 * 1_000_000;
+        Box::new(move |_rng| {
+            i += 1;
+            Op::Direct { txid: TxId(i), op: kvstore::kv_write(&[i % 1000], 16) }
+        })
+    }
+
+    fn quick(variant: BftVariant, n: usize, net: NetChoice) -> RunMetrics {
+        let mut exp = ShardExperiment::new(PbftConfig::new(variant, n), Box::new(kv_factory));
+        exp.net = net;
+        exp.clients = 4;
+        exp.client_mode = ClientMode::Open { rate: 150.0 };
+        exp.duration = SimDuration::from_secs(6);
+        exp.warmup = SimDuration::from_secs(2);
+        run_shard_experiment(exp)
+    }
+
+    #[test]
+    fn ahl_plus_sustains_throughput_on_cluster() {
+        let m = quick(BftVariant::AhlPlus, 7, NetChoice::Cluster);
+        assert!(m.tps > 400.0, "tps {}", m.tps);
+        assert_eq!(m.view_changes, 0);
+    }
+
+    #[test]
+    fn ahl_plus_works_on_gcp() {
+        let m = quick(BftVariant::AhlPlus, 7, NetChoice::Gcp { regions: 4 });
+        assert!(m.tps > 100.0, "tps {}", m.tps);
+    }
+
+    #[test]
+    fn latency_cluster_below_gcp() {
+        let c = quick(BftVariant::AhlPlus, 7, NetChoice::Cluster);
+        let g = quick(BftVariant::AhlPlus, 7, NetChoice::Gcp { regions: 8 });
+        assert!(c.latency_mean < g.latency_mean);
+    }
+
+    #[test]
+    fn closed_loop_completes_requests() {
+        let mut exp = ShardExperiment::new(
+            {
+                let mut c = PbftConfig::new(BftVariant::AhlPlus, 5);
+                c.reply_policy = crate::pbft::ReplyPolicy::IngestReplica;
+                c
+            },
+            Box::new(kv_factory),
+        );
+        exp.clients = 4;
+        exp.client_mode = ClientMode::Closed { outstanding: 32 };
+        exp.duration = SimDuration::from_secs(5);
+        exp.warmup = SimDuration::from_secs(1);
+        let m = run_shard_experiment(exp);
+        assert!(m.completed > 500, "completed {}", m.completed);
+    }
+}

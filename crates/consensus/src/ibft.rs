@@ -1,0 +1,703 @@
+//! Istanbul BFT as integrated in Quorum (Figure 2 baseline).
+//!
+//! Three-phase (pre-prepare / prepare / commit) like PBFT, but — as the
+//! paper observes in Appendix C.2 — **lockstep**: the proposer for height
+//! h+1 is selected round-robin and only proposes after h is finalized, and
+//! Quorum inserts a block period between blocks. Transactions execute in
+//! the EVM with Merkle-tree updates, which the paper identifies as the
+//! other reason Quorum trails Tendermint's bare key-value store.
+//!
+//! Round changes replace a stalled proposer. The documented IBFT locking
+//! bug (locks not always released, occasionally deadlocking Quorum) is
+//! reproducible via [`IbftConfig::sticky_locks`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use ahl_crypto::{sha256_parts, Hash};
+use ahl_ledger::StateStore;
+use ahl_simkit::{Actor, Ctx, MsgClass, NodeId, SimDuration};
+
+use crate::clients::ClientProtocol;
+use crate::common::{stat, Request};
+
+/// IBFT wire messages.
+#[derive(Clone, Debug)]
+pub enum IbftMsg {
+    /// Client → node: transaction submission (RPC).
+    Request(Request),
+    /// Node → all: transaction gossip.
+    GossipTx(Request),
+    /// Proposer → all: block proposal.
+    PrePrepare {
+        /// Height ("sequence" in IBFT terms).
+        height: u64,
+        /// Round.
+        round: u32,
+        /// Transactions.
+        block: Arc<Vec<Request>>,
+        /// Digest.
+        digest: Hash,
+        /// Proposer index.
+        proposer: usize,
+    },
+    /// Prepare vote.
+    Prepare {
+        /// Height.
+        height: u64,
+        /// Round.
+        round: u32,
+        /// Digest.
+        digest: Hash,
+        /// Voter.
+        replica: usize,
+    },
+    /// Commit vote.
+    Commit {
+        /// Height.
+        height: u64,
+        /// Round.
+        round: u32,
+        /// Digest.
+        digest: Hash,
+        /// Voter.
+        replica: usize,
+    },
+    /// Round-change vote.
+    RoundChange {
+        /// Height.
+        height: u64,
+        /// Proposed round.
+        round: u32,
+        /// Voter.
+        replica: usize,
+    },
+    /// Reply to client.
+    Reply {
+        /// Request id.
+        req_id: u64,
+        /// Commit status.
+        committed: bool,
+    },
+}
+
+impl IbftMsg {
+    /// Queue class.
+    pub fn class(&self) -> MsgClass {
+        match self {
+            IbftMsg::Request(_) | IbftMsg::GossipTx(_) | IbftMsg::Reply { .. } => MsgClass::REQUEST,
+            _ => MsgClass::CONSENSUS,
+        }
+    }
+
+    /// Approximate wire size.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            IbftMsg::Request(r) | IbftMsg::GossipTx(r) => 250 + r.op.wire_size(),
+            IbftMsg::PrePrepare { block, .. } => {
+                120 + block.iter().map(|r| 64 + r.op.wire_size()).sum::<usize>()
+            }
+            IbftMsg::Prepare { .. } | IbftMsg::Commit { .. } | IbftMsg::RoundChange { .. } => 120,
+            IbftMsg::Reply { .. } => 100,
+        }
+    }
+}
+
+impl ClientProtocol for IbftMsg {
+    fn make_request(req: Request) -> Self {
+        IbftMsg::Request(req)
+    }
+    fn reply_id(&self) -> Option<u64> {
+        match self {
+            IbftMsg::Reply { req_id, .. } => Some(*req_id),
+            _ => None,
+        }
+    }
+}
+
+/// IBFT node configuration.
+#[derive(Clone, Debug)]
+pub struct IbftConfig {
+    /// Committee size (N = 3f + 1).
+    pub n: usize,
+    /// Max transactions per block (gas-limit analogue).
+    pub max_block_txns: usize,
+    /// Block period (Quorum default 1 s).
+    pub block_period: SimDuration,
+    /// Round-change timeout.
+    pub round_timeout: SimDuration,
+    /// Signature cost.
+    pub sign_cost: SimDuration,
+    /// Verification cost.
+    pub verify_cost: SimDuration,
+    /// RPC ingest cost.
+    pub ingest_cost: SimDuration,
+    /// EVM execution + Merkle update cost per state access (the paper:
+    /// "a transaction in Quorum is expensive because of its execution in
+    /// the EVM and updates to various Merkle trees").
+    pub exec_cost_per_op: SimDuration,
+    /// Reproduce the observed Quorum lock-release bug: locks survive round
+    /// changes and can deadlock a height.
+    pub sticky_locks: bool,
+}
+
+impl IbftConfig {
+    /// Defaults matching the Figure 2 comparison.
+    pub fn new(n: usize) -> Self {
+        IbftConfig {
+            n,
+            max_block_txns: 500,
+            block_period: SimDuration::from_secs(1),
+            round_timeout: SimDuration::from_secs(3),
+            sign_cost: SimDuration::from_micros(150),
+            verify_cost: SimDuration::from_micros(200),
+            ingest_cost: SimDuration::from_millis(1),
+            exec_cost_per_op: SimDuration::from_micros(500),
+            sticky_locks: false,
+        }
+    }
+
+    /// Byzantine quorum (2f + 1).
+    pub fn quorum(&self) -> usize {
+        2 * ((self.n.saturating_sub(1)) / 3) + 1
+    }
+}
+
+const TIMER_ROUND: u64 = 1;
+const TIMER_PERIOD: u64 = 2;
+
+/// Proposals buffered by (height, round).
+type ProposalBuf = HashMap<(u64, u32), (Hash, Arc<Vec<Request>>)>;
+
+/// An IBFT validator.
+pub struct IbftNode {
+    cfg: IbftConfig,
+    group: Vec<NodeId>,
+    me: usize,
+    reporter: bool,
+
+    height: u64,
+    round: u32,
+    proposal: Option<(Hash, Arc<Vec<Request>>)>,
+    locked: Option<(Hash, Arc<Vec<Request>>)>,
+    /// Buffered proposals for heights/rounds not yet entered.
+    proposal_buf: ProposalBuf,
+    prepares: HashMap<(u64, u32), HashMap<Hash, HashSet<usize>>>,
+    commits: HashMap<(u64, u32), HashMap<Hash, HashSet<usize>>>,
+    round_changes: HashMap<(u64, u32), HashSet<usize>>,
+    sent_prepare: HashSet<(u64, u32)>,
+    sent_commit: HashSet<(u64, u32)>,
+    epoch: u64,
+    /// Between finalization and the block-period expiry: no proposing.
+    waiting_period: bool,
+
+    pool: VecDeque<Request>,
+    pool_ids: HashSet<u64>,
+    executed: HashSet<u64>,
+    state: StateStore,
+}
+
+impl IbftNode {
+    /// Create a validator.
+    pub fn new(cfg: IbftConfig, group: Vec<NodeId>, me: usize, reporter: bool) -> Self {
+        IbftNode {
+            cfg,
+            group,
+            me,
+            reporter,
+            height: 1,
+            round: 0,
+            proposal: None,
+            locked: None,
+            proposal_buf: HashMap::new(),
+            prepares: HashMap::new(),
+            commits: HashMap::new(),
+            round_changes: HashMap::new(),
+            sent_prepare: HashSet::new(),
+            sent_commit: HashSet::new(),
+            epoch: 0,
+            waiting_period: false,
+            pool: VecDeque::new(),
+            pool_ids: HashSet::new(),
+            executed: HashSet::new(),
+            state: StateStore::new(),
+        }
+    }
+
+    /// Current height (post-run inspection).
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    fn proposer(&self, height: u64, round: u32) -> usize {
+        // Quorum IBFT rotates the proposer every block and every round.
+        ((height + round as u64) % self.cfg.n as u64) as usize
+    }
+
+    fn others(&self) -> Vec<NodeId> {
+        let mine = self.group[self.me];
+        self.group.iter().copied().filter(|&g| g != mine).collect()
+    }
+
+    fn charge(&self, ctx: &mut Ctx<'_, IbftMsg>, d: SimDuration) {
+        ctx.consume_cpu(d);
+        ctx.stats().inc(stat::CONSENSUS_CPU_NS, d.as_nanos());
+    }
+
+    fn enter_round(&mut self, ctx: &mut Ctx<'_, IbftMsg>) {
+        // Keep the previous round's proposal: a commit quorum for it may
+        // still complete after the round change.
+        if let Some((d, b)) = self.proposal.take() {
+            self.proposal_buf.entry((self.height, self.round)).or_insert((d, b));
+        }
+        self.waiting_period = false;
+        self.epoch += 1;
+        ctx.set_timer(self.cfg.round_timeout, TIMER_ROUND | (self.epoch << 8));
+        let key = (self.height, self.round);
+        if let Some((digest, block)) = self.proposal_buf.remove(&key) {
+            let lock_conflict = matches!(&self.locked, Some((d, _)) if *d != digest);
+            if !lock_conflict {
+                self.proposal = Some((digest, block));
+                self.send_prepare(digest, ctx);
+            }
+        }
+        if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
+            self.propose(ctx);
+        }
+        self.recheck_votes(ctx);
+    }
+
+    /// Quorums may already exist from early-arriving votes.
+    fn recheck_votes(&mut self, ctx: &mut Ctx<'_, IbftMsg>) {
+        let key = (self.height, self.round);
+        if let Some(by_digest) = self.prepares.get(&key) {
+            let ready: Vec<Hash> = by_digest
+                .iter()
+                .filter(|(_, v)| v.len() >= self.cfg.quorum())
+                .map(|(d, _)| *d)
+                .collect();
+            for d in ready {
+                self.record_prepare(key, d, self.me, ctx);
+            }
+        }
+        self.try_finalize_any_round(ctx);
+    }
+
+    /// Finalize from a commit quorum at any round of the current height
+    /// (nodes that raced past the deciding round must still finalize).
+    fn try_finalize_any_round(&mut self, ctx: &mut Ctx<'_, IbftMsg>) {
+        let h = self.height;
+        let quorum = self.cfg.quorum();
+        let mut decided: Option<(Hash, u32)> = None;
+        for ((hh, r), by_digest) in &self.commits {
+            if *hh != h {
+                continue;
+            }
+            for (d, votes) in by_digest {
+                if votes.len() >= quorum {
+                    decided = Some((*d, *r));
+                    break;
+                }
+            }
+            if decided.is_some() {
+                break;
+            }
+        }
+        let Some((digest, round)) = decided else { return };
+        let block = match (&self.proposal, &self.locked) {
+            (Some((d, b)), _) if *d == digest => Some(b.clone()),
+            (_, Some((d, b))) if *d == digest => Some(b.clone()),
+            _ => {
+                let _ = round;
+                self.proposal_buf
+                    .iter()
+                    .find(|((hh, _), (d, _))| *hh == h && *d == digest)
+                    .map(|(_, (_, b))| b.clone())
+            }
+        };
+        if let Some(block) = block {
+            self.finalize(block, ctx);
+        }
+    }
+
+    fn propose(&mut self, ctx: &mut Ctx<'_, IbftMsg>) {
+        if self.waiting_period {
+            return;
+        }
+        // A validator locked on a block must re-propose it.
+        let block: Arc<Vec<Request>> = if let Some((_, b)) = &self.locked {
+            b.clone()
+        } else {
+            let mut batch = Vec::new();
+            while batch.len() < self.cfg.max_block_txns {
+                let Some(r) = self.pool.pop_front() else { break };
+                self.pool_ids.remove(&r.id);
+                if self.executed.contains(&r.id) {
+                    continue;
+                }
+                batch.push(r);
+            }
+            Arc::new(batch)
+        };
+        if block.is_empty() {
+            return;
+        }
+        let digest = digest_of(self.height, self.round, &block);
+        self.charge(ctx, self.cfg.sign_cost);
+        ctx.multicast(
+            self.others(),
+            IbftMsg::PrePrepare {
+                height: self.height,
+                round: self.round,
+                block: block.clone(),
+                digest,
+                proposer: self.me,
+            },
+        );
+        self.proposal = Some((digest, block));
+        self.send_prepare(digest, ctx);
+    }
+
+    fn send_prepare(&mut self, digest: Hash, ctx: &mut Ctx<'_, IbftMsg>) {
+        let key = (self.height, self.round);
+        if !self.sent_prepare.insert(key) {
+            return;
+        }
+        self.charge(ctx, self.cfg.sign_cost);
+        ctx.multicast(
+            self.others(),
+            IbftMsg::Prepare { height: key.0, round: key.1, digest, replica: self.me },
+        );
+        self.record_prepare(key, digest, self.me, ctx);
+    }
+
+    fn record_prepare(&mut self, key: (u64, u32), digest: Hash, who: usize, ctx: &mut Ctx<'_, IbftMsg>) {
+        let votes = self.prepares.entry(key).or_default().entry(digest).or_default();
+        votes.insert(who);
+        if votes.len() >= self.cfg.quorum() && key == (self.height, self.round) {
+            // Lock on the prepared block.
+            if let Some((d, b)) = &self.proposal {
+                if *d == digest {
+                    self.locked = Some((digest, b.clone()));
+                }
+            }
+            self.send_commit(digest, ctx);
+        }
+    }
+
+    fn send_commit(&mut self, digest: Hash, ctx: &mut Ctx<'_, IbftMsg>) {
+        let key = (self.height, self.round);
+        if !self.sent_commit.insert(key) {
+            return;
+        }
+        self.charge(ctx, self.cfg.sign_cost);
+        ctx.multicast(
+            self.others(),
+            IbftMsg::Commit { height: key.0, round: key.1, digest, replica: self.me },
+        );
+        self.record_commit(key, digest, self.me, ctx);
+    }
+
+    fn record_commit(&mut self, key: (u64, u32), digest: Hash, who: usize, ctx: &mut Ctx<'_, IbftMsg>) {
+        let votes = self.commits.entry(key).or_default().entry(digest).or_default();
+        votes.insert(who);
+        if votes.len() >= self.cfg.quorum() && key == (self.height, self.round) {
+            let block = match (&self.proposal, &self.locked) {
+                (Some((d, b)), _) if *d == digest => Some(b.clone()),
+                (_, Some((d, b))) if *d == digest => Some(b.clone()),
+                _ => None,
+            };
+            if let Some(b) = block {
+                self.finalize(b, ctx);
+            }
+        }
+    }
+
+    fn finalize(&mut self, block: Arc<Vec<Request>>, ctx: &mut Ctx<'_, IbftMsg>) {
+        let mut committed = 0u64;
+        let mut weight = 0usize;
+        for req in block.iter() {
+            if !self.executed.insert(req.id) {
+                continue;
+            }
+            self.pool_ids.remove(&req.id);
+            weight += req.op.weight();
+            if self.state.execute(&req.op).status.is_committed() {
+                committed += 1;
+            }
+            if self.reporter {
+                let lat = ctx.now().since(req.submitted);
+                ctx.stats().record_latency(stat::TXN_LATENCY, lat);
+            }
+        }
+        // EVM + Merkle-tree execution cost.
+        let exec = self.cfg.exec_cost_per_op.saturating_mul(weight as u64);
+        ctx.consume_cpu(exec);
+        ctx.stats().inc(stat::EXEC_CPU_NS, exec.as_nanos());
+        if self.reporter {
+            let now = ctx.now();
+            ctx.stats().inc(stat::TXN_COMMITTED, committed);
+            ctx.stats().inc(stat::BLOCKS_COMMITTED, 1);
+            ctx.stats().record_point(stat::COMMIT_SERIES, now, committed as f64);
+        }
+        self.height += 1;
+        self.round = 0;
+        if !self.cfg.sticky_locks {
+            self.locked = None;
+        }
+        self.proposal = None;
+        let h = self.height;
+        self.prepares.retain(|(hh, _), _| *hh >= h);
+        self.commits.retain(|(hh, _), _| *hh >= h);
+        self.round_changes.retain(|(hh, _), _| *hh >= h);
+        self.sent_prepare.retain(|(hh, _)| *hh >= h);
+        self.sent_commit.retain(|(hh, _)| *hh >= h);
+        self.proposal_buf.retain(|(hh, _), _| *hh >= h);
+        self.epoch += 1;
+        self.waiting_period = true;
+        ctx.set_timer(self.cfg.block_period, TIMER_PERIOD | (self.epoch << 8));
+    }
+
+    fn pool_tx(&mut self, req: Request) {
+        if self.executed.contains(&req.id) || !self.pool_ids.insert(req.id) {
+            return;
+        }
+        self.pool.push_back(req);
+    }
+}
+
+fn digest_of(height: u64, round: u32, block: &[Request]) -> Hash {
+    let mut parts: Vec<Vec<u8>> = vec![
+        b"ibft-block".to_vec(),
+        height.to_be_bytes().to_vec(),
+        round.to_be_bytes().to_vec(),
+    ];
+    for r in block {
+        parts.push(r.id.to_be_bytes().to_vec());
+    }
+    let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+    sha256_parts(&refs)
+}
+
+impl Actor for IbftNode {
+    type Msg = IbftMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, IbftMsg>) {
+        self.enter_round(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: IbftMsg, ctx: &mut Ctx<'_, IbftMsg>) {
+        match msg {
+            IbftMsg::Request(req) => {
+                self.charge(ctx, self.cfg.ingest_cost);
+                ctx.multicast(self.others(), IbftMsg::GossipTx(req.clone()));
+                self.pool_tx(req);
+                if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
+                    self.propose(ctx);
+                }
+            }
+            IbftMsg::GossipTx(req) => {
+                self.charge(ctx, self.cfg.verify_cost);
+                self.pool_tx(req);
+                if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
+                    self.propose(ctx);
+                }
+            }
+            IbftMsg::PrePrepare { height, round, block, digest, proposer } => {
+                if height < self.height || proposer != self.proposer(height, round) {
+                    return;
+                }
+                self.charge(ctx, self.cfg.verify_cost);
+                if (height, round) != (self.height, self.round) {
+                    self.proposal_buf.insert((height, round), (digest, block));
+                    return;
+                }
+                // A validator locked on a different block refuses the
+                // proposal (sticky_locks reproduces the deadlock).
+                if let Some((locked_digest, _)) = &self.locked {
+                    if *locked_digest != digest {
+                        ctx.stats().inc("ibft.lock_refusals", 1);
+                        return;
+                    }
+                }
+                self.proposal = Some((digest, block));
+                self.send_prepare(digest, ctx);
+                self.recheck_votes(ctx);
+            }
+            IbftMsg::Prepare { height, round, digest, replica } => {
+                if height < self.height {
+                    return;
+                }
+                self.charge(ctx, self.cfg.verify_cost);
+                self.prepares.entry((height, round)).or_default().entry(digest).or_default().insert(replica);
+                if (height, round) == (self.height, self.round) {
+                    self.record_prepare((height, round), digest, replica, ctx);
+                }
+            }
+            IbftMsg::Commit { height, round, digest, replica } => {
+                if height < self.height {
+                    return;
+                }
+                self.charge(ctx, self.cfg.verify_cost);
+                self.commits.entry((height, round)).or_default().entry(digest).or_default().insert(replica);
+                if (height, round) == (self.height, self.round) {
+                    self.record_commit((height, round), digest, replica, ctx);
+                } else if height == self.height {
+                    self.try_finalize_any_round(ctx);
+                }
+            }
+            IbftMsg::RoundChange { height, round, replica } => {
+                if height != self.height || round <= self.round {
+                    return;
+                }
+                self.charge(ctx, self.cfg.verify_cost);
+                let votes = self.round_changes.entry((height, round)).or_default();
+                votes.insert(replica);
+                if votes.len() >= self.cfg.quorum() {
+                    self.round = round;
+                    ctx.stats().inc("ibft.round_changes", 1);
+                    self.enter_round(ctx);
+                }
+            }
+            IbftMsg::Reply { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Ctx<'_, IbftMsg>) {
+        if (kind >> 8) != self.epoch {
+            return;
+        }
+        match kind & 0xff {
+            TIMER_ROUND => {
+                // Stalled: vote for a round change.
+                let next = self.round + 1;
+                self.charge(ctx, self.cfg.sign_cost);
+                ctx.multicast(
+                    self.others(),
+                    IbftMsg::RoundChange { height: self.height, round: next, replica: self.me },
+                );
+                let votes = self.round_changes.entry((self.height, next)).or_default();
+                votes.insert(self.me);
+                if votes.len() >= self.cfg.quorum() {
+                    self.round = next;
+                    self.enter_round(ctx);
+                } else {
+                    // Re-arm while waiting for quorum.
+                    self.epoch += 1;
+                    ctx.set_timer(self.cfg.round_timeout, TIMER_ROUND | (self.epoch << 8));
+                }
+            }
+            TIMER_PERIOD => self.enter_round(ctx),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Build an IBFT committee simulation (clients added by caller).
+pub fn build_ibft_group(
+    cfg: &IbftConfig,
+    network: Box<dyn ahl_simkit::Network>,
+    uplink_bps: Option<f64>,
+    seed: u64,
+) -> (ahl_simkit::Sim<IbftMsg>, Vec<NodeId>) {
+    fn classify(m: &IbftMsg) -> MsgClass {
+        m.class()
+    }
+    fn size_of(m: &IbftMsg) -> usize {
+        m.wire_size()
+    }
+    let mut sim_cfg = ahl_simkit::SimConfig::new(seed);
+    sim_cfg.network = network;
+    sim_cfg.classify = classify;
+    sim_cfg.size_of = size_of;
+    sim_cfg.uplink_bps = uplink_bps;
+    let mut sim = ahl_simkit::Sim::new(sim_cfg);
+    let group: Vec<NodeId> = (0..cfg.n).collect();
+    for i in 0..cfg.n {
+        let node = IbftNode::new(cfg.clone(), group.clone(), i, i == 0);
+        sim.add_actor(Box::new(node), ahl_simkit::QueueConfig::shared(8192));
+    }
+    (sim, group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clients::OpenLoopClient;
+    use ahl_ledger::{kvstore, Op, TxId};
+    use ahl_simkit::{QueueConfig, SimTime, UniformNetwork};
+
+    fn run_ibft(n: usize, secs: u64) -> (u64, u64) {
+        let cfg = IbftConfig::new(n);
+        let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
+        let (mut sim, group) = build_ibft_group(&cfg, net, Some(1e9), 23);
+        let stop = SimTime::ZERO + SimDuration::from_secs(secs);
+        let mut i = 0u64;
+        let factory = Box::new(move |_r: &mut rand::rngs::SmallRng| {
+            i += 1;
+            Op::Direct { txid: TxId(i), op: kvstore::kv_write(&[i % 50], 16) }
+        });
+        let client = OpenLoopClient::new(group.clone(), SimDuration::from_millis(3), stop, factory);
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(stop + SimDuration::from_secs(3));
+        (
+            sim.stats().counter(stat::TXN_COMMITTED),
+            sim.stats().counter(stat::BLOCKS_COMMITTED),
+        )
+    }
+
+    #[test]
+    fn commits_transactions() {
+        let (committed, blocks) = run_ibft(4, 5);
+        assert!(committed > 500, "committed {committed}");
+        assert!(blocks >= 4);
+    }
+
+    #[test]
+    fn lockstep_block_rate() {
+        let (_, blocks) = run_ibft(4, 6);
+        assert!(blocks <= 8, "blocks {blocks}");
+    }
+
+    #[test]
+    fn evm_execution_is_heavier_than_tendermint() {
+        // Same offered load, IBFT spends far more execution CPU.
+        let cfg = IbftConfig::new(4);
+        assert!(cfg.exec_cost_per_op > crate::tendermint::TmConfig::new(4).exec_cost_per_op);
+    }
+
+    #[test]
+    fn nodes_reach_same_height() {
+        let cfg = IbftConfig::new(4);
+        let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
+        let (mut sim, group) = build_ibft_group(&cfg, net, Some(1e9), 5);
+        let stop = SimTime::ZERO + SimDuration::from_secs(4);
+        let mut i = 0u64;
+        let factory = Box::new(move |_r: &mut rand::rngs::SmallRng| {
+            i += 1;
+            Op::Direct { txid: TxId(i), op: kvstore::kv_write(&[i], 16) }
+        });
+        let client = OpenLoopClient::new(group.clone(), SimDuration::from_millis(5), stop, factory);
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(stop + SimDuration::from_secs(5));
+        let heights: Vec<u64> = group
+            .iter()
+            .map(|&id| {
+                sim.actor(id)
+                    .as_any()
+                    .expect("inspectable")
+                    .downcast_ref::<IbftNode>()
+                    .expect("ibft node")
+                    .height()
+            })
+            .collect();
+        let max = *heights.iter().max().expect("non-empty");
+        let min = *heights.iter().min().expect("non-empty");
+        assert!(max > 1);
+        assert!(max - min <= 1, "heights {heights:?}");
+    }
+}

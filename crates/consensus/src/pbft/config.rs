@@ -1,0 +1,253 @@
+//! Configuration for the PBFT engine and its four paper variants.
+
+use ahl_simkit::SimDuration;
+use ahl_tee::CostModel;
+
+use crate::common::CryptoMode;
+
+/// Quorum rule: the difference trusted hardware makes (paper §4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultModel {
+    /// Classic Byzantine: N = 3f + 1, quorum 2f + 1.
+    Byzantine,
+    /// Non-equivocating Byzantine via attested log: N = 2f + 1, quorum f + 1.
+    Attested,
+}
+
+impl FaultModel {
+    /// Tolerated faults for committee size `n`.
+    pub fn max_faults(self, n: usize) -> usize {
+        match self {
+            FaultModel::Byzantine => (n.saturating_sub(1)) / 3,
+            FaultModel::Attested => (n.saturating_sub(1)) / 2,
+        }
+    }
+
+    /// Quorum size for committee size `n` (votes counted including own).
+    pub fn quorum(self, n: usize) -> usize {
+        match self {
+            FaultModel::Byzantine => 2 * self.max_faults(n) + 1,
+            FaultModel::Attested => self.max_faults(n) + 1,
+        }
+    }
+
+    /// Minimum committee size tolerating `f` faults.
+    pub fn committee_for_faults(self, f: usize) -> usize {
+        match self {
+            FaultModel::Byzantine => 3 * f + 1,
+            FaultModel::Attested => 2 * f + 1,
+        }
+    }
+}
+
+/// The four protocol variants evaluated in §7.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BftVariant {
+    /// Hyperledger's original PBFT: Byzantine quorums, shared message queue,
+    /// request re-broadcast.
+    Hl,
+    /// Attested HyperLedger: PBFT + TEE attested log (N = 2f+1), but still
+    /// the shared queue and the request broadcast.
+    Ahl,
+    /// AHL + optimization 1 (split queues) + optimization 2 (forward
+    /// requests to the leader instead of broadcasting).
+    AhlPlus,
+    /// AHL+ + optimization 3 (leader aggregates quorum messages inside its
+    /// enclave, Byzcoin-style; O(N) communication).
+    Ahlr,
+}
+
+impl BftVariant {
+    /// The fault/quorum model of this variant.
+    pub fn fault_model(self) -> FaultModel {
+        match self {
+            BftVariant::Hl => FaultModel::Byzantine,
+            _ => FaultModel::Attested,
+        }
+    }
+
+    /// Whether consensus messages require attested-log bindings.
+    pub fn attested(self) -> bool {
+        !matches!(self, BftVariant::Hl)
+    }
+
+    /// Optimization 1: separate queues for consensus and request traffic.
+    pub fn split_queues(self) -> bool {
+        matches!(self, BftVariant::AhlPlus | BftVariant::Ahlr)
+    }
+
+    /// Optimization 2: forward requests to the leader instead of
+    /// broadcasting them to all replicas.
+    pub fn relay_to_leader(self) -> bool {
+        matches!(self, BftVariant::AhlPlus | BftVariant::Ahlr)
+    }
+
+    /// Optimization 3: leader-side enclave aggregation of quorum messages.
+    pub fn leader_aggregation(self) -> bool {
+        matches!(self, BftVariant::Ahlr)
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            BftVariant::Hl => "HL",
+            BftVariant::Ahl => "AHL",
+            BftVariant::AhlPlus => "AHL+",
+            BftVariant::Ahlr => "AHLR",
+        }
+    }
+}
+
+/// Who sends the execution reply for a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyPolicy {
+    /// No replies (open-loop throughput runs; latency is measured
+    /// replica-side from the request timestamp).
+    None,
+    /// The replica that ingested the request replies to its client
+    /// (one reply per request; needed by closed-loop clients).
+    IngestReplica,
+}
+
+/// Full PBFT engine configuration.
+#[derive(Clone, Debug)]
+pub struct PbftConfig {
+    /// Protocol variant (display/default source for the flags below).
+    pub variant: BftVariant,
+    /// Committee size.
+    pub n: usize,
+    /// Use the TEE attested log (N = 2f+1 quorums).
+    pub attested: bool,
+    /// Optimization 1: split consensus/request queues.
+    pub split_queues: bool,
+    /// Optimization 2: forward requests to the leader instead of
+    /// broadcasting.
+    pub relay_to_leader: bool,
+    /// Optimization 3: leader-side enclave aggregation (AHLR).
+    pub leader_aggregation: bool,
+    /// Transactions per block (Hyperledger batch).
+    pub batch_size: usize,
+    /// Flush a partial batch after this long.
+    pub batch_timeout: SimDuration,
+    /// Maximum blocks in flight (PBFT pipelining; lockstep = 1).
+    pub pipeline_width: u64,
+    /// Stable checkpoint every this many sequence numbers.
+    pub checkpoint_interval: u64,
+    /// Base view-change timeout (doubles per consecutive failure).
+    pub vc_timeout: SimDuration,
+    /// Reply policy.
+    pub reply_policy: ReplyPolicy,
+    /// Enclave operation costs (Table 2).
+    pub costs: CostModel,
+    /// Native (outside-enclave) signature creation cost.
+    pub native_sign: SimDuration,
+    /// Native signature verification cost.
+    pub native_verify: SimDuration,
+    /// Client-facing request ingestion cost (REST + TLS + signature check;
+    /// Hyperledger v0.6 caps out near 400 requests/s per node — Appendix C.2).
+    pub ingest_cost: SimDuration,
+    /// Execution cost per state access (chaincode + validation).
+    pub exec_cost_per_op: SimDuration,
+    /// CPU scale factor (>1 = slower node, e.g. 2-vCPU GCP instances).
+    pub cpu_scale: f64,
+    /// Number of Byzantine replicas (assigned to the highest indices).
+    pub byzantine: usize,
+    /// Compute real MACs or charge costs only.
+    pub crypto: CryptoMode,
+    /// Per-queue capacity for replica inbound queues.
+    pub queue_capacity: usize,
+}
+
+impl PbftConfig {
+    /// Defaults for `variant` with committee size `n`.
+    pub fn new(variant: BftVariant, n: usize) -> Self {
+        PbftConfig {
+            variant,
+            n,
+            attested: variant.attested(),
+            split_queues: variant.split_queues(),
+            relay_to_leader: variant.relay_to_leader(),
+            leader_aggregation: variant.leader_aggregation(),
+            batch_size: 64,
+            batch_timeout: SimDuration::from_millis(25),
+            pipeline_width: 4,
+            checkpoint_interval: 128,
+            vc_timeout: SimDuration::from_secs(2),
+            reply_policy: ReplyPolicy::None,
+            costs: CostModel::default(),
+            native_sign: SimDuration::from_micros(150),
+            native_verify: SimDuration::from_micros(200),
+            ingest_cost: SimDuration::from_micros(1200),
+            exec_cost_per_op: SimDuration::from_micros(100),
+            cpu_scale: 1.0,
+            byzantine: 0,
+            crypto: CryptoMode::CostOnly,
+            queue_capacity: 4096,
+        }
+    }
+
+    /// The effective fault model (from the `attested` flag, so ablations
+    /// can toggle optimizations independently of the variant label).
+    pub fn fault_model(&self) -> FaultModel {
+        if self.attested {
+            FaultModel::Attested
+        } else {
+            FaultModel::Byzantine
+        }
+    }
+
+    /// Fault threshold for this configuration.
+    pub fn f(&self) -> usize {
+        self.fault_model().max_faults(self.n)
+    }
+
+    /// Quorum size (votes counted including own).
+    pub fn quorum(&self) -> usize {
+        self.fault_model().quorum(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_model_thresholds() {
+        // Paper §3.3 running example: n = 100 PBFT tolerates f = 33.
+        assert_eq!(FaultModel::Byzantine.max_faults(100), 33);
+        assert_eq!(FaultModel::Byzantine.quorum(100), 67);
+        // §4.1: attested tolerates f = (n-1)/2 with quorum f+1.
+        assert_eq!(FaultModel::Attested.max_faults(79), 39);
+        assert_eq!(FaultModel::Attested.quorum(79), 40);
+    }
+
+    #[test]
+    fn committee_for_faults_inverse() {
+        for f in 1..30 {
+            let nb = FaultModel::Byzantine.committee_for_faults(f);
+            assert_eq!(FaultModel::Byzantine.max_faults(nb), f);
+            let na = FaultModel::Attested.committee_for_faults(f);
+            assert_eq!(FaultModel::Attested.max_faults(na), f);
+        }
+    }
+
+    #[test]
+    fn variant_feature_matrix() {
+        use BftVariant::*;
+        assert!(!Hl.attested() && !Hl.split_queues() && !Hl.relay_to_leader());
+        assert!(Ahl.attested() && !Ahl.split_queues() && !Ahl.relay_to_leader());
+        assert!(AhlPlus.attested() && AhlPlus.split_queues() && AhlPlus.relay_to_leader());
+        assert!(!AhlPlus.leader_aggregation());
+        assert!(Ahlr.leader_aggregation() && Ahlr.relay_to_leader());
+    }
+
+    #[test]
+    fn config_quorums() {
+        let hl = PbftConfig::new(BftVariant::Hl, 7);
+        assert_eq!(hl.f(), 2);
+        assert_eq!(hl.quorum(), 5);
+        let ahl = PbftConfig::new(BftVariant::Ahl, 7);
+        assert_eq!(ahl.f(), 3);
+        assert_eq!(ahl.quorum(), 4);
+    }
+}

@@ -1,0 +1,250 @@
+//! PBFT and its TEE-assisted variants (paper §4.1): HL, AHL, AHL+, AHLR.
+
+mod config;
+mod msg;
+mod replica;
+
+pub use config::{BftVariant, FaultModel, PbftConfig, ReplyPolicy};
+pub use msg::{AggProof, MsgCert, PbftBlock, PbftMsg, ViewChangeMsg, Vote};
+pub use replica::Replica;
+
+use std::sync::Arc;
+
+use ahl_crypto::KeyRegistry;
+use ahl_ledger::Value;
+use ahl_simkit::{MsgClass, Network, NodeId, QueueConfig, Sim, SimConfig};
+
+/// Build a simulation containing one PBFT committee.
+///
+/// Returns the simulation and the replicas' actor ids (group index order).
+/// Clients are added by the caller afterwards.
+pub fn build_group(
+    cfg: &PbftConfig,
+    network: Box<dyn Network>,
+    uplink_bps: Option<f64>,
+    genesis: &[(String, Value)],
+    seed: u64,
+) -> (Sim<PbftMsg>, Vec<NodeId>) {
+    fn classify(m: &PbftMsg) -> MsgClass {
+        m.class()
+    }
+    fn size_of(m: &PbftMsg) -> usize {
+        m.wire_size()
+    }
+    let mut sim_cfg = SimConfig::new(seed);
+    sim_cfg.network = network;
+    sim_cfg.classify = classify;
+    sim_cfg.size_of = size_of;
+    sim_cfg.uplink_bps = uplink_bps;
+    let mut sim = Sim::new(sim_cfg);
+
+    let mut registry = KeyRegistry::new();
+    let keys: Vec<_> = (0..cfg.n).map(|i| registry.generate(seed ^ (i as u64) << 8)).collect();
+    let tee_keys: Vec<_> = (0..cfg.n)
+        .map(|i| registry.generate(seed ^ ((i as u64) << 8) ^ 1))
+        .collect();
+    let registry = Arc::new(registry);
+
+    let group: Vec<NodeId> = (0..cfg.n).collect();
+    let mut keys = keys.into_iter();
+    let mut tee_keys = tee_keys.into_iter();
+    for i in 0..cfg.n {
+        // Reporter: lowest-index replica that is never Byzantine and is not
+        // the initial leader (when the committee is bigger than one).
+        let reporter = if cfg.n == 1 { i == 0 } else { i == 1 };
+        let replica = Replica::new(
+            cfg.clone(),
+            group.clone(),
+            i,
+            keys.next().expect("one key per replica"),
+            tee_keys.next().expect("one TEE key per replica"),
+            registry.clone(),
+            genesis,
+            reporter,
+        );
+        let queues = if cfg.split_queues {
+            QueueConfig::split(cfg.queue_capacity, cfg.queue_capacity)
+        } else {
+            QueueConfig::shared(cfg.queue_capacity)
+        };
+        let id = sim.add_actor(Box::new(replica), queues);
+        debug_assert_eq!(id, group[i]);
+    }
+    (sim, group)
+}
+
+/// Add one PBFT committee to an existing simulation (used by the sharded
+/// system where many committees share one simulation). The committee's
+/// replicas receive the next `cfg.n` consecutive actor ids.
+pub fn add_committee(
+    sim: &mut Sim<PbftMsg>,
+    cfg: &PbftConfig,
+    genesis: &[(String, Value)],
+    seed: u64,
+) -> Vec<NodeId> {
+    let start = sim.num_actors();
+    let group: Vec<NodeId> = (start..start + cfg.n).collect();
+    let mut registry = KeyRegistry::new();
+    let keys: Vec<_> = (0..cfg.n)
+        .map(|i| registry.generate(seed ^ ((i as u64) << 8)))
+        .collect();
+    let tee_keys: Vec<_> = (0..cfg.n)
+        .map(|i| registry.generate(seed ^ ((i as u64) << 8) ^ 1))
+        .collect();
+    let registry = Arc::new(registry);
+    let mut keys = keys.into_iter();
+    let mut tee_keys = tee_keys.into_iter();
+    for i in 0..cfg.n {
+        let reporter = if cfg.n == 1 { i == 0 } else { i == 1 };
+        let replica = Replica::new(
+            cfg.clone(),
+            group.clone(),
+            i,
+            keys.next().expect("one key per replica"),
+            tee_keys.next().expect("one TEE key per replica"),
+            registry.clone(),
+            genesis,
+            reporter,
+        );
+        let queues = if cfg.split_queues {
+            QueueConfig::split(cfg.queue_capacity, cfg.queue_capacity)
+        } else {
+            QueueConfig::shared(cfg.queue_capacity)
+        };
+        let id = sim.add_actor(Box::new(replica), queues);
+        debug_assert_eq!(id, group[i]);
+    }
+    group
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clients::OpenLoopClient;
+    use crate::common::{stat, CryptoMode};
+    use ahl_ledger::{kvstore, Op, TxId};
+    use ahl_simkit::{SimDuration, SimTime, UniformNetwork};
+
+    fn kv_factory() -> crate::common::OpFactory {
+        let mut i = 0u64;
+        Box::new(move |_rng| {
+            i += 1;
+            Op::Direct {
+                txid: TxId(i),
+                op: kvstore::kv_write(&[i % 100], 16),
+            }
+        })
+    }
+
+    fn run_variant(variant: BftVariant, n: usize, secs: u64, byz: usize) -> (u64, u64, u64) {
+        let mut cfg = PbftConfig::new(variant, n);
+        cfg.byzantine = byz;
+        cfg.crypto = CryptoMode::Real;
+        cfg.batch_size = 10;
+        cfg.vc_timeout = SimDuration::from_millis(500);
+        let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
+        let (mut sim, group) = build_group(&cfg, net, Some(1e9), &[], 42);
+        let stop = SimTime::ZERO + SimDuration::from_secs(secs);
+        let client = OpenLoopClient::new(
+            group.clone(),
+            SimDuration::from_millis(2),
+            stop,
+            kv_factory(),
+        );
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(stop + SimDuration::from_secs(2));
+        (
+            sim.stats().counter(stat::TXN_COMMITTED),
+            sim.stats().counter(stat::VIEW_CHANGES),
+            sim.stats().counter(stat::TXN_ABORTED),
+        )
+    }
+
+    #[test]
+    fn hl_commits_transactions() {
+        let (committed, _vc, aborted) = run_variant(BftVariant::Hl, 4, 2, 0);
+        assert!(committed > 500, "committed {committed}");
+        assert_eq!(aborted, 0);
+    }
+
+    #[test]
+    fn ahl_commits_transactions() {
+        let (committed, vc, _) = run_variant(BftVariant::Ahl, 3, 2, 0);
+        assert!(committed > 500, "committed {committed}");
+        assert_eq!(vc, 0);
+    }
+
+    #[test]
+    fn ahl_plus_commits_transactions() {
+        let (committed, vc, _) = run_variant(BftVariant::AhlPlus, 5, 2, 0);
+        assert!(committed > 500, "committed {committed}");
+        assert_eq!(vc, 0);
+    }
+
+    #[test]
+    fn ahlr_commits_transactions() {
+        let (committed, _vc, _) = run_variant(BftVariant::Ahlr, 5, 2, 0);
+        assert!(committed > 300, "committed {committed}");
+    }
+
+    #[test]
+    fn single_node_degenerate_group() {
+        let (committed, _, _) = run_variant(BftVariant::Hl, 1, 1, 0);
+        assert!(committed > 200, "committed {committed}");
+    }
+
+    #[test]
+    fn ahl_tolerates_f_withholding_byzantine() {
+        // n = 5 attested tolerates f = 2: with 2 Byzantine (withholding)
+        // replicas the committee still commits.
+        let (committed, _, _) = run_variant(BftVariant::AhlPlus, 5, 3, 2);
+        assert!(committed > 200, "committed {committed}");
+    }
+
+    #[test]
+    fn hl_equivocation_degrades_but_does_not_break_safety() {
+        // n = 7 Byzantine model tolerates f = 2 equivocators.
+        let (committed, _vc, _) = run_variant(BftVariant::Hl, 7, 3, 2);
+        assert!(committed > 50, "committed {committed}");
+    }
+
+    #[test]
+    fn replicas_agree_on_state() {
+        let mut cfg = PbftConfig::new(BftVariant::AhlPlus, 5);
+        cfg.crypto = CryptoMode::Real;
+        cfg.batch_size = 5;
+        let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
+        let (mut sim, group) = build_group(&cfg, net, Some(1e9), &[], 7);
+        let stop = SimTime::ZERO + SimDuration::from_secs(1);
+        let client = OpenLoopClient::new(
+            group.clone(),
+            SimDuration::from_millis(5),
+            stop,
+            kv_factory(),
+        );
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(stop + SimDuration::from_secs(3));
+        // All honest replicas executed the same prefix: compare states of
+        // replicas with equal exec_seq (they all should have caught up at
+        // quiescence).
+        let digests: Vec<_> = group
+            .iter()
+            .map(|&id| {
+                let r = sim
+                    .actor(id)
+                    .as_any()
+                    .expect("replica supports inspection")
+                    .downcast_ref::<Replica>()
+                    .expect("replica actor");
+                (r.exec_seq(), r.state().state_digest())
+            })
+            .collect();
+        let max_seq = digests.iter().map(|(s, _)| *s).max().expect("non-empty");
+        assert!(max_seq > 0);
+        for (s, d) in &digests {
+            if *s == max_seq {
+                assert_eq!(*d, digests.iter().find(|(s2, _)| *s2 == max_seq).expect("exists").1);
+            }
+        }
+    }
+}

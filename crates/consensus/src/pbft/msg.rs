@@ -1,0 +1,302 @@
+//! PBFT wire messages.
+
+use std::sync::Arc;
+
+use ahl_crypto::{sha256_parts, Hash, Signature};
+use ahl_simkit::MsgClass;
+use ahl_tee::Attestation;
+
+use crate::clients::ClientProtocol;
+use crate::common::Request;
+
+/// A proposed block: a batch of requests bound to (view, seq).
+#[derive(Clone, Debug)]
+pub struct PbftBlock {
+    /// View in which the block was proposed.
+    pub view: u64,
+    /// Sequence number.
+    pub seq: u64,
+    /// Proposing replica (group index).
+    pub proposer: usize,
+    /// The batched requests.
+    pub reqs: Arc<Vec<Request>>,
+    /// Content digest (binds view/seq/proposer/request ids and ops).
+    pub digest: Hash,
+}
+
+impl PbftBlock {
+    /// Build a block and compute its digest.
+    pub fn new(view: u64, seq: u64, proposer: usize, reqs: Vec<Request>) -> Self {
+        let digest = Self::compute_digest(view, seq, proposer, &reqs);
+        PbftBlock {
+            view,
+            seq,
+            proposer,
+            reqs: Arc::new(reqs),
+            digest,
+        }
+    }
+
+    /// The canonical digest over the block contents.
+    pub fn compute_digest(view: u64, seq: u64, proposer: usize, reqs: &[Request]) -> Hash {
+        let mut parts: Vec<Vec<u8>> = vec![
+            b"pbft-block".to_vec(),
+            view.to_be_bytes().to_vec(),
+            seq.to_be_bytes().to_vec(),
+            (proposer as u64).to_be_bytes().to_vec(),
+        ];
+        for r in reqs {
+            parts.push(r.id.to_be_bytes().to_vec());
+            parts.push(r.op.digest().0.to_vec());
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+        sha256_parts(&refs)
+    }
+
+    /// Approximate wire size.
+    pub fn wire_size(&self) -> usize {
+        96 + self
+            .reqs
+            .iter()
+            .map(|r| 64 + r.op.wire_size())
+            .sum::<usize>()
+    }
+}
+
+/// Authentication attached to a consensus message.
+#[derive(Clone, Debug)]
+pub enum MsgCert {
+    /// Cost-only mode: no bytes carried; costs still charged.
+    Simulated,
+    /// Native signature (HL).
+    Sig(Signature),
+    /// Enclave attestation binding the digest to the (view, seq) slot
+    /// (AHL family — this is what removes equivocation).
+    Attested(Attestation),
+}
+
+/// A prepare/commit vote.
+#[derive(Clone, Debug)]
+pub struct Vote {
+    /// View.
+    pub view: u64,
+    /// Sequence number.
+    pub seq: u64,
+    /// Digest of the block being voted on.
+    pub digest: Hash,
+    /// Voting replica (group index).
+    pub replica: usize,
+    /// Authentication.
+    pub cert: MsgCert,
+}
+
+/// An aggregation proof produced by the AHLR leader enclave: attests that a
+/// quorum of `count` valid votes for (view, seq, digest, phase) was seen.
+#[derive(Clone, Debug)]
+pub struct AggProof {
+    /// View.
+    pub view: u64,
+    /// Sequence number.
+    pub seq: u64,
+    /// Digest of the block.
+    pub digest: Hash,
+    /// Number of aggregated votes.
+    pub count: usize,
+    /// Enclave signature over the above (None in cost-only mode).
+    pub sig: Option<Signature>,
+}
+
+/// View-change message (simplified PBFT: carries the last stable checkpoint
+/// and the prepared set's (seq, digest) pairs).
+#[derive(Clone, Debug)]
+pub struct ViewChangeMsg {
+    /// Proposed new view.
+    pub new_view: u64,
+    /// Sender's last stable checkpoint sequence.
+    pub last_stable: u64,
+    /// Sequences prepared at the sender (re-proposal candidates).
+    pub prepared: Vec<(u64, Hash)>,
+    /// Sender (group index).
+    pub replica: usize,
+}
+
+/// All PBFT wire messages.
+#[derive(Clone, Debug)]
+pub enum PbftMsg {
+    /// Client → replica: fresh request (REST ingest).
+    Request(Request),
+    /// Replica → leader: forwarded request (optimization 2).
+    Relay(Request),
+    /// Replica → all: request re-broadcast (HL behaviour that
+    /// optimization 2 removes).
+    Gossip(Request),
+    /// Leader → all: block proposal.
+    PrePrepare {
+        /// The proposed block (shared pointer: broadcast clones are cheap).
+        block: Arc<PbftBlock>,
+        /// Leader authentication.
+        cert: MsgCert,
+    },
+    /// Replica → all: prepare vote.
+    Prepare(Vote),
+    /// Replica → all: commit vote.
+    Commit(Vote),
+    /// Replica → leader: prepare vote for enclave aggregation (AHLR).
+    RelayPrepare(Vote),
+    /// Replica → leader: commit vote for enclave aggregation (AHLR).
+    RelayCommit(Vote),
+    /// Leader → all: aggregated prepare quorum proof (AHLR).
+    AggPrepare(AggProof),
+    /// Leader → all: aggregated commit quorum proof (AHLR).
+    AggCommit(AggProof),
+    /// Replica → all: checkpoint vote.
+    Checkpoint {
+        /// Checkpointed sequence.
+        seq: u64,
+        /// State digest at that sequence.
+        digest: Hash,
+        /// Sender (group index).
+        replica: usize,
+    },
+    /// Replica → all: view change.
+    ViewChange(ViewChangeMsg),
+    /// New leader → all: new view installation with re-proposals.
+    NewView {
+        /// The view being installed.
+        view: u64,
+        /// Blocks re-proposed into the new view.
+        reproposals: Vec<Arc<PbftBlock>>,
+    },
+    /// Replica → client: execution result.
+    Reply {
+        /// The request this reply answers.
+        req_id: u64,
+        /// Whether the transaction committed (vs aborted by execution).
+        committed: bool,
+    },
+    /// Leader → all: liveness heartbeat (PBFT null request). Lets replicas
+    /// distinguish "I am cut off" (no traffic at all) from "consensus is
+    /// stuck" (heartbeats still arriving), which gates view changes.
+    Heartbeat {
+        /// The leader's view.
+        view: u64,
+    },
+    /// Lagging replica → peer: request a state snapshot (PBFT state
+    /// transfer; also how transitioning nodes fetch their new shard's
+    /// state during reconfiguration, §5.3).
+    StateRequest {
+        /// Requester's group index.
+        requester: usize,
+        /// Highest sequence the requester has executed.
+        have_seq: u64,
+    },
+    /// Peer → lagging replica: state snapshot at `seq`.
+    StateSnapshot {
+        /// Executed sequence the snapshot reflects.
+        seq: u64,
+        /// Sender's current view.
+        view: u64,
+        /// The ledger state (shared pointer; cloning the message is cheap,
+        /// the wire size models the real transfer).
+        state: std::sync::Arc<ahl_ledger::StateStore>,
+        /// Request ids executed up to `seq` (replay protection).
+        executed: std::sync::Arc<std::collections::HashSet<u64>>,
+    },
+}
+
+impl PbftMsg {
+    /// Queue class: requests and replies must not crowd out consensus
+    /// traffic when queues are split (optimization 1).
+    pub fn class(&self) -> MsgClass {
+        match self {
+            PbftMsg::Request(_) | PbftMsg::Relay(_) | PbftMsg::Gossip(_) | PbftMsg::Reply { .. } => {
+                MsgClass::REQUEST
+            }
+            _ => MsgClass::CONSENSUS,
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            PbftMsg::Request(r) | PbftMsg::Relay(r) | PbftMsg::Gossip(r) => 250 + r.op.wire_size(),
+            PbftMsg::PrePrepare { block, .. } => 150 + block.wire_size(),
+            PbftMsg::Prepare(_) | PbftMsg::Commit(_) => 150,
+            PbftMsg::RelayPrepare(_) | PbftMsg::RelayCommit(_) => 150,
+            PbftMsg::AggPrepare(_) | PbftMsg::AggCommit(_) => 220,
+            PbftMsg::Checkpoint { .. } => 120,
+            PbftMsg::ViewChange(vc) => 600 + 48 * vc.prepared.len(),
+            PbftMsg::NewView { reproposals, .. } => {
+                200 + reproposals.iter().map(|b| b.wire_size()).sum::<usize>()
+            }
+            PbftMsg::Reply { .. } => 100,
+            PbftMsg::Heartbeat { .. } => 60,
+            PbftMsg::StateRequest { .. } => 80,
+            // State transfer carries the whole ledger slice.
+            PbftMsg::StateSnapshot { state, .. } => 200 + state.len() * 120,
+        }
+    }
+}
+
+impl ClientProtocol for PbftMsg {
+    fn make_request(req: Request) -> Self {
+        PbftMsg::Request(req)
+    }
+    fn reply_id(&self) -> Option<u64> {
+        match self {
+            PbftMsg::Reply { req_id, .. } => Some(*req_id),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahl_ledger::Op;
+    use ahl_simkit::SimTime;
+
+    fn req(i: u64) -> Request {
+        Request {
+            id: i,
+            client: 0,
+            op: Op::Noop,
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn block_digest_binds_contents() {
+        let a = PbftBlock::new(0, 1, 0, vec![req(1), req(2)]);
+        let b = PbftBlock::new(0, 1, 0, vec![req(1), req(3)]);
+        let c = PbftBlock::new(0, 2, 0, vec![req(1), req(2)]);
+        let d = PbftBlock::new(1, 1, 0, vec![req(1), req(2)]);
+        assert_ne!(a.digest, b.digest);
+        assert_ne!(a.digest, c.digest);
+        assert_ne!(a.digest, d.digest);
+    }
+
+    #[test]
+    fn classes_split_requests_from_consensus() {
+        assert_eq!(PbftMsg::Request(req(1)).class(), MsgClass::REQUEST);
+        assert_eq!(PbftMsg::Gossip(req(1)).class(), MsgClass::REQUEST);
+        assert_eq!(
+            PbftMsg::Reply { req_id: 1, committed: true }.class(),
+            MsgClass::REQUEST
+        );
+        let block = Arc::new(PbftBlock::new(0, 1, 0, vec![req(1)]));
+        assert_eq!(
+            PbftMsg::PrePrepare { block, cert: MsgCert::Simulated }.class(),
+            MsgClass::CONSENSUS
+        );
+    }
+
+    #[test]
+    fn wire_sizes_scale() {
+        let small = Arc::new(PbftBlock::new(0, 1, 0, vec![req(1)]));
+        let large = Arc::new(PbftBlock::new(0, 1, 0, (0..100).map(req).collect()));
+        let s = PbftMsg::PrePrepare { block: small, cert: MsgCert::Simulated }.wire_size();
+        let l = PbftMsg::PrePrepare { block: large, cert: MsgCert::Simulated }.wire_size();
+        assert!(l > s * 10);
+    }
+}

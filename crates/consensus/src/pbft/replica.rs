@@ -1,0 +1,1291 @@
+//! The PBFT replica state machine, covering all four paper variants
+//! (HL, AHL, AHL+, AHLR) via [`PbftConfig`].
+//!
+//! Normal case: the leader batches requests into blocks and drives the
+//! three-phase protocol (pre-prepare / prepare / commit) with pipelining —
+//! several blocks in flight, the property that lets PBFT outperform the
+//! lockstep protocols in Figure 2. Faulty leaders are replaced by a view
+//! change with exponential backoff.
+//!
+//! Variant behaviour:
+//! * **HL** — Byzantine quorums (2f+1 of 3f+1), native signatures, request
+//!   re-broadcast to all replicas, one shared inbound queue.
+//! * **AHL** — every consensus send first binds its digest to the enclave's
+//!   attested log (equivocation impossible), so quorums shrink to f+1 of
+//!   2f+1.
+//! * **AHL+** — adds optimization 1 (split queues, configured by the
+//!   harness) and optimization 2 (requests forwarded to the leader only).
+//! * **AHLR** — adds optimization 3: votes go only to the leader, whose
+//!   enclave verifies a quorum and emits one aggregated proof (O(N)
+//!   messages, at the cost of leader CPU and fragility — reproducing the
+//!   paper's finding that AHL+ beats AHLR).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use ahl_crypto::{Hash, KeyRegistry, SigningKey};
+use ahl_ledger::{Block as LedgerBlock, Chain, StateStore, Value};
+use ahl_simkit::{Actor, Ctx, NodeId, SimDuration};
+use ahl_tee::{verify_attestation, AttestedLog, LogId, Slot, TeeOp};
+
+use crate::common::{stat, CryptoMode, Request};
+use crate::pbft::config::{PbftConfig, ReplyPolicy};
+use crate::pbft::msg::{AggProof, MsgCert, PbftBlock, PbftMsg, ViewChangeMsg, Vote};
+
+const TIMER_BATCH: u64 = 1;
+const TIMER_VC: u64 = 2;
+const TIMER_HEARTBEAT: u64 = 3;
+
+const PREPARE_LOG: LogId = LogId(1);
+const COMMIT_LOG: LogId = LogId(2);
+const PREPREPARE_LOG: LogId = LogId(3);
+
+/// Per-sequence protocol instance.
+#[derive(Default)]
+struct Instance {
+    view: u64,
+    block: Option<Arc<PbftBlock>>,
+    prepares: HashMap<Hash, HashSet<usize>>,
+    commits: HashMap<Hash, HashSet<usize>>,
+    relay_prepares: HashMap<Hash, HashSet<usize>>,
+    relay_commits: HashMap<Hash, HashSet<usize>>,
+    sent_prepare: bool,
+    sent_commit: bool,
+    agg_prepare_sent: bool,
+    agg_commit_sent: bool,
+    committed: bool,
+    executed: bool,
+}
+
+/// A PBFT replica actor.
+pub struct Replica {
+    cfg: PbftConfig,
+    /// Actor ids of all committee members; index = group index.
+    group: Vec<NodeId>,
+    /// My group index.
+    me: usize,
+    /// Report global throughput/latency stats from this replica only.
+    reporter: bool,
+    /// Maintain a full ledger chain (disable for very large sweeps).
+    maintain_chain: bool,
+
+    key: SigningKey,
+    registry: Arc<KeyRegistry>,
+    tee: AttestedLog,
+
+    state: StateStore,
+    chain: Chain,
+
+    view: u64,
+    next_seq: u64,
+    exec_seq: u64,
+    low_mark: u64,
+    insts: HashMap<u64, Instance>,
+
+    pool: VecDeque<Request>,
+    pool_ids: HashSet<u64>,
+    /// Entries still in `pool` whose requests have already executed
+    /// (removed lazily to keep execution O(block) rather than O(pool)).
+    pool_stale: usize,
+    ingested: HashMap<u64, NodeId>,
+    executed_reqs: HashSet<u64>,
+
+    ckpt_votes: HashMap<u64, HashMap<usize, Hash>>,
+
+    /// View-change votes with arrival times: only fresh votes count toward
+    /// quorums, so votes cast by nodes that were briefly cut off long ago
+    /// cannot combine into a surprise view change much later.
+    vc_votes: HashMap<u64, HashMap<usize, (ahl_simkit::SimTime, ViewChangeMsg)>>,
+    vc_backoff: u32,
+    last_progress_seq: u64,
+    highest_vc_sent: u64,
+    /// Last time any peer message arrived (isolation detection: a node
+    /// receiving nothing at all is cut off — suspecting the leader is
+    /// pointless and a view change could never gather a quorum).
+    last_msg_at: ahl_simkit::SimTime,
+    /// Consecutive no-progress checks (a view change needs two strikes, so
+    /// a single transient stall — rejoining after isolation, state sync in
+    /// flight — never triggers one).
+    stall_strikes: u8,
+
+    byzantine: bool,
+}
+
+impl Replica {
+    /// Create a replica.
+    ///
+    /// `group` are the actor ids of the committee (index = group index),
+    /// `me` is this replica's group index, `key` its (enclave) signing key
+    /// and `registry` the shared verification oracle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: PbftConfig,
+        group: Vec<NodeId>,
+        me: usize,
+        key: SigningKey,
+        tee_key: SigningKey,
+        registry: Arc<KeyRegistry>,
+        genesis: &[(String, Value)],
+        reporter: bool,
+    ) -> Self {
+        let byzantine = me >= cfg.n - cfg.byzantine;
+        let mut state = StateStore::new();
+        for (k, v) in genesis {
+            state.put(k.clone(), v.clone());
+        }
+        Replica {
+            maintain_chain: cfg.n <= 24,
+            byzantine,
+            cfg,
+            group,
+            me,
+            reporter,
+            key,
+            registry,
+            tee: AttestedLog::new(tee_key),
+            state,
+            chain: Chain::new(),
+            view: 0,
+            next_seq: 1,
+            exec_seq: 0,
+            low_mark: 0,
+            insts: HashMap::new(),
+            pool: VecDeque::new(),
+            pool_ids: HashSet::new(),
+            pool_stale: 0,
+            ingested: HashMap::new(),
+            executed_reqs: HashSet::new(),
+            ckpt_votes: HashMap::new(),
+            vc_votes: HashMap::new(),
+            vc_backoff: 0,
+            last_progress_seq: 0,
+            highest_vc_sent: 0,
+            last_msg_at: ahl_simkit::SimTime::ZERO,
+            stall_strikes: 0,
+        }
+    }
+
+    /// Override chain maintenance (tests force it on; big sweeps off).
+    pub fn set_maintain_chain(&mut self, on: bool) {
+        self.maintain_chain = on;
+    }
+
+    /// The replica's ledger state (post-run inspection).
+    pub fn state(&self) -> &StateStore {
+        &self.state
+    }
+
+    /// The replica's chain (post-run inspection).
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// Current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Highest executed sequence number.
+    pub fn exec_seq(&self) -> u64 {
+        self.exec_seq
+    }
+
+    fn leader_of(&self, view: u64) -> usize {
+        (view % self.cfg.n as u64) as usize
+    }
+
+    fn is_leader(&self) -> bool {
+        self.leader_of(self.view) == self.me
+    }
+
+    fn quorum(&self) -> usize {
+        self.cfg.quorum()
+    }
+
+    fn charge(&self, ctx: &mut Ctx<'_, PbftMsg>, d: SimDuration, exec: bool) {
+        let scaled = if self.cfg.cpu_scale == 1.0 {
+            d
+        } else {
+            d.mul_f64(self.cfg.cpu_scale)
+        };
+        ctx.consume_cpu(scaled);
+        ctx.stats().inc(
+            if exec { stat::EXEC_CPU_NS } else { stat::CONSENSUS_CPU_NS },
+            scaled.as_nanos(),
+        );
+    }
+
+    fn others(&self) -> Vec<NodeId> {
+        let mine = self.group[self.me];
+        self.group.iter().copied().filter(|&g| g != mine).collect()
+    }
+
+    // ---------- authentication helpers ----------
+
+    /// Produce a certificate for a consensus message, charging the cost.
+    fn certify(
+        &mut self,
+        ctx: &mut Ctx<'_, PbftMsg>,
+        log: LogId,
+        view: u64,
+        seq: u64,
+        digest: Hash,
+    ) -> Option<MsgCert> {
+        if self.cfg.attested {
+            self.charge(ctx, self.cfg.costs.cost(TeeOp::AhlAppend), false);
+            if self.cfg.crypto == CryptoMode::Real {
+                match self.tee.append(log, Slot { view, seq }, digest) {
+                    Ok(att) => Some(MsgCert::Attested(att)),
+                    Err(_) => None, // enclave refused (equivocation attempt)
+                }
+            } else {
+                Some(MsgCert::Simulated)
+            }
+        } else {
+            self.charge(ctx, self.cfg.native_sign, false);
+            if self.cfg.crypto == CryptoMode::Real {
+                Some(MsgCert::Sig(self.key.sign(&digest)))
+            } else {
+                Some(MsgCert::Simulated)
+            }
+        }
+    }
+
+    /// Verify a vote/proposal certificate, charging the cost. Returns false
+    /// if the message must be discarded.
+    fn verify_cert(
+        &mut self,
+        ctx: &mut Ctx<'_, PbftMsg>,
+        cert: &MsgCert,
+        view: u64,
+        seq: u64,
+        digest: &Hash,
+    ) -> bool {
+        self.charge(ctx, self.cfg.native_verify, false);
+        match cert {
+            MsgCert::Simulated => true,
+            MsgCert::Sig(sig) => self.registry.verify(digest, sig),
+            MsgCert::Attested(att) => {
+                att.digest == *digest
+                    && att.slot == Slot { view, seq }
+                    && verify_attestation(&self.registry, att)
+            }
+        }
+    }
+
+    // ---------- request handling ----------
+
+    fn pool_request(&mut self, req: Request) {
+        if self.executed_reqs.contains(&req.id) || self.pool_ids.contains(&req.id) {
+            return;
+        }
+        // Memory-pressure cap: Hyperledger drops requests beyond its buffer.
+        if self.pool.len() >= 200_000 {
+            return;
+        }
+        self.pool_ids.insert(req.id);
+        self.pool.push_back(req);
+    }
+
+    fn on_request(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
+        // Client-facing ingest: REST + TLS + signature verification.
+        self.charge(ctx, self.cfg.ingest_cost, false);
+        if self.cfg.reply_policy == ReplyPolicy::IngestReplica {
+            self.ingested.insert(req.id, req.client);
+        }
+        if self.cfg.relay_to_leader {
+            // Optimization 2: forward to the leader only.
+            let leader = self.group[self.leader_of(self.view)];
+            if leader != self.group[self.me] {
+                ctx.send(leader, PbftMsg::Relay(req.clone()));
+            }
+            self.pool_request(req);
+        } else {
+            // HL behaviour: broadcast the request to every replica.
+            ctx.multicast(self.others(), PbftMsg::Gossip(req.clone()));
+            self.pool_request(req);
+        }
+        self.try_propose(ctx);
+    }
+
+    fn on_relay(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
+        // Leader-side pooling of a relayed request: cheap enqueue.
+        self.charge(ctx, SimDuration::from_micros(10), false);
+        self.pool_request(req);
+        self.try_propose(ctx);
+    }
+
+    fn on_gossip(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
+        // Re-broadcast copy: deduplication + cached-certificate check (the
+        // ingest replica already verified the client signature; Hyperledger
+        // validates again lazily at execution, charged in exec cost).
+        self.charge(ctx, SimDuration::from_micros(20), false);
+        self.pool_request(req);
+        self.try_propose(ctx);
+    }
+
+    // ---------- proposing ----------
+
+    fn try_propose(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        if !self.is_leader() {
+            return;
+        }
+        while self.next_seq <= self.exec_seq + self.cfg.pipeline_width
+            && self.pool_live() >= self.cfg.batch_size
+        {
+            self.propose_batch(ctx);
+        }
+    }
+
+    fn flush_partial_batch(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        if self.is_leader()
+            && self.next_seq <= self.exec_seq + self.cfg.pipeline_width
+            && self.pool_live() > 0
+        {
+            self.propose_batch(ctx);
+        }
+    }
+
+    fn next_batch(&mut self) -> Vec<Request> {
+        let mut batch = Vec::with_capacity(self.cfg.batch_size.min(self.pool.len()));
+        while batch.len() < self.cfg.batch_size {
+            let Some(req) = self.pool.pop_front() else { break };
+            if !self.pool_ids.remove(&req.id) {
+                // Stale copy of an already-executed request.
+                self.pool_stale = self.pool_stale.saturating_sub(1);
+                continue;
+            }
+            if self.executed_reqs.contains(&req.id) {
+                continue;
+            }
+            batch.push(req);
+        }
+        batch
+    }
+
+    /// Number of live (not yet executed) pooled requests.
+    fn pool_live(&self) -> usize {
+        self.pool.len().saturating_sub(self.pool_stale)
+    }
+
+    /// Lazily drop pool entries for executed requests.
+    fn note_executed_in_pool(&mut self, req_id: u64) {
+        if self.pool_ids.remove(&req_id) {
+            self.pool_stale += 1;
+            if self.pool_stale >= 512 && self.pool_stale * 2 >= self.pool.len() {
+                let ids = std::mem::take(&mut self.pool_ids);
+                self.pool.retain(|r| ids.contains(&r.id));
+                self.pool_ids = ids;
+                self.pool_stale = 0;
+            }
+        }
+    }
+
+    fn propose_batch(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        let batch = self.next_batch();
+        if batch.is_empty() {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let view = self.view;
+        // Digest cost: hashing the batch.
+        let hash_cost = self
+            .cfg
+            .costs
+            .cost(TeeOp::Sha256)
+            .saturating_mul(1 + batch.len() as u64 / 8);
+        self.charge(ctx, hash_cost, false);
+
+        if self.byzantine && !self.cfg.attested {
+            // Equivocating Byzantine leader: different blocks to each half.
+            let block_a = Arc::new(PbftBlock::new(view, seq, self.me, batch.clone()));
+            let mut rev = batch;
+            rev.reverse();
+            let block_b = Arc::new(PbftBlock::new(view, seq + 1_000_000, self.me, rev));
+            self.charge(ctx, self.cfg.native_sign, false);
+            for (i, peer) in self.others().into_iter().enumerate() {
+                let block = if i % 2 == 0 { block_a.clone() } else { block_b.clone() };
+                ctx.send(peer, PbftMsg::PrePrepare { block, cert: MsgCert::Simulated });
+            }
+            return;
+        }
+
+        let block = Arc::new(PbftBlock::new(view, seq, self.me, batch));
+        let Some(cert) = self.certify(ctx, PREPREPARE_LOG, view, seq, block.digest) else {
+            return;
+        };
+        let recipients = if self.byzantine {
+            // Attested Byzantine leader cannot equivocate; the worst it can
+            // do is withhold the proposal from half the replicas.
+            self.others().into_iter().enumerate().filter(|(i, _)| i % 2 == 0).map(|(_, p)| p).collect()
+        } else {
+            self.others()
+        };
+        ctx.multicast(recipients, PbftMsg::PrePrepare { block: block.clone(), cert });
+        // Local application of our own proposal.
+        self.accept_block(block, ctx);
+    }
+
+    // ---------- three-phase protocol ----------
+
+    fn on_preprepare(
+        &mut self,
+        block: Arc<PbftBlock>,
+        cert: MsgCert,
+        from_idx: usize,
+        ctx: &mut Ctx<'_, PbftMsg>,
+    ) {
+        if block.view != self.view
+            || block.seq <= self.low_mark
+            || from_idx != self.leader_of(block.view)
+            || block.proposer != from_idx
+        {
+            return;
+        }
+        if !self.verify_cert(ctx, &cert, block.view, block.seq, &block.digest) {
+            ctx.stats().inc("consensus.invalid_msg", 1);
+            return;
+        }
+        // Hash the batch to validate the digest.
+        let hash_cost = self
+            .cfg
+            .costs
+            .cost(TeeOp::Sha256)
+            .saturating_mul(1 + block.reqs.len() as u64 / 8);
+        self.charge(ctx, hash_cost, false);
+        if let Some(inst) = self.insts.get(&block.seq) {
+            if let Some(existing) = &inst.block {
+                if existing.digest != block.digest && inst.view == block.view {
+                    // Conflicting proposal for a bound slot: equivocation.
+                    ctx.stats().inc("consensus.equivocation_detected", 1);
+                    return;
+                }
+            }
+        }
+        self.accept_block(block, ctx);
+    }
+
+    fn accept_block(&mut self, block: Arc<PbftBlock>, ctx: &mut Ctx<'_, PbftMsg>) {
+        let seq = block.seq;
+        let view = block.view;
+        let digest = block.digest;
+        let leader = self.leader_of(view);
+        let me = self.me;
+        {
+            let inst = self.insts.entry(seq).or_default();
+            if inst.executed {
+                return;
+            }
+            inst.view = view;
+            inst.block = Some(block);
+            // The pre-prepare counts as the leader's prepare vote.
+            inst.prepares.entry(digest).or_default().insert(leader);
+        }
+        if me != leader && !self.insts[&seq].sent_prepare {
+            self.send_prepare(view, seq, digest, ctx);
+        } else {
+            // Leader: its "prepare" is implicit; in AHLR it seeds the relay
+            // aggregation set.
+            if self.cfg.leader_aggregation {
+                self.insts
+                    .entry(seq)
+                    .or_default()
+                    .relay_prepares
+                    .entry(digest)
+                    .or_default()
+                    .insert(me);
+            }
+            self.check_prepared(seq, digest, ctx);
+        }
+    }
+
+    fn send_prepare(&mut self, view: u64, seq: u64, digest: Hash, ctx: &mut Ctx<'_, PbftMsg>) {
+        let Some(cert) = self.certify(ctx, PREPARE_LOG, view, seq, digest) else {
+            return;
+        };
+        if let Some(inst) = self.insts.get_mut(&seq) {
+            inst.sent_prepare = true;
+            inst.prepares.entry(digest).or_default().insert(self.me);
+        }
+        let vote = Vote { view, seq, digest, replica: self.me, cert };
+        if self.cfg.leader_aggregation {
+            let leader = self.group[self.leader_of(view)];
+            ctx.send(leader, PbftMsg::RelayPrepare(vote));
+        } else if self.byzantine {
+            self.byzantine_vote(vote, true, ctx);
+        } else {
+            ctx.multicast(self.others(), PbftMsg::Prepare(vote));
+        }
+        self.check_prepared(seq, digest, ctx);
+    }
+
+    /// Byzantine vote emission (the paper's attack: "Byzantine nodes send
+    /// conflicting messages (with different sequence numbers) to different
+    /// nodes"): equivocate (HL) or withhold (attested), plus a flood of
+    /// junk votes at shifted sequence numbers that loads honest queues.
+    fn byzantine_vote(&mut self, vote: Vote, prepare: bool, ctx: &mut Ctx<'_, PbftMsg>) {
+        let others = self.others();
+        for (i, peer) in others.iter().copied().enumerate() {
+            if self.cfg.attested {
+                // Cannot equivocate: withhold from odd half.
+                if i % 2 == 0 {
+                    let msg = if prepare {
+                        PbftMsg::Prepare(vote.clone())
+                    } else {
+                        PbftMsg::Commit(vote.clone())
+                    };
+                    ctx.send(peer, msg);
+                }
+            } else {
+                // Conflicting digests to different peers.
+                let mut v = vote.clone();
+                if i % 2 == 1 {
+                    v.digest.0[0] ^= 0xff;
+                }
+                let msg = if prepare { PbftMsg::Prepare(v) } else { PbftMsg::Commit(v) };
+                ctx.send(peer, msg);
+            }
+        }
+        // Sequence-number flooding inside the watermark window: honest
+        // nodes must fully verify each conflicting message before they can
+        // discard it. (The attested log does not help here: these slots are
+        // not yet bound by the attacker's enclave, so it happily signs.)
+        for j in 1..=3u64 {
+            let mut junk = vote.clone();
+            junk.seq = vote.seq.wrapping_add(j);
+            junk.digest.0[1] ^= j as u8;
+            let msg = if prepare {
+                PbftMsg::Prepare(junk)
+            } else {
+                PbftMsg::Commit(junk)
+            };
+            ctx.multicast(others.clone(), msg);
+        }
+        // Plus a far-out-of-window burst (crowds queues; cheap to reject).
+        let mut far = vote.clone();
+        far.seq = vote.seq.wrapping_add(1_000_000);
+        let msg = if prepare { PbftMsg::Prepare(far) } else { PbftMsg::Commit(far) };
+        ctx.multicast(others.clone(), msg);
+    }
+
+    /// PBFT watermark window `(h, h + L]` anchored at the *stable
+    /// checkpoint* `h` (not the local execution point — a lagging replica
+    /// must still accept votes for sequences it has yet to execute).
+    /// Messages beyond the window are discarded before signature
+    /// verification — the defense that keeps sequence-number flooding from
+    /// consuming crypto cycles.
+    fn in_watermarks(&self, seq: u64) -> bool {
+        let window = (4 * self.cfg.checkpoint_interval).max(self.cfg.pipeline_width * 16 + 64);
+        seq > self.low_mark && seq <= self.low_mark + window
+    }
+
+    fn on_prepare(&mut self, vote: Vote, ctx: &mut Ctx<'_, PbftMsg>) {
+        if vote.view != self.view || vote.seq <= self.low_mark {
+            return;
+        }
+        if !self.in_watermarks(vote.seq) {
+            self.charge(ctx, SimDuration::from_micros(20), false);
+            ctx.stats().inc("consensus.out_of_window", 1);
+            return;
+        }
+        if !self.verify_cert(ctx, &vote.cert, vote.view, vote.seq, &vote.digest) {
+            ctx.stats().inc("consensus.invalid_msg", 1);
+            return;
+        }
+        let inst = self.insts.entry(vote.seq).or_default();
+        inst.prepares.entry(vote.digest).or_default().insert(vote.replica);
+        self.check_prepared(vote.seq, vote.digest, ctx);
+    }
+
+    fn check_prepared(&mut self, seq: u64, digest: Hash, ctx: &mut Ctx<'_, PbftMsg>) {
+        if self.cfg.leader_aggregation {
+            return; // prepared is signalled by AggPrepare in AHLR
+        }
+        let quorum = self.quorum();
+        let ready = {
+            let Some(inst) = self.insts.get(&seq) else { return };
+            let Some(block) = &inst.block else { return };
+            block.digest == digest
+                && !inst.sent_commit
+                && inst.prepares.get(&digest).map_or(0, HashSet::len) >= quorum
+        };
+        if ready {
+            self.send_commit(seq, digest, ctx);
+        }
+    }
+
+    fn send_commit(&mut self, seq: u64, digest: Hash, ctx: &mut Ctx<'_, PbftMsg>) {
+        let view = self.view;
+        let Some(cert) = self.certify(ctx, COMMIT_LOG, view, seq, digest) else {
+            return;
+        };
+        if let Some(inst) = self.insts.get_mut(&seq) {
+            inst.sent_commit = true;
+            inst.commits.entry(digest).or_default().insert(self.me);
+        }
+        let vote = Vote { view, seq, digest, replica: self.me, cert };
+        if self.cfg.leader_aggregation {
+            let leader = self.group[self.leader_of(view)];
+            if self.leader_of(view) == self.me {
+                self.on_relay_commit(vote, ctx);
+            } else {
+                ctx.send(leader, PbftMsg::RelayCommit(vote));
+            }
+        } else if self.byzantine {
+            self.byzantine_vote(vote, false, ctx);
+        } else {
+            ctx.multicast(self.others(), PbftMsg::Commit(vote));
+        }
+        self.check_committed(seq, digest, ctx);
+    }
+
+    fn on_commit(&mut self, vote: Vote, ctx: &mut Ctx<'_, PbftMsg>) {
+        if vote.view != self.view || vote.seq <= self.low_mark {
+            return;
+        }
+        if !self.in_watermarks(vote.seq) {
+            self.charge(ctx, SimDuration::from_micros(20), false);
+            ctx.stats().inc("consensus.out_of_window", 1);
+            return;
+        }
+        if !self.verify_cert(ctx, &vote.cert, vote.view, vote.seq, &vote.digest) {
+            ctx.stats().inc("consensus.invalid_msg", 1);
+            return;
+        }
+        let inst = self.insts.entry(vote.seq).or_default();
+        inst.commits.entry(vote.digest).or_default().insert(vote.replica);
+        self.check_committed(vote.seq, vote.digest, ctx);
+    }
+
+    fn check_committed(&mut self, seq: u64, digest: Hash, ctx: &mut Ctx<'_, PbftMsg>) {
+        let quorum = self.quorum();
+        let ready = {
+            let Some(inst) = self.insts.get(&seq) else { return };
+            let Some(block) = &inst.block else { return };
+            block.digest == digest
+                && !inst.committed
+                && inst.commits.get(&digest).map_or(0, HashSet::len) >= quorum
+        };
+        if ready {
+            if let Some(inst) = self.insts.get_mut(&seq) {
+                inst.committed = true;
+            }
+            self.try_execute(ctx);
+        }
+    }
+
+    // ---------- AHLR aggregation ----------
+
+    fn on_relay_prepare(&mut self, vote: Vote, ctx: &mut Ctx<'_, PbftMsg>) {
+        if vote.view != self.view || self.leader_of(vote.view) != self.me {
+            return;
+        }
+        if !self.verify_cert(ctx, &vote.cert, vote.view, vote.seq, &vote.digest) {
+            return;
+        }
+        let quorum = self.quorum();
+        let f = self.cfg.f();
+        let ready = {
+            let inst = self.insts.entry(vote.seq).or_default();
+            inst.relay_prepares.entry(vote.digest).or_default().insert(vote.replica);
+            !inst.agg_prepare_sent
+                && inst.relay_prepares.get(&vote.digest).map_or(0, HashSet::len) >= quorum
+        };
+        if ready {
+            if let Some(inst) = self.insts.get_mut(&vote.seq) {
+                inst.agg_prepare_sent = true;
+            }
+            // Enclave verifies the f+1 votes and emits one proof.
+            self.charge(ctx, self.cfg.costs.cost(TeeOp::MessageAggregation { f }), false);
+            let proof = AggProof {
+                view: vote.view,
+                seq: vote.seq,
+                digest: vote.digest,
+                count: quorum,
+                sig: None,
+            };
+            ctx.multicast(self.others(), PbftMsg::AggPrepare(proof.clone()));
+            self.on_agg_prepare(proof, ctx);
+        }
+    }
+
+    fn on_agg_prepare(&mut self, proof: AggProof, ctx: &mut Ctx<'_, PbftMsg>) {
+        if proof.view != self.view || proof.seq <= self.low_mark {
+            return;
+        }
+        self.charge(ctx, self.cfg.native_verify, false);
+        let has_block = self
+            .insts
+            .get(&proof.seq)
+            .and_then(|i| i.block.as_ref())
+            .is_some_and(|b| b.digest == proof.digest);
+        if !has_block {
+            return;
+        }
+        let already = self.insts.get(&proof.seq).map(|i| i.sent_commit).unwrap_or(false);
+        if !already {
+            self.send_commit(proof.seq, proof.digest, ctx);
+        }
+    }
+
+    fn on_relay_commit(&mut self, vote: Vote, ctx: &mut Ctx<'_, PbftMsg>) {
+        if vote.view != self.view || self.leader_of(vote.view) != self.me {
+            return;
+        }
+        if !self.verify_cert(ctx, &vote.cert, vote.view, vote.seq, &vote.digest) {
+            return;
+        }
+        let quorum = self.quorum();
+        let f = self.cfg.f();
+        let ready = {
+            let inst = self.insts.entry(vote.seq).or_default();
+            inst.relay_commits.entry(vote.digest).or_default().insert(vote.replica);
+            !inst.agg_commit_sent
+                && inst.relay_commits.get(&vote.digest).map_or(0, HashSet::len) >= quorum
+        };
+        if ready {
+            if let Some(inst) = self.insts.get_mut(&vote.seq) {
+                inst.agg_commit_sent = true;
+            }
+            self.charge(ctx, self.cfg.costs.cost(TeeOp::MessageAggregation { f }), false);
+            let proof = AggProof {
+                view: vote.view,
+                seq: vote.seq,
+                digest: vote.digest,
+                count: quorum,
+                sig: None,
+            };
+            ctx.multicast(self.others(), PbftMsg::AggCommit(proof.clone()));
+            self.on_agg_commit(proof, ctx);
+        }
+    }
+
+    fn on_agg_commit(&mut self, proof: AggProof, ctx: &mut Ctx<'_, PbftMsg>) {
+        if proof.view != self.view || proof.seq <= self.low_mark {
+            return;
+        }
+        self.charge(ctx, self.cfg.native_verify, false);
+        let ready = {
+            let Some(inst) = self.insts.get(&proof.seq) else { return };
+            let Some(block) = &inst.block else { return };
+            block.digest == proof.digest && !inst.committed
+        };
+        if ready {
+            if let Some(inst) = self.insts.get_mut(&proof.seq) {
+                inst.committed = true;
+            }
+            self.try_execute(ctx);
+        }
+    }
+
+    // ---------- execution ----------
+
+    fn try_execute(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        loop {
+            let next = self.exec_seq + 1;
+            let ready = self
+                .insts
+                .get(&next)
+                .map(|i| i.committed && !i.executed && i.block.is_some())
+                .unwrap_or(false);
+            if !ready {
+                break;
+            }
+            let block = {
+                let inst = self.insts.get_mut(&next).expect("checked above");
+                inst.executed = true;
+                inst.block.clone().expect("checked above")
+            };
+            self.execute_block(&block, ctx);
+            self.exec_seq = next;
+
+            if self.exec_seq.is_multiple_of(self.cfg.checkpoint_interval) {
+                self.send_checkpoint(ctx);
+            }
+        }
+        // Leader may have room to propose more now.
+        self.try_propose(ctx);
+    }
+
+    fn execute_block(&mut self, block: &PbftBlock, ctx: &mut Ctx<'_, PbftMsg>) {
+        let mut committed = 0u64;
+        let mut aborted = 0u64;
+        let mut receipts = Vec::with_capacity(block.reqs.len());
+        let mut weight = 0usize;
+        for req in block.reqs.iter() {
+            if !self.executed_reqs.insert(req.id) {
+                continue; // replay of an already-executed request
+            }
+            self.note_executed_in_pool(req.id);
+            weight += req.op.weight();
+            let receipt = self.state.execute(&req.op);
+            let ok = receipt.status.is_committed();
+            receipts.push(receipt);
+            if ok {
+                committed += 1;
+            } else {
+                aborted += 1;
+            }
+            if self.reporter {
+                let lat = ctx.now().since(req.submitted);
+                ctx.stats().record_latency(stat::TXN_LATENCY, lat);
+            }
+            if self.cfg.reply_policy == ReplyPolicy::IngestReplica {
+                if let Some(client) = self.ingested.remove(&req.id) {
+                    ctx.send(client, PbftMsg::Reply { req_id: req.id, committed: ok });
+                }
+            }
+        }
+        // Execution cost: chaincode + validation per state access.
+        self.charge(
+            ctx,
+            self.cfg.exec_cost_per_op.saturating_mul(weight as u64),
+            true,
+        );
+        if self.maintain_chain {
+            let ops = block.reqs.iter().map(|r| r.op.clone()).collect::<Vec<_>>();
+            let lb = LedgerBlock::build(
+                self.chain.len() as u64,
+                self.chain.tip_digest(),
+                ops,
+                self.state.state_digest(),
+                ctx.now().as_nanos(),
+                block.proposer as u64,
+            );
+            self.chain.append(lb, receipts).expect("chain append is sequential");
+        }
+        if self.reporter {
+            let now = ctx.now();
+            ctx.stats().inc(stat::TXN_COMMITTED, committed);
+            ctx.stats().inc(stat::TXN_ABORTED, aborted);
+            ctx.stats().inc(stat::BLOCKS_COMMITTED, 1);
+            ctx.stats().record_point(stat::COMMIT_SERIES, now, committed as f64);
+        }
+    }
+
+    // ---------- checkpoints ----------
+
+    fn send_checkpoint(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        let seq = self.exec_seq;
+        let digest = self.state.state_digest();
+        self.charge(ctx, self.cfg.native_sign, false);
+        ctx.multicast(
+            self.others(),
+            PbftMsg::Checkpoint { seq, digest, replica: self.me },
+        );
+        self.record_checkpoint(seq, digest, self.me);
+    }
+
+    fn record_checkpoint(&mut self, seq: u64, digest: Hash, replica: usize) {
+        if seq <= self.low_mark {
+            return;
+        }
+        let quorum = self.quorum();
+        let votes = self.ckpt_votes.entry(seq).or_default();
+        votes.insert(replica, digest);
+        let stable = votes.values().filter(|d| **d == digest).count() >= quorum;
+        if stable {
+            self.low_mark = seq;
+            self.insts.retain(|s, _| *s > seq);
+            self.ckpt_votes.retain(|s, _| *s > seq);
+            if self.cfg.crypto == CryptoMode::Real {
+                self.tee.truncate(seq);
+            }
+        }
+    }
+
+    fn on_checkpoint(&mut self, seq: u64, digest: Hash, replica: usize, ctx: &mut Ctx<'_, PbftMsg>) {
+        self.charge(ctx, self.cfg.native_verify, false);
+        self.record_checkpoint(seq, digest, replica);
+    }
+
+    // ---------- view change ----------
+
+    fn current_vc_timeout(&self) -> SimDuration {
+        self.cfg.vc_timeout.saturating_mul(1u64 << self.vc_backoff.min(5))
+    }
+
+    fn maybe_start_view_change(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        let pending_work = self.pool_live() > 0
+            || self
+                .insts
+                .iter()
+                .any(|(s, i)| *s > self.exec_seq && !i.executed && i.block.is_some());
+        let progressed = self.exec_seq > self.last_progress_seq;
+        self.last_progress_seq = self.exec_seq;
+        if progressed {
+            self.vc_backoff = 0;
+            self.stall_strikes = 0;
+            return;
+        }
+        if !pending_work || self.byzantine {
+            self.stall_strikes = 0;
+            return;
+        }
+        // Cut-off detection: if nothing at all arrived for half a timeout
+        // we are isolated (e.g. a transitioning node fetching state) — a
+        // dead *leader* still leaves peer traffic flowing, so this never
+        // masks a real leader failure. A view change while cut off would be
+        // futile and, worse, its stale votes churn the committee after
+        // healing.
+        let cutoff = SimDuration::from_nanos(self.current_vc_timeout().as_nanos() / 2);
+        if ctx.now().since(self.last_msg_at) >= cutoff {
+            return;
+        }
+        // Gap detection: if a later sequence already committed while we
+        // miss earlier blocks, the leader is fine — we lagged (dropped
+        // messages / temporary isolation). Request a state transfer
+        // instead of suspecting the leader.
+        if self.has_execution_gap() {
+            self.request_state_sync(ctx);
+            return;
+        }
+        // Two strikes before suspecting the leader.
+        self.stall_strikes = self.stall_strikes.saturating_add(1);
+        if self.stall_strikes < 2 {
+            return;
+        }
+        self.stall_strikes = 0;
+        let target = (self.view + 1).max(self.highest_vc_sent + 1);
+        self.start_view_change(target, ctx);
+        self.vc_backoff = (self.vc_backoff + 1).min(5);
+    }
+
+    /// Evidence of having fallen behind the committee: a later instance
+    /// committed while the next-to-execute one cannot, or proposals exist
+    /// far beyond our pipeline window (the leader only proposes within
+    /// `pipeline_width` of *its* execution point, so seeing proposals past
+    /// ours means our execution point is stale). Either way progress needs
+    /// state transfer, not a view change.
+    fn has_execution_gap(&self) -> bool {
+        let next = self.exec_seq + 1;
+        let next_committed = self
+            .insts
+            .get(&next)
+            .map(|i| i.committed)
+            .unwrap_or(false);
+        if next_committed {
+            return false;
+        }
+        let horizon = next + self.cfg.pipeline_width;
+        self.insts
+            .iter()
+            .any(|(s, i)| (*s > next && i.committed) || (*s > horizon && i.block.is_some()))
+    }
+
+    fn request_state_sync(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        let peer_idx = if self.is_leader() {
+            (self.me + 1) % self.cfg.n
+        } else {
+            self.leader_of(self.view)
+        };
+        ctx.stats().inc("consensus.state_sync_requests", 1);
+        ctx.send(
+            self.group[peer_idx],
+            PbftMsg::StateRequest { requester: self.me, have_seq: self.exec_seq },
+        );
+    }
+
+    fn on_state_request(&mut self, requester: usize, have_seq: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        if self.exec_seq <= have_seq || requester >= self.cfg.n {
+            return;
+        }
+        // Serialization cost proportional to state size.
+        self.charge(
+            ctx,
+            SimDuration::from_micros(1).saturating_mul(self.state.len() as u64),
+            false,
+        );
+        ctx.send(
+            self.group[requester],
+            PbftMsg::StateSnapshot {
+                seq: self.exec_seq,
+                view: self.view,
+                state: std::sync::Arc::new(self.state.clone()),
+                executed: std::sync::Arc::new(self.executed_reqs.clone()),
+            },
+        );
+    }
+
+    fn on_state_snapshot(
+        &mut self,
+        seq: u64,
+        view: u64,
+        state: std::sync::Arc<StateStore>,
+        executed: std::sync::Arc<HashSet<u64>>,
+        ctx: &mut Ctx<'_, PbftMsg>,
+    ) {
+        if seq <= self.exec_seq {
+            return;
+        }
+        // Verification cost: checking the snapshot against the stable
+        // checkpoint digest, proportional to state size.
+        self.charge(
+            ctx,
+            SimDuration::from_micros(1).saturating_mul(state.len() as u64),
+            false,
+        );
+        ctx.stats().inc("consensus.state_syncs", 1);
+        if std::env::var("AHL_DEBUG").is_ok() {
+            eprintln!("[{}] node {} state sync -> seq {}", ctx.now(), self.me, seq);
+        }
+        self.state = (*state).clone();
+        self.executed_reqs = (*executed).clone();
+        self.exec_seq = seq;
+        self.low_mark = self.low_mark.max(seq);
+        self.next_seq = self.next_seq.max(seq + 1);
+        self.insts.retain(|s, _| *s > seq);
+        // The local chain is no longer contiguous after a jump.
+        self.maintain_chain = false;
+        if view > self.view {
+            self.enter_view(view, ctx);
+        }
+        // Drop pooled requests that executed remotely.
+        let ex = &self.executed_reqs;
+        self.pool.retain(|r| !ex.contains(&r.id));
+        self.pool_ids = self.pool.iter().map(|r| r.id).collect();
+        self.pool_stale = 0;
+        self.try_execute(ctx);
+    }
+
+    fn start_view_change(&mut self, target: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        if std::env::var("AHL_DEBUG").is_ok() {
+            let next = self.exec_seq + 1;
+            let detail = self.insts.get(&next).map(|i| {
+                (
+                    i.block.is_some(),
+                    i.view,
+                    i.prepares.values().map(HashSet::len).max().unwrap_or(0),
+                    i.commits.values().map(HashSet::len).max().unwrap_or(0),
+                    i.committed,
+                )
+            });
+            eprintln!(
+                "[{}] node {} VC -> view {} (exec {}, pool {}, insts {}, next inst {:?})",
+                ctx.now(),
+                self.me,
+                target,
+                self.exec_seq,
+                self.pool_live(),
+                self.insts.len(),
+                detail
+            );
+        }
+        self.highest_vc_sent = target;
+        let prepared: Vec<(u64, Hash)> = self
+            .insts
+            .iter()
+            .filter(|(s, i)| {
+                **s > self.low_mark
+                    && !i.executed
+                    && i.block.as_ref().is_some_and(|b| {
+                        i.prepares.get(&b.digest).map_or(0, HashSet::len) >= self.quorum()
+                    })
+            })
+            .map(|(s, i)| (*s, i.block.as_ref().expect("filtered").digest))
+            .collect();
+        self.charge(ctx, self.cfg.native_sign, false);
+        let msg = ViewChangeMsg {
+            new_view: target,
+            last_stable: self.low_mark,
+            prepared,
+            replica: self.me,
+        };
+        ctx.multicast(self.others(), PbftMsg::ViewChange(msg.clone()));
+        self.record_view_change(msg, ctx);
+        ctx.stats().inc("consensus.vc_initiated", 1);
+    }
+
+    fn record_view_change(&mut self, vc: ViewChangeMsg, ctx: &mut Ctx<'_, PbftMsg>) {
+        if vc.new_view <= self.view {
+            return;
+        }
+        let target = vc.new_view;
+        let now = ctx.now();
+        let horizon = self.cfg.vc_timeout.saturating_mul(4);
+        let votes_map = self.vc_votes.entry(target).or_default();
+        votes_map.insert(vc.replica, (now, vc));
+        votes_map.retain(|_, (at, _)| now.since(*at) <= horizon);
+        let votes = votes_map.len();
+        let quorum = self.quorum();
+        let f = self.cfg.f();
+
+        // Liveness rule: join a view change supported by f+1 others.
+        if votes > f && self.highest_vc_sent < target && self.leader_of(target) != self.me {
+            self.start_view_change(target, ctx);
+            return;
+        }
+
+        if votes >= quorum && self.leader_of(target) == self.me && !self.byzantine {
+            self.install_new_view(target, ctx);
+        }
+    }
+
+    fn on_view_change(&mut self, vc: ViewChangeMsg, ctx: &mut Ctx<'_, PbftMsg>) {
+        self.charge(ctx, self.cfg.native_verify, false);
+        self.record_view_change(vc, ctx);
+    }
+
+    fn install_new_view(&mut self, view: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        // Gather re-proposals: any prepared sequence reported by the quorum
+        // for which we hold the block.
+        let mut repro: Vec<Arc<PbftBlock>> = Vec::new();
+        let mut max_seq = self.exec_seq;
+        if let Some(votes) = self.vc_votes.get(&view) {
+            let mut wanted: HashMap<u64, Hash> = HashMap::new();
+            for (_, vc) in votes.values() {
+                for (seq, digest) in &vc.prepared {
+                    wanted.insert(*seq, *digest);
+                }
+            }
+            for (seq, digest) in wanted {
+                if seq <= self.exec_seq {
+                    continue;
+                }
+                if let Some(inst) = self.insts.get(&seq) {
+                    if let Some(block) = &inst.block {
+                        if block.digest == digest {
+                            let nb = Arc::new(PbftBlock::new(
+                                view,
+                                seq,
+                                self.me,
+                                block.reqs.as_ref().clone(),
+                            ));
+                            max_seq = max_seq.max(seq);
+                            repro.push(nb);
+                        }
+                    }
+                }
+            }
+        }
+        self.enter_view(view, ctx);
+        self.next_seq = max_seq + 1;
+        ctx.stats().inc(stat::VIEW_CHANGES, 1);
+        self.charge(ctx, self.cfg.native_sign, false);
+        ctx.multicast(
+            self.others(),
+            PbftMsg::NewView { view, reproposals: repro.clone() },
+        );
+        for block in repro {
+            self.insts.remove(&block.seq);
+            self.accept_block(block, ctx);
+        }
+        self.try_propose(ctx);
+    }
+
+    fn on_new_view(&mut self, view: u64, reproposals: Vec<Arc<PbftBlock>>, ctx: &mut Ctx<'_, PbftMsg>) {
+        if view < self.view {
+            return;
+        }
+        self.charge(ctx, self.cfg.native_verify, false);
+        if self.leader_of(view) == self.me {
+            return; // we install through quorum collection, not NewView
+        }
+        self.enter_view(view, ctx);
+        for block in reproposals {
+            if block.seq > self.exec_seq {
+                self.insts.remove(&block.seq);
+                self.accept_block(block, ctx);
+            }
+        }
+    }
+
+    fn enter_view(&mut self, view: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        self.view = view;
+        self.vc_votes.retain(|v, _| *v > view);
+        self.highest_vc_sent = self.highest_vc_sent.max(view);
+        // Unexecuted instances from older views are abandoned; their
+        // requests survive in pools and will be re-proposed.
+        self.insts.retain(|_, i| i.executed || i.view >= view || i.block.is_none());
+        // Optimization-2 mode: re-relay pooled requests to the new leader so
+        // requests relayed to a dead leader are not lost.
+        if self.cfg.relay_to_leader && !self.is_leader() {
+            let leader = self.group[self.leader_of(view)];
+            for req in self.pool.iter().take(2 * self.cfg.batch_size) {
+                ctx.send(leader, PbftMsg::Relay(req.clone()));
+            }
+        }
+    }
+
+    // ---------- timers ----------
+
+    fn on_batch_timer(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        self.flush_partial_batch(ctx);
+        ctx.set_timer(self.cfg.batch_timeout, TIMER_BATCH);
+    }
+
+    fn on_heartbeat_timer(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        if self.is_leader() && !self.byzantine {
+            ctx.multicast(self.others(), PbftMsg::Heartbeat { view: self.view });
+        }
+        ctx.set_timer(self.cfg.vc_timeout.mul_f64(0.2), TIMER_HEARTBEAT);
+    }
+
+    fn on_vc_timer(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        self.maybe_start_view_change(ctx);
+        ctx.set_timer(self.current_vc_timeout(), TIMER_VC);
+    }
+
+    /// Group index of a sender actor id (linear scan; groups are small).
+    fn group_index(&self, actor: NodeId) -> Option<usize> {
+        self.group.iter().position(|&g| g == actor)
+    }
+}
+
+impl Actor for Replica {
+    type Msg = PbftMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        ctx.set_timer(self.cfg.batch_timeout, TIMER_BATCH);
+        ctx.set_timer(self.current_vc_timeout(), TIMER_VC);
+        ctx.set_timer(self.cfg.vc_timeout.mul_f64(0.2), TIMER_HEARTBEAT);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Ctx<'_, PbftMsg>) {
+        self.last_msg_at = ctx.now();
+        match msg {
+            PbftMsg::Request(req) => self.on_request(req, ctx),
+            PbftMsg::Relay(req) => self.on_relay(req, ctx),
+            PbftMsg::Gossip(req) => self.on_gossip(req, ctx),
+            PbftMsg::PrePrepare { block, cert } => {
+                let Some(idx) = self.group_index(from) else { return };
+                self.on_preprepare(block, cert, idx, ctx);
+            }
+            PbftMsg::Prepare(v) => self.on_prepare(v, ctx),
+            PbftMsg::Commit(v) => self.on_commit(v, ctx),
+            PbftMsg::RelayPrepare(v) => self.on_relay_prepare(v, ctx),
+            PbftMsg::RelayCommit(v) => self.on_relay_commit(v, ctx),
+            PbftMsg::AggPrepare(p) => self.on_agg_prepare(p, ctx),
+            PbftMsg::AggCommit(p) => self.on_agg_commit(p, ctx),
+            PbftMsg::Checkpoint { seq, digest, replica } => {
+                self.on_checkpoint(seq, digest, replica, ctx)
+            }
+            PbftMsg::ViewChange(vc) => self.on_view_change(vc, ctx),
+            PbftMsg::NewView { view, reproposals } => self.on_new_view(view, reproposals, ctx),
+            PbftMsg::Reply { .. } => {}
+            PbftMsg::Heartbeat { .. } => {
+                self.charge(ctx, SimDuration::from_micros(5), false);
+            }
+            PbftMsg::StateRequest { requester, have_seq } => {
+                self.on_state_request(requester, have_seq, ctx)
+            }
+            PbftMsg::StateSnapshot { seq, view, state, executed } => {
+                self.on_state_snapshot(seq, view, state, executed, ctx)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        match kind {
+            TIMER_BATCH => self.on_batch_timer(ctx),
+            TIMER_VC => self.on_vc_timer(ctx),
+            TIMER_HEARTBEAT => self.on_heartbeat_timer(ctx),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

@@ -1,0 +1,701 @@
+//! Tendermint consensus (Figure 2 baseline).
+//!
+//! Simplified but structurally faithful: heights proceed in **lockstep**
+//! (a new block is proposed only after the previous one commits — the
+//! property the paper identifies as Tendermint's scalability limiter,
+//! Appendix C.2), proposers rotate round-robin per (height + round),
+//! safety uses polka-locking, and liveness uses round timeouts. The
+//! `timeout_commit` pause (Tendermint's default 1 s between blocks) is the
+//! main throughput cap at small N.
+//!
+//! Omissions relative to full Tendermint (documented for reviewers):
+//! nil-prevotes/nil-precommits are collapsed into round timeouts, and
+//! evidence/slashing is absent — neither affects throughput shape in the
+//! fault-free Figure 2 setting.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use ahl_crypto::{sha256_parts, Hash};
+use ahl_ledger::StateStore;
+use ahl_simkit::{Actor, Ctx, MsgClass, NodeId, SimDuration};
+
+use crate::clients::ClientProtocol;
+use crate::common::{stat, Request};
+
+/// Tendermint wire messages.
+#[derive(Clone, Debug)]
+pub enum TmMsg {
+    /// Client → node: new transaction.
+    Request(Request),
+    /// Node → all: mempool gossip.
+    GossipTx(Request),
+    /// Proposer → all: block proposal.
+    Proposal {
+        /// Height.
+        height: u64,
+        /// Round within the height.
+        round: u32,
+        /// Batched transactions.
+        block: Arc<Vec<Request>>,
+        /// Block digest.
+        digest: Hash,
+        /// Proposer index.
+        proposer: usize,
+    },
+    /// Prevote for a digest.
+    Prevote {
+        /// Height.
+        height: u64,
+        /// Round.
+        round: u32,
+        /// Voted digest.
+        digest: Hash,
+        /// Voter index.
+        replica: usize,
+    },
+    /// Precommit for a digest.
+    Precommit {
+        /// Height.
+        height: u64,
+        /// Round.
+        round: u32,
+        /// Voted digest.
+        digest: Hash,
+        /// Voter index.
+        replica: usize,
+    },
+    /// Execution acknowledgement to the client.
+    Reply {
+        /// Request id.
+        req_id: u64,
+        /// Commit status.
+        committed: bool,
+    },
+}
+
+impl TmMsg {
+    /// Queue class (Tendermint uses one reactor per channel; we model the
+    /// consensus channel as higher-integrity like HL's).
+    pub fn class(&self) -> MsgClass {
+        match self {
+            TmMsg::Request(_) | TmMsg::GossipTx(_) | TmMsg::Reply { .. } => MsgClass::REQUEST,
+            _ => MsgClass::CONSENSUS,
+        }
+    }
+
+    /// Approximate wire size.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            TmMsg::Request(r) | TmMsg::GossipTx(r) => 250 + r.op.wire_size(),
+            TmMsg::Proposal { block, .. } => {
+                120 + block.iter().map(|r| 64 + r.op.wire_size()).sum::<usize>()
+            }
+            TmMsg::Prevote { .. } | TmMsg::Precommit { .. } => 120,
+            TmMsg::Reply { .. } => 100,
+        }
+    }
+}
+
+impl ClientProtocol for TmMsg {
+    fn make_request(req: Request) -> Self {
+        TmMsg::Request(req)
+    }
+    fn reply_id(&self) -> Option<u64> {
+        match self {
+            TmMsg::Reply { req_id, .. } => Some(*req_id),
+            _ => None,
+        }
+    }
+}
+
+/// Tendermint node configuration.
+#[derive(Clone, Debug)]
+pub struct TmConfig {
+    /// Committee size (N = 3f + 1 tolerance).
+    pub n: usize,
+    /// Maximum transactions per block.
+    pub max_block_txns: usize,
+    /// Pause after a commit before the next proposal (`timeout_commit`,
+    /// Tendermint default 1 s).
+    pub timeout_commit: SimDuration,
+    /// Round timeout before moving to the next proposer.
+    pub timeout_round: SimDuration,
+    /// Signature creation cost.
+    pub sign_cost: SimDuration,
+    /// Signature verification cost.
+    pub verify_cost: SimDuration,
+    /// RPC ingest cost per transaction.
+    pub ingest_cost: SimDuration,
+    /// Execution cost per state access (tm-bench's KV app is in-memory).
+    pub exec_cost_per_op: SimDuration,
+}
+
+impl TmConfig {
+    /// Defaults matching the Figure 2 comparison.
+    pub fn new(n: usize) -> Self {
+        TmConfig {
+            n,
+            max_block_txns: 1000,
+            timeout_commit: SimDuration::from_secs(1),
+            timeout_round: SimDuration::from_secs(3),
+            sign_cost: SimDuration::from_micros(150),
+            verify_cost: SimDuration::from_micros(200),
+            ingest_cost: SimDuration::from_millis(1),
+            exec_cost_per_op: SimDuration::from_micros(20),
+        }
+    }
+
+    /// Byzantine quorum (2f + 1).
+    pub fn quorum(&self) -> usize {
+        2 * ((self.n.saturating_sub(1)) / 3) + 1
+    }
+}
+
+const TIMER_ROUND: u64 = 1;
+const TIMER_COMMIT: u64 = 2;
+
+type RoundKey = (u64, u32);
+
+/// A Tendermint validator.
+pub struct TmNode {
+    cfg: TmConfig,
+    group: Vec<NodeId>,
+    me: usize,
+    reporter: bool,
+
+    height: u64,
+    round: u32,
+    locked: Option<(u32, Hash, Arc<Vec<Request>>)>,
+    proposal: Option<(Hash, Arc<Vec<Request>>)>,
+    /// Proposals for rounds we have not entered yet (nodes run at slightly
+    /// different heights; real Tendermint buffers and gossips).
+    proposal_buf: HashMap<RoundKey, (Hash, Arc<Vec<Request>>)>,
+    prevotes: HashMap<RoundKey, HashMap<Hash, HashSet<usize>>>,
+    precommits: HashMap<RoundKey, HashMap<Hash, HashSet<usize>>>,
+    sent_prevote: HashSet<RoundKey>,
+    sent_precommit: HashSet<RoundKey>,
+    round_epoch: u64,
+    /// Between a commit and the timeout_commit expiry: no proposing.
+    waiting_commit: bool,
+
+    pool: VecDeque<Request>,
+    pool_ids: HashSet<u64>,
+    executed: HashSet<u64>,
+    state: StateStore,
+}
+
+impl TmNode {
+    /// Create a validator with group index `me`.
+    pub fn new(cfg: TmConfig, group: Vec<NodeId>, me: usize, reporter: bool) -> Self {
+        TmNode {
+            cfg,
+            group,
+            me,
+            reporter,
+            height: 1,
+            round: 0,
+            locked: None,
+            proposal: None,
+            proposal_buf: HashMap::new(),
+            prevotes: HashMap::new(),
+            precommits: HashMap::new(),
+            sent_prevote: HashSet::new(),
+            sent_precommit: HashSet::new(),
+            round_epoch: 0,
+            waiting_commit: false,
+            pool: VecDeque::new(),
+            pool_ids: HashSet::new(),
+            executed: HashSet::new(),
+            state: StateStore::new(),
+        }
+    }
+
+    /// Current height (post-run inspection).
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// Current round (post-run inspection).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Debug snapshot: (has proposal, locked, buffered proposals,
+    /// max precommit votes seen for the current height, waiting_commit).
+    pub fn debug_snapshot(&self) -> (bool, bool, usize, usize, bool) {
+        let max_pc = self
+            .precommits
+            .iter()
+            .filter(|((h, _), _)| *h == self.height)
+            .flat_map(|(_, by)| by.values().map(|v| v.len()))
+            .max()
+            .unwrap_or(0);
+        (
+            self.proposal.is_some(),
+            self.locked.is_some(),
+            self.proposal_buf.len(),
+            max_pc,
+            self.waiting_commit,
+        )
+    }
+
+    fn proposer(&self, height: u64, round: u32) -> usize {
+        ((height + round as u64) % self.cfg.n as u64) as usize
+    }
+
+    fn others(&self) -> Vec<NodeId> {
+        let mine = self.group[self.me];
+        self.group.iter().copied().filter(|&g| g != mine).collect()
+    }
+
+    fn charge(&self, ctx: &mut Ctx<'_, TmMsg>, d: SimDuration) {
+        ctx.consume_cpu(d);
+        ctx.stats().inc(stat::CONSENSUS_CPU_NS, d.as_nanos());
+    }
+
+    fn enter_round(&mut self, ctx: &mut Ctx<'_, TmMsg>) {
+        // Keep the previous round's proposal: a precommit quorum for it may
+        // still arrive (Tendermint's commit rule is round-agnostic).
+        if let Some((d, b)) = self.proposal.take() {
+            self.proposal_buf.entry((self.height, self.round)).or_insert((d, b));
+        }
+        self.waiting_commit = false;
+        self.round_epoch += 1;
+        let epoch = self.round_epoch;
+        ctx.set_timer(self.cfg.timeout_round, TIMER_ROUND | (epoch << 8));
+        // Adopt a buffered proposal for this round, if one arrived early.
+        let key = (self.height, self.round);
+        if let Some((digest, block)) = self.proposal_buf.remove(&key) {
+            self.proposal = Some((digest, block));
+            self.broadcast_prevote(digest, ctx);
+        }
+        if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
+            self.propose(ctx);
+        }
+        self.recheck_votes(ctx);
+    }
+
+    /// Re-evaluate buffered votes for the current (height, round): quorums
+    /// may already exist from messages that arrived while we lagged.
+    fn recheck_votes(&mut self, ctx: &mut Ctx<'_, TmMsg>) {
+        let key = (self.height, self.round);
+        if let Some(by_digest) = self.prevotes.get(&key) {
+            let ready: Vec<Hash> = by_digest
+                .iter()
+                .filter(|(_, votes)| votes.len() >= self.cfg.quorum())
+                .map(|(d, _)| *d)
+                .collect();
+            for d in ready {
+                self.record_prevote(key, d, self.me, ctx);
+            }
+        }
+        self.try_commit_any_round(ctx);
+    }
+
+    /// Tendermint's commit rule is round-agnostic: 2f+1 precommits for a
+    /// block at *any* round of the current height commit it (a node that
+    /// moved past the deciding round must still be able to commit).
+    fn try_commit_any_round(&mut self, ctx: &mut Ctx<'_, TmMsg>) {
+        let h = self.height;
+        let quorum = self.cfg.quorum();
+        let mut decided: Option<(Hash, u32)> = None;
+        for ((hh, r), by_digest) in &self.precommits {
+            if *hh != h {
+                continue;
+            }
+            for (d, votes) in by_digest {
+                if votes.len() >= quorum {
+                    decided = Some((*d, *r));
+                    break;
+                }
+            }
+            if decided.is_some() {
+                break;
+            }
+        }
+        let Some((digest, round)) = decided else { return };
+        let block = match (&self.proposal, &self.locked) {
+            (Some((d, b)), _) if *d == digest => Some(b.clone()),
+            (_, Some((_, d, b))) if *d == digest => Some(b.clone()),
+            _ => {
+                let _ = round;
+                // Any stashed proposal at this height with the right digest.
+                self.proposal_buf
+                    .iter()
+                    .find(|((hh, _), (d, _))| *hh == h && *d == digest)
+                    .map(|(_, (_, b))| b.clone())
+            }
+        };
+        if let Some(block) = block {
+            self.commit(block, ctx);
+        }
+    }
+
+    fn propose(&mut self, ctx: &mut Ctx<'_, TmMsg>) {
+        if self.waiting_commit {
+            return;
+        }
+        let block: Arc<Vec<Request>> = if let Some((_, _, b)) = &self.locked {
+            b.clone()
+        } else {
+            let mut batch = Vec::new();
+            while batch.len() < self.cfg.max_block_txns {
+                let Some(r) = self.pool.pop_front() else { break };
+                self.pool_ids.remove(&r.id);
+                if self.executed.contains(&r.id) {
+                    continue;
+                }
+                batch.push(r);
+            }
+            Arc::new(batch)
+        };
+        if block.is_empty() {
+            // Nothing to propose: empty blocks are skipped (tm-bench mode);
+            // the round timer will re-trigger.
+            return;
+        }
+        let digest = block_digest(self.height, self.round, &block);
+        self.charge(ctx, self.cfg.sign_cost);
+        let msg = TmMsg::Proposal {
+            height: self.height,
+            round: self.round,
+            block: block.clone(),
+            digest,
+            proposer: self.me,
+        };
+        ctx.multicast(self.others(), msg);
+        self.proposal = Some((digest, block));
+        self.broadcast_prevote(digest, ctx);
+    }
+
+    fn broadcast_prevote(&mut self, digest: Hash, ctx: &mut Ctx<'_, TmMsg>) {
+        let key = (self.height, self.round);
+        if !self.sent_prevote.insert(key) {
+            return;
+        }
+        // Locked validators prevote their lock.
+        let digest = match &self.locked {
+            Some((_, d, _)) => *d,
+            None => digest,
+        };
+        self.charge(ctx, self.cfg.sign_cost);
+        let msg = TmMsg::Prevote {
+            height: self.height,
+            round: self.round,
+            digest,
+            replica: self.me,
+        };
+        ctx.multicast(self.others(), msg);
+        self.record_prevote(key, digest, self.me, ctx);
+    }
+
+    fn record_prevote(&mut self, key: RoundKey, digest: Hash, who: usize, ctx: &mut Ctx<'_, TmMsg>) {
+        let votes = self.prevotes.entry(key).or_default().entry(digest).or_default();
+        votes.insert(who);
+        let polka = votes.len() >= self.cfg.quorum();
+        if polka && key == (self.height, self.round) {
+            // Lock on the polka block if we have it.
+            if let Some((d, b)) = &self.proposal {
+                if *d == digest {
+                    self.locked = Some((self.round, digest, b.clone()));
+                }
+            }
+            self.broadcast_precommit(digest, ctx);
+        }
+    }
+
+    fn broadcast_precommit(&mut self, digest: Hash, ctx: &mut Ctx<'_, TmMsg>) {
+        let key = (self.height, self.round);
+        if !self.sent_precommit.insert(key) {
+            return;
+        }
+        self.charge(ctx, self.cfg.sign_cost);
+        let msg = TmMsg::Precommit {
+            height: self.height,
+            round: self.round,
+            digest,
+            replica: self.me,
+        };
+        ctx.multicast(self.others(), msg);
+        self.record_precommit(key, digest, self.me, ctx);
+    }
+
+    fn record_precommit(&mut self, key: RoundKey, digest: Hash, who: usize, ctx: &mut Ctx<'_, TmMsg>) {
+        let votes = self.precommits.entry(key).or_default().entry(digest).or_default();
+        votes.insert(who);
+        if votes.len() >= self.cfg.quorum() && key == (self.height, self.round) {
+            let block = match (&self.proposal, &self.locked) {
+                (Some((d, b)), _) if *d == digest => Some(b.clone()),
+                (_, Some((_, d, b))) if *d == digest => Some(b.clone()),
+                _ => None,
+            };
+            if let Some(block) = block {
+                self.commit(block, ctx);
+            }
+        }
+    }
+
+    fn commit(&mut self, block: Arc<Vec<Request>>, ctx: &mut Ctx<'_, TmMsg>) {
+        let mut committed = 0u64;
+        let mut weight = 0usize;
+        for req in block.iter() {
+            if !self.executed.insert(req.id) {
+                continue;
+            }
+            if self.pool_ids.remove(&req.id) {
+                // Lazy pool pruning happens on pop; ids are authoritative.
+            }
+            weight += req.op.weight();
+            let receipt = self.state.execute(&req.op);
+            if receipt.status.is_committed() {
+                committed += 1;
+            }
+            if self.reporter {
+                let lat = ctx.now().since(req.submitted);
+                ctx.stats().record_latency(stat::TXN_LATENCY, lat);
+            }
+        }
+        let exec = self.cfg.exec_cost_per_op.saturating_mul(weight as u64);
+        ctx.consume_cpu(exec);
+        ctx.stats().inc(stat::EXEC_CPU_NS, exec.as_nanos());
+        if self.reporter {
+            let now = ctx.now();
+            ctx.stats().inc(stat::TXN_COMMITTED, committed);
+            ctx.stats().inc(stat::BLOCKS_COMMITTED, 1);
+            ctx.stats().record_point(stat::COMMIT_SERIES, now, committed as f64);
+        }
+        // Advance height; lockstep: wait timeout_commit before next round.
+        self.height += 1;
+        self.round = 0;
+        self.locked = None;
+        self.proposal = None;
+        let h = self.height;
+        self.prevotes.retain(|(hh, _), _| *hh >= h);
+        self.precommits.retain(|(hh, _), _| *hh >= h);
+        self.sent_prevote.retain(|(hh, _)| *hh >= h);
+        self.sent_precommit.retain(|(hh, _)| *hh >= h);
+        self.proposal_buf.retain(|(hh, _), _| *hh >= h);
+        self.round_epoch += 1;
+        self.waiting_commit = true;
+        ctx.set_timer(self.cfg.timeout_commit, TIMER_COMMIT | (self.round_epoch << 8));
+    }
+
+    fn pool_tx(&mut self, req: Request) {
+        if self.executed.contains(&req.id) || !self.pool_ids.insert(req.id) {
+            return;
+        }
+        self.pool.push_back(req);
+    }
+}
+
+fn block_digest(height: u64, round: u32, block: &[Request]) -> Hash {
+    let mut parts: Vec<Vec<u8>> = vec![
+        b"tm-block".to_vec(),
+        height.to_be_bytes().to_vec(),
+        round.to_be_bytes().to_vec(),
+    ];
+    for r in block {
+        parts.push(r.id.to_be_bytes().to_vec());
+    }
+    let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+    sha256_parts(&refs)
+}
+
+impl Actor for TmNode {
+    type Msg = TmMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, TmMsg>) {
+        self.enter_round(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: TmMsg, ctx: &mut Ctx<'_, TmMsg>) {
+        match msg {
+            TmMsg::Request(req) => {
+                self.charge(ctx, self.cfg.ingest_cost);
+                ctx.multicast(self.others(), TmMsg::GossipTx(req.clone()));
+                self.pool_tx(req);
+                // A proposer idling on an empty pool proposes as soon as
+                // transactions show up.
+                if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
+                    self.propose(ctx);
+                }
+            }
+            TmMsg::GossipTx(req) => {
+                self.charge(ctx, self.cfg.verify_cost);
+                self.pool_tx(req);
+                if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
+                    self.propose(ctx);
+                }
+            }
+            TmMsg::Proposal { height, round, block, digest, proposer } => {
+                if height < self.height || proposer != self.proposer(height, round) {
+                    return;
+                }
+                self.charge(ctx, self.cfg.verify_cost);
+                if (height, round) == (self.height, self.round) {
+                    self.proposal = Some((digest, block));
+                    self.broadcast_prevote(digest, ctx);
+                    self.recheck_votes(ctx);
+                } else {
+                    // Buffer proposals we have not caught up to yet.
+                    self.proposal_buf.insert((height, round), (digest, block));
+                }
+            }
+            TmMsg::Prevote { height, round, digest, replica } => {
+                if height < self.height {
+                    return;
+                }
+                self.charge(ctx, self.cfg.verify_cost);
+                self.prevotes.entry((height, round)).or_default().entry(digest).or_default().insert(replica);
+                if (height, round) == (self.height, self.round) {
+                    self.record_prevote((height, round), digest, replica, ctx);
+                }
+            }
+            TmMsg::Precommit { height, round, digest, replica } => {
+                if height < self.height {
+                    return;
+                }
+                self.charge(ctx, self.cfg.verify_cost);
+                self.precommits.entry((height, round)).or_default().entry(digest).or_default().insert(replica);
+                if (height, round) == (self.height, self.round) {
+                    self.record_precommit((height, round), digest, replica, ctx);
+                } else if height == self.height {
+                    self.try_commit_any_round(ctx);
+                }
+            }
+            TmMsg::Reply { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Ctx<'_, TmMsg>) {
+        let epoch = kind >> 8;
+        if epoch != self.round_epoch {
+            return; // stale timer from an earlier round
+        }
+        match kind & 0xff {
+            TIMER_ROUND => {
+                // No commit this round: rotate proposer.
+                self.round += 1;
+                ctx.stats().inc("tendermint.round_changes", 1);
+                self.enter_round(ctx);
+            }
+            TIMER_COMMIT => {
+                self.enter_round(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Build a Tendermint committee simulation (clients added by caller).
+pub fn build_tm_group(
+    cfg: &TmConfig,
+    network: Box<dyn ahl_simkit::Network>,
+    uplink_bps: Option<f64>,
+    seed: u64,
+) -> (ahl_simkit::Sim<TmMsg>, Vec<NodeId>) {
+    fn classify(m: &TmMsg) -> MsgClass {
+        m.class()
+    }
+    fn size_of(m: &TmMsg) -> usize {
+        m.wire_size()
+    }
+    let mut sim_cfg = ahl_simkit::SimConfig::new(seed);
+    sim_cfg.network = network;
+    sim_cfg.classify = classify;
+    sim_cfg.size_of = size_of;
+    sim_cfg.uplink_bps = uplink_bps;
+    let mut sim = ahl_simkit::Sim::new(sim_cfg);
+    let group: Vec<NodeId> = (0..cfg.n).collect();
+    for i in 0..cfg.n {
+        let node = TmNode::new(cfg.clone(), group.clone(), i, i == 0);
+        sim.add_actor(
+            Box::new(node),
+            ahl_simkit::QueueConfig::shared(8192),
+        );
+    }
+    (sim, group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clients::OpenLoopClient;
+    use ahl_ledger::{kvstore, Op, TxId};
+    use ahl_simkit::{QueueConfig, SimTime, UniformNetwork};
+
+    fn run_tm(n: usize, secs: u64) -> (u64, u64) {
+        let cfg = TmConfig::new(n);
+        let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
+        let (mut sim, group) = build_tm_group(&cfg, net, Some(1e9), 11);
+        let stop = SimTime::ZERO + SimDuration::from_secs(secs);
+        let mut i = 0u64;
+        let factory = Box::new(move |_r: &mut rand::rngs::SmallRng| {
+            i += 1;
+            Op::Direct { txid: TxId(i), op: kvstore::kv_write(&[i % 50], 16) }
+        });
+        let client = OpenLoopClient::new(group.clone(), SimDuration::from_millis(2), stop, factory);
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(stop + SimDuration::from_secs(3));
+        (
+            sim.stats().counter(stat::TXN_COMMITTED),
+            sim.stats().counter(stat::BLOCKS_COMMITTED),
+        )
+    }
+
+    #[test]
+    fn commits_transactions() {
+        let (committed, blocks) = run_tm(4, 5);
+        assert!(committed > 1000, "committed {committed}");
+        assert!(blocks >= 4, "blocks {blocks}");
+    }
+
+    #[test]
+    fn lockstep_limits_block_rate() {
+        // With timeout_commit = 1 s, block rate ≈ 1/s regardless of load.
+        let (_, blocks) = run_tm(4, 6);
+        assert!(blocks <= 8, "blocks {blocks}");
+    }
+
+    #[test]
+    fn single_validator_works() {
+        let (committed, _) = run_tm(1, 4);
+        assert!(committed > 500, "committed {committed}");
+    }
+
+    #[test]
+    fn validators_reach_same_height() {
+        let cfg = TmConfig::new(4);
+        let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
+        let (mut sim, group) = build_tm_group(&cfg, net, Some(1e9), 3);
+        let stop = SimTime::ZERO + SimDuration::from_secs(4);
+        let mut i = 0u64;
+        let factory = Box::new(move |_r: &mut rand::rngs::SmallRng| {
+            i += 1;
+            Op::Direct { txid: TxId(i), op: kvstore::kv_write(&[i], 16) }
+        });
+        let client = OpenLoopClient::new(group.clone(), SimDuration::from_millis(5), stop, factory);
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(stop + SimDuration::from_secs(5));
+        let heights: Vec<u64> = group
+            .iter()
+            .map(|&id| {
+                sim.actor(id)
+                    .as_any()
+                    .expect("inspectable")
+                    .downcast_ref::<TmNode>()
+                    .expect("tm node")
+                    .height()
+            })
+            .collect();
+        let max = *heights.iter().max().expect("non-empty");
+        let min = *heights.iter().min().expect("non-empty");
+        assert!(max > 1);
+        assert!(max - min <= 1, "heights {heights:?}");
+    }
+}

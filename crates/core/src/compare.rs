@@ -1,0 +1,70 @@
+//! Table 1: methodology comparison against prior sharded blockchains.
+
+/// One row of Table 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SystemRow {
+    /// System name.
+    pub system: &'static str,
+    /// Machines used in the evaluation.
+    pub machines: u32,
+    /// Process-per-machine over-subscription factor.
+    pub oversubscription: u32,
+    /// Transaction model.
+    pub txn_model: &'static str,
+    /// Whether distributed (cross-shard) transactions are supported.
+    pub distributed_txns: bool,
+}
+
+/// The rows of Table 1 as printed in the paper.
+pub fn table1() -> Vec<SystemRow> {
+    vec![
+        SystemRow {
+            system: "Elastico",
+            machines: 800,
+            oversubscription: 2,
+            txn_model: "UTXO",
+            distributed_txns: false,
+        },
+        SystemRow {
+            system: "OmniLedger",
+            machines: 60,
+            oversubscription: 67,
+            txn_model: "UTXO",
+            distributed_txns: false,
+        },
+        SystemRow {
+            system: "RapidChain",
+            machines: 32,
+            oversubscription: 125,
+            txn_model: "UTXO",
+            distributed_txns: true,
+        },
+        SystemRow {
+            system: "Ours",
+            machines: 1400,
+            oversubscription: 1,
+            txn_model: "General workload",
+            distributed_txns: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ours_is_the_only_general_one_to_one() {
+        let rows = table1();
+        assert_eq!(rows.len(), 4);
+        let ours = rows.iter().find(|r| r.system == "Ours").expect("ours row");
+        assert_eq!(ours.oversubscription, 1);
+        assert!(ours.distributed_txns);
+        assert_eq!(ours.txn_model, "General workload");
+        // Everyone else is UTXO.
+        assert!(rows
+            .iter()
+            .filter(|r| r.system != "Ours")
+            .all(|r| r.txn_model == "UTXO"));
+    }
+}

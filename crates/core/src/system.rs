@@ -1,0 +1,306 @@
+//! The complete sharded blockchain (paper Figure 1b): shard formation,
+//! one AHL+ committee per shard, an optional reference committee for
+//! cross-shard transactions, and closed-loop cross-shard clients.
+
+use ahl_consensus::harness::NetChoice;
+use ahl_consensus::pbft::{add_committee, BftVariant, PbftConfig, PbftMsg, ReplyPolicy};
+use ahl_ledger::Value;
+use ahl_simkit::{MsgClass, NodeId, QueueConfig, Sim, SimConfig, SimDuration, SimTime};
+use ahl_txn::ShardMap;
+use ahl_workload::{KvStoreWorkload, SmallBankWorkload, Zipf};
+use rand::rngs::SmallRng;
+
+use crate::xclient::{sysstat, CrossShardClient, StateOpFactory};
+
+/// Workload selection for system-level experiments.
+#[derive(Clone, Debug)]
+pub enum SystemWorkload {
+    /// SmallBank sendPayment over `accounts` accounts with Zipf `theta`.
+    SmallBank {
+        /// Account population.
+        accounts: usize,
+        /// Zipf skew.
+        theta: f64,
+    },
+    /// KVStore with `ops_per_txn` updates over `keys` keys.
+    KvStore {
+        /// Key population.
+        keys: u64,
+        /// Updates per transaction (3 in the paper's cross-shard runs).
+        ops_per_txn: usize,
+    },
+}
+
+impl SystemWorkload {
+    fn genesis(&self) -> Vec<(String, Value)> {
+        match self {
+            SystemWorkload::SmallBank { accounts, .. } => {
+                SmallBankWorkload::paper(*accounts, 0.0).genesis()
+            }
+            SystemWorkload::KvStore { .. } => Vec::new(),
+        }
+    }
+
+    fn factory(&self) -> StateOpFactory {
+        match self.clone() {
+            SystemWorkload::SmallBank { accounts, theta } => {
+                let w = SmallBankWorkload::paper(accounts, theta);
+                let zipf = Zipf::new(accounts, theta);
+                Box::new(move |rng: &mut SmallRng| w.next_op(&zipf, rng))
+            }
+            SystemWorkload::KvStore { keys, ops_per_txn } => {
+                let w = KvStoreWorkload {
+                    keys,
+                    ops_per_txn,
+                    value_size: 64,
+                    theta: 0.0,
+                };
+                let zipf = Zipf::new(keys as usize, 0.0);
+                Box::new(move |rng: &mut SmallRng| w.next_op(&zipf, rng))
+            }
+        }
+    }
+}
+
+/// Configuration of a full-system run.
+pub struct SystemConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Committee size per shard.
+    pub committee_size: usize,
+    /// Include the reference committee (cross-shard transactions enabled).
+    pub with_reference: bool,
+    /// Consensus variant inside committees.
+    pub variant: BftVariant,
+    /// Testbed network.
+    pub net: NetChoice,
+    /// Number of cross-shard client drivers (the paper: 4 per shard).
+    pub clients: usize,
+    /// Outstanding transactions per client (the paper: 128).
+    pub outstanding: usize,
+    /// Workload.
+    pub workload: SystemWorkload,
+    /// Measured duration (after warmup).
+    pub duration: SimDuration,
+    /// Warmup.
+    pub warmup: SimDuration,
+    /// Batch size within committees.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// Paper-style defaults for `shards` shards of `committee_size` nodes.
+    pub fn new(shards: usize, committee_size: usize) -> Self {
+        SystemConfig {
+            shards,
+            committee_size,
+            with_reference: true,
+            variant: BftVariant::AhlPlus,
+            net: NetChoice::Cluster,
+            clients: 4 * shards,
+            outstanding: 128,
+            workload: SystemWorkload::SmallBank { accounts: 100_000, theta: 0.0 },
+            duration: SimDuration::from_secs(15),
+            warmup: SimDuration::from_secs(5),
+            batch_size: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// Metrics of a full-system run.
+#[derive(Clone, Debug, Default)]
+pub struct SystemMetrics {
+    /// Logical transactions committed per second (measured window).
+    pub tps: f64,
+    /// Total logical commits.
+    pub committed: u64,
+    /// Total logical aborts (lock conflicts, guards).
+    pub aborted: u64,
+    /// Abort rate among finished transactions.
+    pub abort_rate: f64,
+    /// Mean logical transaction latency.
+    pub latency_mean: SimDuration,
+    /// Fraction of transactions that were cross-shard.
+    pub cross_shard_fraction: f64,
+    /// Transactions abandoned after stalls.
+    pub stalled: u64,
+    /// View changes across all committees.
+    pub view_changes: u64,
+    /// Sum of all integer balances across shard ledgers at the end of the
+    /// run (conservation audit; `None` for non-monetary workloads).
+    pub final_balance: Option<i64>,
+}
+
+/// Run the full sharded system and report logical-transaction metrics.
+pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
+    let committees = cfg.shards + usize::from(cfg.with_reference);
+    let total_nodes = committees * cfg.committee_size + cfg.clients;
+
+    fn classify(m: &PbftMsg) -> MsgClass {
+        m.class()
+    }
+    fn size_of(m: &PbftMsg) -> usize {
+        m.wire_size()
+    }
+    let mut sim_cfg = SimConfig::new(cfg.seed);
+    sim_cfg.network = match cfg.net {
+        NetChoice::Cluster => Box::new(ahl_net::ClusterNetwork::new()),
+        NetChoice::Gcp { regions } => Box::new(ahl_net::GcpNetwork::new(total_nodes, regions)),
+    };
+    sim_cfg.classify = classify;
+    sim_cfg.size_of = size_of;
+    sim_cfg.uplink_bps = Some(match cfg.net {
+        NetChoice::Cluster => 1e9,
+        NetChoice::Gcp { .. } => 300e6,
+    });
+    let mut sim: Sim<PbftMsg> = Sim::new(sim_cfg);
+
+    let mut pbft = PbftConfig::new(cfg.variant, cfg.committee_size);
+    pbft.reply_policy = ReplyPolicy::IngestReplica;
+    pbft.batch_size = cfg.batch_size;
+    pbft.batch_timeout = SimDuration::from_millis(10);
+    pbft.cpu_scale = cfg.net.cpu_scale();
+
+    let map = ShardMap::new(cfg.shards);
+    let genesis = cfg.workload.genesis();
+
+    // Shard committees own their slice of the genesis state.
+    let mut shard_entry: Vec<NodeId> = Vec::with_capacity(cfg.shards);
+    for shard in 0..cfg.shards {
+        let local: Vec<(String, Value)> = genesis
+            .iter()
+            .filter(|(k, _)| map.shard_of(k) == shard)
+            .cloned()
+            .collect();
+        let group = add_committee(&mut sim, &pbft, &local, cfg.seed ^ (shard as u64 + 1) << 20);
+        shard_entry.push(group[0]);
+    }
+    // The reference committee starts with an empty ledger.
+    const REF_SEED_SALT: u64 = 0x5EF5_EF5E;
+    let ref_entry: NodeId = if cfg.with_reference {
+        let group = add_committee(&mut sim, &pbft, &[], cfg.seed ^ REF_SEED_SALT);
+        group[0]
+    } else {
+        shard_entry[0]
+    };
+
+    let stop = SimTime::ZERO + cfg.warmup + cfg.duration;
+    for c in 0..cfg.clients {
+        // Spread client entry points across committee members.
+        let targets: Vec<NodeId> = (0..cfg.shards)
+            .map(|s| {
+                let base = s * cfg.committee_size;
+                base + (c % cfg.committee_size)
+            })
+            .collect();
+        let ref_target = if cfg.with_reference {
+            cfg.shards * cfg.committee_size + (c % cfg.committee_size)
+        } else {
+            ref_entry
+        };
+        let client = CrossShardClient::new(
+            c,
+            targets,
+            ref_target,
+            map,
+            cfg.outstanding,
+            stop,
+            SimDuration::from_secs(8),
+            cfg.workload.factory(),
+        );
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+    }
+
+    sim.run_until(stop + SimDuration::from_secs(10));
+
+    // Conservation audit: read each shard's most-advanced replica.
+    let final_balance = match &cfg.workload {
+        SystemWorkload::SmallBank { .. } => {
+            use ahl_consensus::pbft::Replica;
+            let mut total = 0i64;
+            for shard in 0..cfg.shards {
+                let base = shard * cfg.committee_size;
+                let best = (base..base + cfg.committee_size)
+                    .filter_map(|id| {
+                        sim.actor(id)
+                            .as_any()
+                            .and_then(|a| a.downcast_ref::<Replica>())
+                    })
+                    .max_by_key(|r| r.exec_seq())
+                    .expect("committee has replicas");
+                total += best
+                    .state()
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("ck_") || k.starts_with("sv_"))
+                    .filter_map(|(_, v)| v.as_int())
+                    .sum::<i64>();
+            }
+            Some(total)
+        }
+        SystemWorkload::KvStore { .. } => None,
+    };
+
+    let stats = sim.stats();
+    let from = SimTime::ZERO + cfg.warmup;
+    let committed = stats.counter(sysstat::SYS_COMMITTED);
+    let aborted = stats.counter(sysstat::SYS_ABORTED);
+    let finished = committed + aborted;
+    SystemMetrics {
+        tps: stats.rate_in_window(sysstat::SYS_COMMIT_SERIES, from, stop),
+        committed,
+        aborted,
+        abort_rate: if finished == 0 { 0.0 } else { aborted as f64 / finished as f64 },
+        latency_mean: stats
+            .histogram(sysstat::SYS_LATENCY)
+            .map(|h| h.mean())
+            .unwrap_or_default(),
+        cross_shard_fraction: if finished == 0 {
+            0.0
+        } else {
+            stats.counter(sysstat::SYS_CROSS_SHARD) as f64 / finished as f64
+        },
+        stalled: stats.counter(sysstat::SYS_STALLED),
+        view_changes: stats.counter(ahl_consensus::stat::VIEW_CHANGES),
+        final_balance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system(with_reference: bool, theta: f64) -> SystemMetrics {
+        let mut cfg = SystemConfig::new(4, 3);
+        cfg.with_reference = with_reference;
+        cfg.clients = 8;
+        cfg.outstanding = 16;
+        cfg.workload = SystemWorkload::SmallBank { accounts: 2_000, theta };
+        cfg.duration = SimDuration::from_secs(8);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.batch_size = 20;
+        run_system(cfg)
+    }
+
+    #[test]
+    fn cross_shard_transactions_commit() {
+        let m = small_system(true, 0.0);
+        assert!(m.committed > 500, "committed {}", m.committed);
+        assert!(m.cross_shard_fraction > 0.5, "xs {}", m.cross_shard_fraction);
+        assert!(m.abort_rate < 0.2, "abort rate {}", m.abort_rate);
+    }
+
+    #[test]
+    fn skew_increases_abort_rate() {
+        let uniform = small_system(true, 0.0);
+        let skewed = small_system(true, 1.5);
+        assert!(
+            skewed.abort_rate > uniform.abort_rate,
+            "uniform {} skewed {}",
+            uniform.abort_rate,
+            skewed.abort_rate
+        );
+    }
+}

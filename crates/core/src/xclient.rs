@@ -1,0 +1,431 @@
+//! The cross-shard transaction driver (paper §6.3).
+//!
+//! Implements the client-relay optimization the paper uses in the normal
+//! case: "we let the clients collect and relay messages between R and
+//! tx-committees. We directly exploit the blockchain's ledger to record
+//! the progress of the commit protocol." Every protocol step is an
+//! ordinary transaction ordered by a committee's consensus:
+//!
+//! 1. **BeginTx** — a guarded op on the reference committee R's ledger
+//!    recording the transaction and initializing the Figure 6 counter `c`.
+//! 2. **PrepareTx** — an `Op::Prepare` at each involved shard (2PL lock
+//!    acquisition + pending write-set). The execution receipt is the
+//!    shard's PrepareOK / PrepareNotOK.
+//! 3. **Votes** — guarded ops on R's ledger implementing the Figure 6
+//!    transitions (duplicate-proof: each shard's vote key can be written
+//!    once; the counter `c` decrements on OK; an abort flag latches NotOK).
+//! 4. **CommitTx / AbortTx** — `Op::Commit`/`Op::Abort` at every involved
+//!    shard.
+//!
+//! Safety does not depend on the client: the on-chain guards make R's
+//! state machine follow Figure 6 no matter what a malicious client sends,
+//! and `ahl-txn` proves those state machines safe. A crashed client only
+//! delays its own transaction (liveness for the *locks* comes from R's
+//! ability to abort, exercised in the stall path below).
+
+use std::collections::HashMap;
+
+use ahl_consensus::common::Request;
+use ahl_consensus::pbft::PbftMsg;
+use ahl_ledger::{Condition, Mutation, Op, StateOp, TxId, Value};
+use ahl_simkit::{Actor, Ctx, NodeId, SimDuration, SimTime};
+use ahl_txn::ShardMap;
+use rand::rngs::SmallRng;
+
+/// Stat keys recorded by the cross-shard driver.
+pub mod sysstat {
+    /// Counter: logical transactions committed.
+    pub const SYS_COMMITTED: &str = "sys.txn_committed";
+    /// Counter: logical transactions aborted.
+    pub const SYS_ABORTED: &str = "sys.txn_aborted";
+    /// Series: logical commits over time.
+    pub const SYS_COMMIT_SERIES: &str = "sys.commit_series";
+    /// Histogram: logical transaction latency.
+    pub const SYS_LATENCY: &str = "sys.txn_latency";
+    /// Counter: transactions that were cross-shard.
+    pub const SYS_CROSS_SHARD: &str = "sys.cross_shard";
+    /// Counter: stalled transactions abandoned by the driver.
+    pub const SYS_STALLED: &str = "sys.stalled";
+}
+
+/// Keys of the coordinator chaincode on R's ledger.
+fn key_counter(txid: TxId) -> String {
+    format!("T{}.c", txid.0)
+}
+fn key_vote(txid: TxId, shard: usize) -> String {
+    format!("T{}.v{}", txid.0, shard)
+}
+fn key_abort(txid: TxId) -> String {
+    format!("T{}.abort", txid.0)
+}
+
+/// BeginTx chaincode op: register the transaction with `parts` shards.
+pub fn begin_op(txid: TxId, parts: usize) -> StateOp {
+    StateOp {
+        conditions: vec![Condition::NotExists(key_counter(txid))],
+        mutations: vec![(key_counter(txid), Mutation::Set(Value::Int(parts as i64)))],
+    }
+}
+
+/// PrepareOK vote chaincode op for `shard`.
+pub fn vote_ok_op(txid: TxId, shard: usize) -> StateOp {
+    StateOp {
+        conditions: vec![
+            Condition::Exists(key_counter(txid)),
+            Condition::NotExists(key_vote(txid, shard)),
+            Condition::NotExists(key_abort(txid)),
+        ],
+        mutations: vec![
+            (key_vote(txid, shard), Mutation::Set(Value::Bool(true))),
+            (key_counter(txid), Mutation::Add(-1)),
+        ],
+    }
+}
+
+/// PrepareNotOK vote chaincode op for `shard` (latches the abort flag).
+pub fn vote_not_ok_op(txid: TxId, shard: usize) -> StateOp {
+    StateOp {
+        conditions: vec![
+            Condition::Exists(key_counter(txid)),
+            Condition::NotExists(key_vote(txid, shard)),
+        ],
+        mutations: vec![
+            (key_vote(txid, shard), Mutation::Set(Value::Bool(false))),
+            (key_abort(txid), Mutation::Set(Value::Bool(true))),
+        ],
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Step {
+    Begin,
+    Prepare(usize),
+    Vote(usize),
+    Decide(usize),
+    SingleShard,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    parts: Vec<(usize, StateOp)>,
+    started: SimTime,
+    prepare_replies: usize,
+    any_not_ok: bool,
+    vote_replies: usize,
+    decide_replies: usize,
+    decided: bool,
+    last_activity: SimTime,
+}
+
+/// Generates the next transaction body for the driver.
+pub type StateOpFactory = Box<dyn FnMut(&mut SmallRng) -> StateOp + Send>;
+
+const TIMER_WATCHDOG: u64 = 1;
+
+/// A closed-loop cross-shard transaction driver.
+pub struct CrossShardClient {
+    /// One entry replica per shard committee.
+    shard_targets: Vec<NodeId>,
+    /// One entry replica in the reference committee.
+    ref_target: NodeId,
+    map: ShardMap,
+    window: usize,
+    stop_at: SimTime,
+    stall_timeout: SimDuration,
+    factory: StateOpFactory,
+
+    next_tx: u64,
+    next_req: u32,
+    inflight: HashMap<TxId, InFlight>,
+    req_index: HashMap<u64, (TxId, Step)>,
+}
+
+impl CrossShardClient {
+    /// Create a driver with `window` concurrently open transactions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        client_id: usize,
+        shard_targets: Vec<NodeId>,
+        ref_target: NodeId,
+        map: ShardMap,
+        window: usize,
+        stop_at: SimTime,
+        stall_timeout: SimDuration,
+        factory: StateOpFactory,
+    ) -> Self {
+        CrossShardClient {
+            shard_targets,
+            ref_target,
+            map,
+            window: window.max(1),
+            stop_at,
+            stall_timeout,
+            factory,
+            next_tx: (client_id as u64) << 40,
+            next_req: 0,
+            inflight: HashMap::new(),
+            req_index: HashMap::new(),
+        }
+    }
+
+    fn send_request(&mut self, ctx: &mut Ctx<'_, PbftMsg>, target: NodeId, op: Op, txid: TxId, step: Step) {
+        let req_id = Request::make_id(ctx.id(), self.next_req);
+        self.next_req = self.next_req.wrapping_add(1);
+        self.req_index.insert(req_id, (txid, step));
+        let req = Request { id: req_id, client: ctx.id(), op, submitted: ctx.now() };
+        ctx.send(target, PbftMsg::Request(req));
+    }
+
+    fn start_tx(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        if ctx.now() >= self.stop_at {
+            return;
+        }
+        let body = (self.factory)(ctx.rng());
+        self.next_tx += 1;
+        let txid = TxId(self.next_tx);
+        let parts = self.map.split_op(&body);
+        let entry = InFlight {
+            parts: parts.clone(),
+            started: ctx.now(),
+            prepare_replies: 0,
+            any_not_ok: false,
+            vote_replies: 0,
+            decide_replies: 0,
+            decided: false,
+            last_activity: ctx.now(),
+        };
+        self.inflight.insert(txid, entry);
+        match parts.len() {
+            0 => {
+                self.finish(txid, true, ctx);
+            }
+            1 => {
+                let (shard, sub) = &parts[0];
+                let target = self.shard_targets[*shard];
+                self.send_request(ctx, target, Op::Direct { txid, op: sub.clone() }, txid, Step::SingleShard);
+            }
+            n_parts => {
+                ctx.stats().inc(sysstat::SYS_CROSS_SHARD, 1);
+                self.send_request(
+                    ctx,
+                    self.ref_target,
+                    Op::Direct { txid, op: begin_op(txid, n_parts) },
+                    txid,
+                    Step::Begin,
+                );
+            }
+        }
+    }
+
+    fn finish(&mut self, txid: TxId, committed: bool, ctx: &mut Ctx<'_, PbftMsg>) {
+        let Some(entry) = self.inflight.remove(&txid) else { return };
+        let now = ctx.now();
+        ctx.stats().record_latency(sysstat::SYS_LATENCY, now.since(entry.started));
+        if committed {
+            ctx.stats().inc(sysstat::SYS_COMMITTED, 1);
+            ctx.stats().record_point(sysstat::SYS_COMMIT_SERIES, now, 1.0);
+        } else {
+            ctx.stats().inc(sysstat::SYS_ABORTED, 1);
+        }
+        self.start_tx(ctx);
+    }
+
+    fn on_reply(&mut self, req_id: u64, committed: bool, ctx: &mut Ctx<'_, PbftMsg>) {
+        let Some((txid, step)) = self.req_index.remove(&req_id) else { return };
+        let Some(entry) = self.inflight.get_mut(&txid) else { return };
+        entry.last_activity = ctx.now();
+        match step {
+            Step::SingleShard => {
+                self.finish(txid, committed, ctx);
+            }
+            Step::Begin => {
+                if !committed {
+                    // Duplicate txid or R overload: abandon.
+                    self.finish(txid, false, ctx);
+                    return;
+                }
+                // Send PrepareTx to every involved shard.
+                let sends: Vec<(NodeId, Op, usize)> = entry
+                    .parts
+                    .iter()
+                    .map(|(shard, sub)| {
+                        (
+                            self.shard_targets[*shard],
+                            Op::Prepare { txid, op: sub.clone() },
+                            *shard,
+                        )
+                    })
+                    .collect();
+                for (target, op, shard) in sends {
+                    self.send_request(ctx, target, op, txid, Step::Prepare(shard));
+                }
+            }
+            Step::Prepare(shard) => {
+                entry.prepare_replies += 1;
+                if !committed {
+                    entry.any_not_ok = true;
+                }
+                // Relay the shard's vote to R (recorded on R's chain).
+                let vote = if committed {
+                    vote_ok_op(txid, shard)
+                } else {
+                    vote_not_ok_op(txid, shard)
+                };
+                let target = self.ref_target;
+                self.send_request(ctx, target, Op::Direct { txid, op: vote }, txid, Step::Vote(shard));
+            }
+            Step::Vote(_) => {
+                entry.vote_replies += 1;
+                if entry.vote_replies == entry.parts.len() && !entry.decided {
+                    entry.decided = true;
+                    // The decision is now recorded on R's chain; deliver it.
+                    let commit = !entry.any_not_ok;
+                    let sends: Vec<(NodeId, Op, usize)> = entry
+                        .parts
+                        .iter()
+                        .map(|(shard, _)| {
+                            let op = if commit {
+                                Op::Commit { txid }
+                            } else {
+                                Op::Abort { txid }
+                            };
+                            (self.shard_targets[*shard], op, *shard)
+                        })
+                        .collect();
+                    for (target, op, shard) in sends {
+                        self.send_request(ctx, target, op, txid, Step::Decide(shard));
+                    }
+                }
+            }
+            Step::Decide(_) => {
+                entry.decide_replies += 1;
+                if entry.decide_replies == entry.parts.len() {
+                    let committed_tx = !entry.any_not_ok;
+                    self.finish(txid, committed_tx, ctx);
+                }
+            }
+        }
+    }
+
+    fn watchdog(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        // Abandon transactions that stalled (lost replies, view changes);
+        // send aborts so shard locks are released, then refill the window.
+        let now = ctx.now();
+        let stalled: Vec<TxId> = self
+            .inflight
+            .iter()
+            .filter(|(_, e)| now.since(e.last_activity) > self.stall_timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        for txid in stalled {
+            if let Some(entry) = self.inflight.get(&txid) {
+                let sends: Vec<(NodeId, Op)> = entry
+                    .parts
+                    .iter()
+                    .map(|(shard, _)| (self.shard_targets[*shard], Op::Abort { txid }))
+                    .collect();
+                for (target, op) in sends {
+                    self.send_request(ctx, target, op, txid, Step::Decide(usize::MAX));
+                }
+            }
+            ctx.stats().inc(sysstat::SYS_STALLED, 1);
+            self.finish(txid, false, ctx);
+        }
+        while self.inflight.len() < self.window && ctx.now() < self.stop_at {
+            let before = self.inflight.len();
+            self.start_tx(ctx);
+            if self.inflight.len() <= before {
+                break; // start_tx completed instantly or stop reached
+            }
+        }
+        ctx.set_timer(self.stall_timeout, TIMER_WATCHDOG);
+    }
+}
+
+impl Actor for CrossShardClient {
+    type Msg = PbftMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        for _ in 0..self.window {
+            self.start_tx(ctx);
+        }
+        ctx.set_timer(self.stall_timeout, TIMER_WATCHDOG);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: PbftMsg, ctx: &mut Ctx<'_, PbftMsg>) {
+        if let PbftMsg::Reply { req_id, committed } = msg {
+            self.on_reply(req_id, committed, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        if kind == TIMER_WATCHDOG {
+            self.watchdog(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinator_chaincode_guards() {
+        use ahl_ledger::StateStore;
+        let mut r_state = StateStore::new();
+        let txid = TxId(9);
+        // Begin registers once.
+        assert!(r_state
+            .execute(&Op::Direct { txid, op: begin_op(txid, 2) })
+            .status
+            .is_committed());
+        assert!(!r_state
+            .execute(&Op::Direct { txid, op: begin_op(txid, 2) })
+            .status
+            .is_committed());
+        // Votes: one per shard, duplicates refused.
+        assert!(r_state
+            .execute(&Op::Direct { txid, op: vote_ok_op(txid, 0) })
+            .status
+            .is_committed());
+        assert!(!r_state
+            .execute(&Op::Direct { txid, op: vote_ok_op(txid, 0) })
+            .status
+            .is_committed());
+        // Second OK brings the counter to zero: committed state on-chain.
+        assert!(r_state
+            .execute(&Op::Direct { txid, op: vote_ok_op(txid, 1) })
+            .status
+            .is_committed());
+        assert_eq!(r_state.get_int(&key_counter(txid)), 0);
+    }
+
+    #[test]
+    fn not_ok_latches_abort_flag() {
+        use ahl_ledger::StateStore;
+        let mut r_state = StateStore::new();
+        let txid = TxId(4);
+        r_state.execute(&Op::Direct { txid, op: begin_op(txid, 2) });
+        assert!(r_state
+            .execute(&Op::Direct { txid, op: vote_not_ok_op(txid, 0) })
+            .status
+            .is_committed());
+        // A later OK from another shard is refused: abort already latched.
+        assert!(!r_state
+            .execute(&Op::Direct { txid, op: vote_ok_op(txid, 1) })
+            .status
+            .is_committed());
+        assert_eq!(r_state.get_int(&key_counter(txid)), 2);
+    }
+
+    #[test]
+    fn votes_before_begin_refused() {
+        use ahl_ledger::StateStore;
+        let mut r_state = StateStore::new();
+        let txid = TxId(5);
+        assert!(!r_state
+            .execute(&Op::Direct { txid, op: vote_ok_op(txid, 0) })
+            .status
+            .is_committed());
+    }
+}

@@ -1,0 +1,269 @@
+//! Blocks and the hash-linked chain.
+
+use ahl_crypto::{sha256_parts, Hash, MerkleTree};
+
+use crate::types::{Op, Receipt};
+
+/// Block header: hash-linked, with Merkle transaction root and state digest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockHeader {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Hash of the previous block header.
+    pub prev: Hash,
+    /// Merkle root over the transactions' digests.
+    pub txn_root: Hash,
+    /// State digest after executing this block.
+    pub state_digest: Hash,
+    /// Simulated timestamp (nanoseconds).
+    pub timestamp: u64,
+    /// Proposing replica.
+    pub proposer: u64,
+}
+
+impl BlockHeader {
+    /// Digest of the header (the block id).
+    pub fn digest(&self) -> Hash {
+        sha256_parts(&[
+            b"ahl-block",
+            &self.height.to_be_bytes(),
+            &self.prev.0,
+            &self.txn_root.0,
+            &self.state_digest.0,
+            &self.timestamp.to_be_bytes(),
+            &self.proposer.to_be_bytes(),
+        ])
+    }
+}
+
+/// A block: header plus the ordered transactions it commits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// The header.
+    pub header: BlockHeader,
+    /// Ordered transactions.
+    pub txns: Vec<Op>,
+}
+
+impl Block {
+    /// Compute the Merkle root over `txns`.
+    pub fn txn_root(txns: &[Op]) -> Hash {
+        let leaves: Vec<[u8; 32]> = txns.iter().map(|t| t.digest().0).collect();
+        MerkleTree::build(&leaves).root()
+    }
+
+    /// Build a block on top of `prev`.
+    pub fn build(
+        height: u64,
+        prev: Hash,
+        txns: Vec<Op>,
+        state_digest: Hash,
+        timestamp: u64,
+        proposer: u64,
+    ) -> Block {
+        let txn_root = Self::txn_root(&txns);
+        Block {
+            header: BlockHeader {
+                height,
+                prev,
+                txn_root,
+                state_digest,
+                timestamp,
+                proposer,
+            },
+            txns,
+        }
+    }
+
+    /// Verify the header's transaction root matches the body.
+    pub fn verify_txn_root(&self) -> bool {
+        Self::txn_root(&self.txns) == self.header.txn_root
+    }
+
+    /// Approximate wire size (header + transactions).
+    pub fn wire_size(&self) -> usize {
+        128 + self.txns.iter().map(Op::wire_size).sum::<usize>()
+    }
+}
+
+/// Errors when appending to a [`Chain`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// Height is not `tip_height + 1`.
+    BadHeight {
+        /// Expected height.
+        expected: u64,
+        /// Provided height.
+        got: u64,
+    },
+    /// `prev` does not match the tip's digest.
+    BadParent,
+    /// Transaction root does not match the body.
+    BadTxnRoot,
+}
+
+/// An append-only hash-linked chain of blocks, with execution receipts.
+#[derive(Clone, Debug, Default)]
+pub struct Chain {
+    blocks: Vec<Block>,
+    receipts: Vec<Vec<Receipt>>,
+}
+
+impl Chain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current height (`None` when empty).
+    pub fn tip_height(&self) -> Option<u64> {
+        self.blocks.last().map(|b| b.header.height)
+    }
+
+    /// Digest of the tip header, or [`Hash::ZERO`] for an empty chain.
+    pub fn tip_digest(&self) -> Hash {
+        self.blocks
+            .last()
+            .map(|b| b.header.digest())
+            .unwrap_or(Hash::ZERO)
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the chain holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total committed transactions across all blocks.
+    pub fn total_txns(&self) -> usize {
+        self.blocks.iter().map(|b| b.txns.len()).sum()
+    }
+
+    /// Access a block by height.
+    pub fn block(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    /// Receipts of the block at `height`.
+    pub fn receipts(&self, height: u64) -> Option<&[Receipt]> {
+        self.receipts.get(height as usize).map(Vec::as_slice)
+    }
+
+    /// Validate and append `block` with its execution `receipts`.
+    pub fn append(&mut self, block: Block, receipts: Vec<Receipt>) -> Result<(), ChainError> {
+        let expected = self.tip_height().map_or(0, |h| h + 1);
+        if block.header.height != expected {
+            return Err(ChainError::BadHeight {
+                expected,
+                got: block.header.height,
+            });
+        }
+        if block.header.prev != self.tip_digest() {
+            return Err(ChainError::BadParent);
+        }
+        if !block.verify_txn_root() {
+            return Err(ChainError::BadTxnRoot);
+        }
+        self.blocks.push(block);
+        self.receipts.push(receipts);
+        Ok(())
+    }
+
+    /// Verify the whole chain's hash links and roots from genesis.
+    pub fn verify(&self) -> bool {
+        let mut prev = Hash::ZERO;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.header.height != i as u64 || b.header.prev != prev || !b.verify_txn_root() {
+                return false;
+            }
+            prev = b.header.digest();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Mutation, StateOp, TxId};
+
+    fn op(i: u64) -> Op {
+        Op::Direct {
+            txid: TxId(i),
+            op: StateOp {
+                conditions: vec![],
+                mutations: vec![(format!("k{i}"), Mutation::Add(1))],
+            },
+        }
+    }
+
+    fn build_chain(n: u64) -> Chain {
+        let mut chain = Chain::new();
+        for h in 0..n {
+            let b = Block::build(h, chain.tip_digest(), vec![op(h)], Hash::ZERO, h, 0);
+            chain.append(b, vec![]).expect("append");
+        }
+        chain
+    }
+
+    #[test]
+    fn append_and_verify() {
+        let chain = build_chain(5);
+        assert_eq!(chain.len(), 5);
+        assert_eq!(chain.tip_height(), Some(4));
+        assert_eq!(chain.total_txns(), 5);
+        assert!(chain.verify());
+    }
+
+    #[test]
+    fn wrong_height_rejected() {
+        let mut chain = build_chain(2);
+        let b = Block::build(5, chain.tip_digest(), vec![], Hash::ZERO, 0, 0);
+        assert_eq!(
+            chain.append(b, vec![]),
+            Err(ChainError::BadHeight { expected: 2, got: 5 })
+        );
+    }
+
+    #[test]
+    fn wrong_parent_rejected() {
+        let mut chain = build_chain(2);
+        let b = Block::build(2, Hash::ZERO, vec![], Hash::ZERO, 0, 0);
+        assert_eq!(chain.append(b, vec![]), Err(ChainError::BadParent));
+    }
+
+    #[test]
+    fn tampered_body_rejected() {
+        let mut chain = build_chain(1);
+        let mut b = Block::build(1, chain.tip_digest(), vec![op(1)], Hash::ZERO, 0, 0);
+        b.txns.push(op(99)); // body no longer matches root
+        assert_eq!(chain.append(b, vec![]), Err(ChainError::BadTxnRoot));
+    }
+
+    #[test]
+    fn header_digest_covers_fields() {
+        let b1 = Block::build(1, Hash::ZERO, vec![op(1)], Hash::ZERO, 7, 0);
+        let mut h2 = b1.header.clone();
+        h2.timestamp = 8;
+        assert_ne!(b1.header.digest(), h2.digest());
+    }
+
+    #[test]
+    fn empty_block_is_valid() {
+        let mut chain = Chain::new();
+        let b = Block::build(0, Hash::ZERO, vec![], Hash::ZERO, 0, 0);
+        assert!(chain.append(b, vec![]).is_ok());
+        assert!(chain.verify());
+    }
+
+    #[test]
+    fn wire_size_grows_with_txns() {
+        let small = Block::build(0, Hash::ZERO, vec![op(1)], Hash::ZERO, 0, 0);
+        let large = Block::build(0, Hash::ZERO, (0..100).map(op).collect(), Hash::ZERO, 0, 0);
+        assert!(large.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,29 @@
+//! # ahl-ledger — blockchain ledger substrate
+//!
+//! The Hyperledger-style ledger the consensus and transaction layers build
+//! on: key-value state, guarded-mutation transactions, hash-linked blocks
+//! with Merkle transaction roots, and the two benchmark chaincodes the
+//! paper evaluates with (BLOCKBENCH's KVStore and SmallBank).
+//!
+//! * [`StateStore`] — versioned KV state with 2PL execution semantics: the
+//!   §6.3 prepare / commit / abort split, lock markers under `"L_" + key`,
+//!   pending write sets, and a rolling state digest.
+//! * [`Op`] / [`StateOp`] — the transaction model: guarded mutation sets,
+//!   general enough for any non-UTXO blockchain application (the paper's
+//!   target workloads).
+//! * [`Block`] / [`Chain`] — hash-linked blocks with Merkle roots.
+//! * [`smallbank`] / [`kvstore`] — the benchmark chaincodes.
+
+#![warn(missing_docs)]
+
+mod block;
+pub mod kvstore;
+pub mod smallbank;
+mod state;
+mod types;
+
+pub use block::{Block, BlockHeader, Chain, ChainError};
+pub use state::{lock_key, StateStore, LOCK_PREFIX};
+pub use types::{
+    AbortReason, Condition, ExecStatus, Key, Mutation, Op, Receipt, StateOp, TxId, Value,
+};

@@ -1,0 +1,500 @@
+//! The key-value state store with two-phase-locking execution semantics.
+//!
+//! Implements the execution model of §6.3: locks are ordinary blockchain
+//! states under the key `"L_" + key`, prepares stash their write sets as
+//! pending state, commits apply them, aborts discard them. Single-shard
+//! (`Direct`) transactions abort on locked keys, which is how 2PL isolation
+//! manifests without intra-shard concurrency (execution is sequential
+//! within a shard — concurrency only arises across shards).
+
+use std::collections::HashMap;
+
+use ahl_crypto::{sha256_parts, Hash};
+
+use crate::types::{
+    AbortReason, Condition, ExecStatus, Key, Mutation, Op, Receipt, StateOp, TxId, Value,
+};
+
+/// Prefix for lock marker keys, as in the paper ("L_"acc).
+pub const LOCK_PREFIX: &str = "L_";
+
+#[derive(Clone, Debug)]
+struct PendingTx {
+    locks: Vec<Key>,
+    mutations: Vec<(Key, Mutation)>,
+}
+
+/// The ledger state of one shard.
+#[derive(Clone, Debug, Default)]
+pub struct StateStore {
+    map: HashMap<Key, Value>,
+    pending: HashMap<TxId, PendingTx>,
+    /// Transactions already committed or aborted here. A PrepareTx that
+    /// arrives after its decision (reordered across the network) must be
+    /// refused, or its locks would never be released.
+    resolved: std::collections::HashSet<TxId>,
+    /// Rolling state digest, updated on every applied mutation.
+    state_digest: Hash,
+}
+
+impl StateStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.map.get(key)
+    }
+
+    /// Integer value of a key, treating absent as 0.
+    pub fn get_int(&self, key: &str) -> i64 {
+        self.map.get(key).and_then(Value::as_int).unwrap_or(0)
+    }
+
+    /// Direct write (genesis/state-sync only; transactions go through
+    /// [`StateStore::execute`]).
+    pub fn put(&mut self, key: Key, value: Value) {
+        self.bump_digest(&key, Some(&value));
+        self.map.insert(key, value);
+    }
+
+    /// Number of live keys (including lock markers).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of transactions currently prepared but not yet resolved.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Iterate all live key-value pairs (post-run inspection, audits).
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Value)> {
+        self.map.iter()
+    }
+
+    /// Whether `key` is currently locked by a prepared transaction.
+    pub fn is_locked(&self, key: &str) -> bool {
+        matches!(self.map.get(&lock_key(key)), Some(Value::Bool(true)))
+    }
+
+    /// Rolling digest of all applied state transitions (stands in for a
+    /// state-trie root: collision-resistant commitment to the mutation
+    /// history, cheap enough to maintain per transaction).
+    pub fn state_digest(&self) -> Hash {
+        self.state_digest
+    }
+
+    fn bump_digest(&mut self, key: &str, value: Option<&Value>) {
+        let val_part: Vec<u8> = match value {
+            Some(Value::Int(i)) => i.to_be_bytes().to_vec(),
+            Some(Value::Bytes(b)) => b.clone(),
+            Some(Value::Bool(b)) => vec![*b as u8],
+            None => vec![0xde, 0x1e, 0x7e],
+        };
+        self.state_digest = sha256_parts(&[&self.state_digest.0, key.as_bytes(), &val_part]);
+    }
+
+    fn check_conditions(&self, op: &StateOp) -> Result<(), AbortReason> {
+        for c in &op.conditions {
+            let ok = match c {
+                Condition::Exists(k) => self.map.contains_key(k),
+                Condition::NotExists(k) => !self.map.contains_key(k),
+                Condition::IntAtLeast { key, min } => self.get_int(key) >= *min,
+            };
+            if !ok {
+                return Err(AbortReason::ConditionFailed(c.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_unlocked(&self, op: &StateOp) -> Result<(), AbortReason> {
+        for k in op.touched_keys() {
+            if self.is_locked(&k) {
+                return Err(AbortReason::LockConflict(k));
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_mutation(&mut self, key: &Key, m: &Mutation) {
+        match m {
+            Mutation::Set(v) => {
+                self.bump_digest(key, Some(v));
+                self.map.insert(key.clone(), v.clone());
+            }
+            Mutation::Add(d) => {
+                let cur = self.get_int(key);
+                let v = Value::Int(cur + d);
+                self.bump_digest(key, Some(&v));
+                self.map.insert(key.clone(), v);
+            }
+            Mutation::Delete => {
+                self.bump_digest(key, None);
+                self.map.remove(key);
+            }
+        }
+    }
+
+    /// Execute one transaction operation, returning its receipt.
+    pub fn execute(&mut self, op: &Op) -> Receipt {
+        let status = match op {
+            Op::Direct { op, .. } => self.exec_direct(op),
+            Op::Prepare { txid, op } => self.exec_prepare(*txid, op),
+            Op::Commit { txid } => self.exec_commit(*txid),
+            Op::Abort { txid } => self.exec_abort(*txid),
+            Op::Read { keys, .. } => ExecStatus::Committed(
+                keys.iter()
+                    .map(|k| (k.clone(), self.map.get(k).cloned()))
+                    .collect(),
+            ),
+            Op::Noop => ExecStatus::Committed(vec![]),
+        };
+        Receipt { txid: op.txid(), status }
+    }
+
+    fn exec_direct(&mut self, op: &StateOp) -> ExecStatus {
+        if let Err(r) = self.check_unlocked(op) {
+            return ExecStatus::Aborted(r);
+        }
+        if let Err(r) = self.check_conditions(op) {
+            return ExecStatus::Aborted(r);
+        }
+        for (k, m) in &op.mutations {
+            self.apply_mutation(k, m);
+        }
+        ExecStatus::Committed(vec![])
+    }
+
+    fn exec_prepare(&mut self, txid: TxId, op: &StateOp) -> ExecStatus {
+        if self.pending.contains_key(&txid) {
+            return ExecStatus::Aborted(AbortReason::DuplicatePrepare);
+        }
+        if self.resolved.contains(&txid) {
+            return ExecStatus::Aborted(AbortReason::AlreadyResolved);
+        }
+        if let Err(r) = self.check_unlocked(op) {
+            return ExecStatus::Aborted(r);
+        }
+        if let Err(r) = self.check_conditions(op) {
+            return ExecStatus::Aborted(r);
+        }
+        // Acquire locks: write ⟨L_key, true⟩ to the blockchain state (§6.3).
+        let locks = op.touched_keys();
+        for k in &locks {
+            let lk = lock_key(k);
+            let v = Value::Bool(true);
+            self.bump_digest(&lk, Some(&v));
+            self.map.insert(lk, v);
+        }
+        self.pending.insert(
+            txid,
+            PendingTx { locks, mutations: op.mutations.clone() },
+        );
+        ExecStatus::Committed(vec![])
+    }
+
+    fn exec_commit(&mut self, txid: TxId) -> ExecStatus {
+        let Some(p) = self.pending.remove(&txid) else {
+            return ExecStatus::Aborted(AbortReason::NoPendingTx);
+        };
+        for (k, m) in &p.mutations {
+            self.apply_mutation(k, m);
+        }
+        self.release_locks(&p.locks);
+        self.resolved.insert(txid);
+        ExecStatus::Committed(vec![])
+    }
+
+    fn exec_abort(&mut self, txid: TxId) -> ExecStatus {
+        // Remember the decision so a reordered late PrepareTx is refused.
+        self.resolved.insert(txid);
+        let Some(p) = self.pending.remove(&txid) else {
+            // Aborting an unknown/never-prepared tx still records the
+            // decision: the coordinator broadcasts aborts to shards whose
+            // prepare may not have executed yet.
+            return ExecStatus::Committed(vec![]);
+        };
+        self.release_locks(&p.locks);
+        ExecStatus::Committed(vec![])
+    }
+
+    fn release_locks(&mut self, locks: &[Key]) {
+        for k in locks {
+            let lk = lock_key(k);
+            self.bump_digest(&lk, None);
+            self.map.remove(&lk);
+        }
+    }
+}
+
+/// The lock marker key for `key` ("L_" + key, §6.3).
+pub fn lock_key(key: &str) -> Key {
+    format!("{LOCK_PREFIX}{key}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transfer(from: &str, to: &str, amt: i64) -> StateOp {
+        StateOp {
+            conditions: vec![Condition::IntAtLeast { key: from.into(), min: amt }],
+            mutations: vec![
+                (from.into(), Mutation::Add(-amt)),
+                (to.into(), Mutation::Add(amt)),
+            ],
+        }
+    }
+
+    fn store_with_balances() -> StateStore {
+        let mut s = StateStore::new();
+        s.put("a".into(), Value::Int(100));
+        s.put("b".into(), Value::Int(50));
+        s
+    }
+
+    #[test]
+    fn direct_transfer_applies() {
+        let mut s = store_with_balances();
+        let r = s.execute(&Op::Direct { txid: TxId(1), op: transfer("a", "b", 30) });
+        assert!(r.status.is_committed());
+        assert_eq!(s.get_int("a"), 70);
+        assert_eq!(s.get_int("b"), 80);
+    }
+
+    #[test]
+    fn direct_insufficient_funds_aborts() {
+        let mut s = store_with_balances();
+        let r = s.execute(&Op::Direct { txid: TxId(1), op: transfer("a", "b", 500) });
+        assert!(matches!(
+            r.status,
+            ExecStatus::Aborted(AbortReason::ConditionFailed(_))
+        ));
+        assert_eq!(s.get_int("a"), 100);
+        assert_eq!(s.get_int("b"), 50);
+    }
+
+    #[test]
+    fn prepare_locks_and_stashes() {
+        let mut s = store_with_balances();
+        let r = s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "b", 30) });
+        assert!(r.status.is_committed());
+        assert!(s.is_locked("a"));
+        assert!(s.is_locked("b"));
+        // Balances unchanged until commit.
+        assert_eq!(s.get_int("a"), 100);
+        assert_eq!(s.pending_count(), 1);
+    }
+
+    #[test]
+    fn commit_applies_and_unlocks() {
+        let mut s = store_with_balances();
+        s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "b", 30) });
+        let r = s.execute(&Op::Commit { txid: TxId(1) });
+        assert!(r.status.is_committed());
+        assert_eq!(s.get_int("a"), 70);
+        assert_eq!(s.get_int("b"), 80);
+        assert!(!s.is_locked("a"));
+        assert_eq!(s.pending_count(), 0);
+    }
+
+    #[test]
+    fn abort_discards_and_unlocks() {
+        let mut s = store_with_balances();
+        s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "b", 30) });
+        let r = s.execute(&Op::Abort { txid: TxId(1) });
+        assert!(r.status.is_committed());
+        assert_eq!(s.get_int("a"), 100);
+        assert_eq!(s.get_int("b"), 50);
+        assert!(!s.is_locked("a"));
+    }
+
+    #[test]
+    fn conflicting_prepare_rejected() {
+        let mut s = store_with_balances();
+        s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "b", 30) });
+        // Second transaction touching "a" must observe the lock (isolation).
+        let r = s.execute(&Op::Prepare { txid: TxId(2), op: transfer("a", "b", 10) });
+        assert!(matches!(
+            r.status,
+            ExecStatus::Aborted(AbortReason::LockConflict(_))
+        ));
+        // Direct transactions also respect locks.
+        let r2 = s.execute(&Op::Direct { txid: TxId(3), op: transfer("a", "b", 10) });
+        assert!(matches!(
+            r2.status,
+            ExecStatus::Aborted(AbortReason::LockConflict(_))
+        ));
+    }
+
+    #[test]
+    fn disjoint_prepares_coexist() {
+        let mut s = store_with_balances();
+        s.put("c".into(), Value::Int(10));
+        s.put("d".into(), Value::Int(10));
+        let r1 = s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "b", 5) });
+        let r2 = s.execute(&Op::Prepare { txid: TxId(2), op: transfer("c", "d", 5) });
+        assert!(r1.status.is_committed());
+        assert!(r2.status.is_committed());
+        assert_eq!(s.pending_count(), 2);
+    }
+
+    #[test]
+    fn commit_without_prepare_aborts() {
+        let mut s = StateStore::new();
+        let r = s.execute(&Op::Commit { txid: TxId(7) });
+        assert!(matches!(
+            r.status,
+            ExecStatus::Aborted(AbortReason::NoPendingTx)
+        ));
+    }
+
+    #[test]
+    fn abort_without_prepare_is_noop_success() {
+        let mut s = StateStore::new();
+        let r = s.execute(&Op::Abort { txid: TxId(7) });
+        assert!(r.status.is_committed());
+    }
+
+    #[test]
+    fn duplicate_prepare_rejected() {
+        let mut s = store_with_balances();
+        s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "b", 5) });
+        let r = s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "b", 5) });
+        assert!(matches!(
+            r.status,
+            ExecStatus::Aborted(AbortReason::DuplicatePrepare)
+        ));
+    }
+
+    #[test]
+    fn read_returns_values() {
+        let mut s = store_with_balances();
+        let r = s.execute(&Op::Read {
+            txid: TxId(1),
+            keys: vec!["a".into(), "zz".into()],
+        });
+        match r.status {
+            ExecStatus::Committed(vals) => {
+                assert_eq!(vals[0].1, Some(Value::Int(100)));
+                assert_eq!(vals[1].1, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_digest_changes_with_writes() {
+        let mut s = StateStore::new();
+        let d0 = s.state_digest();
+        s.put("a".into(), Value::Int(1));
+        let d1 = s.state_digest();
+        assert_ne!(d0, d1);
+        s.execute(&Op::Direct {
+            txid: TxId(1),
+            op: StateOp {
+                conditions: vec![],
+                mutations: vec![("a".into(), Mutation::Add(1))],
+            },
+        });
+        assert_ne!(s.state_digest(), d1);
+    }
+
+    #[test]
+    fn digest_deterministic_across_replicas() {
+        let build = || {
+            let mut s = StateStore::new();
+            s.put("a".into(), Value::Int(100));
+            s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "a2", 3) });
+            s.execute(&Op::Commit { txid: TxId(1) });
+            s.state_digest()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn delete_mutation() {
+        let mut s = store_with_balances();
+        s.execute(&Op::Direct {
+            txid: TxId(1),
+            op: StateOp {
+                conditions: vec![Condition::Exists("a".into())],
+                mutations: vec![("a".into(), Mutation::Delete)],
+            },
+        });
+        assert!(s.get("a").is_none());
+        // Exists guard now fails.
+        let r = s.execute(&Op::Direct {
+            txid: TxId(2),
+            op: StateOp {
+                conditions: vec![Condition::Exists("a".into())],
+                mutations: vec![],
+            },
+        });
+        assert!(!r.status.is_committed());
+    }
+
+    proptest::proptest! {
+        /// Atomicity invariant: a sequence of random transfers through
+        /// prepare/commit/abort conserves the total balance.
+        #[test]
+        fn conservation_of_funds(
+            steps in proptest::collection::vec((0u8..4, 0usize..4, 0usize..4, 1i64..50), 1..60)
+        ) {
+            let accounts = ["w", "x", "y", "z"];
+            let mut s = StateStore::new();
+            for a in accounts {
+                s.put(a.into(), Value::Int(1000));
+            }
+            let mut next_tx = 0u64;
+            let mut open: Vec<TxId> = Vec::new();
+            for (kind, from, to, amt) in steps {
+                match kind {
+                    0 => {
+                        let txid = TxId(next_tx);
+                        next_tx += 1;
+                        let op = transfer(accounts[from], accounts[to], amt);
+                        if s.execute(&Op::Prepare { txid, op }).status.is_committed() {
+                            open.push(txid);
+                        }
+                    }
+                    1 => {
+                        if let Some(txid) = open.pop() {
+                            s.execute(&Op::Commit { txid });
+                        }
+                    }
+                    2 => {
+                        if let Some(txid) = open.pop() {
+                            s.execute(&Op::Abort { txid });
+                        }
+                    }
+                    _ => {
+                        let txid = TxId(next_tx);
+                        next_tx += 1;
+                        let op = transfer(accounts[from], accounts[to], amt);
+                        s.execute(&Op::Direct { txid, op });
+                    }
+                }
+            }
+            // Resolve the rest.
+            for txid in open {
+                s.execute(&Op::Commit { txid });
+            }
+            let total: i64 = accounts.iter().map(|a| s.get_int(a)).sum();
+            proptest::prop_assert_eq!(total, 4000);
+            // And no locks should remain.
+            for a in accounts {
+                proptest::prop_assert!(!s.is_locked(a));
+            }
+        }
+    }
+}

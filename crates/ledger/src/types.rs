@@ -1,0 +1,428 @@
+//! Core ledger data types: keys, values, and the transaction operation
+//! model.
+//!
+//! The paper targets *general* blockchain workloads (not UTXO): Hyperledger
+//! models state as key-value tuples that chaincode reads and writes. We
+//! capture chaincode execution as [`StateOp`]s — guarded sets of mutations —
+//! which is expressive enough for KVStore, SmallBank, and the prepare /
+//! commit / abort split of §6.3, while staying analyzable.
+
+use ahl_crypto::{sha256_parts, Hash};
+
+/// A state key (Hyperledger-style string key).
+pub type Key = String;
+
+/// A state value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Integer (balances, counters).
+    Int(i64),
+    /// Raw bytes (KVStore payloads).
+    Bytes(Vec<u8>),
+    /// Boolean (lock markers).
+    Bool(bool),
+}
+
+impl Value {
+    /// Integer content, or `None` for other variants.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Approximate serialized size in bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Int(_) => 8,
+            Value::Bytes(b) => b.len(),
+            Value::Bool(_) => 1,
+        }
+    }
+
+    fn digest_bytes(&self) -> Vec<u8> {
+        match self {
+            Value::Int(i) => {
+                let mut v = vec![0u8];
+                v.extend_from_slice(&i.to_be_bytes());
+                v
+            }
+            Value::Bytes(b) => {
+                let mut v = vec![1u8];
+                v.extend_from_slice(b);
+                v
+            }
+            Value::Bool(b) => vec![2u8, *b as u8],
+        }
+    }
+}
+
+/// A state mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Overwrite the key with a value.
+    Set(Value),
+    /// Integer addition (creates the key at `delta` if absent). The natural
+    /// encoding for balance transfers.
+    Add(i64),
+    /// Remove the key.
+    Delete,
+}
+
+/// A guard evaluated against current state before mutations apply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Condition {
+    /// The key must exist.
+    Exists(Key),
+    /// The key must not exist (e.g. "this transaction has not begun").
+    NotExists(Key),
+    /// The key's integer value must be at least `min` (absent counts as 0).
+    IntAtLeast {
+        /// Guarded key.
+        key: Key,
+        /// Minimum required value.
+        min: i64,
+    },
+}
+
+impl Condition {
+    /// The key this condition reads.
+    pub fn key(&self) -> &Key {
+        match self {
+            Condition::Exists(k) | Condition::NotExists(k) => k,
+            Condition::IntAtLeast { key, .. } => key,
+        }
+    }
+}
+
+/// A guarded set of mutations — the unit of chaincode execution.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct StateOp {
+    /// All guards must hold or the operation aborts.
+    pub conditions: Vec<Condition>,
+    /// Applied atomically when the guards hold.
+    pub mutations: Vec<(Key, Mutation)>,
+}
+
+impl StateOp {
+    /// Every key the operation touches (guards + mutations), deduplicated,
+    /// in first-occurrence order. This is the 2PL lock set.
+    pub fn touched_keys(&self) -> Vec<Key> {
+        let mut keys: Vec<Key> = Vec::new();
+        for c in &self.conditions {
+            if !keys.contains(c.key()) {
+                keys.push(c.key().clone());
+            }
+        }
+        for (k, _) in &self.mutations {
+            if !keys.contains(k) {
+                keys.push(k.clone());
+            }
+        }
+        keys
+    }
+
+    /// Number of state accesses (used by the execution cost model).
+    pub fn weight(&self) -> usize {
+        self.conditions.len() + self.mutations.len()
+    }
+
+    /// Restrict this operation to the keys selected by `owned`: guards and
+    /// mutations on foreign keys are dropped. This is how a cross-shard
+    /// transaction is split into per-shard sub-operations.
+    pub fn restrict_to(&self, owned: impl Fn(&Key) -> bool) -> StateOp {
+        StateOp {
+            conditions: self
+                .conditions
+                .iter()
+                .filter(|c| owned(c.key()))
+                .cloned()
+                .collect(),
+            mutations: self
+                .mutations
+                .iter()
+                .filter(|(k, _)| owned(k))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// Globally unique transaction identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TxId(pub u64);
+
+/// A ledger transaction: an identified operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Execute a [`StateOp`] directly (single-shard transaction).
+    Direct {
+        /// Transaction id.
+        txid: TxId,
+        /// The guarded mutation set.
+        op: StateOp,
+    },
+    /// Phase 1 of 2PC (§6.3 `preparePayment`): validate guards, acquire
+    /// locks on every touched key, stash the mutations as pending.
+    Prepare {
+        /// Cross-shard transaction id.
+        txid: TxId,
+        /// The local shard's slice of the transaction.
+        op: StateOp,
+    },
+    /// Phase 2 commit (§6.3 `commitPayment`): apply pending mutations and
+    /// release locks.
+    Commit {
+        /// Cross-shard transaction id.
+        txid: TxId,
+    },
+    /// Phase 2 abort (§6.3 `abortPayment`): discard pending mutations and
+    /// release locks.
+    Abort {
+        /// Cross-shard transaction id.
+        txid: TxId,
+    },
+    /// Read-only query.
+    Read {
+        /// Transaction id.
+        txid: TxId,
+        /// Keys to read.
+        keys: Vec<Key>,
+    },
+    /// No-op (padding / keep-alive).
+    Noop,
+}
+
+impl Op {
+    /// The transaction id, if any.
+    pub fn txid(&self) -> Option<TxId> {
+        match self {
+            Op::Direct { txid, .. }
+            | Op::Prepare { txid, .. }
+            | Op::Commit { txid }
+            | Op::Abort { txid }
+            | Op::Read { txid, .. } => Some(*txid),
+            Op::Noop => None,
+        }
+    }
+
+    /// State-access weight for the execution cost model.
+    pub fn weight(&self) -> usize {
+        match self {
+            Op::Direct { op, .. } | Op::Prepare { op, .. } => op.weight().max(1),
+            Op::Commit { .. } | Op::Abort { .. } => 1,
+            Op::Read { keys, .. } => keys.len().max(1),
+            Op::Noop => 1,
+        }
+    }
+
+    /// Approximate wire size in bytes (for network modelling).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Op::Direct { op, .. } | Op::Prepare { op, .. } => {
+                32 + op
+                    .mutations
+                    .iter()
+                    .map(|(k, m)| {
+                        k.len()
+                            + match m {
+                                Mutation::Set(v) => v.size(),
+                                _ => 8,
+                            }
+                    })
+                    .sum::<usize>()
+                    + op.conditions.iter().map(|c| c.key().len() + 9).sum::<usize>()
+            }
+            Op::Commit { .. } | Op::Abort { .. } => 40,
+            Op::Read { keys, .. } => 32 + keys.iter().map(String::len).sum::<usize>(),
+            Op::Noop => 16,
+        }
+    }
+
+    /// Content digest for Merkle roots and signatures.
+    pub fn digest(&self) -> Hash {
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        match self {
+            Op::Direct { txid, op } => {
+                parts.push(b"direct".to_vec());
+                parts.push(txid.0.to_be_bytes().to_vec());
+                parts.push(state_op_bytes(op));
+            }
+            Op::Prepare { txid, op } => {
+                parts.push(b"prepare".to_vec());
+                parts.push(txid.0.to_be_bytes().to_vec());
+                parts.push(state_op_bytes(op));
+            }
+            Op::Commit { txid } => {
+                parts.push(b"commit".to_vec());
+                parts.push(txid.0.to_be_bytes().to_vec());
+            }
+            Op::Abort { txid } => {
+                parts.push(b"abort".to_vec());
+                parts.push(txid.0.to_be_bytes().to_vec());
+            }
+            Op::Read { txid, keys } => {
+                parts.push(b"read".to_vec());
+                parts.push(txid.0.to_be_bytes().to_vec());
+                for k in keys {
+                    parts.push(k.as_bytes().to_vec());
+                }
+            }
+            Op::Noop => parts.push(b"noop".to_vec()),
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+        sha256_parts(&refs)
+    }
+}
+
+fn state_op_bytes(op: &StateOp) -> Vec<u8> {
+    let mut out = Vec::new();
+    for c in &op.conditions {
+        match c {
+            Condition::Exists(k) => {
+                out.push(0);
+                out.extend_from_slice(k.as_bytes());
+            }
+            Condition::NotExists(k) => {
+                out.push(2);
+                out.extend_from_slice(k.as_bytes());
+            }
+            Condition::IntAtLeast { key, min } => {
+                out.push(1);
+                out.extend_from_slice(key.as_bytes());
+                out.extend_from_slice(&min.to_be_bytes());
+            }
+        }
+        out.push(0xff);
+    }
+    for (k, m) in &op.mutations {
+        out.extend_from_slice(k.as_bytes());
+        match m {
+            Mutation::Set(v) => {
+                out.push(0);
+                out.extend_from_slice(&v.digest_bytes());
+            }
+            Mutation::Add(d) => {
+                out.push(1);
+                out.extend_from_slice(&d.to_be_bytes());
+            }
+            Mutation::Delete => out.push(2),
+        }
+        out.push(0xfe);
+    }
+    out
+}
+
+/// Why a transaction aborted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A 2PL lock on a touched key is held by another transaction.
+    LockConflict(Key),
+    /// A guard failed (e.g. insufficient balance).
+    ConditionFailed(Condition),
+    /// Commit/Abort for a transaction with no pending prepare.
+    NoPendingTx,
+    /// A prepare for a txid that already has a pending prepare.
+    DuplicatePrepare,
+    /// A prepare arriving after the transaction was already decided
+    /// (commit/abort executed) on this shard.
+    AlreadyResolved,
+}
+
+/// Execution outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecStatus {
+    /// Applied successfully. Carries read results for `Op::Read`.
+    Committed(Vec<(Key, Option<Value>)>),
+    /// Rejected; state unchanged (other than 2PC bookkeeping).
+    Aborted(AbortReason),
+}
+
+impl ExecStatus {
+    /// True for the committed outcome.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, ExecStatus::Committed(_))
+    }
+}
+
+/// A transaction receipt recorded alongside the block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Receipt {
+    /// The transaction this receipt belongs to.
+    pub txid: Option<TxId>,
+    /// Outcome.
+    pub status: ExecStatus,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_op() -> StateOp {
+        StateOp {
+            conditions: vec![Condition::IntAtLeast { key: "ck_a".into(), min: 10 }],
+            mutations: vec![
+                ("ck_a".into(), Mutation::Add(-10)),
+                ("ck_b".into(), Mutation::Add(10)),
+            ],
+        }
+    }
+
+    #[test]
+    fn touched_keys_deduplicated_ordered() {
+        let op = sample_op();
+        assert_eq!(op.touched_keys(), vec!["ck_a".to_string(), "ck_b".to_string()]);
+    }
+
+    #[test]
+    fn weight_counts_accesses() {
+        assert_eq!(sample_op().weight(), 3);
+        let d = Op::Direct { txid: TxId(1), op: sample_op() };
+        assert_eq!(d.weight(), 3);
+        assert_eq!(Op::Noop.weight(), 1);
+    }
+
+    #[test]
+    fn restrict_to_splits_by_ownership() {
+        let op = sample_op();
+        let only_a = op.restrict_to(|k| k.ends_with('a'));
+        assert_eq!(only_a.conditions.len(), 1);
+        assert_eq!(only_a.mutations.len(), 1);
+        let only_b = op.restrict_to(|k| k.ends_with('b'));
+        assert!(only_b.conditions.is_empty());
+        assert_eq!(only_b.mutations.len(), 1);
+    }
+
+    #[test]
+    fn digests_distinguish_ops() {
+        let a = Op::Direct { txid: TxId(1), op: sample_op() };
+        let b = Op::Prepare { txid: TxId(1), op: sample_op() };
+        let c = Op::Commit { txid: TxId(1) };
+        let d = Op::Commit { txid: TxId(2) };
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(c.digest(), d.digest());
+        assert_eq!(a.digest(), a.clone().digest());
+    }
+
+    #[test]
+    fn wire_size_reasonable() {
+        let op = Op::Direct { txid: TxId(1), op: sample_op() };
+        assert!(op.wire_size() > 32);
+        assert!(op.wire_size() < 1024);
+        assert_eq!(Op::Noop.wire_size(), 16);
+    }
+
+    #[test]
+    fn value_helpers() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Bytes(vec![0; 100]).size(), 100);
+    }
+
+    #[test]
+    fn txid_extraction() {
+        assert_eq!(Op::Commit { txid: TxId(9) }.txid(), Some(TxId(9)));
+        assert_eq!(Op::Noop.txid(), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! The measured Google Cloud Platform inter-region latency matrix
+//! (paper Table 3), in milliseconds of round-trip time.
+
+/// Number of GCP regions used in the paper's large-scale evaluation.
+pub const NUM_REGIONS: usize = 8;
+
+/// Region names, in the matrix order of Table 3.
+pub const REGION_NAMES: [&str; NUM_REGIONS] = [
+    "us-west1-b",
+    "us-west2-a",
+    "us-east1-b",
+    "us-east4-b",
+    "asia-east1-b",
+    "asia-southeast1-b",
+    "europe-west1-b",
+    "europe-west2-a",
+];
+
+/// Table 3 of the paper: RTT in milliseconds between regions.
+pub const RTT_MS: [[f64; NUM_REGIONS]; NUM_REGIONS] = [
+    [0.0, 24.7, 66.7, 59.0, 120.2, 150.8, 138.9, 132.7],
+    [24.7, 0.0, 62.9, 60.5, 129.5, 160.5, 140.4, 136.1],
+    [66.7, 62.9, 0.0, 12.7, 183.8, 216.6, 93.1, 88.2],
+    [59.1, 60.4, 12.7, 0.0, 176.6, 208.4, 81.9, 75.6],
+    [118.7, 129.5, 184.9, 176.6, 0.0, 50.5, 255.5, 252.5],
+    [150.8, 160.5, 216.7, 208.3, 50.6, 0.0, 288.8, 283.8],
+    [138.9, 140.5, 93.2, 81.8, 255.7, 288.7, 0.0, 7.1],
+    [132.1, 134.9, 88.1, 76.6, 252.1, 283.9, 7.1, 0.0],
+];
+
+/// Round-trip time between two regions in milliseconds.
+pub fn rtt_ms(a: usize, b: usize) -> f64 {
+    RTT_MS[a][b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_is_zero() {
+        for i in 0..NUM_REGIONS {
+            assert_eq!(rtt_ms(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn known_entries() {
+        // Spot values from the published table.
+        assert_eq!(rtt_ms(0, 1), 24.7);
+        assert_eq!(rtt_ms(4, 5), 50.5);
+        assert_eq!(rtt_ms(5, 6), 288.8);
+        assert_eq!(rtt_ms(6, 7), 7.1);
+    }
+
+    #[test]
+    fn names_align() {
+        assert_eq!(REGION_NAMES[0], "us-west1-b");
+        assert_eq!(REGION_NAMES[7], "europe-west2-a");
+    }
+}

@@ -1,0 +1,149 @@
+//! Epoch transitions / shard reconfiguration (paper §5.3).
+//!
+//! A new epoch's beacon output yields a fresh assignment; *transitioning
+//! nodes* move committees. Moving everyone at once halts the system for
+//! the state-fetch period (the paper's Figure 12 "Swap all" throughput
+//! hole), so nodes move in batches of `B` per committee, with `B = log(n)`
+//! balancing the safety exposure of Equation 2 against the liveness
+//! requirement `B ≤ f`.
+
+use crate::assign::Assignment;
+use crate::hypergeom::Resilience;
+
+/// The paper's batch-size choice: `B = log2(n)` (natural-log rounded in the
+/// paper's example; log2 keeps B ≤ f comfortably for all n ≥ 4).
+pub fn paper_batch_size(n: usize) -> usize {
+    ((usize::BITS - 1 - n.max(2).leading_zeros()) as usize).max(1)
+}
+
+/// Whether batch size `b` preserves liveness for committees of `n` under
+/// `rule`: the `b` nodes out for state fetch must leave a quorum,
+/// i.e. `b ≤ f` (paper §5.3 liveness analysis).
+pub fn batch_preserves_liveness(n: usize, b: usize, rule: Resilience) -> bool {
+    b <= rule.max_faults(n)
+}
+
+/// One step of the transition plan: for each committee, which nodes leave
+/// and which join in this batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SwapStep {
+    /// (node, from_committee, to_committee) moves in this batch.
+    pub moves: Vec<(usize, usize, usize)>,
+}
+
+/// Plan an epoch transition from `old` to `new` with at most `batch` nodes
+/// leaving any committee per step. The move order is derived from the
+/// (already random) new assignment, as in the paper where `rnd` determines
+/// the order.
+pub fn plan_transition(old: &Assignment, new: &Assignment, batch: usize) -> Vec<SwapStep> {
+    assert!(batch >= 1, "batch must be positive");
+    assert_eq!(old.total(), new.total(), "same node population");
+    let mut remaining: Vec<(usize, usize, usize)> = old
+        .transitioning(new)
+        .into_iter()
+        .map(|node| {
+            let from = old.committee_of(node).expect("node assigned in old");
+            let to = new.committee_of(node).expect("node assigned in new");
+            (node, from, to)
+        })
+        .collect();
+
+    let mut steps = Vec::new();
+    while !remaining.is_empty() {
+        let mut step = SwapStep::default();
+        let mut out_count = vec![0usize; old.k()];
+        let mut i = 0;
+        while i < remaining.len() {
+            let (_, from, _) = remaining[i];
+            if out_count[from] < batch {
+                out_count[from] += 1;
+                step.moves.push(remaining.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        steps.push(step);
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_batch_sizes() {
+        assert_eq!(paper_batch_size(80), 6); // the paper's B = log(80) ≈ 6
+        assert_eq!(paper_batch_size(9), 3);
+        assert_eq!(paper_batch_size(2), 1);
+    }
+
+    #[test]
+    fn liveness_rule() {
+        // n = 9 attested: f = 4; B = 3 fine, B = 5 breaks liveness.
+        assert!(batch_preserves_liveness(9, 3, Resilience::OneHalf));
+        assert!(!batch_preserves_liveness(9, 5, Resilience::OneHalf));
+        // PBFT n = 10: f = 3.
+        assert!(batch_preserves_liveness(10, 3, Resilience::OneThird));
+        assert!(!batch_preserves_liveness(10, 4, Resilience::OneThird));
+    }
+
+    #[test]
+    fn plan_moves_every_transitioning_node_once() {
+        let old = Assignment::derive(60, 4, 1);
+        let new = Assignment::derive(60, 4, 2);
+        let steps = plan_transition(&old, &new, 3);
+        let total_moves: usize = steps.iter().map(|s| s.moves.len()).sum();
+        assert_eq!(total_moves, old.transitioning(&new).len());
+        let mut seen = std::collections::HashSet::new();
+        for s in &steps {
+            for (node, from, to) in &s.moves {
+                assert!(seen.insert(*node), "node {node} moved twice");
+                assert_eq!(old.committee_of(*node), Some(*from));
+                assert_eq!(new.committee_of(*node), Some(*to));
+                assert_ne!(from, to);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_limit_respected_per_committee() {
+        let old = Assignment::derive(80, 4, 3);
+        let new = Assignment::derive(80, 4, 4);
+        let b = 2;
+        for step in plan_transition(&old, &new, b) {
+            let mut per_committee = vec![0usize; 4];
+            for (_, from, _) in &step.moves {
+                per_committee[*from] += 1;
+            }
+            assert!(per_committee.iter().all(|&c| c <= b), "{per_committee:?}");
+        }
+    }
+
+    #[test]
+    fn swap_all_is_single_step() {
+        let old = Assignment::derive(40, 4, 5);
+        let new = Assignment::derive(40, 4, 6);
+        let steps = plan_transition(&old, &new, usize::MAX >> 1);
+        assert_eq!(steps.len(), 1);
+    }
+
+    #[test]
+    fn identical_assignments_need_no_steps() {
+        let a = Assignment::derive(40, 4, 7);
+        assert!(plan_transition(&a, &a, 3).is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn steps_bounded_by_ceiling(total in 12usize..120, k in 2usize..6, b in 1usize..5, s1: u64, s2: u64) {
+            let old = Assignment::derive(total, k, s1);
+            let new = Assignment::derive(total, k, s2);
+            let steps = plan_transition(&old, &new, b);
+            // Worst committee loses at most its whole membership, in
+            // batches of b.
+            let max_committee = old.committees.iter().map(Vec::len).max().unwrap_or(0);
+            proptest::prop_assert!(steps.len() <= max_committee.div_ceil(b) + 1);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Metric collection for simulation runs.
+//!
+//! All experiment outputs (throughput, latency, drop counts, view changes,
+//! stale blocks, ...) are recorded here by actors through [`crate::Ctx`] and
+//! read back by the harness after the run.
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A log-bucketed latency histogram covering 1 µs .. ~17 minutes.
+///
+/// Buckets are half-open ranges `[2^k µs, 2^(k+1) µs)`; values outside the
+/// range clamp into the first/last bucket. This resolution is plenty for
+/// consensus latencies which span ~100 µs (LAN crypto) to ~150 s (the paper's
+/// Figure 15 worst case).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 31],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 31],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            (63 - us.leading_zeros() as usize).min(30)
+        }
+    }
+
+    /// Record one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.buckets[Self::bucket_index(d.as_micros())] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples, or zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest recorded sample, or zero when empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Approximate quantile (0.0 ..= 1.0) from the bucket midpoints.
+    /// Returns zero when empty.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Midpoint of [2^i, 2^(i+1)) microseconds.
+                let lo = 1u64 << i;
+                return SimDuration::from_micros(lo + lo / 2);
+            }
+        }
+        self.max()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Global run statistics: named counters, named latency histograms, and
+/// named time series.
+///
+/// Keys are `&'static str` so recording is allocation-free on the hot path;
+/// `BTreeMap` keeps report output deterministically ordered.
+#[derive(Default, Debug, Clone)]
+pub struct Stats {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    series: BTreeMap<&'static str, Vec<(SimTime, f64)>>,
+}
+
+impl Stats {
+    /// Create an empty statistics store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment counter `name` by `delta`.
+    pub fn inc(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Read counter `name` (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a duration sample in histogram `name`.
+    pub fn record_latency(&mut self, name: &'static str, d: SimDuration) {
+        self.histograms.entry(name).or_default().record(d);
+    }
+
+    /// Read histogram `name` if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Append a (time, value) point to series `name`.
+    pub fn record_point(&mut self, name: &'static str, t: SimTime, v: f64) {
+        self.series.entry(name).or_default().push((t, v));
+    }
+
+    /// Read time series `name` (empty slice if never written).
+    pub fn series(&self, name: &str) -> &[(SimTime, f64)] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate counters in key order (for reports).
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Compute the event rate of series `name` interpreted as per-point
+    /// counts, over the window `[from, to)`, in events per second.
+    pub fn rate_in_window(&self, name: &str, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let total: f64 = self
+            .series(name)
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .sum();
+        total / to.since(from).as_secs_f64()
+    }
+
+    /// Bucket series `name` into fixed-width windows and return
+    /// (window_start, events/sec) pairs — used for throughput-over-time plots
+    /// such as the paper's Figure 12 (right).
+    pub fn rate_series(&self, name: &str, window: SimDuration, until: SimTime) -> Vec<(SimTime, f64)> {
+        if window == SimDuration::ZERO {
+            return Vec::new();
+        }
+        let w = window.as_nanos();
+        let nwin = (until.as_nanos() / w + 1) as usize;
+        let mut sums = vec![0.0f64; nwin];
+        for (t, v) in self.series(name) {
+            let idx = (t.as_nanos() / w) as usize;
+            if idx < nwin {
+                sums[idx] += v;
+            }
+        }
+        sums.into_iter()
+            .enumerate()
+            .map(|(i, s)| (SimTime(i as u64 * w), s / window.as_secs_f64()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.inc("commits", 3);
+        s.inc("commits", 4);
+        assert_eq!(s.counter("commits"), 7);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_basic_moments() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(100));
+        h.record(SimDuration::from_micros(300));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean().as_micros(), 200);
+        assert_eq!(h.min().as_micros(), 100);
+        assert_eq!(h.max().as_micros(), 300);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(p50.as_micros() >= 256 && p50.as_micros() <= 1024);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.9), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimDuration::from_micros(10));
+        b.record(SimDuration::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min().as_micros(), 10);
+        assert_eq!(a.max().as_micros(), 1000);
+    }
+
+    #[test]
+    fn rate_window() {
+        let mut s = Stats::new();
+        for i in 0..10 {
+            s.record_point("commit", SimTime(i * 100_000_000), 1.0); // every 100 ms
+        }
+        let rate = s.rate_in_window("commit", SimTime::ZERO, SimTime(1_000_000_000));
+        assert!((rate - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_series_buckets() {
+        let mut s = Stats::new();
+        for i in 0..20 {
+            s.record_point("commit", SimTime(i * 50_000_000), 1.0); // 20 evts in 1 s
+        }
+        let series = s.rate_series("commit", SimDuration::from_millis(500), SimTime(1_000_000_000));
+        assert_eq!(series.len(), 3);
+        assert!((series[0].1 - 20.0).abs() < 1e-9);
+        assert!((series[1].1 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_index_clamps() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 30);
+    }
+}

@@ -1,0 +1,116 @@
+//! Remote attestation (paper §2.3): verifying that a peer runs the correct
+//! enclave before trusting its attested messages.
+//!
+//! The CPU measures the enclave at initialization (hash of its initial
+//! state) and signs quotes over (measurement, report data) with a
+//! platform key. Committee members attest each other once per epoch
+//! (cost ≈ 2 ms, Table 2) and cache the result.
+
+use ahl_crypto::{sha256_parts, Hash, KeyRegistry, Signature, SigningKey};
+
+use crate::sealing::Measurement;
+
+/// A signed attestation quote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Quote {
+    /// Measurement of the attested enclave.
+    pub measurement: Measurement,
+    /// Caller-chosen report data (e.g. a nonce plus the enclave's key id).
+    pub report_data: Hash,
+    /// Platform (CPU) signature over the quote body.
+    pub sig: Signature,
+}
+
+fn quote_digest(measurement: &Measurement, report_data: &Hash) -> Hash {
+    sha256_parts(&[b"ahl-quote", &measurement.0 .0, &report_data.0])
+}
+
+/// The platform's quoting identity (stands in for the CPU attestation key
+/// and the Intel Attestation Service round-trip).
+#[derive(Debug)]
+pub struct QuotingEnclave {
+    platform_key: SigningKey,
+}
+
+impl QuotingEnclave {
+    /// Create a quoting enclave whose platform key is registered in `registry`.
+    pub fn new(registry: &mut KeyRegistry, platform_seed: u64) -> Self {
+        QuotingEnclave {
+            platform_key: registry.generate(platform_seed),
+        }
+    }
+
+    /// Produce a quote for a local enclave with `measurement` and
+    /// `report_data`.
+    pub fn quote(&self, measurement: Measurement, report_data: Hash) -> Quote {
+        Quote {
+            measurement,
+            report_data,
+            sig: self.platform_key.sign(&quote_digest(&measurement, &report_data)),
+        }
+    }
+}
+
+/// Verify `quote` against the platform key registry and an expected
+/// measurement (the known-good enclave build).
+pub fn verify_quote(registry: &KeyRegistry, expected: Measurement, quote: &Quote) -> bool {
+    quote.measurement == expected
+        && registry.verify(&quote_digest(&quote.measurement, &quote.report_data), &quote.sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahl_crypto::sha256;
+
+    fn setup() -> (QuotingEnclave, KeyRegistry, Measurement) {
+        let mut reg = KeyRegistry::new();
+        let qe = QuotingEnclave::new(&mut reg, 1);
+        (qe, reg, Measurement(sha256(b"ahl-consensus-enclave-v1")))
+    }
+
+    #[test]
+    fn quote_verifies() {
+        let (qe, reg, m) = setup();
+        let nonce = sha256(b"nonce-123");
+        let q = qe.quote(m, nonce);
+        assert!(verify_quote(&reg, m, &q));
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let (qe, reg, m) = setup();
+        let q = qe.quote(m, sha256(b"nonce"));
+        let evil = Measurement(sha256(b"trojaned-enclave"));
+        assert!(!verify_quote(&reg, evil, &q));
+    }
+
+    #[test]
+    fn forged_measurement_claim_rejected() {
+        // Attacker runs a trojaned enclave but claims the good measurement.
+        let (qe, reg, good) = setup();
+        let mut q = qe.quote(Measurement(sha256(b"trojaned")), sha256(b"nonce"));
+        q.measurement = good;
+        assert!(!verify_quote(&reg, good, &q));
+    }
+
+    #[test]
+    fn replayed_report_data_detectable() {
+        // Verifiers bind quotes to fresh nonces; a quote over an old nonce
+        // fails the (external) nonce check — here we just confirm the
+        // report data is covered by the signature.
+        let (qe, reg, m) = setup();
+        let mut q = qe.quote(m, sha256(b"nonce-old"));
+        q.report_data = sha256(b"nonce-new");
+        assert!(!verify_quote(&reg, m, &q));
+    }
+
+    #[test]
+    fn cross_platform_quote_rejected() {
+        let (qe_a, _reg_a, m) = setup();
+        let mut reg_b = KeyRegistry::new();
+        let _qe_b = QuotingEnclave::new(&mut reg_b, 2);
+        let q = qe_a.quote(m, sha256(b"n"));
+        assert!(!verify_quote(&reg_b, m, &q));
+    }
+}

@@ -1,0 +1,151 @@
+//! The enclave-operation cost model (paper Table 2).
+//!
+//! The paper ran the SGX SDK in simulation mode on SGX-less machines and
+//! injected operation latencies measured on a Skylake 6970HQ with SGX
+//! enabled. We reproduce exactly that methodology: every enclave operation
+//! charges its Table 2 latency to the simulated clock via
+//! [`CostModel::cost`].
+
+use ahl_simkit::SimDuration;
+
+/// Enclave/crypto operations with measured costs (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TeeOp {
+    /// ECDSA signature creation: 458.4 µs.
+    EcdsaSign,
+    /// ECDSA signature verification: 844.2 µs.
+    EcdsaVerify,
+    /// SHA-256 of a message: 2.5 µs.
+    Sha256,
+    /// Attested-log append (sign + bookkeeping inside the enclave): 465.3 µs.
+    AhlAppend,
+    /// AHLR quorum-message aggregation for a given `f` (verify f+1
+    /// signatures and emit one proof). Table 2 reports 8031.2 µs at f = 8.
+    MessageAggregation {
+        /// Fault threshold: the enclave verifies `f + 1` signed messages.
+        f: usize,
+    },
+    /// RandomnessBeacon invocation (two `sgx_read_rand` calls + certificate
+    /// signing): 482.2 µs.
+    RandomnessBeacon,
+    /// Enclave ECALL/OCALL boundary crossing: 2.7 µs.
+    EnclaveSwitch,
+    /// Remote attestation handshake (executed once per epoch between
+    /// committee members; results cached): ~2 ms.
+    RemoteAttestation,
+}
+
+/// Latencies charged for each [`TeeOp`], defaulting to the paper's Table 2.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// ECDSA signing cost.
+    pub ecdsa_sign: SimDuration,
+    /// ECDSA verification cost.
+    pub ecdsa_verify: SimDuration,
+    /// SHA-256 cost.
+    pub sha256: SimDuration,
+    /// Attested append cost.
+    pub ahl_append: SimDuration,
+    /// Fixed part of message aggregation (the per-signature part is
+    /// `(f + 1) * ecdsa_verify`). Calibrated so `f = 8` reproduces the
+    /// measured 8031.2 µs.
+    pub aggregation_base: SimDuration,
+    /// Beacon invocation cost.
+    pub beacon: SimDuration,
+    /// Enclave boundary crossing cost.
+    pub enclave_switch: SimDuration,
+    /// Remote attestation cost.
+    pub remote_attestation: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            ecdsa_sign: SimDuration::from_micros_f64(458.4),
+            ecdsa_verify: SimDuration::from_micros_f64(844.2),
+            sha256: SimDuration::from_micros_f64(2.5),
+            ahl_append: SimDuration::from_micros_f64(465.3),
+            // 8031.2 µs = 9 * 844.2 µs + base  =>  base = 433.4 µs
+            aggregation_base: SimDuration::from_micros_f64(433.4),
+            beacon: SimDuration::from_micros_f64(482.2),
+            enclave_switch: SimDuration::from_micros_f64(2.7),
+            remote_attestation: SimDuration::from_millis(2),
+        }
+    }
+}
+
+impl CostModel {
+    /// A zero-cost model (for unit tests that assert pure protocol logic).
+    pub fn free() -> Self {
+        CostModel {
+            ecdsa_sign: SimDuration::ZERO,
+            ecdsa_verify: SimDuration::ZERO,
+            sha256: SimDuration::ZERO,
+            ahl_append: SimDuration::ZERO,
+            aggregation_base: SimDuration::ZERO,
+            beacon: SimDuration::ZERO,
+            enclave_switch: SimDuration::ZERO,
+            remote_attestation: SimDuration::ZERO,
+        }
+    }
+
+    /// The simulated latency of `op`, including the enclave switch for
+    /// operations that cross the enclave boundary.
+    pub fn cost(&self, op: TeeOp) -> SimDuration {
+        match op {
+            TeeOp::EcdsaSign => self.ecdsa_sign,
+            TeeOp::EcdsaVerify => self.ecdsa_verify,
+            TeeOp::Sha256 => self.sha256,
+            TeeOp::AhlAppend => self.enclave_switch + self.ahl_append,
+            TeeOp::MessageAggregation { f } => {
+                self.enclave_switch
+                    + self.aggregation_base
+                    + self.ecdsa_verify.saturating_mul((f + 1) as u64)
+            }
+            TeeOp::RandomnessBeacon => self.enclave_switch + self.beacon,
+            TeeOp::EnclaveSwitch => self.enclave_switch,
+            TeeOp::RemoteAttestation => self.remote_attestation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let m = CostModel::default();
+        assert_eq!(m.cost(TeeOp::EcdsaSign).as_nanos(), 458_400);
+        assert_eq!(m.cost(TeeOp::EcdsaVerify).as_nanos(), 844_200);
+        assert_eq!(m.cost(TeeOp::Sha256).as_nanos(), 2_500);
+        // Enclave-crossing ops include the 2.7 µs switch.
+        assert_eq!(m.cost(TeeOp::AhlAppend).as_nanos(), 2_700 + 465_300);
+        assert_eq!(m.cost(TeeOp::RandomnessBeacon).as_nanos(), 2_700 + 482_200);
+    }
+
+    #[test]
+    fn aggregation_matches_table2_at_f8() {
+        let m = CostModel::default();
+        let c = m.cost(TeeOp::MessageAggregation { f: 8 });
+        // Table 2: 8031.2 µs (+ the 2.7 µs switch the table excludes).
+        assert_eq!(c.as_nanos(), 8_031_200 + 2_700);
+    }
+
+    #[test]
+    fn aggregation_scales_with_f() {
+        let m = CostModel::default();
+        let c1 = m.cost(TeeOp::MessageAggregation { f: 1 });
+        let c16 = m.cost(TeeOp::MessageAggregation { f: 16 });
+        assert!(c16 > c1);
+        let delta = c16 - c1;
+        assert_eq!(delta.as_nanos(), 15 * 844_200);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let m = CostModel::free();
+        assert_eq!(m.cost(TeeOp::MessageAggregation { f: 8 }), SimDuration::ZERO);
+        assert_eq!(m.cost(TeeOp::EcdsaSign), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,309 @@
+//! Executable demonstrations of the §6.1 failure modes in prior sharded
+//! blockchains — the motivation for the reference-committee design.
+//!
+//! * [`rapidchain_execute`] — RapidChain's transaction splitting: each
+//!   sub-operation executes independently on its shard with no atomic
+//!   commitment. Works for UTXO (a failed input transfer just leaves a
+//!   re-spendable coin) but on the account model it violates **atomicity**
+//!   (partial debits) and **isolation** (interleaved sub-operations observe
+//!   partial state) — the paper's Figure 4 examples, reproduced as tests.
+//! * [`OmniLedgerClient`] — OmniLedger's client-driven lock/unlock: the
+//!   client is the 2PC coordinator. A malicious client that obtains locks
+//!   and then goes silent blocks the locked funds **forever** — the
+//!   paper's payment-channel example, reproduced as a test and contrasted
+//!   with the reference-committee protocol which always terminates.
+
+use ahl_ledger::{Op, StateOp, StateStore, TxId};
+use ahl_ledger::ExecStatus;
+
+use crate::shardmap::ShardMap;
+
+/// Execute a transaction RapidChain-style: split into per-shard
+/// sub-operations and apply each **independently** (no locks, no atomic
+/// commitment). Returns per-shard success flags.
+pub fn rapidchain_execute(
+    shards: &mut [StateStore],
+    map: &ShardMap,
+    txid: TxId,
+    op: &StateOp,
+) -> Vec<(usize, bool)> {
+    map.split_op(op)
+        .into_iter()
+        .map(|(shard, sub)| {
+            let r = shards[shard].execute(&Op::Direct { txid, op: sub });
+            (shard, r.status.is_committed())
+        })
+        .collect()
+}
+
+/// OmniLedger's client-driven coordination for one transaction: the client
+/// (possibly malicious) drives lock acquisition and the final commit.
+#[derive(Debug)]
+pub struct OmniLedgerClient {
+    /// The transaction being coordinated.
+    pub txid: TxId,
+    /// Sub-operations per shard.
+    pub parts: Vec<(usize, StateOp)>,
+    /// Shards that granted locks (prepared).
+    pub locked: Vec<usize>,
+    /// Whether the client has gone silent (malicious crash).
+    pub crashed: bool,
+}
+
+impl OmniLedgerClient {
+    /// Start coordinating `op` over the sharded ledger.
+    pub fn new(txid: TxId, map: &ShardMap, op: &StateOp) -> Self {
+        OmniLedgerClient {
+            txid,
+            parts: map.split_op(op),
+            locked: Vec::new(),
+            crashed: false,
+        }
+    }
+
+    /// Phase 1: the client asks each input shard to lock. Returns false if
+    /// any shard refused (in which case an honest client unlocks).
+    pub fn acquire_locks(&mut self, shards: &mut [StateStore]) -> bool {
+        for (shard, sub) in &self.parts {
+            let r = shards[*shard].execute(&Op::Prepare { txid: self.txid, op: sub.clone() });
+            if matches!(r.status, ExecStatus::Committed(_)) {
+                self.locked.push(*shard);
+            } else {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Phase 2 (honest client): commit everywhere.
+    pub fn commit(&mut self, shards: &mut [StateStore]) {
+        assert!(!self.crashed, "a crashed client sends nothing");
+        for shard in &self.locked {
+            shards[*shard].execute(&Op::Commit { txid: self.txid });
+        }
+    }
+
+    /// Phase 2 (honest client, failed prepare): unlock everywhere.
+    pub fn unlock(&mut self, shards: &mut [StateStore]) {
+        assert!(!self.crashed, "a crashed client sends nothing");
+        for shard in self.locked.drain(..) {
+            shards[shard].execute(&Op::Abort { txid: self.txid });
+        }
+    }
+
+    /// The malicious move: pretend to crash after acquiring locks. No
+    /// commit, no unlock — and in OmniLedger nobody else may issue them.
+    pub fn crash(&mut self) {
+        self.crashed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{MultiShardLedger, TxOutcome};
+    use ahl_ledger::{smallbank, Value};
+
+    /// Set up Figure 4's scenario: one rich account on shard 0 and one
+    /// poor account on shard 1 (found by probing the hash map).
+    struct Fig4 {
+        shards: Vec<StateStore>,
+        map: ShardMap,
+        acc1: String,
+        acc3: String,
+    }
+
+    fn fig4() -> Fig4 {
+        let map = ShardMap::new(2);
+        let acc1 = (0..50)
+            .map(|i| format!("acc{i}"))
+            .find(|a| map.shard_of(&smallbank::checking_key(a)) == 0)
+            .expect("an account on shard 0");
+        let acc3 = (0..50)
+            .map(|i| format!("acc{i}"))
+            .find(|a| map.shard_of(&smallbank::checking_key(a)) == 1)
+            .expect("an account on shard 1");
+        let mut shards = vec![StateStore::new(), StateStore::new()];
+        shards[0].put(smallbank::checking_key(&acc1), Value::Int(100));
+        shards[1].put(smallbank::checking_key(&acc3), Value::Int(5));
+        Fig4 { shards, map, acc1, acc3 }
+    }
+
+    fn dual_debit(f: &Fig4) -> StateOp {
+        StateOp {
+            conditions: vec![
+                ahl_ledger::Condition::IntAtLeast {
+                    key: smallbank::checking_key(&f.acc1),
+                    min: 50,
+                },
+                ahl_ledger::Condition::IntAtLeast {
+                    key: smallbank::checking_key(&f.acc3),
+                    min: 50,
+                },
+            ],
+            mutations: vec![
+                (smallbank::checking_key(&f.acc1), ahl_ledger::Mutation::Add(-50)),
+                (smallbank::checking_key(&f.acc3), ahl_ledger::Mutation::Add(-50)),
+            ],
+        }
+    }
+
+    /// Figure 4 / tx1: ⟨acc1 + acc3⟩ → ⟨acc2⟩. RapidChain-style splitting
+    /// debits acc1 and fails on acc3 — atomicity violated; acc1 "is
+    /// already debited and cannot be rolled back".
+    #[test]
+    fn rapidchain_violates_atomicity_on_accounts() {
+        let mut f = fig4();
+        let op = dual_debit(&f);
+        let results = rapidchain_execute(&mut f.shards, &f.map, TxId(1), &op);
+        let s0_ok = results.iter().find(|(s, _)| *s == 0).expect("shard 0").1;
+        let s1_ok = results.iter().find(|(s, _)| *s == 1).expect("shard 1").1;
+        assert!(s0_ok, "acc1 debit succeeded");
+        assert!(!s1_ok, "acc3 debit failed (insufficient funds)");
+        // Atomicity violation: acc1 was debited although the transaction
+        // failed overall.
+        assert_eq!(f.shards[0].get_int(&smallbank::checking_key(&f.acc1)), 50);
+        assert_eq!(f.shards[1].get_int(&smallbank::checking_key(&f.acc3)), 5);
+    }
+
+    /// The same transaction through our 2PC protocol aborts atomically.
+    #[test]
+    fn our_protocol_preserves_atomicity_on_fig4() {
+        let f = fig4();
+        let mut l = MultiShardLedger::new(2);
+        l.genesis(&[
+            (smallbank::checking_key(&f.acc1), Value::Int(100)),
+            (smallbank::checking_key(&f.acc3), Value::Int(5)),
+        ]);
+        let op = dual_debit(&f);
+        assert_eq!(l.execute(TxId(1), &op), TxOutcome::Aborted);
+        assert_eq!(l.get_int(&smallbank::checking_key(&f.acc1)), 100);
+        assert_eq!(l.get_int(&smallbank::checking_key(&f.acc3)), 5);
+    }
+
+    /// Figure 4's isolation example: tx2 ⟨acc3⟩ → ⟨acc4⟩ interleaves with
+    /// tx1's sub-operations and observes acc3's intermediate balance —
+    /// in no serial order of {tx1 (failed), tx2} would tx2 see it.
+    #[test]
+    fn rapidchain_violates_isolation() {
+        let map = ShardMap::new(2);
+        let acc3 = (0..50)
+            .map(|i| format!("x{i}"))
+            .find(|a| map.shard_of(&smallbank::checking_key(a)) == 1)
+            .expect("account on shard 1");
+        let acc4 = (0..50)
+            .map(|i| format!("y{i}"))
+            .find(|a| map.shard_of(&smallbank::checking_key(a)) == 1)
+            .expect("another account on shard 1");
+        let mut shards = vec![StateStore::new(), StateStore::new()];
+        shards[1].put(smallbank::checking_key(&acc3), Value::Int(60));
+        shards[1].put(smallbank::checking_key(&acc4), Value::Int(0));
+
+        // tx1 sub-op op2a (Fig 4): debit acc3 by 50, part of a transaction
+        // that fails on another shard.
+        let op1b = StateOp {
+            conditions: vec![ahl_ledger::Condition::IntAtLeast {
+                key: smallbank::checking_key(&acc3),
+                min: 50,
+            }],
+            mutations: vec![(smallbank::checking_key(&acc3), ahl_ledger::Mutation::Add(-50))],
+        };
+        rapidchain_execute(&mut shards, &map, TxId(1), &op1b);
+
+        // tx2 now sees acc3's partial state (10 instead of 60) and aborts,
+        // although tx1 never committed.
+        let op2 = smallbank::send_payment(&acc3, &acc4, 60);
+        let r = rapidchain_execute(&mut shards, &map, TxId(2), &op2);
+        assert!(!r[0].1, "tx2 aborts due to tx1's partial debit");
+        assert_eq!(shards[1].get_int(&smallbank::checking_key(&acc3)), 10);
+    }
+
+    /// OmniLedger's malicious-client blocking (§6.1): the payee-coordinator
+    /// locks the payer's funds and crashes; the funds stay locked forever.
+    #[test]
+    fn omniledger_malicious_client_blocks_forever() {
+        let map = ShardMap::new(2);
+        let payer = (0..50)
+            .map(|i| format!("p{i}"))
+            .find(|a| map.shard_of(&smallbank::checking_key(a)) == 0)
+            .expect("payer on shard 0");
+        let payee = (0..50)
+            .map(|i| format!("q{i}"))
+            .find(|a| map.shard_of(&smallbank::checking_key(a)) == 1)
+            .expect("payee on shard 1");
+        let mut shards = vec![StateStore::new(), StateStore::new()];
+        shards[0].put(smallbank::checking_key(&payer), Value::Int(100));
+        shards[1].put(smallbank::checking_key(&payee), Value::Int(0));
+
+        let op = smallbank::send_payment(&payer, &payee, 40);
+        let mut client = OmniLedgerClient::new(TxId(1), &map, &op);
+        assert!(client.acquire_locks(&mut shards));
+        // Malicious payee crashes mid-protocol.
+        client.crash();
+
+        // The payer's funds are locked "forever": any legitimate spend
+        // aborts with a lock conflict, no matter how often retried.
+        let spend = smallbank::write_check(&payer, 1);
+        for attempt in 0..100u64 {
+            let r = shards[0].execute(&Op::Direct { txid: TxId(100 + attempt), op: spend.clone() });
+            assert!(
+                matches!(
+                    r.status,
+                    ExecStatus::Aborted(ahl_ledger::AbortReason::LockConflict(_))
+                ),
+                "funds remain blocked on attempt {attempt}"
+            );
+        }
+    }
+
+    /// Honest-client OmniLedger does work — the problem is purely the
+    /// trust placed in the coordinator.
+    #[test]
+    fn omniledger_honest_client_commits() {
+        let map = ShardMap::new(2);
+        let mut shards = vec![StateStore::new(), StateStore::new()];
+        for (k, v) in smallbank::genesis(6, 100, 0) {
+            let s = map.shard_of(&k);
+            shards[s].put(k, v);
+        }
+        let op = smallbank::send_payment("acc0", "acc1", 25);
+        let mut client = OmniLedgerClient::new(TxId(1), &map, &op);
+        assert!(client.acquire_locks(&mut shards));
+        client.commit(&mut shards);
+        let total: i64 = (0..6)
+            .map(|i| {
+                let k = smallbank::checking_key(&format!("acc{i}"));
+                shards[map.shard_of(&k)].get_int(&k)
+            })
+            .sum();
+        assert_eq!(total, 600);
+    }
+
+    /// The same crash scenario cannot block our protocol: the decision is
+    /// taken and delivered by the replicated reference committee, not the
+    /// client.
+    #[test]
+    fn reference_committee_unblocks_where_omniledger_cannot() {
+        use crate::coordinator::CoordAction;
+        let mut l = MultiShardLedger::new(2);
+        l.genesis(&smallbank::genesis(8, 100, 0));
+        let op = smallbank::send_payment("acc0", "acc1", 40);
+        let parts = l.begin(TxId(1), &op);
+        // All shards prepare (locks held)...
+        let mut final_action = CoordAction::None;
+        for (s, sub) in &parts {
+            let a = l.prepare_at(TxId(1), *s, sub);
+            if a != CoordAction::None {
+                final_action = a;
+            }
+        }
+        // ...the *client* now crashes. The decision was made by R; R's
+        // nodes deliver the commit themselves.
+        assert!(matches!(final_action, CoordAction::SendCommit(_)));
+        l.deliver(TxId(1), &final_action);
+        assert_eq!(l.pending_total(), 0);
+        for i in 0..8 {
+            assert!(!l.is_locked(&smallbank::checking_key(&format!("acc{i}"))));
+        }
+    }
+}

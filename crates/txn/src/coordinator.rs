@@ -1,0 +1,306 @@
+//! The reference committee's 2PC state machine (paper §6.2, Figure 6).
+//!
+//! The committee R replicates this deterministic machine through BFT
+//! consensus, so the *coordinator* role of classic 2PC is played by a
+//! highly available replicated service rather than a possibly-malicious
+//! client — the fix for OmniLedger's indefinite-blocking problem.
+//!
+//! States: `Started → Preparing → {Committed, Aborted}` with a counter `c`
+//! of transaction committees whose PrepareOK is still outstanding.
+
+use std::collections::{HashMap, HashSet};
+
+use ahl_ledger::TxId;
+
+/// Coordinator state for one transaction (Figure 6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordState {
+    /// BeginTx executed; PrepareTx being sent; no votes yet.
+    Started,
+    /// Some PrepareOKs received; `remaining` committees outstanding.
+    Preparing {
+        /// Outstanding PrepareOK count (the paper's counter `c`).
+        remaining: usize,
+    },
+    /// All committees voted PrepareOK: commit phase.
+    Committed,
+    /// Some committee voted PrepareNotOK (or the client aborted).
+    Aborted,
+}
+
+/// An input to the replicated state machine (already quorum-validated by
+/// the consensus layer: a vote is only delivered once a quorum of matching
+/// messages from the shard's committee arrived).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordEvent {
+    /// Client's BeginTx naming the involved shards.
+    Begin {
+        /// The transaction committees (shard ids) that must prepare.
+        shards: Vec<usize>,
+    },
+    /// A shard's quorum-certified PrepareOK.
+    PrepareOk {
+        /// Voting shard.
+        shard: usize,
+    },
+    /// A shard's quorum-certified PrepareNotOK.
+    PrepareNotOk {
+        /// Voting shard.
+        shard: usize,
+    },
+    /// Explicit client abort (only honoured before commit).
+    ClientAbort,
+}
+
+/// The action the committee takes after a transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordAction {
+    /// Send PrepareTx to the listed shards.
+    SendPrepare(Vec<usize>),
+    /// Send CommitTx to the listed shards.
+    SendCommit(Vec<usize>),
+    /// Send AbortTx to the listed shards.
+    SendAbort(Vec<usize>),
+    /// No outward action (duplicate/ignored event).
+    None,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    state: CoordState,
+    shards: Vec<usize>,
+    voted: HashSet<usize>,
+}
+
+/// The replicated coordinator: Figure 6 per transaction.
+#[derive(Default, Debug, Clone)]
+pub struct Coordinator {
+    txs: HashMap<TxId, Entry>,
+}
+
+impl Coordinator {
+    /// Empty coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state of `txid`, if known.
+    pub fn state(&self, txid: TxId) -> Option<&CoordState> {
+        self.txs.get(&txid).map(|e| &e.state)
+    }
+
+    /// Number of transactions tracked.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// True when no transactions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Drop terminal transactions older than needed (state is on the
+    /// blockchain; the in-memory map can forget resolved entries).
+    pub fn prune_terminal(&mut self) {
+        self.txs.retain(|_, e| {
+            !matches!(e.state, CoordState::Committed | CoordState::Aborted)
+        });
+    }
+
+    /// Apply one event; returns the outward action. Deterministic: every
+    /// honest replica of R applying the same event sequence produces the
+    /// same actions.
+    pub fn apply(&mut self, txid: TxId, event: CoordEvent) -> CoordAction {
+        match event {
+            CoordEvent::Begin { shards } => {
+                if self.txs.contains_key(&txid) || shards.is_empty() {
+                    return CoordAction::None;
+                }
+                let entry = Entry {
+                    state: CoordState::Started,
+                    shards: shards.clone(),
+                    voted: HashSet::new(),
+                };
+                self.txs.insert(txid, entry);
+                CoordAction::SendPrepare(shards)
+            }
+            CoordEvent::PrepareOk { shard } => {
+                let Some(entry) = self.txs.get_mut(&txid) else {
+                    return CoordAction::None;
+                };
+                if !entry.shards.contains(&shard) || !entry.voted.insert(shard) {
+                    return CoordAction::None; // unknown shard or duplicate
+                }
+                match entry.state {
+                    CoordState::Started | CoordState::Preparing { .. } => {
+                        let remaining = entry.shards.len() - entry.voted.len();
+                        if remaining == 0 {
+                            entry.state = CoordState::Committed;
+                            CoordAction::SendCommit(entry.shards.clone())
+                        } else {
+                            entry.state = CoordState::Preparing { remaining };
+                            CoordAction::None
+                        }
+                    }
+                    // Votes after the decision change nothing.
+                    CoordState::Committed | CoordState::Aborted => CoordAction::None,
+                }
+            }
+            CoordEvent::PrepareNotOk { shard } => {
+                let Some(entry) = self.txs.get_mut(&txid) else {
+                    return CoordAction::None;
+                };
+                if !entry.shards.contains(&shard) {
+                    return CoordAction::None;
+                }
+                match entry.state {
+                    CoordState::Started | CoordState::Preparing { .. } => {
+                        entry.state = CoordState::Aborted;
+                        CoordAction::SendAbort(entry.shards.clone())
+                    }
+                    CoordState::Committed | CoordState::Aborted => CoordAction::None,
+                }
+            }
+            CoordEvent::ClientAbort => {
+                let Some(entry) = self.txs.get_mut(&txid) else {
+                    return CoordAction::None;
+                };
+                match entry.state {
+                    CoordState::Started | CoordState::Preparing { .. } => {
+                        entry.state = CoordState::Aborted;
+                        CoordAction::SendAbort(entry.shards.clone())
+                    }
+                    // Cannot abort a committed transaction.
+                    CoordState::Committed | CoordState::Aborted => CoordAction::None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TX: TxId = TxId(7);
+
+    #[test]
+    fn commit_path() {
+        let mut c = Coordinator::new();
+        let a = c.apply(TX, CoordEvent::Begin { shards: vec![0, 1, 2] });
+        assert_eq!(a, CoordAction::SendPrepare(vec![0, 1, 2]));
+        assert_eq!(c.state(TX), Some(&CoordState::Started));
+
+        assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 0 }), CoordAction::None);
+        assert_eq!(c.state(TX), Some(&CoordState::Preparing { remaining: 2 }));
+        assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 1 }), CoordAction::None);
+        let done = c.apply(TX, CoordEvent::PrepareOk { shard: 2 });
+        assert_eq!(done, CoordAction::SendCommit(vec![0, 1, 2]));
+        assert_eq!(c.state(TX), Some(&CoordState::Committed));
+    }
+
+    #[test]
+    fn abort_path() {
+        let mut c = Coordinator::new();
+        c.apply(TX, CoordEvent::Begin { shards: vec![0, 1] });
+        c.apply(TX, CoordEvent::PrepareOk { shard: 0 });
+        let a = c.apply(TX, CoordEvent::PrepareNotOk { shard: 1 });
+        assert_eq!(a, CoordAction::SendAbort(vec![0, 1]));
+        assert_eq!(c.state(TX), Some(&CoordState::Aborted));
+        // Late OK changes nothing.
+        assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 1 }), CoordAction::None);
+        assert_eq!(c.state(TX), Some(&CoordState::Aborted));
+    }
+
+    #[test]
+    fn duplicate_votes_ignored() {
+        let mut c = Coordinator::new();
+        c.apply(TX, CoordEvent::Begin { shards: vec![0, 1] });
+        c.apply(TX, CoordEvent::PrepareOk { shard: 0 });
+        // A Byzantine shard member replaying OK must not drive c to zero.
+        assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 0 }), CoordAction::None);
+        assert_eq!(c.state(TX), Some(&CoordState::Preparing { remaining: 1 }));
+    }
+
+    #[test]
+    fn unknown_shard_votes_ignored() {
+        let mut c = Coordinator::new();
+        c.apply(TX, CoordEvent::Begin { shards: vec![0, 1] });
+        assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 9 }), CoordAction::None);
+        assert_eq!(c.state(TX), Some(&CoordState::Started));
+    }
+
+    #[test]
+    fn votes_before_begin_ignored() {
+        let mut c = Coordinator::new();
+        assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 0 }), CoordAction::None);
+        assert_eq!(c.state(TX), None);
+    }
+
+    #[test]
+    fn double_begin_ignored() {
+        let mut c = Coordinator::new();
+        c.apply(TX, CoordEvent::Begin { shards: vec![0] });
+        assert_eq!(
+            c.apply(TX, CoordEvent::Begin { shards: vec![0, 1] }),
+            CoordAction::None
+        );
+    }
+
+    #[test]
+    fn client_abort_before_decision() {
+        let mut c = Coordinator::new();
+        c.apply(TX, CoordEvent::Begin { shards: vec![0, 1] });
+        c.apply(TX, CoordEvent::PrepareOk { shard: 0 });
+        assert_eq!(c.apply(TX, CoordEvent::ClientAbort), CoordAction::SendAbort(vec![0, 1]));
+    }
+
+    #[test]
+    fn client_cannot_abort_committed() {
+        let mut c = Coordinator::new();
+        c.apply(TX, CoordEvent::Begin { shards: vec![0] });
+        c.apply(TX, CoordEvent::PrepareOk { shard: 0 });
+        assert_eq!(c.state(TX), Some(&CoordState::Committed));
+        assert_eq!(c.apply(TX, CoordEvent::ClientAbort), CoordAction::None);
+        assert_eq!(c.state(TX), Some(&CoordState::Committed));
+    }
+
+    #[test]
+    fn prune_keeps_live_txs() {
+        let mut c = Coordinator::new();
+        c.apply(TxId(1), CoordEvent::Begin { shards: vec![0] });
+        c.apply(TxId(1), CoordEvent::PrepareOk { shard: 0 });
+        c.apply(TxId(2), CoordEvent::Begin { shards: vec![0, 1] });
+        c.prune_terminal();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.state(TxId(2)), Some(&CoordState::Started));
+    }
+
+    proptest::proptest! {
+        /// Determinism + single-decision: any event sequence yields at most
+        /// one SendCommit/SendAbort per transaction, never both.
+        #[test]
+        fn at_most_one_decision(events in proptest::collection::vec((0u8..4, 0usize..4), 1..60)) {
+            let mut c = Coordinator::new();
+            c.apply(TX, CoordEvent::Begin { shards: vec![0, 1, 2, 3] });
+            let mut commits = 0;
+            let mut aborts = 0;
+            for (kind, shard) in events {
+                let ev = match kind {
+                    0 => CoordEvent::PrepareOk { shard },
+                    1 => CoordEvent::PrepareNotOk { shard },
+                    2 => CoordEvent::ClientAbort,
+                    _ => CoordEvent::PrepareOk { shard },
+                };
+                match c.apply(TX, ev) {
+                    CoordAction::SendCommit(_) => commits += 1,
+                    CoordAction::SendAbort(_) => aborts += 1,
+                    _ => {}
+                }
+            }
+            proptest::prop_assert!(commits <= 1);
+            proptest::prop_assert!(aborts <= 1);
+            proptest::prop_assert!(commits + aborts <= 1);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Probability that a transaction is cross-shard (paper Appendix B,
+//! Equation 3).
+//!
+//! A `d`-argument transaction whose arguments hash uniformly onto `k`
+//! shards touches exactly `x` shards with the occupancy probability
+//! `C(k,x) · x! · S(d,x) / k^d` (where `S` is the Stirling number of the
+//! second kind) — the standard balls-into-bins occupancy law the paper's
+//! Equation 3 expresses in product/sum form.
+
+/// Stirling numbers of the second kind S(d, x), as f64 (d, x ≤ 64 is far
+/// beyond any practical transaction width).
+fn stirling2(d: usize, x: usize) -> f64 {
+    if x == 0 {
+        return if d == 0 { 1.0 } else { 0.0 };
+    }
+    if x > d {
+        return 0.0;
+    }
+    // DP over rows: S(n, k) = k·S(n-1, k) + S(n-1, k-1).
+    let mut row = vec![0.0f64; x + 1];
+    row[0] = 1.0; // S(0,0)
+    for n in 1..=d {
+        let mut next = vec![0.0f64; x + 1];
+        for j in 1..=x.min(n) {
+            next[j] = j as f64 * row[j] + row[j - 1];
+        }
+        // S(n,0) = 0 for n ≥ 1 (next[0] stays 0).
+        row = next;
+    }
+    row[x]
+}
+
+fn falling_factorial(k: usize, x: usize) -> f64 {
+    (0..x).map(|i| (k - i) as f64).product()
+}
+
+/// Probability that a `d`-argument transaction touches exactly `x` of `k`
+/// shards (Equation 3).
+pub fn prob_touches_exactly(d: usize, k: usize, x: usize) -> f64 {
+    if d == 0 {
+        return if x == 0 { 1.0 } else { 0.0 };
+    }
+    if x == 0 || x > d.min(k) {
+        return 0.0;
+    }
+    falling_factorial(k, x) * stirling2(d, x) / (k as f64).powi(d as i32)
+}
+
+/// Probability that a `d`-argument transaction is cross-shard (touches at
+/// least two shards): `1 - k^(1-d)`.
+pub fn prob_cross_shard(d: usize, k: usize) -> f64 {
+    if d <= 1 || k <= 1 {
+        return 0.0;
+    }
+    1.0 - prob_touches_exactly(d, k, 1)
+}
+
+/// Expected number of distinct shards touched by a `d`-argument
+/// transaction: `k · (1 - (1 - 1/k)^d)`.
+pub fn expected_shards(d: usize, k: usize) -> f64 {
+    let k_f = k as f64;
+    k_f * (1.0 - (1.0 - 1.0 / k_f).powi(d as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stirling_known_values() {
+        assert_eq!(stirling2(0, 0), 1.0);
+        assert_eq!(stirling2(3, 2), 3.0);
+        assert_eq!(stirling2(4, 2), 7.0);
+        assert_eq!(stirling2(5, 3), 25.0);
+        assert_eq!(stirling2(3, 5), 0.0);
+        assert_eq!(stirling2(4, 0), 0.0);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        for d in 1..=8 {
+            for k in 1..=12 {
+                let total: f64 = (1..=d.min(k)).map(|x| prob_touches_exactly(d, k, x)).sum();
+                assert!((total - 1.0).abs() < 1e-12, "d={d} k={k} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_probability() {
+        // P(x = 1) = k / k^d = k^(1-d).
+        assert!((prob_touches_exactly(3, 10, 1) - 0.01).abs() < 1e-12);
+        assert!((prob_touches_exactly(2, 4, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_claim_vast_majority_cross_shard() {
+        // Appendix B claim: in practice most transactions are distributed.
+        // A 3-update KVStore transaction over 10 shards is cross-shard 99%
+        // of the time; SmallBank's 2-account sendPayment over 16 shards
+        // ~94%.
+        assert!((prob_cross_shard(3, 10) - 0.99).abs() < 1e-12);
+        assert!(prob_cross_shard(2, 16) > 0.93);
+    }
+
+    #[test]
+    fn cross_shard_grows_with_d_and_k() {
+        assert!(prob_cross_shard(3, 4) < prob_cross_shard(4, 4));
+        assert!(prob_cross_shard(3, 4) < prob_cross_shard(3, 8));
+        assert_eq!(prob_cross_shard(1, 10), 0.0);
+        assert_eq!(prob_cross_shard(5, 1), 0.0);
+    }
+
+    #[test]
+    fn expected_shards_bounds() {
+        // 1 ≤ E[x] ≤ min(d, k); for d=3, k=10: 10(1 - 0.9^3) = 2.71.
+        let e = expected_shards(3, 10);
+        assert!((e - 2.71).abs() < 1e-12);
+        assert!(expected_shards(100, 4) <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn monte_carlo_agreement() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let (d, k) = (3, 5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trials = 200_000;
+        let mut counts = vec![0usize; d + 1];
+        for _ in 0..trials {
+            let mut shards = std::collections::HashSet::new();
+            for _ in 0..d {
+                shards.insert(rng.gen_range(0..k));
+            }
+            counts[shards.len()] += 1;
+        }
+        for (x, &count) in counts.iter().enumerate().take(d + 1).skip(1) {
+            let emp = count as f64 / trials as f64;
+            let theory = prob_touches_exactly(d, k, x);
+            assert!(
+                (emp - theory).abs() < 0.01,
+                "x={x}: empirical {emp} vs theory {theory}"
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # ahl-txn — distributed transactions for sharded blockchains
+//!
+//! The paper's §6: safety (atomicity + isolation via 2PC/2PL) and liveness
+//! (no malicious-coordinator blocking, via a BFT reference committee) for
+//! *general* — non-UTXO — transactions.
+//!
+//! * [`ShardMap`] — hash-based key placement and transaction splitting.
+//! * [`Coordinator`] — the reference committee's replicated 2PC state
+//!   machine (Figure 6).
+//! * [`MultiShardLedger`] — the Figure 5 protocol over in-process shards,
+//!   with a step-wise API for adversarial interleavings.
+//! * [`baselines`] — executable demonstrations of the §6.1 failure modes:
+//!   RapidChain's atomicity/isolation violations on the account model and
+//!   OmniLedger's indefinite blocking under a malicious client coordinator.
+//! * [`crossshard`] — Appendix B: the probability that a d-argument
+//!   transaction is cross-shard.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod coordinator;
+pub mod crossshard;
+pub mod library;
+pub mod protocol;
+pub mod shardmap;
+
+pub use coordinator::{CoordAction, CoordEvent, CoordState, Coordinator};
+pub use library::{smallbank_chaincode, ChaincodeError, ChaincodeFn, ShardedChaincode, TxHandle};
+pub use protocol::{MultiShardLedger, TxOutcome};
+pub use shardmap::ShardMap;

@@ -1,0 +1,274 @@
+//! The sharded-application library the paper proposes as an extension
+//! (§6.4): "a more useful extension is to add programming language
+//! features that, given a single-shard chaincode implementation,
+//! automatically analyze the functions and transform them to support
+//! multi-shards execution" — plus "a client library that hides the
+//! details of the coordination protocols, so that the users only see
+//! single-shard transactions."
+//!
+//! [`ShardedChaincode`] is that transformation: it takes ordinary
+//! single-shard chaincode functions (anything producing a [`StateOp`]) and
+//! derives the prepare/commit/abort split, lock set and shard routing
+//! automatically. [`TxHandle`] is the client-side facade: `submit` returns
+//! a handle whose `wait` hides 2PC entirely.
+
+use ahl_ledger::{StateOp, TxId};
+
+use crate::protocol::{MultiShardLedger, TxOutcome};
+use crate::shardmap::ShardMap;
+
+/// A chaincode compile function: arguments to guarded mutation set.
+pub type CompileFn = Box<dyn Fn(&[&str]) -> Result<StateOp, String> + Send + Sync>;
+
+/// A registered chaincode function: name + a compiler from arguments to a
+/// guarded mutation set. This is the "single-shard implementation" the
+/// developer writes; the library derives everything sharding needs.
+pub struct ChaincodeFn {
+    /// Function name (Hyperledger-style invocation key).
+    pub name: &'static str,
+    compile: CompileFn,
+}
+
+impl ChaincodeFn {
+    /// Wrap a compile function.
+    pub fn new(
+        name: &'static str,
+        compile: impl Fn(&[&str]) -> Result<StateOp, String> + Send + Sync + 'static,
+    ) -> Self {
+        ChaincodeFn { name, compile: Box::new(compile) }
+    }
+}
+
+/// Static analysis of one invocation: what the library derives from the
+/// single-shard function before execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvocationPlan {
+    /// The 2PL lock set (every touched key).
+    pub lock_keys: Vec<String>,
+    /// Shards involved, ascending.
+    pub shards: Vec<usize>,
+    /// Whether 2PC is required (more than one shard).
+    pub needs_coordination: bool,
+}
+
+/// A deployed sharded chaincode: registered functions + shard map.
+pub struct ShardedChaincode {
+    functions: Vec<ChaincodeFn>,
+    map: ShardMap,
+}
+
+/// Errors surfaced by the library.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaincodeError {
+    /// No function registered under that name.
+    UnknownFunction(String),
+    /// The function rejected its arguments.
+    BadArguments(String),
+}
+
+impl ShardedChaincode {
+    /// Deploy over `k` shards.
+    pub fn new(k: usize) -> Self {
+        ShardedChaincode { functions: Vec::new(), map: ShardMap::new(k) }
+    }
+
+    /// Register a single-shard chaincode function.
+    pub fn register(&mut self, f: ChaincodeFn) -> &mut Self {
+        self.functions.push(f);
+        self
+    }
+
+    /// Registered function names.
+    pub fn functions(&self) -> Vec<&'static str> {
+        self.functions.iter().map(|f| f.name).collect()
+    }
+
+    fn compile(&self, function: &str, args: &[&str]) -> Result<StateOp, ChaincodeError> {
+        let f = self
+            .functions
+            .iter()
+            .find(|f| f.name == function)
+            .ok_or_else(|| ChaincodeError::UnknownFunction(function.to_string()))?;
+        (f.compile)(args).map_err(ChaincodeError::BadArguments)
+    }
+
+    /// Analyze an invocation without executing it: derive the lock set and
+    /// shard routing (the paper's "automatically analyze the functions").
+    pub fn analyze(&self, function: &str, args: &[&str]) -> Result<InvocationPlan, ChaincodeError> {
+        let op = self.compile(function, args)?;
+        let shards: Vec<usize> = self.map.split_op(&op).into_iter().map(|(s, _)| s).collect();
+        Ok(InvocationPlan {
+            lock_keys: op.touched_keys(),
+            needs_coordination: shards.len() > 1,
+            shards,
+        })
+    }
+
+    /// Invoke a function against the sharded ledger. Single-shard
+    /// invocations take the fast path; cross-shard ones run the full 2PC —
+    /// the caller cannot tell the difference (the paper's client library).
+    pub fn invoke(
+        &self,
+        ledger: &mut MultiShardLedger,
+        txid: TxId,
+        function: &str,
+        args: &[&str],
+    ) -> Result<TxHandle, ChaincodeError> {
+        let op = self.compile(function, args)?;
+        let outcome = ledger.execute(txid, &op);
+        Ok(TxHandle { txid, outcome })
+    }
+}
+
+/// Client-side handle: hides whether the transaction was coordinated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxHandle {
+    /// The transaction id.
+    pub txid: TxId,
+    outcome: TxOutcome,
+}
+
+impl TxHandle {
+    /// Wait for the outcome (already resolved in the in-process ledger;
+    /// mirrors the asynchronous API of the distributed system).
+    pub fn wait(&self) -> TxOutcome {
+        self.outcome.clone()
+    }
+
+    /// Convenience: did the transaction commit?
+    pub fn committed(&self) -> bool {
+        self.outcome == TxOutcome::Committed
+    }
+}
+
+/// Build the SmallBank chaincode as the paper's §6.3 example application,
+/// expressed through the library (the manual refactor it replaces).
+pub fn smallbank_chaincode(k: usize) -> ShardedChaincode {
+    use ahl_ledger::smallbank as sb;
+    let mut cc = ShardedChaincode::new(k);
+    cc.register(ChaincodeFn::new("sendPayment", |args| {
+        let [from, to, amt] = args else {
+            return Err("sendPayment(from, to, amount)".into());
+        };
+        let amt: i64 = amt.parse().map_err(|_| "amount must be an integer".to_string())?;
+        if amt <= 0 {
+            return Err("amount must be positive".into());
+        }
+        Ok(sb::send_payment(from, to, amt))
+    }));
+    cc.register(ChaincodeFn::new("depositChecking", |args| {
+        let [acc, amt] = args else {
+            return Err("depositChecking(acc, amount)".into());
+        };
+        let amt: i64 = amt.parse().map_err(|_| "amount must be an integer".to_string())?;
+        Ok(sb::deposit_checking(acc, amt))
+    }));
+    cc.register(ChaincodeFn::new("transactSavings", |args| {
+        let [acc, amt] = args else {
+            return Err("transactSavings(acc, amount)".into());
+        };
+        let amt: i64 = amt.parse().map_err(|_| "amount must be an integer".to_string())?;
+        Ok(sb::transact_savings(acc, amt))
+    }));
+    cc.register(ChaincodeFn::new("writeCheck", |args| {
+        let [acc, amt] = args else {
+            return Err("writeCheck(acc, amount)".into());
+        };
+        let amt: i64 = amt.parse().map_err(|_| "amount must be an integer".to_string())?;
+        Ok(sb::write_check(acc, amt))
+    }));
+    cc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahl_ledger::smallbank;
+
+    fn setup() -> (ShardedChaincode, MultiShardLedger) {
+        let cc = smallbank_chaincode(4);
+        let mut l = MultiShardLedger::new(4);
+        l.genesis(&smallbank::genesis(100, 1000, 0));
+        (cc, l)
+    }
+
+    #[test]
+    fn registered_functions() {
+        let cc = smallbank_chaincode(4);
+        assert_eq!(
+            cc.functions(),
+            vec!["sendPayment", "depositChecking", "transactSavings", "writeCheck"]
+        );
+    }
+
+    #[test]
+    fn analyze_derives_locks_and_routing() {
+        let cc = smallbank_chaincode(4);
+        let plan = cc.analyze("sendPayment", &["acc0", "acc1", "10"]).expect("valid");
+        assert_eq!(plan.lock_keys.len(), 2);
+        assert!(!plan.shards.is_empty());
+        // Single-account functions never need coordination.
+        let plan = cc.analyze("depositChecking", &["acc0", "10"]).expect("valid");
+        assert!(!plan.needs_coordination);
+        assert_eq!(plan.shards.len(), 1);
+    }
+
+    #[test]
+    fn invoke_hides_coordination() {
+        let (cc, mut l) = setup();
+        let h = cc
+            .invoke(&mut l, TxId(1), "sendPayment", &["acc0", "acc1", "100"])
+            .expect("valid invocation");
+        assert!(h.committed());
+        assert_eq!(l.get_int(&smallbank::checking_key("acc0")), 900);
+        assert_eq!(l.get_int(&smallbank::checking_key("acc1")), 1100);
+    }
+
+    #[test]
+    fn overdraft_aborts_through_library() {
+        let (cc, mut l) = setup();
+        let h = cc
+            .invoke(&mut l, TxId(1), "sendPayment", &["acc0", "acc1", "5000"])
+            .expect("valid invocation");
+        assert!(!h.committed());
+        assert_eq!(l.get_int(&smallbank::checking_key("acc0")), 1000);
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let (cc, mut l) = setup();
+        let err = cc.invoke(&mut l, TxId(1), "mintMoney", &[]).unwrap_err();
+        assert_eq!(err, ChaincodeError::UnknownFunction("mintMoney".into()));
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        let (cc, mut l) = setup();
+        assert!(matches!(
+            cc.invoke(&mut l, TxId(1), "sendPayment", &["acc0", "acc1"]),
+            Err(ChaincodeError::BadArguments(_))
+        ));
+        assert!(matches!(
+            cc.invoke(&mut l, TxId(2), "sendPayment", &["acc0", "acc1", "-5"]),
+            Err(ChaincodeError::BadArguments(_))
+        ));
+        assert!(matches!(
+            cc.invoke(&mut l, TxId(3), "writeCheck", &["acc0", "ten"]),
+            Err(ChaincodeError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn conservation_through_library() {
+        let (cc, mut l) = setup();
+        for i in 0..200u64 {
+            let from = format!("acc{}", i % 100);
+            let to = format!("acc{}", (i * 3 + 1) % 100);
+            let _ = cc.invoke(&mut l, TxId(i), "sendPayment", &[&from, &to, "7"]);
+        }
+        let keys: Vec<String> = (0..100)
+            .map(|i| smallbank::checking_key(&format!("acc{i}")))
+            .collect();
+        assert_eq!(l.total_of(&keys), 100 * 1000);
+    }
+}

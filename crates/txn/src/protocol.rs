@@ -1,0 +1,355 @@
+//! The full cross-shard transaction protocol (paper §6.2, Figure 5)
+//! executed over in-process shards.
+//!
+//! This module wires the replicated [`Coordinator`] to per-shard
+//! [`StateStore`]s with 2PL execution, exposing both a one-shot API
+//! ([`MultiShardLedger::execute`]) and a step-wise API where prepares,
+//! votes and decisions are delivered in *arbitrary order* — the surface the
+//! property tests drive to check atomicity and isolation under adversarial
+//! scheduling. The distributed, BFT-replicated version of the same logic
+//! lives in `ahl-core`; the state machines are shared.
+
+use ahl_ledger::{Op, StateOp, StateStore, TxId};
+
+use crate::coordinator::{CoordAction, CoordEvent, CoordState, Coordinator};
+use crate::shardmap::ShardMap;
+
+/// Outcome of a cross-shard transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// All involved shards committed.
+    Committed,
+    /// All involved shards aborted (or never prepared).
+    Aborted,
+}
+
+/// A sharded ledger driven by the 2PC/2PL protocol.
+#[derive(Debug)]
+pub struct MultiShardLedger {
+    /// One state store per shard.
+    pub shards: Vec<StateStore>,
+    /// Key-to-shard mapping.
+    pub map: ShardMap,
+    /// The (logically replicated) coordinator.
+    pub coordinator: Coordinator,
+}
+
+impl MultiShardLedger {
+    /// Create `k` empty shards.
+    pub fn new(k: usize) -> Self {
+        MultiShardLedger {
+            shards: (0..k).map(|_| StateStore::new()).collect(),
+            map: ShardMap::new(k),
+            coordinator: Coordinator::new(),
+        }
+    }
+
+    /// Install genesis state (routed to owning shards).
+    pub fn genesis(&mut self, entries: &[(String, ahl_ledger::Value)]) {
+        for (k, v) in entries {
+            let shard = self.map.shard_of(k);
+            self.shards[shard].put(k.clone(), v.clone());
+        }
+    }
+
+    /// Read an integer state value from its owning shard.
+    pub fn get_int(&self, key: &str) -> i64 {
+        self.shards[self.map.shard_of(key)].get_int(key)
+    }
+
+    /// Whether `key` is locked on its owning shard.
+    pub fn is_locked(&self, key: &str) -> bool {
+        self.shards[self.map.shard_of(key)].is_locked(key)
+    }
+
+    /// Sum of an integer key set across shards (conservation checks).
+    pub fn total_of(&self, keys: &[String]) -> i64 {
+        keys.iter().map(|k| self.get_int(k)).sum()
+    }
+
+    /// Execute a transaction to completion through 2PC/2PL, single-shard
+    /// fast path included. Returns the outcome.
+    pub fn execute(&mut self, txid: TxId, op: &StateOp) -> TxOutcome {
+        let parts = self.map.split_op(op);
+        match parts.len() {
+            0 => TxOutcome::Committed,
+            1 => {
+                // Single-shard: direct execution, no coordination.
+                let (shard, sub) = &parts[0];
+                let r = self.shards[*shard].execute(&Op::Direct { txid, op: sub.clone() });
+                if r.status.is_committed() {
+                    TxOutcome::Committed
+                } else {
+                    TxOutcome::Aborted
+                }
+            }
+            _ => self.execute_2pc(txid, parts),
+        }
+    }
+
+    fn execute_2pc(&mut self, txid: TxId, parts: Vec<(usize, StateOp)>) -> TxOutcome {
+        let shard_ids: Vec<usize> = parts.iter().map(|(s, _)| *s).collect();
+        let action = self
+            .coordinator
+            .apply(txid, CoordEvent::Begin { shards: shard_ids });
+        let CoordAction::SendPrepare(targets) = action else {
+            return TxOutcome::Aborted; // duplicate txid
+        };
+
+        // Phase 1: prepare at every involved shard, feeding votes back.
+        let mut decision: Option<CoordAction> = None;
+        for shard in targets {
+            let sub = parts
+                .iter()
+                .find(|(s, _)| *s == shard)
+                .map(|(_, op)| op.clone())
+                .expect("prepare targets come from parts");
+            let receipt = self.shards[shard].execute(&Op::Prepare { txid, op: sub });
+            let vote = if receipt.status.is_committed() {
+                CoordEvent::PrepareOk { shard }
+            } else {
+                CoordEvent::PrepareNotOk { shard }
+            };
+            match self.coordinator.apply(txid, vote) {
+                CoordAction::None => {}
+                other => decision = Some(other),
+            }
+            if matches!(decision, Some(CoordAction::SendAbort(_))) {
+                break; // the coordinator already aborted; stop preparing
+            }
+        }
+
+        // Phase 2: deliver the decision.
+        match decision {
+            Some(CoordAction::SendCommit(shards)) => {
+                for shard in shards {
+                    let r = self.shards[shard].execute(&Op::Commit { txid });
+                    debug_assert!(
+                        r.status.is_committed(),
+                        "commit of a prepared tx cannot fail"
+                    );
+                }
+                TxOutcome::Committed
+            }
+            Some(CoordAction::SendAbort(shards)) => {
+                for shard in shards {
+                    self.shards[shard].execute(&Op::Abort { txid });
+                }
+                TxOutcome::Aborted
+            }
+            _ => {
+                // No decision reached (shouldn't happen in the synchronous
+                // driver); abort defensively.
+                TxOutcome::Aborted
+            }
+        }
+    }
+
+    // ---- step-wise API for adversarial interleavings ----
+
+    /// Begin a transaction: registers it and returns the shards to prepare.
+    pub fn begin(&mut self, txid: TxId, op: &StateOp) -> Vec<(usize, StateOp)> {
+        let parts = self.map.split_op(op);
+        let shard_ids: Vec<usize> = parts.iter().map(|(s, _)| *s).collect();
+        self.coordinator.apply(txid, CoordEvent::Begin { shards: shard_ids });
+        parts
+    }
+
+    /// Execute the prepare for one shard and feed the vote to the
+    /// coordinator; returns the decision action if one was reached.
+    pub fn prepare_at(&mut self, txid: TxId, shard: usize, sub: &StateOp) -> CoordAction {
+        let receipt = self.shards[shard].execute(&Op::Prepare { txid, op: sub.clone() });
+        let vote = if receipt.status.is_committed() {
+            CoordEvent::PrepareOk { shard }
+        } else {
+            CoordEvent::PrepareNotOk { shard }
+        };
+        self.coordinator.apply(txid, vote)
+    }
+
+    /// Deliver a decision action to its shards.
+    pub fn deliver(&mut self, txid: TxId, action: &CoordAction) {
+        match action {
+            CoordAction::SendCommit(shards) => {
+                for &s in shards {
+                    self.shards[s].execute(&Op::Commit { txid });
+                }
+            }
+            CoordAction::SendAbort(shards) => {
+                for &s in shards {
+                    self.shards[s].execute(&Op::Abort { txid });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The coordinator's view of `txid`.
+    pub fn state_of(&self, txid: TxId) -> Option<&CoordState> {
+        self.coordinator.state(txid)
+    }
+
+    /// Read-only check: does any shard still hold a pending prepare?
+    pub fn pending_total(&self) -> usize {
+        self.shards.iter().map(StateStore::pending_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahl_ledger::{smallbank, Value};
+
+    /// Accounts chosen so that alice/bob land on different shards of a
+    /// 4-shard map (verified in the test).
+    fn ledger_with_accounts() -> (MultiShardLedger, String, String) {
+        let mut l = MultiShardLedger::new(4);
+        l.genesis(&smallbank_genesis(8));
+        let a = "acc0".to_string();
+        let map = l.map;
+        let b = (1..8)
+            .map(|i| format!("acc{i}"))
+            .find(|b| {
+                map.shard_of(&smallbank::checking_key(&a))
+                    != map.shard_of(&smallbank::checking_key(b))
+            })
+            .expect("some account on another shard");
+        (l, a, b)
+    }
+
+    fn smallbank_genesis(n: usize) -> Vec<(String, Value)> {
+        smallbank::genesis(n, 100, 0)
+    }
+
+    #[test]
+    fn cross_shard_payment_commits() {
+        let (mut l, a, b) = ledger_with_accounts();
+        let op = smallbank::send_payment(&a, &b, 30);
+        assert!(l.map.shards_touched(&op) >= 2);
+        let out = l.execute(TxId(1), &op);
+        assert_eq!(out, TxOutcome::Committed);
+        assert_eq!(l.get_int(&smallbank::checking_key(&a)), 70);
+        assert_eq!(l.get_int(&smallbank::checking_key(&b)), 130);
+        assert_eq!(l.pending_total(), 0);
+    }
+
+    #[test]
+    fn insufficient_funds_aborts_atomically() {
+        let (mut l, a, b) = ledger_with_accounts();
+        let op = smallbank::send_payment(&a, &b, 500);
+        let out = l.execute(TxId(1), &op);
+        assert_eq!(out, TxOutcome::Aborted);
+        assert_eq!(l.get_int(&smallbank::checking_key(&a)), 100);
+        assert_eq!(l.get_int(&smallbank::checking_key(&b)), 100);
+        assert_eq!(l.pending_total(), 0);
+        assert!(!l.is_locked(&smallbank::checking_key(&a)));
+    }
+
+    #[test]
+    fn single_shard_fast_path() {
+        let mut l = MultiShardLedger::new(4);
+        l.genesis(&smallbank_genesis(4));
+        // deposit touches only one account → one shard.
+        let op = smallbank::deposit_checking("acc1", 50);
+        assert_eq!(l.map.shards_touched(&op), 1);
+        assert_eq!(l.execute(TxId(1), &op), TxOutcome::Committed);
+        assert_eq!(l.get_int(&smallbank::checking_key("acc1")), 150);
+        // No coordinator entry for the fast path.
+        assert!(l.state_of(TxId(1)).is_none());
+    }
+
+    #[test]
+    fn conflicting_transactions_serialize_via_locks() {
+        let (mut l, a, b) = ledger_with_accounts();
+        // tx1 prepares but has not committed — holds locks.
+        let op1 = smallbank::send_payment(&a, &b, 10);
+        let parts = l.begin(TxId(1), &op1);
+        let (s0, sub0) = parts[0].clone();
+        l.prepare_at(TxId(1), s0, &sub0);
+        // tx2 touching the same account must abort (lock conflict).
+        let op2 = smallbank::send_payment(&a, &b, 20);
+        let out2 = l.execute(TxId(2), &op2);
+        assert_eq!(out2, TxOutcome::Aborted);
+        // Finish tx1.
+        let (s1, sub1) = parts[1].clone();
+        let action = l.prepare_at(TxId(1), s1, &sub1);
+        assert!(matches!(action, CoordAction::SendCommit(_)));
+        l.deliver(TxId(1), &action);
+        assert_eq!(l.get_int(&smallbank::checking_key(&a)), 90);
+        assert_eq!(l.pending_total(), 0);
+    }
+
+    #[test]
+    fn abort_releases_locks_for_retry() {
+        let (mut l, a, b) = ledger_with_accounts();
+        let op = smallbank::send_payment(&a, &b, 500); // will abort
+        assert_eq!(l.execute(TxId(1), &op), TxOutcome::Aborted);
+        // Retry with an affordable amount succeeds.
+        let op2 = smallbank::send_payment(&a, &b, 50);
+        assert_eq!(l.execute(TxId(2), &op2), TxOutcome::Committed);
+    }
+
+    #[test]
+    fn conservation_across_many_random_transfers() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut l = MultiShardLedger::new(5);
+        l.genesis(&smallbank_genesis(10));
+        let keys: Vec<String> = (0..10).map(|i| smallbank::checking_key(&format!("acc{i}"))).collect();
+        let initial = l.total_of(&keys);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for t in 0..500 {
+            let from = format!("acc{}", rng.gen_range(0..10));
+            let to = format!("acc{}", rng.gen_range(0..10));
+            let amt = rng.gen_range(1..80);
+            let _ = l.execute(TxId(t), &smallbank::send_payment(&from, &to, amt));
+        }
+        assert_eq!(l.total_of(&keys), initial);
+        assert_eq!(l.pending_total(), 0);
+    }
+
+    proptest::proptest! {
+        /// Atomicity under adversarial vote interleavings: whatever order
+        /// prepares execute in, the final state is all-commit or all-abort
+        /// and conserves funds.
+        #[test]
+        fn atomicity_under_interleaving(order in proptest::collection::vec(0usize..8, 8), amt in 1i64..150) {
+            let mut l = MultiShardLedger::new(4);
+            l.genesis(&smallbank_genesis(8));
+            let keys: Vec<String> = (0..8).map(|i| smallbank::checking_key(&format!("acc{i}"))).collect();
+            let initial = l.total_of(&keys);
+
+            // Two potentially-overlapping cross-shard transactions.
+            let op1 = smallbank::send_payment("acc0", "acc3", amt);
+            let op2 = smallbank::send_payment("acc3", "acc5", amt);
+            let parts1 = l.begin(TxId(1), &op1);
+            let parts2 = l.begin(TxId(2), &op2);
+
+            // Interleave the prepare steps in the generated order.
+            let mut steps: Vec<(TxId, usize, StateOp)> = Vec::new();
+            for (s, sub) in &parts1 {
+                steps.push((TxId(1), *s, sub.clone()));
+            }
+            for (s, sub) in &parts2 {
+                steps.push((TxId(2), *s, sub.clone()));
+            }
+            // Apply a permutation biasing from `order`.
+            for &pick in &order {
+                if steps.is_empty() { break; }
+                let idx = pick % steps.len();
+                let (txid, shard, sub) = steps.remove(idx);
+                let action = l.prepare_at(txid, shard, &sub);
+                l.deliver(txid, &action);
+            }
+            for (txid, shard, sub) in steps {
+                let action = l.prepare_at(txid, shard, &sub);
+                l.deliver(txid, &action);
+            }
+
+            proptest::prop_assert_eq!(l.total_of(&keys), initial);
+            proptest::prop_assert_eq!(l.pending_total(), 0);
+            for k in &keys {
+                proptest::prop_assert!(!l.is_locked(k));
+            }
+        }
+    }
+}

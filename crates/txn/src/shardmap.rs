@@ -1,0 +1,118 @@
+//! Key-to-shard mapping and transaction splitting.
+//!
+//! Keys map to shards by cryptographic hash (Appendix B assumes arguments
+//! are "mapped to shards uniformly at random, based on the randomness
+//! provided by a cryptographic hash function"). A cross-shard transaction
+//! splits into per-shard sub-operations via [`ShardMap::split_op`];
+//! lock-marker keys
+//! (`L_` prefix) colocate with their underlying key so a shard's 2PL state
+//! stays local.
+
+use ahl_crypto::sha256;
+use ahl_ledger::{StateOp, LOCK_PREFIX};
+
+/// Maps state keys to `k` shards by hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Number of shards.
+    pub k: usize,
+}
+
+impl ShardMap {
+    /// Create a map over `k` shards.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "at least one shard");
+        ShardMap { k }
+    }
+
+    /// The shard owning `key`. Lock markers live with their base key.
+    pub fn shard_of(&self, key: &str) -> usize {
+        let base = key.strip_prefix(LOCK_PREFIX).unwrap_or(key);
+        (sha256(base.as_bytes()).prefix_u64() % self.k as u64) as usize
+    }
+
+    /// Split `op` into per-shard sub-operations; returns only shards that
+    /// the operation actually touches, in ascending shard order.
+    pub fn split_op(&self, op: &StateOp) -> Vec<(usize, StateOp)> {
+        (0..self.k)
+            .filter_map(|shard| {
+                let sub = op.restrict_to(|key| self.shard_of(key) == shard);
+                if sub.conditions.is_empty() && sub.mutations.is_empty() {
+                    None
+                } else {
+                    Some((shard, sub))
+                }
+            })
+            .collect()
+    }
+
+    /// Number of distinct shards `op` touches.
+    pub fn shards_touched(&self, op: &StateOp) -> usize {
+        self.split_op(op).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahl_ledger::{lock_key, smallbank, Condition, Mutation};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let map = ShardMap::new(7);
+        for i in 0..100 {
+            let key = format!("acc{i}");
+            let s = map.shard_of(&key);
+            assert!(s < 7);
+            assert_eq!(s, map.shard_of(&key));
+        }
+    }
+
+    #[test]
+    fn lock_keys_colocate() {
+        let map = ShardMap::new(5);
+        for i in 0..50 {
+            let key = format!("ck_acc{i}");
+            assert_eq!(map.shard_of(&key), map.shard_of(&lock_key(&key)));
+        }
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let map = ShardMap::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            counts[map.shard_of(&format!("key{i}"))] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn split_covers_whole_op() {
+        let map = ShardMap::new(8);
+        let op = smallbank::send_payment("alice", "bob", 10);
+        let parts = map.split_op(&op);
+        let total_conditions: usize = parts.iter().map(|(_, p)| p.conditions.len()).sum();
+        let total_mutations: usize = parts.iter().map(|(_, p)| p.mutations.len()).sum();
+        assert_eq!(total_conditions, op.conditions.len());
+        assert_eq!(total_mutations, op.mutations.len());
+    }
+
+    #[test]
+    fn single_shard_op_not_split() {
+        let map = ShardMap::new(4);
+        let op = StateOp {
+            conditions: vec![Condition::Exists("x".into())],
+            mutations: vec![("x".into(), Mutation::Add(1))],
+        };
+        assert_eq!(map.shards_touched(&op), 1);
+    }
+
+    #[test]
+    fn empty_op_touches_nothing() {
+        let map = ShardMap::new(4);
+        assert_eq!(map.shards_touched(&StateOp::default()), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Zipf-distributed key selection (the skew knob of Figure 13 right).
+//!
+//! Table-based CDF inversion: exact, O(log n) per sample after an O(n)
+//! precomputation. The paper's skew sweep uses Zipf coefficients 0..1.99
+//! over account populations small enough (thousands) that the table is the
+//! right tool (no rejection-inversion approximation error).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `{0, 1, .., n-1}` (rank 0 most popular).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `n` items with exponent `theta ≥ 0`
+    /// (0 = uniform).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "need at least one item");
+        assert!(theta >= 0.0, "negative skew is meaningless");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(theta: f64, n: usize, samples: usize) -> Vec<usize> {
+        let z = Zipf::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = vec![0usize; n];
+        for _ in 0..samples {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let counts = histogram(0.0, 10, 100_000);
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_low_ranks() {
+        let counts = histogram(0.99, 100, 100_000);
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[99]);
+        // Rank 0 share for θ=0.99, n=100 is ≈ 1/H ≈ 19%.
+        let share = counts[0] as f64 / 100_000.0;
+        assert!((0.15..0.25).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn heavy_skew_concentrates() {
+        let counts = histogram(1.99, 100, 100_000);
+        let share = counts[0] as f64 / 100_000.0;
+        assert!(share > 0.55, "share {share}");
+    }
+
+    #[test]
+    fn ratio_matches_law() {
+        // P(rank 0)/P(rank 1) = 2^θ.
+        let counts = histogram(1.0, 50, 400_000);
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_item() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn samples_in_range(n in 1usize..500, theta in 0.0f64..2.0, seed: u64) {
+            let z = Zipf::new(n, theta);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                proptest::prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Epoch transition demo (paper §5.3 / Figure 12): throughput of an AHL+
+//! committee while its members are reshuffled, comparing the naive
+//! swap-all approach with the paper's batched swap-log(n).
+//!
+//! ```sh
+//! cargo run --release --example reconfiguration
+//! ```
+
+use ahl::shard::{batch_preserves_liveness, paper_batch_size, Resilience};
+use ahl::simkit::SimDuration;
+use ahl::system::{run_reshard, ReshardConfig, ReshardStrategy};
+
+fn sparkline(series: &[(ahl::simkit::SimTime, f64)], max: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    series
+        .iter()
+        .map(|(_, v)| {
+            let idx = ((v / max.max(1.0)) * 7.0).round().min(7.0) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+fn main() {
+    let n = 9;
+    let b = paper_batch_size(n);
+    println!("Committee of {n}; batch size B = log({n}) = {b}");
+    println!(
+        "liveness with B = {b}: {} (needs B <= f = {})",
+        batch_preserves_liveness(n, b, Resilience::OneHalf),
+        (n - 1) / 2
+    );
+    println!();
+
+    let mut results = Vec::new();
+    for (name, strategy) in [
+        ("no resharding", ReshardStrategy::None),
+        ("swap all     ", ReshardStrategy::SwapAll),
+        ("swap log(n)  ", ReshardStrategy::SwapLog),
+    ] {
+        let mut cfg = ReshardConfig::new(n, strategy);
+        cfg.reshard_at = vec![SimDuration::from_secs(40), SimDuration::from_secs(90)];
+        cfg.full_fetch = SimDuration::from_secs(25);
+        cfg.duration = SimDuration::from_secs(140);
+        cfg.client_rate = 120.0;
+        cfg.clients = 3;
+        let m = run_reshard(&cfg);
+        results.push((name, m));
+    }
+
+    let peak = results
+        .iter()
+        .flat_map(|(_, m)| m.series.iter().map(|(_, v)| *v))
+        .fold(0.0f64, f64::max);
+
+    println!("throughput over time (5 s buckets, resharding at t=40s and t=90s):");
+    for (name, m) in &results {
+        println!("  {name} | {} | avg {:6.1} tps", sparkline(&m.series, peak), m.avg_tps);
+    }
+
+    let base = results[0].1.avg_tps;
+    let all = results[1].1.avg_tps;
+    let log = results[2].1.avg_tps;
+    println!();
+    println!("swap-all loses {:.0}% of baseline throughput;", 100.0 * (1.0 - all / base));
+    println!("swap-log(n) stays within {:.0}% of baseline.", 100.0 * (1.0 - log / base).abs());
+}

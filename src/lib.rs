@@ -1,0 +1,45 @@
+//! # ahl — a sharded permissioned blockchain with TEE-assisted BFT
+//!
+//! Facade crate for the reproduction of *Towards Scaling Blockchain
+//! Systems via Sharding* (Dang et al., SIGMOD 2019). Re-exports every
+//! subsystem crate:
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`simkit`] | deterministic discrete-event simulation kernel |
+//! | [`crypto`] | SHA-256, HMAC, signatures, Merkle trees |
+//! | [`tee`] | SGX simulation: attested log, randomness beacon, sealing |
+//! | [`net`] | cluster / GCP network models (Table 3 latencies) |
+//! | [`ledger`] | blocks, KV state with 2PL, KVStore & SmallBank chaincode |
+//! | [`consensus`] | PBFT (HL/AHL/AHL+/AHLR), Tendermint, IBFT, Raft, PoET |
+//! | [`shard`] | committee sizing (Eq 1), beacon protocol, reconfiguration |
+//! | [`txn`] | 2PC reference committee, cross-shard protocol, baselines |
+//! | [`workload`] | BLOCKBENCH KVStore / SmallBank generators |
+//! | [`system`] | the assembled sharded blockchain ([`system::run_system`]) |
+//!
+//! Quickstart: see `examples/quickstart.rs` —
+//!
+//! ```
+//! use ahl::system::{run_system, SystemConfig, SystemWorkload};
+//! use ahl::simkit::SimDuration;
+//!
+//! let mut cfg = SystemConfig::new(2, 3); // 2 shards × 3 replicas
+//! cfg.clients = 2;
+//! cfg.outstanding = 8;
+//! cfg.workload = SystemWorkload::SmallBank { accounts: 500, theta: 0.0 };
+//! cfg.duration = SimDuration::from_secs(3);
+//! cfg.warmup = SimDuration::from_secs(1);
+//! let metrics = run_system(cfg);
+//! assert!(metrics.committed > 0);
+//! ```
+
+pub use ahl_consensus as consensus;
+pub use ahl_core as system;
+pub use ahl_crypto as crypto;
+pub use ahl_ledger as ledger;
+pub use ahl_net as net;
+pub use ahl_shard as shard;
+pub use ahl_simkit as simkit;
+pub use ahl_tee as tee;
+pub use ahl_txn as txn;
+pub use ahl_workload as workload;

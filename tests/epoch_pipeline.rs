@@ -1,0 +1,78 @@
+//! The full epoch pipeline of §5: beacon randomness → committee sizing →
+//! assignment → batched transition plan, with the Equation 2 safety bound
+//! and the B ≤ f liveness rule checked end-to-end.
+
+use ahl::net::ClusterNetwork;
+use ahl::shard::{
+    batch_preserves_liveness, faulty_committee_prob, paper_batch_size, paper_l_bits,
+    plan_transition, reconfig_failure_prob, run_beacon, Assignment, LnFact, Resilience,
+};
+use ahl::simkit::SimDuration;
+
+#[test]
+fn epoch_transition_end_to_end() {
+    let total = 200;
+    let s = 0.2;
+    let lf = LnFact::new(total + 1);
+
+    // Committee size from Equation 1.
+    let n = ahl::shard::min_committee_size(&lf, total, s, Resilience::OneHalf, 20.0)
+        .expect("formable at 20%");
+    let k = total / n;
+    assert!(k >= 2, "need multiple committees for a transition");
+
+    // Two consecutive epochs of beacon randomness.
+    let rnd1 = run_beacon(
+        total,
+        paper_l_bits(total),
+        SimDuration::from_secs(2),
+        Box::new(ClusterNetwork::new()),
+        Some(1e9),
+        1,
+    )
+    .rnd;
+    let rnd2 = run_beacon(
+        total,
+        paper_l_bits(total),
+        SimDuration::from_secs(2),
+        Box::new(ClusterNetwork::new()),
+        Some(1e9),
+        2,
+    )
+    .rnd;
+    assert_ne!(rnd1, rnd2, "epochs draw fresh randomness");
+
+    let old = Assignment::derive(k * n, k, rnd1);
+    let new = Assignment::derive(k * n, k, rnd2);
+
+    // The paper's batch size respects liveness and keeps Equation 2 small.
+    let b = paper_batch_size(n);
+    assert!(batch_preserves_liveness(n, b, Resilience::OneHalf));
+    let p_transition = reconfig_failure_prob(&lf, total, s, n, k, b, Resilience::OneHalf);
+    let p_static = faulty_committee_prob(&lf, total, s, n, Resilience::OneHalf);
+    assert!(p_transition < 1e-3, "transition exposure {p_transition}");
+    assert!(p_transition >= p_static, "transition cannot be safer than static");
+
+    // The plan moves every transitioning node exactly once, ≤ B per
+    // committee per step.
+    let steps = plan_transition(&old, &new, b);
+    let moved: usize = steps.iter().map(|st| st.moves.len()).sum();
+    assert_eq!(moved, old.transitioning(&new).len());
+    for st in &steps {
+        let mut out = vec![0usize; k];
+        for (_, from, _) in &st.moves {
+            out[*from] += 1;
+        }
+        assert!(out.iter().all(|&c| c <= b));
+    }
+}
+
+#[test]
+fn beacon_rand_changes_assignment_materially() {
+    // An adaptive adversary gains nothing from epoch e's layout: the next
+    // epoch reshuffles ~ (k-1)/k of all nodes.
+    let a = Assignment::derive(120, 4, 111);
+    let b = Assignment::derive(120, 4, 222);
+    let moved = a.transitioning(&b).len();
+    assert!(moved > 120 / 2, "only {moved} of 120 moved");
+}
