@@ -31,6 +31,7 @@ const IDS: &[(&str, &str)] = &[
     ("fig20", "tps vs clients on cluster"),
     ("fig21", "PoET vs PoET+ throughput"),
     ("fig22", "PoET vs PoET+ stale rate"),
+    ("overload", "mempool overload sweep: offered load past pool capacity"),
 ];
 
 fn usage() -> ! {
@@ -86,6 +87,7 @@ fn main() {
             "fig20" => figs::fig20(scale),
             "fig21" => figs::fig21(scale),
             "fig22" => figs::fig22(scale),
+            "overload" => figs::overload(scale),
             other => {
                 println!("unknown experiment: {other}\n");
                 usage();

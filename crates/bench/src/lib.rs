@@ -45,4 +45,5 @@ pub fn run_all(scale: Scale) {
     figs::fig20(scale);
     figs::fig21(scale);
     figs::fig22(scale);
+    figs::overload(scale);
 }

@@ -20,6 +20,12 @@ pub trait ClientProtocol: Clone {
     fn make_request(req: Request) -> Self;
     /// If this message is a reply to a request, its request id.
     fn reply_id(&self) -> Option<u64>;
+    /// If this message is an admission-control rejection (pool
+    /// backpressure), the refused request's id. Protocols without a
+    /// mempool rejection signal keep the default.
+    fn reject_id(&self) -> Option<u64> {
+        None
+    }
 }
 
 const TIMER_SEND: u64 = 1;
@@ -167,6 +173,14 @@ impl<M: ClientProtocol + 'static> Actor for ClosedLoopClient<M> {
     }
 
     fn on_message(&mut self, _from: NodeId, msg: M, ctx: &mut Ctx<'_, M>) {
+        if let Some(id) = msg.reject_id() {
+            // Backpressure: the pool refused the request. Honor it — shrink
+            // the in-flight window and let the retry timer re-grow it.
+            if self.outstanding.remove(&id) {
+                ctx.stats().inc(stat::CLIENT_REJECTED, 1);
+            }
+            return;
+        }
         let Some(id) = msg.reply_id() else { return };
         if self.outstanding.remove(&id) {
             self.last_progress = ctx.now();
@@ -181,16 +195,22 @@ impl<M: ClientProtocol + 'static> Actor for ClosedLoopClient<M> {
         if kind != TIMER_RETRY || ctx.now() >= self.stop_at {
             return;
         }
-        // If nothing completed for a full retry interval, top the window
-        // back up (requests may have been lost to queue drops or a faulty
-        // leader; the new submissions reach the current leader).
+        // Nothing completed for a full retry interval: presume the
+        // in-flight requests lost (queue drops, a faulty leader, or a pool
+        // that dropped them without a rejection signal) and free their
+        // window slots so the top-up below actually retransmits work.
         if ctx.now().since(self.last_progress) >= self.retry_after
-            && self.outstanding.len() < self.window * 2
+            && !self.outstanding.is_empty()
         {
-            for _ in 0..(self.window - self.outstanding.len().min(self.window)) {
+            self.outstanding.clear();
+            ctx.stats().inc("client.retries", 1);
+        }
+        // Top the window back up — replaces both presumed-lost requests
+        // and rejected ones (after a backoff of one retry interval).
+        if self.outstanding.len() < self.window {
+            for _ in 0..(self.window - self.outstanding.len()) {
                 self.submit_one(ctx);
             }
-            ctx.stats().inc("client.retries", 1);
         }
         ctx.set_timer(self.retry_after, TIMER_RETRY);
     }

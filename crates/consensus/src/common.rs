@@ -24,6 +24,23 @@ impl Request {
     }
 }
 
+impl ahl_mempool::PoolTx for Request {
+    fn tx_id(&self) -> u64 {
+        self.id
+    }
+
+    fn wire_bytes(&self) -> usize {
+        // Matches the `PbftMsg::Request` wire-size model.
+        250 + self.op.wire_size()
+    }
+
+    /// Fee proxy: heavier transactions pay proportionally more, so the
+    /// priority pool favours them under contention.
+    fn priority(&self) -> u64 {
+        self.op.weight() as u64
+    }
+}
+
 /// Whether to actually compute MACs/signatures or only charge their cost.
 ///
 /// `Real` exercises the full `ahl-crypto`/`ahl-tee` paths (used by tests);
@@ -67,6 +84,11 @@ pub mod stat {
     pub const TOTAL_BLOCKS: &str = "poet.total_blocks";
     /// Counter: completed (replied) client requests.
     pub const CLIENT_COMPLETED: &str = "client.completed";
+    /// Counter: client requests bounced by pool admission control
+    /// (replica-side; the matching client-side count is `client.rejected`).
+    pub const BACKPRESSURE: &str = "consensus.backpressure";
+    /// Counter: rejection notices observed by clients.
+    pub const CLIENT_REJECTED: &str = "client.rejected";
 }
 
 #[cfg(test)]

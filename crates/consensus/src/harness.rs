@@ -132,6 +132,12 @@ pub struct RunMetrics {
     pub blocks: u64,
     /// Client-observed completions (closed-loop runs).
     pub completed: u64,
+    /// Requests bounced by pool admission control (all replicas).
+    pub pool_rejections: u64,
+    /// Pooled transactions evicted to admit newer/higher-priority ones.
+    pub pool_evictions: u64,
+    /// Mean request queueing delay inside the pools (admission → batch).
+    pub pool_queue_mean: SimDuration,
 }
 
 impl RunMetrics {
@@ -200,6 +206,12 @@ pub fn run_shard_experiment(exp: ShardExperiment) -> RunMetrics {
         exec_cpu_s: stats.counter(stat::EXEC_CPU_NS) as f64 / 1e9,
         blocks: stats.counter(stat::BLOCKS_COMMITTED),
         completed: stats.counter(stat::CLIENT_COMPLETED),
+        pool_rejections: stats.counter(ahl_mempool::stat::REJECTED_FULL),
+        pool_evictions: stats.counter(ahl_mempool::stat::EVICTED),
+        pool_queue_mean: stats
+            .histogram(ahl_mempool::stat::QUEUE_LATENCY)
+            .map(|h| h.mean())
+            .unwrap_or_default(),
     }
 }
 
@@ -245,6 +257,29 @@ mod tests {
         let c = quick(BftVariant::AhlPlus, 7, NetChoice::Cluster);
         let g = quick(BftVariant::AhlPlus, 7, NetChoice::Gcp { regions: 8 });
         assert!(c.latency_mean < g.latency_mean);
+    }
+
+    /// Open-loop overload against a tiny pool: admission control engages
+    /// (rejections counted) while the committee keeps committing.
+    #[test]
+    fn tiny_pool_rejects_but_commits() {
+        let mut exp = ShardExperiment::new(
+            {
+                let mut c = PbftConfig::new(BftVariant::AhlPlus, 5);
+                c.mempool = ahl_mempool::MempoolConfig::new(64);
+                c.batch_size = 32;
+                c
+            },
+            Box::new(kv_factory),
+        );
+        exp.clients = 8;
+        exp.client_mode = ClientMode::Open { rate: 600.0 };
+        exp.duration = SimDuration::from_secs(5);
+        exp.warmup = SimDuration::from_secs(1);
+        let m = run_shard_experiment(exp);
+        assert!(m.pool_rejections > 0, "tiny pool must reject");
+        assert!(m.committed > 500, "committed {}", m.committed);
+        assert_eq!(m.view_changes, 0);
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //! bug (locks not always released, occasionally deadlocking Quorum) is
 //! reproducible via [`IbftConfig::sticky_locks`].
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use ahl_crypto::{sha256_parts, Hash};
 use ahl_ledger::StateStore;
+use ahl_mempool::{Mempool, MempoolConfig};
 use ahl_simkit::{Actor, Ctx, MsgClass, NodeId, SimDuration};
 
 use crate::clients::ClientProtocol;
@@ -139,6 +140,11 @@ pub struct IbftConfig {
     /// Reproduce the observed Quorum lock-release bug: locks survive round
     /// changes and can deadlock a height.
     pub sticky_locks: bool,
+    /// Per-node transaction pool (capacity + admission policy).
+    pub mempool: MempoolConfig,
+    /// Pool eviction/ordering seed (set per node by `build_ibft_group` so
+    /// it derives from the run seed).
+    pub pool_seed: u64,
 }
 
 impl IbftConfig {
@@ -154,6 +160,8 @@ impl IbftConfig {
             ingest_cost: SimDuration::from_millis(1),
             exec_cost_per_op: SimDuration::from_micros(500),
             sticky_locks: false,
+            mempool: MempoolConfig::default(),
+            pool_seed: 0,
         }
     }
 
@@ -191,8 +199,7 @@ pub struct IbftNode {
     /// Between finalization and the block-period expiry: no proposing.
     waiting_period: bool,
 
-    pool: VecDeque<Request>,
-    pool_ids: HashSet<u64>,
+    pool: Mempool<Request>,
     executed: HashSet<u64>,
     state: StateStore,
 }
@@ -200,6 +207,7 @@ pub struct IbftNode {
 impl IbftNode {
     /// Create a validator.
     pub fn new(cfg: IbftConfig, group: Vec<NodeId>, me: usize, reporter: bool) -> Self {
+        let pool = Mempool::new(cfg.mempool.clone(), cfg.pool_seed ^ me as u64);
         IbftNode {
             cfg,
             group,
@@ -217,8 +225,7 @@ impl IbftNode {
             sent_commit: HashSet::new(),
             epoch: 0,
             waiting_period: false,
-            pool: VecDeque::new(),
-            pool_ids: HashSet::new(),
+            pool,
             executed: HashSet::new(),
             state: StateStore::new(),
         }
@@ -328,16 +335,13 @@ impl IbftNode {
         let block: Arc<Vec<Request>> = if let Some((_, b)) = &self.locked {
             b.clone()
         } else {
-            let mut batch = Vec::new();
-            while batch.len() < self.cfg.max_block_txns {
-                let Some(r) = self.pool.pop_front() else { break };
-                self.pool_ids.remove(&r.id);
-                if self.executed.contains(&r.id) {
-                    continue;
-                }
-                batch.push(r);
-            }
-            Arc::new(batch)
+            let now = ctx.now();
+            Arc::new(self.pool.take_batch(
+                self.cfg.max_block_txns,
+                usize::MAX,
+                now,
+                ctx.stats(),
+            ))
         };
         if block.is_empty() {
             return;
@@ -420,7 +424,7 @@ impl IbftNode {
             if !self.executed.insert(req.id) {
                 continue;
             }
-            self.pool_ids.remove(&req.id);
+            self.pool.remove(req.id);
             weight += req.op.weight();
             if self.state.execute(&req.op).status.is_committed() {
                 committed += 1;
@@ -458,11 +462,12 @@ impl IbftNode {
         ctx.set_timer(self.cfg.block_period, TIMER_PERIOD | (self.epoch << 8));
     }
 
-    fn pool_tx(&mut self, req: Request) {
-        if self.executed.contains(&req.id) || !self.pool_ids.insert(req.id) {
+    fn pool_tx(&mut self, req: Request, ctx: &mut Ctx<'_, IbftMsg>) {
+        if self.executed.contains(&req.id) {
             return;
         }
-        self.pool.push_back(req);
+        let now = ctx.now();
+        let _ = self.pool.insert(req, now, ctx.stats());
     }
 }
 
@@ -491,14 +496,14 @@ impl Actor for IbftNode {
             IbftMsg::Request(req) => {
                 self.charge(ctx, self.cfg.ingest_cost);
                 ctx.multicast(self.others(), IbftMsg::GossipTx(req.clone()));
-                self.pool_tx(req);
+                self.pool_tx(req, ctx);
                 if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
                     self.propose(ctx);
                 }
             }
             IbftMsg::GossipTx(req) => {
                 self.charge(ctx, self.cfg.verify_cost);
-                self.pool_tx(req);
+                self.pool_tx(req, ctx);
                 if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
                     self.propose(ctx);
                 }
@@ -618,7 +623,9 @@ pub fn build_ibft_group(
     let mut sim = ahl_simkit::Sim::new(sim_cfg);
     let group: Vec<NodeId> = (0..cfg.n).collect();
     for i in 0..cfg.n {
-        let node = IbftNode::new(cfg.clone(), group.clone(), i, i == 0);
+        let mut ncfg = cfg.clone();
+        ncfg.pool_seed = ahl_simkit::rng::derive_seed(seed, 0x1BF7_0000 | i as u64);
+        let node = IbftNode::new(ncfg, group.clone(), i, i == 0);
         sim.add_actor(Box::new(node), ahl_simkit::QueueConfig::shared(8192));
     }
     (sim, group)

@@ -1,5 +1,6 @@
 //! Configuration for the PBFT engine and its four paper variants.
 
+use ahl_mempool::MempoolConfig;
 use ahl_simkit::SimDuration;
 use ahl_tee::CostModel;
 
@@ -129,6 +130,15 @@ pub struct PbftConfig {
     pub batch_size: usize,
     /// Flush a partial batch after this long.
     pub batch_timeout: SimDuration,
+    /// Batch byte cap / byte-trigger threshold (`usize::MAX` = txs only).
+    pub batch_bytes: usize,
+    /// Per-replica transaction pool (capacity + admission policy). The
+    /// pool's eviction seed is derived per replica by the group builders.
+    pub mempool: MempoolConfig,
+    /// Pool eviction/ordering seed (set per replica by `build_group` /
+    /// `add_committee` so eviction choices differ across replicas but stay
+    /// deterministic in the run seed).
+    pub pool_seed: u64,
     /// Maximum blocks in flight (PBFT pipelining; lockstep = 1).
     pub pipeline_width: u64,
     /// Stable checkpoint every this many sequence numbers.
@@ -170,6 +180,9 @@ impl PbftConfig {
             leader_aggregation: variant.leader_aggregation(),
             batch_size: 64,
             batch_timeout: SimDuration::from_millis(25),
+            batch_bytes: usize::MAX,
+            mempool: MempoolConfig::default(),
+            pool_seed: 0,
             pipeline_width: 4,
             checkpoint_interval: 128,
             vc_timeout: SimDuration::from_secs(2),

@@ -52,8 +52,10 @@ pub fn build_group(
         // Reporter: lowest-index replica that is never Byzantine and is not
         // the initial leader (when the committee is bigger than one).
         let reporter = if cfg.n == 1 { i == 0 } else { i == 1 };
+        let mut rcfg = cfg.clone();
+        rcfg.pool_seed = ahl_simkit::rng::derive_seed(seed, 0x4D45_4D50 ^ i as u64);
         let replica = Replica::new(
-            cfg.clone(),
+            rcfg,
             group.clone(),
             i,
             keys.next().expect("one key per replica"),
@@ -96,8 +98,10 @@ pub fn add_committee(
     let mut tee_keys = tee_keys.into_iter();
     for i in 0..cfg.n {
         let reporter = if cfg.n == 1 { i == 0 } else { i == 1 };
+        let mut rcfg = cfg.clone();
+        rcfg.pool_seed = ahl_simkit::rng::derive_seed(seed, 0x4D45_4D50 ^ i as u64);
         let replica = Replica::new(
-            cfg.clone(),
+            rcfg,
             group.clone(),
             i,
             keys.next().expect("one key per replica"),

@@ -174,6 +174,21 @@ pub enum PbftMsg {
         /// Whether the transaction committed (vs aborted by execution).
         committed: bool,
     },
+    /// Replica → client: the ingest replica's transaction pool refused the
+    /// request (admission control / backpressure). The client may retry
+    /// after a backoff; the request was *not* relayed into consensus.
+    Rejected {
+        /// The refused request.
+        req_id: u64,
+    },
+    /// Leader → relaying replica: the leader's pool refused the relayed
+    /// request, so the relayer should reclaim its own pooled copy — it can
+    /// never be proposed and would otherwise occupy ingest-pool capacity
+    /// until a view change.
+    RelayRejected {
+        /// The refused request.
+        req_id: u64,
+    },
     /// Leader → all: liveness heartbeat (PBFT null request). Lets replicas
     /// distinguish "I am cut off" (no traffic at all) from "consensus is
     /// stuck" (heartbeats still arriving), which gates view changes.
@@ -209,9 +224,12 @@ impl PbftMsg {
     /// traffic when queues are split (optimization 1).
     pub fn class(&self) -> MsgClass {
         match self {
-            PbftMsg::Request(_) | PbftMsg::Relay(_) | PbftMsg::Gossip(_) | PbftMsg::Reply { .. } => {
-                MsgClass::REQUEST
-            }
+            PbftMsg::Request(_)
+            | PbftMsg::Relay(_)
+            | PbftMsg::Gossip(_)
+            | PbftMsg::Reply { .. }
+            | PbftMsg::Rejected { .. }
+            | PbftMsg::RelayRejected { .. } => MsgClass::REQUEST,
             _ => MsgClass::CONSENSUS,
         }
     }
@@ -230,6 +248,7 @@ impl PbftMsg {
                 200 + reproposals.iter().map(|b| b.wire_size()).sum::<usize>()
             }
             PbftMsg::Reply { .. } => 100,
+            PbftMsg::Rejected { .. } | PbftMsg::RelayRejected { .. } => 90,
             PbftMsg::Heartbeat { .. } => 60,
             PbftMsg::StateRequest { .. } => 80,
             // State transfer carries the whole ledger slice.
@@ -245,6 +264,12 @@ impl ClientProtocol for PbftMsg {
     fn reply_id(&self) -> Option<u64> {
         match self {
             PbftMsg::Reply { req_id, .. } => Some(*req_id),
+            _ => None,
+        }
+    }
+    fn reject_id(&self) -> Option<u64> {
+        match self {
+            PbftMsg::Rejected { req_id } => Some(*req_id),
             _ => None,
         }
     }

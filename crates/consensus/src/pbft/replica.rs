@@ -20,11 +20,12 @@
 //!   messages, at the cost of leader CPU and fragility — reproducing the
 //!   paper's finding that AHL+ beats AHLR).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use ahl_crypto::{Hash, KeyRegistry, SigningKey};
 use ahl_ledger::{Block as LedgerBlock, Chain, StateStore, Value};
+use ahl_mempool::{Admission, BatchBuilder, BatchConfig, Mempool};
 use ahl_simkit::{Actor, Ctx, NodeId, SimDuration};
 use ahl_tee::{verify_attestation, AttestedLog, LogId, Slot, TeeOp};
 
@@ -82,11 +83,11 @@ pub struct Replica {
     low_mark: u64,
     insts: HashMap<u64, Instance>,
 
-    pool: VecDeque<Request>,
-    pool_ids: HashSet<u64>,
-    /// Entries still in `pool` whose requests have already executed
-    /// (removed lazily to keep execution O(block) rather than O(pool)).
-    pool_stale: usize,
+    /// The shard's transaction pool: deduplication, admission control and
+    /// batch ordering live here (replacing the old private `VecDeque`).
+    pool: Mempool<Request>,
+    /// Size/byte/timeout batch-formation triggers over `pool`.
+    batcher: BatchBuilder,
     ingested: HashMap<u64, NodeId>,
     executed_reqs: HashSet<u64>,
 
@@ -133,6 +134,12 @@ impl Replica {
         for (k, v) in genesis {
             state.put(k.clone(), v.clone());
         }
+        let pool = Mempool::new(cfg.mempool.clone(), cfg.pool_seed ^ me as u64);
+        let batcher = BatchBuilder::new(BatchConfig {
+            max_txs: cfg.batch_size,
+            max_bytes: cfg.batch_bytes,
+            timeout: cfg.batch_timeout,
+        });
         Replica {
             maintain_chain: cfg.n <= 24,
             byzantine,
@@ -150,9 +157,8 @@ impl Replica {
             exec_seq: 0,
             low_mark: 0,
             insts: HashMap::new(),
-            pool: VecDeque::new(),
-            pool_ids: HashSet::new(),
-            pool_stale: 0,
+            pool,
+            batcher,
             ingested: HashMap::new(),
             executed_reqs: HashSet::new(),
             ckpt_votes: HashMap::new(),
@@ -188,6 +194,11 @@ impl Replica {
     /// Highest executed sequence number.
     pub fn exec_seq(&self) -> u64 {
         self.exec_seq
+    }
+
+    /// The replica's transaction pool (post-run inspection).
+    pub fn pool(&self) -> &Mempool<Request> {
+        &self.pool
     }
 
     fn leader_of(&self, view: u64) -> usize {
@@ -275,44 +286,84 @@ impl Replica {
 
     // ---------- request handling ----------
 
-    fn pool_request(&mut self, req: Request) {
-        if self.executed_reqs.contains(&req.id) || self.pool_ids.contains(&req.id) {
+    /// Pool a gossiped copy of a request (HL re-broadcast; some other
+    /// replica is the ingest point, so rejections here are only counted,
+    /// not signalled — the ingest replica's copy carries the client reply).
+    fn pool_request(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
+        if self.executed_reqs.contains(&req.id) {
             return;
         }
-        // Memory-pressure cap: Hyperledger drops requests beyond its buffer.
-        if self.pool.len() >= 200_000 {
-            return;
-        }
-        self.pool_ids.insert(req.id);
-        self.pool.push_back(req);
+        let now = ctx.now();
+        let _ = self.pool.insert(req, now, ctx.stats());
     }
 
     fn on_request(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
         // Client-facing ingest: REST + TLS + signature verification.
         self.charge(ctx, self.cfg.ingest_cost, false);
+        if self.executed_reqs.contains(&req.id) {
+            // Retransmission of an executed request: nothing to do.
+            return;
+        }
+        let now = ctx.now();
+        let admission = self.pool.insert(req.clone(), now, ctx.stats());
+        if admission == Admission::Rejected {
+            // Admission control: surface backpressure to the client and do
+            // NOT forward the request into consensus.
+            ctx.stats().inc(stat::BACKPRESSURE, 1);
+            ctx.send(req.client, PbftMsg::Rejected { req_id: req.id });
+            return;
+        }
         if self.cfg.reply_policy == ReplyPolicy::IngestReplica {
             self.ingested.insert(req.id, req.client);
         }
+        // Forward admitted requests and retransmissions of already-pooled
+        // ones (a client retrying after leader-side backpressure arrives
+        // here as `Duplicate`; the relay must still reach the leader).
         if self.cfg.relay_to_leader {
             // Optimization 2: forward to the leader only.
             let leader = self.group[self.leader_of(self.view)];
             if leader != self.group[self.me] {
-                ctx.send(leader, PbftMsg::Relay(req.clone()));
+                ctx.send(leader, PbftMsg::Relay(req));
             }
-            self.pool_request(req);
         } else {
             // HL behaviour: broadcast the request to every replica.
-            ctx.multicast(self.others(), PbftMsg::Gossip(req.clone()));
-            self.pool_request(req);
+            ctx.multicast(self.others(), PbftMsg::Gossip(req));
         }
         self.try_propose(ctx);
     }
 
-    fn on_relay(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
+    fn on_relay(&mut self, from: NodeId, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
         // Leader-side pooling of a relayed request: cheap enqueue.
         self.charge(ctx, SimDuration::from_micros(10), false);
-        self.pool_request(req);
+        if self.executed_reqs.contains(&req.id) {
+            return;
+        }
+        let (req_id, client) = (req.id, req.client);
+        let now = ctx.now();
+        let admission = self.pool.insert(req, now, ctx.stats());
+        if admission == Admission::Rejected {
+            // Only the leader's pool feeds proposals in relay mode, so a
+            // drop here is real backpressure: tell the client directly
+            // (the request carries its reply address) instead of letting
+            // it wait on a request that can never be proposed, and tell
+            // the relayer to reclaim its stranded pooled copy.
+            ctx.stats().inc(stat::BACKPRESSURE, 1);
+            ctx.send(client, PbftMsg::Rejected { req_id });
+            if from != self.group[self.me] {
+                ctx.send(from, PbftMsg::RelayRejected { req_id });
+            }
+            return;
+        }
         self.try_propose(ctx);
+    }
+
+    /// The leader refused our relayed request: drop our pooled copy (it
+    /// can never be proposed from here short of a view change) so dead
+    /// entries do not eat ingest-pool capacity under sustained overload.
+    fn on_relay_rejected(&mut self, req_id: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        self.charge(ctx, SimDuration::from_micros(5), false);
+        self.pool.remove(req_id);
+        self.ingested.remove(&req_id);
     }
 
     fn on_gossip(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -320,7 +371,7 @@ impl Replica {
         // ingest replica already verified the client signature; Hyperledger
         // validates again lazily at execution, charged in exec cost).
         self.charge(ctx, SimDuration::from_micros(20), false);
-        self.pool_request(req);
+        self.pool_request(req, ctx);
         self.try_propose(ctx);
     }
 
@@ -330,59 +381,25 @@ impl Replica {
         if !self.is_leader() {
             return;
         }
-        while self.next_seq <= self.exec_seq + self.cfg.pipeline_width
-            && self.pool_live() >= self.cfg.batch_size
-        {
-            self.propose_batch(ctx);
+        while self.next_seq <= self.exec_seq + self.cfg.pipeline_width {
+            let now = ctx.now();
+            let Some(batch) = self.batcher.take_full(&mut self.pool, now, ctx.stats()) else {
+                break;
+            };
+            self.propose_batch(batch, ctx);
         }
     }
 
     fn flush_partial_batch(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
-        if self.is_leader()
-            && self.next_seq <= self.exec_seq + self.cfg.pipeline_width
-            && self.pool_live() > 0
-        {
-            self.propose_batch(ctx);
-        }
-    }
-
-    fn next_batch(&mut self) -> Vec<Request> {
-        let mut batch = Vec::with_capacity(self.cfg.batch_size.min(self.pool.len()));
-        while batch.len() < self.cfg.batch_size {
-            let Some(req) = self.pool.pop_front() else { break };
-            if !self.pool_ids.remove(&req.id) {
-                // Stale copy of an already-executed request.
-                self.pool_stale = self.pool_stale.saturating_sub(1);
-                continue;
-            }
-            if self.executed_reqs.contains(&req.id) {
-                continue;
-            }
-            batch.push(req);
-        }
-        batch
-    }
-
-    /// Number of live (not yet executed) pooled requests.
-    fn pool_live(&self) -> usize {
-        self.pool.len().saturating_sub(self.pool_stale)
-    }
-
-    /// Lazily drop pool entries for executed requests.
-    fn note_executed_in_pool(&mut self, req_id: u64) {
-        if self.pool_ids.remove(&req_id) {
-            self.pool_stale += 1;
-            if self.pool_stale >= 512 && self.pool_stale * 2 >= self.pool.len() {
-                let ids = std::mem::take(&mut self.pool_ids);
-                self.pool.retain(|r| ids.contains(&r.id));
-                self.pool_ids = ids;
-                self.pool_stale = 0;
+        if self.is_leader() && self.next_seq <= self.exec_seq + self.cfg.pipeline_width {
+            let now = ctx.now();
+            if let Some(batch) = self.batcher.take_due(&mut self.pool, now, ctx.stats()) {
+                self.propose_batch(batch, ctx);
             }
         }
     }
 
-    fn propose_batch(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
-        let batch = self.next_batch();
+    fn propose_batch(&mut self, batch: Vec<Request>, ctx: &mut Ctx<'_, PbftMsg>) {
         if batch.is_empty() {
             return;
         }
@@ -817,7 +834,7 @@ impl Replica {
             if !self.executed_reqs.insert(req.id) {
                 continue; // replay of an already-executed request
             }
-            self.note_executed_in_pool(req.id);
+            self.pool.remove(req.id);
             weight += req.op.weight();
             let receipt = self.state.execute(&req.op);
             let ok = receipt.status.is_committed();
@@ -907,7 +924,7 @@ impl Replica {
     }
 
     fn maybe_start_view_change(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
-        let pending_work = self.pool_live() > 0
+        let pending_work = !self.pool.is_empty()
             || self
                 .insts
                 .iter()
@@ -1042,10 +1059,9 @@ impl Replica {
             self.enter_view(view, ctx);
         }
         // Drop pooled requests that executed remotely.
-        let ex = &self.executed_reqs;
+        let ex = std::mem::take(&mut self.executed_reqs);
         self.pool.retain(|r| !ex.contains(&r.id));
-        self.pool_ids = self.pool.iter().map(|r| r.id).collect();
-        self.pool_stale = 0;
+        self.executed_reqs = ex;
         self.try_execute(ctx);
     }
 
@@ -1067,7 +1083,7 @@ impl Replica {
                 self.me,
                 target,
                 self.exec_seq,
-                self.pool_live(),
+                self.pool.len(),
                 self.insts.len(),
                 detail
             );
@@ -1161,6 +1177,9 @@ impl Replica {
         }
         self.enter_view(view, ctx);
         self.next_seq = max_seq + 1;
+        // Re-proposals count as a flush: restart the batch-timeout clock
+        // so the new leader does not immediately emit an undersized block.
+        self.batcher.note_flush(ctx.now());
         ctx.stats().inc(stat::VIEW_CHANGES, 1);
         self.charge(ctx, self.cfg.native_sign, false);
         ctx.multicast(
@@ -1202,7 +1221,7 @@ impl Replica {
         // requests relayed to a dead leader are not lost.
         if self.cfg.relay_to_leader && !self.is_leader() {
             let leader = self.group[self.leader_of(view)];
-            for req in self.pool.iter().take(2 * self.cfg.batch_size) {
+            for req in self.pool.iter_fifo().take(2 * self.cfg.batch_size) {
                 ctx.send(leader, PbftMsg::Relay(req.clone()));
             }
         }
@@ -1212,7 +1231,7 @@ impl Replica {
 
     fn on_batch_timer(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         self.flush_partial_batch(ctx);
-        ctx.set_timer(self.cfg.batch_timeout, TIMER_BATCH);
+        ctx.set_timer(self.batcher.timeout(), TIMER_BATCH);
     }
 
     fn on_heartbeat_timer(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -1246,8 +1265,9 @@ impl Actor for Replica {
         self.last_msg_at = ctx.now();
         match msg {
             PbftMsg::Request(req) => self.on_request(req, ctx),
-            PbftMsg::Relay(req) => self.on_relay(req, ctx),
+            PbftMsg::Relay(req) => self.on_relay(from, req, ctx),
             PbftMsg::Gossip(req) => self.on_gossip(req, ctx),
+            PbftMsg::RelayRejected { req_id } => self.on_relay_rejected(req_id, ctx),
             PbftMsg::PrePrepare { block, cert } => {
                 let Some(idx) = self.group_index(from) else { return };
                 self.on_preprepare(block, cert, idx, ctx);
@@ -1263,7 +1283,7 @@ impl Actor for Replica {
             }
             PbftMsg::ViewChange(vc) => self.on_view_change(vc, ctx),
             PbftMsg::NewView { view, reproposals } => self.on_new_view(view, reproposals, ctx),
-            PbftMsg::Reply { .. } => {}
+            PbftMsg::Reply { .. } | PbftMsg::Rejected { .. } => {}
             PbftMsg::Heartbeat { .. } => {
                 self.charge(ctx, SimDuration::from_micros(5), false);
             }

@@ -13,11 +13,12 @@
 //! evidence/slashing is absent — neither affects throughput shape in the
 //! fault-free Figure 2 setting.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use ahl_crypto::{sha256_parts, Hash};
 use ahl_ledger::StateStore;
+use ahl_mempool::{Mempool, MempoolConfig};
 use ahl_simkit::{Actor, Ctx, MsgClass, NodeId, SimDuration};
 
 use crate::clients::ClientProtocol;
@@ -129,6 +130,11 @@ pub struct TmConfig {
     pub ingest_cost: SimDuration,
     /// Execution cost per state access (tm-bench's KV app is in-memory).
     pub exec_cost_per_op: SimDuration,
+    /// Per-node transaction pool (capacity + admission policy).
+    pub mempool: MempoolConfig,
+    /// Pool eviction/ordering seed (set per node by `build_tm_group` so
+    /// it derives from the run seed).
+    pub pool_seed: u64,
 }
 
 impl TmConfig {
@@ -143,6 +149,8 @@ impl TmConfig {
             verify_cost: SimDuration::from_micros(200),
             ingest_cost: SimDuration::from_millis(1),
             exec_cost_per_op: SimDuration::from_micros(20),
+            mempool: MempoolConfig::default(),
+            pool_seed: 0,
         }
     }
 
@@ -179,8 +187,7 @@ pub struct TmNode {
     /// Between a commit and the timeout_commit expiry: no proposing.
     waiting_commit: bool,
 
-    pool: VecDeque<Request>,
-    pool_ids: HashSet<u64>,
+    pool: Mempool<Request>,
     executed: HashSet<u64>,
     state: StateStore,
 }
@@ -188,6 +195,7 @@ pub struct TmNode {
 impl TmNode {
     /// Create a validator with group index `me`.
     pub fn new(cfg: TmConfig, group: Vec<NodeId>, me: usize, reporter: bool) -> Self {
+        let pool = Mempool::new(cfg.mempool.clone(), cfg.pool_seed ^ me as u64);
         TmNode {
             cfg,
             group,
@@ -204,8 +212,7 @@ impl TmNode {
             sent_precommit: HashSet::new(),
             round_epoch: 0,
             waiting_commit: false,
-            pool: VecDeque::new(),
-            pool_ids: HashSet::new(),
+            pool,
             executed: HashSet::new(),
             state: StateStore::new(),
         }
@@ -339,16 +346,13 @@ impl TmNode {
         let block: Arc<Vec<Request>> = if let Some((_, _, b)) = &self.locked {
             b.clone()
         } else {
-            let mut batch = Vec::new();
-            while batch.len() < self.cfg.max_block_txns {
-                let Some(r) = self.pool.pop_front() else { break };
-                self.pool_ids.remove(&r.id);
-                if self.executed.contains(&r.id) {
-                    continue;
-                }
-                batch.push(r);
-            }
-            Arc::new(batch)
+            let now = ctx.now();
+            Arc::new(self.pool.take_batch(
+                self.cfg.max_block_txns,
+                usize::MAX,
+                now,
+                ctx.stats(),
+            ))
         };
         if block.is_empty() {
             // Nothing to propose: empty blocks are skipped (tm-bench mode);
@@ -443,9 +447,7 @@ impl TmNode {
             if !self.executed.insert(req.id) {
                 continue;
             }
-            if self.pool_ids.remove(&req.id) {
-                // Lazy pool pruning happens on pop; ids are authoritative.
-            }
+            self.pool.remove(req.id);
             weight += req.op.weight();
             let receipt = self.state.execute(&req.op);
             if receipt.status.is_committed() {
@@ -481,11 +483,12 @@ impl TmNode {
         ctx.set_timer(self.cfg.timeout_commit, TIMER_COMMIT | (self.round_epoch << 8));
     }
 
-    fn pool_tx(&mut self, req: Request) {
-        if self.executed.contains(&req.id) || !self.pool_ids.insert(req.id) {
+    fn pool_tx(&mut self, req: Request, ctx: &mut Ctx<'_, TmMsg>) {
+        if self.executed.contains(&req.id) {
             return;
         }
-        self.pool.push_back(req);
+        let now = ctx.now();
+        let _ = self.pool.insert(req, now, ctx.stats());
     }
 }
 
@@ -514,7 +517,7 @@ impl Actor for TmNode {
             TmMsg::Request(req) => {
                 self.charge(ctx, self.cfg.ingest_cost);
                 ctx.multicast(self.others(), TmMsg::GossipTx(req.clone()));
-                self.pool_tx(req);
+                self.pool_tx(req, ctx);
                 // A proposer idling on an empty pool proposes as soon as
                 // transactions show up.
                 if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
@@ -523,7 +526,7 @@ impl Actor for TmNode {
             }
             TmMsg::GossipTx(req) => {
                 self.charge(ctx, self.cfg.verify_cost);
-                self.pool_tx(req);
+                self.pool_tx(req, ctx);
                 if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
                     self.propose(ctx);
                 }
@@ -613,7 +616,9 @@ pub fn build_tm_group(
     let mut sim = ahl_simkit::Sim::new(sim_cfg);
     let group: Vec<NodeId> = (0..cfg.n).collect();
     for i in 0..cfg.n {
-        let node = TmNode::new(cfg.clone(), group.clone(), i, i == 0);
+        let mut ncfg = cfg.clone();
+        ncfg.pool_seed = ahl_simkit::rng::derive_seed(seed, 0x7E4D_0000 | i as u64);
+        let node = TmNode::new(ncfg, group.clone(), i, i == 0);
         sim.add_actor(
             Box::new(node),
             ahl_simkit::QueueConfig::shared(8192),

@@ -46,6 +46,9 @@ pub mod sysstat {
     pub const SYS_CROSS_SHARD: &str = "sys.cross_shard";
     /// Counter: stalled transactions abandoned by the driver.
     pub const SYS_STALLED: &str = "sys.stalled";
+    /// Counter: protocol steps bounced by pool admission control
+    /// (each is retried after a backoff).
+    pub const SYS_REJECTED: &str = "sys.rejected";
 }
 
 /// Keys of the coordinator chaincode on R's ledger.
@@ -121,6 +124,10 @@ struct InFlight {
 pub type StateOpFactory = Box<dyn FnMut(&mut SmallRng) -> StateOp + Send>;
 
 const TIMER_WATCHDOG: u64 = 1;
+const TIMER_RETRY: u64 = 2;
+
+/// Backoff before resubmitting a step the pool rejected.
+const REJECT_BACKOFF: SimDuration = SimDuration::from_millis(100);
 
 /// A closed-loop cross-shard transaction driver.
 pub struct CrossShardClient {
@@ -137,7 +144,19 @@ pub struct CrossShardClient {
     next_tx: u64,
     next_req: u32,
     inflight: HashMap<TxId, InFlight>,
-    req_index: HashMap<u64, (TxId, Step)>,
+    req_index: HashMap<u64, Pending>,
+    /// Steps bounced by pool backpressure, waiting out the backoff.
+    retry_buf: Vec<Pending>,
+}
+
+/// An outstanding protocol step (kept so rejected steps can be retried).
+#[derive(Debug, Clone)]
+struct Pending {
+    req_id: u64,
+    txid: TxId,
+    step: Step,
+    target: NodeId,
+    op: Op,
 }
 
 impl CrossShardClient {
@@ -165,15 +184,60 @@ impl CrossShardClient {
             next_req: 0,
             inflight: HashMap::new(),
             req_index: HashMap::new(),
+            retry_buf: Vec::new(),
         }
     }
 
     fn send_request(&mut self, ctx: &mut Ctx<'_, PbftMsg>, target: NodeId, op: Op, txid: TxId, step: Step) {
         let req_id = Request::make_id(ctx.id(), self.next_req);
         self.next_req = self.next_req.wrapping_add(1);
-        self.req_index.insert(req_id, (txid, step));
+        self.req_index
+            .insert(req_id, Pending { req_id, txid, step, target, op: op.clone() });
         let req = Request { id: req_id, client: ctx.id(), op, submitted: ctx.now() };
         ctx.send(target, PbftMsg::Request(req));
+    }
+
+    /// Lock-releasing aborts must reach the shard even after the driver
+    /// has forgotten the transaction (the watchdog `finish`es a stalled tx
+    /// right after sending its aborts): a dropped abort would leak the 2PL
+    /// locks forever, since only Commit/Abort releases them.
+    fn must_deliver(op: &Op) -> bool {
+        matches!(op, Op::Abort { .. })
+    }
+
+    /// Pool backpressure on one of our steps: buffer it and retry after a
+    /// backoff. A transaction whose steps keep bouncing is eventually
+    /// reaped by the stall watchdog, so overload cannot wedge the driver.
+    fn on_rejected(&mut self, req_id: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        let Some(pending) = self.req_index.remove(&req_id) else { return };
+        if !self.inflight.contains_key(&pending.txid) && !Self::must_deliver(&pending.op) {
+            return; // transaction already finished or reaped
+        }
+        ctx.stats().inc(sysstat::SYS_REJECTED, 1);
+        if self.retry_buf.is_empty() {
+            ctx.set_timer(REJECT_BACKOFF, TIMER_RETRY);
+        }
+        self.retry_buf.push(pending);
+    }
+
+    fn drain_retries(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        let pending = std::mem::take(&mut self.retry_buf);
+        for p in pending {
+            if !self.inflight.contains_key(&p.txid) && !Self::must_deliver(&p.op) {
+                continue;
+            }
+            // Retry under the ORIGINAL request id: replica-side dedup then
+            // guarantees at most one execution even if an earlier copy of
+            // this step is still sitting in some pool.
+            let req = Request {
+                id: p.req_id,
+                client: ctx.id(),
+                op: p.op.clone(),
+                submitted: ctx.now(),
+            };
+            ctx.send(p.target, PbftMsg::Request(req));
+            self.req_index.insert(p.req_id, p);
+        }
     }
 
     fn start_tx(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -231,7 +295,7 @@ impl CrossShardClient {
     }
 
     fn on_reply(&mut self, req_id: u64, committed: bool, ctx: &mut Ctx<'_, PbftMsg>) {
-        let Some((txid, step)) = self.req_index.remove(&req_id) else { return };
+        let Some(Pending { txid, step, .. }) = self.req_index.remove(&req_id) else { return };
         let Some(entry) = self.inflight.get_mut(&txid) else { return };
         entry.last_activity = ctx.now();
         match step {
@@ -353,14 +417,18 @@ impl Actor for CrossShardClient {
     }
 
     fn on_message(&mut self, _from: NodeId, msg: PbftMsg, ctx: &mut Ctx<'_, PbftMsg>) {
-        if let PbftMsg::Reply { req_id, committed } = msg {
-            self.on_reply(req_id, committed, ctx);
+        match msg {
+            PbftMsg::Reply { req_id, committed } => self.on_reply(req_id, committed, ctx),
+            PbftMsg::Rejected { req_id } => self.on_rejected(req_id, ctx),
+            _ => {}
         }
     }
 
     fn on_timer(&mut self, kind: u64, ctx: &mut Ctx<'_, PbftMsg>) {
-        if kind == TIMER_WATCHDOG {
-            self.watchdog(ctx);
+        match kind {
+            TIMER_WATCHDOG => self.watchdog(ctx),
+            TIMER_RETRY => self.drain_retries(ctx),
+            _ => {}
         }
     }
 }

@@ -128,38 +128,38 @@ impl Coordinator {
                 let Some(entry) = self.txs.get_mut(&txid) else {
                     return CoordAction::None;
                 };
+                // Votes arriving after the decision must be ignored
+                // *before* any bookkeeping: a late vote must not mutate
+                // the entry (the decision is already on the chain).
+                if matches!(entry.state, CoordState::Committed | CoordState::Aborted) {
+                    return CoordAction::None;
+                }
+                // A replayed PrepareOK must not double-decrement `c`:
+                // `voted` is a set, so the second insert is refused.
                 if !entry.shards.contains(&shard) || !entry.voted.insert(shard) {
                     return CoordAction::None; // unknown shard or duplicate
                 }
-                match entry.state {
-                    CoordState::Started | CoordState::Preparing { .. } => {
-                        let remaining = entry.shards.len() - entry.voted.len();
-                        if remaining == 0 {
-                            entry.state = CoordState::Committed;
-                            CoordAction::SendCommit(entry.shards.clone())
-                        } else {
-                            entry.state = CoordState::Preparing { remaining };
-                            CoordAction::None
-                        }
-                    }
-                    // Votes after the decision change nothing.
-                    CoordState::Committed | CoordState::Aborted => CoordAction::None,
+                let remaining = entry.shards.len() - entry.voted.len();
+                if remaining == 0 {
+                    entry.state = CoordState::Committed;
+                    CoordAction::SendCommit(entry.shards.clone())
+                } else {
+                    entry.state = CoordState::Preparing { remaining };
+                    CoordAction::None
                 }
             }
             CoordEvent::PrepareNotOk { shard } => {
                 let Some(entry) = self.txs.get_mut(&txid) else {
                     return CoordAction::None;
                 };
+                if matches!(entry.state, CoordState::Committed | CoordState::Aborted) {
+                    return CoordAction::None; // late vote after the decision
+                }
                 if !entry.shards.contains(&shard) {
                     return CoordAction::None;
                 }
-                match entry.state {
-                    CoordState::Started | CoordState::Preparing { .. } => {
-                        entry.state = CoordState::Aborted;
-                        CoordAction::SendAbort(entry.shards.clone())
-                    }
-                    CoordState::Committed | CoordState::Aborted => CoordAction::None,
-                }
+                entry.state = CoordState::Aborted;
+                CoordAction::SendAbort(entry.shards.clone())
             }
             CoordEvent::ClientAbort => {
                 let Some(entry) = self.txs.get_mut(&txid) else {
@@ -220,6 +220,62 @@ mod tests {
         // A Byzantine shard member replaying OK must not drive c to zero.
         assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 0 }), CoordAction::None);
         assert_eq!(c.state(TX), Some(&CoordState::Preparing { remaining: 1 }));
+    }
+
+    #[test]
+    fn replayed_ok_never_double_decrements() {
+        // Three shards; shard 0's vote is replayed many times. The counter
+        // must stay at `remaining = 2` — a double decrement would commit
+        // after shard 1's vote with shard 2 never having prepared.
+        let mut c = Coordinator::new();
+        c.apply(TX, CoordEvent::Begin { shards: vec![0, 1, 2] });
+        for _ in 0..5 {
+            assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 0 }), CoordAction::None);
+        }
+        assert_eq!(c.state(TX), Some(&CoordState::Preparing { remaining: 2 }));
+        assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 1 }), CoordAction::None);
+        assert_eq!(c.state(TX), Some(&CoordState::Preparing { remaining: 1 }));
+        // Only the genuinely missing vote completes the commit.
+        assert_eq!(
+            c.apply(TX, CoordEvent::PrepareOk { shard: 2 }),
+            CoordAction::SendCommit(vec![0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn votes_after_committed_ignored() {
+        let mut c = Coordinator::new();
+        c.apply(TX, CoordEvent::Begin { shards: vec![0, 1] });
+        c.apply(TX, CoordEvent::PrepareOk { shard: 0 });
+        assert_eq!(
+            c.apply(TX, CoordEvent::PrepareOk { shard: 1 }),
+            CoordAction::SendCommit(vec![0, 1])
+        );
+        // Late/replayed votes of either kind change nothing — in
+        // particular a late NotOK must never flip Committed to Aborted,
+        // and no second SendCommit may be emitted.
+        assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 0 }), CoordAction::None);
+        assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard: 1 }), CoordAction::None);
+        assert_eq!(c.apply(TX, CoordEvent::PrepareNotOk { shard: 0 }), CoordAction::None);
+        assert_eq!(c.state(TX), Some(&CoordState::Committed));
+    }
+
+    #[test]
+    fn votes_after_aborted_ignored() {
+        let mut c = Coordinator::new();
+        c.apply(TX, CoordEvent::Begin { shards: vec![0, 1, 2] });
+        assert_eq!(
+            c.apply(TX, CoordEvent::PrepareNotOk { shard: 1 }),
+            CoordAction::SendAbort(vec![0, 1, 2])
+        );
+        // Late OKs — including a full quorum of them — must not resurrect
+        // the transaction or emit a commit.
+        for shard in [0, 1, 2] {
+            assert_eq!(c.apply(TX, CoordEvent::PrepareOk { shard }), CoordAction::None);
+        }
+        // Nor may a replayed NotOK emit a second SendAbort.
+        assert_eq!(c.apply(TX, CoordEvent::PrepareNotOk { shard: 2 }), CoordAction::None);
+        assert_eq!(c.state(TX), Some(&CoordState::Aborted));
     }
 
     #[test]

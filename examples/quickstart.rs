@@ -21,6 +21,11 @@ fn main() {
     cfg.workload = SystemWorkload::SmallBank { accounts: 10_000, theta: 0.0 };
     cfg.duration = SimDuration::from_secs(10);
     cfg.warmup = SimDuration::from_secs(3);
+    // Every replica fronts its shard with an `ahl-mempool` transaction
+    // pool: requests are deduplicated, admission-controlled and batched
+    // into proposals there. Shrink the capacity (e.g. to 64) to watch
+    // backpressure engage — `m.rejected` counts the bounced steps.
+    cfg.mempool = ahl::mempool::MempoolConfig::new(100_000);
 
     let m = run_system(cfg);
 
@@ -29,6 +34,7 @@ fn main() {
     println!("aborted               : {:8}  ({:.2}% of finished)", m.aborted, 100.0 * m.abort_rate);
     println!("cross-shard fraction  : {:8.2}%", 100.0 * m.cross_shard_fraction);
     println!("mean latency          : {:>8}", m.latency_mean);
+    println!("pool rejections       : {:8}", m.rejected);
     println!("view changes          : {:8}", m.view_changes);
 
     assert!(m.committed > 0, "the system should commit transactions");

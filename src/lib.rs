@@ -11,6 +11,7 @@
 //! | [`tee`] | SGX simulation: attested log, randomness beacon, sealing |
 //! | [`net`] | cluster / GCP network models (Table 3 latencies) |
 //! | [`ledger`] | blocks, KV state with 2PL, KVStore & SmallBank chaincode |
+//! | [`mempool`] | per-shard transaction pool: dedup, admission control, batch pipeline |
 //! | [`consensus`] | PBFT (HL/AHL/AHL+/AHLR), Tendermint, IBFT, Raft, PoET |
 //! | [`shard`] | committee sizing (Eq 1), beacon protocol, reconfiguration |
 //! | [`txn`] | 2PC reference committee, cross-shard protocol, baselines |
@@ -37,6 +38,7 @@ pub use ahl_consensus as consensus;
 pub use ahl_core as system;
 pub use ahl_crypto as crypto;
 pub use ahl_ledger as ledger;
+pub use ahl_mempool as mempool;
 pub use ahl_net as net;
 pub use ahl_shard as shard;
 pub use ahl_simkit as simkit;

@@ -1,0 +1,295 @@
+//! Vendored subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of `proptest` its tests use: the [`proptest!`] macro
+//! with `name in strategy` and `name: Type` parameters, range and tuple
+//! strategies, [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Unlike upstream there is no shrinking: each test runs [`CASES`]
+//! deterministic random cases (seeded from the test name), and a failing
+//! case panics with the ordinary assertion message. That keeps failures
+//! reproducible without any persistence files.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of random cases generated per property test.
+pub const CASES: usize = 64;
+
+/// Deterministic test-case generator (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed a generator from the property test's name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A: 0);
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length bound for [`vec`]: an exact `usize` or a `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Types with a default "any value" generator, used for `name: Type`
+/// parameters of [`proptest!`].
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.below(64) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+/// Draw an arbitrary value of type `T` (macro plumbing).
+pub fn arbitrary<T: Arbitrary>(rng: &mut TestRng) -> T {
+    T::arbitrary(rng)
+}
+
+/// Bind one parameter list entry of [`proptest!`] (internal).
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, mut $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $name: $ty = $crate::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty = $crate::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// Define property tests. Each function body runs [`CASES`] times with
+/// freshly generated parameter values; parameters are either
+/// `name in strategy` or `name: Type` (via [`Arbitrary`]).
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __proptest_rng = $crate::TestRng::from_name(stringify!($name));
+            for __proptest_case in 0..$crate::CASES {
+                let _ = __proptest_case;
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                $body
+            }
+        }
+    )+};
+}
+
+/// Assert a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Assert equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Assert inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #[test]
+        fn ranges_respected(a in 3usize..10, b in -5i64..5, f in 0.0f64..1.0) {
+            crate::prop_assert!((3..10).contains(&a));
+            crate::prop_assert!((-5..5).contains(&b));
+            crate::prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vectors_sized(v in crate::collection::vec(0u8..4, 2..6), exact in crate::collection::vec(0usize..8, 8)) {
+            crate::prop_assert!((2..6).contains(&v.len()));
+            crate::prop_assert_eq!(exact.len(), 8);
+            crate::prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn arbitrary_params(seed: u64, bytes: Vec<u8>, mut flag: bool) {
+            flag = !flag;
+            let _ = (seed, bytes, flag);
+        }
+
+        #[test]
+        fn tuples_compose(pairs in crate::collection::vec((0u8..4, 0usize..4, 1i64..50), 1..20)) {
+            for (k, s, amt) in pairs {
+                crate::prop_assert!(k < 4 && s < 4 && (1..50).contains(&amt));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = super::TestRng::from_name("x");
+        let mut b = super::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = super::TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
