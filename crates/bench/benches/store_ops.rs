@@ -1,0 +1,121 @@
+//! Benchmarks of the authenticated store: sparse-Merkle-tree update /
+//! prove / verify against the flat-map baseline it authenticates, plus the
+//! bulk genesis build and chunk extraction used by state sync.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use ahl_crypto::sha256_parts;
+use ahl_store::{verify_chunk, verify_proof, SparseMerkleTree};
+
+fn vhash(i: u64) -> ahl_crypto::Hash {
+    sha256_parts(&[&i.to_be_bytes()])
+}
+
+fn tree_with(n: u64) -> SparseMerkleTree {
+    SparseMerkleTree::build((0..n).map(|i| (format!("acc{i}"), vhash(i))))
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_update");
+    g.throughput(Throughput::Elements(100));
+    // The flat map: what StateStore pays per mutation without
+    // authentication — the read-cache half of the hybrid.
+    g.bench_function("flat_map_100_updates", |b| {
+        b.iter_batched(
+            || {
+                (0..10_000u64)
+                    .map(|i| (format!("acc{i}"), i))
+                    .collect::<HashMap<String, u64>>()
+            },
+            |mut m| {
+                for i in 0..100u64 {
+                    m.insert(format!("acc{}", i * 97 % 10_000), i);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // The SMT: O(log n) hashes per mutation buys a provable root.
+    g.bench_function("smt_100_updates_10k", |b| {
+        b.iter_batched(
+            || tree_with(10_000),
+            |mut t| {
+                for i in 0..100u64 {
+                    t.insert(&format!("acc{}", i * 97 % 10_000), vhash(i));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_build");
+    g.throughput(Throughput::Elements(10_000));
+    // Bulk build (genesis / sync install): one hash per node.
+    g.bench_function("bulk_build_10k", |b| {
+        b.iter(|| tree_with(10_000));
+    });
+    // Insert-loop equivalent: O(log n) hashes per key.
+    g.bench_function("insert_loop_10k", |b| {
+        b.iter(|| {
+            let mut t = SparseMerkleTree::new();
+            for i in 0..10_000u64 {
+                t.insert(&format!("acc{i}"), vhash(i));
+            }
+            t
+        });
+    });
+    g.finish();
+}
+
+fn bench_proofs(c: &mut Criterion) {
+    let t = tree_with(10_000);
+    let root = t.root_hash();
+    let mut g = c.benchmark_group("store_proofs");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("prove_10k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            t.prove(&format!("acc{i}"))
+        });
+    });
+    let proof = t.prove("acc42");
+    g.bench_function("verify_10k", |b| {
+        b.iter(|| verify_proof(&root, "acc42", Some(&vhash(42)), &proof));
+    });
+    g.finish();
+}
+
+fn bench_chunks(c: &mut Criterion) {
+    let t = tree_with(10_000);
+    let root = t.root_hash();
+    let bits = 4u8; // 16 chunks ≈ 625 leaves each
+    let mut g = c.benchmark_group("store_chunks");
+    g.bench_function("chunk_extract_625", |b| {
+        b.iter(|| (t.chunk_keys(3, bits), t.chunk_proof(3, bits)));
+    });
+    let entries: Vec<(ahl_crypto::Hash, ahl_crypto::Hash)> = {
+        let mut v: Vec<_> = t
+            .chunk_keys(3, bits)
+            .into_iter()
+            .map(|k| (ahl_store::key_path(k), *t.get(k).expect("live")))
+            .collect();
+        v.sort_by_key(|e| e.0 .0);
+        v
+    };
+    let proof = t.chunk_proof(3, bits);
+    g.bench_function("chunk_verify_625", |b| {
+        b.iter(|| verify_chunk(&root, 3, bits, &entries, &proof));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_build, bench_proofs, bench_chunks);
+criterion_main!(benches);

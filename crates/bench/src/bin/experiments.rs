@@ -32,6 +32,7 @@ const IDS: &[(&str, &str)] = &[
     ("fig21", "PoET vs PoET+ throughput"),
     ("fig22", "PoET vs PoET+ stale rate"),
     ("overload", "mempool overload sweep: offered load past pool capacity"),
+    ("statesync", "state-sync sweep: restarted replica catch-up, state size x chunk size"),
 ];
 
 fn usage() -> ! {
@@ -88,6 +89,7 @@ fn main() {
             "fig21" => figs::fig21(scale),
             "fig22" => figs::fig22(scale),
             "overload" => figs::overload(scale),
+            "statesync" => figs::statesync(scale),
             other => {
                 println!("unknown experiment: {other}\n");
                 usage();

@@ -46,4 +46,5 @@ pub fn run_all(scale: Scale) {
     figs::fig21(scale);
     figs::fig22(scale);
     figs::overload(scale);
+    figs::statesync(scale);
 }

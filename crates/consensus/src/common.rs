@@ -89,6 +89,24 @@ pub mod stat {
     pub const BACKPRESSURE: &str = "consensus.backpressure";
     /// Counter: rejection notices observed by clients.
     pub const CLIENT_REJECTED: &str = "client.rejected";
+    /// Counter: checkpoint certificates formed (quorum of matching votes).
+    pub const CKPT_CERTS: &str = "consensus.ckpt_certs";
+    /// Counter: resolved-transaction ids pruned at checkpoint boundaries.
+    pub const RESOLVED_PRUNED: &str = "consensus.resolved_pruned";
+    /// Counter: state-sync chunks served to lagging/joining replicas.
+    pub const SYNC_CHUNKS_SERVED: &str = "sync.chunks_served";
+    /// Counter: state-sync bytes verified and applied (requester side).
+    pub const SYNC_BYTES: &str = "sync.bytes_synced";
+    /// Counter: chunks rejected by proof verification against the cert root.
+    pub const SYNC_PROOF_FAILURES: &str = "sync.proof_failures";
+    /// Counter: sync manifests rejected for stale/invalid certificates.
+    pub const SYNC_BAD_CERTS: &str = "sync.bad_certs";
+    /// Counter: chunked state syncs completed (cert + chunks + tail).
+    pub const SYNC_COMPLETED: &str = "sync.completed";
+    /// Counter: tail-only catch-ups (block replay without chunk transfer).
+    pub const SYNC_TAILS: &str = "sync.tail_catchups";
+    /// Histogram: wall-clock duration of completed chunked syncs.
+    pub const SYNC_DURATION: &str = "sync.duration";
 }
 
 #[cfg(test)]

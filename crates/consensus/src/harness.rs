@@ -4,11 +4,47 @@
 
 use ahl_ledger::Value;
 use ahl_net::{ClusterNetwork, GcpNetwork};
-use ahl_simkit::{Network, QueueConfig, SimDuration, SimTime};
+use ahl_simkit::{Actor, Ctx, Network, NodeId, QueueConfig, SimDuration, SimTime};
 
 use crate::clients::{ClosedLoopClient, OpenLoopClient};
 use crate::common::{stat, OpFactory};
-use crate::pbft::{build_group, PbftConfig};
+use crate::pbft::{build_group, PbftConfig, PbftMsg};
+
+/// Scripted fault/reconfiguration injector: delivers control messages
+/// (crash/restart, shard transition) to replicas at scheduled times. Used
+/// by the `statesync` experiment and crash-recovery tests; the reshard
+/// experiment builds its own controller to sequence transition batches.
+pub struct ControlScript {
+    schedule: Vec<(SimDuration, NodeId, PbftMsg)>,
+}
+
+impl ControlScript {
+    /// Create an injector for `(at, target, message)` events.
+    pub fn new(schedule: Vec<(SimDuration, NodeId, PbftMsg)>) -> Self {
+        ControlScript { schedule }
+    }
+}
+
+impl Actor for ControlScript {
+    type Msg = PbftMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        for (i, (at, _, _)) in self.schedule.iter().enumerate() {
+            ctx.set_timer(*at, i as u64);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: PbftMsg, _ctx: &mut Ctx<'_, PbftMsg>) {
+        // TransitionDone notifications land here when this actor is named
+        // as the controller; the simple script has no sequencing to do.
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        if let Some((_, target, msg)) = self.schedule.get(kind as usize) {
+            ctx.send(*target, msg.clone());
+        }
+    }
+}
 
 /// Which testbed to simulate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -280,6 +316,82 @@ mod tests {
         assert!(m.pool_rejections > 0, "tiny pool must reject");
         assert!(m.committed > 500, "committed {}", m.committed);
         assert_eq!(m.view_changes, 0);
+    }
+
+    /// Crash/recovery acceptance: a replica restarted mid-run loses all
+    /// volatile state and catches back up through the certified chunked
+    /// sync — zero proof failures, and its ledger agrees with the
+    /// committee's at an equal execution point.
+    #[test]
+    fn restarted_replica_recovers_via_chunked_sync() {
+        use crate::pbft::{build_group, BftVariant, Replica};
+        use ahl_simkit::UniformNetwork;
+
+        let mut cfg = PbftConfig::new(BftVariant::AhlPlus, 5);
+        cfg.crypto = crate::common::CryptoMode::Real;
+        cfg.batch_size = 10;
+        cfg.checkpoint_interval = 25;
+        cfg.sync_chunk_target = 64;
+        let genesis: Vec<(String, Value)> = (0..500)
+            .map(|i| (format!("acc{i}"), Value::Int(1_000)))
+            .collect();
+        let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
+        let (mut sim, group) = build_group(&cfg, net, Some(1e9), &genesis, 42);
+        let stop = SimTime::ZERO + SimDuration::from_secs(6);
+        let client = OpenLoopClient::new(
+            group.clone(),
+            SimDuration::from_millis(2),
+            stop,
+            kv_factory(0),
+        );
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        // Crash replica 3 at t = 2 s; it recovers on its own.
+        let script = ControlScript::new(vec![(
+            SimDuration::from_secs(2),
+            group[3],
+            PbftMsg::Restart,
+        )]);
+        sim.add_actor(Box::new(script), QueueConfig::unbounded());
+        sim.run_until(stop + SimDuration::from_secs(4));
+
+        assert!(sim.stats().counter("sync.restarts") >= 1);
+        assert!(
+            sim.stats().counter(stat::SYNC_COMPLETED) >= 1,
+            "restart must recover through a chunked sync"
+        );
+        assert!(sim.stats().counter(stat::SYNC_CHUNKS_SERVED) >= 1);
+        assert_eq!(sim.stats().counter(stat::SYNC_PROOF_FAILURES), 0);
+        assert!(sim.stats().counter(stat::SYNC_BYTES) > 0);
+
+        let replica = |id: usize| {
+            sim.actor(id)
+                .as_any()
+                .and_then(|a| a.downcast_ref::<Replica>())
+                .expect("replica actor")
+        };
+        let restarted = replica(group[3]);
+        assert!(restarted.exec_seq() > 0, "restarted replica must catch up");
+        // At quiescence its ledger agrees with any healthy replica at the
+        // same execution point (content-addressed root ⇒ identical state).
+        let twin = (0..5)
+            .filter(|i| *i != 3)
+            .map(|i| replica(group[i]))
+            .find(|r| r.exec_seq() == restarted.exec_seq())
+            .expect("restarted replica reaches a healthy peer's exec point");
+        assert_eq!(
+            twin.state().state_digest(),
+            restarted.state().state_digest(),
+            "recovered state must match the committee's"
+        );
+        // Genesis balances survived the crash (no transfer ops in this
+        // workload, so any loss would mean a corrupted recovery).
+        let total: i64 = restarted
+            .state()
+            .iter()
+            .filter(|(k, _)| k.starts_with("acc"))
+            .filter_map(|(_, v)| v.as_int())
+            .sum();
+        assert_eq!(total, 500 * 1_000, "balances conserved through recovery");
     }
 
     #[test]

@@ -141,8 +141,15 @@ pub struct PbftConfig {
     pub pool_seed: u64,
     /// Maximum blocks in flight (PBFT pipelining; lockstep = 1).
     pub pipeline_width: u64,
-    /// Stable checkpoint every this many sequence numbers.
+    /// Stable checkpoint every this many sequence numbers. At each multiple
+    /// the replica snapshots its state, votes on `(seq, state_root)`, and a
+    /// quorum certificate ([`ahl_store::CheckpointCert`]) gates pruning and
+    /// anchors chunked state sync.
     pub checkpoint_interval: u64,
+    /// Target key-value pairs per state-sync chunk. The manifest advertises
+    /// `ceil(log2(state_len / target))` chunk bits; smaller chunks mean more
+    /// round trips, larger chunks mean coarser retransmission on failure.
+    pub sync_chunk_target: usize,
     /// Base view-change timeout (doubles per consecutive failure).
     pub vc_timeout: SimDuration,
     /// Reply policy.
@@ -185,6 +192,7 @@ impl PbftConfig {
             pool_seed: 0,
             pipeline_width: 4,
             checkpoint_interval: 128,
+            sync_chunk_target: 1024,
             vc_timeout: SimDuration::from_secs(2),
             reply_policy: ReplyPolicy::None,
             costs: CostModel::default(),

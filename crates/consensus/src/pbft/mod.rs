@@ -5,7 +5,7 @@ mod msg;
 mod replica;
 
 pub use config::{BftVariant, FaultModel, PbftConfig, ReplyPolicy};
-pub use msg::{AggProof, MsgCert, PbftBlock, PbftMsg, ViewChangeMsg, Vote};
+pub use msg::{chunk_entry_bytes, AggProof, MsgCert, PbftBlock, PbftMsg, ViewChangeMsg, Vote};
 pub use replica::Replica;
 
 use std::sync::Arc;

@@ -2,8 +2,12 @@
 
 use std::sync::Arc;
 
+use std::collections::HashSet;
+
 use ahl_crypto::{sha256_parts, Hash, Signature};
-use ahl_simkit::MsgClass;
+use ahl_ledger::{Key, StateSidecar, Value};
+use ahl_simkit::{MsgClass, NodeId};
+use ahl_store::{CheckpointCert, CheckpointVote};
 use ahl_tee::Attestation;
 
 use crate::clients::ClientProtocol;
@@ -149,14 +153,12 @@ pub enum PbftMsg {
     AggPrepare(AggProof),
     /// Leader → all: aggregated commit quorum proof (AHLR).
     AggCommit(AggProof),
-    /// Replica → all: checkpoint vote.
+    /// Replica → all: signed checkpoint vote over `(height, state_root)`.
+    /// A quorum of matching votes forms a [`CheckpointCert`] that gates
+    /// pruning and anchors state sync.
     Checkpoint {
-        /// Checkpointed sequence.
-        seq: u64,
-        /// State digest at that sequence.
-        digest: Hash,
-        /// Sender (group index).
-        replica: usize,
+        /// The vote (root, height, signature).
+        vote: CheckpointVote,
     },
     /// Replica → all: view change.
     ViewChange(ViewChangeMsg),
@@ -196,27 +198,102 @@ pub enum PbftMsg {
         /// The leader's view.
         view: u64,
     },
-    /// Lagging replica → peer: request a state snapshot (PBFT state
-    /// transfer; also how transitioning nodes fetch their new shard's
-    /// state during reconfiguration, §5.3).
-    StateRequest {
+    /// Lagging/joining replica → peer: open a state-sync exchange (§5.3
+    /// state transfer). The server answers with [`PbftMsg::SyncTail`] when
+    /// the requester only misses recent blocks, [`PbftMsg::SyncManifest`]
+    /// when it needs a certified chunked transfer, or [`PbftMsg::SyncNack`]
+    /// when it has nothing to offer.
+    SyncRequest {
         /// Requester's group index.
         requester: usize,
         /// Highest sequence the requester has executed.
         have_seq: u64,
+        /// Force a full chunked transfer even if `have_seq` is recent
+        /// (transitioning nodes re-fetch their new shard's entire state).
+        full: bool,
     },
-    /// Peer → lagging replica: state snapshot at `seq`.
-    StateSnapshot {
-        /// Executed sequence the snapshot reflects.
-        seq: u64,
+    /// Peer → requester: the plan for a chunked transfer anchored at the
+    /// latest checkpoint certificate.
+    SyncManifest {
+        /// The certificate the requester must verify chunks against.
+        cert: CheckpointCert,
+        /// Chunk-count exponent: the transfer has `1 << bits` chunks.
+        bits: u8,
+        /// Total key-value pairs in the certified state (progress display).
+        leaves: u64,
+        /// 2PC bookkeeping at the certified height (prepared write sets and
+        /// recently decided ids; unauthenticated sidecar).
+        sidecar: Arc<StateSidecar>,
+        /// Request ids executed up to the certified height (replay
+        /// protection for re-submitted client requests).
+        executed: Arc<HashSet<u64>>,
         /// Sender's current view.
         view: u64,
-        /// The ledger state (shared pointer; cloning the message is cheap,
-        /// the wire size models the real transfer).
-        state: std::sync::Arc<ahl_ledger::StateStore>,
-        /// Request ids executed up to `seq` (replay protection).
-        executed: std::sync::Arc<std::collections::HashSet<u64>>,
     },
+    /// Requester → peer: fetch one key-range chunk of the certified state.
+    ChunkRequest {
+        /// Requester's group index.
+        requester: usize,
+        /// The certified height the transfer is anchored at.
+        seq: u64,
+        /// Chunk index in `0..1 << bits`.
+        chunk: u32,
+    },
+    /// Peer → requester: one chunk plus the proof tying it to the certified
+    /// root. The requester verifies before applying; a tampered or stale
+    /// chunk is rejected and re-requested from another peer.
+    ChunkData {
+        /// The certified height the transfer is anchored at.
+        seq: u64,
+        /// Chunk index.
+        chunk: u32,
+        /// The chunk's complete key-value content, in path order.
+        entries: Arc<Vec<(Key, Value)>>,
+        /// Sibling subtree hashes ([`ahl_store::SparseMerkleTree::chunk_proof`]).
+        proof: Arc<Vec<Hash>>,
+    },
+    /// Peer → requester: committed blocks above the requester's execution
+    /// point (the catch-up tail after a chunked install, or the whole
+    /// answer for a replica that only lags a little).
+    SyncTail {
+        /// Committed blocks, ascending and contiguous from the requester's
+        /// `have_seq + 1`.
+        blocks: Vec<Arc<PbftBlock>>,
+        /// Sender's current view.
+        view: u64,
+    },
+    /// Peer → requester: cannot serve (no certificate/snapshot yet, or the
+    /// requester is already current). The requester rotates peers/retries.
+    SyncNack {
+        /// Echo of the requester's `have_seq`.
+        have_seq: u64,
+    },
+    /// Harness/controller → replica: transition into a new shard (§5.3).
+    /// The replica pauses consensus participation, re-fetches the full
+    /// shard state through the certified chunk protocol, and resumes once
+    /// verified — the throughput cost of reconfiguration thus emerges from
+    /// real transfer volume.
+    Transition {
+        /// Actor to notify with [`PbftMsg::TransitionDone`] (batch
+        /// sequencing in the reshard experiment).
+        controller: Option<NodeId>,
+    },
+    /// Replica → controller: its transition fetch completed and it rejoined
+    /// consensus.
+    TransitionDone {
+        /// The transitioned replica's group index.
+        replica: usize,
+    },
+    /// Harness → replica: crash/restart. All volatile state (ledger, pool,
+    /// protocol instances) is lost; the replica recovers via state sync.
+    Restart,
+}
+
+/// Modeled bytes of one `(key, value)` chunk entry — the single source for
+/// the ChunkData wire size, the requester's `sync.bytes_synced` metric, and
+/// both sides' serialization/verification CPU charges.
+pub fn chunk_entry_bytes(key: &str, value: &Value) -> usize {
+    16 + key.len() + value.size()
 }
 
 impl PbftMsg {
@@ -229,7 +306,14 @@ impl PbftMsg {
             | PbftMsg::Gossip(_)
             | PbftMsg::Reply { .. }
             | PbftMsg::Rejected { .. }
-            | PbftMsg::RelayRejected { .. } => MsgClass::REQUEST,
+            | PbftMsg::RelayRejected { .. }
+            // Bulk state transfer must not crowd out consensus votes.
+            | PbftMsg::SyncRequest { .. }
+            | PbftMsg::SyncManifest { .. }
+            | PbftMsg::ChunkRequest { .. }
+            | PbftMsg::ChunkData { .. }
+            | PbftMsg::SyncTail { .. }
+            | PbftMsg::SyncNack { .. } => MsgClass::REQUEST,
             _ => MsgClass::CONSENSUS,
         }
     }
@@ -250,9 +334,25 @@ impl PbftMsg {
             PbftMsg::Reply { .. } => 100,
             PbftMsg::Rejected { .. } | PbftMsg::RelayRejected { .. } => 90,
             PbftMsg::Heartbeat { .. } => 60,
-            PbftMsg::StateRequest { .. } => 80,
-            // State transfer carries the whole ledger slice.
-            PbftMsg::StateSnapshot { state, .. } => 200 + state.len() * 120,
+            PbftMsg::SyncRequest { .. } => 80,
+            PbftMsg::SyncManifest { cert, sidecar, executed, .. } => {
+                120 + cert.wire_size() + sidecar.wire_size() + 8 * executed.len()
+            }
+            PbftMsg::ChunkRequest { .. } => 90,
+            // The dominant transfer cost: every key and value in the chunk,
+            // plus the sibling hashes of its proof.
+            PbftMsg::ChunkData { entries, proof, .. } => {
+                64 + entries
+                    .iter()
+                    .map(|(k, v)| chunk_entry_bytes(k, v))
+                    .sum::<usize>()
+                    + 32 * proof.len()
+            }
+            PbftMsg::SyncTail { blocks, .. } => {
+                120 + blocks.iter().map(|b| b.wire_size()).sum::<usize>()
+            }
+            PbftMsg::SyncNack { .. } => 70,
+            PbftMsg::Transition { .. } | PbftMsg::TransitionDone { .. } | PbftMsg::Restart => 60,
         }
     }
 }

@@ -24,18 +24,22 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use ahl_crypto::{Hash, KeyRegistry, SigningKey};
-use ahl_ledger::{Block as LedgerBlock, Chain, StateStore, Value};
+use ahl_ledger::{Block as LedgerBlock, Chain, Key, StateSidecar, StateStore, Value};
 use ahl_mempool::{Admission, BatchBuilder, BatchConfig, Mempool};
-use ahl_simkit::{Actor, Ctx, NodeId, SimDuration};
+use ahl_simkit::{Actor, Ctx, NodeId, SimDuration, SimTime};
+use ahl_store::{
+    chunk_bits_for, CheckpointCert, CheckpointTracker, CheckpointVote, SyncError, SyncSession,
+};
 use ahl_tee::{verify_attestation, AttestedLog, LogId, Slot, TeeOp};
 
 use crate::common::{stat, CryptoMode, Request};
 use crate::pbft::config::{PbftConfig, ReplyPolicy};
-use crate::pbft::msg::{AggProof, MsgCert, PbftBlock, PbftMsg, ViewChangeMsg, Vote};
+use crate::pbft::msg::{chunk_entry_bytes, AggProof, MsgCert, PbftBlock, PbftMsg, ViewChangeMsg, Vote};
 
 const TIMER_BATCH: u64 = 1;
 const TIMER_VC: u64 = 2;
 const TIMER_HEARTBEAT: u64 = 3;
+const TIMER_SYNC: u64 = 4;
 
 const PREPARE_LOG: LogId = LogId(1);
 const COMMIT_LOG: LogId = LogId(2);
@@ -56,6 +60,48 @@ struct Instance {
     agg_commit_sent: bool,
     committed: bool,
     executed: bool,
+}
+
+/// State + executed-request snapshot taken at a checkpoint height; once a
+/// certificate forms for that height it becomes the serving source for
+/// chunked state sync (chunks must verify against the *certified* root, so
+/// they cannot be cut from live, still-mutating state).
+#[derive(Clone)]
+struct CkptSnapshot {
+    seq: u64,
+    state: Arc<StateStore>,
+    executed: Arc<HashSet<u64>>,
+}
+
+/// Requester-side phase of an in-flight state sync.
+enum SyncPhase {
+    /// Waiting for the server's manifest (or a direct block tail).
+    AwaitManifest,
+    /// Fetching and verifying chunks against the certified root.
+    Chunks {
+        session: SyncSession<Value>,
+        sidecar: Arc<StateSidecar>,
+        executed: Arc<HashSet<u64>>,
+        view: u64,
+    },
+    /// Chunks installed; waiting for the block tail above the certificate.
+    AwaitTail,
+}
+
+/// An in-flight state-sync exchange (requester side).
+struct SyncRun {
+    phase: SyncPhase,
+    /// Current serving peer (group index); rotated on failure/timeout.
+    peer: usize,
+    /// Full re-fetch (shard transition / restart) vs gap catch-up.
+    full: bool,
+    /// Whether a chunked transfer happened (vs tail-only catch-up).
+    chunked: bool,
+    started: SimTime,
+    last_activity: SimTime,
+    /// Actors to notify with `TransitionDone` when the sync completes
+    /// (overlapping reshard events can each be waiting on this replica).
+    notify: Vec<NodeId>,
 }
 
 /// A PBFT replica actor.
@@ -91,7 +137,26 @@ pub struct Replica {
     ingested: HashMap<u64, NodeId>,
     executed_reqs: HashSet<u64>,
 
-    ckpt_votes: HashMap<u64, HashMap<usize, Hash>>,
+    /// Genesis state (reloaded on a crash/restart before state sync).
+    genesis: Arc<Vec<(Key, Value)>>,
+
+    /// Checkpoint votes → certificates (pruning + sync anchoring).
+    ckpt: CheckpointTracker,
+    /// Snapshots at recent own checkpoint heights, awaiting certification.
+    snapshots: Vec<CkptSnapshot>,
+    /// The certified snapshots this replica serves state sync from (the
+    /// latest two certificates, so a transfer anchored at the previous
+    /// certificate survives a checkpoint forming mid-transfer).
+    serving: Vec<(CheckpointCert, CkptSnapshot)>,
+    /// Sequence below which executed instances have been pruned. Kept one
+    /// checkpoint interval behind `low_mark` so the committed-block tail
+    /// above the previous certificate stays servable.
+    insts_floor: u64,
+    /// In-flight state sync (requester side).
+    sync: Option<SyncRun>,
+    /// True while a full re-fetch (transition/restart) suspends consensus
+    /// participation: no votes, proposals, or relays until sync completes.
+    paused: bool,
 
     /// View-change votes with arrival times: only fresh votes count toward
     /// quorums, so votes cast by nodes that were briefly cut off long ago
@@ -130,10 +195,9 @@ impl Replica {
         reporter: bool,
     ) -> Self {
         let byzantine = me >= cfg.n - cfg.byzantine;
+        let genesis: Arc<Vec<(Key, Value)>> = Arc::new(genesis.to_vec());
         let mut state = StateStore::new();
-        for (k, v) in genesis {
-            state.put(k.clone(), v.clone());
-        }
+        state.load_genesis(&genesis);
         let pool = Mempool::new(cfg.mempool.clone(), cfg.pool_seed ^ me as u64);
         let batcher = BatchBuilder::new(BatchConfig {
             max_txs: cfg.batch_size,
@@ -161,7 +225,13 @@ impl Replica {
             batcher,
             ingested: HashMap::new(),
             executed_reqs: HashSet::new(),
-            ckpt_votes: HashMap::new(),
+            genesis,
+            ckpt: CheckpointTracker::new(),
+            snapshots: Vec::new(),
+            serving: Vec::new(),
+            insts_floor: 0,
+            sync: None,
+            paused: false,
             vc_votes: HashMap::new(),
             vc_backoff: 0,
             last_progress_seq: 0,
@@ -316,6 +386,12 @@ impl Replica {
         if self.cfg.reply_policy == ReplyPolicy::IngestReplica {
             self.ingested.insert(req.id, req.client);
         }
+        if self.paused {
+            // Transitioning/restarting: pool only. The backlog is relayed
+            // to the leader when the sync completes, so the post-recovery
+            // drain spike (paper Figure 12) emerges naturally.
+            return;
+        }
         // Forward admitted requests and retransmissions of already-pooled
         // ones (a client retrying after leader-side backpressure arrives
         // here as `Duplicate`; the relay must still reach the leader).
@@ -378,7 +454,7 @@ impl Replica {
     // ---------- proposing ----------
 
     fn try_propose(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
-        if !self.is_leader() {
+        if !self.is_leader() || self.paused {
             return;
         }
         while self.next_seq <= self.exec_seq + self.cfg.pipeline_width {
@@ -391,7 +467,7 @@ impl Replica {
     }
 
     fn flush_partial_batch(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
-        if self.is_leader() && self.next_seq <= self.exec_seq + self.cfg.pipeline_width {
+        if self.is_leader() && !self.paused && self.next_seq <= self.exec_seq + self.cfg.pipeline_width {
             let now = ctx.now();
             if let Some(batch) = self.batcher.take_due(&mut self.pool, now, ctx.stats()) {
                 self.propose_batch(batch, ctx);
@@ -883,38 +959,72 @@ impl Replica {
 
     // ---------- checkpoints ----------
 
+    /// At a checkpoint height: snapshot the state (so certified chunks can
+    /// later be served from exactly the certified content), then broadcast
+    /// a signed vote over `(height, state_root)`.
     fn send_checkpoint(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         let seq = self.exec_seq;
-        let digest = self.state.state_digest();
+        let root = self.state.state_digest();
+        self.snapshots.push(CkptSnapshot {
+            seq,
+            state: Arc::new(self.state.clone()),
+            executed: Arc::new(self.executed_reqs.clone()),
+        });
+        if self.snapshots.len() > 2 {
+            self.snapshots.remove(0);
+        }
         self.charge(ctx, self.cfg.native_sign, false);
-        ctx.multicast(
-            self.others(),
-            PbftMsg::Checkpoint { seq, digest, replica: self.me },
-        );
-        self.record_checkpoint(seq, digest, self.me);
+        let key = (self.cfg.crypto == CryptoMode::Real).then_some(&self.key);
+        let vote = CheckpointVote::new(seq, root, self.me, key);
+        ctx.multicast(self.others(), PbftMsg::Checkpoint { vote: vote.clone() });
+        self.record_checkpoint(vote, ctx);
     }
 
-    fn record_checkpoint(&mut self, seq: u64, digest: Hash, replica: usize) {
-        if seq <= self.low_mark {
+    fn record_checkpoint(&mut self, vote: CheckpointVote, ctx: &mut Ctx<'_, PbftMsg>) {
+        if vote.seq <= self.low_mark {
             return;
         }
         let quorum = self.quorum();
-        let votes = self.ckpt_votes.entry(seq).or_default();
-        votes.insert(replica, digest);
-        let stable = votes.values().filter(|d| **d == digest).count() >= quorum;
-        if stable {
-            self.low_mark = seq;
-            self.insts.retain(|s, _| *s > seq);
-            self.ckpt_votes.retain(|s, _| *s > seq);
-            if self.cfg.crypto == CryptoMode::Real {
-                self.tee.truncate(seq);
-            }
+        if let Some(cert) = self.ckpt.record(vote, quorum) {
+            self.apply_stable_checkpoint(cert, ctx);
         }
     }
 
-    fn on_checkpoint(&mut self, seq: u64, digest: Hash, replica: usize, ctx: &mut Ctx<'_, PbftMsg>) {
+    /// A certificate formed: it gates all pruning (PBFT stable checkpoint)
+    /// and becomes the anchor this replica serves state sync from.
+    fn apply_stable_checkpoint(&mut self, cert: CheckpointCert, ctx: &mut Ctx<'_, PbftMsg>) {
+        ctx.stats().inc(stat::CKPT_CERTS, 1);
+        // Prune one interval behind: executed blocks above the *previous*
+        // stable checkpoint remain servable as a sync tail.
+        let floor = std::mem::replace(&mut self.low_mark, cert.seq);
+        self.insts.retain(|s, _| *s > floor);
+        self.insts_floor = floor;
+        let pruned = self.state.checkpoint_prune();
+        ctx.stats().inc(stat::RESOLVED_PRUNED, pruned as u64);
+        if self.cfg.crypto == CryptoMode::Real {
+            self.tee.truncate(cert.seq);
+        }
+        if let Some(snap) = self.snapshots.iter().find(|s| s.seq == cert.seq) {
+            self.serving.push((cert.clone(), snap.clone()));
+            if self.serving.len() > 2 {
+                self.serving.remove(0);
+            }
+        }
+        self.snapshots.retain(|s| s.seq > cert.seq);
+    }
+
+    fn on_checkpoint(&mut self, vote: CheckpointVote, ctx: &mut Ctx<'_, PbftMsg>) {
         self.charge(ctx, self.cfg.native_verify, false);
-        self.record_checkpoint(seq, digest, replica);
+        // Real-crypto mode: an unsigned vote is a forgery, not "cost-only"
+        // — CheckpointVote::verify's unsigned arm exists for simulations
+        // that never carry signatures at all.
+        if self.cfg.crypto == CryptoMode::Real
+            && (vote.sig.is_none() || !vote.verify(&self.registry))
+        {
+            ctx.stats().inc("consensus.invalid_msg", 1);
+            return;
+        }
+        self.record_checkpoint(vote, ctx);
     }
 
     // ---------- view change ----------
@@ -924,6 +1034,9 @@ impl Replica {
     }
 
     fn maybe_start_view_change(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        if self.paused {
+            return; // not voting: a view change can neither help nor pass
+        }
         let pending_work = !self.pool.is_empty()
             || self
                 .insts
@@ -992,69 +1105,218 @@ impl Replica {
     }
 
     fn request_state_sync(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
-        let peer_idx = if self.is_leader() {
-            (self.me + 1) % self.cfg.n
-        } else {
-            self.leader_of(self.view)
-        };
-        ctx.stats().inc("consensus.state_sync_requests", 1);
-        ctx.send(
-            self.group[peer_idx],
-            PbftMsg::StateRequest { requester: self.me, have_seq: self.exec_seq },
-        );
-    }
-
-    fn on_state_request(&mut self, requester: usize, have_seq: u64, ctx: &mut Ctx<'_, PbftMsg>) {
-        if self.exec_seq <= have_seq || requester >= self.cfg.n {
-            return;
+        if self.sync.is_some() {
+            return; // one exchange at a time; the sync timer handles stalls
         }
-        // Serialization cost proportional to state size.
-        self.charge(
-            ctx,
-            SimDuration::from_micros(1).saturating_mul(self.state.len() as u64),
-            false,
-        );
-        ctx.send(
-            self.group[requester],
-            PbftMsg::StateSnapshot {
-                seq: self.exec_seq,
-                view: self.view,
-                state: std::sync::Arc::new(self.state.clone()),
-                executed: std::sync::Arc::new(self.executed_reqs.clone()),
-            },
-        );
+        ctx.stats().inc("consensus.state_sync_requests", 1);
+        self.begin_sync(false, None, ctx);
     }
 
-    fn on_state_snapshot(
+    // ---------- state sync: requester side ----------
+
+    /// Open a sync exchange. `full` forces a complete chunked re-fetch
+    /// (shard transition / restart); otherwise the server decides between a
+    /// block tail and a chunked transfer based on how far behind we are.
+    fn begin_sync(&mut self, full: bool, notify: Option<NodeId>, ctx: &mut Ctx<'_, PbftMsg>) {
+        let peer = next_sync_peer(self.cfg.n, self.me, self.me);
+        let now = ctx.now();
+        self.sync = Some(SyncRun {
+            phase: SyncPhase::AwaitManifest,
+            peer,
+            full,
+            chunked: false,
+            started: now,
+            last_activity: now,
+            notify: notify.into_iter().collect(),
+        });
+        ctx.send(
+            self.group[peer],
+            PbftMsg::SyncRequest { requester: self.me, have_seq: self.exec_seq, full },
+        );
+        ctx.set_timer(self.sync_retry_interval(), TIMER_SYNC);
+    }
+
+    fn sync_retry_interval(&self) -> SimDuration {
+        self.cfg.vc_timeout
+    }
+
+
+    fn on_sync_manifest(
         &mut self,
-        seq: u64,
+        cert: CheckpointCert,
+        bits: u8,
+        sidecar: Arc<StateSidecar>,
+        executed: Arc<HashSet<u64>>,
         view: u64,
-        state: std::sync::Arc<StateStore>,
-        executed: std::sync::Arc<HashSet<u64>>,
         ctx: &mut Ctx<'_, PbftMsg>,
     ) {
-        if seq <= self.exec_seq {
+        let Some(run) = self.sync.as_mut() else { return };
+        // A manifest is valid in `AwaitManifest`, and also in `AwaitTail`:
+        // if a newer certificate formed while we synced, the server cannot
+        // serve our tail any more and re-anchors us on the newer one
+        // (progress stays monotone — each round lands on a later cert).
+        if !matches!(run.phase, SyncPhase::AwaitManifest | SyncPhase::AwaitTail) {
             return;
         }
-        // Verification cost: checking the snapshot against the stable
-        // checkpoint digest, proportional to state size.
+        // Verify the certificate: quorum of distinct signers over the
+        // advertised (seq, root) — the trust anchor for every chunk.
+        let quorum = self.cfg.quorum();
         self.charge(
             ctx,
-            SimDuration::from_micros(1).saturating_mul(state.len() as u64),
+            self.cfg.native_verify.saturating_mul(cert.votes.len() as u64),
             false,
         );
-        ctx.stats().inc("consensus.state_syncs", 1);
-        if std::env::var("AHL_DEBUG").is_ok() {
-            eprintln!("[{}] node {} state sync -> seq {}", ctx.now(), self.me, seq);
+        let registry = (self.cfg.crypto == CryptoMode::Real).then_some(self.registry.as_ref());
+        if !cert.verify(quorum, registry) {
+            ctx.stats().inc(stat::SYNC_BAD_CERTS, 1);
+            let run = self.sync.as_mut().expect("checked above");
+            run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
+            return; // retry (rotated peer) via the sync timer
         }
-        self.state = (*state).clone();
+        // A full first-round fetch accepts any certificate (the node might
+        // even be ahead of it on the old shard's timeline); re-anchors and
+        // gap syncs only accept certificates ahead of the execution point.
+        let first_round = matches!(
+            self.sync.as_ref().map(|r| &r.phase),
+            Some(SyncPhase::AwaitManifest)
+        );
+        let have_seq = if self.sync.as_ref().is_some_and(|r| r.full) && first_round {
+            0
+        } else {
+            self.exec_seq
+        };
+        let session = match SyncSession::new(cert, bits, have_seq) {
+            Ok(s) => s,
+            Err(_) if first_round => {
+                // Stale certificate on the opening exchange: nothing newer
+                // than what we hold — the gap has closed on its own.
+                ctx.stats().inc(stat::SYNC_BAD_CERTS, 1);
+                self.finish_sync(ctx);
+                return;
+            }
+            Err(_) => {
+                // A late/duplicate manifest for the cert we just installed
+                // (AwaitTail): ignore it and keep waiting for the tail —
+                // treating it as completion would skip the block replay.
+                return;
+            }
+        };
+        let run = self.sync.as_mut().expect("checked above");
+        run.chunked = true;
+        run.last_activity = ctx.now();
+        if std::env::var("AHL_DEBUG").is_ok() {
+            eprintln!("[{}] node {} manifest: cert seq {} bits {}", ctx.now(), self.me, session.seq(), session.bits());
+        }
+        let seq = session.seq();
+        let chunk = session.next_chunk();
+        run.phase = SyncPhase::Chunks { session, sidecar, executed, view };
+        let peer = run.peer;
+        ctx.send(self.group[peer], PbftMsg::ChunkRequest { requester: self.me, seq, chunk });
+    }
+
+    fn on_chunk_data(
+        &mut self,
+        seq: u64,
+        chunk: u32,
+        entries: Arc<Vec<(Key, Value)>>,
+        proof: Arc<Vec<Hash>>,
+        ctx: &mut Ctx<'_, PbftMsg>,
+    ) {
+        let now = ctx.now();
+        let bytes: usize = entries.iter().map(|(k, v)| chunk_entry_bytes(k, v)).sum();
+        let Some(run) = self.sync.as_mut() else { return };
+        let SyncPhase::Chunks { session, .. } = &mut run.phase else { return };
+        if session.seq() != seq {
+            return;
+        }
+        run.last_activity = now;
+        // Verification cost: hash every leaf + fold the proof.
+        let verify_cost = self
+            .cfg
+            .costs
+            .cost(TeeOp::Sha256)
+            .saturating_mul(1 + entries.len() as u64)
+            + SimDuration::from_nanos((bytes / 8) as u64);
+        match session.accept_chunk(chunk, (*entries).clone(), &proof) {
+            Ok(done) => {
+                self.charge(ctx, verify_cost, false);
+                ctx.stats().inc(stat::SYNC_BYTES, bytes as u64);
+                if done {
+                    self.install_synced_state(ctx);
+                } else {
+                    let run = self.sync.as_ref().expect("still syncing");
+                    let SyncPhase::Chunks { session, .. } = &run.phase else {
+                        unreachable!("checked above")
+                    };
+                    let (peer, next) = (run.peer, session.next_chunk());
+                    ctx.send(
+                        self.group[peer],
+                        PbftMsg::ChunkRequest { requester: self.me, seq, chunk: next },
+                    );
+                }
+            }
+            Err(SyncError::BadProof { .. }) => {
+                self.charge(ctx, verify_cost, false);
+                ctx.stats().inc(stat::SYNC_PROOF_FAILURES, 1);
+                // Re-request the same chunk from a different peer: the
+                // session did not advance (resumable transfer).
+                let run = self.sync.as_mut().expect("checked above");
+                run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
+                let SyncPhase::Chunks { session, .. } = &run.phase else {
+                    unreachable!("checked above")
+                };
+                let (peer, cur) = (run.peer, session.next_chunk());
+                ctx.send(
+                    self.group[peer],
+                    PbftMsg::ChunkRequest { requester: self.me, seq, chunk: cur },
+                );
+            }
+            // Duplicate/out-of-order delivery: ignore.
+            Err(_) => {}
+        }
+    }
+
+    /// All chunks verified: swap in the rebuilt state at the certified
+    /// height, then fetch the block tail above it.
+    fn install_synced_state(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        let mut run = self.sync.take().expect("install follows a live session");
+        let SyncPhase::Chunks { session, sidecar, executed, view } =
+            std::mem::replace(&mut run.phase, SyncPhase::AwaitTail)
+        else {
+            unreachable!("install follows the chunk phase")
+        };
+        let (cert, entries) = session.into_verified();
+        // Rebuild cost: one leaf hash per entry plus tree construction.
+        self.charge(
+            ctx,
+            self.cfg
+                .costs
+                .cost(TeeOp::Sha256)
+                .saturating_mul(1 + entries.len() as u64),
+            false,
+        );
+        let mut state = StateStore::from_entries(entries);
+        state.install_sidecar(&sidecar);
+        debug_assert_eq!(state.state_digest(), cert.root, "chunks verified against root");
+        self.state = state;
         self.executed_reqs = (*executed).clone();
-        self.exec_seq = seq;
-        self.low_mark = self.low_mark.max(seq);
-        self.next_seq = self.next_seq.max(seq + 1);
-        self.insts.retain(|s, _| *s > seq);
+        self.exec_seq = cert.seq;
+        self.low_mark = cert.seq;
+        if run.full {
+            // Fresh shard state: every local instance refers to the old
+            // timeline (including ones marked executed above the cert), and
+            // the proposal counter restarts at the certified height — the
+            // new committee's history *is* the certificate; anything the
+            // old timeline held above it is re-ordered from the pools.
+            self.insts.clear();
+            self.next_seq = cert.seq + 1;
+        } else {
+            self.insts.retain(|s, _| *s > cert.seq);
+            self.next_seq = self.next_seq.max(cert.seq + 1);
+        }
         // The local chain is no longer contiguous after a jump.
         self.maintain_chain = false;
+        self.ckpt.adopt(cert);
         if view > self.view {
             self.enter_view(view, ctx);
         }
@@ -1062,7 +1324,317 @@ impl Replica {
         let ex = std::mem::take(&mut self.executed_reqs);
         self.pool.retain(|r| !ex.contains(&r.id));
         self.executed_reqs = ex;
+        if std::env::var("AHL_DEBUG").is_ok() {
+            eprintln!("[{}] node {} installed chunks at seq {}", ctx.now(), self.me, self.exec_seq);
+        }
+        // Catch up the blocks committed above the certificate.
+        let peer = run.peer;
+        run.last_activity = ctx.now();
+        self.sync = Some(run);
+        ctx.send(
+            self.group[peer],
+            PbftMsg::SyncRequest { requester: self.me, have_seq: self.exec_seq, full: false },
+        );
+    }
+
+    fn on_sync_tail(
+        &mut self,
+        blocks: Vec<Arc<PbftBlock>>,
+        view: u64,
+        ctx: &mut Ctx<'_, PbftMsg>,
+    ) {
+        let Some(run) = self.sync.as_mut() else { return };
+        if !matches!(run.phase, SyncPhase::AwaitTail | SyncPhase::AwaitManifest) {
+            return;
+        }
+        run.last_activity = ctx.now();
+        if std::env::var("AHL_DEBUG").is_ok() {
+            eprintln!("[{}] node {} tail: {} blocks from {}", ctx.now(), self.me, blocks.len(), self.exec_seq);
+        }
+        for block in blocks {
+            if block.seq == self.exec_seq + 1 {
+                self.execute_block(&block, ctx);
+                self.exec_seq = block.seq;
+                // The tail crosses checkpoint heights like normal
+                // execution does: snapshot and vote, or this replica would
+                // neither contribute to those certificates nor be able to
+                // serve chunks at them.
+                if self.exec_seq.is_multiple_of(self.cfg.checkpoint_interval) {
+                    self.send_checkpoint(ctx);
+                }
+            }
+        }
+        if view > self.view {
+            self.enter_view(view, ctx);
+        }
+        self.finish_sync(ctx);
+    }
+
+    fn on_sync_nack(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        let Some(run) = self.sync.as_mut() else { return };
+        if std::env::var("AHL_DEBUG").is_ok() {
+            eprintln!("[{}] node {} sync nack (phase {})", ctx.now(), self.me,
+                match run.phase { SyncPhase::AwaitManifest => "manifest", SyncPhase::Chunks{..} => "chunks", SyncPhase::AwaitTail => "tail" });
+        }
+        match run.phase {
+            // Nothing above the certificate (or we were already current).
+            SyncPhase::AwaitTail => self.finish_sync(ctx),
+            // Server cannot serve. A gap catch-up that no longer has a gap
+            // (normal traffic caught us up while we waited) is done; a
+            // transition must keep retrying until somebody serves the
+            // fetch. Otherwise rotate and retry via the sync timer.
+            SyncPhase::AwaitManifest => {
+                run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
+                if !run.full && !self.has_execution_gap() {
+                    self.finish_sync(ctx);
+                }
+            }
+            // Server lost the snapshot mid-transfer (cert advanced): start
+            // over from a fresh manifest — verified chunks are kept only
+            // within one session, so re-anchor on the newer certificate.
+            // Re-request immediately: the server Nacked precisely because
+            // it holds a *newer* cert, so a manifest is available now.
+            SyncPhase::Chunks { .. } => {
+                run.phase = SyncPhase::AwaitManifest;
+                run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
+                run.last_activity = ctx.now();
+                let (peer, full) = (run.peer, run.full);
+                ctx.send(
+                    self.group[peer],
+                    PbftMsg::SyncRequest { requester: self.me, have_seq: self.exec_seq, full },
+                );
+            }
+        }
+    }
+
+    /// Sync exchange complete: account for it, resume participation, and
+    /// notify the transition controller if one is waiting.
+    fn finish_sync(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        let Some(run) = self.sync.take() else { return };
+        if run.chunked {
+            let elapsed = ctx.now().since(run.started);
+            ctx.stats().inc(stat::SYNC_COMPLETED, 1);
+            ctx.stats().record_latency(stat::SYNC_DURATION, elapsed);
+        } else {
+            ctx.stats().inc(stat::SYNC_TAILS, 1);
+        }
+        self.paused = false;
+        self.stall_strikes = 0;
+        for controller in run.notify {
+            ctx.send(controller, PbftMsg::TransitionDone { replica: self.me });
+        }
+        // Requests pooled while away: push the whole backlog toward the
+        // current leader (bounded only by a generous cap) — this is the
+        // post-recovery drain the reshard experiment measures.
+        if self.cfg.relay_to_leader && !self.is_leader() {
+            let leader = self.group[self.leader_of(self.view)];
+            for req in self.pool.iter_fifo().take(4096) {
+                ctx.send(leader, PbftMsg::Relay(req.clone()));
+            }
+        }
         self.try_execute(ctx);
+    }
+
+    fn on_sync_timer(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        let retry_after = self.sync_retry_interval().saturating_mul(2);
+        let Some(run) = self.sync.as_mut() else { return };
+        if ctx.now().since(run.last_activity) >= retry_after {
+            run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
+            run.last_activity = ctx.now();
+            let peer = run.peer;
+            let msg = match &run.phase {
+                SyncPhase::AwaitManifest => {
+                    PbftMsg::SyncRequest { requester: self.me, have_seq: self.exec_seq, full: run.full }
+                }
+                SyncPhase::Chunks { session, .. } => PbftMsg::ChunkRequest {
+                    requester: self.me,
+                    seq: session.seq(),
+                    chunk: session.next_chunk(),
+                },
+                SyncPhase::AwaitTail => {
+                    PbftMsg::SyncRequest { requester: self.me, have_seq: self.exec_seq, full: false }
+                }
+            };
+            ctx.send(self.group[peer], msg);
+        }
+        ctx.set_timer(self.sync_retry_interval(), TIMER_SYNC);
+    }
+
+    // ---------- state sync: server side ----------
+
+    fn on_sync_request(
+        &mut self,
+        requester: usize,
+        have_seq: u64,
+        full: bool,
+        ctx: &mut Ctx<'_, PbftMsg>,
+    ) {
+        if requester >= self.cfg.n || requester == self.me {
+            return;
+        }
+        self.charge(ctx, SimDuration::from_micros(20), false);
+        let to = self.group[requester];
+        // A transitioning node serves manifests and chunks (its certified
+        // snapshot stays valid) but never a block tail: everything it
+        // executed above the certificate belongs to the old shard's
+        // timeline, which the transition discards. Serving it would fork a
+        // swap-all committee between old and re-ordered history.
+        if !full && !self.paused {
+            if self.exec_seq <= have_seq {
+                ctx.send(to, PbftMsg::SyncNack { have_seq });
+                return;
+            }
+            // Recent gap: serve the committed blocks directly (executed
+            // instances are retained above the previous stable checkpoint).
+            if have_seq >= self.insts_floor {
+                let blocks: Option<Vec<Arc<PbftBlock>>> = (have_seq + 1..=self.exec_seq)
+                    .map(|s| {
+                        self.insts
+                            .get(&s)
+                            .filter(|i| i.executed)
+                            .and_then(|i| i.block.clone())
+                    })
+                    .collect();
+                if let Some(blocks) = blocks {
+                    let bytes: usize = blocks.iter().map(|b| b.wire_size()).sum();
+                    self.charge(ctx, SimDuration::from_nanos((bytes / 8) as u64), false);
+                    ctx.send(to, PbftMsg::SyncTail { blocks, view: self.view });
+                    return;
+                }
+            }
+        }
+        // Deep gap or forced full fetch: anchor a chunked transfer at the
+        // latest certified snapshot.
+        match self.serving.last() {
+            Some((cert, snap)) if full || cert.seq > have_seq => {
+                let bits = chunk_bits_for(snap.state.len(), self.cfg.sync_chunk_target);
+                let sidecar = Arc::new(snap.state.export_sidecar());
+                self.charge(ctx, SimDuration::from_micros(50), false);
+                ctx.send(
+                    to,
+                    PbftMsg::SyncManifest {
+                        cert: cert.clone(),
+                        bits,
+                        leaves: snap.state.len() as u64,
+                        sidecar,
+                        executed: snap.executed.clone(),
+                        view: self.view,
+                    },
+                );
+            }
+            _ => ctx.send(to, PbftMsg::SyncNack { have_seq }),
+        }
+    }
+
+    fn on_chunk_request(&mut self, requester: usize, seq: u64, chunk: u32, ctx: &mut Ctx<'_, PbftMsg>) {
+        if requester >= self.cfg.n || requester == self.me {
+            return;
+        }
+        let to = self.group[requester];
+        match self.serving.iter().find(|(cert, _)| cert.seq == seq) {
+            Some((_, snap)) => {
+                let bits = chunk_bits_for(snap.state.len(), self.cfg.sync_chunk_target);
+                if chunk >= 1u32 << bits {
+                    ctx.send(to, PbftMsg::SyncNack { have_seq: seq });
+                    return;
+                }
+                let entries: Vec<(Key, Value)> = snap
+                    .state
+                    .smt()
+                    .chunk_keys(chunk, bits)
+                    .into_iter()
+                    .map(|k| {
+                        let v = snap.state.get(k).cloned().expect("SMT and map agree");
+                        (k.to_string(), v)
+                    })
+                    .collect();
+                let proof = snap.state.smt().chunk_proof(chunk, bits);
+                let bytes: usize = entries.iter().map(|(k, v)| chunk_entry_bytes(k, v)).sum();
+                // Read + serialization cost for the served chunk.
+                self.charge(
+                    ctx,
+                    SimDuration::from_micros(20) + SimDuration::from_nanos((bytes / 8) as u64),
+                    false,
+                );
+                ctx.stats().inc(stat::SYNC_CHUNKS_SERVED, 1);
+                ctx.send(
+                    to,
+                    PbftMsg::ChunkData {
+                        seq,
+                        chunk,
+                        entries: Arc::new(entries),
+                        proof: Arc::new(proof),
+                    },
+                );
+            }
+            // Snapshot rotated away (a newer cert formed): the requester
+            // must re-anchor.
+            _ => ctx.send(to, PbftMsg::SyncNack { have_seq: seq }),
+        }
+    }
+
+    // ---------- reconfiguration / restart hooks ----------
+
+    /// §5.3 shard transition: pause consensus participation and re-fetch
+    /// the (new) shard's entire state through the certified chunk protocol.
+    /// The old state is kept for *serving* — departing committee members
+    /// keep answering chunk requests while they transfer, as in the paper.
+    fn on_transition(&mut self, controller: Option<NodeId>, ctx: &mut Ctx<'_, PbftMsg>) {
+        match &mut self.sync {
+            // Already transitioning: the in-flight full fetch serves this
+            // request too — attach the new controller rather than dropping
+            // it (a batch scheduler waiting on TransitionDone would
+            // otherwise deadlock).
+            Some(run) if run.full => {
+                if let Some(c) = controller {
+                    if !run.notify.contains(&c) {
+                        run.notify.push(c);
+                    }
+                }
+                return;
+            }
+            // A gap catch-up is superseded — the transition re-fetches
+            // everything anyway, and dropping the Transition instead would
+            // deadlock the reshard controller waiting on TransitionDone.
+            Some(_) => self.sync = None,
+            None => {}
+        }
+        ctx.stats().inc("sync.transitions", 1);
+        self.paused = true;
+        self.begin_sync(true, controller, ctx);
+    }
+
+    /// Crash/restart: all volatile state is lost; only genesis (on disk)
+    /// survives. Recovery runs through state sync.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        ctx.stats().inc("sync.restarts", 1);
+        let mut state = StateStore::new();
+        state.load_genesis(&self.genesis);
+        self.state = state;
+        self.chain = Chain::new();
+        self.maintain_chain = false;
+        self.exec_seq = 0;
+        self.next_seq = 1;
+        self.low_mark = 0;
+        self.insts.clear();
+        self.executed_reqs.clear();
+        self.ingested.clear();
+        self.pool = Mempool::new(self.cfg.mempool.clone(), self.cfg.pool_seed ^ self.me as u64);
+        self.batcher = BatchBuilder::new(BatchConfig {
+            max_txs: self.cfg.batch_size,
+            max_bytes: self.cfg.batch_bytes,
+            timeout: self.cfg.batch_timeout,
+        });
+        self.ckpt = CheckpointTracker::new();
+        self.snapshots.clear();
+        self.serving.clear();
+        self.insts_floor = 0;
+        self.vc_votes.clear();
+        self.vc_backoff = 0;
+        self.stall_strikes = 0;
+        self.sync = None;
+        self.paused = true;
+        self.begin_sync(false, None, ctx);
     }
 
     fn start_view_change(&mut self, target: u64, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -1235,7 +1807,7 @@ impl Replica {
     }
 
     fn on_heartbeat_timer(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
-        if self.is_leader() && !self.byzantine {
+        if self.is_leader() && !self.byzantine && !self.paused {
             ctx.multicast(self.others(), PbftMsg::Heartbeat { view: self.view });
         }
         ctx.set_timer(self.cfg.vc_timeout.mul_f64(0.2), TIMER_HEARTBEAT);
@@ -1252,6 +1824,16 @@ impl Replica {
     }
 }
 
+/// The next sync-serving peer in a round-robin over the group, skipping
+/// the requester itself.
+fn next_sync_peer(n: usize, me: usize, cur: usize) -> usize {
+    let mut peer = (cur + 1) % n;
+    if peer == me {
+        peer = (peer + 1) % n;
+    }
+    peer
+}
+
 impl Actor for Replica {
     type Msg = PbftMsg;
 
@@ -1263,6 +1845,19 @@ impl Actor for Replica {
 
     fn on_message(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Ctx<'_, PbftMsg>) {
         self.last_msg_at = ctx.now();
+        // While a full re-fetch is in flight the replica does not take part
+        // in consensus: protocol messages are dropped cheaply (it could not
+        // vote truthfully about state it is still downloading). Sync
+        // protocol, control, and client-request traffic still flow — in
+        // particular the replica keeps *serving* chunks from its certified
+        // snapshot, the paper's departing-committee behaviour.
+        if self.paused
+            && msg.class() == ahl_simkit::MsgClass::CONSENSUS
+            && !matches!(msg, PbftMsg::Transition { .. } | PbftMsg::Restart | PbftMsg::TransitionDone { .. })
+        {
+            self.charge(ctx, SimDuration::from_micros(5), false);
+            return;
+        }
         match msg {
             PbftMsg::Request(req) => self.on_request(req, ctx),
             PbftMsg::Relay(req) => self.on_relay(from, req, ctx),
@@ -1278,21 +1873,30 @@ impl Actor for Replica {
             PbftMsg::RelayCommit(v) => self.on_relay_commit(v, ctx),
             PbftMsg::AggPrepare(p) => self.on_agg_prepare(p, ctx),
             PbftMsg::AggCommit(p) => self.on_agg_commit(p, ctx),
-            PbftMsg::Checkpoint { seq, digest, replica } => {
-                self.on_checkpoint(seq, digest, replica, ctx)
-            }
+            PbftMsg::Checkpoint { vote } => self.on_checkpoint(vote, ctx),
             PbftMsg::ViewChange(vc) => self.on_view_change(vc, ctx),
             PbftMsg::NewView { view, reproposals } => self.on_new_view(view, reproposals, ctx),
             PbftMsg::Reply { .. } | PbftMsg::Rejected { .. } => {}
             PbftMsg::Heartbeat { .. } => {
                 self.charge(ctx, SimDuration::from_micros(5), false);
             }
-            PbftMsg::StateRequest { requester, have_seq } => {
-                self.on_state_request(requester, have_seq, ctx)
+            PbftMsg::SyncRequest { requester, have_seq, full } => {
+                self.on_sync_request(requester, have_seq, full, ctx)
             }
-            PbftMsg::StateSnapshot { seq, view, state, executed } => {
-                self.on_state_snapshot(seq, view, state, executed, ctx)
+            PbftMsg::SyncManifest { cert, bits, leaves: _, sidecar, executed, view } => {
+                self.on_sync_manifest(cert, bits, sidecar, executed, view, ctx)
             }
+            PbftMsg::ChunkRequest { requester, seq, chunk } => {
+                self.on_chunk_request(requester, seq, chunk, ctx)
+            }
+            PbftMsg::ChunkData { seq, chunk, entries, proof } => {
+                self.on_chunk_data(seq, chunk, entries, proof, ctx)
+            }
+            PbftMsg::SyncTail { blocks, view } => self.on_sync_tail(blocks, view, ctx),
+            PbftMsg::SyncNack { .. } => self.on_sync_nack(ctx),
+            PbftMsg::Transition { controller } => self.on_transition(controller, ctx),
+            PbftMsg::TransitionDone { .. } => {} // consumed by controllers
+            PbftMsg::Restart => self.on_restart(ctx),
         }
     }
 
@@ -1301,6 +1905,7 @@ impl Actor for Replica {
             TIMER_BATCH => self.on_batch_timer(ctx),
             TIMER_VC => self.on_vc_timer(ctx),
             TIMER_HEARTBEAT => self.on_heartbeat_timer(ctx),
+            TIMER_SYNC => self.on_sync_timer(ctx),
             _ => {}
         }
     }

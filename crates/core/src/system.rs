@@ -141,6 +141,12 @@ pub struct SystemMetrics {
     pub pool_rejections: u64,
     /// View changes across all committees.
     pub view_changes: u64,
+    /// State-sync chunks served to lagging/restarted replicas.
+    pub chunks_served: u64,
+    /// Bytes of state verified and applied by syncing replicas.
+    pub bytes_synced: u64,
+    /// Sync chunks rejected by proof verification (0 in honest runs).
+    pub proof_failures: u64,
     /// Sum of all integer balances across shard ledgers at the end of the
     /// run (conservation audit; `None` for non-monetary workloads).
     pub final_balance: Option<i64>,
@@ -279,6 +285,9 @@ pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
         rejected: stats.counter(sysstat::SYS_REJECTED),
         pool_rejections: stats.counter(ahl_mempool::stat::REJECTED_FULL),
         view_changes: stats.counter(ahl_consensus::stat::VIEW_CHANGES),
+        chunks_served: stats.counter(ahl_consensus::stat::SYNC_CHUNKS_SERVED),
+        bytes_synced: stats.counter(ahl_consensus::stat::SYNC_BYTES),
+        proof_failures: stats.counter(ahl_consensus::stat::SYNC_PROOF_FAILURES),
         final_balance,
     }
 }

@@ -7,7 +7,14 @@
 //!
 //! * [`StateStore`] — versioned KV state with 2PL execution semantics: the
 //!   §6.3 prepare / commit / abort split, lock markers under `"L_" + key`,
-//!   pending write sets, and a rolling state digest.
+//!   pending write sets, and an **authenticated index**: a sparse Merkle
+//!   tree over all live keys whose root is [`StateStore::state_digest`].
+//!   (Earlier revisions kept a rolling mutation-history digest; the SMT
+//!   root replaced it so that state content — not history — is what
+//!   replicas certify, any key supports inclusion/exclusion proofs via
+//!   [`StateStore::prove`], and state sync can verify fetched chunks
+//!   against a checkpoint certificate. The flat map remains the read
+//!   cache.)
 //! * [`Op`] / [`StateOp`] — the transaction model: guarded mutation sets,
 //!   general enough for any non-UTXO blockchain application (the paper's
 //!   target workloads).
@@ -23,7 +30,10 @@ mod state;
 mod types;
 
 pub use block::{Block, BlockHeader, Chain, ChainError};
-pub use state::{lock_key, StateStore, LOCK_PREFIX};
+pub use state::{lock_key, StateSidecar, StateStore, LOCK_PREFIX};
+// Proof verification for state roots (re-exported so ledger users need not
+// depend on `ahl-store` directly).
+pub use ahl_store::{verify_proof as verify_state_proof, SmtProof};
 pub use types::{
     AbortReason, Condition, ExecStatus, Key, Mutation, Op, Receipt, StateOp, TxId, Value,
 };

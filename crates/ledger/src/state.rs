@@ -1,4 +1,5 @@
-//! The key-value state store with two-phase-locking execution semantics.
+//! The key-value state store with two-phase-locking execution semantics
+//! and an authenticated index.
 //!
 //! Implements the execution model of §6.3: locks are ordinary blockchain
 //! states under the key `"L_" + key`, prepares stash their write sets as
@@ -6,10 +7,24 @@
 //! (`Direct`) transactions abort on locked keys, which is how 2PL isolation
 //! manifests without intra-shard concurrency (execution is sequential
 //! within a shard — concurrency only arises across shards).
+//!
+//! ## Authenticated state (root vs rolling digest)
+//!
+//! Earlier revisions kept a *rolling* digest — a hash chain over applied
+//! mutations. That committed to the mutation history, not the state: no key
+//! could be proven present or absent, and state transfer could only be
+//! trusted byte-for-byte. [`StateStore::state_digest`] is now the root of a
+//! sparse Merkle tree ([`ahl_store::SparseMerkleTree`]) over all live keys
+//! (lock markers included). The flat `HashMap` remains as the read cache —
+//! every `get` is still O(1) — while the SMT supports per-key
+//! inclusion/exclusion proofs ([`StateStore::prove`]) and verified chunked
+//! state sync. The root is order-insensitive: any operation sequence
+//! reaching the same map reaches the same root.
 
 use std::collections::HashMap;
 
-use ahl_crypto::{sha256_parts, Hash};
+use ahl_crypto::Hash;
+use ahl_store::{SmtProof, SparseMerkleTree};
 
 use crate::types::{
     AbortReason, Condition, ExecStatus, Key, Mutation, Op, Receipt, StateOp, TxId, Value,
@@ -24,23 +39,75 @@ struct PendingTx {
     mutations: Vec<(Key, Mutation)>,
 }
 
+/// One prepared-but-undecided transaction in a [`StateSidecar`]: its id,
+/// lock set, and stashed mutations.
+type PendingEntry = (TxId, Vec<Key>, Vec<(Key, Mutation)>);
+
+/// Unauthenticated 2PC bookkeeping that travels alongside a certified state
+/// transfer: prepared-but-undecided write sets and the recently-decided
+/// transaction ids (replay protection). Snapshotted at checkpoint heights
+/// and installed by a syncing replica after its chunks verify.
+#[derive(Clone, Debug, Default)]
+pub struct StateSidecar {
+    pending: Vec<PendingEntry>,
+    resolved: Vec<(TxId, u64)>,
+    resolved_epoch: u64,
+}
+
+impl StateSidecar {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        32 + self
+            .pending
+            .iter()
+            .map(|(_, locks, muts)| 16 + 24 * locks.len() + 40 * muts.len())
+            .sum::<usize>()
+            + 8 * self.resolved.len()
+    }
+}
+
 /// The ledger state of one shard.
 #[derive(Clone, Debug, Default)]
 pub struct StateStore {
+    /// Read cache: every lookup is O(1); the SMT is the authenticated index.
     map: HashMap<Key, Value>,
+    /// Authenticated index over `map` (root = [`StateStore::state_digest`]).
+    smt: SparseMerkleTree,
     pending: HashMap<TxId, PendingTx>,
-    /// Transactions already committed or aborted here. A PrepareTx that
-    /// arrives after its decision (reordered across the network) must be
-    /// refused, or its locks would never be released.
-    resolved: std::collections::HashSet<TxId>,
-    /// Rolling state digest, updated on every applied mutation.
-    state_digest: Hash,
+    /// Transactions already committed or aborted here, tagged with the
+    /// checkpoint epoch in which they resolved. A PrepareTx that arrives
+    /// after its decision (reordered across the network) must be refused,
+    /// or its locks would never be released. Entries older than a full
+    /// checkpoint interval are pruned by [`StateStore::checkpoint_prune`].
+    resolved: HashMap<TxId, u64>,
+    /// Current checkpoint epoch (bumped by `checkpoint_prune`).
+    resolved_epoch: u64,
 }
 
 impl StateStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bulk-load genesis state into an empty store (one hash per tree node
+    /// instead of O(log n) per key — use for large genesis populations).
+    pub fn load_genesis(&mut self, entries: &[(Key, Value)]) {
+        debug_assert!(self.map.is_empty(), "genesis load requires an empty store");
+        self.map = entries.iter().cloned().collect();
+        self.smt = SparseMerkleTree::build(
+            self.map.iter().map(|(k, v)| (k.clone(), v.digest())),
+        );
+    }
+
+    /// Rebuild a store from a complete key-value enumeration (state-sync
+    /// install; the caller has verified every entry against a certified
+    /// root). Pending/resolved bookkeeping starts empty — install the
+    /// transferred [`StateSidecar`] afterwards.
+    pub fn from_entries(entries: Vec<(Key, Value)>) -> Self {
+        let mut s = StateStore::new();
+        s.load_genesis(&entries);
+        s
     }
 
     /// Read a key.
@@ -56,7 +123,7 @@ impl StateStore {
     /// Direct write (genesis/state-sync only; transactions go through
     /// [`StateStore::execute`]).
     pub fn put(&mut self, key: Key, value: Value) {
-        self.bump_digest(&key, Some(&value));
+        self.smt.insert(&key, value.digest());
         self.map.insert(key, value);
     }
 
@@ -75,6 +142,12 @@ impl StateStore {
         self.pending.len()
     }
 
+    /// Number of remembered resolved-transaction ids (bounded by
+    /// [`StateStore::checkpoint_prune`]).
+    pub fn resolved_count(&self) -> usize {
+        self.resolved.len()
+    }
+
     /// Iterate all live key-value pairs (post-run inspection, audits).
     pub fn iter(&self) -> impl Iterator<Item = (&Key, &Value)> {
         self.map.iter()
@@ -85,21 +158,67 @@ impl StateStore {
         matches!(self.map.get(&lock_key(key)), Some(Value::Bool(true)))
     }
 
-    /// Rolling digest of all applied state transitions (stands in for a
-    /// state-trie root: collision-resistant commitment to the mutation
-    /// history, cheap enough to maintain per transaction).
+    /// The state root: the sparse-Merkle-tree commitment to every live
+    /// key-value pair. Identical across replicas that hold identical state,
+    /// regardless of the operation order that produced it.
     pub fn state_digest(&self) -> Hash {
-        self.state_digest
+        self.smt.root_hash()
     }
 
-    fn bump_digest(&mut self, key: &str, value: Option<&Value>) {
-        let val_part: Vec<u8> = match value {
-            Some(Value::Int(i)) => i.to_be_bytes().to_vec(),
-            Some(Value::Bytes(b)) => b.clone(),
-            Some(Value::Bool(b)) => vec![*b as u8],
-            None => vec![0xde, 0x1e, 0x7e],
-        };
-        self.state_digest = sha256_parts(&[&self.state_digest.0, key.as_bytes(), &val_part]);
+    /// The authenticated index (proof generation, chunk serving).
+    pub fn smt(&self) -> &SparseMerkleTree {
+        &self.smt
+    }
+
+    /// Produce an inclusion proof (key live) or exclusion proof (key
+    /// absent) for `key` against the current root. Verify with
+    /// [`ahl_store::verify_proof`].
+    pub fn prove(&self, key: &str) -> SmtProof {
+        self.smt.prove(key)
+    }
+
+    /// Snapshot the 2PC bookkeeping for a certified state transfer.
+    pub fn export_sidecar(&self) -> StateSidecar {
+        StateSidecar {
+            pending: self
+                .pending
+                .iter()
+                .map(|(txid, p)| (*txid, p.locks.clone(), p.mutations.clone()))
+                .collect(),
+            resolved: self.resolved.iter().map(|(t, e)| (*t, *e)).collect(),
+            resolved_epoch: self.resolved_epoch,
+        }
+    }
+
+    /// Install transferred 2PC bookkeeping (replaces local pending/resolved
+    /// state; the key-value content came through verified chunks).
+    pub fn install_sidecar(&mut self, sidecar: &StateSidecar) {
+        self.pending = sidecar
+            .pending
+            .iter()
+            .map(|(txid, locks, mutations)| {
+                (*txid, PendingTx { locks: locks.clone(), mutations: mutations.clone() })
+            })
+            .collect();
+        self.resolved = sidecar.resolved.iter().copied().collect();
+        self.resolved_epoch = sidecar.resolved_epoch;
+    }
+
+    /// Checkpoint-boundary maintenance: forget resolved-transaction ids
+    /// older than one full checkpoint interval and advance the epoch.
+    /// Returns how many ids were pruned.
+    ///
+    /// Ids resolved in the epoch just ended stay for one more interval, so
+    /// a prepare reordered behind its own decision is still refused unless
+    /// it is delayed by more than an entire checkpoint interval — beyond
+    /// every retransmission horizon in the system. Without this the set
+    /// grows without bound over a long run.
+    pub fn checkpoint_prune(&mut self) -> usize {
+        let epoch = self.resolved_epoch;
+        let before = self.resolved.len();
+        self.resolved.retain(|_, e| *e >= epoch);
+        self.resolved_epoch += 1;
+        before - self.resolved.len()
     }
 
     fn check_conditions(&self, op: &StateOp) -> Result<(), AbortReason> {
@@ -128,17 +247,17 @@ impl StateStore {
     fn apply_mutation(&mut self, key: &Key, m: &Mutation) {
         match m {
             Mutation::Set(v) => {
-                self.bump_digest(key, Some(v));
+                self.smt.insert(key, v.digest());
                 self.map.insert(key.clone(), v.clone());
             }
             Mutation::Add(d) => {
                 let cur = self.get_int(key);
                 let v = Value::Int(cur + d);
-                self.bump_digest(key, Some(&v));
+                self.smt.insert(key, v.digest());
                 self.map.insert(key.clone(), v);
             }
             Mutation::Delete => {
-                self.bump_digest(key, None);
+                self.smt.remove(key);
                 self.map.remove(key);
             }
         }
@@ -178,7 +297,7 @@ impl StateStore {
         if self.pending.contains_key(&txid) {
             return ExecStatus::Aborted(AbortReason::DuplicatePrepare);
         }
-        if self.resolved.contains(&txid) {
+        if self.resolved.contains_key(&txid) {
             return ExecStatus::Aborted(AbortReason::AlreadyResolved);
         }
         if let Err(r) = self.check_unlocked(op) {
@@ -192,7 +311,7 @@ impl StateStore {
         for k in &locks {
             let lk = lock_key(k);
             let v = Value::Bool(true);
-            self.bump_digest(&lk, Some(&v));
+            self.smt.insert(&lk, v.digest());
             self.map.insert(lk, v);
         }
         self.pending.insert(
@@ -210,13 +329,13 @@ impl StateStore {
             self.apply_mutation(k, m);
         }
         self.release_locks(&p.locks);
-        self.resolved.insert(txid);
+        self.resolved.insert(txid, self.resolved_epoch);
         ExecStatus::Committed(vec![])
     }
 
     fn exec_abort(&mut self, txid: TxId) -> ExecStatus {
         // Remember the decision so a reordered late PrepareTx is refused.
-        self.resolved.insert(txid);
+        self.resolved.insert(txid, self.resolved_epoch);
         let Some(p) = self.pending.remove(&txid) else {
             // Aborting an unknown/never-prepared tx still records the
             // decision: the coordinator broadcasts aborts to shards whose
@@ -230,7 +349,7 @@ impl StateStore {
     fn release_locks(&mut self, locks: &[Key]) {
         for k in locks {
             let lk = lock_key(k);
-            self.bump_digest(&lk, None);
+            self.smt.remove(&lk);
             self.map.remove(&lk);
         }
     }
@@ -244,6 +363,7 @@ pub fn lock_key(key: &str) -> Key {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ahl_store::verify_proof;
 
     fn transfer(from: &str, to: &str, amt: i64) -> StateOp {
         StateOp {
@@ -422,6 +542,104 @@ mod tests {
     }
 
     #[test]
+    fn digest_is_content_addressed_not_history_addressed() {
+        // Same final state through different histories → same root. This is
+        // the property the rolling digest lacked and state sync requires.
+        let mut a = store_with_balances();
+        a.execute(&Op::Direct { txid: TxId(1), op: transfer("a", "b", 30) });
+
+        let mut b = store_with_balances();
+        b.execute(&Op::Prepare { txid: TxId(2), op: transfer("a", "b", 10) });
+        b.execute(&Op::Commit { txid: TxId(2) });
+        b.execute(&Op::Direct { txid: TxId(3), op: transfer("a", "b", 20) });
+
+        assert_eq!(a.state_digest(), b.state_digest());
+        // And it matches a bulk rebuild from the final content.
+        let rebuilt = StateStore::from_entries(a.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+        assert_eq!(rebuilt.state_digest(), a.state_digest());
+    }
+
+    #[test]
+    fn proofs_verify_against_root() {
+        let s = store_with_balances();
+        let root = s.state_digest();
+        let p = s.prove("a");
+        assert!(verify_proof(&root, "a", Some(&Value::Int(100).digest()), &p));
+        assert!(!verify_proof(&root, "a", Some(&Value::Int(99).digest()), &p));
+        let absent = s.prove("nobody");
+        assert!(verify_proof(&root, "nobody", None, &absent));
+    }
+
+    #[test]
+    fn load_genesis_matches_incremental_puts() {
+        let entries: Vec<(Key, Value)> =
+            (0..200).map(|i| (format!("acc{i}"), Value::Int(i))).collect();
+        let mut bulk = StateStore::new();
+        bulk.load_genesis(&entries);
+        let mut inc = StateStore::new();
+        for (k, v) in &entries {
+            inc.put(k.clone(), v.clone());
+        }
+        assert_eq!(bulk.state_digest(), inc.state_digest());
+        assert_eq!(bulk.len(), inc.len());
+    }
+
+    #[test]
+    fn checkpoint_prune_bounds_resolved_set() {
+        let mut s = store_with_balances();
+        for i in 0..10u64 {
+            s.execute(&Op::Prepare { txid: TxId(i), op: transfer("a", "b", 1) });
+            s.execute(&Op::Commit { txid: TxId(i) });
+        }
+        assert_eq!(s.resolved_count(), 10);
+        // First checkpoint: current-epoch entries survive one interval.
+        assert_eq!(s.checkpoint_prune(), 0);
+        assert_eq!(s.resolved_count(), 10);
+        // A late prepare within the protection window is still refused.
+        let r = s.execute(&Op::Prepare { txid: TxId(3), op: transfer("a", "b", 1) });
+        assert!(matches!(
+            r.status,
+            ExecStatus::Aborted(AbortReason::AlreadyResolved)
+        ));
+        // New resolutions land in the new epoch.
+        s.execute(&Op::Prepare { txid: TxId(100), op: transfer("a", "b", 1) });
+        s.execute(&Op::Commit { txid: TxId(100) });
+        // Second checkpoint: the old epoch is pruned (TxId 3 survived as it
+        // was re-refused, not re-resolved; the original 10 go, minus any
+        // re-tagged ones).
+        let pruned = s.checkpoint_prune();
+        assert_eq!(pruned, 10);
+        assert_eq!(s.resolved_count(), 1);
+    }
+
+    #[test]
+    fn sidecar_round_trip() {
+        let mut s = store_with_balances();
+        s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "b", 30) });
+        s.execute(&Op::Prepare { txid: TxId(9), op: transfer("b", "a", 1) });
+        s.execute(&Op::Abort { txid: TxId(9) });
+        let sidecar = s.export_sidecar();
+        assert!(sidecar.wire_size() > 32);
+
+        // A synced replica rebuilds content from verified chunks, then
+        // installs the sidecar — and can decide the in-flight transaction.
+        let mut synced =
+            StateStore::from_entries(s.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+        assert_eq!(synced.state_digest(), s.state_digest());
+        synced.install_sidecar(&sidecar);
+        assert_eq!(synced.pending_count(), 1);
+        let r = synced.execute(&Op::Commit { txid: TxId(1) });
+        assert!(r.status.is_committed());
+        assert_eq!(synced.get_int("a"), 70);
+        // The replayed decision for the aborted tx is refused.
+        let r2 = synced.execute(&Op::Prepare { txid: TxId(9), op: transfer("b", "a", 1) });
+        assert!(matches!(
+            r2.status,
+            ExecStatus::Aborted(AbortReason::AlreadyResolved)
+        ));
+    }
+
+    #[test]
     fn delete_mutation() {
         let mut s = store_with_balances();
         s.execute(&Op::Direct {
@@ -494,6 +712,49 @@ mod tests {
             // And no locks should remain.
             for a in accounts {
                 proptest::prop_assert!(!s.is_locked(a));
+            }
+        }
+
+        /// The SMT root always equals a bulk rebuild of the surviving map:
+        /// content-addressed, order-insensitive, across arbitrary op mixes.
+        #[test]
+        fn root_matches_reference_map(
+            steps in proptest::collection::vec((0u8..4, 0usize..4, 0usize..4, 1i64..50), 1..60)
+        ) {
+            let accounts = ["w", "x", "y", "z"];
+            let mut s = StateStore::new();
+            for a in accounts {
+                s.put(a.into(), Value::Int(1000));
+            }
+            let mut open: Vec<TxId> = Vec::new();
+            for (next_tx, (kind, from, to, amt)) in steps.into_iter().enumerate() {
+                let txid = TxId(next_tx as u64);
+                match kind {
+                    0 => {
+                        let op = transfer(accounts[from], accounts[to], amt);
+                        if s.execute(&Op::Prepare { txid, op }).status.is_committed() {
+                            open.push(txid);
+                        }
+                    }
+                    1 => {
+                        if let Some(txid) = open.pop() {
+                            s.execute(&Op::Commit { txid });
+                        }
+                    }
+                    2 => {
+                        if let Some(txid) = open.pop() {
+                            s.execute(&Op::Abort { txid });
+                        }
+                    }
+                    _ => {
+                        let op = transfer(accounts[from], accounts[to], amt);
+                        s.execute(&Op::Direct { txid, op });
+                    }
+                }
+                let reference = StateStore::from_entries(
+                    s.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+                );
+                proptest::prop_assert_eq!(reference.state_digest(), s.state_digest());
             }
         }
     }

@@ -21,6 +21,16 @@ pub enum Value {
     Bytes(Vec<u8>),
     /// Boolean (lock markers).
     Bool(bool),
+    /// A large payload modelled by size only: transfers and digests cost as
+    /// if `size` bytes were present, without the host actually storing them
+    /// (used to model multi-gigabyte shard state in reconfiguration and
+    /// state-sync experiments).
+    Opaque {
+        /// Modelled payload size in bytes.
+        size: u64,
+        /// Content tag distinguishing payloads of equal size.
+        tag: u64,
+    },
 }
 
 impl Value {
@@ -38,6 +48,7 @@ impl Value {
             Value::Int(_) => 8,
             Value::Bytes(b) => b.len(),
             Value::Bool(_) => 1,
+            Value::Opaque { size, .. } => *size as usize,
         }
     }
 
@@ -54,7 +65,27 @@ impl Value {
                 v
             }
             Value::Bool(b) => vec![2u8, *b as u8],
+            Value::Opaque { size, tag } => {
+                let mut v = vec![3u8];
+                v.extend_from_slice(&size.to_be_bytes());
+                v.extend_from_slice(&tag.to_be_bytes());
+                v
+            }
         }
+    }
+
+    /// Canonical content digest — the SMT leaf value hash ([`StateStore`]'s
+    /// authenticated index commits to it per key).
+    ///
+    /// [`StateStore`]: crate::StateStore
+    pub fn digest(&self) -> Hash {
+        sha256_parts(&[&self.digest_bytes()])
+    }
+}
+
+impl ahl_store::StateValue for Value {
+    fn leaf_digest(&self) -> Hash {
+        self.digest()
     }
 }
 

@@ -73,4 +73,12 @@ pub trait PoolTx: Clone {
     fn priority(&self) -> u64 {
         0
     }
+
+    /// The submitting sender's identity, for per-sender admission quotas
+    /// (DoS isolation: one flooding client cannot monopolize the pool).
+    /// Defaults to the high half of the tx id, matching the consensus
+    /// layer's `client_id << 32 | client_seq` request-id scheme.
+    fn sender(&self) -> u64 {
+        self.tx_id() >> 32
+    }
 }

@@ -32,6 +32,10 @@ pub struct MempoolConfig {
     pub capacity: usize,
     /// Maximum resident bytes (`usize::MAX` = unlimited).
     pub capacity_bytes: usize,
+    /// Maximum resident transactions per sender (`usize::MAX` = no quota).
+    /// Enforced at admission, before capacity/eviction logic: a flooding
+    /// sender is bounced without evicting anyone else's transactions.
+    pub max_txs_per_sender: usize,
     /// Full-pool behaviour.
     pub policy: PoolPolicy,
 }
@@ -42,6 +46,7 @@ impl MempoolConfig {
         MempoolConfig {
             capacity: capacity.max(1),
             capacity_bytes: usize::MAX,
+            max_txs_per_sender: usize::MAX,
             policy: PoolPolicy::Fifo,
         }
     }
@@ -49,6 +54,12 @@ impl MempoolConfig {
     /// Same sizing with a different policy.
     pub fn with_policy(mut self, policy: PoolPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Same sizing with a per-sender admission quota.
+    pub fn with_sender_quota(mut self, max_txs_per_sender: usize) -> Self {
+        self.max_txs_per_sender = max_txs_per_sender.max(1);
         self
     }
 }
@@ -88,6 +99,7 @@ struct Entry<T> {
     inserted: SimTime,
     bytes: usize,
     priority: u64,
+    sender: u64,
 }
 
 /// A bounded, deduplicating transaction pool with pluggable eviction.
@@ -110,6 +122,8 @@ pub struct Mempool<T> {
     by_prio_min: BinaryHeap<Reverse<(u64, u64, u64)>>,
     bytes: usize,
     next_seq: u64,
+    /// Resident transaction count per sender (quota enforcement).
+    per_sender: HashMap<u64, usize>,
     rng: SmallRng,
 }
 
@@ -125,6 +139,7 @@ impl<T: PoolTx> Mempool<T> {
             by_prio_min: BinaryHeap::new(),
             bytes: 0,
             next_seq: 0,
+            per_sender: HashMap::new(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -182,6 +197,15 @@ impl<T: PoolTx> Mempool<T> {
         }
         let bytes = tx.wire_bytes();
         let priority = tx.priority();
+        let sender = tx.sender();
+        if self
+            .per_sender
+            .get(&sender)
+            .is_some_and(|n| *n >= self.cfg.max_txs_per_sender)
+        {
+            stats.inc(stat::REJECTED_SENDER, 1);
+            return Admission::Rejected;
+        }
         let mut evicted = None;
         if self.full_for(bytes) {
             match self.cfg.policy {
@@ -231,7 +255,9 @@ impl<T: PoolTx> Mempool<T> {
             self.by_prio_min.push(Reverse((priority, seq, id)));
         }
         self.bytes += bytes;
-        self.entries.insert(id, Entry { tx, seq, inserted: now, bytes, priority });
+        *self.per_sender.entry(sender).or_insert(0) += 1;
+        self.entries
+            .insert(id, Entry { tx, seq, inserted: now, bytes, priority, sender });
         stats.inc(stat::ADMITTED, 1);
         match evicted {
             Some(vid) => {
@@ -248,6 +274,7 @@ impl<T: PoolTx> Mempool<T> {
         match self.entries.remove(&id) {
             Some(e) => {
                 self.bytes -= e.bytes;
+                self.note_departed(e.sender);
                 self.maybe_compact();
                 true
             }
@@ -258,15 +285,20 @@ impl<T: PoolTx> Mempool<T> {
     /// Drop every resident transaction failing `keep`.
     pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
         let mut freed = 0usize;
+        let mut departed: Vec<u64> = Vec::new();
         self.entries.retain(|_, e| {
             if keep(&e.tx) {
                 true
             } else {
                 freed += e.bytes;
+                departed.push(e.sender);
                 false
             }
         });
         self.bytes -= freed;
+        for sender in departed {
+            self.note_departed(sender);
+        }
         self.maybe_compact();
     }
 
@@ -308,6 +340,7 @@ impl<T: PoolTx> Mempool<T> {
             }
             let entry = self.entries.remove(&id).expect("checked");
             self.bytes -= entry.bytes;
+            self.note_departed(entry.sender);
             batch_bytes += entry.bytes;
             stats.record_latency(stat::QUEUE_LATENCY, now.since(entry.inserted));
             batch.push(entry.tx);
@@ -369,6 +402,16 @@ impl<T: PoolTx> Mempool<T> {
                 return Some(id);
             }
             self.fifo.remove(k);
+        }
+    }
+
+    /// A resident transaction left the pool: release its sender-quota slot.
+    fn note_departed(&mut self, sender: u64) {
+        if let std::collections::hash_map::Entry::Occupied(mut o) = self.per_sender.entry(sender) {
+            *o.get_mut() -= 1;
+            if *o.get() == 0 {
+                o.remove();
+            }
         }
     }
 
@@ -521,7 +564,12 @@ mod tests {
     fn byte_capacity_enforced() {
         let mut s = Stats::new();
         let mut p: Mempool<Tx> = Mempool::new(
-            MempoolConfig { capacity: 100, capacity_bytes: 250, policy: PoolPolicy::Fifo },
+            MempoolConfig {
+                capacity: 100,
+                capacity_bytes: 250,
+                max_txs_per_sender: usize::MAX,
+                policy: PoolPolicy::Fifo,
+            },
             0,
         );
         assert!(p.insert(tx(1), SimTime::ZERO, &mut s).is_admitted());
@@ -624,5 +672,43 @@ mod tests {
         // still resident.
         assert!(total_out <= total_in);
         assert!(total_in - total_out <= 200, "removed at most once per round");
+    }
+
+    #[test]
+    fn sender_quota_bounces_flooder_without_evicting_others() {
+        let mut s = Stats::new();
+        let mut p: Mempool<Tx> = Mempool::new(MempoolConfig::new(100).with_sender_quota(3), 0);
+        let tx_from = |sender: u64, seq: u64| Tx { id: (sender << 32) | seq, prio: 0, bytes: 10 };
+        // Sender 1 floods: only 3 resident, the rest bounced.
+        for i in 0..10 {
+            p.insert(tx_from(1, i), SimTime::ZERO, &mut s);
+        }
+        assert_eq!(p.len(), 3);
+        assert_eq!(s.counter(stat::REJECTED_SENDER), 7);
+        // Other senders are unaffected by the flooder.
+        for sender in 2..6 {
+            assert!(p.insert(tx_from(sender, 0), SimTime::ZERO, &mut s).is_admitted());
+        }
+        assert_eq!(p.len(), 7);
+        assert_eq!(s.counter(stat::REJECTED_FULL), 0);
+    }
+
+    #[test]
+    fn sender_quota_slots_release_on_batch_and_remove() {
+        let mut s = Stats::new();
+        let mut p: Mempool<Tx> = Mempool::new(MempoolConfig::new(100).with_sender_quota(2), 0);
+        let tx_from = |sender: u64, seq: u64| Tx { id: (sender << 32) | seq, prio: 0, bytes: 10 };
+        assert!(p.insert(tx_from(7, 0), SimTime::ZERO, &mut s).is_admitted());
+        assert!(p.insert(tx_from(7, 1), SimTime::ZERO, &mut s).is_admitted());
+        assert_eq!(p.insert(tx_from(7, 2), SimTime::ZERO, &mut s), Admission::Rejected);
+        // Batching releases a slot …
+        let b = p.take_batch(1, usize::MAX, SimTime::ZERO, &mut s);
+        assert_eq!(b.len(), 1);
+        assert!(p.insert(tx_from(7, 3), SimTime::ZERO, &mut s).is_admitted());
+        // … and so does an explicit remove.
+        assert!(p.remove((7 << 32) | 1));
+        assert!(p.insert(tx_from(7, 4), SimTime::ZERO, &mut s).is_admitted());
+        assert_eq!(p.insert(tx_from(7, 5), SimTime::ZERO, &mut s), Admission::Rejected);
+        assert_eq!(s.counter(stat::REJECTED_SENDER), 2);
     }
 }

@@ -1,0 +1,72 @@
+//! # ahl-store — authenticated state, checkpoints, and state sync
+//!
+//! The building block the paper's epoch reconfiguration (§5.3) leans on but
+//! the seed reproduction only simulated: state a node can *verify*, not
+//! just copy. Three pieces:
+//!
+//! * [`SparseMerkleTree`] — a path-compressed sparse Merkle tree over
+//!   `sha256(key)` paths. Every ledger mutation updates O(log n) nodes, the
+//!   root commits to the entire key-value state, and any key supports an
+//!   inclusion or exclusion proof ([`SmtProof`], [`verify_proof`]).
+//! * [`CheckpointVote`] / [`CheckpointCert`] — every `K` blocks replicas
+//!   sign `(height, state_root)`; a quorum of matching votes forms a
+//!   certificate that gates pruning and anchors state transfer.
+//! * [`SyncSession`] — a lagging or joining replica fetches the latest
+//!   certificate, then fixed key-range chunks, verifying each against the
+//!   certified root ([`verify_chunk`]) before accepting it, with resumable
+//!   per-chunk progress.
+//!
+//! ## Root vs rolling digest
+//!
+//! The seed's `StateStore` kept a *rolling* digest — a hash chain over the
+//! mutation history. That commits to how the state was reached but cannot
+//! prove anything about its *content*: two replicas with identical state
+//! reached by different histories disagree, and no key can be proven in or
+//! out. The SMT root replaces it: order-insensitive (any op sequence
+//! producing the same map produces the same root), per-key provable, and
+//! chunk-transferable. `ahl-ledger` keeps its flat `HashMap` as the read
+//! cache; this crate owns the authenticated index.
+//!
+//! ```
+//! use ahl_store::{SparseMerkleTree, verify_proof};
+//! use ahl_crypto::sha256;
+//!
+//! let mut smt = SparseMerkleTree::new();
+//! smt.insert("alice", sha256(b"100"));
+//! smt.insert("bob", sha256(b"50"));
+//! let root = smt.root_hash();
+//!
+//! // Prove alice's balance hash is committed by the root …
+//! let proof = smt.prove("alice");
+//! assert!(verify_proof(&root, "alice", Some(&sha256(b"100")), &proof));
+//! // … and that carol has no account at all (exclusion).
+//! let absent = smt.prove("carol");
+//! assert!(verify_proof(&root, "carol", None, &absent));
+//! ```
+
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod smt;
+mod sync;
+
+pub use checkpoint::{
+    checkpoint_digest, CheckpointCert, CheckpointTracker, CheckpointVote,
+};
+pub use smt::{
+    chunk_of, combine, key_path, leaf_hash, verify_chunk, verify_proof, SmtProof,
+    SparseMerkleTree,
+};
+pub use sync::{chunk_bits_for, SyncError, SyncProgress, SyncSession};
+
+use ahl_crypto::Hash;
+
+/// A value that can live under the authenticated state tree: all the tree
+/// needs is a collision-resistant digest of the value's content.
+///
+/// Implemented by `ahl_ledger::Value`; kept as a trait here so the store
+/// layer stays below the ledger in the dependency order.
+pub trait StateValue {
+    /// Canonical content digest of the value (the SMT leaf value hash).
+    fn leaf_digest(&self) -> Hash;
+}

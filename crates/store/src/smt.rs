@@ -1,0 +1,909 @@
+//! A sparse Merkle tree over 256-bit key paths.
+//!
+//! Keys are hashed to a 256-bit *path* (`sha256(key)`); the tree is the
+//! path-compressed binary trie over the paths of all live keys (a crit-bit
+//! tree), with a cached hash per node:
+//!
+//! * leaf hash    = `H(0x00 ‖ path ‖ value_hash)` — the full path is inside
+//!   the leaf, so compression loses no position information,
+//! * branch hash  = `H(0x01 ‖ left ‖ right)` — branches exist only where two
+//!   live paths diverge, so every update touches O(log n) nodes,
+//! * empty tree   = [`Hash::ZERO`].
+//!
+//! Domain separation (`0x00`/`0x01`) follows the block-Merkle convention in
+//! `ahl_crypto::MerkleTree`. The same `combine` rule (empty sides pass
+//! through) lets a verifier fold proofs without knowing the tree shape.
+//!
+//! Three proof forms back the store subsystem:
+//! * **inclusion** — `key` maps to `value_hash` under `root`,
+//! * **exclusion** — `key` is absent under `root` (the proof exhibits the
+//!   leaf occupying the key's position, or the empty tree),
+//! * **chunk** — the complete, ordered set of leaves whose path starts with
+//!   a given prefix (state-sync transfers ride on this: a chunk that drops,
+//!   adds, or alters any key fails verification against the root).
+
+use ahl_crypto::{sha256_parts, Hash};
+
+/// The path of a key: `sha256(key)`.
+pub fn key_path(key: &str) -> Hash {
+    sha256_parts(&[key.as_bytes()])
+}
+
+/// Bit `i` (0 = most significant) of a path.
+#[inline]
+fn path_bit(path: &Hash, i: u16) -> usize {
+    ((path.0[(i / 8) as usize] >> (7 - (i % 8))) & 1) as usize
+}
+
+/// Hash of a leaf: `H(0x00 ‖ path ‖ value_hash)`.
+pub fn leaf_hash(path: &Hash, vhash: &Hash) -> Hash {
+    sha256_parts(&[&[0x00], &path.0, &vhash.0])
+}
+
+/// Hash of an interior node. Empty subtrees pass the sibling through, so
+/// single-leaf subtrees promote to their leaf hash (path compression).
+pub fn combine(left: &Hash, right: &Hash) -> Hash {
+    if *left == Hash::ZERO {
+        *right
+    } else if *right == Hash::ZERO {
+        *left
+    } else {
+        sha256_parts(&[&[0x01], &left.0, &right.0])
+    }
+}
+
+/// The chunk (of `1 << bits` total) a path falls into: its top `bits` bits.
+pub fn chunk_of(path: &Hash, bits: u8) -> u32 {
+    debug_assert!(bits <= 32);
+    if bits == 0 {
+        return 0;
+    }
+    let word = u32::from_be_bytes([path.0[0], path.0[1], path.0[2], path.0[3]]);
+    word >> (32 - bits as u32)
+}
+
+#[inline]
+fn chunk_bit(chunk: u32, bits: u8, d: u16) -> usize {
+    debug_assert!((d as u32) < bits as u32);
+    ((chunk >> (bits as u32 - 1 - d as u32)) & 1) as usize
+}
+
+struct Leaf {
+    path: Hash,
+    key: String,
+    vhash: Hash,
+    hash: Hash,
+}
+
+struct Branch {
+    /// The bit index at which the two children diverge. All leaves below
+    /// share path bits `0..bit`; children split on bit `bit`.
+    bit: u16,
+    hash: Hash,
+    children: [Node; 2],
+}
+
+#[derive(Default)]
+enum Node {
+    #[default]
+    Empty,
+    Leaf(Box<Leaf>),
+    Branch(Box<Branch>),
+}
+
+impl Node {
+    fn hash(&self) -> Hash {
+        match self {
+            Node::Empty => Hash::ZERO,
+            Node::Leaf(l) => l.hash,
+            Node::Branch(b) => b.hash,
+        }
+    }
+
+    /// Path of the leftmost leaf below this node (`None` for `Empty`).
+    /// All leaves below a branch at bit `b` share path bits `0..b`, so any
+    /// leaf is a representative for prefix checks.
+    fn representative(&self) -> Option<&Hash> {
+        match self {
+            Node::Empty => None,
+            Node::Leaf(l) => Some(&l.path),
+            Node::Branch(b) => b.children[0].representative(),
+        }
+    }
+}
+
+/// An inclusion/exclusion proof: the leaf found at the key's position plus
+/// the branch siblings from that leaf to the root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmtProof {
+    /// Path of the terminal leaf (equal to the proven key's path for
+    /// inclusion; a different co-resident for exclusion). `None` only for
+    /// the empty tree.
+    pub leaf_path: Option<Hash>,
+    /// Value hash of the terminal leaf.
+    pub leaf_vhash: Option<Hash>,
+    /// `(bit index, sibling subtree hash)` for every branch on the leaf's
+    /// root path, in ascending bit order.
+    pub siblings: Vec<(u16, Hash)>,
+}
+
+impl SmtProof {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        72 + 34 * self.siblings.len()
+    }
+}
+
+/// A sparse Merkle tree mapping keys to value hashes.
+///
+/// The tree owns the key strings so state-sync chunk enumeration needs no
+/// side index; the actual values live in the caller's flat map.
+#[derive(Default)]
+pub struct SparseMerkleTree {
+    root: Node,
+    len: usize,
+}
+
+impl Clone for SparseMerkleTree {
+    fn clone(&self) -> Self {
+        // Iterative rebuild avoids deep recursive clone; O(n) hashes would
+        // be wasteful, so clone nodes structurally instead.
+        fn clone_node(n: &Node) -> Node {
+            match n {
+                Node::Empty => Node::Empty,
+                Node::Leaf(l) => Node::Leaf(Box::new(Leaf {
+                    path: l.path,
+                    key: l.key.clone(),
+                    vhash: l.vhash,
+                    hash: l.hash,
+                })),
+                Node::Branch(b) => Node::Branch(Box::new(Branch {
+                    bit: b.bit,
+                    hash: b.hash,
+                    children: [clone_node(&b.children[0]), clone_node(&b.children[1])],
+                })),
+            }
+        }
+        SparseMerkleTree { root: clone_node(&self.root), len: self.len }
+    }
+}
+
+impl std::fmt::Debug for SparseMerkleTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparseMerkleTree")
+            .field("len", &self.len)
+            .field("root", &self.root_hash())
+            .finish()
+    }
+}
+
+impl SparseMerkleTree {
+    /// An empty tree (root = [`Hash::ZERO`]).
+    pub fn new() -> Self {
+        SparseMerkleTree { root: Node::Empty, len: 0 }
+    }
+
+    /// Bulk-build from `(key, value_hash)` pairs (one hash per node instead
+    /// of O(log n) per insert — use for genesis and state-sync install).
+    /// Later duplicates of a key win.
+    pub fn build(entries: impl IntoIterator<Item = (String, Hash)>) -> Self {
+        let mut leaves: Vec<(Hash, String, Hash)> = entries
+            .into_iter()
+            .map(|(k, vh)| (key_path(&k), k, vh))
+            .collect();
+        leaves.sort_by_key(|l| l.0 .0);
+        leaves.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                // Keep the later insertion, matching insert-loop semantics.
+                earlier.2 = later.2;
+                std::mem::swap(&mut earlier.1, &mut later.1);
+                true
+            } else {
+                false
+            }
+        });
+        let len = leaves.len();
+        let root = Self::build_node(&mut leaves[..]);
+        SparseMerkleTree { root, len }
+    }
+
+    fn build_node(leaves: &mut [(Hash, String, Hash)]) -> Node {
+        match leaves {
+            [] => Node::Empty,
+            [(path, key, vhash)] => {
+                let hash = leaf_hash(path, vhash);
+                Node::Leaf(Box::new(Leaf {
+                    path: *path,
+                    key: std::mem::take(key),
+                    vhash: *vhash,
+                    hash,
+                }))
+            }
+            _ => {
+                // Sorted slice: the crit bit is the first bit where the
+                // first and last path differ.
+                let first = leaves.first().expect("non-empty").0;
+                let last = leaves.last().expect("non-empty").0;
+                let bit = first_diff_bit(&first, &last).expect("distinct paths");
+                let split = leaves.partition_point(|(p, _, _)| path_bit(p, bit) == 0);
+                let (l, r) = leaves.split_at_mut(split);
+                let left = Self::build_node(l);
+                let right = Self::build_node(r);
+                let hash = sha256_parts(&[&[0x01], &left.hash().0, &right.hash().0]);
+                Node::Branch(Box::new(Branch { bit, hash, children: [left, right] }))
+            }
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The root hash ([`Hash::ZERO`] when empty).
+    pub fn root_hash(&self) -> Hash {
+        self.root.hash()
+    }
+
+    /// The value hash stored for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Hash> {
+        let path = key_path(key);
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Empty => return None,
+                Node::Leaf(l) => return (l.path == path).then_some(&l.vhash),
+                Node::Branch(b) => node = &b.children[path_bit(&path, b.bit)],
+            }
+        }
+    }
+
+    /// Insert or update `key` with `value_hash`. O(log n) hashes.
+    pub fn insert(&mut self, key: &str, vhash: Hash) {
+        let path = key_path(key);
+        // Find the leaf the path routes to (the crit-bit candidate).
+        let mut node = &self.root;
+        let existing = loop {
+            match node {
+                Node::Empty => break None,
+                Node::Leaf(l) => break Some(l.path),
+                Node::Branch(b) => node = &b.children[path_bit(&path, b.bit)],
+            }
+        };
+        match existing {
+            None => {
+                debug_assert!(matches!(self.root, Node::Empty));
+                let hash = leaf_hash(&path, &vhash);
+                self.root = Node::Leaf(Box::new(Leaf {
+                    path,
+                    key: key.to_string(),
+                    vhash,
+                    hash,
+                }));
+                self.len = 1;
+            }
+            Some(lpath) if lpath == path => {
+                Self::update_rec(&mut self.root, &path, &vhash);
+            }
+            Some(lpath) => {
+                let crit = first_diff_bit(&path, &lpath).expect("paths differ");
+                Self::splice_rec(&mut self.root, path, key, vhash, crit);
+                self.len += 1;
+            }
+        }
+    }
+
+    fn update_rec(node: &mut Node, path: &Hash, vhash: &Hash) {
+        match node {
+            Node::Leaf(l) => {
+                debug_assert_eq!(l.path, *path);
+                l.vhash = *vhash;
+                l.hash = leaf_hash(path, vhash);
+            }
+            Node::Branch(b) => {
+                let dir = path_bit(path, b.bit);
+                Self::update_rec(&mut b.children[dir], path, vhash);
+                b.hash = sha256_parts(&[
+                    &[0x01],
+                    &b.children[0].hash().0,
+                    &b.children[1].hash().0,
+                ]);
+            }
+            Node::Empty => unreachable!("update_rec only reaches live leaves"),
+        }
+    }
+
+    fn splice_rec(node: &mut Node, path: Hash, key: &str, vhash: Hash, crit: u16) {
+        match node {
+            Node::Branch(b) if b.bit < crit => {
+                let dir = path_bit(&path, b.bit);
+                Self::splice_rec(&mut b.children[dir], path, key, vhash, crit);
+                b.hash = sha256_parts(&[
+                    &[0x01],
+                    &b.children[0].hash().0,
+                    &b.children[1].hash().0,
+                ]);
+            }
+            _ => {
+                // Splice a new branch at `crit` above the current node.
+                let old = std::mem::take(node);
+                let hash = leaf_hash(&path, &vhash);
+                let new_leaf = Node::Leaf(Box::new(Leaf {
+                    path,
+                    key: key.to_string(),
+                    vhash,
+                    hash,
+                }));
+                let dir = path_bit(&path, crit);
+                let mut children = [Node::Empty, Node::Empty];
+                children[dir] = new_leaf;
+                children[1 - dir] = old;
+                let hash = sha256_parts(&[
+                    &[0x01],
+                    &children[0].hash().0,
+                    &children[1].hash().0,
+                ]);
+                *node = Node::Branch(Box::new(Branch { bit: crit, hash, children }));
+            }
+        }
+    }
+
+    /// Remove `key`. Returns whether it was present. O(log n) hashes.
+    pub fn remove(&mut self, key: &str) -> bool {
+        let path = key_path(key);
+        let removed = Self::remove_rec(&mut self.root, &path);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node, path: &Hash) -> bool {
+        match node {
+            Node::Empty => false,
+            Node::Leaf(l) => {
+                if l.path == *path {
+                    *node = Node::Empty;
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Branch(b) => {
+                let dir = path_bit(path, b.bit);
+                if !Self::remove_rec(&mut b.children[dir], path) {
+                    return false;
+                }
+                if matches!(b.children[dir], Node::Empty) {
+                    // Collapse the branch: the sibling takes its place.
+                    let sibling = std::mem::take(&mut b.children[1 - dir]);
+                    *node = sibling;
+                } else {
+                    b.hash = sha256_parts(&[
+                        &[0x01],
+                        &b.children[0].hash().0,
+                        &b.children[1].hash().0,
+                    ]);
+                }
+                true
+            }
+        }
+    }
+
+    /// Produce a proof for `key`: an inclusion proof when the key is live,
+    /// otherwise an exclusion proof (verify with [`verify_proof`]).
+    pub fn prove(&self, key: &str) -> SmtProof {
+        let path = key_path(key);
+        let mut siblings = Vec::new();
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Empty => {
+                    return SmtProof { leaf_path: None, leaf_vhash: None, siblings };
+                }
+                Node::Leaf(l) => {
+                    return SmtProof {
+                        leaf_path: Some(l.path),
+                        leaf_vhash: Some(l.vhash),
+                        siblings,
+                    };
+                }
+                Node::Branch(b) => {
+                    let dir = path_bit(&path, b.bit);
+                    siblings.push((b.bit, b.children[1 - dir].hash()));
+                    node = &b.children[dir];
+                }
+            }
+        }
+    }
+
+    /// Iterate all `(key, value_hash)` pairs in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Hash)> {
+        let mut stack = vec![&self.root];
+        std::iter::from_fn(move || loop {
+            let node = stack.pop()?;
+            match node {
+                Node::Empty => continue,
+                Node::Leaf(l) => return Some((l.key.as_str(), &l.vhash)),
+                Node::Branch(b) => {
+                    stack.push(&b.children[1]);
+                    stack.push(&b.children[0]);
+                }
+            }
+        })
+    }
+
+    /// The keys whose paths fall in chunk `chunk` of `1 << bits`, in path
+    /// order (the unit of state-sync transfer).
+    pub fn chunk_keys(&self, chunk: u32, bits: u8) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Empty => return out,
+                Node::Leaf(l) => {
+                    if chunk_of(&l.path, bits) == chunk {
+                        out.push(l.key.as_str());
+                    }
+                    return out;
+                }
+                Node::Branch(b) => {
+                    let rep = *b.children[0].representative().expect("branches are non-empty");
+                    if b.bit as u32 >= bits as u32 {
+                        if chunk_of(&rep, bits) == chunk {
+                            Self::collect_keys(node, &mut out);
+                        }
+                        return out;
+                    }
+                    // A bit skipped by path compression may already diverge
+                    // from the chunk prefix.
+                    if matches!(first_chunk_diff(&rep, chunk, bits), Some(d) if d < b.bit) {
+                        return out;
+                    }
+                    node = &b.children[chunk_bit(chunk, bits, b.bit)];
+                }
+            }
+        }
+    }
+
+    fn collect_keys<'a>(node: &'a Node, out: &mut Vec<&'a str>) {
+        match node {
+            Node::Empty => {}
+            Node::Leaf(l) => out.push(l.key.as_str()),
+            Node::Branch(b) => {
+                Self::collect_keys(&b.children[0], out);
+                Self::collect_keys(&b.children[1], out);
+            }
+        }
+    }
+
+    /// Sibling subtree hashes for chunk `chunk` of `1 << bits`: entry `d`
+    /// is the hash of the subtree holding every key that shares the chunk's
+    /// top `d` bits and differs at bit `d` (ZERO when no such key exists).
+    /// Together with the chunk's own leaves this reassembles the root — see
+    /// [`verify_chunk`].
+    pub fn chunk_proof(&self, chunk: u32, bits: u8) -> Vec<Hash> {
+        let mut sibs = vec![Hash::ZERO; bits as usize];
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Empty => return sibs,
+                Node::Leaf(l) => {
+                    if chunk_of(&l.path, bits) != chunk {
+                        let d = first_chunk_diff(&l.path, chunk, bits)
+                            .expect("differs within prefix");
+                        sibs[d as usize] = l.hash;
+                    }
+                    return sibs;
+                }
+                Node::Branch(b) => {
+                    let rep = *b.children[0].representative().expect("branches are non-empty");
+                    if b.bit as u32 >= bits as u32 {
+                        if chunk_of(&rep, bits) != chunk {
+                            let d = first_chunk_diff(&rep, chunk, bits)
+                                .expect("differs within prefix");
+                            sibs[d as usize] = b.hash;
+                        }
+                        return sibs;
+                    }
+                    // A skipped bit may already diverge from the chunk.
+                    if let Some(d) = first_chunk_diff(&rep, chunk, bits) {
+                        if d < b.bit {
+                            sibs[d as usize] = b.hash;
+                            return sibs;
+                        }
+                    }
+                    let dir = chunk_bit(chunk, bits, b.bit);
+                    sibs[b.bit as usize] = b.children[1 - dir].hash();
+                    node = &b.children[dir];
+                }
+            }
+        }
+    }
+}
+
+/// First bit (0 = most significant) where two paths differ.
+fn first_diff_bit(a: &Hash, b: &Hash) -> Option<u16> {
+    for i in 0..32 {
+        let x = a.0[i] ^ b.0[i];
+        if x != 0 {
+            return Some((i * 8) as u16 + x.leading_zeros() as u16);
+        }
+    }
+    None
+}
+
+/// First bit in `0..bits` where `path` differs from the chunk prefix.
+fn first_chunk_diff(path: &Hash, chunk: u32, bits: u8) -> Option<u16> {
+    (0..bits as u16).find(|&d| path_bit(path, d) != chunk_bit(chunk, bits, d))
+}
+
+/// Verify an [`SmtProof`] for `key` against `root`.
+///
+/// `expected` is `Some(value_hash)` for an inclusion claim and `None` for an
+/// exclusion claim ("`key` is not in the state committed by `root`").
+pub fn verify_proof(root: &Hash, key: &str, expected: Option<&Hash>, proof: &SmtProof) -> bool {
+    let path = key_path(key);
+    let (Some(lpath), Some(lvhash)) = (proof.leaf_path, proof.leaf_vhash) else {
+        // Empty-tree form: only valid as exclusion from the zero root.
+        return expected.is_none() && proof.siblings.is_empty() && *root == Hash::ZERO;
+    };
+    match expected {
+        Some(vh) => {
+            if lpath != path || lvhash != *vh {
+                return false;
+            }
+        }
+        None => {
+            if lpath == path {
+                return false;
+            }
+            // The exhibited leaf must occupy the key's position: the key's
+            // path must route identically at every branch on the proof.
+            if !proof.siblings.iter().all(|(bit, _)| {
+                *bit < 256 && path_bit(&path, *bit) == path_bit(&lpath, *bit)
+            }) {
+                return false;
+            }
+        }
+    }
+    // Bits must strictly increase (each branch deeper than its parent).
+    if proof.siblings.windows(2).any(|w| w[0].0 >= w[1].0)
+        || proof.siblings.iter().any(|(bit, _)| *bit >= 256)
+    {
+        return false;
+    }
+    let mut acc = leaf_hash(&lpath, &lvhash);
+    for (bit, sib) in proof.siblings.iter().rev() {
+        acc = if path_bit(&lpath, *bit) == 0 {
+            sha256_parts(&[&[0x01], &acc.0, &sib.0])
+        } else {
+            sha256_parts(&[&[0x01], &sib.0, &acc.0])
+        };
+    }
+    acc == *root
+}
+
+/// Verify that `entries` is the complete leaf set of chunk `chunk` (of
+/// `1 << bits`) in the state committed by `root`.
+///
+/// `entries` are `(path, value_hash)` pairs sorted strictly by path (the
+/// transfer layer recomputes both from the raw key/value payload, so a
+/// tampered, truncated, or padded chunk changes a hash and fails here).
+/// `siblings` is the output of [`SparseMerkleTree::chunk_proof`].
+pub fn verify_chunk(
+    root: &Hash,
+    chunk: u32,
+    bits: u8,
+    entries: &[(Hash, Hash)],
+    siblings: &[Hash],
+) -> bool {
+    if siblings.len() != bits as usize || bits > 32 {
+        return false;
+    }
+    if entries
+        .windows(2)
+        .any(|w| w[0].0 .0 >= w[1].0 .0)
+    {
+        return false; // unsorted or duplicate paths
+    }
+    if entries.iter().any(|(p, _)| chunk_of(p, bits) != chunk) {
+        return false; // leaf outside the claimed range
+    }
+    let mut acc = subtree_from_leaves(entries, bits as u16);
+    for d in (0..bits as u16).rev() {
+        let sib = siblings[d as usize];
+        let dir = chunk_bit(chunk, bits, d);
+        acc = if dir == 0 {
+            combine(&acc, &sib)
+        } else {
+            combine(&sib, &acc)
+        };
+    }
+    acc == *root
+}
+
+/// Hash of the subtree holding exactly `leaves` (sorted by path), rooted at
+/// depth `depth` — replicating the path-compressed hashing rules.
+fn subtree_from_leaves(leaves: &[(Hash, Hash)], depth: u16) -> Hash {
+    match leaves {
+        [] => Hash::ZERO,
+        [(path, vhash)] => leaf_hash(path, vhash),
+        _ => {
+            debug_assert!(depth < 256, "distinct sorted paths diverge before depth 256");
+            let split = leaves.partition_point(|(p, _)| path_bit(p, depth) == 0);
+            let left = subtree_from_leaves(&leaves[..split], depth + 1);
+            let right = subtree_from_leaves(&leaves[split..], depth + 1);
+            combine(&left, &right)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vh(i: u64) -> Hash {
+        sha256_parts(&[&i.to_be_bytes()])
+    }
+
+    fn tree_of(n: u64) -> SparseMerkleTree {
+        let mut t = SparseMerkleTree::new();
+        for i in 0..n {
+            t.insert(&format!("key-{i}"), vh(i));
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree_zero_root() {
+        let t = SparseMerkleTree::new();
+        assert_eq!(t.root_hash(), Hash::ZERO);
+        assert!(t.is_empty());
+        let p = t.prove("missing");
+        assert!(verify_proof(&t.root_hash(), "missing", None, &p));
+    }
+
+    #[test]
+    fn insert_get_update_remove() {
+        let mut t = SparseMerkleTree::new();
+        t.insert("a", vh(1));
+        assert_eq!(t.get("a"), Some(&vh(1)));
+        let r1 = t.root_hash();
+        t.insert("a", vh(2));
+        assert_eq!(t.get("a"), Some(&vh(2)));
+        assert_ne!(t.root_hash(), r1);
+        assert_eq!(t.len(), 1);
+        assert!(t.remove("a"));
+        assert!(!t.remove("a"));
+        assert_eq!(t.root_hash(), Hash::ZERO);
+    }
+
+    #[test]
+    fn root_matches_bulk_build() {
+        let t = tree_of(200);
+        let bulk = SparseMerkleTree::build((0..200u64).map(|i| (format!("key-{i}"), vh(i))));
+        assert_eq!(t.root_hash(), bulk.root_hash());
+        assert_eq!(bulk.len(), 200);
+    }
+
+    #[test]
+    fn bulk_build_last_duplicate_wins() {
+        let bulk = SparseMerkleTree::build(vec![
+            ("k".to_string(), vh(1)),
+            ("other".to_string(), vh(9)),
+            ("k".to_string(), vh(2)),
+        ]);
+        assert_eq!(bulk.len(), 2);
+        assert_eq!(bulk.get("k"), Some(&vh(2)));
+    }
+
+    #[test]
+    fn insert_order_does_not_matter() {
+        let mut a = SparseMerkleTree::new();
+        let mut b = SparseMerkleTree::new();
+        for i in 0..50u64 {
+            a.insert(&format!("key-{i}"), vh(i));
+        }
+        for i in (0..50u64).rev() {
+            b.insert(&format!("key-{i}"), vh(i));
+        }
+        assert_eq!(a.root_hash(), b.root_hash());
+    }
+
+    #[test]
+    fn inclusion_proofs_verify() {
+        let t = tree_of(64);
+        for i in 0..64u64 {
+            let key = format!("key-{i}");
+            let p = t.prove(&key);
+            assert!(verify_proof(&t.root_hash(), &key, Some(&vh(i)), &p), "key {i}");
+            // Wrong value hash fails.
+            assert!(!verify_proof(&t.root_hash(), &key, Some(&vh(i + 1)), &p));
+            // Inclusion proof is not an exclusion proof.
+            assert!(!verify_proof(&t.root_hash(), &key, None, &p));
+        }
+    }
+
+    #[test]
+    fn exclusion_proofs_verify() {
+        let t = tree_of(64);
+        for i in 0..32u64 {
+            let key = format!("absent-{i}");
+            let p = t.prove(&key);
+            assert!(verify_proof(&t.root_hash(), &key, None, &p), "key {key}");
+            // An exclusion proof cannot claim inclusion.
+            assert!(!verify_proof(&t.root_hash(), &key, Some(&vh(i)), &p));
+        }
+    }
+
+    #[test]
+    fn exclusion_proof_rejected_for_present_key() {
+        let t = tree_of(64);
+        // Take the proof for an absent key and try to use it to claim a
+        // *present* key is absent: the routing-consistency check fails.
+        let p = t.prove("absent-1");
+        for i in 0..64u64 {
+            assert!(!verify_proof(&t.root_hash(), &format!("key-{i}"), None, &p));
+        }
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let t = tree_of(16);
+        let mut p = t.prove("key-3");
+        if let Some((_, sib)) = p.siblings.first_mut() {
+            sib.0[0] ^= 1;
+        }
+        assert!(!verify_proof(&t.root_hash(), "key-3", Some(&vh(3)), &p));
+    }
+
+    #[test]
+    fn proof_does_not_transfer_between_roots() {
+        let a = tree_of(16);
+        let b = tree_of(17);
+        let p = a.prove("key-3");
+        assert!(!verify_proof(&b.root_hash(), "key-3", Some(&vh(3)), &p));
+    }
+
+    #[test]
+    fn chunks_partition_all_keys() {
+        let t = tree_of(100);
+        for bits in [0u8, 1, 2, 3, 5] {
+            let mut seen = 0usize;
+            for chunk in 0..(1u32 << bits) {
+                seen += t.chunk_keys(chunk, bits).len();
+            }
+            assert_eq!(seen, 100, "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn chunks_verify_and_reassemble_root() {
+        let t = tree_of(100);
+        for bits in [0u8, 1, 3, 4] {
+            for chunk in 0..(1u32 << bits) {
+                let keys = t.chunk_keys(chunk, bits);
+                let entries: Vec<(Hash, Hash)> = keys
+                    .iter()
+                    .map(|k| (key_path(k), *t.get(k).expect("live")))
+                    .collect();
+                let proof = t.chunk_proof(chunk, bits);
+                assert!(
+                    verify_chunk(&t.root_hash(), chunk, bits, &entries, &proof),
+                    "bits {bits} chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_chunk_rejected() {
+        let t = tree_of(50);
+        let bits = 2u8;
+        // Find a non-empty chunk.
+        let chunk = (0..4u32)
+            .find(|c| !t.chunk_keys(*c, bits).is_empty())
+            .expect("some chunk non-empty");
+        let keys = t.chunk_keys(chunk, bits);
+        let mut entries: Vec<(Hash, Hash)> = keys
+            .iter()
+            .map(|k| (key_path(k), *t.get(k).expect("live")))
+            .collect();
+        let proof = t.chunk_proof(chunk, bits);
+        // Alter one value hash.
+        entries[0].1 .0[0] ^= 1;
+        assert!(!verify_chunk(&t.root_hash(), chunk, bits, &entries, &proof));
+        entries[0].1 .0[0] ^= 1;
+        // Drop one leaf.
+        let dropped = entries.split_off(entries.len() - 1);
+        let ok_short = verify_chunk(&t.root_hash(), chunk, bits, &entries, &proof);
+        assert!(!ok_short || keys.len() == 1);
+        entries.extend(dropped);
+        // Present the chunk under the wrong index.
+        assert!(!verify_chunk(&t.root_hash(), chunk ^ 1, bits, &entries, &proof));
+    }
+
+    #[test]
+    fn chunk_of_takes_top_bits() {
+        let mut p = Hash::ZERO;
+        p.0[0] = 0b1010_0000;
+        assert_eq!(chunk_of(&p, 1), 1);
+        assert_eq!(chunk_of(&p, 2), 0b10);
+        assert_eq!(chunk_of(&p, 4), 0b1010);
+        assert_eq!(chunk_of(&p, 0), 0);
+    }
+
+    #[test]
+    fn iter_yields_all_pairs() {
+        let t = tree_of(30);
+        let mut keys: Vec<String> = t.iter().map(|(k, _)| k.to_string()).collect();
+        keys.sort();
+        let mut want: Vec<String> = (0..30).map(|i| format!("key-{i}")).collect();
+        want.sort();
+        assert_eq!(keys, want);
+    }
+
+    #[test]
+    fn clone_preserves_root() {
+        let t = tree_of(40);
+        let c = t.clone();
+        assert_eq!(t.root_hash(), c.root_hash());
+        assert_eq!(t.len(), c.len());
+    }
+
+    proptest::proptest! {
+        /// Random op sequences: the incremental tree equals a bulk rebuild
+        /// of the surviving reference map, regardless of operation order.
+        #[test]
+        fn incremental_equals_reference(
+            ops in proptest::collection::vec((0u8..3, 0u64..40, 0u64..1000), 1..120)
+        ) {
+            let mut t = SparseMerkleTree::new();
+            let mut reference = std::collections::BTreeMap::new();
+            for (kind, k, v) in ops {
+                let key = format!("k{k}");
+                match kind {
+                    0 | 1 => {
+                        t.insert(&key, vh(v));
+                        reference.insert(key, vh(v));
+                    }
+                    _ => {
+                        let a = t.remove(&key);
+                        let b = reference.remove(&key).is_some();
+                        proptest::prop_assert_eq!(a, b);
+                    }
+                }
+            }
+            let bulk = SparseMerkleTree::build(
+                reference.iter().map(|(k, v)| (k.clone(), *v)),
+            );
+            proptest::prop_assert_eq!(t.root_hash(), bulk.root_hash());
+            proptest::prop_assert_eq!(t.len(), reference.len());
+        }
+
+        /// Chunk decomposition always reassembles the root.
+        #[test]
+        fn chunks_reassemble(n in 0usize..60, bits in 0u8..5) {
+            let t = SparseMerkleTree::build(
+                (0..n as u64).map(|i| (format!("key-{i}"), vh(i))),
+            );
+            for chunk in 0..(1u32 << bits) {
+                let entries: Vec<(Hash, Hash)> = t
+                    .chunk_keys(chunk, bits)
+                    .iter()
+                    .map(|k| (key_path(k), *t.get(k).expect("live")))
+                    .collect();
+                let proof = t.chunk_proof(chunk, bits);
+                proptest::prop_assert!(
+                    verify_chunk(&t.root_hash(), chunk, bits, &entries, &proof)
+                );
+            }
+        }
+    }
+}

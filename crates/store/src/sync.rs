@@ -1,0 +1,288 @@
+//! Requester-side state-sync session: certificate-anchored, chunked,
+//! verified, resumable.
+//!
+//! A lagging or joining replica (1) obtains the latest [`CheckpointCert`],
+//! (2) requests fixed key-range chunks in order, verifying each against the
+//! certified root *before* accepting it, and (3) installs the accumulated
+//! state once every chunk has verified. The session records per-chunk
+//! progress, so a failed or unanswered chunk is simply re-requested —
+//! possibly from a different peer — without restarting the transfer.
+
+use ahl_crypto::Hash;
+
+use crate::checkpoint::CheckpointCert;
+use crate::smt::{key_path, verify_chunk};
+use crate::StateValue;
+
+/// Pick the chunk-count exponent so chunks hold about `target` leaves:
+/// `ceil(log2(leaves / target))`, clamped to `[0, 16]`.
+pub fn chunk_bits_for(leaves: usize, target: usize) -> u8 {
+    let target = target.max(1);
+    let chunks = leaves.div_ceil(target).max(1);
+    (chunks.next_power_of_two().trailing_zeros() as u8).min(16)
+}
+
+/// Why a sync step was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncError {
+    /// The offered certificate does not cover anything newer than what the
+    /// requester already has.
+    StaleCert {
+        /// The requester's current height.
+        have: u64,
+        /// The certificate's height.
+        cert: u64,
+    },
+    /// The certificate failed quorum/signature verification.
+    BadCert,
+    /// A chunk arrived out of order.
+    WrongChunk {
+        /// The chunk the session expects next.
+        expected: u32,
+        /// The chunk that arrived.
+        got: u32,
+    },
+    /// The chunk payload does not verify against the certified root.
+    BadProof {
+        /// The offending chunk index.
+        chunk: u32,
+    },
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::StaleCert { have, cert } => {
+                write!(f, "stale certificate: have seq {have}, cert seq {cert}")
+            }
+            SyncError::BadCert => write!(f, "certificate failed verification"),
+            SyncError::WrongChunk { expected, got } => {
+                write!(f, "out-of-order chunk: expected {expected}, got {got}")
+            }
+            SyncError::BadProof { chunk } => write!(f, "chunk {chunk} failed proof check"),
+        }
+    }
+}
+
+/// Per-session transfer counters (surface into the run's `Stats`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncProgress {
+    /// Chunks verified and accepted.
+    pub chunks_ok: u64,
+    /// Chunks rejected by proof verification.
+    pub proof_failures: u64,
+    /// Key-value pairs accumulated so far.
+    pub leaves: u64,
+}
+
+/// A resumable chunked-sync session for value type `V`.
+#[derive(Debug)]
+pub struct SyncSession<V> {
+    cert: CheckpointCert,
+    bits: u8,
+    next_chunk: u32,
+    entries: Vec<(String, V)>,
+    progress: SyncProgress,
+}
+
+impl<V: StateValue> SyncSession<V> {
+    /// Start a session against `cert` with `1 << bits` chunks (`bits` is
+    /// clamped to [`chunk_bits_for`]'s maximum of 16 — a malicious manifest
+    /// cannot overflow the chunk count). Fails if the certificate is not
+    /// ahead of `have_seq` (stale-cert defence: a malicious or confused
+    /// server cannot roll the requester back).
+    pub fn new(cert: CheckpointCert, bits: u8, have_seq: u64) -> Result<Self, SyncError> {
+        if cert.seq <= have_seq {
+            return Err(SyncError::StaleCert { have: have_seq, cert: cert.seq });
+        }
+        Ok(SyncSession {
+            cert,
+            bits: bits.min(16),
+            next_chunk: 0,
+            entries: Vec::new(),
+            progress: SyncProgress::default(),
+        })
+    }
+
+    /// The certificate this session trusts.
+    pub fn cert(&self) -> &CheckpointCert {
+        &self.cert
+    }
+
+    /// The height the session is syncing to.
+    pub fn seq(&self) -> u64 {
+        self.cert.seq
+    }
+
+    /// The chunk to request next.
+    pub fn next_chunk(&self) -> u32 {
+        self.next_chunk
+    }
+
+    /// Total number of chunks in the plan.
+    pub fn total_chunks(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Chunk-count exponent.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// True once every chunk has been verified and accepted.
+    pub fn is_complete(&self) -> bool {
+        self.next_chunk == self.total_chunks()
+    }
+
+    /// Transfer counters so far.
+    pub fn progress(&self) -> SyncProgress {
+        self.progress
+    }
+
+    /// Verify and accept a chunk. Returns `Ok(true)` when this was the last
+    /// chunk. On [`SyncError::BadProof`] the session stays positioned at the
+    /// same chunk, so the caller re-requests it (resumability).
+    pub fn accept_chunk(
+        &mut self,
+        chunk: u32,
+        entries: Vec<(String, V)>,
+        proof: &[Hash],
+    ) -> Result<bool, SyncError> {
+        if chunk != self.next_chunk {
+            return Err(SyncError::WrongChunk { expected: self.next_chunk, got: chunk });
+        }
+        let mut leaves: Vec<(Hash, Hash)> = entries
+            .iter()
+            .map(|(k, v)| (key_path(k), v.leaf_digest()))
+            .collect();
+        leaves.sort_by_key(|l| l.0 .0);
+        if !verify_chunk(&self.cert.root, chunk, self.bits, &leaves, proof) {
+            self.progress.proof_failures += 1;
+            return Err(SyncError::BadProof { chunk });
+        }
+        self.progress.chunks_ok += 1;
+        self.progress.leaves += entries.len() as u64;
+        self.entries.extend(entries);
+        self.next_chunk += 1;
+        Ok(self.is_complete())
+    }
+
+    /// Consume the completed session, yielding the certificate and the
+    /// verified key-value pairs. Panics if the session is incomplete.
+    pub fn into_verified(self) -> (CheckpointCert, Vec<(String, V)>) {
+        assert!(self.is_complete(), "sync session incomplete");
+        (self.cert, self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smt::SparseMerkleTree;
+    use ahl_crypto::sha256_parts;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Val(u64);
+
+    impl StateValue for Val {
+        fn leaf_digest(&self) -> Hash {
+            sha256_parts(&[&self.0.to_be_bytes()])
+        }
+    }
+
+    fn fixture(n: u64) -> (SparseMerkleTree, Vec<(String, Val)>) {
+        let kv: Vec<(String, Val)> = (0..n).map(|i| (format!("key-{i}"), Val(i))).collect();
+        let t = SparseMerkleTree::build(kv.iter().map(|(k, v)| (k.clone(), v.leaf_digest())));
+        (t, kv)
+    }
+
+    fn cert_for(t: &SparseMerkleTree, seq: u64) -> CheckpointCert {
+        CheckpointCert { seq, root: t.root_hash(), votes: vec![(0, None), (1, None)] }
+    }
+
+    fn chunk_payload(t: &SparseMerkleTree, kv: &[(String, Val)], chunk: u32, bits: u8) -> Vec<(String, Val)> {
+        t.chunk_keys(chunk, bits)
+            .iter()
+            .map(|k| {
+                let v = kv.iter().find(|(key, _)| key == k).expect("known key").1.clone();
+                (k.to_string(), v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_session_round_trip() {
+        let (t, kv) = fixture(100);
+        let bits = 3u8;
+        let mut s: SyncSession<Val> = SyncSession::new(cert_for(&t, 50), bits, 0).expect("fresh");
+        while !s.is_complete() {
+            let c = s.next_chunk();
+            let payload = chunk_payload(&t, &kv, c, bits);
+            let proof = t.chunk_proof(c, bits);
+            s.accept_chunk(c, payload, &proof).expect("verifies");
+        }
+        assert_eq!(s.progress().chunks_ok, 8);
+        assert_eq!(s.progress().proof_failures, 0);
+        let (_, entries) = s.into_verified();
+        assert_eq!(entries.len(), 100);
+        // The verified set reassembles the certified root.
+        let rebuilt = SparseMerkleTree::build(
+            entries.iter().map(|(k, v)| (k.clone(), v.leaf_digest())),
+        );
+        assert_eq!(rebuilt.root_hash(), t.root_hash());
+    }
+
+    #[test]
+    fn tampered_chunk_rejected_and_resumable() {
+        let (t, kv) = fixture(60);
+        let bits = 2u8;
+        let mut s: SyncSession<Val> = SyncSession::new(cert_for(&t, 50), bits, 0).expect("fresh");
+        let mut payload = chunk_payload(&t, &kv, 0, bits);
+        let proof = t.chunk_proof(0, bits);
+        if payload.is_empty() {
+            // Inject a foreign key instead.
+            payload.push(("evil".into(), Val(666)));
+        } else {
+            payload[0].1 = Val(999);
+        }
+        assert_eq!(
+            s.accept_chunk(0, payload, &proof),
+            Err(SyncError::BadProof { chunk: 0 })
+        );
+        assert_eq!(s.progress().proof_failures, 1);
+        // Session still expects chunk 0: retry with the honest payload.
+        let honest = chunk_payload(&t, &kv, 0, bits);
+        s.accept_chunk(0, honest, &proof).expect("honest retry verifies");
+        assert_eq!(s.next_chunk(), 1);
+    }
+
+    #[test]
+    fn stale_cert_rejected() {
+        let (t, _) = fixture(10);
+        let err = SyncSession::<Val>::new(cert_for(&t, 50), 2, 50).expect_err("stale");
+        assert_eq!(err, SyncError::StaleCert { have: 50, cert: 50 });
+        assert!(SyncSession::<Val>::new(cert_for(&t, 51), 2, 50).is_ok());
+    }
+
+    #[test]
+    fn out_of_order_chunk_rejected() {
+        let (t, kv) = fixture(20);
+        let bits = 2u8;
+        let mut s: SyncSession<Val> = SyncSession::new(cert_for(&t, 9), bits, 0).expect("fresh");
+        let payload = chunk_payload(&t, &kv, 1, bits);
+        let proof = t.chunk_proof(1, bits);
+        assert_eq!(
+            s.accept_chunk(1, payload, &proof),
+            Err(SyncError::WrongChunk { expected: 0, got: 1 })
+        );
+    }
+
+    #[test]
+    fn chunk_bits_for_targets() {
+        assert_eq!(chunk_bits_for(0, 1024), 0);
+        assert_eq!(chunk_bits_for(1000, 1024), 0);
+        assert_eq!(chunk_bits_for(2048, 1024), 1);
+        assert_eq!(chunk_bits_for(100_000, 1024), 7);
+        assert_eq!(chunk_bits_for(1 << 30, 1), 16); // clamped
+    }
+}

@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use ahl::ledger::{verify_state_proof, StateStore, Value};
 use ahl::simkit::SimDuration;
 use ahl::system::{run_system, SystemConfig, SystemWorkload};
 
@@ -39,4 +40,19 @@ fn main() {
 
     assert!(m.committed > 0, "the system should commit transactions");
     println!("\nOK: cross-shard payments committed atomically under 2PC/2PL.");
+
+    // Every shard's state is authenticated: the `state_digest` each block
+    // carries is a sparse-Merkle-tree root, so any balance can be proven
+    // in (or out of) the state a checkpoint certificate signs — the
+    // mechanism replicas use to verify fetched state chunks during
+    // reconfiguration and crash recovery.
+    let mut shard = StateStore::new();
+    shard.put("ck_alice".into(), Value::Int(100));
+    shard.put("ck_bob".into(), Value::Int(50));
+    let root = shard.state_digest();
+    let proof = shard.prove("ck_alice");
+    assert!(verify_state_proof(&root, "ck_alice", Some(&Value::Int(100).digest()), &proof));
+    let absent = shard.prove("ck_mallory");
+    assert!(verify_state_proof(&root, "ck_mallory", None, &absent));
+    println!("OK: state root proves ck_alice = 100 and excludes ck_mallory.");
 }

@@ -10,8 +10,9 @@
 //! | [`crypto`] | SHA-256, HMAC, signatures, Merkle trees |
 //! | [`tee`] | SGX simulation: attested log, randomness beacon, sealing |
 //! | [`net`] | cluster / GCP network models (Table 3 latencies) |
-//! | [`ledger`] | blocks, KV state with 2PL, KVStore & SmallBank chaincode |
-//! | [`mempool`] | per-shard transaction pool: dedup, admission control, batch pipeline |
+//! | [`store`] | authenticated state: sparse Merkle tree, signed checkpoints, chunked state sync |
+//! | [`ledger`] | blocks, KV state with 2PL + SMT state roots, KVStore & SmallBank chaincode |
+//! | [`mempool`] | per-shard transaction pool: dedup, admission control, per-sender quotas, batch pipeline |
 //! | [`consensus`] | PBFT (HL/AHL/AHL+/AHLR), Tendermint, IBFT, Raft, PoET |
 //! | [`shard`] | committee sizing (Eq 1), beacon protocol, reconfiguration |
 //! | [`txn`] | 2PC reference committee, cross-shard protocol, baselines |
@@ -42,6 +43,7 @@ pub use ahl_mempool as mempool;
 pub use ahl_net as net;
 pub use ahl_shard as shard;
 pub use ahl_simkit as simkit;
+pub use ahl_store as store;
 pub use ahl_tee as tee;
 pub use ahl_txn as txn;
 pub use ahl_workload as workload;

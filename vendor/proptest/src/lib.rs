@@ -105,7 +105,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length bound for [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Length bound for [`vec()`]: an exact `usize` or a `Range<usize>`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
