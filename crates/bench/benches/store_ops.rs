@@ -93,6 +93,57 @@ fn bench_proofs(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_snapshots(c: &mut Criterion) {
+    // The headline property of the persistent tree: a snapshot is an O(1)
+    // root handle, so checkpoint cost stays flat as state grows (the old
+    // deep clone grew linearly — compare the explicit rebuild baseline).
+    let mut g = c.benchmark_group("store_snapshot");
+    for n in [1_000u64, 10_000, 100_000] {
+        let t = tree_with(n);
+        g.bench_function(format!("snapshot_handle_{n}"), |b| {
+            b.iter(|| t.clone());
+        });
+    }
+    // Linear baseline: what a deep rebuild of the same tree costs.
+    for n in [1_000u64, 10_000] {
+        let t = tree_with(n);
+        g.bench_function(format!("deep_rebuild_{n}"), |b| {
+            b.iter(|| {
+                SparseMerkleTree::build(t.iter().map(|(k, v)| (k.to_string(), *v)))
+            });
+        });
+    }
+    // Copy-on-write tax: 100 updates against a live tree that holds an
+    // outstanding snapshot (path nodes clone on first touch).
+    g.bench_function("updates_100_with_snapshot_10k", |b| {
+        b.iter_batched(
+            || {
+                let t = tree_with(10_000);
+                let snap = t.clone();
+                (t, snap)
+            },
+            |(mut t, snap)| {
+                for i in 0..100u64 {
+                    t.insert(&format!("acc{}", i * 97 % 10_000), vhash(i));
+                }
+                (t, snap)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // Diff computation between two snapshots (the server half of
+    // incremental sync): hash compares only, no re-hashing.
+    let old = tree_with(10_000);
+    let mut new = old.clone();
+    for i in 0..50u64 {
+        new.insert(&format!("acc{}", i * 131 % 10_000), vhash(i + 1));
+    }
+    g.bench_function("diff_chunks_10k_50_changed", |b| {
+        b.iter(|| old.diff_chunks(&new, 6));
+    });
+    g.finish();
+}
+
 fn bench_chunks(c: &mut Criterion) {
     let t = tree_with(10_000);
     let root = t.root_hash();
@@ -117,5 +168,5 @@ fn bench_chunks(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_build, bench_proofs, bench_chunks);
+criterion_group!(benches, bench_updates, bench_build, bench_proofs, bench_snapshots, bench_chunks);
 criterion_main!(benches);

@@ -970,12 +970,41 @@ pub fn overload(scale: Scale) {
 
 // ---------- state-sync sweep (store-subsystem experiment) ----------
 
-/// One `statesync` cell: a single AHL+ committee under steady load, with
-/// one replica crash/restarted mid-run. The restarted replica recovers via
-/// the certified chunk protocol; the cell reports how much it transferred,
-/// how long the recovery took, and whether it rejoined with intact state.
+/// Transfer mode of one `statesync` cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SyncMode {
+    /// Diff sync disabled: the restarted replica re-fetches every chunk.
+    Full,
+    /// Diff sync enabled; a churn client rewrites `churn_keys` distinct
+    /// bulk-state keys while the replica is down, so the diff covers about
+    /// that many chunks (plus the account chunks the payment traffic
+    /// touches) — the transfer is O(changed keys), not O(state).
+    Diff {
+        churn_keys: usize,
+    },
+}
+
+impl SyncMode {
+    fn label(self) -> String {
+        match self {
+            SyncMode::Full => "full".into(),
+            SyncMode::Diff { churn_keys } => format!("diff/{churn_keys}"),
+        }
+    }
+}
+
+/// One `statesync` cell: a single AHL+ committee under steady load; one
+/// replica crashes at t = 20 s, stays dark until t = 36 s (twice the
+/// checkpoint interval — its block tail ages out of peers' retention), and
+/// restarts from its durable checkpoint. Recovery runs through the
+/// certificate-anchored chunk protocol: a full transfer, or — when diff
+/// sync is on and peers still retain the crashed node's last certified
+/// root in their snapshot windows — only the chunks that changed while it
+/// was away. The cell reports how much it transferred, how long recovery
+/// took, and whether it rejoined with intact state.
 struct StatesyncCell {
     syncs: u64,
+    diff_syncs: u64,
     chunks_served: u64,
     gb_synced: f64,
     proof_failures: u64,
@@ -989,25 +1018,31 @@ fn statesync_cell(
     pad_keys: usize,
     pad_bytes: u64,
     chunk_target: usize,
+    mode: SyncMode,
     seed: u64,
 ) -> StatesyncCell {
-    use ahl_consensus::common::CryptoMode;
+    use ahl_consensus::common::{CryptoMode, OpFactory};
     use ahl_consensus::harness::ControlScript;
     use ahl_consensus::pbft::{build_group, PbftMsg, Replica};
-    use ahl_ledger::Value;
+    use ahl_ledger::{Mutation, Op, StateOp, TxId, Value};
     use ahl_workload::SmallBankWorkload;
 
-    const ACCOUNTS: usize = 2_000;
+    // Few accounts: payment traffic dirties a handful of chunks, so the
+    // incremental transfer is dominated by the *churned* bulk state — the
+    // quantity the diff axis controls.
+    const ACCOUNTS: usize = 4;
     let n = 5;
     let mut pbft = PbftConfig::new(BftVariant::AhlPlus, n);
     pbft.crypto = CryptoMode::Real;
     pbft.batch_size = 32;
     pbft.batch_timeout = SimDuration::from_millis(10);
-    // ≈8 s between checkpoints at this block rate: comfortably above a
-    // chunk-transfer time, so a sync anchored at one cert completes within
-    // the two-cert serving window instead of being re-anchored repeatedly.
+    // ≈8 s between checkpoints at this block rate. The crashed replica is
+    // down for two intervals, so its tail is gone and recovery must be
+    // chunked; the 8-snapshot retention window still covers its durable
+    // root, so diff mode finds an anchor.
     pbft.checkpoint_interval = 800;
     pbft.sync_chunk_target = chunk_target;
+    pbft.diff_sync = !matches!(mode, SyncMode::Full);
 
     let mut genesis = SmallBankWorkload::paper(ACCOUNTS, 0.0).genesis();
     let expected_balance: i64 = genesis
@@ -1031,8 +1066,37 @@ fn statesync_cell(
         );
         sim.add_actor(Box::new(client), QueueConfig::unbounded());
     }
+    // Bulk-state churn: rewrite `churn_keys` distinct blob keys round-robin
+    // (20 writes/s — every key in the set is touched during the 16 s the
+    // replica is down, and no key outside it).
+    let churn_keys = match mode {
+        SyncMode::Full => 4,
+        SyncMode::Diff { churn_keys } => churn_keys.clamp(1, pad_keys),
+    };
+    let mut i = 0u64;
+    let churn: OpFactory = Box::new(move |_rng| {
+        i += 1;
+        Op::Direct {
+            txid: TxId(3_000_000_000 + i),
+            op: StateOp {
+                conditions: vec![],
+                mutations: vec![(
+                    format!("blob_{}", i % churn_keys as u64),
+                    Mutation::Set(Value::Opaque { size: pad_bytes, tag: 1 << 32 | i }),
+                )],
+            },
+        }
+    });
+    let churn_client =
+        OpenLoopClient::new(group.clone(), SimDuration::from_millis(50), stop, churn);
+    sim.add_actor(Box::new(churn_client), QueueConfig::unbounded());
+    // Crash at 20 s (durable checkpoint ≈ the 16 s certificate), dark for
+    // two checkpoint intervals, restart at 36 s.
     let crashed = group[3];
-    let script = ControlScript::new(vec![(SimDuration::from_secs(20), crashed, PbftMsg::Restart)]);
+    let script = ControlScript::new(vec![
+        (SimDuration::from_secs(20), crashed, PbftMsg::Crash),
+        (SimDuration::from_secs(36), crashed, PbftMsg::Restart),
+    ]);
     sim.add_actor(Box::new(script), QueueConfig::unbounded());
     sim.run_until(stop + SimDuration::from_secs(15));
 
@@ -1053,6 +1117,7 @@ fn statesync_cell(
     let stats = sim.stats();
     StatesyncCell {
         syncs: stats.counter(stat::SYNC_COMPLETED),
+        diff_syncs: stats.counter(stat::SYNC_DIFFS),
         chunks_served: stats.counter(stat::SYNC_CHUNKS_SERVED),
         gb_synced: stats.counter(stat::SYNC_BYTES) as f64 / 1e9,
         proof_failures: stats.counter(stat::SYNC_PROOF_FAILURES),
@@ -1066,32 +1131,45 @@ fn statesync_cell(
     }
 }
 
-/// State-sync sweep: state size × chunk size. One replica of a 5-node AHL+
-/// committee is crash/restarted at t = 20 s and must recover through the
-/// certificate-anchored chunk protocol while the committee keeps
-/// committing. Every cell must show zero proof failures and a conserved
-/// ledger; the sweep exposes the chunk-size trade-off (fewer, larger
-/// chunks amortize round trips; smaller chunks retransmit less on loss)
-/// and how recovery time scales with state volume.
+/// State-sync sweep: state size × chunk size × transfer mode. One replica
+/// of a 5-node AHL+ committee crashes at t = 20 s, restarts at t = 36 s,
+/// and must recover through the certificate-anchored chunk protocol while
+/// the committee keeps committing. Every cell must show zero proof
+/// failures and a conserved ledger. The full-mode cells expose the
+/// chunk-size trade-off (fewer, larger chunks amortize round trips;
+/// smaller chunks retransmit less on loss); the diff-mode cells show
+/// incremental sync transferring O(changed keys): with little churn while
+/// the replica was down, the transfer is a small fraction of the state,
+/// and it grows with the churned-key count — never past the full
+/// transfer.
 pub fn statesync(scale: Scale) {
     let states: Vec<(usize, u64)> = scale.pick(
         &[(500usize, 200_000u64), (1_000, 500_000)],
         &[(500, 200_000), (1_000, 500_000), (2_000, 1_000_000)],
     );
-    let chunk_targets: Vec<usize> = scale.pick(&[64usize, 1024], &[32, 256, 2048]);
-    let grid: Vec<(usize, u64, usize)> = states
+    let chunk_targets: Vec<usize> = scale.pick(&[16usize, 256], &[16, 128, 1024]);
+    let diff_chunk = chunk_targets.iter().copied().min().expect("non-empty");
+    let mut grid: Vec<(usize, u64, usize, SyncMode)> = states
         .iter()
-        .flat_map(|&(k, b)| chunk_targets.iter().map(move |&c| (k, b, c)))
+        .flat_map(|&(k, b)| {
+            chunk_targets.iter().map(move |&c| (k, b, c, SyncMode::Full))
+        })
         .collect();
-    let cells = parallel_map(grid, |&(keys, bytes, chunk)| {
-        statesync_cell(keys, bytes, chunk, 42)
+    for &(k, b) in &states {
+        grid.push((k, b, diff_chunk, SyncMode::Diff { churn_keys: 4 }));
+        grid.push((k, b, diff_chunk, SyncMode::Diff { churn_keys: k / 2 }));
+    }
+    let cells = parallel_map(grid.clone(), |&(keys, bytes, chunk, mode)| {
+        statesync_cell(keys, bytes, chunk, mode, 42)
     });
     let mut t = Table::new(
-        "State sync: restarted replica catch-up via cert + verified chunks (n = 5)",
+        "State sync: crashed replica recovery via cert + verified chunks (n = 5, down 16 s)",
         &[
             "state",
             "chunk tgt",
+            "mode",
             "syncs",
+            "diff",
             "chunks",
             "GB synced",
             "proof fails",
@@ -1102,12 +1180,20 @@ pub fn statesync(scale: Scale) {
         ],
     );
     let mut all_ok = true;
-    for ((keys, bytes, chunk), m) in cells {
+    let mut by_cell: std::collections::HashMap<(usize, usize, String), f64> =
+        std::collections::HashMap::new();
+    for ((keys, bytes, chunk, mode), m) in &cells {
         all_ok &= m.caught_up && m.balance_ok && m.proof_failures == 0 && m.syncs >= 1;
+        if matches!(mode, SyncMode::Diff { .. }) {
+            all_ok &= m.diff_syncs >= 1;
+        }
+        by_cell.insert((*keys, *chunk, mode.label()), m.gb_synced);
         t.row(vec![
-            format!("{:.2}GB", keys as f64 * bytes as f64 / 1e9),
+            format!("{:.2}GB", *keys as f64 * *bytes as f64 / 1e9),
             chunk.to_string(),
+            mode.label(),
             m.syncs.to_string(),
+            m.diff_syncs.to_string(),
             m.chunks_served.to_string(),
             f3(m.gb_synced),
             m.proof_failures.to_string(),
@@ -1118,7 +1204,25 @@ pub fn statesync(scale: Scale) {
         ]);
     }
     t.print();
+    // Diff sync must transfer O(changed keys): with only a few churned
+    // keys, well under half of the matching full transfer; and the diff
+    // volume grows with churn but never exceeds full.
+    for &(keys, _) in &states {
+        let full = by_cell[&(keys, diff_chunk, "full".to_string())];
+        let low = by_cell[&(keys, diff_chunk, format!("diff/{}", 4))];
+        let high = by_cell[&(keys, diff_chunk, format!("diff/{}", keys / 2))];
+        all_ok &= low * 2.0 < full;
+        all_ok &= low <= high && high <= full * 1.05;
+        println!(
+            "  diff-vs-full @ {keys} keys: full {:.3} GB, diff/4 {:.3} GB, diff/{} {:.3} GB",
+            full,
+            low,
+            keys / 2,
+            high
+        );
+    }
     // The CI smoke run relies on this: a cell that fails to recover, loses
-    // funds, or sees a proof failure must fail the process, not just print.
+    // funds, sees a proof failure, or whose diff transfer is not
+    // O(changed keys) must fail the process, not just print.
     assert!(all_ok, "statesync: some cell failed recovery/verification — see table above");
 }

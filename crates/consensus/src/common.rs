@@ -107,6 +107,86 @@ pub mod stat {
     pub const SYNC_TAILS: &str = "sync.tail_catchups";
     /// Histogram: wall-clock duration of completed chunked syncs.
     pub const SYNC_DURATION: &str = "sync.duration";
+    /// Counter: incremental (diff) sync sessions started.
+    pub const SYNC_DIFFS: &str = "sync.diff_syncs";
+    /// Counter: diff installs whose merged root missed the certified root
+    /// (lying or mismatched server) — each falls back to a full transfer.
+    pub const SYNC_DIFF_FALLBACKS: &str = "sync.diff_fallbacks";
+    /// Counter: mid-transfer re-anchors (the serving snapshot rotated away
+    /// and the requester restarted against a newer certificate).
+    pub const SYNC_REANCHORS: &str = "sync.reanchors";
+    /// Counter: executed-request ids pruned at checkpoint boundaries.
+    pub const EXECUTED_PRUNED: &str = "consensus.executed_pruned";
+}
+
+/// Replay-protection cache of executed request ids, pruned at checkpoint
+/// epochs exactly like the ledger's resolved-transaction set: ids keep
+/// their insertion epoch, and [`ExecutedCache::checkpoint_prune`] forgets
+/// them at the second epoch boundary after insertion. The protection
+/// window is therefore one to two checkpoint intervals (an id executed
+/// just before a boundary gets the one-interval minimum) — still beyond
+/// every retransmission horizon in the system. Without pruning the set
+/// grows without bound over a long run.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutedCache {
+    ids: std::collections::HashMap<u64, u64>,
+    epoch: u64,
+}
+
+impl ExecutedCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild from a transferred id set (state-sync install); every id
+    /// lands in the current epoch and enjoys the full protection window.
+    pub fn from_set(ids: &std::collections::HashSet<u64>) -> Self {
+        ExecutedCache { ids: ids.iter().map(|id| (*id, 0)).collect(), epoch: 0 }
+    }
+
+    /// Record `id` as executed. Returns `false` if it was already known
+    /// (a replay), refreshing nothing — the original epoch tag stands.
+    pub fn insert(&mut self, id: u64) -> bool {
+        match self.ids.entry(id) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(self.epoch);
+                true
+            }
+        }
+    }
+
+    /// Whether `id` executed within the protection window.
+    pub fn contains(&self, id: u64) -> bool {
+        self.ids.contains_key(&id)
+    }
+
+    /// Number of remembered ids (bounded by pruning).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no ids are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Checkpoint-boundary maintenance: forget ids older than one full
+    /// interval and advance the epoch. Returns how many ids were pruned.
+    pub fn checkpoint_prune(&mut self) -> usize {
+        let epoch = self.epoch;
+        let before = self.ids.len();
+        self.ids.retain(|_, e| *e >= epoch);
+        self.epoch += 1;
+        before - self.ids.len()
+    }
+
+    /// The remembered ids as a plain set (checkpoint snapshot / manifest
+    /// wire form).
+    pub fn to_set(&self) -> std::collections::HashSet<u64> {
+        self.ids.keys().copied().collect()
+    }
 }
 
 #[cfg(test)]

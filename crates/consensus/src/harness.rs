@@ -318,10 +318,13 @@ mod tests {
         assert_eq!(m.view_changes, 0);
     }
 
-    /// Crash/recovery acceptance: a replica restarted mid-run loses all
-    /// volatile state and catches back up through the certified chunked
-    /// sync — zero proof failures, and its ledger agrees with the
-    /// committee's at an equal execution point.
+    /// Crash/recovery acceptance: a replica crashes at t = 2 s, stays dark
+    /// for two seconds (long enough for the committee's block tail to age
+    /// out), and restarts from its durable checkpoint. Recovery runs
+    /// through the certified chunked sync — incremental, since the peers
+    /// still retain the crashed node's last certified root — with zero
+    /// proof failures, and its ledger agrees with the committee's at an
+    /// equal execution point.
     #[test]
     fn restarted_replica_recovers_via_chunked_sync() {
         use crate::pbft::{build_group, BftVariant, Replica};
@@ -345,20 +348,26 @@ mod tests {
             kv_factory(0),
         );
         sim.add_actor(Box::new(client), QueueConfig::unbounded());
-        // Crash replica 3 at t = 2 s; it recovers on its own.
-        let script = ControlScript::new(vec![(
-            SimDuration::from_secs(2),
-            group[3],
-            PbftMsg::Restart,
-        )]);
+        // Crash replica 3 at t = 2 s; it restarts at t = 4 s and recovers
+        // on its own.
+        let script = ControlScript::new(vec![
+            (SimDuration::from_secs(2), group[3], PbftMsg::Crash),
+            (SimDuration::from_secs(4), group[3], PbftMsg::Restart),
+        ]);
         sim.add_actor(Box::new(script), QueueConfig::unbounded());
         sim.run_until(stop + SimDuration::from_secs(4));
 
+        assert!(sim.stats().counter("sync.crashes") >= 1);
         assert!(sim.stats().counter("sync.restarts") >= 1);
         assert!(
             sim.stats().counter(stat::SYNC_COMPLETED) >= 1,
             "restart must recover through a chunked sync"
         );
+        assert!(
+            sim.stats().counter(stat::SYNC_DIFFS) >= 1,
+            "peers retained the durable root: recovery should be incremental"
+        );
+        assert_eq!(sim.stats().counter(stat::SYNC_DIFF_FALLBACKS), 0);
         assert!(sim.stats().counter(stat::SYNC_CHUNKS_SERVED) >= 1);
         assert_eq!(sim.stats().counter(stat::SYNC_PROOF_FAILURES), 0);
         assert!(sim.stats().counter(stat::SYNC_BYTES) > 0);

@@ -150,6 +150,22 @@ pub struct PbftConfig {
     /// `ceil(log2(state_len / target))` chunk bits; smaller chunks mean more
     /// round trips, larger chunks mean coarser retransmission on failure.
     pub sync_chunk_target: usize,
+    /// Maximum chunk requests a syncing replica keeps in flight, each to a
+    /// different peer in rotation (chunks verify independently, so they can
+    /// be fetched out of order in parallel). 1 = the old sequential fetch.
+    pub sync_fanout: usize,
+    /// Serve and accept incremental (diff) state sync: a requester that
+    /// still holds an older certified root advertises it, and a server that
+    /// retains a snapshot at that root answers with only the changed
+    /// chunks. Disabled, every chunked transfer is full.
+    pub diff_sync: bool,
+    /// Certified snapshots each replica retains for serving and diff
+    /// computation. Snapshots are O(1) copy-on-write handles, so a deep
+    /// window is nearly free — it is what lets a node that was away for
+    /// several checkpoint intervals still diff-sync instead of
+    /// re-transferring everything. Minimum 2 (a transfer anchored at the
+    /// previous certificate must survive a checkpoint forming mid-flight).
+    pub snapshot_retention: usize,
     /// Base view-change timeout (doubles per consecutive failure).
     pub vc_timeout: SimDuration,
     /// Reply policy.
@@ -193,6 +209,9 @@ impl PbftConfig {
             pipeline_width: 4,
             checkpoint_interval: 128,
             sync_chunk_target: 1024,
+            sync_fanout: 4,
+            diff_sync: true,
+            snapshot_retention: 8,
             vc_timeout: SimDuration::from_secs(2),
             reply_policy: ReplyPolicy::None,
             costs: CostModel::default(),

@@ -211,6 +211,11 @@ pub enum PbftMsg {
         /// Force a full chunked transfer even if `have_seq` is recent
         /// (transitioning nodes re-fetch their new shard's entire state).
         full: bool,
+        /// The last *certified* state root the requester still retains a
+        /// snapshot of, if any. A server that also retains that root
+        /// answers with an incremental manifest (changed chunks only);
+        /// otherwise it falls back to a full chunked transfer.
+        old_root: Option<Hash>,
     },
     /// Peer → requester: the plan for a chunked transfer anchored at the
     /// latest checkpoint certificate.
@@ -229,6 +234,17 @@ pub enum PbftMsg {
         executed: Arc<HashSet<u64>>,
         /// Sender's current view.
         view: u64,
+        /// Incremental plan: the chunk indices whose content changed since
+        /// the requester's advertised `old_root` (`None` = full transfer,
+        /// every chunk). An empty list means the retained state already
+        /// matches the certified root.
+        diff: Option<Arc<Vec<u32>>>,
+        /// Echo of the `old_root` the diff was computed against (`None`
+        /// for a full manifest). The requester only applies the plan when
+        /// this still matches its retained anchor — a late manifest
+        /// answering an earlier advertisement must not overlay a newer
+        /// base.
+        diff_base: Option<Hash>,
     },
     /// Requester → peer: fetch one key-range chunk of the certified state.
     ChunkRequest {
@@ -277,6 +293,12 @@ pub enum PbftMsg {
         /// Actor to notify with [`PbftMsg::TransitionDone`] (batch
         /// sequencing in the reshard experiment).
         controller: Option<NodeId>,
+        /// The node is re-joining a shard whose state it recently held
+        /// (elastico-style reshuffles move some members back into their
+        /// previous shard): it may advertise its last certified root and
+        /// fetch only the diff. `false` models a cross-shard move — the old
+        /// root belongs to different state and a full fetch is required.
+        rejoin: bool,
     },
     /// Replica → controller: its transition fetch completed and it rejoined
     /// consensus.
@@ -284,8 +306,14 @@ pub enum PbftMsg {
         /// The transitioned replica's group index.
         replica: usize,
     },
-    /// Harness → replica: crash/restart. All volatile state (ledger, pool,
-    /// protocol instances) is lost; the replica recovers via state sync.
+    /// Harness → replica: crash. The node goes dark — every message is
+    /// dropped until a [`PbftMsg::Restart`] arrives (modelling real
+    /// downtime, during which the committee moves on without it).
+    Crash,
+    /// Harness → replica: (re)start after a crash. All volatile state
+    /// (ledger, pool, protocol instances) is lost; only the durable
+    /// checkpoint — the last certified snapshot, if one formed — survives,
+    /// and the replica recovers via (diff) state sync from it.
     Restart,
 }
 
@@ -334,9 +362,15 @@ impl PbftMsg {
             PbftMsg::Reply { .. } => 100,
             PbftMsg::Rejected { .. } | PbftMsg::RelayRejected { .. } => 90,
             PbftMsg::Heartbeat { .. } => 60,
-            PbftMsg::SyncRequest { .. } => 80,
-            PbftMsg::SyncManifest { cert, sidecar, executed, .. } => {
-                120 + cert.wire_size() + sidecar.wire_size() + 8 * executed.len()
+            PbftMsg::SyncRequest { old_root, .. } => {
+                80 + old_root.map_or(0, |_| 32)
+            }
+            PbftMsg::SyncManifest { cert, sidecar, executed, diff, diff_base, .. } => {
+                120 + cert.wire_size()
+                    + sidecar.wire_size()
+                    + 8 * executed.len()
+                    + 4 * diff.as_ref().map_or(0, |d| d.len())
+                    + diff_base.map_or(0, |_| 32)
             }
             PbftMsg::ChunkRequest { .. } => 90,
             // The dominant transfer cost: every key and value in the chunk,
@@ -352,7 +386,8 @@ impl PbftMsg {
                 120 + blocks.iter().map(|b| b.wire_size()).sum::<usize>()
             }
             PbftMsg::SyncNack { .. } => 70,
-            PbftMsg::Transition { .. } | PbftMsg::TransitionDone { .. } | PbftMsg::Restart => 60,
+            PbftMsg::Transition { .. } | PbftMsg::TransitionDone { .. } => 60,
+            PbftMsg::Crash | PbftMsg::Restart => 60,
         }
     }
 }

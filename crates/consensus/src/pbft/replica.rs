@@ -24,7 +24,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use ahl_crypto::{Hash, KeyRegistry, SigningKey};
-use ahl_ledger::{Block as LedgerBlock, Chain, Key, StateSidecar, StateStore, Value};
+use ahl_ledger::{Block as LedgerBlock, Chain, Key, StateSidecar, StateSnapshot, StateStore, Value};
 use ahl_mempool::{Admission, BatchBuilder, BatchConfig, Mempool};
 use ahl_simkit::{Actor, Ctx, NodeId, SimDuration, SimTime};
 use ahl_store::{
@@ -32,7 +32,7 @@ use ahl_store::{
 };
 use ahl_tee::{verify_attestation, AttestedLog, LogId, Slot, TeeOp};
 
-use crate::common::{stat, CryptoMode, Request};
+use crate::common::{stat, CryptoMode, ExecutedCache, Request};
 use crate::pbft::config::{PbftConfig, ReplyPolicy};
 use crate::pbft::msg::{chunk_entry_bytes, AggProof, MsgCert, PbftBlock, PbftMsg, ViewChangeMsg, Vote};
 
@@ -66,10 +66,15 @@ struct Instance {
 /// certificate forms for that height it becomes the serving source for
 /// chunked state sync (chunks must verify against the *certified* root, so
 /// they cannot be cut from live, still-mutating state).
+///
+/// Capture is O(1) in the state size: [`StateStore::snapshot`] hands out a
+/// frozen copy-on-write tree handle whose leaves carry the values, so the
+/// snapshot serves complete chunks without a deep clone of the flat map.
+/// Retaining several of these is what makes diff sync serveable.
 #[derive(Clone)]
 struct CkptSnapshot {
     seq: u64,
-    state: Arc<StateStore>,
+    snap: Arc<StateSnapshot>,
     executed: Arc<HashSet<u64>>,
 }
 
@@ -77,12 +82,15 @@ struct CkptSnapshot {
 enum SyncPhase {
     /// Waiting for the server's manifest (or a direct block tail).
     AwaitManifest,
-    /// Fetching and verifying chunks against the certified root.
+    /// Fetching and verifying chunks against the certified root. Up to
+    /// `sync_fanout` chunk requests stay in flight, each to a different
+    /// peer in rotation (`inflight` lists the outstanding chunk indices).
     Chunks {
         session: SyncSession<Value>,
         sidecar: Arc<StateSidecar>,
         executed: Arc<HashSet<u64>>,
         view: u64,
+        inflight: Vec<u32>,
     },
     /// Chunks installed; waiting for the block tail above the certificate.
     AwaitTail,
@@ -91,12 +99,24 @@ enum SyncPhase {
 /// An in-flight state-sync exchange (requester side).
 struct SyncRun {
     phase: SyncPhase,
-    /// Current serving peer (group index); rotated on failure/timeout.
+    /// Current serving peer (group index); rotated on failure/timeout and
+    /// per in-flight chunk request (fan-out).
     peer: usize,
     /// Full re-fetch (shard transition / restart) vs gap catch-up.
     full: bool,
+    /// Full fetch into a shard whose state this node recently held: its
+    /// old certified root is meaningful and diff sync applies.
+    rejoin: bool,
     /// Whether a chunked transfer happened (vs tail-only catch-up).
     chunked: bool,
+    /// Whether a diff (incremental) session ran in this exchange.
+    diffed: bool,
+    /// Diff disabled for the rest of this exchange (a diff install missed
+    /// the certified root; the retry must be a full transfer).
+    no_diff: bool,
+    /// The local certified snapshot whose root was advertised as
+    /// `old_root` — the base a diff manifest's chunks overlay onto.
+    anchor: Option<(CheckpointCert, Arc<StateSnapshot>)>,
     started: SimTime,
     last_activity: SimTime,
     /// Actors to notify with `TransitionDone` when the sync completes
@@ -135,7 +155,9 @@ pub struct Replica {
     /// Size/byte/timeout batch-formation triggers over `pool`.
     batcher: BatchBuilder,
     ingested: HashMap<u64, NodeId>,
-    executed_reqs: HashSet<u64>,
+    /// Executed-request replay protection, pruned at checkpoint epochs
+    /// (bounded — see [`ExecutedCache`]).
+    executed_reqs: ExecutedCache,
 
     /// Genesis state (reloaded on a crash/restart before state sync).
     genesis: Arc<Vec<(Key, Value)>>,
@@ -144,19 +166,29 @@ pub struct Replica {
     ckpt: CheckpointTracker,
     /// Snapshots at recent own checkpoint heights, awaiting certification.
     snapshots: Vec<CkptSnapshot>,
-    /// The certified snapshots this replica serves state sync from (the
-    /// latest two certificates, so a transfer anchored at the previous
-    /// certificate survives a checkpoint forming mid-transfer).
+    /// The certified snapshots this replica serves state sync from — the
+    /// latest `snapshot_retention` certificates (snapshots are O(1)
+    /// copy-on-write handles, so a deep window costs almost nothing). A
+    /// transfer anchored at an older retained certificate survives
+    /// checkpoints forming mid-transfer, and a rejoiner whose last
+    /// certified root is anywhere in the window gets a diff.
     serving: Vec<(CheckpointCert, CkptSnapshot)>,
     /// Sequence below which executed instances have been pruned. Kept one
     /// checkpoint interval behind `low_mark` so the committed-block tail
     /// above the previous certificate stays servable.
     insts_floor: u64,
+    /// The last certified own snapshot, modelling the on-disk checkpoint
+    /// that survives a crash: a restarting node resumes from it and only
+    /// fetches the diff to the committee's latest certificate.
+    durable: Option<(CheckpointCert, CkptSnapshot)>,
     /// In-flight state sync (requester side).
     sync: Option<SyncRun>,
     /// True while a full re-fetch (transition/restart) suspends consensus
     /// participation: no votes, proposals, or relays until sync completes.
     paused: bool,
+    /// Dark after a [`PbftMsg::Crash`] until the matching `Restart`: every
+    /// message is dropped, timers idle.
+    crashed: bool,
 
     /// View-change votes with arrival times: only fresh votes count toward
     /// quorums, so votes cast by nodes that were briefly cut off long ago
@@ -224,14 +256,16 @@ impl Replica {
             pool,
             batcher,
             ingested: HashMap::new(),
-            executed_reqs: HashSet::new(),
+            executed_reqs: ExecutedCache::new(),
             genesis,
             ckpt: CheckpointTracker::new(),
             snapshots: Vec::new(),
             serving: Vec::new(),
             insts_floor: 0,
+            durable: None,
             sync: None,
             paused: false,
+            crashed: false,
             vc_votes: HashMap::new(),
             vc_backoff: 0,
             last_progress_seq: 0,
@@ -269,6 +303,12 @@ impl Replica {
     /// The replica's transaction pool (post-run inspection).
     pub fn pool(&self) -> &Mempool<Request> {
         &self.pool
+    }
+
+    /// Number of remembered executed-request ids (replay protection;
+    /// bounded by checkpoint-epoch pruning — post-run inspection).
+    pub fn executed_len(&self) -> usize {
+        self.executed_reqs.len()
     }
 
     fn leader_of(&self, view: u64) -> usize {
@@ -360,7 +400,7 @@ impl Replica {
     /// replica is the ingest point, so rejections here are only counted,
     /// not signalled — the ingest replica's copy carries the client reply).
     fn pool_request(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
-        if self.executed_reqs.contains(&req.id) {
+        if self.executed_reqs.contains(req.id) {
             return;
         }
         let now = ctx.now();
@@ -370,7 +410,7 @@ impl Replica {
     fn on_request(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
         // Client-facing ingest: REST + TLS + signature verification.
         self.charge(ctx, self.cfg.ingest_cost, false);
-        if self.executed_reqs.contains(&req.id) {
+        if self.executed_reqs.contains(req.id) {
             // Retransmission of an executed request: nothing to do.
             return;
         }
@@ -411,7 +451,7 @@ impl Replica {
     fn on_relay(&mut self, from: NodeId, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
         // Leader-side pooling of a relayed request: cheap enqueue.
         self.charge(ctx, SimDuration::from_micros(10), false);
-        if self.executed_reqs.contains(&req.id) {
+        if self.executed_reqs.contains(req.id) {
             return;
         }
         let (req_id, client) = (req.id, req.client);
@@ -965,10 +1005,11 @@ impl Replica {
     fn send_checkpoint(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         let seq = self.exec_seq;
         let root = self.state.state_digest();
+        // O(1) in the state size: a frozen tree handle, not a deep clone.
         self.snapshots.push(CkptSnapshot {
             seq,
-            state: Arc::new(self.state.clone()),
-            executed: Arc::new(self.executed_reqs.clone()),
+            snap: Arc::new(self.state.snapshot()),
+            executed: Arc::new(self.executed_reqs.to_set()),
         });
         if self.snapshots.len() > 2 {
             self.snapshots.remove(0);
@@ -1001,14 +1042,19 @@ impl Replica {
         self.insts_floor = floor;
         let pruned = self.state.checkpoint_prune();
         ctx.stats().inc(stat::RESOLVED_PRUNED, pruned as u64);
+        let pruned_exec = self.executed_reqs.checkpoint_prune();
+        ctx.stats().inc(stat::EXECUTED_PRUNED, pruned_exec as u64);
         if self.cfg.crypto == CryptoMode::Real {
             self.tee.truncate(cert.seq);
         }
         if let Some(snap) = self.snapshots.iter().find(|s| s.seq == cert.seq) {
             self.serving.push((cert.clone(), snap.clone()));
-            if self.serving.len() > 2 {
+            while self.serving.len() > self.cfg.snapshot_retention.max(2) {
                 self.serving.remove(0);
             }
+            // The certified own snapshot doubles as the durable (on-disk)
+            // checkpoint a crash cannot erase.
+            self.durable = Some((cert.clone(), snap.clone()));
         }
         self.snapshots.retain(|s| s.seq > cert.seq);
     }
@@ -1109,7 +1155,7 @@ impl Replica {
             return; // one exchange at a time; the sync timer handles stalls
         }
         ctx.stats().inc("consensus.state_sync_requests", 1);
-        self.begin_sync(false, None, ctx);
+        self.begin_sync(false, false, None, ctx);
     }
 
     // ---------- state sync: requester side ----------
@@ -1117,23 +1163,60 @@ impl Replica {
     /// Open a sync exchange. `full` forces a complete chunked re-fetch
     /// (shard transition / restart); otherwise the server decides between a
     /// block tail and a chunked transfer based on how far behind we are.
-    fn begin_sync(&mut self, full: bool, notify: Option<NodeId>, ctx: &mut Ctx<'_, PbftMsg>) {
+    /// `rejoin` marks a full fetch into state this node recently held, so
+    /// its old certified root is meaningful and diff sync applies.
+    fn begin_sync(
+        &mut self,
+        full: bool,
+        rejoin: bool,
+        notify: Option<NodeId>,
+        ctx: &mut Ctx<'_, PbftMsg>,
+    ) {
         let peer = next_sync_peer(self.cfg.n, self.me, self.me);
         let now = ctx.now();
         self.sync = Some(SyncRun {
             phase: SyncPhase::AwaitManifest,
             peer,
             full,
+            rejoin,
             chunked: false,
+            diffed: false,
+            no_diff: false,
+            anchor: None,
             started: now,
             last_activity: now,
             notify: notify.into_iter().collect(),
         });
+        self.send_sync_request(ctx);
+        ctx.set_timer(self.sync_retry_interval(), TIMER_SYNC);
+    }
+
+    /// (Re)issue the opening `SyncRequest` to the current peer, refreshing
+    /// the diff anchor: the newest certified snapshot this node retains.
+    /// The advertised root and the retained base must come from the same
+    /// snapshot, or a diff overlay would merge onto the wrong state.
+    fn send_sync_request(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        // Diff eligibility: enabled, not already fallen back, and the old
+        // root is meaningful for the target state (any gap catch-up, or a
+        // full fetch re-joining recently-held state).
+        let anchor = self
+            .serving
+            .last()
+            .map(|(cert, snap)| (cert.clone(), snap.snap.clone()));
+        let Some(run) = self.sync.as_mut() else { return };
+        let eligible = self.cfg.diff_sync && !run.no_diff && (!run.full || run.rejoin);
+        run.anchor = if eligible { anchor } else { None };
+        let old_root = run.anchor.as_ref().map(|(cert, _)| cert.root);
+        let (peer, full) = (run.peer, run.full);
         ctx.send(
             self.group[peer],
-            PbftMsg::SyncRequest { requester: self.me, have_seq: self.exec_seq, full },
+            PbftMsg::SyncRequest {
+                requester: self.me,
+                have_seq: self.exec_seq,
+                full,
+                old_root,
+            },
         );
-        ctx.set_timer(self.sync_retry_interval(), TIMER_SYNC);
     }
 
     fn sync_retry_interval(&self) -> SimDuration {
@@ -1141,6 +1224,7 @@ impl Replica {
     }
 
 
+    #[allow(clippy::too_many_arguments)]
     fn on_sync_manifest(
         &mut self,
         cert: CheckpointCert,
@@ -1148,6 +1232,8 @@ impl Replica {
         sidecar: Arc<StateSidecar>,
         executed: Arc<HashSet<u64>>,
         view: u64,
+        diff: Option<Arc<Vec<u32>>>,
+        diff_base: Option<Hash>,
         ctx: &mut Ctx<'_, PbftMsg>,
     ) {
         let Some(run) = self.sync.as_mut() else { return };
@@ -1185,7 +1271,21 @@ impl Replica {
         } else {
             self.exec_seq
         };
-        let session = match SyncSession::new(cert, bits, have_seq) {
+        // An incremental plan is only usable when the root the server
+        // diffed against is exactly our *currently retained* anchor — a
+        // late manifest answering an earlier advertisement (the anchor may
+        // have been refreshed by a retry since) must not overlay a newer
+        // base. Anything else downgrades to a full session.
+        let usable_diff = diff.filter(|_| {
+            self.sync
+                .as_ref()
+                .and_then(|r| r.anchor.as_ref())
+                .is_some_and(|(acert, _)| diff_base == Some(acert.root))
+        });
+        let session = match match &usable_diff {
+            Some(chunks) => SyncSession::new_diff(cert, bits, chunks, have_seq),
+            None => SyncSession::new_full(cert, bits, have_seq),
+        } {
             Ok(s) => s,
             Err(_) if first_round => {
                 // Stale certificate on the opening exchange: nothing newer
@@ -1204,14 +1304,54 @@ impl Replica {
         let run = self.sync.as_mut().expect("checked above");
         run.chunked = true;
         run.last_activity = ctx.now();
-        if std::env::var("AHL_DEBUG").is_ok() {
-            eprintln!("[{}] node {} manifest: cert seq {} bits {}", ctx.now(), self.me, session.seq(), session.bits());
+        if session.is_diff() {
+            run.diffed = true;
+            ctx.stats().inc(stat::SYNC_DIFFS, 1);
         }
+        if std::env::var("AHL_DEBUG").is_ok() {
+            eprintln!(
+                "[{}] node {} manifest: cert seq {} bits {} plan {} chunks{}",
+                ctx.now(), self.me, session.seq(), session.bits(), session.total_chunks(),
+                if session.is_diff() { " (diff)" } else { "" },
+            );
+        }
+        let done = session.is_complete();
+        run.phase = SyncPhase::Chunks { session, sidecar, executed, view, inflight: Vec::new() };
+        if done {
+            // Empty diff: the retained snapshot already matches the
+            // certified root — skip straight to the install + tail.
+            self.install_synced_state(ctx);
+        } else {
+            self.pump_chunk_requests(ctx);
+        }
+    }
+
+    /// Keep up to `sync_fanout` chunk requests outstanding, each to a
+    /// different peer in rotation. Chunks verify independently against the
+    /// certified root, so order does not matter and slow peers only stall
+    /// their own slot.
+    fn pump_chunk_requests(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        let fanout = self.cfg.sync_fanout.clamp(1, self.cfg.n.saturating_sub(1).max(1));
+        let me = self.me;
+        let n = self.cfg.n;
+        let Some(run) = self.sync.as_mut() else { return };
+        let SyncPhase::Chunks { session, inflight, .. } = &mut run.phase else { return };
         let seq = session.seq();
-        let chunk = session.next_chunk();
-        run.phase = SyncPhase::Chunks { session, sidecar, executed, view };
-        let peer = run.peer;
-        ctx.send(self.group[peer], PbftMsg::ChunkRequest { requester: self.me, seq, chunk });
+        let mut sends: Vec<(usize, u32)> = Vec::new();
+        for chunk in session.missing_chunks() {
+            if inflight.len() >= fanout {
+                break;
+            }
+            if inflight.contains(&chunk) {
+                continue;
+            }
+            run.peer = next_sync_peer(n, me, run.peer);
+            inflight.push(chunk);
+            sends.push((run.peer, chunk));
+        }
+        for (peer, chunk) in sends {
+            ctx.send(self.group[peer], PbftMsg::ChunkRequest { requester: me, seq, chunk });
+        }
     }
 
     fn on_chunk_data(
@@ -1224,9 +1364,12 @@ impl Replica {
     ) {
         let now = ctx.now();
         let bytes: usize = entries.iter().map(|(k, v)| chunk_entry_bytes(k, v)).sum();
+        let (n, me) = (self.cfg.n, self.me);
         let Some(run) = self.sync.as_mut() else { return };
-        let SyncPhase::Chunks { session, .. } = &mut run.phase else { return };
-        if session.seq() != seq {
+        let SyncPhase::Chunks { session, inflight, .. } = &mut run.phase else { return };
+        if session.seq() != seq || session.is_fetched(chunk) {
+            // Wrong anchor, or a duplicate delivery (timeout retry raced
+            // the original): nothing to verify, count, or charge.
             return;
         }
         run.last_activity = now;
@@ -1237,69 +1380,123 @@ impl Replica {
             .cost(TeeOp::Sha256)
             .saturating_mul(1 + entries.len() as u64)
             + SimDuration::from_nanos((bytes / 8) as u64);
-        match session.accept_chunk(chunk, (*entries).clone(), &proof) {
+        enum Outcome {
+            Done,
+            More,
+            Retry(usize),
+            Ignore,
+        }
+        let outcome = match session.accept_chunk(chunk, (*entries).clone(), &proof) {
             Ok(done) => {
-                self.charge(ctx, verify_cost, false);
-                ctx.stats().inc(stat::SYNC_BYTES, bytes as u64);
+                inflight.retain(|c| *c != chunk);
                 if done {
-                    self.install_synced_state(ctx);
+                    Outcome::Done
                 } else {
-                    let run = self.sync.as_ref().expect("still syncing");
-                    let SyncPhase::Chunks { session, .. } = &run.phase else {
-                        unreachable!("checked above")
-                    };
-                    let (peer, next) = (run.peer, session.next_chunk());
-                    ctx.send(
-                        self.group[peer],
-                        PbftMsg::ChunkRequest { requester: self.me, seq, chunk: next },
-                    );
+                    Outcome::More
                 }
             }
             Err(SyncError::BadProof { .. }) => {
+                // Re-request the same chunk from a different peer: the
+                // session did not advance (resumable transfer). The chunk
+                // stays in `inflight` so the pump keeps its fan-out slot.
+                run.peer = next_sync_peer(n, me, run.peer);
+                Outcome::Retry(run.peer)
+            }
+            // Duplicate or out-of-plan delivery: ignore.
+            Err(_) => Outcome::Ignore,
+        };
+        match outcome {
+            Outcome::Done => {
+                self.charge(ctx, verify_cost, false);
+                ctx.stats().inc(stat::SYNC_BYTES, bytes as u64);
+                self.install_synced_state(ctx);
+            }
+            Outcome::More => {
+                self.charge(ctx, verify_cost, false);
+                ctx.stats().inc(stat::SYNC_BYTES, bytes as u64);
+                self.pump_chunk_requests(ctx);
+            }
+            Outcome::Retry(peer) => {
                 self.charge(ctx, verify_cost, false);
                 ctx.stats().inc(stat::SYNC_PROOF_FAILURES, 1);
-                // Re-request the same chunk from a different peer: the
-                // session did not advance (resumable transfer).
-                let run = self.sync.as_mut().expect("checked above");
-                run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
-                let SyncPhase::Chunks { session, .. } = &run.phase else {
-                    unreachable!("checked above")
-                };
-                let (peer, cur) = (run.peer, session.next_chunk());
                 ctx.send(
                     self.group[peer],
-                    PbftMsg::ChunkRequest { requester: self.me, seq, chunk: cur },
+                    PbftMsg::ChunkRequest { requester: self.me, seq, chunk },
                 );
             }
-            // Duplicate/out-of-order delivery: ignore.
-            Err(_) => {}
+            Outcome::Ignore => {}
         }
     }
 
-    /// All chunks verified: swap in the rebuilt state at the certified
-    /// height, then fetch the block tail above it.
+    /// All planned chunks verified: swap in the rebuilt state at the
+    /// certified height, then fetch the block tail above it. A full plan
+    /// rebuilds from the verified entries alone; a diff plan overlays the
+    /// verified chunks onto the retained anchor snapshot and *must* land
+    /// exactly on the certified root — a mismatch (server lied about the
+    /// changed-chunk set) falls back to a full transfer.
     fn install_synced_state(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         let mut run = self.sync.take().expect("install follows a live session");
-        let SyncPhase::Chunks { session, sidecar, executed, view } =
+        let SyncPhase::Chunks { session, sidecar, executed, view, .. } =
             std::mem::replace(&mut run.phase, SyncPhase::AwaitTail)
         else {
             unreachable!("install follows the chunk phase")
         };
-        let (cert, entries) = session.into_verified();
-        // Rebuild cost: one leaf hash per entry plus tree construction.
+        let is_diff = session.is_diff();
+        let bits = session.bits();
+        let (cert, chunks) = session.into_verified();
+        let fetched: u64 = chunks.iter().map(|(_, e)| e.len() as u64).sum();
+        // Rebuild cost: one leaf hash per *fetched* entry plus tree
+        // construction — a diff install reuses the anchor's shared tree and
+        // only pays for the overlaid chunks.
         self.charge(
             ctx,
             self.cfg
                 .costs
                 .cost(TeeOp::Sha256)
-                .saturating_mul(1 + entries.len() as u64),
+                .saturating_mul(1 + fetched),
             false,
         );
-        let mut state = StateStore::from_entries(entries);
+        let mut state = if is_diff {
+            let (_, anchor) = run.anchor.as_ref().expect("diff session kept its anchor");
+            let mut base = StateStore::from_snapshot(anchor);
+            base.apply_diff(bits, &chunks);
+            if base.state_digest() != cert.root {
+                // The changed-chunk report did not cover every difference:
+                // the merged state misses the certified root. Nothing
+                // unverified was installed — restart the exchange as a
+                // full transfer.
+                ctx.stats().inc(stat::SYNC_DIFF_FALLBACKS, 1);
+                run.phase = SyncPhase::AwaitManifest;
+                run.no_diff = true;
+                run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
+                run.last_activity = ctx.now();
+                self.sync = Some(run);
+                self.send_sync_request(ctx);
+                return;
+            }
+            base
+        } else {
+            StateStore::from_entries(chunks.into_iter().flat_map(|(_, e)| e).collect())
+        };
         state.install_sidecar(&sidecar);
         debug_assert_eq!(state.state_digest(), cert.root, "chunks verified against root");
         self.state = state;
-        self.executed_reqs = (*executed).clone();
+        self.executed_reqs = ExecutedCache::from_set(&executed);
+        // The node now *holds* certified state at `cert`: register it as a
+        // servable snapshot and as the durable checkpoint, so a follow-up
+        // sync (or the next crash) anchors here instead of at whatever
+        // certificate predated this transfer.
+        let installed = CkptSnapshot {
+            seq: cert.seq,
+            snap: Arc::new(self.state.snapshot()),
+            executed: executed.clone(),
+        };
+        self.serving.push((cert.clone(), installed.clone()));
+        while self.serving.len() > self.cfg.snapshot_retention.max(2) {
+            self.serving.remove(0);
+        }
+        run.anchor = Some((cert.clone(), installed.snap.clone()));
+        self.durable = Some((cert.clone(), installed));
         self.exec_seq = cert.seq;
         self.low_mark = cert.seq;
         if run.full {
@@ -1322,18 +1519,32 @@ impl Replica {
         }
         // Drop pooled requests that executed remotely.
         let ex = std::mem::take(&mut self.executed_reqs);
-        self.pool.retain(|r| !ex.contains(&r.id));
+        self.pool.retain(|r| !ex.contains(r.id));
         self.executed_reqs = ex;
         if std::env::var("AHL_DEBUG").is_ok() {
             eprintln!("[{}] node {} installed chunks at seq {}", ctx.now(), self.me, self.exec_seq);
         }
-        // Catch up the blocks committed above the certificate.
+        // Catch up the blocks committed above the certificate. Advertise
+        // the root just installed: if a newer certificate formed
+        // mid-transfer, the server re-anchors us with a near-empty diff
+        // instead of another full pass.
         let peer = run.peer;
+        let installed_root = self
+            .durable
+            .as_ref()
+            .map(|(c, _)| c.root)
+            .expect("durable checkpoint registered just above");
+        let old_root = (self.cfg.diff_sync && !run.no_diff).then_some(installed_root);
         run.last_activity = ctx.now();
         self.sync = Some(run);
         ctx.send(
             self.group[peer],
-            PbftMsg::SyncRequest { requester: self.me, have_seq: self.exec_seq, full: false },
+            PbftMsg::SyncRequest {
+                requester: self.me,
+                have_seq: self.exec_seq,
+                full: false,
+                old_root,
+            },
         );
     }
 
@@ -1395,14 +1606,11 @@ impl Replica {
             // Re-request immediately: the server Nacked precisely because
             // it holds a *newer* cert, so a manifest is available now.
             SyncPhase::Chunks { .. } => {
+                ctx.stats().inc(stat::SYNC_REANCHORS, 1);
                 run.phase = SyncPhase::AwaitManifest;
                 run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
                 run.last_activity = ctx.now();
-                let (peer, full) = (run.peer, run.full);
-                ctx.send(
-                    self.group[peer],
-                    PbftMsg::SyncRequest { requester: self.me, have_seq: self.exec_seq, full },
-                );
+                self.send_sync_request(ctx);
             }
         }
     }
@@ -1436,26 +1644,52 @@ impl Replica {
     }
 
     fn on_sync_timer(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        enum Act {
+            Idle,
+            Manifest,
+            Pump,
+            Tail { peer: usize, no_diff: bool },
+        }
         let retry_after = self.sync_retry_interval().saturating_mul(2);
-        let Some(run) = self.sync.as_mut() else { return };
-        if ctx.now().since(run.last_activity) >= retry_after {
-            run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
-            run.last_activity = ctx.now();
-            let peer = run.peer;
-            let msg = match &run.phase {
-                SyncPhase::AwaitManifest => {
-                    PbftMsg::SyncRequest { requester: self.me, have_seq: self.exec_seq, full: run.full }
+        let (n, me) = (self.cfg.n, self.me);
+        let act = match self.sync.as_mut() {
+            None => return,
+            Some(run) if ctx.now().since(run.last_activity) >= retry_after => {
+                run.peer = next_sync_peer(n, me, run.peer);
+                run.last_activity = ctx.now();
+                match &mut run.phase {
+                    SyncPhase::AwaitManifest => Act::Manifest,
+                    // Outstanding chunk requests went unanswered: forget
+                    // the in-flight set and re-issue across rotated peers.
+                    SyncPhase::Chunks { inflight, .. } => {
+                        inflight.clear();
+                        Act::Pump
+                    }
+                    SyncPhase::AwaitTail => Act::Tail { peer: run.peer, no_diff: run.no_diff },
                 }
-                SyncPhase::Chunks { session, .. } => PbftMsg::ChunkRequest {
-                    requester: self.me,
-                    seq: session.seq(),
-                    chunk: session.next_chunk(),
-                },
-                SyncPhase::AwaitTail => {
-                    PbftMsg::SyncRequest { requester: self.me, have_seq: self.exec_seq, full: false }
-                }
-            };
-            ctx.send(self.group[peer], msg);
+            }
+            Some(_) => Act::Idle,
+        };
+        match act {
+            Act::Idle => {}
+            Act::Manifest => self.send_sync_request(ctx),
+            Act::Pump => self.pump_chunk_requests(ctx),
+            Act::Tail { peer, no_diff } => {
+                // Keep advertising the installed/durable root on retries:
+                // if a newer cert formed, the re-anchor stays incremental.
+                let old_root = (self.cfg.diff_sync && !no_diff)
+                    .then(|| self.durable.as_ref().map(|(c, _)| c.root))
+                    .flatten();
+                ctx.send(
+                    self.group[peer],
+                    PbftMsg::SyncRequest {
+                        requester: self.me,
+                        have_seq: self.exec_seq,
+                        full: false,
+                        old_root,
+                    },
+                );
+            }
         }
         ctx.set_timer(self.sync_retry_interval(), TIMER_SYNC);
     }
@@ -1467,6 +1701,7 @@ impl Replica {
         requester: usize,
         have_seq: u64,
         full: bool,
+        old_root: Option<Hash>,
         ctx: &mut Ctx<'_, PbftMsg>,
     ) {
         if requester >= self.cfg.n || requester == self.me {
@@ -1507,23 +1742,67 @@ impl Replica {
         // latest certified snapshot.
         match self.serving.last() {
             Some((cert, snap)) if full || cert.seq > have_seq => {
-                let bits = chunk_bits_for(snap.state.len(), self.cfg.sync_chunk_target);
-                let sidecar = Arc::new(snap.state.export_sidecar());
-                self.charge(ctx, SimDuration::from_micros(50), false);
+                let bits = chunk_bits_for(snap.snap.len(), self.cfg.sync_chunk_target);
+                // Incremental plan: if the requester's advertised root is
+                // one this node still retains a snapshot of, report only
+                // the chunks that changed since. Retention covers the
+                // serving window (`snapshot_retention` certs) plus the
+                // durable checkpoint; older roots fall back to a full plan.
+                let diff: Option<Arc<Vec<u32>>> = if self.cfg.diff_sync {
+                    old_root.and_then(|oroot| {
+                        self.retained_snapshot(&oroot).map(|old| {
+                            Arc::new(old.smt().diff_chunks(snap.snap.smt(), bits))
+                        })
+                    })
+                } else {
+                    None
+                };
+                let diff_base = diff.as_ref().and(old_root);
+                if std::env::var("AHL_DEBUG").is_ok() {
+                    eprintln!(
+                        "[server {}] sync_request from {} have {} full {} old_root {} -> cert {} diff {:?}",
+                        self.me, requester, have_seq, full,
+                        old_root.is_some(), cert.seq,
+                        diff.as_ref().map(|d| d.len()),
+                    );
+                }
+                let sidecar = Arc::new(snap.snap.sidecar().clone());
+                // Diff computation walks both trees' chunk roots (hash
+                // compares only — shared subtrees never hash again).
+                let serve_cost = SimDuration::from_micros(50)
+                    + SimDuration::from_nanos(
+                        diff.as_ref().map_or(0, |_| (1u64 << bits) * 50),
+                    );
+                self.charge(ctx, serve_cost, false);
                 ctx.send(
                     to,
                     PbftMsg::SyncManifest {
                         cert: cert.clone(),
                         bits,
-                        leaves: snap.state.len() as u64,
+                        leaves: snap.snap.len() as u64,
                         sidecar,
                         executed: snap.executed.clone(),
                         view: self.view,
+                        diff,
+                        diff_base,
                     },
                 );
             }
             _ => ctx.send(to, PbftMsg::SyncNack { have_seq }),
         }
+    }
+
+    /// A retained frozen snapshot whose root is exactly `root`, if any:
+    /// searched through the serving window, the not-yet-certified own
+    /// snapshots, and the durable checkpoint.
+    fn retained_snapshot(&self, root: &Hash) -> Option<&Arc<StateSnapshot>> {
+        self.serving
+            .iter()
+            .map(|(_, s)| s)
+            .chain(self.snapshots.iter())
+            .chain(self.durable.iter().map(|(_, s)| s))
+            .find(|s| s.snap.root() == *root)
+            .map(|s| &s.snap)
     }
 
     fn on_chunk_request(&mut self, requester: usize, seq: u64, chunk: u32, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -1533,22 +1812,26 @@ impl Replica {
         let to = self.group[requester];
         match self.serving.iter().find(|(cert, _)| cert.seq == seq) {
             Some((_, snap)) => {
-                let bits = chunk_bits_for(snap.state.len(), self.cfg.sync_chunk_target);
+                let bits = chunk_bits_for(snap.snap.len(), self.cfg.sync_chunk_target);
                 if chunk >= 1u32 << bits {
                     ctx.send(to, PbftMsg::SyncNack { have_seq: seq });
                     return;
                 }
-                let entries: Vec<(Key, Value)> = snap
-                    .state
-                    .smt()
-                    .chunk_keys(chunk, bits)
-                    .into_iter()
-                    .map(|k| {
-                        let v = snap.state.get(k).cloned().expect("SMT and map agree");
-                        (k.to_string(), v)
-                    })
-                    .collect();
-                let proof = snap.state.smt().chunk_proof(chunk, bits);
+                // The frozen snapshot carries keys *and* values: the chunk
+                // is cut straight from the certified tree.
+                let mut entries: Vec<(Key, Value)> = snap.snap.chunk_entries(chunk, bits);
+                if self.byzantine {
+                    // A Byzantine server corrupts what it serves; the
+                    // requester's per-chunk proof check must catch it and
+                    // fetch the chunk from an honest peer instead.
+                    match entries.first_mut() {
+                        Some((_, Value::Int(i))) => *i ^= 1,
+                        Some((_, Value::Opaque { tag, .. })) => *tag ^= 1,
+                        Some((_, v)) => *v = Value::Bool(false),
+                        None => entries.push(("forged".into(), Value::Int(666))),
+                    }
+                }
+                let proof = snap.snap.chunk_proof(chunk, bits);
                 let bytes: usize = entries.iter().map(|(k, v)| chunk_entry_bytes(k, v)).sum();
                 // Read + serialization cost for the served chunk.
                 self.charge(
@@ -1579,7 +1862,12 @@ impl Replica {
     /// the (new) shard's entire state through the certified chunk protocol.
     /// The old state is kept for *serving* — departing committee members
     /// keep answering chunk requests while they transfer, as in the paper.
-    fn on_transition(&mut self, controller: Option<NodeId>, ctx: &mut Ctx<'_, PbftMsg>) {
+    fn on_transition(
+        &mut self,
+        controller: Option<NodeId>,
+        rejoin: bool,
+        ctx: &mut Ctx<'_, PbftMsg>,
+    ) {
         match &mut self.sync {
             // Already transitioning: the in-flight full fetch serves this
             // request too — attach the new controller rather than dropping
@@ -1601,23 +1889,33 @@ impl Replica {
         }
         ctx.stats().inc("sync.transitions", 1);
         self.paused = true;
-        self.begin_sync(true, controller, ctx);
+        self.begin_sync(true, rejoin, controller, ctx);
     }
 
-    /// Crash/restart: all volatile state is lost; only genesis (on disk)
-    /// survives. Recovery runs through state sync.
+    /// Crash: the node goes dark. Every message is dropped and timers idle
+    /// until a `Restart` arrives — modelling real downtime, during which
+    /// the committee commits on without this member and its block tail
+    /// ages out of peers' retention.
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        ctx.stats().inc("sync.crashes", 1);
+        self.crashed = true;
+        self.paused = true;
+        self.sync = None;
+    }
+
+    /// (Re)start after a crash: all volatile state is lost; genesis and the
+    /// durable checkpoint (the last *certified* snapshot — real nodes
+    /// persist those) survive on disk. The replica resumes from the
+    /// durable checkpoint when one exists and recovers the rest through
+    /// state sync — advertising the durable root, so a peer that still
+    /// retains it serves only the diff.
     fn on_restart(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         ctx.stats().inc("sync.restarts", 1);
-        let mut state = StateStore::new();
-        state.load_genesis(&self.genesis);
-        self.state = state;
+        self.crashed = false;
         self.chain = Chain::new();
         self.maintain_chain = false;
-        self.exec_seq = 0;
-        self.next_seq = 1;
-        self.low_mark = 0;
         self.insts.clear();
-        self.executed_reqs.clear();
+        self.executed_reqs = ExecutedCache::new();
         self.ingested.clear();
         self.pool = Mempool::new(self.cfg.mempool.clone(), self.cfg.pool_seed ^ self.me as u64);
         self.batcher = BatchBuilder::new(BatchConfig {
@@ -1628,13 +1926,40 @@ impl Replica {
         self.ckpt = CheckpointTracker::new();
         self.snapshots.clear();
         self.serving.clear();
-        self.insts_floor = 0;
         self.vc_votes.clear();
         self.vc_backoff = 0;
         self.stall_strikes = 0;
         self.sync = None;
         self.paused = true;
-        self.begin_sync(false, None, ctx);
+        match self.durable.clone() {
+            Some((cert, snap)) => {
+                // Resume from the certified on-disk checkpoint: O(fetched)
+                // recovery instead of re-transferring the whole state.
+                self.state = StateStore::from_snapshot(&snap.snap);
+                self.executed_reqs = ExecutedCache::from_set(&snap.executed);
+                self.exec_seq = cert.seq;
+                self.next_seq = cert.seq + 1;
+                self.low_mark = cert.seq;
+                self.insts_floor = cert.seq;
+                self.ckpt.adopt(cert.clone());
+                // The restored snapshot is servable again (and is the
+                // diff anchor the sync request advertises).
+                self.serving = vec![(cert, snap)];
+            }
+            None => {
+                // No checkpoint ever certified: cold-start from genesis.
+                let mut state = StateStore::new();
+                state.load_genesis(&self.genesis);
+                self.state = state;
+                self.exec_seq = 0;
+                self.next_seq = 1;
+                self.low_mark = 0;
+                self.insts_floor = 0;
+            }
+        }
+        // Timer chains kept alive through the dark period resume driving
+        // batching/view-change/heartbeat once sync completes.
+        self.begin_sync(false, false, None, ctx);
     }
 
     fn start_view_change(&mut self, target: u64, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -1844,6 +2169,14 @@ impl Actor for Replica {
     }
 
     fn on_message(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Ctx<'_, PbftMsg>) {
+        if self.crashed {
+            // Dark: a crashed node neither processes nor serves anything
+            // until its Restart (Crash is idempotent while down).
+            if matches!(msg, PbftMsg::Restart) {
+                self.on_restart(ctx);
+            }
+            return;
+        }
         self.last_msg_at = ctx.now();
         // While a full re-fetch is in flight the replica does not take part
         // in consensus: protocol messages are dropped cheaply (it could not
@@ -1853,7 +2186,13 @@ impl Actor for Replica {
         // snapshot, the paper's departing-committee behaviour.
         if self.paused
             && msg.class() == ahl_simkit::MsgClass::CONSENSUS
-            && !matches!(msg, PbftMsg::Transition { .. } | PbftMsg::Restart | PbftMsg::TransitionDone { .. })
+            && !matches!(
+                msg,
+                PbftMsg::Transition { .. }
+                    | PbftMsg::Crash
+                    | PbftMsg::Restart
+                    | PbftMsg::TransitionDone { .. }
+            )
         {
             self.charge(ctx, SimDuration::from_micros(5), false);
             return;
@@ -1880,12 +2219,19 @@ impl Actor for Replica {
             PbftMsg::Heartbeat { .. } => {
                 self.charge(ctx, SimDuration::from_micros(5), false);
             }
-            PbftMsg::SyncRequest { requester, have_seq, full } => {
-                self.on_sync_request(requester, have_seq, full, ctx)
+            PbftMsg::SyncRequest { requester, have_seq, full, old_root } => {
+                self.on_sync_request(requester, have_seq, full, old_root, ctx)
             }
-            PbftMsg::SyncManifest { cert, bits, leaves: _, sidecar, executed, view } => {
-                self.on_sync_manifest(cert, bits, sidecar, executed, view, ctx)
-            }
+            PbftMsg::SyncManifest {
+                cert,
+                bits,
+                leaves: _,
+                sidecar,
+                executed,
+                view,
+                diff,
+                diff_base,
+            } => self.on_sync_manifest(cert, bits, sidecar, executed, view, diff, diff_base, ctx),
             PbftMsg::ChunkRequest { requester, seq, chunk } => {
                 self.on_chunk_request(requester, seq, chunk, ctx)
             }
@@ -1894,13 +2240,30 @@ impl Actor for Replica {
             }
             PbftMsg::SyncTail { blocks, view } => self.on_sync_tail(blocks, view, ctx),
             PbftMsg::SyncNack { .. } => self.on_sync_nack(ctx),
-            PbftMsg::Transition { controller } => self.on_transition(controller, ctx),
+            PbftMsg::Transition { controller, rejoin } => {
+                self.on_transition(controller, rejoin, ctx)
+            }
             PbftMsg::TransitionDone { .. } => {} // consumed by controllers
+            PbftMsg::Crash => self.on_crash(ctx),
             PbftMsg::Restart => self.on_restart(ctx),
         }
     }
 
     fn on_timer(&mut self, kind: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        if self.crashed {
+            // Keep the periodic timer chains alive (each firing re-arms
+            // itself) without running any handler logic while dark.
+            let interval = match kind {
+                TIMER_BATCH => self.batcher.timeout(),
+                TIMER_VC => self.current_vc_timeout(),
+                TIMER_HEARTBEAT => self.cfg.vc_timeout.mul_f64(0.2),
+                // Crash cleared the sync run; Restart's begin_sync starts
+                // a fresh retry chain — re-arming here would duplicate it.
+                _ => return,
+            };
+            ctx.set_timer(interval, kind);
+            return;
+        }
         match kind {
             TIMER_BATCH => self.on_batch_timer(ctx),
             TIMER_VC => self.on_vc_timer(ctx),

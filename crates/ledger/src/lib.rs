@@ -30,7 +30,7 @@ mod state;
 mod types;
 
 pub use block::{Block, BlockHeader, Chain, ChainError};
-pub use state::{lock_key, StateSidecar, StateStore, LOCK_PREFIX};
+pub use state::{lock_key, StateSidecar, StateSnapshot, StateStore, LOCK_PREFIX};
 // Proof verification for state roots (re-exported so ledger users need not
 // depend on `ahl-store` directly).
 pub use ahl_store::{verify_proof as verify_state_proof, SmtProof};

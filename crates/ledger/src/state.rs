@@ -20,6 +20,17 @@
 //! inclusion/exclusion proofs ([`StateStore::prove`]) and verified chunked
 //! state sync. The root is order-insensitive: any operation sequence
 //! reaching the same map reaches the same root.
+//!
+//! ## Snapshots
+//!
+//! The SMT is *persistent* (copy-on-write, structurally shared) and its
+//! leaves carry the values, so [`StateStore::snapshot`] is an **O(1) root
+//! handle**, not a deep clone: a [`StateSnapshot`] freezes root, keys, and
+//! values at capture time and serves complete state-sync chunks
+//! ([`StateSnapshot::chunk_entries`] / [`StateSnapshot::chunk_proof`]) no
+//! matter how the live store evolves. Checkpoints take one per interval;
+//! retained snapshots also power incremental (diff) sync — see
+//! [`StateStore::apply_diff`].
 
 use std::collections::HashMap;
 
@@ -66,13 +77,76 @@ impl StateSidecar {
     }
 }
 
+/// A frozen, authenticated snapshot of a [`StateStore`]'s key-value
+/// content (plus the 2PC sidecar captured alongside it).
+///
+/// Creation ([`StateStore::snapshot`]) is O(1) in the state size: the
+/// persistent SMT is shared structurally, and its leaves carry the values,
+/// so the snapshot serves complete state-sync chunks — keys, values, and
+/// proofs — without a copy of the flat map. PBFT keeps one per certified
+/// checkpoint; diff sync compares two of them.
+#[derive(Clone, Debug)]
+pub struct StateSnapshot {
+    smt: SparseMerkleTree<Value>,
+    sidecar: StateSidecar,
+}
+
+impl StateSnapshot {
+    /// The state root the snapshot is frozen at.
+    pub fn root(&self) -> Hash {
+        self.smt.root_hash()
+    }
+
+    /// Number of live keys (lock markers included).
+    pub fn len(&self) -> usize {
+        self.smt.len()
+    }
+
+    /// True when the snapshot holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.smt.is_empty()
+    }
+
+    /// The frozen authenticated tree (diff computation, proof serving).
+    pub fn smt(&self) -> &SparseMerkleTree<Value> {
+        &self.smt
+    }
+
+    /// The 2PC bookkeeping captured with the snapshot.
+    pub fn sidecar(&self) -> &StateSidecar {
+        &self.sidecar
+    }
+
+    /// The complete `(key, value)` payload of one state-sync chunk, in
+    /// path order.
+    pub fn chunk_entries(&self, chunk: u32, bits: u8) -> Vec<(Key, Value)> {
+        self.smt
+            .chunk_entries(chunk, bits)
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    /// Sibling hashes proving a chunk against [`StateSnapshot::root`].
+    pub fn chunk_proof(&self, chunk: u32, bits: u8) -> Vec<Hash> {
+        self.smt.chunk_proof(chunk, bits)
+    }
+
+    /// The chunk indices (of `1 << bits`) whose content changed between
+    /// this (older) snapshot and `newer` — the server half of diff sync.
+    pub fn diff_chunks(&self, newer: &StateSnapshot, bits: u8) -> Vec<u32> {
+        self.smt.diff_chunks(&newer.smt, bits)
+    }
+}
+
 /// The ledger state of one shard.
 #[derive(Clone, Debug, Default)]
 pub struct StateStore {
-    /// Read cache: every lookup is O(1); the SMT is the authenticated index.
+    /// Read cache: every lookup is O(1); the SMT is the authenticated index
+    /// *and* the snapshot/serve source (its leaves carry the values).
     map: HashMap<Key, Value>,
     /// Authenticated index over `map` (root = [`StateStore::state_digest`]).
-    smt: SparseMerkleTree,
+    smt: SparseMerkleTree<Value>,
     pending: HashMap<TxId, PendingTx>,
     /// Transactions already committed or aborted here, tagged with the
     /// checkpoint epoch in which they resolved. A PrepareTx that arrives
@@ -96,7 +170,7 @@ impl StateStore {
         debug_assert!(self.map.is_empty(), "genesis load requires an empty store");
         self.map = entries.iter().cloned().collect();
         self.smt = SparseMerkleTree::build(
-            self.map.iter().map(|(k, v)| (k.clone(), v.digest())),
+            self.map.iter().map(|(k, v)| (k.clone(), v.clone())),
         );
     }
 
@@ -108,6 +182,55 @@ impl StateStore {
         let mut s = StateStore::new();
         s.load_genesis(&entries);
         s
+    }
+
+    /// Freeze the current state as a [`StateSnapshot`] — O(1) in the state
+    /// size (one shared tree handle plus the small 2PC sidecar), replacing
+    /// the full deep clone checkpoints used to take.
+    pub fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot { smt: self.smt.clone(), sidecar: self.export_sidecar() }
+    }
+
+    /// Reconstruct a full store from a retained snapshot (durable-
+    /// checkpoint restart, diff-sync base). The authenticated tree is
+    /// shared back in O(1); only the flat read cache is rebuilt, and the
+    /// snapshot's 2PC sidecar is installed.
+    pub fn from_snapshot(snap: &StateSnapshot) -> Self {
+        let mut s = StateStore {
+            map: snap
+                .smt
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            smt: snap.smt.clone(),
+            ..StateStore::default()
+        };
+        s.install_sidecar(&snap.sidecar);
+        s
+    }
+
+    /// Apply an incremental state-sync result: for every `(chunk, entries)`
+    /// pair, drop the local content of that key-range chunk and install the
+    /// verified replacement. After overlaying all changed chunks the root
+    /// must equal the certified one — callers check [`Self::state_digest`]
+    /// and fall back to a full transfer on mismatch (a server that lied
+    /// about the changed-chunk set cannot slip state past the root).
+    pub fn apply_diff(&mut self, bits: u8, chunks: &[(u32, Vec<(Key, Value)>)]) {
+        for (chunk, entries) in chunks {
+            let stale: Vec<Key> = self
+                .smt
+                .chunk_keys(*chunk, bits)
+                .iter()
+                .map(|k| k.to_string())
+                .collect();
+            for k in stale {
+                self.smt.remove(&k);
+                self.map.remove(&k);
+            }
+            for (k, v) in entries {
+                self.put(k.clone(), v.clone());
+            }
+        }
     }
 
     /// Read a key.
@@ -123,7 +246,7 @@ impl StateStore {
     /// Direct write (genesis/state-sync only; transactions go through
     /// [`StateStore::execute`]).
     pub fn put(&mut self, key: Key, value: Value) {
-        self.smt.insert(&key, value.digest());
+        self.smt.insert(&key, value.clone());
         self.map.insert(key, value);
     }
 
@@ -166,7 +289,7 @@ impl StateStore {
     }
 
     /// The authenticated index (proof generation, chunk serving).
-    pub fn smt(&self) -> &SparseMerkleTree {
+    pub fn smt(&self) -> &SparseMerkleTree<Value> {
         &self.smt
     }
 
@@ -247,13 +370,13 @@ impl StateStore {
     fn apply_mutation(&mut self, key: &Key, m: &Mutation) {
         match m {
             Mutation::Set(v) => {
-                self.smt.insert(key, v.digest());
+                self.smt.insert(key, v.clone());
                 self.map.insert(key.clone(), v.clone());
             }
             Mutation::Add(d) => {
                 let cur = self.get_int(key);
                 let v = Value::Int(cur + d);
-                self.smt.insert(key, v.digest());
+                self.smt.insert(key, v.clone());
                 self.map.insert(key.clone(), v);
             }
             Mutation::Delete => {
@@ -311,7 +434,7 @@ impl StateStore {
         for k in &locks {
             let lk = lock_key(k);
             let v = Value::Bool(true);
-            self.smt.insert(&lk, v.digest());
+            self.smt.insert(&lk, v.clone());
             self.map.insert(lk, v);
         }
         self.pending.insert(

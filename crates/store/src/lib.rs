@@ -1,20 +1,30 @@
-//! # ahl-store — authenticated state, checkpoints, and state sync
+//! # ahl-store — authenticated state, snapshots, checkpoints, and state sync
 //!
 //! The building block the paper's epoch reconfiguration (§5.3) leans on but
 //! the seed reproduction only simulated: state a node can *verify*, not
 //! just copy. Three pieces:
 //!
-//! * [`SparseMerkleTree`] — a path-compressed sparse Merkle tree over
-//!   `sha256(key)` paths. Every ledger mutation updates O(log n) nodes, the
-//!   root commits to the entire key-value state, and any key supports an
-//!   inclusion or exclusion proof ([`SmtProof`], [`verify_proof`]).
+//! * [`SparseMerkleTree`] — a **persistent** (copy-on-write,
+//!   structurally-shared) path-compressed sparse Merkle tree over
+//!   `sha256(key)` paths, generic over the leaf value. Every ledger
+//!   mutation updates O(log n) nodes, the root commits to the entire
+//!   key-value state, any key supports an inclusion or exclusion proof
+//!   ([`SmtProof`], [`verify_proof`]) — and `clone()` is an **O(1)
+//!   snapshot**: an immutable handle whose root, proofs, and chunk proofs
+//!   stay byte-identical while the live tree diverges. Retained snapshots
+//!   power [`SparseMerkleTree::diff_chunks`], the changed-chunk report
+//!   behind incremental sync.
 //! * [`CheckpointVote`] / [`CheckpointCert`] — every `K` blocks replicas
 //!   sign `(height, state_root)`; a quorum of matching votes forms a
 //!   certificate that gates pruning and anchors state transfer.
 //! * [`SyncSession`] — a lagging or joining replica fetches the latest
-//!   certificate, then fixed key-range chunks, verifying each against the
-//!   certified root ([`verify_chunk`]) before accepting it, with resumable
-//!   per-chunk progress.
+//!   certificate, then key-range chunks (in any order, from several peers
+//!   in parallel), verifying each against the certified root
+//!   ([`verify_chunk`]) before accepting it. A **full** plan fetches every
+//!   chunk; a **diff** plan ([`SyncSession::new_diff`]) fetches only the
+//!   chunks changed since an older certified root the requester still
+//!   holds, falling back to a full transfer when the server no longer
+//!   retains that root.
 //!
 //! ## Root vs rolling digest
 //!
@@ -27,21 +37,63 @@
 //! chunk-transferable. `ahl-ledger` keeps its flat `HashMap` as the read
 //! cache; this crate owns the authenticated index.
 //!
+//! ## Quickstart: snapshots, proofs, and a diff transfer
+//!
 //! ```
-//! use ahl_store::{SparseMerkleTree, verify_proof};
+//! use ahl_store::{verify_chunk, verify_proof, SparseMerkleTree, SyncSession};
+//! use ahl_store::{key_path, CheckpointCert};
 //! use ahl_crypto::sha256;
 //!
 //! let mut smt = SparseMerkleTree::new();
 //! smt.insert("alice", sha256(b"100"));
 //! smt.insert("bob", sha256(b"50"));
-//! let root = smt.root_hash();
+//!
+//! // An O(1) snapshot: a frozen handle onto the current tree.
+//! let snap = smt.clone();
+//! let old_root = snap.root_hash();
 //!
 //! // Prove alice's balance hash is committed by the root …
-//! let proof = smt.prove("alice");
-//! assert!(verify_proof(&root, "alice", Some(&sha256(b"100")), &proof));
+//! let proof = snap.prove("alice");
+//! assert!(verify_proof(&old_root, "alice", Some(&sha256(b"100")), &proof));
 //! // … and that carol has no account at all (exclusion).
-//! let absent = smt.prove("carol");
-//! assert!(verify_proof(&root, "carol", None, &absent));
+//! assert!(verify_proof(&old_root, "carol", None, &snap.prove("carol")));
+//!
+//! // The live tree moves on; the snapshot does not.
+//! smt.insert("alice", sha256(b"75"));
+//! smt.insert("carol", sha256(b"10"));
+//! assert_eq!(snap.root_hash(), old_root);
+//!
+//! // Incremental sync: a node that still holds `old_root` (certified)
+//! // only needs the chunks that changed since.
+//! let bits = 2;
+//! let changed = snap.diff_chunks(&smt, bits);
+//! let cert = CheckpointCert { seq: 1, root: smt.root_hash(), votes: vec![(0, None)] };
+//! let mut session: SyncSession<ahl_crypto::Hash> =
+//!     SyncSession::new_diff(cert, bits, &changed, 0).unwrap();
+//! for &c in &changed {
+//!     let entries: Vec<_> = smt
+//!         .chunk_entries(c, bits)
+//!         .into_iter()
+//!         .map(|(k, v)| (k.to_string(), *v))
+//!         .collect();
+//!     session.accept_chunk(c, entries, &smt.chunk_proof(c, bits)).unwrap();
+//! }
+//! // Overlay the verified chunks onto the old snapshot: the merged tree
+//! // must land exactly on the certified root.
+//! let (cert, chunks) = session.into_verified();
+//! let mut merged = snap.clone();
+//! for (c, entries) in chunks {
+//!     let stale: Vec<String> =
+//!         merged.chunk_keys(c, bits).iter().map(|k| k.to_string()).collect();
+//!     for k in stale {
+//!         merged.remove(&k);
+//!     }
+//!     for (k, v) in entries {
+//!         merged.insert(&k, v);
+//!     }
+//! }
+//! assert_eq!(merged.root_hash(), cert.root);
+//! # let _ = verify_chunk; let _ = key_path;
 //! ```
 
 #![warn(missing_docs)]
@@ -57,7 +109,7 @@ pub use smt::{
     chunk_of, combine, key_path, leaf_hash, verify_chunk, verify_proof, SmtProof,
     SparseMerkleTree,
 };
-pub use sync::{chunk_bits_for, SyncError, SyncProgress, SyncSession};
+pub use sync::{chunk_bits_for, SyncError, SyncProgress, SyncSession, VerifiedChunk};
 
 use ahl_crypto::Hash;
 
@@ -69,4 +121,13 @@ use ahl_crypto::Hash;
 pub trait StateValue {
     /// Canonical content digest of the value (the SMT leaf value hash).
     fn leaf_digest(&self) -> Hash;
+}
+
+/// A bare hash is its own digest — the classic "authenticated index" shape
+/// (`SparseMerkleTree<Hash>`, the default type parameter), where callers
+/// keep the actual values elsewhere.
+impl StateValue for Hash {
+    fn leaf_digest(&self) -> Hash {
+        *self
+    }
 }

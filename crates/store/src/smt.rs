@@ -1,4 +1,4 @@
-//! A sparse Merkle tree over 256-bit key paths.
+//! A *persistent* sparse Merkle tree over 256-bit key paths.
 //!
 //! Keys are hashed to a 256-bit *path* (`sha256(key)`); the tree is the
 //! path-compressed binary trie over the paths of all live keys (a crit-bit
@@ -14,6 +14,24 @@
 //! `ahl_crypto::MerkleTree`. The same `combine` rule (empty sides pass
 //! through) lets a verifier fold proofs without knowing the tree shape.
 //!
+//! ## Structural sharing (copy-on-write)
+//!
+//! Nodes are reference-counted ([`std::sync::Arc`]) and never mutated while
+//! shared: an update clones only the O(log n) nodes on the leaf's root path
+//! (via `Arc::make_mut`, which mutates in place when the node is unshared —
+//! the common case with no snapshot outstanding). Consequently
+//! [`SparseMerkleTree::clone`] is **O(1)**: it copies one pointer and a
+//! counter, and the clone is a true immutable snapshot — its root, proofs,
+//! and chunk proofs stay byte-identical no matter how the live tree evolves.
+//! This is what makes per-checkpoint state snapshots free and lets a server
+//! retain several certified snapshots for diff computation.
+//!
+//! The tree is generic over the leaf *value* `V` (any [`StateValue`]), so a
+//! snapshot alone can serve complete state-sync chunks — keys, values and
+//! proofs — without a side copy of the flat map. The default `V = Hash`
+//! (where a value is its own digest) keeps the classic authenticated-index
+//! shape.
+//!
 //! Three proof forms back the store subsystem:
 //! * **inclusion** — `key` maps to `value_hash` under `root`,
 //! * **exclusion** — `key` is absent under `root` (the proof exhibits the
@@ -21,8 +39,16 @@
 //! * **chunk** — the complete, ordered set of leaves whose path starts with
 //!   a given prefix (state-sync transfers ride on this: a chunk that drops,
 //!   adds, or alters any key fails verification against the root).
+//!
+//! On top of chunks, [`SparseMerkleTree::diff_chunks`] compares two trees
+//! (typically two retained snapshots) and returns exactly the chunk indices
+//! whose content differs — the unit of *incremental* state sync.
+
+use std::sync::Arc;
 
 use ahl_crypto::{sha256_parts, Hash};
+
+use crate::StateValue;
 
 /// The path of a key: `sha256(key)`.
 pub fn key_path(key: &str) -> Hash {
@@ -68,30 +94,72 @@ fn chunk_bit(chunk: u32, bits: u8, d: u16) -> usize {
     ((chunk >> (bits as u32 - 1 - d as u32)) & 1) as usize
 }
 
-struct Leaf {
+struct Leaf<V> {
     path: Hash,
     key: String,
     vhash: Hash,
     hash: Hash,
+    value: V,
 }
 
-struct Branch {
+impl<V: Clone> Clone for Leaf<V> {
+    fn clone(&self) -> Self {
+        Leaf {
+            path: self.path,
+            key: self.key.clone(),
+            vhash: self.vhash,
+            hash: self.hash,
+            value: self.value.clone(),
+        }
+    }
+}
+
+struct Branch<V> {
     /// The bit index at which the two children diverge. All leaves below
     /// share path bits `0..bit`; children split on bit `bit`.
     bit: u16,
     hash: Hash,
-    children: [Node; 2],
+    children: [Node<V>; 2],
 }
 
-#[derive(Default)]
-enum Node {
-    #[default]
+impl<V> Clone for Branch<V> {
+    fn clone(&self) -> Self {
+        // Children are Arc handles: a branch clone is O(1) and shares both
+        // subtrees (this is the copy-on-write path clone).
+        Branch {
+            bit: self.bit,
+            hash: self.hash,
+            children: [self.children[0].clone(), self.children[1].clone()],
+        }
+    }
+}
+
+enum Node<V> {
     Empty,
-    Leaf(Box<Leaf>),
-    Branch(Box<Branch>),
+    Leaf(Arc<Leaf<V>>),
+    Branch(Arc<Branch<V>>),
 }
 
-impl Node {
+impl<V> Clone for Node<V> {
+    fn clone(&self) -> Self {
+        match self {
+            Node::Empty => Node::Empty,
+            Node::Leaf(l) => Node::Leaf(Arc::clone(l)),
+            Node::Branch(b) => Node::Branch(Arc::clone(b)),
+        }
+    }
+}
+
+// Not derived: a derive would bound `V: Default`, which leaf values need
+// not satisfy.
+#[allow(clippy::derivable_impls)]
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node::Empty
+    }
+}
+
+impl<V> Node<V> {
     fn hash(&self) -> Hash {
         match self {
             Node::Empty => Hash::ZERO,
@@ -110,6 +178,10 @@ impl Node {
             Node::Branch(b) => b.children[0].representative(),
         }
     }
+}
+
+fn branch_hash<V>(children: &[Node<V>; 2]) -> Hash {
+    sha256_parts(&[&[0x01], &children[0].hash().0, &children[1].hash().0])
 }
 
 /// An inclusion/exclusion proof: the leaf found at the key's position plus
@@ -134,41 +206,33 @@ impl SmtProof {
     }
 }
 
-/// A sparse Merkle tree mapping keys to value hashes.
+/// A persistent sparse Merkle tree mapping keys to values (each committed
+/// through its [`StateValue::leaf_digest`]).
 ///
-/// The tree owns the key strings so state-sync chunk enumeration needs no
-/// side index; the actual values live in the caller's flat map.
-#[derive(Default)]
-pub struct SparseMerkleTree {
-    root: Node,
+/// The tree owns the key strings *and* values, so a snapshot (an O(1)
+/// [`Clone`]) can serve state-sync chunk enumeration and payloads without a
+/// side index.
+pub struct SparseMerkleTree<V = Hash> {
+    root: Node<V>,
     len: usize,
 }
 
-impl Clone for SparseMerkleTree {
-    fn clone(&self) -> Self {
-        // Iterative rebuild avoids deep recursive clone; O(n) hashes would
-        // be wasteful, so clone nodes structurally instead.
-        fn clone_node(n: &Node) -> Node {
-            match n {
-                Node::Empty => Node::Empty,
-                Node::Leaf(l) => Node::Leaf(Box::new(Leaf {
-                    path: l.path,
-                    key: l.key.clone(),
-                    vhash: l.vhash,
-                    hash: l.hash,
-                })),
-                Node::Branch(b) => Node::Branch(Box::new(Branch {
-                    bit: b.bit,
-                    hash: b.hash,
-                    children: [clone_node(&b.children[0]), clone_node(&b.children[1])],
-                })),
-            }
-        }
-        SparseMerkleTree { root: clone_node(&self.root), len: self.len }
+impl<V> Default for SparseMerkleTree<V> {
+    fn default() -> Self {
+        SparseMerkleTree { root: Node::Empty, len: 0 }
     }
 }
 
-impl std::fmt::Debug for SparseMerkleTree {
+impl<V> Clone for SparseMerkleTree<V> {
+    /// O(1): shares the whole node graph. The clone is an immutable
+    /// snapshot — subsequent mutations of either tree copy-on-write the
+    /// affected root path and leave the other untouched.
+    fn clone(&self) -> Self {
+        SparseMerkleTree { root: self.root.clone(), len: self.len }
+    }
+}
+
+impl<V> std::fmt::Debug for SparseMerkleTree<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SparseMerkleTree")
             .field("len", &self.len)
@@ -177,62 +241,12 @@ impl std::fmt::Debug for SparseMerkleTree {
     }
 }
 
-impl SparseMerkleTree {
+type BuildEntry<V> = Option<(Hash, String, Hash, V)>;
+
+impl<V> SparseMerkleTree<V> {
     /// An empty tree (root = [`Hash::ZERO`]).
     pub fn new() -> Self {
-        SparseMerkleTree { root: Node::Empty, len: 0 }
-    }
-
-    /// Bulk-build from `(key, value_hash)` pairs (one hash per node instead
-    /// of O(log n) per insert — use for genesis and state-sync install).
-    /// Later duplicates of a key win.
-    pub fn build(entries: impl IntoIterator<Item = (String, Hash)>) -> Self {
-        let mut leaves: Vec<(Hash, String, Hash)> = entries
-            .into_iter()
-            .map(|(k, vh)| (key_path(&k), k, vh))
-            .collect();
-        leaves.sort_by_key(|l| l.0 .0);
-        leaves.dedup_by(|later, earlier| {
-            if later.0 == earlier.0 {
-                // Keep the later insertion, matching insert-loop semantics.
-                earlier.2 = later.2;
-                std::mem::swap(&mut earlier.1, &mut later.1);
-                true
-            } else {
-                false
-            }
-        });
-        let len = leaves.len();
-        let root = Self::build_node(&mut leaves[..]);
-        SparseMerkleTree { root, len }
-    }
-
-    fn build_node(leaves: &mut [(Hash, String, Hash)]) -> Node {
-        match leaves {
-            [] => Node::Empty,
-            [(path, key, vhash)] => {
-                let hash = leaf_hash(path, vhash);
-                Node::Leaf(Box::new(Leaf {
-                    path: *path,
-                    key: std::mem::take(key),
-                    vhash: *vhash,
-                    hash,
-                }))
-            }
-            _ => {
-                // Sorted slice: the crit bit is the first bit where the
-                // first and last path differ.
-                let first = leaves.first().expect("non-empty").0;
-                let last = leaves.last().expect("non-empty").0;
-                let bit = first_diff_bit(&first, &last).expect("distinct paths");
-                let split = leaves.partition_point(|(p, _, _)| path_bit(p, bit) == 0);
-                let (l, r) = leaves.split_at_mut(split);
-                let left = Self::build_node(l);
-                let right = Self::build_node(r);
-                let hash = sha256_parts(&[&[0x01], &left.hash().0, &right.hash().0]);
-                Node::Branch(Box::new(Branch { bit, hash, children: [left, right] }))
-            }
-        }
+        Self::default()
     }
 
     /// Number of live keys.
@@ -250,147 +264,28 @@ impl SparseMerkleTree {
         self.root.hash()
     }
 
-    /// The value hash stored for `key`, if present.
-    pub fn get(&self, key: &str) -> Option<&Hash> {
+    /// The value stored for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&V> {
         let path = key_path(key);
         let mut node = &self.root;
         loop {
             match node {
                 Node::Empty => return None,
-                Node::Leaf(l) => return (l.path == path).then_some(&l.vhash),
+                Node::Leaf(l) => return (l.path == path).then_some(&l.value),
                 Node::Branch(b) => node = &b.children[path_bit(&path, b.bit)],
             }
         }
     }
 
-    /// Insert or update `key` with `value_hash`. O(log n) hashes.
-    pub fn insert(&mut self, key: &str, vhash: Hash) {
+    /// The value hash committed for `key`, if present.
+    pub fn get_hash(&self, key: &str) -> Option<Hash> {
         let path = key_path(key);
-        // Find the leaf the path routes to (the crit-bit candidate).
         let mut node = &self.root;
-        let existing = loop {
+        loop {
             match node {
-                Node::Empty => break None,
-                Node::Leaf(l) => break Some(l.path),
+                Node::Empty => return None,
+                Node::Leaf(l) => return (l.path == path).then_some(l.vhash),
                 Node::Branch(b) => node = &b.children[path_bit(&path, b.bit)],
-            }
-        };
-        match existing {
-            None => {
-                debug_assert!(matches!(self.root, Node::Empty));
-                let hash = leaf_hash(&path, &vhash);
-                self.root = Node::Leaf(Box::new(Leaf {
-                    path,
-                    key: key.to_string(),
-                    vhash,
-                    hash,
-                }));
-                self.len = 1;
-            }
-            Some(lpath) if lpath == path => {
-                Self::update_rec(&mut self.root, &path, &vhash);
-            }
-            Some(lpath) => {
-                let crit = first_diff_bit(&path, &lpath).expect("paths differ");
-                Self::splice_rec(&mut self.root, path, key, vhash, crit);
-                self.len += 1;
-            }
-        }
-    }
-
-    fn update_rec(node: &mut Node, path: &Hash, vhash: &Hash) {
-        match node {
-            Node::Leaf(l) => {
-                debug_assert_eq!(l.path, *path);
-                l.vhash = *vhash;
-                l.hash = leaf_hash(path, vhash);
-            }
-            Node::Branch(b) => {
-                let dir = path_bit(path, b.bit);
-                Self::update_rec(&mut b.children[dir], path, vhash);
-                b.hash = sha256_parts(&[
-                    &[0x01],
-                    &b.children[0].hash().0,
-                    &b.children[1].hash().0,
-                ]);
-            }
-            Node::Empty => unreachable!("update_rec only reaches live leaves"),
-        }
-    }
-
-    fn splice_rec(node: &mut Node, path: Hash, key: &str, vhash: Hash, crit: u16) {
-        match node {
-            Node::Branch(b) if b.bit < crit => {
-                let dir = path_bit(&path, b.bit);
-                Self::splice_rec(&mut b.children[dir], path, key, vhash, crit);
-                b.hash = sha256_parts(&[
-                    &[0x01],
-                    &b.children[0].hash().0,
-                    &b.children[1].hash().0,
-                ]);
-            }
-            _ => {
-                // Splice a new branch at `crit` above the current node.
-                let old = std::mem::take(node);
-                let hash = leaf_hash(&path, &vhash);
-                let new_leaf = Node::Leaf(Box::new(Leaf {
-                    path,
-                    key: key.to_string(),
-                    vhash,
-                    hash,
-                }));
-                let dir = path_bit(&path, crit);
-                let mut children = [Node::Empty, Node::Empty];
-                children[dir] = new_leaf;
-                children[1 - dir] = old;
-                let hash = sha256_parts(&[
-                    &[0x01],
-                    &children[0].hash().0,
-                    &children[1].hash().0,
-                ]);
-                *node = Node::Branch(Box::new(Branch { bit: crit, hash, children }));
-            }
-        }
-    }
-
-    /// Remove `key`. Returns whether it was present. O(log n) hashes.
-    pub fn remove(&mut self, key: &str) -> bool {
-        let path = key_path(key);
-        let removed = Self::remove_rec(&mut self.root, &path);
-        if removed {
-            self.len -= 1;
-        }
-        removed
-    }
-
-    fn remove_rec(node: &mut Node, path: &Hash) -> bool {
-        match node {
-            Node::Empty => false,
-            Node::Leaf(l) => {
-                if l.path == *path {
-                    *node = Node::Empty;
-                    true
-                } else {
-                    false
-                }
-            }
-            Node::Branch(b) => {
-                let dir = path_bit(path, b.bit);
-                if !Self::remove_rec(&mut b.children[dir], path) {
-                    return false;
-                }
-                if matches!(b.children[dir], Node::Empty) {
-                    // Collapse the branch: the sibling takes its place.
-                    let sibling = std::mem::take(&mut b.children[1 - dir]);
-                    *node = sibling;
-                } else {
-                    b.hash = sha256_parts(&[
-                        &[0x01],
-                        &b.children[0].hash().0,
-                        &b.children[1].hash().0,
-                    ]);
-                }
-                true
             }
         }
     }
@@ -422,14 +317,14 @@ impl SparseMerkleTree {
         }
     }
 
-    /// Iterate all `(key, value_hash)` pairs in path order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &Hash)> {
+    /// Iterate all `(key, value)` pairs in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &V)> {
         let mut stack = vec![&self.root];
         std::iter::from_fn(move || loop {
             let node = stack.pop()?;
             match node {
                 Node::Empty => continue,
-                Node::Leaf(l) => return Some((l.key.as_str(), &l.vhash)),
+                Node::Leaf(l) => return Some((l.key.as_str(), &l.value)),
                 Node::Branch(b) => {
                     stack.push(&b.children[1]);
                     stack.push(&b.children[0]);
@@ -441,6 +336,13 @@ impl SparseMerkleTree {
     /// The keys whose paths fall in chunk `chunk` of `1 << bits`, in path
     /// order (the unit of state-sync transfer).
     pub fn chunk_keys(&self, chunk: u32, bits: u8) -> Vec<&str> {
+        self.chunk_entries(chunk, bits).into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// The `(key, value)` pairs of chunk `chunk` of `1 << bits`, in path
+    /// order — the complete payload of one state-sync chunk, served from
+    /// this tree (or any snapshot of it) alone.
+    pub fn chunk_entries(&self, chunk: u32, bits: u8) -> Vec<(&str, &V)> {
         let mut out = Vec::new();
         let mut node = &self.root;
         loop {
@@ -448,7 +350,7 @@ impl SparseMerkleTree {
                 Node::Empty => return out,
                 Node::Leaf(l) => {
                     if chunk_of(&l.path, bits) == chunk {
-                        out.push(l.key.as_str());
+                        out.push((l.key.as_str(), &l.value));
                     }
                     return out;
                 }
@@ -456,7 +358,7 @@ impl SparseMerkleTree {
                     let rep = *b.children[0].representative().expect("branches are non-empty");
                     if b.bit as u32 >= bits as u32 {
                         if chunk_of(&rep, bits) == chunk {
-                            Self::collect_keys(node, &mut out);
+                            Self::collect_entries(node, &mut out);
                         }
                         return out;
                     }
@@ -471,13 +373,13 @@ impl SparseMerkleTree {
         }
     }
 
-    fn collect_keys<'a>(node: &'a Node, out: &mut Vec<&'a str>) {
+    fn collect_entries<'a>(node: &'a Node<V>, out: &mut Vec<(&'a str, &'a V)>) {
         match node {
             Node::Empty => {}
-            Node::Leaf(l) => out.push(l.key.as_str()),
+            Node::Leaf(l) => out.push((l.key.as_str(), &l.value)),
             Node::Branch(b) => {
-                Self::collect_keys(&b.children[0], out);
-                Self::collect_keys(&b.children[1], out);
+                Self::collect_entries(&b.children[0], out);
+                Self::collect_entries(&b.children[1], out);
             }
         }
     }
@@ -523,6 +425,228 @@ impl SparseMerkleTree {
                     node = &b.children[dir];
                 }
             }
+        }
+    }
+
+    /// Hash of the subtree holding exactly the leaves of chunk `chunk` of
+    /// `1 << bits` (the value [`verify_chunk`] reassembles from the served
+    /// entries). ZERO for an empty chunk. Two trees hold identical content
+    /// in a chunk iff their chunk roots match — the basis of
+    /// [`SparseMerkleTree::diff_chunks`].
+    pub fn chunk_root(&self, chunk: u32, bits: u8) -> Hash {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Empty => return Hash::ZERO,
+                Node::Leaf(l) => {
+                    return if chunk_of(&l.path, bits) == chunk { l.hash } else { Hash::ZERO };
+                }
+                Node::Branch(b) => {
+                    let rep = *b.children[0].representative().expect("branches are non-empty");
+                    if b.bit as u32 >= bits as u32 {
+                        return if chunk_of(&rep, bits) == chunk { b.hash } else { Hash::ZERO };
+                    }
+                    if matches!(first_chunk_diff(&rep, chunk, bits), Some(d) if d < b.bit) {
+                        return Hash::ZERO;
+                    }
+                    node = &b.children[chunk_bit(chunk, bits, b.bit)];
+                }
+            }
+        }
+    }
+
+    /// The chunk indices (of `1 << bits`) whose content differs between
+    /// `self` (the older snapshot) and `newer`, ascending.
+    ///
+    /// This is the server half of incremental state sync: a requester that
+    /// still holds this tree's certified root only needs these chunks (plus
+    /// per-chunk proofs against the *new* root) to reach the new state. The
+    /// comparison is hash-only — with structural sharing between snapshots,
+    /// unchanged regions compare equal without touching their leaves.
+    pub fn diff_chunks(&self, newer: &Self, bits: u8) -> Vec<u32> {
+        if self.root_hash() == newer.root_hash() {
+            return Vec::new();
+        }
+        (0..1u32 << bits)
+            .filter(|&c| self.chunk_root(c, bits) != newer.chunk_root(c, bits))
+            .collect()
+    }
+}
+
+impl<V: StateValue> SparseMerkleTree<V> {
+    /// Bulk-build from `(key, value)` pairs (one hash per node instead of
+    /// O(log n) per insert — use for genesis and state-sync install).
+    /// Later duplicates of a key win.
+    pub fn build(entries: impl IntoIterator<Item = (String, V)>) -> Self {
+        let mut leaves: Vec<(Hash, String, Hash, V)> = entries
+            .into_iter()
+            .map(|(k, v)| (key_path(&k), k, v.leaf_digest(), v))
+            .collect();
+        leaves.sort_by_key(|l| l.0 .0);
+        leaves.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                // Keep the later insertion, matching insert-loop semantics.
+                earlier.2 = later.2;
+                std::mem::swap(&mut earlier.1, &mut later.1);
+                std::mem::swap(&mut earlier.3, &mut later.3);
+                true
+            } else {
+                false
+            }
+        });
+        let len = leaves.len();
+        let mut slots: Vec<BuildEntry<V>> = leaves.into_iter().map(Some).collect();
+        let root = Self::build_node(&mut slots[..]);
+        SparseMerkleTree { root, len }
+    }
+
+    fn build_node(leaves: &mut [BuildEntry<V>]) -> Node<V> {
+        match leaves {
+            [] => Node::Empty,
+            [slot] => {
+                let (path, key, vhash, value) = slot.take().expect("each slot consumed once");
+                let hash = leaf_hash(&path, &vhash);
+                Node::Leaf(Arc::new(Leaf { path, key, vhash, hash, value }))
+            }
+            _ => {
+                // Sorted slice: the crit bit is the first bit where the
+                // first and last path differ.
+                let first = leaves.first().and_then(|s| s.as_ref()).expect("non-empty").0;
+                let last = leaves.last().and_then(|s| s.as_ref()).expect("non-empty").0;
+                let bit = first_diff_bit(&first, &last).expect("distinct paths");
+                let split = leaves
+                    .partition_point(|s| path_bit(&s.as_ref().expect("unconsumed").0, bit) == 0);
+                let (l, r) = leaves.split_at_mut(split);
+                let left = Self::build_node(l);
+                let right = Self::build_node(r);
+                let children = [left, right];
+                let hash = branch_hash(&children);
+                Node::Branch(Arc::new(Branch { bit, hash, children }))
+            }
+        }
+    }
+}
+
+impl<V: StateValue + Clone> SparseMerkleTree<V> {
+    /// Insert or update `key` with `value`. O(log n) hashes; clones only
+    /// the nodes on the key's root path that are shared with snapshots.
+    pub fn insert(&mut self, key: &str, value: V) {
+        let path = key_path(key);
+        let vhash = value.leaf_digest();
+        // Find the leaf the path routes to (the crit-bit candidate).
+        let mut node = &self.root;
+        let existing = loop {
+            match node {
+                Node::Empty => break None,
+                Node::Leaf(l) => break Some(l.path),
+                Node::Branch(b) => node = &b.children[path_bit(&path, b.bit)],
+            }
+        };
+        match existing {
+            None => {
+                debug_assert!(matches!(self.root, Node::Empty));
+                let hash = leaf_hash(&path, &vhash);
+                self.root = Node::Leaf(Arc::new(Leaf {
+                    path,
+                    key: key.to_string(),
+                    vhash,
+                    hash,
+                    value,
+                }));
+                self.len = 1;
+            }
+            Some(lpath) if lpath == path => {
+                Self::update_rec(&mut self.root, &path, vhash, value);
+            }
+            Some(lpath) => {
+                let crit = first_diff_bit(&path, &lpath).expect("paths differ");
+                Self::splice_rec(&mut self.root, path, key, vhash, value, crit);
+                self.len += 1;
+            }
+        }
+    }
+
+    fn update_rec(node: &mut Node<V>, path: &Hash, vhash: Hash, value: V) {
+        match node {
+            Node::Leaf(l) => {
+                let l = Arc::make_mut(l);
+                debug_assert_eq!(l.path, *path);
+                l.vhash = vhash;
+                l.value = value;
+                l.hash = leaf_hash(path, &vhash);
+            }
+            Node::Branch(b) => {
+                let b = Arc::make_mut(b);
+                let dir = path_bit(path, b.bit);
+                Self::update_rec(&mut b.children[dir], path, vhash, value);
+                b.hash = branch_hash(&b.children);
+            }
+            Node::Empty => unreachable!("update_rec only reaches live leaves"),
+        }
+    }
+
+    fn splice_rec(node: &mut Node<V>, path: Hash, key: &str, vhash: Hash, value: V, crit: u16) {
+        match node {
+            Node::Branch(b) if b.bit < crit => {
+                let b = Arc::make_mut(b);
+                let dir = path_bit(&path, b.bit);
+                Self::splice_rec(&mut b.children[dir], path, key, vhash, value, crit);
+                b.hash = branch_hash(&b.children);
+            }
+            _ => {
+                // Splice a new branch at `crit` above the current node.
+                let old = std::mem::take(node);
+                let hash = leaf_hash(&path, &vhash);
+                let new_leaf = Node::Leaf(Arc::new(Leaf {
+                    path,
+                    key: key.to_string(),
+                    vhash,
+                    hash,
+                    value,
+                }));
+                let dir = path_bit(&path, crit);
+                let mut children = [Node::Empty, Node::Empty];
+                children[dir] = new_leaf;
+                children[1 - dir] = old;
+                let hash = branch_hash(&children);
+                *node = Node::Branch(Arc::new(Branch { bit: crit, hash, children }));
+            }
+        }
+    }
+
+    /// Remove `key`. Returns whether it was present. O(log n) hashes;
+    /// copy-on-write like [`SparseMerkleTree::insert`].
+    pub fn remove(&mut self, key: &str) -> bool {
+        // Probe first: a miss must not copy-on-write any shared node.
+        if self.get_hash(key).is_none() {
+            return false;
+        }
+        let path = key_path(key);
+        Self::remove_rec(&mut self.root, &path);
+        self.len -= 1;
+        true
+    }
+
+    /// Remove the (known-present) leaf at `path`.
+    fn remove_rec(node: &mut Node<V>, path: &Hash) {
+        match node {
+            Node::Leaf(l) => {
+                debug_assert_eq!(l.path, *path);
+                *node = Node::Empty;
+            }
+            Node::Branch(b) => {
+                let b = Arc::make_mut(b);
+                let dir = path_bit(path, b.bit);
+                Self::remove_rec(&mut b.children[dir], path);
+                if matches!(b.children[dir], Node::Empty) {
+                    // Collapse the branch: the sibling takes its place.
+                    let sibling = std::mem::take(&mut b.children[1 - dir]);
+                    *node = sibling;
+                } else {
+                    b.hash = branch_hash(&b.children);
+                }
+            }
+            Node::Empty => unreachable!("probe found the key"),
         }
     }
 }
@@ -662,7 +786,7 @@ mod tests {
 
     #[test]
     fn empty_tree_zero_root() {
-        let t = SparseMerkleTree::new();
+        let t: SparseMerkleTree = SparseMerkleTree::new();
         assert_eq!(t.root_hash(), Hash::ZERO);
         assert!(t.is_empty());
         let p = t.prove("missing");
@@ -677,6 +801,7 @@ mod tests {
         let r1 = t.root_hash();
         t.insert("a", vh(2));
         assert_eq!(t.get("a"), Some(&vh(2)));
+        assert_eq!(t.get_hash("a"), Some(vh(2)));
         assert_ne!(t.root_hash(), r1);
         assert_eq!(t.len(), 1);
         assert!(t.remove("a"));
@@ -788,10 +913,10 @@ mod tests {
         let t = tree_of(100);
         for bits in [0u8, 1, 3, 4] {
             for chunk in 0..(1u32 << bits) {
-                let keys = t.chunk_keys(chunk, bits);
-                let entries: Vec<(Hash, Hash)> = keys
+                let entries: Vec<(Hash, Hash)> = t
+                    .chunk_entries(chunk, bits)
                     .iter()
-                    .map(|k| (key_path(k), *t.get(k).expect("live")))
+                    .map(|(k, v)| (key_path(k), **v))
                     .collect();
                 let proof = t.chunk_proof(chunk, bits);
                 assert!(
@@ -857,6 +982,101 @@ mod tests {
         assert_eq!(t.len(), c.len());
     }
 
+    #[test]
+    fn snapshot_isolated_from_mutations() {
+        let mut t = tree_of(64);
+        let snap = t.clone(); // O(1) handle
+        let root = snap.root_hash();
+        let proof = snap.prove("key-7");
+        // Mutate the live tree heavily: update, insert, remove.
+        for i in 0..64u64 {
+            t.insert(&format!("key-{i}"), vh(i + 1000));
+        }
+        for i in 0..32u64 {
+            t.insert(&format!("new-{i}"), vh(i));
+        }
+        for i in 0..16u64 {
+            t.remove(&format!("key-{i}"));
+        }
+        assert_ne!(t.root_hash(), root, "live tree diverged");
+        // The snapshot is byte-identical to its capture point.
+        assert_eq!(snap.root_hash(), root);
+        assert_eq!(snap.len(), 64);
+        assert_eq!(snap.prove("key-7"), proof);
+        assert!(verify_proof(&root, "key-7", Some(&vh(7)), &snap.prove("key-7")));
+        assert_eq!(snap.get("key-3"), Some(&vh(3)));
+        // Chunk proofs of the snapshot still verify against the old root.
+        let bits = 2u8;
+        for chunk in 0..4u32 {
+            let entries: Vec<(Hash, Hash)> = snap
+                .chunk_entries(chunk, bits)
+                .iter()
+                .map(|(k, v)| (key_path(k), **v))
+                .collect();
+            assert!(verify_chunk(&root, chunk, bits, &entries, &snap.chunk_proof(chunk, bits)));
+        }
+    }
+
+    #[test]
+    fn chunk_root_matches_reassembly() {
+        let t = tree_of(80);
+        for bits in [0u8, 2, 4] {
+            for chunk in 0..(1u32 << bits) {
+                let entries: Vec<(Hash, Hash)> = t
+                    .chunk_entries(chunk, bits)
+                    .iter()
+                    .map(|(k, v)| (key_path(k), **v))
+                    .collect();
+                assert_eq!(
+                    t.chunk_root(chunk, bits),
+                    subtree_from_leaves(&entries, bits as u16),
+                    "bits {bits} chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diff_chunks_finds_exactly_changed_chunks() {
+        let old = tree_of(120);
+        let mut new = old.clone();
+        // Touch a handful of keys (update, insert, delete).
+        new.insert("key-5", vh(999));
+        new.insert("brand-new", vh(1));
+        new.remove("key-77");
+        let bits = 5u8;
+        let changed = old.diff_chunks(&new, bits);
+        let expect: std::collections::BTreeSet<u32> = [
+            chunk_of(&key_path("key-5"), bits),
+            chunk_of(&key_path("brand-new"), bits),
+            chunk_of(&key_path("key-77"), bits),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(changed, expect.into_iter().collect::<Vec<u32>>());
+        // Applying the changed chunks' new content onto the old tree
+        // reproduces the new root exactly (the client-side diff install).
+        let mut merged = old.clone();
+        for &c in &old.diff_chunks(&new, bits) {
+            let stale: Vec<String> =
+                merged.chunk_keys(c, bits).iter().map(|k| k.to_string()).collect();
+            for k in stale {
+                merged.remove(&k);
+            }
+            let fresh: Vec<(String, Hash)> = new
+                .chunk_entries(c, bits)
+                .iter()
+                .map(|(k, v)| (k.to_string(), **v))
+                .collect();
+            for (k, v) in fresh {
+                merged.insert(&k, v);
+            }
+        }
+        assert_eq!(merged.root_hash(), new.root_hash());
+        // Identical trees have an empty diff.
+        assert!(new.diff_chunks(&new.clone(), bits).is_empty());
+    }
+
     proptest::proptest! {
         /// Random op sequences: the incremental tree equals a bulk rebuild
         /// of the surviving reference map, regardless of operation order.
@@ -895,9 +1115,9 @@ mod tests {
             );
             for chunk in 0..(1u32 << bits) {
                 let entries: Vec<(Hash, Hash)> = t
-                    .chunk_keys(chunk, bits)
+                    .chunk_entries(chunk, bits)
                     .iter()
-                    .map(|k| (key_path(k), *t.get(k).expect("live")))
+                    .map(|(k, v)| (key_path(k), **v))
                     .collect();
                 let proof = t.chunk_proof(chunk, bits);
                 proptest::prop_assert!(

@@ -1,12 +1,29 @@
 //! Requester-side state-sync session: certificate-anchored, chunked,
-//! verified, resumable.
+//! verified, resumable — full or incremental (diff).
 //!
 //! A lagging or joining replica (1) obtains the latest [`CheckpointCert`],
-//! (2) requests fixed key-range chunks in order, verifying each against the
-//! certified root *before* accepting it, and (3) installs the accumulated
-//! state once every chunk has verified. The session records per-chunk
-//! progress, so a failed or unanswered chunk is simply re-requested —
-//! possibly from a different peer — without restarting the transfer.
+//! (2) requests key-range chunks, verifying each against the certified root
+//! *before* accepting it, and (3) installs the accumulated state once every
+//! planned chunk has verified. Two plans exist:
+//!
+//! * **full** — every chunk of the key space (`0 .. 1 << bits`); the
+//!   verified entries *are* the complete state.
+//! * **diff** — only the chunks the server reported as changed relative to
+//!   an older certified root the requester still holds
+//!   ([`SparseMerkleTree::diff_chunks`]). The requester overlays the
+//!   verified chunks onto its retained snapshot; because each fetched chunk
+//!   proves against the *new* root and the final merged tree must reproduce
+//!   that root exactly, a server that lies about the changed set is caught.
+//!
+//! Chunks verify independently, so they may be requested **in any order
+//! and from several peers in parallel**; the session tracks which planned
+//! chunks are still missing, and a failed or unanswered chunk is simply
+//! re-requested — possibly from a different peer — without restarting the
+//! transfer.
+//!
+//! [`SparseMerkleTree::diff_chunks`]: crate::SparseMerkleTree::diff_chunks
+
+use std::collections::BTreeMap;
 
 use ahl_crypto::Hash;
 
@@ -35,10 +52,9 @@ pub enum SyncError {
     },
     /// The certificate failed quorum/signature verification.
     BadCert,
-    /// A chunk arrived out of order.
-    WrongChunk {
-        /// The chunk the session expects next.
-        expected: u32,
+    /// A chunk outside the transfer plan arrived (wrong index, or a chunk
+    /// the diff plan never asked for).
+    UnknownChunk {
         /// The chunk that arrived.
         got: u32,
     },
@@ -56,8 +72,8 @@ impl std::fmt::Display for SyncError {
                 write!(f, "stale certificate: have seq {have}, cert seq {cert}")
             }
             SyncError::BadCert => write!(f, "certificate failed verification"),
-            SyncError::WrongChunk { expected, got } => {
-                write!(f, "out-of-order chunk: expected {expected}, got {got}")
+            SyncError::UnknownChunk { got } => {
+                write!(f, "chunk {got} is not part of the transfer plan")
             }
             SyncError::BadProof { chunk } => write!(f, "chunk {chunk} failed proof check"),
         }
@@ -75,31 +91,68 @@ pub struct SyncProgress {
     pub leaves: u64,
 }
 
+/// One verified chunk's payload: its index and `(key, value)` entries.
+pub type VerifiedChunk<V> = (u32, Vec<(String, V)>);
+
 /// A resumable chunked-sync session for value type `V`.
 #[derive(Debug)]
 pub struct SyncSession<V> {
     cert: CheckpointCert,
     bits: u8,
-    next_chunk: u32,
-    entries: Vec<(String, V)>,
+    /// Chunk indices to fetch, ascending. Full plan: `0 .. 1 << bits`;
+    /// diff plan: the server-reported changed chunks.
+    plan: Vec<u32>,
+    diff: bool,
+    /// Verified chunk payloads, keyed by chunk index.
+    fetched: BTreeMap<u32, Vec<(String, V)>>,
     progress: SyncProgress,
 }
 
 impl<V: StateValue> SyncSession<V> {
-    /// Start a session against `cert` with `1 << bits` chunks (`bits` is
-    /// clamped to [`chunk_bits_for`]'s maximum of 16 — a malicious manifest
-    /// cannot overflow the chunk count). Fails if the certificate is not
-    /// ahead of `have_seq` (stale-cert defence: a malicious or confused
-    /// server cannot roll the requester back).
-    pub fn new(cert: CheckpointCert, bits: u8, have_seq: u64) -> Result<Self, SyncError> {
+    /// Start a full transfer against `cert` with `1 << bits` chunks
+    /// (`bits` is clamped to [`chunk_bits_for`]'s maximum of 16 — a
+    /// malicious manifest cannot overflow the chunk count). Fails if the
+    /// certificate is not ahead of `have_seq` (stale-cert defence: a
+    /// malicious or confused server cannot roll the requester back).
+    pub fn new_full(cert: CheckpointCert, bits: u8, have_seq: u64) -> Result<Self, SyncError> {
         if cert.seq <= have_seq {
             return Err(SyncError::StaleCert { have: have_seq, cert: cert.seq });
         }
+        let bits = bits.min(16);
         Ok(SyncSession {
             cert,
-            bits: bits.min(16),
-            next_chunk: 0,
-            entries: Vec::new(),
+            bits,
+            plan: (0..1u32 << bits).collect(),
+            diff: false,
+            fetched: BTreeMap::new(),
+            progress: SyncProgress::default(),
+        })
+    }
+
+    /// Start an incremental transfer: fetch only `chunks` (the server's
+    /// changed-chunk report relative to an older root the requester still
+    /// holds). Indices are deduplicated, sorted, and bounded by the chunk
+    /// count; an empty plan means the retained state already matches the
+    /// certified root and the session completes immediately.
+    pub fn new_diff(
+        cert: CheckpointCert,
+        bits: u8,
+        chunks: &[u32],
+        have_seq: u64,
+    ) -> Result<Self, SyncError> {
+        if cert.seq <= have_seq {
+            return Err(SyncError::StaleCert { have: have_seq, cert: cert.seq });
+        }
+        let bits = bits.min(16);
+        let mut plan: Vec<u32> = chunks.iter().copied().filter(|c| *c < 1u32 << bits).collect();
+        plan.sort_unstable();
+        plan.dedup();
+        Ok(SyncSession {
+            cert,
+            bits,
+            plan,
+            diff: true,
+            fetched: BTreeMap::new(),
             progress: SyncProgress::default(),
         })
     }
@@ -114,14 +167,9 @@ impl<V: StateValue> SyncSession<V> {
         self.cert.seq
     }
 
-    /// The chunk to request next.
-    pub fn next_chunk(&self) -> u32 {
-        self.next_chunk
-    }
-
-    /// Total number of chunks in the plan.
-    pub fn total_chunks(&self) -> u32 {
-        1u32 << self.bits
+    /// Whether this is an incremental (diff) transfer.
+    pub fn is_diff(&self) -> bool {
+        self.diff
     }
 
     /// Chunk-count exponent.
@@ -129,9 +177,29 @@ impl<V: StateValue> SyncSession<V> {
         self.bits
     }
 
-    /// True once every chunk has been verified and accepted.
+    /// Total number of chunks in the plan.
+    pub fn total_chunks(&self) -> u32 {
+        self.plan.len() as u32
+    }
+
+    /// The planned chunks not yet verified, ascending — request these, in
+    /// any order, from any peers.
+    pub fn missing_chunks(&self) -> Vec<u32> {
+        self.plan
+            .iter()
+            .copied()
+            .filter(|c| !self.fetched.contains_key(c))
+            .collect()
+    }
+
+    /// Whether `chunk` has already been verified and accepted.
+    pub fn is_fetched(&self, chunk: u32) -> bool {
+        self.fetched.contains_key(&chunk)
+    }
+
+    /// True once every planned chunk has been verified and accepted.
     pub fn is_complete(&self) -> bool {
-        self.next_chunk == self.total_chunks()
+        self.fetched.len() == self.plan.len()
     }
 
     /// Transfer counters so far.
@@ -139,17 +207,22 @@ impl<V: StateValue> SyncSession<V> {
         self.progress
     }
 
-    /// Verify and accept a chunk. Returns `Ok(true)` when this was the last
-    /// chunk. On [`SyncError::BadProof`] the session stays positioned at the
-    /// same chunk, so the caller re-requests it (resumability).
+    /// Verify and accept a chunk (any plan order; duplicates are ignored).
+    /// Returns `Ok(true)` once the plan is complete. On
+    /// [`SyncError::BadProof`] the chunk stays missing, so the caller
+    /// re-requests it — typically from a different peer (resumability).
     pub fn accept_chunk(
         &mut self,
         chunk: u32,
         entries: Vec<(String, V)>,
         proof: &[Hash],
     ) -> Result<bool, SyncError> {
-        if chunk != self.next_chunk {
-            return Err(SyncError::WrongChunk { expected: self.next_chunk, got: chunk });
+        // `plan` is sorted ascending (both constructors guarantee it).
+        if self.plan.binary_search(&chunk).is_err() {
+            return Err(SyncError::UnknownChunk { got: chunk });
+        }
+        if self.fetched.contains_key(&chunk) {
+            return Ok(self.is_complete()); // duplicate delivery (retry race)
         }
         let mut leaves: Vec<(Hash, Hash)> = entries
             .iter()
@@ -162,16 +235,18 @@ impl<V: StateValue> SyncSession<V> {
         }
         self.progress.chunks_ok += 1;
         self.progress.leaves += entries.len() as u64;
-        self.entries.extend(entries);
-        self.next_chunk += 1;
+        self.fetched.insert(chunk, entries);
         Ok(self.is_complete())
     }
 
     /// Consume the completed session, yielding the certificate and the
-    /// verified key-value pairs. Panics if the session is incomplete.
-    pub fn into_verified(self) -> (CheckpointCert, Vec<(String, V)>) {
+    /// verified chunks as `(chunk index, entries)` in ascending chunk
+    /// order. For a full plan, concatenating the entries is the complete
+    /// state; for a diff plan, overlay them chunk-by-chunk onto the
+    /// retained snapshot. Panics if the session is incomplete.
+    pub fn into_verified(self) -> (CheckpointCert, Vec<VerifiedChunk<V>>) {
         assert!(self.is_complete(), "sync session incomplete");
-        (self.cert, self.entries)
+        (self.cert, self.fetched.into_iter().collect())
     }
 }
 
@@ -190,54 +265,102 @@ mod tests {
         }
     }
 
-    fn fixture(n: u64) -> (SparseMerkleTree, Vec<(String, Val)>) {
-        let kv: Vec<(String, Val)> = (0..n).map(|i| (format!("key-{i}"), Val(i))).collect();
-        let t = SparseMerkleTree::build(kv.iter().map(|(k, v)| (k.clone(), v.leaf_digest())));
-        (t, kv)
+    fn fixture(n: u64) -> SparseMerkleTree<Val> {
+        SparseMerkleTree::build((0..n).map(|i| (format!("key-{i}"), Val(i))))
     }
 
-    fn cert_for(t: &SparseMerkleTree, seq: u64) -> CheckpointCert {
+    fn cert_for(t: &SparseMerkleTree<Val>, seq: u64) -> CheckpointCert {
         CheckpointCert { seq, root: t.root_hash(), votes: vec![(0, None), (1, None)] }
     }
 
-    fn chunk_payload(t: &SparseMerkleTree, kv: &[(String, Val)], chunk: u32, bits: u8) -> Vec<(String, Val)> {
-        t.chunk_keys(chunk, bits)
-            .iter()
-            .map(|k| {
-                let v = kv.iter().find(|(key, _)| key == k).expect("known key").1.clone();
-                (k.to_string(), v)
-            })
+    fn chunk_payload(t: &SparseMerkleTree<Val>, chunk: u32, bits: u8) -> Vec<(String, Val)> {
+        t.chunk_entries(chunk, bits)
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
             .collect()
     }
 
     #[test]
-    fn full_session_round_trip() {
-        let (t, kv) = fixture(100);
+    fn full_session_round_trip_any_order() {
+        let t = fixture(100);
         let bits = 3u8;
-        let mut s: SyncSession<Val> = SyncSession::new(cert_for(&t, 50), bits, 0).expect("fresh");
-        while !s.is_complete() {
-            let c = s.next_chunk();
-            let payload = chunk_payload(&t, &kv, c, bits);
+        let mut s: SyncSession<Val> =
+            SyncSession::new_full(cert_for(&t, 50), bits, 0).expect("fresh");
+        assert_eq!(s.total_chunks(), 8);
+        // Deliver chunks in a scrambled order (multi-peer fan-out).
+        for c in [5u32, 0, 7, 2, 1, 6, 3, 4] {
+            let payload = chunk_payload(&t, c, bits);
             let proof = t.chunk_proof(c, bits);
             s.accept_chunk(c, payload, &proof).expect("verifies");
         }
         assert_eq!(s.progress().chunks_ok, 8);
         assert_eq!(s.progress().proof_failures, 0);
-        let (_, entries) = s.into_verified();
+        assert!(s.missing_chunks().is_empty());
+        let (_, chunks) = s.into_verified();
+        let entries: Vec<(String, Val)> = chunks.into_iter().flat_map(|(_, e)| e).collect();
         assert_eq!(entries.len(), 100);
         // The verified set reassembles the certified root.
-        let rebuilt = SparseMerkleTree::build(
-            entries.iter().map(|(k, v)| (k.clone(), v.leaf_digest())),
-        );
+        let rebuilt = SparseMerkleTree::build(entries);
         assert_eq!(rebuilt.root_hash(), t.root_hash());
     }
 
     #[test]
+    fn diff_session_fetches_only_changed_chunks() {
+        let old = fixture(80);
+        let mut new = old.clone();
+        new.insert("key-3", Val(333));
+        new.insert("added", Val(1));
+        new.remove("key-9");
+        let bits = 4u8;
+        let changed = old.diff_chunks(&new, bits);
+        assert!(!changed.is_empty() && changed.len() < 1 << bits);
+        let mut s: SyncSession<Val> =
+            SyncSession::new_diff(cert_for(&new, 60), bits, &changed, 0).expect("fresh");
+        assert!(s.is_diff());
+        assert_eq!(s.total_chunks() as usize, changed.len());
+        // A chunk outside the plan is refused.
+        let outside = (0..1u32 << bits).find(|c| !changed.contains(c)).expect("some unchanged");
+        assert_eq!(
+            s.accept_chunk(outside, chunk_payload(&new, outside, bits), &new.chunk_proof(outside, bits)),
+            Err(SyncError::UnknownChunk { got: outside })
+        );
+        for &c in &changed {
+            s.accept_chunk(c, chunk_payload(&new, c, bits), &new.chunk_proof(c, bits))
+                .expect("verifies against the new root");
+        }
+        // Overlaying the verified chunks onto the old snapshot reproduces
+        // the new root exactly.
+        let (cert, chunks) = s.into_verified();
+        let mut merged = old.clone();
+        for (c, entries) in chunks {
+            let stale: Vec<String> =
+                merged.chunk_keys(c, bits).iter().map(|k| k.to_string()).collect();
+            for k in stale {
+                merged.remove(&k);
+            }
+            for (k, v) in entries {
+                merged.insert(&k, v);
+            }
+        }
+        assert_eq!(merged.root_hash(), cert.root);
+    }
+
+    #[test]
+    fn empty_diff_completes_immediately() {
+        let t = fixture(10);
+        let s: SyncSession<Val> =
+            SyncSession::new_diff(cert_for(&t, 5), 3, &[], 0).expect("fresh");
+        assert!(s.is_complete());
+        assert_eq!(s.total_chunks(), 0);
+    }
+
+    #[test]
     fn tampered_chunk_rejected_and_resumable() {
-        let (t, kv) = fixture(60);
+        let t = fixture(60);
         let bits = 2u8;
-        let mut s: SyncSession<Val> = SyncSession::new(cert_for(&t, 50), bits, 0).expect("fresh");
-        let mut payload = chunk_payload(&t, &kv, 0, bits);
+        let mut s: SyncSession<Val> =
+            SyncSession::new_full(cert_for(&t, 50), bits, 0).expect("fresh");
+        let mut payload = chunk_payload(&t, 0, bits);
         let proof = t.chunk_proof(0, bits);
         if payload.is_empty() {
             // Inject a foreign key instead.
@@ -250,30 +373,37 @@ mod tests {
             Err(SyncError::BadProof { chunk: 0 })
         );
         assert_eq!(s.progress().proof_failures, 1);
-        // Session still expects chunk 0: retry with the honest payload.
-        let honest = chunk_payload(&t, &kv, 0, bits);
+        assert!(s.missing_chunks().contains(&0));
+        // Retry with the honest payload: the session accepts it.
+        let honest = chunk_payload(&t, 0, bits);
         s.accept_chunk(0, honest, &proof).expect("honest retry verifies");
-        assert_eq!(s.next_chunk(), 1);
+        assert!(!s.missing_chunks().contains(&0));
+        // A duplicate delivery of the same chunk is a no-op.
+        let dup = chunk_payload(&t, 0, bits);
+        assert_eq!(s.accept_chunk(0, dup, &proof), Ok(false));
+        assert_eq!(s.progress().chunks_ok, 1);
     }
 
     #[test]
     fn stale_cert_rejected() {
-        let (t, _) = fixture(10);
-        let err = SyncSession::<Val>::new(cert_for(&t, 50), 2, 50).expect_err("stale");
+        let t = fixture(10);
+        let err = SyncSession::<Val>::new_full(cert_for(&t, 50), 2, 50).expect_err("stale");
         assert_eq!(err, SyncError::StaleCert { have: 50, cert: 50 });
-        assert!(SyncSession::<Val>::new(cert_for(&t, 51), 2, 50).is_ok());
+        assert!(SyncSession::<Val>::new_full(cert_for(&t, 51), 2, 50).is_ok());
+        assert!(SyncSession::<Val>::new_diff(cert_for(&t, 50), 2, &[0], 50).is_err());
     }
 
     #[test]
-    fn out_of_order_chunk_rejected() {
-        let (t, kv) = fixture(20);
+    fn out_of_range_chunk_rejected() {
+        let t = fixture(20);
         let bits = 2u8;
-        let mut s: SyncSession<Val> = SyncSession::new(cert_for(&t, 9), bits, 0).expect("fresh");
-        let payload = chunk_payload(&t, &kv, 1, bits);
+        let mut s: SyncSession<Val> =
+            SyncSession::new_full(cert_for(&t, 9), bits, 0).expect("fresh");
+        let payload = chunk_payload(&t, 1, bits);
         let proof = t.chunk_proof(1, bits);
         assert_eq!(
-            s.accept_chunk(1, payload, &proof),
-            Err(SyncError::WrongChunk { expected: 0, got: 1 })
+            s.accept_chunk(9, payload, &proof),
+            Err(SyncError::UnknownChunk { got: 9 })
         );
     }
 

@@ -1,0 +1,281 @@
+//! System-level state-sync battery (tier-1).
+//!
+//! Crash/recovery scenarios over the full PBFT + store stack: mid-transfer
+//! certificate rotation (re-anchor), Byzantine chunk servers (tampered
+//! chunks rejected per proof, recovery completes from honest peers),
+//! diff-vs-full equivalence, a crash in the middle of an incremental
+//! transfer, and the bounded-growth regression test for the
+//! executed-request replay cache.
+
+use ahl::consensus::clients::OpenLoopClient;
+use ahl::consensus::common::stat;
+use ahl::consensus::harness::ControlScript;
+use ahl::consensus::pbft::{build_group, BftVariant, PbftConfig, PbftMsg, Replica};
+use ahl::consensus::CryptoMode;
+use ahl::ledger::Value;
+use ahl::net::ClusterNetwork;
+use ahl::simkit::{QueueConfig, Sim, SimDuration, SimTime};
+use ahl::workload::SmallBankWorkload;
+
+const ACCOUNTS: usize = 8;
+
+/// A 5-node AHL+ committee with `pad_keys` bulk-state blobs of `pad_bytes`
+/// each, SmallBank load until `load_until`, and a scripted fault schedule.
+fn run_scenario(
+    mut cfg: PbftConfig,
+    pad_keys: usize,
+    pad_bytes: u64,
+    load_until: u64,
+    run_until: u64,
+    schedule: Vec<(SimDuration, usize, PbftMsg)>,
+    seed: u64,
+) -> (Sim<PbftMsg>, Vec<usize>, i64) {
+    cfg.crypto = CryptoMode::Real;
+    cfg.batch_size = 16;
+    cfg.batch_timeout = SimDuration::from_millis(5);
+    let mut genesis = SmallBankWorkload::paper(ACCOUNTS, 0.0).genesis();
+    let expected_balance: i64 = genesis
+        .iter()
+        .filter(|(k, _)| k.starts_with("ck_") || k.starts_with("sv_"))
+        .filter_map(|(_, v)| v.as_int())
+        .sum();
+    for i in 0..pad_keys {
+        genesis.push((format!("blob_{i}"), Value::Opaque { size: pad_bytes, tag: i as u64 }));
+    }
+    let (mut sim, group) =
+        build_group(&cfg, Box::new(ClusterNetwork::new()), Some(1e9), &genesis, seed);
+    let stop = SimTime::ZERO + SimDuration::from_secs(load_until);
+    let client = OpenLoopClient::new(
+        group.clone(),
+        SimDuration::from_millis(2),
+        stop,
+        SmallBankWorkload::paper(ACCOUNTS, 0.0).factory(0),
+    );
+    sim.add_actor(Box::new(client), QueueConfig::unbounded());
+    let script = ControlScript::new(
+        schedule
+            .into_iter()
+            .map(|(at, idx, msg)| (at, group[idx], msg))
+            .collect(),
+    );
+    sim.add_actor(Box::new(script), QueueConfig::unbounded());
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(run_until));
+    (sim, group, expected_balance)
+}
+
+fn replica(sim: &Sim<PbftMsg>, id: usize) -> &Replica {
+    sim.actor(id)
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Replica>())
+        .expect("replica actor")
+}
+
+/// The recovered node's ledger must byte-match a healthy replica's at the
+/// same execution point, and the SmallBank balances must be conserved.
+fn assert_recovered(sim: &Sim<PbftMsg>, group: &[usize], node: usize, expected_balance: i64) {
+    let restarted = replica(sim, group[node]);
+    let max_exec = group.iter().map(|&id| replica(sim, id).exec_seq()).max().unwrap();
+    assert!(
+        restarted.exec_seq() + 32 >= max_exec && max_exec > 0,
+        "node {} stuck at {} vs committee {}",
+        node,
+        restarted.exec_seq(),
+        max_exec
+    );
+    let twin = group
+        .iter()
+        .filter(|&&id| id != group[node])
+        .map(|&id| replica(sim, id))
+        .find(|r| r.exec_seq() == restarted.exec_seq());
+    if let Some(twin) = twin {
+        assert_eq!(
+            twin.state().state_digest(),
+            restarted.state().state_digest(),
+            "recovered state must match the committee's"
+        );
+    }
+    let balance: i64 = restarted
+        .state()
+        .iter()
+        .filter(|(k, _)| k.starts_with("ck_") || k.starts_with("sv_"))
+        .filter_map(|(_, v)| v.as_int())
+        .sum();
+    assert_eq!(balance, expected_balance, "balances conserved through recovery");
+}
+
+/// Certificates rotate faster than the (deliberately slow, sequential,
+/// full) transfer completes: the serving snapshot ages out mid-transfer,
+/// the server Nacks, and the requester re-anchors on the newer certificate
+/// — repeatedly, until load stops and a full attempt fits. Recovery must
+/// still land on an intact, committee-identical state with zero proof
+/// failures.
+#[test]
+fn mid_transfer_cert_rotation_reanchors() {
+    let mut cfg = PbftConfig::new(BftVariant::AhlPlus, 5);
+    cfg.checkpoint_interval = 64; // ≈1 s of blocks: certs rotate fast
+    cfg.snapshot_retention = 2; // minimal window: rotation evicts quickly
+    cfg.sync_chunk_target = 64;
+    cfg.sync_fanout = 1; // sequential fetch: one 1 Gbps uplink
+    cfg.diff_sync = false; // force the full-length transfer
+    // 500 MB of state ≈ 4 s on one uplink, far beyond the ≈2 s window.
+    let (sim, group, expected) = run_scenario(
+        cfg,
+        1_000,
+        500_000,
+        14,
+        30,
+        vec![
+            (SimDuration::from_secs(4), 3, PbftMsg::Crash),
+            (SimDuration::from_secs(7), 3, PbftMsg::Restart),
+        ],
+        7,
+    );
+    let stats = sim.stats();
+    assert!(
+        stats.counter(stat::SYNC_REANCHORS) >= 1,
+        "transfer slower than cert rotation must re-anchor at least once"
+    );
+    assert!(stats.counter(stat::SYNC_COMPLETED) >= 1);
+    assert_eq!(stats.counter(stat::SYNC_PROOF_FAILURES), 0);
+    assert_recovered(&sim, &group, 3, expected);
+}
+
+/// A Byzantine committee member corrupts every chunk it serves. The
+/// requester's per-chunk proof check rejects each tampered chunk against
+/// the certified root and re-fetches it from an honest peer: recovery
+/// completes, and the recovered state is the committee's, not the
+/// attacker's.
+#[test]
+fn tampered_chunks_rejected_and_recovery_completes() {
+    let mut cfg = PbftConfig::new(BftVariant::AhlPlus, 5);
+    cfg.byzantine = 1; // node 4 serves corrupted chunks
+    cfg.checkpoint_interval = 64;
+    cfg.sync_chunk_target = 16; // many chunks: the rotation hits node 4
+    cfg.diff_sync = false; // fetch everything: maximal attack surface
+    let (sim, group, expected) = run_scenario(
+        cfg,
+        200,
+        100_000,
+        12,
+        24,
+        vec![
+            (SimDuration::from_secs(4), 3, PbftMsg::Crash),
+            (SimDuration::from_secs(8), 3, PbftMsg::Restart),
+        ],
+        11,
+    );
+    let stats = sim.stats();
+    assert!(
+        stats.counter(stat::SYNC_PROOF_FAILURES) >= 1,
+        "the Byzantine server's chunks must be caught by proof verification"
+    );
+    assert!(stats.counter(stat::SYNC_COMPLETED) >= 1);
+    assert_recovered(&sim, &group, 3, expected);
+}
+
+/// The same crash/recovery scenario with diff sync on and off: both end on
+/// the identical, committee-agreed state, but the incremental run moves
+/// only the chunks touched while the node was down.
+#[test]
+fn diff_sync_equivalent_to_full_but_cheaper() {
+    let run = |diff: bool| {
+        let mut cfg = PbftConfig::new(BftVariant::AhlPlus, 5);
+        cfg.checkpoint_interval = 256; // ≈2.5 s between certs
+        // Fine chunks: the handful of hot account keys dirties only a few
+        // of the ~128 chunks, so the diff isolates the cold bulk state.
+        cfg.sync_chunk_target = 4;
+        cfg.diff_sync = diff;
+        run_scenario(
+            cfg,
+            400,
+            250_000, // 100 MB of mostly-cold state
+            16,
+            28,
+            vec![
+                (SimDuration::from_secs(6), 3, PbftMsg::Crash),
+                (SimDuration::from_secs(13), 3, PbftMsg::Restart),
+            ],
+            23,
+        )
+    };
+    let (full_sim, full_group, full_expected) = run(false);
+    let (diff_sim, diff_group, diff_expected) = run(true);
+    for (sim, group, expected, label) in [
+        (&full_sim, &full_group, full_expected, "full"),
+        (&diff_sim, &diff_group, diff_expected, "diff"),
+    ] {
+        assert!(sim.stats().counter(stat::SYNC_COMPLETED) >= 1, "{label} run recovers");
+        assert_eq!(sim.stats().counter(stat::SYNC_PROOF_FAILURES), 0, "{label} run clean");
+        assert_recovered(sim, group, 3, expected);
+    }
+    assert_eq!(full_sim.stats().counter(stat::SYNC_DIFFS), 0);
+    assert!(diff_sim.stats().counter(stat::SYNC_DIFFS) >= 1, "diff run is incremental");
+    assert_eq!(diff_sim.stats().counter(stat::SYNC_DIFF_FALLBACKS), 0);
+    let full_bytes = full_sim.stats().counter(stat::SYNC_BYTES);
+    let diff_bytes = diff_sim.stats().counter(stat::SYNC_BYTES);
+    assert!(
+        diff_bytes * 2 < full_bytes,
+        "incremental transfer must move a fraction of the state: {diff_bytes} vs {full_bytes}"
+    );
+}
+
+/// Crash in the middle of an incremental transfer: the node goes down
+/// again while its diff chunks are in flight, restarts once more from the
+/// durable checkpoint, and must still converge with zero proof failures
+/// (verified chunks are only ever installed atomically at the end of a
+/// session, so a half-finished transfer leaves no partial state behind).
+#[test]
+fn crash_mid_diff_transfer_recovers() {
+    let mut cfg = PbftConfig::new(BftVariant::AhlPlus, 5);
+    cfg.checkpoint_interval = 256;
+    cfg.sync_chunk_target = 16;
+    cfg.sync_fanout = 1; // slow the transfer so the second crash lands mid-flight
+    let (sim, group, expected) = run_scenario(
+        cfg,
+        800,
+        250_000, // 200 MB → the transfer spans a second or more
+        18,
+        32,
+        vec![
+            (SimDuration::from_secs(6), 3, PbftMsg::Crash),
+            (SimDuration::from_secs(13), 3, PbftMsg::Restart),
+            // ~0.4 s into the chunk phase: kill it again.
+            (SimDuration::from_millis(13_400), 3, PbftMsg::Crash),
+            (SimDuration::from_secs(17), 3, PbftMsg::Restart),
+        ],
+        29,
+    );
+    let stats = sim.stats();
+    assert_eq!(stats.counter("sync.crashes"), 2);
+    assert_eq!(stats.counter("sync.restarts"), 2);
+    assert!(stats.counter(stat::SYNC_COMPLETED) >= 1);
+    assert_eq!(stats.counter(stat::SYNC_PROOF_FAILURES), 0);
+    assert_recovered(&sim, &group, 3, expected);
+}
+
+/// Regression (ROADMAP): the executed-request-id replay cache used to grow
+/// without bound. It is now pruned at checkpoint-certificate epochs like
+/// the resolved-transaction set: after a long run every replica retains
+/// only the last two checkpoint intervals' worth of ids, a small fraction
+/// of everything it executed.
+#[test]
+fn executed_request_cache_stays_bounded() {
+    let mut cfg = PbftConfig::new(BftVariant::AhlPlus, 5);
+    cfg.checkpoint_interval = 50; // many pruning epochs in one run
+    let (sim, group, _) = run_scenario(cfg, 0, 0, 20, 24, vec![], 31);
+    let stats = sim.stats();
+    let total = stats.counter(stat::TXN_COMMITTED) + stats.counter(stat::TXN_ABORTED);
+    assert!(total > 4_000, "need a long run to observe growth: {total}");
+    assert!(stats.counter(stat::EXECUTED_PRUNED) > 0, "pruning must have happened");
+    for &id in &group {
+        let r = replica(&sim, id);
+        let len = r.executed_len();
+        assert!(len > 0, "replica {id} executed something");
+        assert!(
+            (len as u64) < total / 2,
+            "replica {id} retains {len} executed ids of {total} total — unbounded growth"
+        );
+        // The resolved-transaction set is pruned on the same schedule.
+        assert!((r.state().resolved_count() as u64) < total / 2);
+    }
+}

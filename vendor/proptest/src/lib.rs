@@ -22,12 +22,21 @@ pub const CASES: usize = 64;
 pub struct TestRng(u64);
 
 impl TestRng {
-    /// Seed a generator from the property test's name.
+    /// Seed a generator from the property test's name. When the
+    /// `PROPTEST_SEED` environment variable is set, its value perturbs the
+    /// seed — CI runs the same tests under a small fixed-seed matrix to
+    /// widen case coverage while every run stays reproducible.
     pub fn from_name(name: &str) -> Self {
         let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
         for b in name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            for b in seed.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
         }
         TestRng(h)
     }
