@@ -1,0 +1,120 @@
+//! Benchmarks of the durability subsystem: group-commit throughput under
+//! each fsync policy, and on-disk page sharing between consecutive
+//! checkpoints.
+//!
+//! The fsync axis is the classic WAL trade: `Always` pays one `fdatasync`
+//! per commit, `EveryN` amortizes it (batched group commit), `Off` goes
+//! memory-speed (the simulation's crash model is process kill, not power
+//! loss). The page-store benchmark measures the structural-sharing payoff
+//! directly: persisting a checkpoint after 10% churn must write far fewer
+//! than half the pages of a full persist (the ≥2× acceptance bar), since
+//! unchanged subtrees are referenced, not rewritten.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ahl_crypto::sha256_parts;
+use ahl_ledger::Value;
+use ahl_store::SparseMerkleTree;
+use ahl_wal::{FsyncPolicy, PageStore, TempDir, Wal, WalConfig};
+
+/// One ~220-byte record, shaped like a small executed-batch entry.
+fn record(i: u64) -> Vec<u8> {
+    let mut payload = i.to_be_bytes().to_vec();
+    payload.extend_from_slice(&[0xAB; 212]);
+    payload
+}
+
+const BATCH: u64 = 16;
+
+fn bench_group_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_commit");
+    // Records per iteration: one commit of a BATCH-record group.
+    g.throughput(Throughput::Elements(BATCH));
+    for (name, policy) in [
+        ("fsync_always", FsyncPolicy::Always),
+        ("fsync_every_8", FsyncPolicy::EveryN(8)),
+        ("fsync_off", FsyncPolicy::Off),
+    ] {
+        let dir = TempDir::new("bench-wal");
+        let cfg = WalConfig { fsync: policy, ..WalConfig::default() };
+        let (mut wal, _) = Wal::open(dir.path(), cfg).expect("open");
+        let mut i = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    i += 1;
+                    wal.append(record(i));
+                }
+                wal.commit().expect("commit");
+            });
+        });
+        let stats = wal.stats();
+        println!(
+            "  [{name}] {} records, {} commits, {} fsyncs, {:.1} MB written",
+            stats.records,
+            stats.commits,
+            stats.syncs,
+            stats.bytes as f64 / 1e6
+        );
+    }
+    g.finish();
+}
+
+fn bench_page_dedup(c: &mut Criterion) {
+    const KEYS: u64 = 10_000;
+    const CHURN: u64 = KEYS / 10; // the 10% acceptance workload
+
+    let mut g = c.benchmark_group("wal_pages");
+    let value = |i: u64| Value::Bytes(sha256_parts(&[&i.to_be_bytes()]).0.to_vec());
+    let tree_of = |gen: u64| {
+        SparseMerkleTree::build((0..KEYS).map(|i| (format!("acc{i}"), value(i * 31 + gen))))
+    };
+
+    // Incremental checkpoint persist after 10% churn — the steady-state
+    // cost a replica pays per certified checkpoint.
+    g.throughput(Throughput::Elements(CHURN));
+    g.bench_function("persist_10pct_churn_10k", |b| {
+        let dir = TempDir::new("bench-pages");
+        let mut store = PageStore::open(dir.path(), WalConfig::default()).expect("open");
+        let mut tree = tree_of(0);
+        store.persist_tree(&tree).expect("base persist");
+        let mut gen = 0u64;
+        b.iter(|| {
+            gen += 1;
+            for j in 0..CHURN {
+                let k = (j * 7 + gen) % KEYS;
+                tree.insert(&format!("acc{k}"), value(gen << 32 | k));
+            }
+            store.persist_tree(&tree).expect("churn persist")
+        });
+    });
+    g.finish();
+
+    // Dedup ratio report (the ≥2x acceptance criterion): pages written by
+    // the churned checkpoint vs a full persist of the same tree.
+    let dir = TempDir::new("bench-pages-ratio");
+    let mut store = PageStore::open(dir.path(), WalConfig::default()).expect("open");
+    let mut tree = tree_of(0);
+    let full = store.persist_tree(&tree).expect("first checkpoint");
+    for j in 0..CHURN {
+        tree.insert(&format!("acc{}", (j * 7) % KEYS), value(1 << 40 | j));
+    }
+    let incr = store.persist_tree(&tree).expect("second checkpoint");
+    let total_nodes = 2 * KEYS - 1;
+    let sharing = total_nodes as f64 / incr.pages_written.max(1) as f64;
+    println!(
+        "  [page dedup] checkpoint 1: {} pages; checkpoint 2 (10% churn): {} pages written, \
+         {} subtrees shared -> {:.2}x on-disk sharing",
+        full.pages_written, incr.pages_written, incr.subtrees_shared, sharing
+    );
+    assert!(
+        incr.pages_written * 2 < full.pages_written,
+        "10% churn must rewrite < half the pages: {} vs {}",
+        incr.pages_written,
+        full.pages_written
+    );
+    assert!(sharing >= 2.0, "on-disk sharing below the 2x acceptance bar: {sharing:.2}");
+}
+
+criterion_group!(benches, bench_group_commit, bench_page_dedup);
+criterion_main!(benches);

@@ -31,8 +31,9 @@ const IDS: &[(&str, &str)] = &[
     ("fig20", "tps vs clients on cluster"),
     ("fig21", "PoET vs PoET+ throughput"),
     ("fig22", "PoET vs PoET+ stale rate"),
-    ("overload", "mempool overload sweep: offered load past pool capacity"),
+    ("overload", "mempool overload sweep: offered load past pool capacity; fixed vs AIMD"),
     ("statesync", "state-sync sweep: restarted replica catch-up, state size x chunk size"),
+    ("recovery", "crash-kill recovery smoke: WAL + page checkpoints, restart-from-disk"),
 ];
 
 fn usage() -> ! {
@@ -90,6 +91,7 @@ fn main() {
             "fig22" => figs::fig22(scale),
             "overload" => figs::overload(scale),
             "statesync" => figs::statesync(scale),
+            "recovery" => figs::recovery(scale),
             other => {
                 println!("unknown experiment: {other}\n");
                 usage();

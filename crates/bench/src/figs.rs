@@ -11,8 +11,8 @@ use ahl_consensus::poet::{run_poet, PoetConfig};
 use ahl_consensus::raft::{build_raft_group, RaftConfig};
 use ahl_consensus::tendermint::{build_tm_group, TmConfig};
 use ahl_core::{
-    run_reshard, run_scale_out, run_system, ReshardConfig, ReshardStrategy, ScaleOutConfig,
-    ShardBench, SystemConfig, SystemWorkload,
+    run_reshard, run_scale_out, run_system, RateControl, ReshardConfig, ReshardStrategy,
+    ScaleOutConfig, ShardBench, SystemConfig, SystemWorkload,
 };
 use ahl_net::{gcp, ClusterNetwork, GcpNetwork};
 use ahl_shard::{
@@ -966,6 +966,78 @@ pub fn overload(scale: Scale) {
         ]);
     }
     t.print();
+
+    // Second axis: goodput vs *offered load* for both backpressure
+    // policies against one fixed, deliberately small pool. Fixed backoff
+    // keeps offering the configured window and eats rejections forever;
+    // pool-aware AIMD halves its window per rejection and creeps back up,
+    // converging onto what the pool admits — goodput stays comparable
+    // while rejection churn collapses.
+    let offered: Vec<usize> = scale.pick(&[16usize, 64], &[8, 16, 32, 64, 128]);
+    let grid: Vec<(usize, RateControl)> = offered
+        .iter()
+        .flat_map(|&o| [(o, RateControl::Fixed), (o, RateControl::Aimd)])
+        .collect();
+    let cells = parallel_map(grid, |&(outstanding, rc)| {
+        let mut cfg = SystemConfig::new(2, 3);
+        cfg.clients = 8;
+        cfg.outstanding = outstanding;
+        cfg.workload = SystemWorkload::SmallBank { accounts: 2_000, theta: 0.0 };
+        cfg.duration = scale.measure();
+        cfg.warmup = scale.warmup();
+        cfg.batch_size = 20;
+        cfg.mempool = ahl_mempool::MempoolConfig::new(48);
+        cfg.rate_control = rc;
+        run_system(cfg)
+    });
+    let mut t = Table::new(
+        "Overload: goodput vs offered load, fixed backoff vs pool-aware AIMD (pool cap 48)",
+        &["open txns", "policy", "goodput tps", "rejected", "stalled", "lat (ms)", "conserved"],
+    );
+    let mut aimd_ok = true;
+    let mut by_load: std::collections::HashMap<usize, (f64, f64, u64, u64)> =
+        std::collections::HashMap::new();
+    for ((outstanding, rc), m) in cells {
+        let conserved = m.final_balance.is_some() && m.final_balance == base_balance;
+        // Conservation is the strongest invariant each cell computes —
+        // a violation must fail the process, not just print "NO".
+        aimd_ok &= conserved;
+        let e = by_load.entry(outstanding).or_default();
+        match rc {
+            RateControl::Fixed => {
+                e.0 = m.tps;
+                e.2 = m.rejected;
+            }
+            RateControl::Aimd => {
+                e.1 = m.tps;
+                e.3 = m.rejected;
+            }
+        }
+        t.row(vec![
+            (8 * outstanding).to_string(),
+            format!("{rc:?}"),
+            f1(m.tps),
+            m.rejected.to_string(),
+            m.stalled.to_string(),
+            f1(m.latency_mean.as_nanos() as f64 / 1e6),
+            if conserved { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print();
+    for (load, (fixed_tps, aimd_tps, fixed_rej, aimd_rej)) in &by_load {
+        // Where overload actually bites (rejections under fixed backoff),
+        // AIMD must not lose meaningful goodput and must cut rejections
+        // (deep overload typically *gains* goodput: less retry churn).
+        if *fixed_rej > 100 {
+            aimd_ok &= *aimd_tps > 0.75 * fixed_tps;
+            aimd_ok &= *aimd_rej * 2 < *fixed_rej;
+            println!(
+                "  aimd-vs-fixed @ {} open txns: goodput {:.1} vs {:.1} tps, rejected {} vs {}",
+                8 * load, aimd_tps, fixed_tps, aimd_rej, fixed_rej
+            );
+        }
+    }
+    assert!(aimd_ok, "overload: AIMD lost goodput or failed to cut rejections — see table");
 }
 
 // ---------- state-sync sweep (store-subsystem experiment) ----------
@@ -1225,4 +1297,178 @@ pub fn statesync(scale: Scale) {
     // funds, sees a proof failure, or whose diff transfer is not
     // O(changed keys) must fail the process, not just print.
     assert!(all_ok, "statesync: some cell failed recovery/verification — see table above");
+}
+
+// ---------- crash-kill recovery smoke (wal-subsystem experiment) ----------
+
+struct RecoveryCell {
+    io_crashes: u64,
+    wal_batches: u64,
+    checkpoints: u64,
+    pages_written: u64,
+    pages_shared: u64,
+    replayed: u64,
+    diff_syncs: u64,
+    proof_failures: u64,
+    replay_mismatches: u64,
+    committed: u64,
+    recovered: bool,
+    conserved: bool,
+}
+
+/// One `recovery` cell: a 5-node AHL+ committee journaling every executed
+/// batch to a real per-node WAL and persisting certified checkpoints as
+/// page-backed snapshots, with a SIGKILL-style crash injected at write
+/// site `kill_site` (`None` = a scripted whole-node crash instead). All
+/// five nodes are restarted mid-run and must recover by *reopening their
+/// node directories* — manifest, WAL-tail replay, then (diff) sync.
+fn recovery_cell(kill_site: Option<u64>, seed: u64) -> RecoveryCell {
+    use ahl_consensus::common::CryptoMode;
+    use ahl_consensus::harness::ControlScript;
+    use ahl_consensus::pbft::{build_group, PbftMsg, Replica};
+    use ahl_ledger::Value;
+    use ahl_wal::TempDir;
+    use ahl_workload::SmallBankWorkload;
+
+    const ACCOUNTS: usize = 8;
+    let dir = TempDir::new("recovery-exp");
+    let n = 5;
+    let mut pbft = PbftConfig::new(BftVariant::AhlPlus, n);
+    pbft.crypto = CryptoMode::Real;
+    pbft.batch_size = 16;
+    pbft.batch_timeout = SimDuration::from_millis(5);
+    pbft.checkpoint_interval = 100;
+    pbft.sync_chunk_target = 64;
+    pbft.data_dir = Some(dir.path().to_path_buf());
+    if let Some(site) = kill_site {
+        pbft.wal.kill.arm(site);
+    }
+    let mut genesis = SmallBankWorkload::paper(ACCOUNTS, 0.0).genesis();
+    let expected_balance: i64 = genesis
+        .iter()
+        .filter(|(k, _)| k.starts_with("ck_") || k.starts_with("sv_"))
+        .filter_map(|(_, v)| v.as_int())
+        .sum();
+    for i in 0..120 {
+        genesis.push((format!("blob_{i}"), Value::Opaque { size: 40_000, tag: i as u64 }));
+    }
+    let (mut sim, group) =
+        build_group(&pbft, Box::new(ClusterNetwork::new()), Some(1e9), &genesis, seed);
+    let stop = SimTime::ZERO + SimDuration::from_secs(8);
+    let client = OpenLoopClient::new(
+        group.clone(),
+        SimDuration::from_millis(2),
+        stop,
+        SmallBankWorkload::paper(ACCOUNTS, 0.0).factory(0),
+    );
+    sim.add_actor(Box::new(client), QueueConfig::unbounded());
+    let mut schedule: Vec<(SimDuration, usize, PbftMsg)> = Vec::new();
+    if kill_site.is_none() {
+        // No injected I/O crash: kill one node the scripted way instead.
+        schedule.push((SimDuration::from_secs(2), group[3], PbftMsg::Crash));
+    }
+    // Restart everyone at t = 5 s: whichever node crashed (injected or
+    // scripted) recovers from its reopened directory; healthy nodes
+    // reopen theirs too.
+    for &id in &group {
+        schedule.push((SimDuration::from_secs(5), id, PbftMsg::Restart));
+    }
+    sim.add_actor(Box::new(ControlScript::new(schedule)), QueueConfig::unbounded());
+    sim.run_until(stop + SimDuration::from_secs(4));
+
+    let replica = |id: usize| {
+        sim.actor(id)
+            .as_any()
+            .and_then(|a| a.downcast_ref::<Replica>())
+            .expect("replica actor")
+    };
+    let max_exec = group.iter().map(|&id| replica(id).exec_seq()).max().unwrap_or(0);
+    let top: Vec<&Replica> =
+        group.iter().map(|&id| replica(id)).filter(|r| r.exec_seq() == max_exec).collect();
+    let digest_agree = top
+        .iter()
+        .all(|r| r.state().state_digest() == top[0].state().state_digest());
+    let conserved = top.iter().all(|r| {
+        let balance: i64 = r
+            .state()
+            .iter()
+            .filter(|(k, _)| k.starts_with("ck_") || k.starts_with("sv_"))
+            .filter_map(|(_, v)| v.as_int())
+            .sum();
+        balance == expected_balance
+    });
+    let stats = sim.stats();
+    RecoveryCell {
+        io_crashes: stats.counter(stat::WAL_IO_CRASHES),
+        wal_batches: stats.counter(stat::WAL_BATCHES),
+        checkpoints: stats.counter(stat::WAL_CHECKPOINTS),
+        pages_written: stats.counter(stat::WAL_PAGES_WRITTEN),
+        pages_shared: stats.counter(stat::WAL_PAGES_SHARED),
+        replayed: stats.counter(stat::WAL_REPLAYED),
+        diff_syncs: stats.counter(stat::SYNC_DIFFS),
+        proof_failures: stats.counter(stat::SYNC_PROOF_FAILURES),
+        replay_mismatches: stats.counter(stat::WAL_REPLAY_MISMATCHES),
+        committed: stats.counter(stat::TXN_COMMITTED),
+        recovered: max_exec > 0 && top.len() >= 2 && digest_agree,
+        conserved,
+    }
+}
+
+/// Crash-kill recovery smoke: real on-disk WAL + page-store persistence
+/// under a live committee, with crashes injected at sampled durable-write
+/// sites (plus one scripted whole-node crash). Every cell must recover to
+/// agreeing certified state with zero proof failures and zero replay
+/// mismatches — process-fatally, which is what the CI recovery job runs.
+pub fn recovery(scale: Scale) {
+    let sites: Vec<Option<u64>> = scale.pick(
+        &[None, Some(120)],
+        &[None, Some(0), Some(120), Some(800), Some(2500)],
+    );
+    let cells = parallel_map(sites, |&site| recovery_cell(site, 42));
+    let mut t = Table::new(
+        "Crash-kill recovery: per-node WAL + page checkpoints, restart-from-disk (n = 5)",
+        &[
+            "kill",
+            "io crashes",
+            "wal batches",
+            "ckpts",
+            "pages w",
+            "pages shared",
+            "replayed",
+            "diffs",
+            "proof fails",
+            "recovered",
+            "conserved",
+        ],
+    );
+    let mut all_ok = true;
+    for (site, m) in &cells {
+        let label = match site {
+            None => "scripted".to_string(),
+            Some(s) => format!("site {s}"),
+        };
+        all_ok &= m.recovered && m.conserved;
+        all_ok &= m.proof_failures == 0 && m.replay_mismatches == 0;
+        all_ok &= m.wal_batches > 0 && m.checkpoints > 0 && m.pages_shared > 0;
+        all_ok &= m.replayed > 0; // recovery really went through the WAL
+        all_ok &= m.committed > 0;
+        if site.is_some() {
+            all_ok &= m.io_crashes == 1;
+        }
+        t.row(vec![
+            label,
+            m.io_crashes.to_string(),
+            m.wal_batches.to_string(),
+            m.checkpoints.to_string(),
+            m.pages_written.to_string(),
+            m.pages_shared.to_string(),
+            m.replayed.to_string(),
+            m.diff_syncs.to_string(),
+            m.proof_failures.to_string(),
+            if m.recovered { "yes".into() } else { "NO".into() },
+            if m.conserved { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print();
+    assert!(all_ok, "recovery: some cell failed to recover cleanly — see table above");
 }

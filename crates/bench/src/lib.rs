@@ -47,4 +47,5 @@ pub fn run_all(scale: Scale) {
     figs::fig22(scale);
     figs::overload(scale);
     figs::statesync(scale);
+    figs::recovery(scale);
 }

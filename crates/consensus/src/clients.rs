@@ -102,12 +102,74 @@ impl<M: ClientProtocol + 'static> Actor for OpenLoopClient<M> {
 
 const TIMER_RETRY: u64 = 2;
 
+/// How a driver reacts to pool backpressure (`Rejected` notices). Shared
+/// by every client flavour (closed-loop, cross-shard) through
+/// [`AimdWindow`], so the policy semantics cannot drift between them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RateControl {
+    /// Keep the window fixed; rejected slots refill on the retry timer
+    /// (an implicit one-interval backoff). Under sustained overload the
+    /// driver keeps offering the same load and eats rejections.
+    #[default]
+    Fixed,
+    /// Pool-aware AIMD: a rejection halves the effective window
+    /// (multiplicative decrease), a completion grows it by `1/window`
+    /// (additive increase, ≈ +1 per window per round trip) back toward
+    /// the configured maximum — the offered load converges onto what the
+    /// pools admit instead of hammering them.
+    Aimd,
+}
+
+/// The one AIMD window implementation (see [`RateControl`]): tracks the
+/// congestion window and answers "how many may be in flight right now".
+#[derive(Clone, Copy, Debug)]
+pub struct AimdWindow {
+    rc: RateControl,
+    max: usize,
+    cwnd: f64,
+}
+
+impl AimdWindow {
+    /// A window capped at `max` in-flight items under policy `rc`.
+    pub fn new(rc: RateControl, max: usize) -> Self {
+        let max = max.max(1);
+        AimdWindow { rc, max, cwnd: max as f64 }
+    }
+
+    /// The configured maximum (policy changes rebuild from this).
+    pub fn max_size(&self) -> usize {
+        self.max
+    }
+
+    /// The in-flight budget right now.
+    pub fn effective(&self) -> usize {
+        match self.rc {
+            RateControl::Fixed => self.max,
+            RateControl::Aimd => (self.cwnd.floor() as usize).clamp(1, self.max),
+        }
+    }
+
+    /// One item was rejected by backpressure: multiplicative decrease.
+    pub fn on_reject(&mut self) {
+        if self.rc == RateControl::Aimd {
+            self.cwnd = (self.cwnd / 2.0).max(1.0);
+        }
+    }
+
+    /// One item completed: additive increase toward the cap.
+    pub fn on_success(&mut self) {
+        if self.rc == RateControl::Aimd {
+            self.cwnd = (self.cwnd + 1.0 / self.cwnd.max(1.0)).min(self.max as f64);
+        }
+    }
+}
+
 /// Closed-loop driver: keeps `window` requests outstanding; issues a new
 /// request whenever one completes. Retransmits round-robin on timeout
 /// (needed for liveness across view changes).
 pub struct ClosedLoopClient<M> {
     targets: Vec<NodeId>,
-    window: usize,
+    window: AimdWindow,
     factory: OpFactory,
     stop_at: SimTime,
     retry_after: SimDuration,
@@ -130,7 +192,7 @@ impl<M> ClosedLoopClient<M> {
         assert!(!targets.is_empty(), "need at least one target replica");
         ClosedLoopClient {
             targets,
-            window: window.max(1),
+            window: AimdWindow::new(RateControl::Fixed, window),
             factory,
             stop_at,
             retry_after,
@@ -140,6 +202,12 @@ impl<M> ClosedLoopClient<M> {
             last_progress: SimTime::ZERO,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Select the backpressure policy (builder-style; default `Fixed`).
+    pub fn with_rate_control(mut self, rc: RateControl) -> Self {
+        self.window = AimdWindow::new(rc, self.window.max_size());
+        self
     }
 
     fn submit_one(&mut self, ctx: &mut Ctx<'_, M>)
@@ -166,7 +234,7 @@ impl<M: ClientProtocol + 'static> Actor for ClosedLoopClient<M> {
     type Msg = M;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
-        for _ in 0..self.window {
+        for _ in 0..self.window.effective() {
             self.submit_one(ctx);
         }
         ctx.set_timer(self.retry_after, TIMER_RETRY);
@@ -174,10 +242,12 @@ impl<M: ClientProtocol + 'static> Actor for ClosedLoopClient<M> {
 
     fn on_message(&mut self, _from: NodeId, msg: M, ctx: &mut Ctx<'_, M>) {
         if let Some(id) = msg.reject_id() {
-            // Backpressure: the pool refused the request. Honor it — shrink
-            // the in-flight window and let the retry timer re-grow it.
+            // Backpressure: the pool refused the request. Honor it — free
+            // the in-flight slot, and under AIMD multiplicatively shrink
+            // the window (the retry timer re-grows toward it).
             if self.outstanding.remove(&id) {
                 ctx.stats().inc(stat::CLIENT_REJECTED, 1);
+                self.window.on_reject();
             }
             return;
         }
@@ -185,7 +255,8 @@ impl<M: ClientProtocol + 'static> Actor for ClosedLoopClient<M> {
         if self.outstanding.remove(&id) {
             self.last_progress = ctx.now();
             ctx.stats().inc(stat::CLIENT_COMPLETED, 1);
-            if ctx.now() < self.stop_at {
+            self.window.on_success();
+            if ctx.now() < self.stop_at && self.outstanding.len() < self.window.effective() {
                 self.submit_one(ctx);
             }
         }
@@ -206,9 +277,12 @@ impl<M: ClientProtocol + 'static> Actor for ClosedLoopClient<M> {
             ctx.stats().inc("client.retries", 1);
         }
         // Top the window back up — replaces both presumed-lost requests
-        // and rejected ones (after a backoff of one retry interval).
-        if self.outstanding.len() < self.window {
-            for _ in 0..(self.window - self.outstanding.len()) {
+        // and rejected ones (after a backoff of one retry interval). The
+        // budget is the effective window: AIMD keeps it near what the
+        // pool admits.
+        let budget = self.window.effective();
+        if self.outstanding.len() < budget {
+            for _ in 0..(budget - self.outstanding.len()) {
                 self.submit_one(ctx);
             }
         }
@@ -226,6 +300,7 @@ mod tests {
     enum EchoMsg {
         Req(Request),
         Reply(u64),
+        Reject(u64),
     }
 
     impl ClientProtocol for EchoMsg {
@@ -235,6 +310,12 @@ mod tests {
         fn reply_id(&self) -> Option<u64> {
             match self {
                 EchoMsg::Reply(id) => Some(*id),
+                _ => None,
+            }
+        }
+        fn reject_id(&self) -> Option<u64> {
+            match self {
+                EchoMsg::Reject(id) => Some(*id),
                 _ => None,
             }
         }
@@ -292,6 +373,72 @@ mod tests {
         // Submissions track completions + initial window.
         let submitted = sim.stats().counter("client.submitted");
         assert!(submitted >= completed && submitted <= completed + 16);
+    }
+
+    /// A server with a hard admission budget: requests beyond `capacity`
+    /// in any 100 ms accounting window are rejected — a stand-in for a
+    /// full mempool.
+    struct CappedServer {
+        capacity: u32,
+        admitted: u32,
+        window_start: SimTime,
+    }
+
+    impl Actor for CappedServer {
+        type Msg = EchoMsg;
+        fn on_message(&mut self, from: NodeId, msg: EchoMsg, ctx: &mut Ctx<'_, EchoMsg>) {
+            if let EchoMsg::Req(r) = msg {
+                if ctx.now().since(self.window_start) >= SimDuration::from_millis(100) {
+                    self.window_start = ctx.now();
+                    self.admitted = 0;
+                }
+                if self.admitted >= self.capacity {
+                    ctx.send(from, EchoMsg::Reject(r.id));
+                    return;
+                }
+                self.admitted += 1;
+                ctx.consume_cpu(SimDuration::from_micros(200));
+                ctx.send(from, EchoMsg::Reply(r.id));
+            }
+        }
+    }
+
+    fn run_capped(rc: RateControl, seed: u64) -> (u64, u64) {
+        let mut sim: Sim<EchoMsg> = Sim::new(SimConfig::new(seed));
+        let server = CappedServer { capacity: 40, admitted: 0, window_start: SimTime::ZERO };
+        sim.add_actor(Box::new(server), QueueConfig::unbounded());
+        let client = ClosedLoopClient::new(
+            vec![0],
+            64, // far above the server's admission budget
+            SimTime::ZERO + SimDuration::from_secs(5),
+            SimDuration::from_millis(100),
+            noop_factory(),
+        )
+        .with_rate_control(rc);
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(6));
+        (
+            sim.stats().counter(stat::CLIENT_COMPLETED),
+            sim.stats().counter(stat::CLIENT_REJECTED),
+        )
+    }
+
+    /// AIMD converges onto the server's admission budget: goodput stays
+    /// comparable to the fixed-window driver while rejection churn drops
+    /// by a large factor.
+    #[test]
+    fn aimd_cuts_rejections_without_losing_goodput() {
+        let (fixed_done, fixed_rej) = run_capped(RateControl::Fixed, 7);
+        let (aimd_done, aimd_rej) = run_capped(RateControl::Aimd, 7);
+        assert!(fixed_rej > 500, "fixed backoff keeps hammering: {fixed_rej}");
+        assert!(
+            aimd_rej * 4 < fixed_rej,
+            "AIMD must cut rejections: {aimd_rej} vs {fixed_rej}"
+        );
+        assert!(
+            aimd_done * 10 >= fixed_done * 8,
+            "AIMD goodput within 20% of fixed: {aimd_done} vs {fixed_done}"
+        );
     }
 
     #[test]

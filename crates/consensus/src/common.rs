@@ -115,8 +115,35 @@ pub mod stat {
     /// Counter: mid-transfer re-anchors (the serving snapshot rotated away
     /// and the requester restarted against a newer certificate).
     pub const SYNC_REANCHORS: &str = "sync.reanchors";
+    /// Counter: manifests refused for carrying a certificate older than
+    /// the one the exchange already targets (stale, still-recovering
+    /// servers must not regress a transfer).
+    pub const SYNC_STALE_MANIFESTS: &str = "sync.stale_manifests";
     /// Counter: executed-request ids pruned at checkpoint boundaries.
     pub const EXECUTED_PRUNED: &str = "consensus.executed_pruned";
+    /// Counter: executed batches journaled (group-committed) to the WAL.
+    pub const WAL_BATCHES: &str = "wal.batches";
+    /// Counter: durable checkpoints persisted (pages + manifest swap).
+    pub const WAL_CHECKPOINTS: &str = "wal.checkpoints";
+    /// Counter: checkpoint pages newly written to the page store.
+    pub const WAL_PAGES_WRITTEN: &str = "wal.pages_written";
+    /// Counter: subtrees skipped because consecutive checkpoints share
+    /// their pages on disk (each skip covers a whole subtree).
+    pub const WAL_PAGES_SHARED: &str = "wal.pages_shared";
+    /// Counter: batches re-executed from the WAL tail on restart.
+    pub const WAL_REPLAYED: &str = "wal.replayed_batches";
+    /// Counter: persistence I/O failures treated as node crashes
+    /// (includes injected kill-switch crashes).
+    pub const WAL_IO_CRASHES: &str = "wal.io_crashes";
+    /// Counter: restarts whose node-directory reopen failed (the node
+    /// falls back to a cold start + full state sync).
+    pub const WAL_REOPEN_FAILURES: &str = "wal.reopen_failures";
+    /// Counter: WAL replays stopped early because the 2PC journal
+    /// disagreed with re-execution (corruption beyond the CRCs).
+    pub const WAL_REPLAY_MISMATCHES: &str = "wal.replay_mismatches";
+    /// Counter: retained snapshots evicted by the resident-byte budget
+    /// (`snapshot_max_bytes`).
+    pub const SNAPSHOT_EVICTIONS: &str = "sync.snapshot_evictions";
 }
 
 /// Replay-protection cache of executed request ids, pruned at checkpoint

@@ -166,6 +166,29 @@ pub struct PbftConfig {
     /// re-transferring everything. Minimum 2 (a transfer anchored at the
     /// previous certificate must survive a checkpoint forming mid-flight).
     pub snapshot_retention: usize,
+    /// Approximate resident-byte budget for the retained snapshot window.
+    /// Each retained snapshot is charged the bytes written during its
+    /// checkpoint interval (≈ what copy-on-write duplicates while the
+    /// previous snapshot stays alive); when the window's total exceeds
+    /// the budget, the oldest unpinned snapshots are evicted — the
+    /// durable checkpoint and the newest snapshot are always kept. The
+    /// default (`u64::MAX`) disables byte-based eviction, leaving the
+    /// count cap (`snapshot_retention`) in charge.
+    pub snapshot_max_bytes: u64,
+    /// Node-directory root for real on-disk persistence (`ahl-wal`).
+    /// `Some(dir)` makes each replica journal executed batches to a
+    /// write-ahead log and persist certified checkpoints as page-backed
+    /// snapshots under `dir/node-<actor id>`; a `Restart` then recovers
+    /// by *reopening the directory* — manifest validation, WAL tail
+    /// replay, then diff sync for the remainder — instead of consuming an
+    /// in-memory stand-in. `None` (the default) keeps the pre-WAL
+    /// behaviour for pure simulation sweeps. The directory must be fresh
+    /// per run (replicas start from genesis).
+    pub data_dir: Option<std::path::PathBuf>,
+    /// WAL/page-store tuning: segment size, fsync policy (`Off` for
+    /// simulation, `Always`/`EveryN` for durability benchmarks), and the
+    /// crash-injection switch used by the recovery test matrix.
+    pub wal: ahl_wal::WalConfig,
     /// Base view-change timeout (doubles per consecutive failure).
     pub vc_timeout: SimDuration,
     /// Reply policy.
@@ -212,6 +235,9 @@ impl PbftConfig {
             sync_fanout: 4,
             diff_sync: true,
             snapshot_retention: 8,
+            snapshot_max_bytes: u64::MAX,
+            data_dir: None,
+            wal: ahl_wal::WalConfig::default(),
             vc_timeout: SimDuration::from_secs(2),
             reply_policy: ReplyPolicy::None,
             costs: CostModel::default(),

@@ -1,6 +1,7 @@
 //! PBFT and its TEE-assisted variants (paper §4.1): HL, AHL, AHL+, AHLR.
 
 mod config;
+mod durable;
 mod msg;
 mod replica;
 

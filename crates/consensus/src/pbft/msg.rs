@@ -193,10 +193,15 @@ pub enum PbftMsg {
     },
     /// Leader → all: liveness heartbeat (PBFT null request). Lets replicas
     /// distinguish "I am cut off" (no traffic at all) from "consensus is
-    /// stuck" (heartbeats still arriving), which gates view changes.
+    /// stuck" (heartbeats still arriving), which gates view changes — and
+    /// carries the leader's execution point, so a replica that fell
+    /// behind and then saw traffic stop (nothing left to evidence the
+    /// gap) still notices and requests catch-up.
     Heartbeat {
         /// The leader's view.
         view: u64,
+        /// The leader's highest executed sequence.
+        exec_seq: u64,
     },
     /// Lagging/joining replica → peer: open a state-sync exchange (§5.3
     /// state transfer). The server answers with [`PbftMsg::SyncTail`] when
@@ -211,11 +216,15 @@ pub enum PbftMsg {
         /// Force a full chunked transfer even if `have_seq` is recent
         /// (transitioning nodes re-fetch their new shard's entire state).
         full: bool,
-        /// The last *certified* state root the requester still retains a
-        /// snapshot of, if any. A server that also retains that root
-        /// answers with an incremental manifest (changed chunks only);
-        /// otherwise it falls back to a full chunked transfer.
-        old_root: Option<Hash>,
+        /// Every *certified* state root the requester still retains a
+        /// snapshot of, newest first (bounded by `snapshot_retention`).
+        /// A server that retains *any* of them answers with an
+        /// incremental manifest diffed against the newest match; empty
+        /// means no diff anchor (full chunked transfer). Advertising the
+        /// whole window instead of just the newest root lets servers with
+        /// sparse snapshot windows (freshly restarted peers retain only
+        /// their own durable checkpoint) still serve a diff.
+        old_roots: Vec<Hash>,
     },
     /// Peer → requester: the plan for a chunked transfer anchored at the
     /// latest checkpoint certificate.
@@ -362,9 +371,7 @@ impl PbftMsg {
             PbftMsg::Reply { .. } => 100,
             PbftMsg::Rejected { .. } | PbftMsg::RelayRejected { .. } => 90,
             PbftMsg::Heartbeat { .. } => 60,
-            PbftMsg::SyncRequest { old_root, .. } => {
-                80 + old_root.map_or(0, |_| 32)
-            }
+            PbftMsg::SyncRequest { old_roots, .. } => 80 + 32 * old_roots.len(),
             PbftMsg::SyncManifest { cert, sidecar, executed, diff, diff_base, .. } => {
                 120 + cert.wire_size()
                     + sidecar.wire_size()

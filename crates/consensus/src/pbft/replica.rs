@@ -21,10 +21,13 @@
 //!   paper's finding that AHL+ beats AHLR).
 
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use ahl_crypto::{Hash, KeyRegistry, SigningKey};
-use ahl_ledger::{Block as LedgerBlock, Chain, Key, StateSidecar, StateSnapshot, StateStore, Value};
+use ahl_ledger::{
+    Block as LedgerBlock, Chain, Key, StateSidecar, StateSnapshot, StateStore, Value,
+};
 use ahl_mempool::{Admission, BatchBuilder, BatchConfig, Mempool};
 use ahl_simkit::{Actor, Ctx, NodeId, SimDuration, SimTime};
 use ahl_store::{
@@ -34,6 +37,7 @@ use ahl_tee::{verify_attestation, AttestedLog, LogId, Slot, TeeOp};
 
 use crate::common::{stat, CryptoMode, ExecutedCache, Request};
 use crate::pbft::config::{PbftConfig, ReplyPolicy};
+use crate::pbft::durable::{twopc_kind, NodeStore, TwoPcKind, WalRecord};
 use crate::pbft::msg::{chunk_entry_bytes, AggProof, MsgCert, PbftBlock, PbftMsg, ViewChangeMsg, Vote};
 
 const TIMER_BATCH: u64 = 1;
@@ -76,6 +80,11 @@ struct CkptSnapshot {
     seq: u64,
     snap: Arc<StateSnapshot>,
     executed: Arc<HashSet<u64>>,
+    /// Approximate resident bytes written during this snapshot's
+    /// checkpoint interval — what retaining the *previous* snapshot costs
+    /// in copy-on-write duplication. Byte-budgeted eviction
+    /// (`snapshot_max_bytes`) sums these over the serving window.
+    approx_bytes: u64,
 }
 
 /// Requester-side phase of an in-flight state sync.
@@ -114,9 +123,23 @@ struct SyncRun {
     /// Diff disabled for the rest of this exchange (a diff install missed
     /// the certified root; the retry must be a full transfer).
     no_diff: bool,
-    /// The local certified snapshot whose root was advertised as
-    /// `old_root` — the base a diff manifest's chunks overlay onto.
-    anchor: Option<(CheckpointCert, Arc<StateSnapshot>)>,
+    /// The retained snapshot matching the manifest's `diff_base` — the
+    /// base a diff plan's chunks overlay onto. Resolved when the manifest
+    /// arrives (the requester advertises its whole retained window; the
+    /// server picks any root it also holds).
+    anchor: Option<Arc<StateSnapshot>>,
+    /// Highest certificate sequence this exchange has committed to.
+    /// Manifests below it are refused: peers that are themselves stale
+    /// (freshly restarted, still recovering) keep serving their old
+    /// certificate, and accepting it would make the exchange oscillate
+    /// between targets instead of converging.
+    floor_seq: u64,
+    /// Consecutive chunk-phase Nacks without progress. One stale peer in
+    /// the rotation must not reset the whole session (re-anchoring
+    /// discards every verified chunk); only a full rotation's worth of
+    /// Nacks — evidence the *committee* moved past our certificate —
+    /// forces a re-anchor.
+    nack_strikes: u8,
     started: SimTime,
     last_activity: SimTime,
     /// Actors to notify with `TransitionDone` when the sync completes
@@ -177,10 +200,19 @@ pub struct Replica {
     /// checkpoint interval behind `low_mark` so the committed-block tail
     /// above the previous certificate stays servable.
     insts_floor: u64,
-    /// The last certified own snapshot, modelling the on-disk checkpoint
-    /// that survives a crash: a restarting node resumes from it and only
-    /// fetches the diff to the committee's latest certificate.
+    /// The last certified own snapshot. Without a `data_dir` this is an
+    /// in-memory stand-in for the on-disk checkpoint; with one, it mirrors
+    /// what [`NodeStore::persist_checkpoint`] actually put on disk, and
+    /// `Restart` re-reads the disk copy instead of trusting this field.
     durable: Option<(CheckpointCert, CkptSnapshot)>,
+    /// This replica's node directory (`<data_dir>/node-<actor id>`), when
+    /// real persistence is configured.
+    store_dir: Option<PathBuf>,
+    /// Open WAL + page store handles. Dropped on crash (a dead process
+    /// holds no file handles); reopened — with full recovery validation —
+    /// on restart. `None` also after an I/O error: persistence failures
+    /// are treated as crashes, never silently ignored.
+    durable_store: Option<NodeStore>,
     /// In-flight state sync (requester side).
     sync: Option<SyncRun>,
     /// True while a full re-fetch (transition/restart) suspends consensus
@@ -230,6 +262,18 @@ impl Replica {
         let genesis: Arc<Vec<(Key, Value)>> = Arc::new(genesis.to_vec());
         let mut state = StateStore::new();
         state.load_genesis(&genesis);
+        // Real persistence: one node directory per actor id (unique even
+        // when several committees share a simulation). The directory is
+        // expected to be fresh per run; recovery happens via `Restart`.
+        // A directory that cannot even be created/opened is a
+        // configuration error (unwritable path, typo): failing loudly
+        // beats silently running the whole simulation diskless.
+        let store_dir = cfg.data_dir.as_ref().map(|d| d.join(format!("node-{}", group[me])));
+        let durable_store = store_dir.as_ref().map(|d| {
+            let (store, _, _) = NodeStore::open(d, &cfg.wal)
+                .unwrap_or_else(|e| panic!("data_dir {d:?} is unusable: {e}"));
+            store
+        });
         let pool = Mempool::new(cfg.mempool.clone(), cfg.pool_seed ^ me as u64);
         let batcher = BatchBuilder::new(BatchConfig {
             max_txs: cfg.batch_size,
@@ -263,6 +307,8 @@ impl Replica {
             serving: Vec::new(),
             insts_floor: 0,
             durable: None,
+            store_dir,
+            durable_store,
             sync: None,
             paused: false,
             crashed: false,
@@ -916,6 +962,9 @@ impl Replica {
 
     fn try_execute(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         loop {
+            if self.crashed {
+                return; // an I/O failure mid-execution killed the node
+            }
             let next = self.exec_seq + 1;
             let ready = self
                 .insts
@@ -931,6 +980,9 @@ impl Replica {
                 inst.block.clone().expect("checked above")
             };
             self.execute_block(&block, ctx);
+            if self.crashed {
+                return;
+            }
             self.exec_seq = next;
 
             if self.exec_seq.is_multiple_of(self.cfg.checkpoint_interval) {
@@ -946,6 +998,12 @@ impl Replica {
         let mut aborted = 0u64;
         let mut receipts = Vec::with_capacity(block.reqs.len());
         let mut weight = 0usize;
+        // WAL intent record before applying (recovery re-executes it);
+        // the 2PC transition journal entries follow as execution decides
+        // them, and one group commit below makes the batch durable.
+        if let Some(store) = self.durable_store.as_mut() {
+            store.log_batch(block);
+        }
         for req in block.reqs.iter() {
             if !self.executed_reqs.insert(req.id) {
                 continue; // replay of an already-executed request
@@ -954,6 +1012,13 @@ impl Replica {
             weight += req.op.weight();
             let receipt = self.state.execute(&req.op);
             let ok = receipt.status.is_committed();
+            if ok {
+                if let (Some(kind), Some(store), Some(txid)) =
+                    (twopc_kind(&req.op), self.durable_store.as_mut(), req.op.txid())
+                {
+                    store.log_twopc(txid.0, kind);
+                }
+            }
             receipts.push(receipt);
             if ok {
                 committed += 1;
@@ -995,6 +1060,29 @@ impl Replica {
             ctx.stats().inc(stat::BLOCKS_COMMITTED, 1);
             ctx.stats().record_point(stat::COMMIT_SERIES, now, committed as f64);
         }
+        // Group commit: one write+policy-fsync for the batch record plus
+        // its 2PC journal. An I/O failure here is a crash — the node goes
+        // dark and recovers from whatever reached the disk.
+        if self.durable_store.is_some() {
+            ctx.stats().inc(stat::WAL_BATCHES, 1);
+            self.charge(ctx, SimDuration::from_micros(5), false);
+            let failed =
+                self.durable_store.as_mut().map(|s| s.commit().is_err()).unwrap_or(false);
+            if failed {
+                self.io_crash(ctx);
+            }
+        }
+    }
+
+    /// A durable write failed (real I/O error or injected kill): the node
+    /// treats it as its own crash — no half-persisted state is ever
+    /// trusted, and the next `Restart` recovers from the disk image.
+    fn io_crash(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        ctx.stats().inc(stat::WAL_IO_CRASHES, 1);
+        self.durable_store = None;
+        self.crashed = true;
+        self.paused = true;
+        self.sync = None;
     }
 
     // ---------- checkpoints ----------
@@ -1006,10 +1094,14 @@ impl Replica {
         let seq = self.exec_seq;
         let root = self.state.state_digest();
         // O(1) in the state size: a frozen tree handle, not a deep clone.
+        // The drained write accumulator prices what keeping the previous
+        // snapshot alive costs in copy-on-write duplication.
+        let approx_bytes = self.state.take_write_bytes();
         self.snapshots.push(CkptSnapshot {
             seq,
             snap: Arc::new(self.state.snapshot()),
             executed: Arc::new(self.executed_reqs.to_set()),
+            approx_bytes,
         });
         if self.snapshots.len() > 2 {
             self.snapshots.remove(0);
@@ -1047,16 +1139,78 @@ impl Replica {
         if self.cfg.crypto == CryptoMode::Real {
             self.tee.truncate(cert.seq);
         }
-        if let Some(snap) = self.snapshots.iter().find(|s| s.seq == cert.seq) {
+        if let Some(snap) = self.snapshots.iter().find(|s| s.seq == cert.seq).cloned() {
             self.serving.push((cert.clone(), snap.clone()));
-            while self.serving.len() > self.cfg.snapshot_retention.max(2) {
-                self.serving.remove(0);
-            }
             // The certified own snapshot doubles as the durable (on-disk)
             // checkpoint a crash cannot erase.
             self.durable = Some((cert.clone(), snap.clone()));
+            self.enforce_snapshot_budget(ctx);
+            // With real persistence, "durable" means the disk says so:
+            // pages (deduplicated against earlier checkpoints), manifest
+            // swap, WAL compaction.
+            self.persist_durable_checkpoint(ctx);
         }
         self.snapshots.retain(|s| s.seq > cert.seq);
+    }
+
+    /// Write the `durable` checkpoint through the node store, charging the
+    /// (modelled) serialization cost; an I/O failure crashes the node.
+    fn persist_durable_checkpoint(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        if self.durable_store.is_none() {
+            return;
+        }
+        let Some((cert, snap)) = self.durable.clone() else { return };
+        let result = self
+            .durable_store
+            .as_mut()
+            .expect("checked above")
+            .persist_checkpoint(&cert, &snap.snap, &snap.executed);
+        match result {
+            Ok(stats) => {
+                ctx.stats().inc(stat::WAL_CHECKPOINTS, 1);
+                ctx.stats().inc(stat::WAL_PAGES_WRITTEN, stats.pages_written);
+                ctx.stats().inc(stat::WAL_PAGES_SHARED, stats.subtrees_shared);
+                // Serialization + page I/O cost (bytes actually written —
+                // shared pages cost nothing, the point of the dedup).
+                self.charge(
+                    ctx,
+                    SimDuration::from_micros(20)
+                        + SimDuration::from_nanos(stats.bytes_written / 4),
+                    false,
+                );
+            }
+            Err(_) => self.io_crash(ctx),
+        }
+    }
+
+    /// Trim the serving window: by count (`snapshot_retention`), then by
+    /// the approximate resident-byte budget (`snapshot_max_bytes`),
+    /// evicting oldest-first while pinning the durable checkpoint and the
+    /// newest snapshot (the ones sync and restart anchor on).
+    fn enforce_snapshot_budget(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        while self.serving.len() > self.cfg.snapshot_retention.max(2) {
+            self.serving.remove(0);
+        }
+        if self.cfg.snapshot_max_bytes == u64::MAX {
+            return;
+        }
+        let durable_root = self.durable.as_ref().map(|(c, _)| c.root);
+        while self.serving.len() > 2 {
+            let total: u64 = self.serving.iter().map(|(_, s)| s.approx_bytes).sum();
+            if total <= self.cfg.snapshot_max_bytes {
+                break;
+            }
+            // Oldest unpinned entry (never the newest, never the durable).
+            let newest = self.serving.len() - 1;
+            let Some(pos) = self.serving[..newest]
+                .iter()
+                .position(|(c, _)| Some(c.root) != durable_root)
+            else {
+                break;
+            };
+            self.serving.remove(pos);
+            ctx.stats().inc(stat::SNAPSHOT_EVICTIONS, 1);
+        }
     }
 
     fn on_checkpoint(&mut self, vote: CheckpointVote, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -1183,6 +1337,8 @@ impl Replica {
             diffed: false,
             no_diff: false,
             anchor: None,
+            floor_seq: 0,
+            nack_strikes: 0,
             started: now,
             last_activity: now,
             notify: notify.into_iter().collect(),
@@ -1191,22 +1347,38 @@ impl Replica {
         ctx.set_timer(self.sync_retry_interval(), TIMER_SYNC);
     }
 
-    /// (Re)issue the opening `SyncRequest` to the current peer, refreshing
-    /// the diff anchor: the newest certified snapshot this node retains.
-    /// The advertised root and the retained base must come from the same
-    /// snapshot, or a diff overlay would merge onto the wrong state.
+    /// Every certified root this node retains a snapshot of, newest
+    /// first: the serving window plus the durable checkpoint, bounded by
+    /// the retention depth. Advertised in `SyncRequest` so a server can
+    /// anchor a diff plan on *any* root the two nodes share — not just
+    /// the requester's newest (a freshly restarted server's window may
+    /// hold only an older one).
+    fn advertised_roots(&self) -> Vec<Hash> {
+        let mut roots: Vec<Hash> = Vec::new();
+        for (cert, _) in self.serving.iter().rev() {
+            if !roots.contains(&cert.root) {
+                roots.push(cert.root);
+            }
+        }
+        if let Some((cert, _)) = &self.durable {
+            if !roots.contains(&cert.root) {
+                roots.push(cert.root);
+            }
+        }
+        roots.truncate(self.cfg.snapshot_retention.max(2));
+        roots
+    }
+
+    /// (Re)issue the opening `SyncRequest` to the current peer. Diff
+    /// eligibility: enabled, not already fallen back, and the retained
+    /// roots are meaningful for the target state (any gap catch-up, or a
+    /// full fetch re-joining recently-held state). The diff anchor itself
+    /// is resolved when the manifest answers — whichever advertised root
+    /// the server diffed against.
     fn send_sync_request(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
-        // Diff eligibility: enabled, not already fallen back, and the old
-        // root is meaningful for the target state (any gap catch-up, or a
-        // full fetch re-joining recently-held state).
-        let anchor = self
-            .serving
-            .last()
-            .map(|(cert, snap)| (cert.clone(), snap.snap.clone()));
-        let Some(run) = self.sync.as_mut() else { return };
+        let Some(run) = self.sync.as_ref() else { return };
         let eligible = self.cfg.diff_sync && !run.no_diff && (!run.full || run.rejoin);
-        run.anchor = if eligible { anchor } else { None };
-        let old_root = run.anchor.as_ref().map(|(cert, _)| cert.root);
+        let old_roots = if eligible { self.advertised_roots() } else { Vec::new() };
         let (peer, full) = (run.peer, run.full);
         ctx.send(
             self.group[peer],
@@ -1214,7 +1386,7 @@ impl Replica {
                 requester: self.me,
                 have_seq: self.exec_seq,
                 full,
-                old_root,
+                old_roots,
             },
         );
     }
@@ -1259,6 +1431,15 @@ impl Replica {
             run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
             return; // retry (rotated peer) via the sync timer
         }
+        // Monotonicity: a stale peer (itself mid-recovery) may answer with
+        // a certificate older than the one this exchange already targets.
+        // Accepting it would regress the transfer — refuse and rotate.
+        if cert.seq < self.sync.as_ref().map_or(0, |r| r.floor_seq) {
+            ctx.stats().inc(stat::SYNC_STALE_MANIFESTS, 1);
+            let run = self.sync.as_mut().expect("checked above");
+            run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
+            return;
+        }
         // A full first-round fetch accepts any certificate (the node might
         // even be ahead of it on the old shard's timeline); re-anchors and
         // gap syncs only accept certificates ahead of the execution point.
@@ -1271,17 +1452,17 @@ impl Replica {
         } else {
             self.exec_seq
         };
-        // An incremental plan is only usable when the root the server
-        // diffed against is exactly our *currently retained* anchor — a
-        // late manifest answering an earlier advertisement (the anchor may
-        // have been refreshed by a retry since) must not overlay a newer
-        // base. Anything else downgrades to a full session.
-        let usable_diff = diff.filter(|_| {
-            self.sync
-                .as_ref()
-                .and_then(|r| r.anchor.as_ref())
-                .is_some_and(|(acert, _)| diff_base == Some(acert.root))
-        });
+        // An incremental plan is only usable when we still retain a
+        // snapshot whose root is exactly the one the server diffed
+        // against (we advertised several; the server picked one — and a
+        // late manifest answering an earlier advertisement is fine as
+        // long as that base is still retained: content-addressed roots
+        // identify the overlay base unambiguously). Anything else
+        // downgrades to a full session.
+        let anchor_snap: Option<Arc<StateSnapshot>> = diff_base
+            .and_then(|root| self.retained_snapshot(&root).cloned())
+            .filter(|_| diff.is_some());
+        let usable_diff = diff.filter(|_| anchor_snap.is_some());
         let session = match match &usable_diff {
             Some(chunks) => SyncSession::new_diff(cert, bits, chunks, have_seq),
             None => SyncSession::new_full(cert, bits, have_seq),
@@ -1304,9 +1485,14 @@ impl Replica {
         let run = self.sync.as_mut().expect("checked above");
         run.chunked = true;
         run.last_activity = ctx.now();
+        run.floor_seq = session.seq();
+        run.nack_strikes = 0;
         if session.is_diff() {
             run.diffed = true;
+            run.anchor = anchor_snap;
             ctx.stats().inc(stat::SYNC_DIFFS, 1);
+        } else {
+            run.anchor = None;
         }
         if std::env::var("AHL_DEBUG").is_ok() {
             eprintln!(
@@ -1389,6 +1575,10 @@ impl Replica {
         let outcome = match session.accept_chunk(chunk, (*entries).clone(), &proof) {
             Ok(done) => {
                 inflight.retain(|c| *c != chunk);
+                // Progress: the Nack strike ladder only counts *consecutive*
+                // failures — one stale peer in the rotation must not
+                // accumulate strikes across an otherwise healthy transfer.
+                run.nack_strikes = 0;
                 if done {
                     Outcome::Done
                 } else {
@@ -1457,7 +1647,7 @@ impl Replica {
             false,
         );
         let mut state = if is_diff {
-            let (_, anchor) = run.anchor.as_ref().expect("diff session kept its anchor");
+            let anchor = run.anchor.as_ref().expect("diff session kept its anchor");
             let mut base = StateStore::from_snapshot(anchor);
             base.apply_diff(bits, &chunks);
             if base.state_digest() != cert.root {
@@ -1490,13 +1680,18 @@ impl Replica {
             seq: cert.seq,
             snap: Arc::new(self.state.snapshot()),
             executed: executed.clone(),
+            approx_bytes: self.state.take_write_bytes(),
         };
         self.serving.push((cert.clone(), installed.clone()));
-        while self.serving.len() > self.cfg.snapshot_retention.max(2) {
-            self.serving.remove(0);
-        }
-        run.anchor = Some((cert.clone(), installed.snap.clone()));
         self.durable = Some((cert.clone(), installed));
+        self.enforce_snapshot_budget(ctx);
+        // Installed certified state is the new durable checkpoint: put it
+        // on disk before resuming (a crash right after install must
+        // recover here, not at the pre-crash checkpoint).
+        self.persist_durable_checkpoint(ctx);
+        if self.crashed {
+            return; // the persist failed; the node is dark now
+        }
         self.exec_seq = cert.seq;
         self.low_mark = cert.seq;
         if run.full {
@@ -1525,16 +1720,15 @@ impl Replica {
             eprintln!("[{}] node {} installed chunks at seq {}", ctx.now(), self.me, self.exec_seq);
         }
         // Catch up the blocks committed above the certificate. Advertise
-        // the root just installed: if a newer certificate formed
-        // mid-transfer, the server re-anchors us with a near-empty diff
-        // instead of another full pass.
+        // the retained window (headed by the root just installed): if a
+        // newer certificate formed mid-transfer, the server re-anchors us
+        // with a near-empty diff instead of another full pass.
         let peer = run.peer;
-        let installed_root = self
-            .durable
-            .as_ref()
-            .map(|(c, _)| c.root)
-            .expect("durable checkpoint registered just above");
-        let old_root = (self.cfg.diff_sync && !run.no_diff).then_some(installed_root);
+        let old_roots = if self.cfg.diff_sync && !run.no_diff {
+            self.advertised_roots()
+        } else {
+            Vec::new()
+        };
         run.last_activity = ctx.now();
         self.sync = Some(run);
         ctx.send(
@@ -1543,7 +1737,7 @@ impl Replica {
                 requester: self.me,
                 have_seq: self.exec_seq,
                 full: false,
-                old_root,
+                old_roots,
             },
         );
     }
@@ -1565,6 +1759,9 @@ impl Replica {
         for block in blocks {
             if block.seq == self.exec_seq + 1 {
                 self.execute_block(&block, ctx);
+                if self.crashed {
+                    return; // I/O failure while journaling the tail
+                }
                 self.exec_seq = block.seq;
                 // The tail crosses checkpoint heights like normal
                 // execution does: snapshot and vote, or this replica would
@@ -1582,34 +1779,73 @@ impl Replica {
     }
 
     fn on_sync_nack(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
-        let Some(run) = self.sync.as_mut() else { return };
-        if std::env::var("AHL_DEBUG").is_ok() {
-            eprintln!("[{}] node {} sync nack (phase {})", ctx.now(), self.me,
-                match run.phase { SyncPhase::AwaitManifest => "manifest", SyncPhase::Chunks{..} => "chunks", SyncPhase::AwaitTail => "tail" });
+        enum Act {
+            Finish,
+            Idle,
+            Pump,
+            Reanchor,
         }
-        match run.phase {
-            // Nothing above the certificate (or we were already current).
-            SyncPhase::AwaitTail => self.finish_sync(ctx),
-            // Server cannot serve. A gap catch-up that no longer has a gap
-            // (normal traffic caught us up while we waited) is done; a
-            // transition must keep retrying until somebody serves the
-            // fetch. Otherwise rotate and retry via the sync timer.
-            SyncPhase::AwaitManifest => {
-                run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
-                if !run.full && !self.has_execution_gap() {
+        let (n, me, now) = (self.cfg.n, self.me, ctx.now());
+        let act = {
+            let Some(run) = self.sync.as_mut() else { return };
+            if std::env::var("AHL_DEBUG").is_ok() {
+                eprintln!("[{}] node {} sync nack (phase {})", now, me,
+                    match run.phase { SyncPhase::AwaitManifest => "manifest", SyncPhase::Chunks{..} => "chunks", SyncPhase::AwaitTail => "tail" });
+            }
+            match &mut run.phase {
+                // Nothing above the certificate (or we were already
+                // current).
+                SyncPhase::AwaitTail => Act::Finish,
+                // Server cannot serve a manifest: rotate and retry via
+                // the sync timer — unless a gap catch-up no longer has a
+                // gap (normal traffic caught us up while we waited).
+                SyncPhase::AwaitManifest => {
+                    run.peer = next_sync_peer(n, me, run.peer);
+                    if !run.full {
+                        Act::Finish // conditional: only if the gap closed
+                    } else {
+                        Act::Idle
+                    }
+                }
+                // A peer cannot serve chunks at our certificate. Either
+                // that one peer is stale (freshly restarted, serving only
+                // its own old snapshot) — strike it, rotate, and re-issue
+                // the outstanding requests elsewhere — or the *committee*
+                // has rotated the snapshot away (cert advanced), which a
+                // full rotation's worth of consecutive Nacks evidences:
+                // only then re-anchor on a fresh manifest (discarding the
+                // session's verified chunks). Without the strike ladder,
+                // one stale peer in the fan-out rotation could reset the
+                // transfer forever.
+                SyncPhase::Chunks { inflight, .. } => {
+                    run.nack_strikes = run.nack_strikes.saturating_add(1);
+                    run.peer = next_sync_peer(n, me, run.peer);
+                    run.last_activity = now;
+                    if (run.nack_strikes as usize) < n.saturating_sub(1).max(2) {
+                        inflight.clear();
+                        Act::Pump
+                    } else {
+                        run.nack_strikes = 0;
+                        run.phase = SyncPhase::AwaitManifest;
+                        Act::Reanchor
+                    }
+                }
+            }
+        };
+        match act {
+            Act::Finish => {
+                let tail_phase = matches!(
+                    self.sync.as_ref().map(|r| &r.phase),
+                    Some(SyncPhase::AwaitTail)
+                );
+                if tail_phase || !self.has_execution_gap() {
                     self.finish_sync(ctx);
                 }
             }
-            // Server lost the snapshot mid-transfer (cert advanced): start
-            // over from a fresh manifest — verified chunks are kept only
-            // within one session, so re-anchor on the newer certificate.
-            // Re-request immediately: the server Nacked precisely because
-            // it holds a *newer* cert, so a manifest is available now.
-            SyncPhase::Chunks { .. } => {
+            Act::Idle => {}
+            Act::Pump => self.pump_chunk_requests(ctx),
+            Act::Reanchor => {
                 ctx.stats().inc(stat::SYNC_REANCHORS, 1);
-                run.phase = SyncPhase::AwaitManifest;
-                run.peer = next_sync_peer(self.cfg.n, self.me, run.peer);
-                run.last_activity = ctx.now();
                 self.send_sync_request(ctx);
             }
         }
@@ -1675,18 +1911,20 @@ impl Replica {
             Act::Manifest => self.send_sync_request(ctx),
             Act::Pump => self.pump_chunk_requests(ctx),
             Act::Tail { peer, no_diff } => {
-                // Keep advertising the installed/durable root on retries:
-                // if a newer cert formed, the re-anchor stays incremental.
-                let old_root = (self.cfg.diff_sync && !no_diff)
-                    .then(|| self.durable.as_ref().map(|(c, _)| c.root))
-                    .flatten();
+                // Keep advertising the retained window on retries: if a
+                // newer cert formed, the re-anchor stays incremental.
+                let old_roots = if self.cfg.diff_sync && !no_diff {
+                    self.advertised_roots()
+                } else {
+                    Vec::new()
+                };
                 ctx.send(
                     self.group[peer],
                     PbftMsg::SyncRequest {
                         requester: self.me,
                         have_seq: self.exec_seq,
                         full: false,
-                        old_root,
+                        old_roots,
                     },
                 );
             }
@@ -1701,7 +1939,7 @@ impl Replica {
         requester: usize,
         have_seq: u64,
         full: bool,
-        old_root: Option<Hash>,
+        old_roots: Vec<Hash>,
         ctx: &mut Ctx<'_, PbftMsg>,
     ) {
         if requester >= self.cfg.n || requester == self.me {
@@ -1743,26 +1981,34 @@ impl Replica {
         match self.serving.last() {
             Some((cert, snap)) if full || cert.seq > have_seq => {
                 let bits = chunk_bits_for(snap.snap.len(), self.cfg.sync_chunk_target);
-                // Incremental plan: if the requester's advertised root is
-                // one this node still retains a snapshot of, report only
-                // the chunks that changed since. Retention covers the
-                // serving window (`snapshot_retention` certs) plus the
-                // durable checkpoint; older roots fall back to a full plan.
-                let diff: Option<Arc<Vec<u32>>> = if self.cfg.diff_sync {
-                    old_root.and_then(|oroot| {
-                        self.retained_snapshot(&oroot).map(|old| {
-                            Arc::new(old.smt().diff_chunks(snap.snap.smt(), bits))
-                        })
-                    })
+                // Incremental plan: if *any* advertised root (newest
+                // first) is one this node still retains a snapshot of,
+                // report only the chunks that changed since. Retention
+                // covers the serving window (`snapshot_retention` certs)
+                // plus the durable checkpoint; no shared root falls back
+                // to a full plan.
+                let (diff, diff_base): (Option<Arc<Vec<u32>>>, Option<Hash>) = if self
+                    .cfg
+                    .diff_sync
+                {
+                    match old_roots.iter().find(|r| self.retained_snapshot(r).is_some()) {
+                        Some(oroot) => {
+                            let old = self.retained_snapshot(oroot).expect("found above");
+                            (
+                                Some(Arc::new(old.smt().diff_chunks(snap.snap.smt(), bits))),
+                                Some(*oroot),
+                            )
+                        }
+                        None => (None, None),
+                    }
                 } else {
-                    None
+                    (None, None)
                 };
-                let diff_base = diff.as_ref().and(old_root);
                 if std::env::var("AHL_DEBUG").is_ok() {
                     eprintln!(
-                        "[server {}] sync_request from {} have {} full {} old_root {} -> cert {} diff {:?}",
+                        "[server {}] sync_request from {} have {} full {} old_roots {} -> cert {} diff {:?}",
                         self.me, requester, have_seq, full,
-                        old_root.is_some(), cert.seq,
+                        old_roots.len(), cert.seq,
                         diff.as_ref().map(|d| d.len()),
                     );
                 }
@@ -1901,14 +2147,20 @@ impl Replica {
         self.crashed = true;
         self.paused = true;
         self.sync = None;
+        // A dead process holds no file handles; uncommitted WAL appends
+        // buffered in them are lost — exactly the crash model. `Restart`
+        // reopens the directory through full recovery validation.
+        self.durable_store = None;
     }
 
-    /// (Re)start after a crash: all volatile state is lost; genesis and the
-    /// durable checkpoint (the last *certified* snapshot — real nodes
-    /// persist those) survive on disk. The replica resumes from the
-    /// durable checkpoint when one exists and recovers the rest through
-    /// state sync — advertising the durable root, so a peer that still
-    /// retains it serves only the diff.
+    /// (Re)start after a crash: all volatile state is lost; genesis and
+    /// the durable checkpoint survive. Without a `data_dir` the in-memory
+    /// `durable` field stands in for the disk; with one, the node
+    /// directory is *reopened* — manifest validation, page-verified
+    /// checkpoint load, WAL tail replay — and the replica resumes from
+    /// what the disk actually says before diff-syncing the remainder
+    /// (advertising its retained roots, so a peer that still holds any of
+    /// them serves only the diff).
     fn on_restart(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         ctx.stats().inc("sync.restarts", 1);
         self.crashed = false;
@@ -1931,35 +2183,196 @@ impl Replica {
         self.stall_strikes = 0;
         self.sync = None;
         self.paused = true;
-        match self.durable.clone() {
-            Some((cert, snap)) => {
-                // Resume from the certified on-disk checkpoint: O(fetched)
-                // recovery instead of re-transferring the whole state.
-                self.state = StateStore::from_snapshot(&snap.snap);
-                self.executed_reqs = ExecutedCache::from_set(&snap.executed);
-                self.exec_seq = cert.seq;
-                self.next_seq = cert.seq + 1;
-                self.low_mark = cert.seq;
-                self.insts_floor = cert.seq;
-                self.ckpt.adopt(cert.clone());
-                // The restored snapshot is servable again (and is the
-                // diff anchor the sync request advertises).
-                self.serving = vec![(cert, snap)];
-            }
-            None => {
-                // No checkpoint ever certified: cold-start from genesis.
-                let mut state = StateStore::new();
-                state.load_genesis(&self.genesis);
-                self.state = state;
-                self.exec_seq = 0;
-                self.next_seq = 1;
-                self.low_mark = 0;
-                self.insts_floor = 0;
+        if self.store_dir.is_some() {
+            self.restart_from_disk(ctx);
+        } else {
+            match self.durable.clone() {
+                Some((cert, snap)) => {
+                    // Resume from the certified checkpoint: O(fetched)
+                    // recovery instead of re-transferring the whole state.
+                    self.state = StateStore::from_snapshot(&snap.snap);
+                    self.executed_reqs = ExecutedCache::from_set(&snap.executed);
+                    self.exec_seq = cert.seq;
+                    self.next_seq = cert.seq + 1;
+                    self.low_mark = cert.seq;
+                    self.insts_floor = cert.seq;
+                    self.ckpt.adopt(cert.clone());
+                    // The restored snapshot is servable again (and is the
+                    // diff anchor the sync request advertises).
+                    self.serving = vec![(cert, snap)];
+                }
+                None => self.cold_start_state(),
             }
         }
         // Timer chains kept alive through the dark period resume driving
         // batching/view-change/heartbeat once sync completes.
         self.begin_sync(false, false, None, ctx);
+    }
+
+    /// Reset the ledger to genesis (no durable checkpoint to resume from).
+    fn cold_start_state(&mut self) {
+        let mut state = StateStore::new();
+        state.load_genesis(&self.genesis);
+        self.state = state;
+        self.exec_seq = 0;
+        self.next_seq = 1;
+        self.low_mark = 0;
+        self.insts_floor = 0;
+    }
+
+    /// Real recovery: reopen the node directory, resume from the durable
+    /// checkpoint the manifest names (pages root-verified on load), then
+    /// replay the WAL tail past it — crash-truncated tails were already
+    /// cut at the torn record, and the 2PC journal cross-checks replay.
+    /// Anything this cannot restore, state sync fetches afterwards.
+    fn restart_from_disk(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
+        self.durable_store = None;
+        self.durable = None;
+        let dir = self.store_dir.clone().expect("caller checked");
+        let (store, recovered, tail) = match NodeStore::open(&dir, &self.cfg.wal) {
+            Ok(parts) => parts,
+            Err(_) => {
+                // The directory is unusable (injected crash during the
+                // reopen itself, or real I/O trouble): run diskless from
+                // genesis; state sync restores the ledger.
+                ctx.stats().inc(stat::WAL_REOPEN_FAILURES, 1);
+                self.cold_start_state();
+                return;
+            }
+        };
+        self.durable_store = Some(store);
+        match recovered {
+            Some(d) => {
+                let cert = d.cert;
+                let snap = Arc::new(d.snapshot);
+                self.state = StateStore::from_snapshot(&snap);
+                self.executed_reqs = ExecutedCache::from_set(&d.executed);
+                self.exec_seq = cert.seq;
+                self.next_seq = cert.seq + 1;
+                self.low_mark = cert.seq;
+                self.insts_floor = cert.seq;
+                self.ckpt.adopt(cert.clone());
+                let ckpt_snap = CkptSnapshot {
+                    seq: cert.seq,
+                    snap,
+                    executed: Arc::new(d.executed),
+                    approx_bytes: 0,
+                };
+                self.serving = vec![(cert.clone(), ckpt_snap.clone())];
+                self.durable = Some((cert, ckpt_snap));
+            }
+            None => self.cold_start_state(),
+        }
+        let replayed = self.replay_wal_tail(tail, ctx);
+        ctx.stats().inc(stat::WAL_REPLAYED, replayed);
+        // Replayed writes are part of the recovered base, not churn to
+        // charge against the next snapshot's byte budget.
+        self.state.take_write_bytes();
+        if std::env::var("AHL_DEBUG").is_ok() {
+            eprintln!(
+                "[{}] node {} reopened dir: durable seq {:?}, replayed {} batches -> exec {}",
+                ctx.now(),
+                self.me,
+                self.durable.as_ref().map(|(c, _)| c.seq),
+                replayed,
+                self.exec_seq,
+            );
+        }
+    }
+
+    /// Re-execute the decoded WAL tail contiguously above the recovered
+    /// checkpoint. Each batch's journaled 2PC transitions must match what
+    /// replay actually performs — a divergence means the tail cannot be
+    /// trusted (corruption the CRCs missed). The mismatch necessarily
+    /// surfaces *after* the suspect batch applied, so the whole replay is
+    /// rolled back to the verified checkpoint: nothing unattested stays
+    /// in the recovered state, and verified state sync covers the rest.
+    /// Returns the number of batches that stayed replayed.
+    fn replay_wal_tail(&mut self, tail: Vec<WalRecord>, ctx: &mut Ctx<'_, PbftMsg>) -> u64 {
+        let checkpoint_exec = self.exec_seq;
+        let mut replayed = 0u64;
+        let mut mismatch = false;
+        // Journal records of a batch already folded into the checkpoint:
+        // skipped, not checked (the checkpoint is the verified truth for
+        // them; two-generation WAL retention makes such prefixes normal).
+        let mut skipping = true;
+        let mut expected: std::collections::VecDeque<(u64, TwoPcKind)> = Default::default();
+        for rec in tail {
+            match rec {
+                WalRecord::Batch { seq, reqs } => {
+                    if seq <= self.exec_seq {
+                        skipping = true;
+                        continue; // folded into the checkpoint already
+                    }
+                    if seq != self.exec_seq + 1 {
+                        break; // gap: records beyond it are unreachable
+                    }
+                    // A truncated journal after a fully written batch is
+                    // a normal crash shape — only *mismatches* are fatal,
+                    // and those broke out of the loop below.
+                    skipping = false;
+                    expected.clear();
+                    let mut weight = 0usize;
+                    for req in &reqs {
+                        if !self.executed_reqs.insert(req.id) {
+                            continue;
+                        }
+                        weight += req.op.weight();
+                        let receipt = self.state.execute(&req.op);
+                        if receipt.status.is_committed() {
+                            if let (Some(k), Some(txid)) = (twopc_kind(&req.op), req.op.txid()) {
+                                expected.push_back((txid.0, k));
+                            }
+                        }
+                    }
+                    self.charge(
+                        ctx,
+                        self.cfg.exec_cost_per_op.saturating_mul(weight as u64),
+                        true,
+                    );
+                    self.exec_seq = seq;
+                    self.next_seq = seq + 1;
+                    replayed += 1;
+                }
+                WalRecord::TwoPc { .. } if skipping => {}
+                WalRecord::TwoPc { txid, kind } => match expected.pop_front() {
+                    Some((t, k)) if t == txid && k == kind => {}
+                    _ => {
+                        mismatch = true;
+                        break;
+                    }
+                },
+                WalRecord::Ckpt { seq, root } => {
+                    // Checkpoint marker: when it names the point replay
+                    // just reached, the live root must match the certified
+                    // one — a cheap end-to-end integrity check on replay.
+                    if seq == self.exec_seq && self.state.state_digest() != root {
+                        mismatch = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if mismatch {
+            ctx.stats().inc(stat::WAL_REPLAY_MISMATCHES, 1);
+            // The tail lied about a batch that is already applied: fall
+            // back to exactly the verified checkpoint (or genesis) and
+            // let state sync re-fetch the rest with proofs.
+            match &self.durable {
+                Some((cert, snap)) => {
+                    self.state = StateStore::from_snapshot(&snap.snap);
+                    self.executed_reqs = ExecutedCache::from_set(&snap.executed);
+                    self.exec_seq = cert.seq;
+                    self.next_seq = cert.seq + 1;
+                }
+                None => {
+                    self.cold_start_state();
+                }
+            }
+            debug_assert_eq!(self.exec_seq, checkpoint_exec, "rollback lands on the checkpoint");
+            return 0;
+        }
+        replayed
     }
 
     fn start_view_change(&mut self, target: u64, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -2133,9 +2546,34 @@ impl Replica {
 
     fn on_heartbeat_timer(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         if self.is_leader() && !self.byzantine && !self.paused {
-            ctx.multicast(self.others(), PbftMsg::Heartbeat { view: self.view });
+            ctx.multicast(
+                self.others(),
+                PbftMsg::Heartbeat { view: self.view, exec_seq: self.exec_seq },
+            );
         }
         ctx.set_timer(self.cfg.vc_timeout.mul_f64(0.2), TIMER_HEARTBEAT);
+    }
+
+    /// A heartbeat advertising an execution point far beyond ours means we
+    /// missed blocks *and* the evidence (the committed instances never
+    /// arrived — e.g. they committed while this node was syncing and
+    /// traffic has since stopped, so gap detection has nothing to see).
+    /// Request catch-up; the server answers with a block tail or a
+    /// chunked transfer as appropriate. The threshold keeps normal
+    /// pipelining lag from triggering spurious exchanges, and only the
+    /// *current view's leader* is believed — an unvalidated `exec_seq`
+    /// from an arbitrary replica would let one Byzantine node keep the
+    /// whole committee churning through pointless sync exchanges.
+    fn on_heartbeat(&mut self, from_idx: usize, view: u64, exec_seq: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        self.charge(ctx, SimDuration::from_micros(5), false);
+        if view != self.view || from_idx != self.leader_of(self.view) {
+            return;
+        }
+        let lag_threshold = (4 * self.cfg.pipeline_width).max(16);
+        if exec_seq > self.exec_seq + lag_threshold && self.sync.is_none() && !self.paused {
+            ctx.stats().inc("consensus.heartbeat_syncs", 1);
+            self.begin_sync(false, false, None, ctx);
+        }
     }
 
     fn on_vc_timer(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -2216,11 +2654,12 @@ impl Actor for Replica {
             PbftMsg::ViewChange(vc) => self.on_view_change(vc, ctx),
             PbftMsg::NewView { view, reproposals } => self.on_new_view(view, reproposals, ctx),
             PbftMsg::Reply { .. } | PbftMsg::Rejected { .. } => {}
-            PbftMsg::Heartbeat { .. } => {
-                self.charge(ctx, SimDuration::from_micros(5), false);
+            PbftMsg::Heartbeat { view, exec_seq } => {
+                let Some(idx) = self.group_index(from) else { return };
+                self.on_heartbeat(idx, view, exec_seq, ctx);
             }
-            PbftMsg::SyncRequest { requester, have_seq, full, old_root } => {
-                self.on_sync_request(requester, have_seq, full, old_root, ctx)
+            PbftMsg::SyncRequest { requester, have_seq, full, old_roots } => {
+                self.on_sync_request(requester, have_seq, full, old_roots, ctx)
             }
             PbftMsg::SyncManifest {
                 cert,

@@ -32,4 +32,4 @@ pub use formation::{form, Formation};
 pub use parallel::{run_scale_out, ScaleOutConfig, ScaleOutMetrics, ShardBench};
 pub use reshard::{run_reshard, ReshardConfig, ReshardMetrics, ReshardStrategy};
 pub use system::{run_system, SystemConfig, SystemMetrics, SystemWorkload};
-pub use xclient::{sysstat, CrossShardClient};
+pub use xclient::{sysstat, CrossShardClient, RateControl};

@@ -68,6 +68,10 @@ pub struct ReshardConfig {
     /// diff, instead of re-transferring the whole shard. 0.0 = every
     /// transition is a cross-shard move (full fetch).
     pub rejoin_fraction: f64,
+    /// Real on-disk persistence root (per-node WAL + page-backed
+    /// checkpoints under `dir/node-<id>`); `None` keeps the sweep
+    /// filesystem-free.
+    pub data_dir: Option<std::path::PathBuf>,
     /// Run length.
     pub duration: SimDuration,
     /// Offered load per client (open loop), requests/s.
@@ -91,6 +95,7 @@ impl ReshardConfig {
             state_pad_bytes: 800_000,
             sync_chunk_target: 400,
             rejoin_fraction: 0.0,
+            data_dir: None,
             duration: SimDuration::from_secs(450),
             client_rate: 150.0,
             clients: 4,
@@ -236,6 +241,7 @@ pub fn run_reshard(cfg: &ReshardConfig) -> ReshardMetrics {
     let mut pbft = PbftConfig::new(BftVariant::AhlPlus, cfg.committee_size);
     pbft.batch_timeout = SimDuration::from_millis(20);
     pbft.sync_chunk_target = cfg.sync_chunk_target;
+    pbft.data_dir = cfg.data_dir.clone();
     // ≈10 s of blocks between checkpoints: the first certificate exists
     // well before the first reshard event, and a transitioning node's
     // multi-second transfer fits comfortably inside the snapshot-retention

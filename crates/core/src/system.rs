@@ -92,6 +92,17 @@ pub struct SystemConfig {
     /// `clients` × `outstanding`) to push the system into overload and
     /// exercise backpressure.
     pub mempool: MempoolConfig,
+    /// Client reaction to pool backpressure: fixed backoff, or
+    /// pool-aware AIMD window control (see [`crate::xclient::RateControl`]).
+    pub rate_control: crate::xclient::RateControl,
+    /// Real on-disk persistence root: every replica journals batches and
+    /// checkpoints under `dir/node-<actor id>` and restarts recover from
+    /// disk. `None` = in-memory simulation (the default; sweeps stay
+    /// filesystem-free).
+    pub data_dir: Option<std::path::PathBuf>,
+    /// WAL tuning when `data_dir` is set (fsync policy, segment size,
+    /// crash injection).
+    pub wal: ahl_wal::WalConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -112,6 +123,9 @@ impl SystemConfig {
             warmup: SimDuration::from_secs(5),
             batch_size: 100,
             mempool: MempoolConfig::default(),
+            rate_control: crate::xclient::RateControl::Fixed,
+            data_dir: None,
+            wal: ahl_wal::WalConfig::default(),
             seed: 42,
         }
     }
@@ -182,6 +196,8 @@ pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
     pbft.batch_timeout = SimDuration::from_millis(10);
     pbft.mempool = cfg.mempool.clone();
     pbft.cpu_scale = cfg.net.cpu_scale();
+    pbft.data_dir = cfg.data_dir.clone();
+    pbft.wal = cfg.wal.clone();
 
     let map = ShardMap::new(cfg.shards);
     let genesis = cfg.workload.genesis();
@@ -229,7 +245,8 @@ pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
             stop,
             SimDuration::from_secs(8),
             cfg.workload.factory(),
-        );
+        )
+        .with_rate_control(cfg.rate_control);
         sim.add_actor(Box::new(client), QueueConfig::unbounded());
     }
 

@@ -25,8 +25,13 @@
 
 use std::collections::HashMap;
 
+use ahl_consensus::clients::AimdWindow;
 use ahl_consensus::common::Request;
 use ahl_consensus::pbft::PbftMsg;
+
+// One shared backpressure-policy implementation across all drivers (the
+// closed-loop request client and this transaction driver must not drift).
+pub use ahl_consensus::clients::RateControl;
 use ahl_ledger::{Condition, Mutation, Op, StateOp, TxId, Value};
 use ahl_simkit::{Actor, Ctx, NodeId, SimDuration, SimTime};
 use ahl_txn::ShardMap;
@@ -136,7 +141,8 @@ pub struct CrossShardClient {
     /// One entry replica in the reference committee.
     ref_target: NodeId,
     map: ShardMap,
-    window: usize,
+    /// Open-transaction budget (fixed, or AIMD over pool rejections).
+    window: AimdWindow,
     stop_at: SimTime,
     stall_timeout: SimDuration,
     factory: StateOpFactory,
@@ -176,7 +182,7 @@ impl CrossShardClient {
             shard_targets,
             ref_target,
             map,
-            window: window.max(1),
+            window: AimdWindow::new(RateControl::Fixed, window),
             stop_at,
             stall_timeout,
             factory,
@@ -205,15 +211,25 @@ impl CrossShardClient {
         matches!(op, Op::Abort { .. })
     }
 
+    /// Select this driver's backpressure policy (builder-style; the
+    /// default is [`RateControl::Fixed`]).
+    pub fn with_rate_control(mut self, rc: RateControl) -> Self {
+        self.window = AimdWindow::new(rc, self.window.max_size());
+        self
+    }
+
     /// Pool backpressure on one of our steps: buffer it and retry after a
-    /// backoff. A transaction whose steps keep bouncing is eventually
-    /// reaped by the stall watchdog, so overload cannot wedge the driver.
+    /// backoff. Under AIMD the rejection also halves the open-transaction
+    /// window — the pool said "too much", so the driver offers less. A
+    /// transaction whose steps keep bouncing is eventually reaped by the
+    /// stall watchdog, so overload cannot wedge the driver.
     fn on_rejected(&mut self, req_id: u64, ctx: &mut Ctx<'_, PbftMsg>) {
         let Some(pending) = self.req_index.remove(&req_id) else { return };
         if !self.inflight.contains_key(&pending.txid) && !Self::must_deliver(&pending.op) {
             return; // transaction already finished or reaped
         }
         ctx.stats().inc(sysstat::SYS_REJECTED, 1);
+        self.window.on_reject();
         if self.retry_buf.is_empty() {
             ctx.set_timer(REJECT_BACKOFF, TIMER_RETRY);
         }
@@ -288,10 +304,13 @@ impl CrossShardClient {
         if committed {
             ctx.stats().inc(sysstat::SYS_COMMITTED, 1);
             ctx.stats().record_point(sysstat::SYS_COMMIT_SERIES, now, 1.0);
+            self.window.on_success();
         } else {
             ctx.stats().inc(sysstat::SYS_ABORTED, 1);
         }
-        self.start_tx(ctx);
+        if self.inflight.len() < self.window.effective() {
+            self.start_tx(ctx);
+        }
     }
 
     fn on_reply(&mut self, req_id: u64, committed: bool, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -395,7 +414,7 @@ impl CrossShardClient {
             ctx.stats().inc(sysstat::SYS_STALLED, 1);
             self.finish(txid, false, ctx);
         }
-        while self.inflight.len() < self.window && ctx.now() < self.stop_at {
+        while self.inflight.len() < self.window.effective() && ctx.now() < self.stop_at {
             let before = self.inflight.len();
             self.start_tx(ctx);
             if self.inflight.len() <= before {
@@ -410,7 +429,7 @@ impl Actor for CrossShardClient {
     type Msg = PbftMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
-        for _ in 0..self.window {
+        for _ in 0..self.window.effective() {
             self.start_tx(ctx);
         }
         ctx.set_timer(self.stall_timeout, TIMER_WATCHDOG);

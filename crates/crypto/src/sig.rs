@@ -55,6 +55,33 @@ pub struct Signature {
     mac: Hash,
 }
 
+impl Signature {
+    /// Serialized length of [`Signature::to_bytes`].
+    pub const BYTES: usize = 40;
+
+    /// Serialize for durable storage (checkpoint certificates persisted in
+    /// a node's manifest must survive a restart). This exposes no signing
+    /// capability: a deserialized MAC still has to match the registry's
+    /// HMAC to verify, so fabricated bytes fail verification exactly like
+    /// any other forgery.
+    pub fn to_bytes(&self) -> [u8; Self::BYTES] {
+        let mut out = [0u8; Self::BYTES];
+        out[..8].copy_from_slice(&self.signer.0.to_be_bytes());
+        out[8..].copy_from_slice(&self.mac.0);
+        out
+    }
+
+    /// Deserialize a signature previously produced by
+    /// [`Signature::to_bytes`].
+    pub fn from_bytes(bytes: &[u8; Self::BYTES]) -> Self {
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&bytes[..8]);
+        let mut mac = Hash::ZERO;
+        mac.0.copy_from_slice(&bytes[8..]);
+        Signature { signer: KeyId(u64::from_be_bytes(id)), mac }
+    }
+}
+
 /// Verification oracle. Holds secrets internally; exposes only yes/no
 /// verification, mirroring a public-key directory.
 #[derive(Default, Debug)]

@@ -25,6 +25,7 @@
 
 mod block;
 pub mod kvstore;
+pub mod persist;
 pub mod smallbank;
 mod state;
 mod types;

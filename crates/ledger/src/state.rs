@@ -66,6 +66,60 @@ pub struct StateSidecar {
 }
 
 impl StateSidecar {
+    /// Serialize for the durable checkpoint manifest (the 2PC bookkeeping
+    /// must survive a crash, or prepared-but-undecided transactions would
+    /// leak their locks forever on the recovered node).
+    pub fn encode(&self, w: &mut ahl_wal::codec::Writer) {
+        w.u64(self.resolved_epoch);
+        w.u32(self.pending.len() as u32);
+        for (txid, locks, muts) in &self.pending {
+            w.u64(txid.0);
+            w.u32(locks.len() as u32);
+            for k in locks {
+                w.str(k);
+            }
+            w.u32(muts.len() as u32);
+            for (k, m) in muts {
+                w.str(k);
+                crate::persist::encode_mutation(m, w);
+            }
+        }
+        w.u32(self.resolved.len() as u32);
+        for (txid, epoch) in &self.resolved {
+            w.u64(txid.0);
+            w.u64(*epoch);
+        }
+    }
+
+    /// Decode a sidecar written by [`StateSidecar::encode`]; `None` on
+    /// truncation or corruption.
+    pub fn decode(r: &mut ahl_wal::codec::Reader<'_>) -> Option<StateSidecar> {
+        let resolved_epoch = r.u64()?;
+        let np = r.u32()? as usize;
+        let mut pending = Vec::with_capacity(np.min(1024));
+        for _ in 0..np {
+            let txid = TxId(r.u64()?);
+            let nl = r.u32()? as usize;
+            let mut locks = Vec::with_capacity(nl.min(1024));
+            for _ in 0..nl {
+                locks.push(r.str()?);
+            }
+            let nm = r.u32()? as usize;
+            let mut muts = Vec::with_capacity(nm.min(1024));
+            for _ in 0..nm {
+                let k = r.str()?;
+                muts.push((k, crate::persist::decode_mutation(r)?));
+            }
+            pending.push((txid, locks, muts));
+        }
+        let nr = r.u32()? as usize;
+        let mut resolved = Vec::with_capacity(nr.min(65536));
+        for _ in 0..nr {
+            resolved.push((TxId(r.u64()?), r.u64()?));
+        }
+        Some(StateSidecar { pending, resolved, resolved_epoch })
+    }
+
     /// Approximate wire size in bytes.
     pub fn wire_size(&self) -> usize {
         32 + self
@@ -92,6 +146,13 @@ pub struct StateSnapshot {
 }
 
 impl StateSnapshot {
+    /// Assemble a snapshot from a verified tree and a recovered sidecar
+    /// (the durable-checkpoint reopen path — see
+    /// [`crate::persist::open_snapshot`]).
+    pub fn from_parts(smt: SparseMerkleTree<Value>, sidecar: StateSidecar) -> Self {
+        StateSnapshot { smt, sidecar }
+    }
+
     /// The state root the snapshot is frozen at.
     pub fn root(&self) -> Hash {
         self.smt.root_hash()
@@ -156,6 +217,12 @@ pub struct StateStore {
     resolved: HashMap<TxId, u64>,
     /// Current checkpoint epoch (bumped by `checkpoint_prune`).
     resolved_epoch: u64,
+    /// Approximate resident bytes written since the last
+    /// [`StateStore::take_write_bytes`] — the copy-on-write tree clones
+    /// about this much when a frozen snapshot is outstanding, so it is the
+    /// marginal memory cost of *retaining* the previous snapshot (the
+    /// quantity byte-budgeted snapshot eviction charges per checkpoint).
+    write_bytes: u64,
 }
 
 impl StateStore {
@@ -224,6 +291,7 @@ impl StateStore {
                 .map(|k| k.to_string())
                 .collect();
             for k in stale {
+                self.write_bytes += Self::write_cost(&k, 0);
                 self.smt.remove(&k);
                 self.map.remove(&k);
             }
@@ -243,9 +311,24 @@ impl StateStore {
         self.map.get(key).and_then(Value::as_int).unwrap_or(0)
     }
 
+    /// Approximate resident bytes one write to `key` dirties (leaf value
+    /// plus the O(log n) copy-on-write node overhead along the root path).
+    fn write_cost(key: &str, value_bytes: usize) -> u64 {
+        (48 + key.len() + value_bytes) as u64
+    }
+
+    /// Drain the resident-byte write accumulator (read at checkpoint
+    /// heights: it approximates the marginal memory cost of keeping the
+    /// previous snapshot alive — see the `snapshot_max_bytes` retention
+    /// budget in the consensus layer).
+    pub fn take_write_bytes(&mut self) -> u64 {
+        std::mem::take(&mut self.write_bytes)
+    }
+
     /// Direct write (genesis/state-sync only; transactions go through
     /// [`StateStore::execute`]).
     pub fn put(&mut self, key: Key, value: Value) {
+        self.write_bytes += Self::write_cost(&key, value.resident_bytes());
         self.smt.insert(&key, value.clone());
         self.map.insert(key, value);
     }
@@ -370,16 +453,19 @@ impl StateStore {
     fn apply_mutation(&mut self, key: &Key, m: &Mutation) {
         match m {
             Mutation::Set(v) => {
+                self.write_bytes += Self::write_cost(key, v.resident_bytes());
                 self.smt.insert(key, v.clone());
                 self.map.insert(key.clone(), v.clone());
             }
             Mutation::Add(d) => {
                 let cur = self.get_int(key);
                 let v = Value::Int(cur + d);
+                self.write_bytes += Self::write_cost(key, v.resident_bytes());
                 self.smt.insert(key, v.clone());
                 self.map.insert(key.clone(), v);
             }
             Mutation::Delete => {
+                self.write_bytes += Self::write_cost(key, 0);
                 self.smt.remove(key);
                 self.map.remove(key);
             }
@@ -434,6 +520,7 @@ impl StateStore {
         for k in &locks {
             let lk = lock_key(k);
             let v = Value::Bool(true);
+            self.write_bytes += Self::write_cost(&lk, 1);
             self.smt.insert(&lk, v.clone());
             self.map.insert(lk, v);
         }
@@ -472,6 +559,7 @@ impl StateStore {
     fn release_locks(&mut self, locks: &[Key]) {
         for k in locks {
             let lk = lock_key(k);
+            self.write_bytes += Self::write_cost(&lk, 0);
             self.smt.remove(&lk);
             self.map.remove(&lk);
         }

@@ -52,6 +52,19 @@ impl Value {
         }
     }
 
+    /// Approximate *resident* (host-memory) size in bytes. Differs from
+    /// [`Value::size`] only for [`Value::Opaque`], which models gigabytes
+    /// while occupying 16 bytes — memory-pressure accounting (snapshot
+    /// eviction budgets) must use this, wire/CPU models use `size`.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            Value::Int(_) => 8,
+            Value::Bytes(b) => b.len(),
+            Value::Bool(_) => 1,
+            Value::Opaque { .. } => 16,
+        }
+    }
+
     fn digest_bytes(&self) -> Vec<u8> {
         match self {
             Value::Int(i) => {

@@ -106,7 +106,7 @@ pub use checkpoint::{
     checkpoint_digest, CheckpointCert, CheckpointTracker, CheckpointVote,
 };
 pub use smt::{
-    chunk_of, combine, key_path, leaf_hash, verify_chunk, verify_proof, SmtProof,
+    chunk_of, combine, key_path, leaf_hash, verify_chunk, verify_proof, NodeView, SmtProof,
     SparseMerkleTree,
 };
 pub use sync::{chunk_bits_for, SyncError, SyncProgress, SyncSession, VerifiedChunk};

@@ -184,6 +184,35 @@ fn branch_hash<V>(children: &[Node<V>; 2]) -> Hash {
     sha256_parts(&[&[0x01], &children[0].hash().0, &children[1].hash().0])
 }
 
+/// A borrowed view of one tree node, as yielded by
+/// [`SparseMerkleTree::visit_nodes`]. Persistence layers serialize each
+/// view as one content-addressed page keyed by `hash`: leaf and branch
+/// hashes are domain-separated (`0x00`/`0x01` prefixes), so a node's hash
+/// identifies its kind and full content.
+pub enum NodeView<'a, V> {
+    /// A leaf: the stored key and value (the path is `sha256(key)`).
+    Leaf {
+        /// The leaf's node hash (`H(0x00 ‖ path ‖ value_hash)`).
+        hash: Hash,
+        /// The stored key.
+        key: &'a str,
+        /// The stored value.
+        value: &'a V,
+    },
+    /// An interior node: crit bit plus the two child node hashes (branches
+    /// always have two non-empty children — removal collapses them).
+    Branch {
+        /// The branch's node hash (`H(0x01 ‖ left ‖ right)`).
+        hash: Hash,
+        /// Bit index at which the children diverge.
+        bit: u16,
+        /// Left child's node hash.
+        left: Hash,
+        /// Right child's node hash.
+        right: Hash,
+    },
+}
+
 /// An inclusion/exclusion proof: the leaf found at the key's position plus
 /// the branch siblings from that leaf to the root.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -450,6 +479,58 @@ impl<V> SparseMerkleTree<V> {
                         return Hash::ZERO;
                     }
                     node = &b.children[chunk_bit(chunk, bits, b.bit)];
+                }
+            }
+        }
+    }
+
+    /// Walk the node graph bottom-up: children are visited (post-order)
+    /// before their parent, and any subtree whose root hash `prune`
+    /// accepts is skipped entirely.
+    ///
+    /// This is the traversal persistence layers need: `prune` answers "is
+    /// this content-addressed page already on disk?" (structural sharing
+    /// between snapshots thus dedups on disk exactly where it dedups in
+    /// memory), and the children-first emit order guarantees that a page's
+    /// existence implies its *whole subtree* exists — a crash mid-persist
+    /// leaves only complete orphan subtrees behind, never a parent with
+    /// missing children that a later dedup pass would wrongly trust. The
+    /// empty tree visits nothing.
+    pub fn visit_nodes(
+        &self,
+        prune: &mut dyn FnMut(&Hash) -> bool,
+        visit: &mut dyn FnMut(NodeView<'_, V>),
+    ) {
+        enum Step<'a, V> {
+            Enter(&'a Node<V>),
+            Emit(&'a Node<V>),
+        }
+        let mut stack = vec![Step::Enter(&self.root)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(node) => match node {
+                    Node::Empty => {}
+                    Node::Leaf(l) => {
+                        if !prune(&l.hash) {
+                            visit(NodeView::Leaf { hash: l.hash, key: &l.key, value: &l.value });
+                        }
+                    }
+                    Node::Branch(b) => {
+                        if !prune(&b.hash) {
+                            stack.push(Step::Emit(node));
+                            stack.push(Step::Enter(&b.children[1]));
+                            stack.push(Step::Enter(&b.children[0]));
+                        }
+                    }
+                },
+                Step::Emit(node) => {
+                    let Node::Branch(b) = node else { unreachable!("only branches are deferred") };
+                    visit(NodeView::Branch {
+                        hash: b.hash,
+                        bit: b.bit,
+                        left: b.children[0].hash(),
+                        right: b.children[1].hash(),
+                    });
                 }
             }
         }
@@ -1015,6 +1096,38 @@ mod tests {
                 .collect();
             assert!(verify_chunk(&root, chunk, bits, &entries, &snap.chunk_proof(chunk, bits)));
         }
+    }
+
+    #[test]
+    fn visit_nodes_covers_tree_and_skip_prunes() {
+        let t = tree_of(50);
+        // Full walk: every leaf visited exactly once, branch hashes match
+        // their children (the invariant page stores rely on), and every
+        // branch is emitted only after both its children (children-first
+        // order is what makes crash-interrupted persists safe).
+        let mut seen: std::collections::HashSet<Hash> = std::collections::HashSet::new();
+        let mut leaves = 0usize;
+        let mut branches = 0usize;
+        t.visit_nodes(&mut |_| false, &mut |view| match view {
+            NodeView::Leaf { hash, key, value } => {
+                leaves += 1;
+                assert_eq!(hash, leaf_hash(&key_path(key), value));
+                seen.insert(hash);
+            }
+            NodeView::Branch { hash, left, right, .. } => {
+                branches += 1;
+                assert_eq!(hash, sha256_parts(&[&[0x01], &left.0, &right.0]));
+                assert!(seen.contains(&left) && seen.contains(&right), "children first");
+                seen.insert(hash);
+            }
+        });
+        assert_eq!(leaves, 50);
+        assert_eq!(branches, 49, "a crit-bit tree has n-1 branches");
+        // Pruning everything visits nothing.
+        t.visit_nodes(&mut |_| true, &mut |_| panic!("fully pruned"));
+        // Empty tree: no visits at all.
+        let empty: SparseMerkleTree = SparseMerkleTree::new();
+        empty.visit_nodes(&mut |_| false, &mut |_| panic!("empty tree has no nodes"));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! The one segment-directory recovery scan, shared by the WAL and the
+//! page store (two hand-maintained copies of crash-recovery logic would
+//! inevitably drift).
+//!
+//! Recovery rules: segments are `<prefix>-<id>.seg`, scanned in id order;
+//! frames are parsed with [`crate::codec::parse_frame`]; the first torn
+//! or corrupt frame ends the log — the file is truncated at that offset
+//! and every *later* segment is deleted (append-only operation means they
+//! can only postdate the crash point).
+
+use std::fs::{File, OpenOptions};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use crate::codec::parse_frame;
+
+pub(crate) fn segment_path(dir: &Path, prefix: &str, id: u64) -> PathBuf {
+    dir.join(format!("{prefix}-{id:08}.seg"))
+}
+
+/// Scan (and repair) the segment files under `dir`, invoking `on_frame`
+/// with `(segment id, frame offset, payload)` for every intact frame in
+/// order. Creates segment 0 if the directory is empty. Returns the
+/// surviving segment ids, ascending; the last one is the append target.
+pub(crate) fn recover_segments(
+    dir: &Path,
+    prefix: &str,
+    min_payload: usize,
+    on_frame: &mut dyn FnMut(u64, u64, &[u8]),
+) -> std::io::Result<Vec<u64>> {
+    std::fs::create_dir_all(dir)?;
+    let mut ids: Vec<u64> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let id = name.strip_prefix(prefix)?.strip_prefix('-')?.strip_suffix(".seg")?;
+            id.parse::<u64>().ok()
+        })
+        .collect();
+    ids.sort_unstable();
+    if ids.is_empty() {
+        ids.push(0);
+        File::create(segment_path(dir, prefix, 0))?;
+    }
+    let mut keep: Vec<u64> = Vec::new();
+    let mut torn_at: Option<(u64, u64)> = None;
+    for &id in &ids {
+        if torn_at.is_some() {
+            std::fs::remove_file(segment_path(dir, prefix, id))?;
+            continue;
+        }
+        let mut buf = Vec::new();
+        File::open(segment_path(dir, prefix, id))?.read_to_end(&mut buf)?;
+        let mut pos = 0usize;
+        while let Some((payload, frame_len)) = parse_frame(&buf, pos, min_payload) {
+            on_frame(id, pos as u64, payload);
+            pos += frame_len;
+        }
+        keep.push(id);
+        if pos < buf.len() {
+            torn_at = Some((id, pos as u64));
+        }
+    }
+    if let Some((id, offset)) = torn_at {
+        // Physically drop the torn tail so later appends are framed from
+        // a clean boundary.
+        let f = OpenOptions::new().write(true).open(segment_path(dir, prefix, id))?;
+        f.set_len(offset)?;
+    }
+    Ok(keep)
+}

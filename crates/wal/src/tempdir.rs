@@ -1,0 +1,60 @@
+//! Self-cleaning scratch directories for tests, benches, and smoke runs.
+//!
+//! The repository has no `tempfile` dependency (offline build), so this is
+//! the one shared implementation of "give me a unique directory and delete
+//! it when I'm done" — the tmpdir hygiene the recovery CI job relies on:
+//! cleanup runs on `Drop`, so even a panicking test leaves nothing behind.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed
+/// (recursively, best-effort) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `"$TMPDIR/<prefix>-<pid>-<counter>"`. The pid keeps
+    /// concurrent test processes apart; the counter keeps threads apart.
+    pub fn new(prefix: &str) -> Self {
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        let path = std::env::temp_dir().join(format!(
+            "ahl-{prefix}-{}-{n}",
+            std::process::id(),
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_cleaned_up() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        std::fs::write(a.path().join("f"), b"x").expect("write");
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "dropped tempdir must be removed");
+        assert!(b.path().exists());
+    }
+}

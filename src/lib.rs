@@ -11,6 +11,7 @@
 //! | [`tee`] | SGX simulation: attested log, randomness beacon, sealing |
 //! | [`net`] | cluster / GCP network models (Table 3 latencies) |
 //! | [`store`] | authenticated state: sparse Merkle tree, signed checkpoints, chunked state sync |
+//! | [`wal`] | durable write-ahead log, content-addressed page store, manifests, crash-kill recovery |
 //! | [`ledger`] | blocks, KV state with 2PL + SMT state roots, KVStore & SmallBank chaincode |
 //! | [`mempool`] | per-shard transaction pool: dedup, admission control, per-sender quotas, batch pipeline |
 //! | [`consensus`] | PBFT (HL/AHL/AHL+/AHLR), Tendermint, IBFT, Raft, PoET |
@@ -46,4 +47,5 @@ pub use ahl_simkit as simkit;
 pub use ahl_store as store;
 pub use ahl_tee as tee;
 pub use ahl_txn as txn;
+pub use ahl_wal as wal;
 pub use ahl_workload as workload;
