@@ -33,6 +33,10 @@ fn bench_group_commit(c: &mut Criterion) {
     for (name, policy) in [
         ("fsync_always", FsyncPolicy::Always),
         ("fsync_every_8", FsyncPolicy::EveryN(8)),
+        // Volume-based group commit: ~8 commits' worth of bytes per sync
+        // at this record shape, so the row is directly comparable to
+        // `fsync_every_8` — same loss window, different accounting.
+        ("fsync_every_28kb", FsyncPolicy::EveryBytes(28 * 1024)),
         ("fsync_off", FsyncPolicy::Off),
     ] {
         let dir = TempDir::new("bench-wal");

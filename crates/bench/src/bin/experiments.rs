@@ -31,6 +31,7 @@ const IDS: &[(&str, &str)] = &[
     ("fig20", "tps vs clients on cluster"),
     ("fig21", "PoET vs PoET+ throughput"),
     ("fig22", "PoET vs PoET+ stale rate"),
+    ("byzantine", "scripted-attack matrix: PBFT/IBFT/Tendermint + 2PC under Byzantine replicas/clients, safety-checked"),
     ("overload", "mempool overload sweep: offered load past pool capacity; fixed vs AIMD"),
     ("statesync", "state-sync sweep: restarted replica catch-up, state size x chunk size"),
     ("recovery", "crash-kill recovery smoke: WAL + page checkpoints, restart-from-disk"),
@@ -89,6 +90,7 @@ fn main() {
             "fig20" => figs::fig20(scale),
             "fig21" => figs::fig21(scale),
             "fig22" => figs::fig22(scale),
+            "byzantine" => figs::byzantine(scale),
             "overload" => figs::overload(scale),
             "statesync" => figs::statesync(scale),
             "recovery" => figs::recovery(scale),

@@ -914,7 +914,175 @@ fn poet_tables(scale: Scale, stale: bool) {
     t.print();
 }
 
-// ---------- mempool overload sweep (new-subsystem experiment) ----------
+// ---------- adversary + overload batteries (new-subsystem experiments) --
+
+/// Byzantine adversary smoke: the scripted-attack matrix over all three
+/// BFT protocols plus the cross-shard system under malicious replicas
+/// *and* malicious 2PC clients, each cell watched by the global
+/// [`ahl_consensus::SafetyChecker`]. Every within-bound cell is **process-fatal** on a
+/// safety violation, and the over-threshold canary is process-fatal if
+/// the checker does *not* fire — the battery proves itself live. Fixed
+/// seeds keep every attack schedule reproducible in CI.
+pub fn byzantine(scale: Scale) {
+    use ahl_consensus::adversary::{Attack, SafetyChecker, Violation};
+    use ahl_consensus::pbft::build_group;
+    use ahl_ledger::{kvstore, Op, TxId};
+    use ahl_simkit::UniformNetwork;
+
+    let secs = match scale {
+        Scale::Quick => 3,
+        Scale::Full => 10,
+    };
+    let factory = || -> ahl_consensus::OpFactory {
+        let mut i = 0u64;
+        Box::new(move |_rng| {
+            i += 1;
+            Op::Direct { txid: TxId(i), op: kvstore::kv_write(&[i % 64], 16) }
+        })
+    };
+
+    let mut t = Table::new(
+        "Byzantine adversary matrix (f <= (n-1)/3 unless noted; fixed seeds)",
+        &["protocol", "attack", "f", "tps", "commits seen", "violations", "verdict"],
+    );
+    let mut verify = |proto: &str,
+                      attack: Attack,
+                      f: usize,
+                      over_bound: bool,
+                      tps: f64,
+                      checker: &SafetyChecker| {
+        let violations = checker.violations();
+        let forked = violations.iter().any(|v| matches!(v, Violation::ConflictingCommit { .. }));
+        if over_bound {
+            assert!(
+                forked,
+                "{proto}/{}: the over-threshold canary must fork — the checker is dead",
+                attack.name()
+            );
+        } else {
+            assert!(
+                violations.is_empty(),
+                "{proto}/{}: SAFETY VIOLATIONS: {violations:?}",
+                attack.name()
+            );
+            assert!(checker.commit_records() > 0, "{proto}/{}: nothing observed", attack.name());
+        }
+        t.row(vec![
+            proto.into(),
+            attack.name().into(),
+            if over_bound { format!("{f} (over!)") } else { f.to_string() },
+            f1(tps),
+            checker.commit_records().to_string(),
+            violations.len().to_string(),
+            if over_bound { "canary fired".into() } else { "safe".into() },
+        ]);
+    };
+
+    // PBFT cells (+ the over-threshold canary last).
+    for (attack, byz, over) in [
+        (Attack::Equivocate, vec![0usize], false),
+        (Attack::WithholdVotes, vec![3], false),
+        (Attack::StaleReplay, vec![3], false),
+        (Attack::BogusCheckpoint, vec![3], false),
+        (Attack::Equivocate, vec![0, 3], true),
+    ] {
+        let checker = SafetyChecker::new();
+        let mut cfg = PbftConfig::new(BftVariant::Hl, 4);
+        cfg.byzantine = byz.len();
+        let f = byz.len();
+        cfg.byzantine_set = Some(byz);
+        cfg.attack = attack;
+        cfg.safety = Some(checker.clone());
+        cfg.batch_size = 8;
+        cfg.checkpoint_interval = 32;
+        cfg.vc_timeout = SimDuration::from_millis(400);
+        let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
+        let (mut sim, group) = build_group(&cfg, net, Some(1e9), &[], 2026);
+        let stop = SimTime::ZERO + SimDuration::from_secs(secs);
+        let client = OpenLoopClient::new(group, SimDuration::from_millis(3), stop, factory());
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(stop + SimDuration::from_secs(3));
+        let tps = sim.stats().counter(stat::TXN_COMMITTED) as f64 / secs as f64;
+        verify("PBFT(HL)", attack, f, over, tps, &checker);
+    }
+
+    // Tendermint and IBFT cells.
+    for attack in Attack::ALL {
+        let checker = SafetyChecker::new();
+        let mut cfg = TmConfig::new(4);
+        cfg.byzantine = 1;
+        cfg.attack = attack;
+        cfg.safety = Some(checker.clone());
+        cfg.timeout_commit = SimDuration::from_millis(200);
+        cfg.timeout_round = SimDuration::from_millis(800);
+        let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
+        let (mut sim, group) = build_tm_group(&cfg, net, Some(1e9), 2027);
+        let stop = SimTime::ZERO + SimDuration::from_secs(secs.max(5));
+        let client = OpenLoopClient::new(group, SimDuration::from_millis(3), stop, factory());
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(stop + SimDuration::from_secs(3));
+        let tps = sim.stats().counter(stat::TXN_COMMITTED) as f64 / secs.max(5) as f64;
+        verify("Tendermint", attack, 1, false, tps, &checker);
+    }
+    for attack in Attack::ALL {
+        let checker = SafetyChecker::new();
+        let mut cfg = IbftConfig::new(4);
+        cfg.byzantine = 1;
+        cfg.attack = attack;
+        cfg.safety = Some(checker.clone());
+        cfg.block_period = SimDuration::from_millis(200);
+        cfg.round_timeout = SimDuration::from_millis(800);
+        let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
+        let (mut sim, group) = build_ibft_group(&cfg, net, Some(1e9), 2028);
+        let stop = SimTime::ZERO + SimDuration::from_secs(secs.max(5));
+        let client = OpenLoopClient::new(group, SimDuration::from_millis(3), stop, factory());
+        sim.add_actor(Box::new(client), QueueConfig::unbounded());
+        sim.run_until(stop + SimDuration::from_secs(3));
+        let tps = sim.stats().counter(stat::TXN_COMMITTED) as f64 / secs.max(5) as f64;
+        verify("IBFT", attack, 1, false, tps, &checker);
+    }
+    t.print();
+
+    // Cross-shard 2PC under Byzantine replicas in every committee plus
+    // Byzantine client drivers: atomicity, conservation, exactly-once.
+    let checker = SafetyChecker::new();
+    let mut cfg = SystemConfig::new(3, 4);
+    cfg.clients = 6;
+    cfg.malicious_clients = 2;
+    cfg.outstanding = 12;
+    cfg.byzantine = 1;
+    cfg.attack = Attack::WithholdVotes;
+    cfg.safety = Some(checker.clone());
+    cfg.workload = SystemWorkload::SmallBank { accounts: 1_000, theta: 0.5 };
+    cfg.duration = scale.measure();
+    cfg.warmup = scale.warmup();
+    cfg.batch_size = 20;
+    let m = run_system(cfg);
+    let mut t2 = Table::new(
+        "Cross-shard 2PC under attack (3 shards x 4 + reference, 1 Byzantine replica each, 2 Byzantine clients)",
+        &["tps", "committed", "abort rate", "cross-shard", "violations", "conserved drift"],
+    );
+    let initial: i64 = 2 * 1_000_000 * 1_000;
+    let drift = m.final_balance.map(|b| (b - initial).abs()).unwrap_or(i64::MAX);
+    assert!(
+        checker.violations().is_empty(),
+        "2PC SAFETY VIOLATIONS: {:?}",
+        checker.violations()
+    );
+    assert!(m.committed > 0, "the attacked system must keep committing");
+    let bound = 100 * (6 * 12) as i64;
+    assert!(drift <= bound, "conservation violated under attack: drift {drift}");
+    t2.row(vec![
+        f1(m.tps),
+        m.committed.to_string(),
+        f3(m.abort_rate),
+        f3(m.cross_shard_fraction),
+        m.safety_violations.to_string(),
+        drift.to_string(),
+    ]);
+    t2.print();
+    println!("  every cell verified process-fatally; canary proved the checker live");
+}
 
 /// Overload sweep: fixed offered load (8 closed-loop cross-shard clients
 /// × 64 outstanding ≈ 512 open transactions against 2 shards of 3), with

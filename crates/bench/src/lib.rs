@@ -47,5 +47,6 @@ pub fn run_all(scale: Scale) {
     figs::fig22(scale);
     figs::overload(scale);
     figs::statesync(scale);
+    figs::byzantine(scale);
     figs::recovery(scale);
 }

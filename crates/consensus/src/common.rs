@@ -1,7 +1,7 @@
 //! Types shared by all consensus protocol implementations.
 
 use ahl_ledger::Op;
-use ahl_simkit::{NodeId, SimTime};
+use ahl_simkit::{NodeId, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 
 /// A client request: an identified ledger operation.
@@ -149,14 +149,19 @@ pub mod stat {
 /// Replay-protection cache of executed request ids, pruned at checkpoint
 /// epochs exactly like the ledger's resolved-transaction set: ids keep
 /// their insertion epoch, and [`ExecutedCache::checkpoint_prune`] forgets
-/// them at the second epoch boundary after insertion. The protection
-/// window is therefore one to two checkpoint intervals (an id executed
-/// just before a boundary gets the one-interval minimum) — still beyond
-/// every retransmission horizon in the system. Without pruning the set
-/// grows without bound over a long run.
+/// them at the second epoch boundary after insertion — **but never before
+/// the caller's `min_age` has passed since execution**. The age floor
+/// closes a replay hole the Byzantine battery caught: epochs are counted
+/// in *sequence numbers*, so under high throughput two epochs can pass in
+/// well under a second, after which a stale pooled copy re-relayed at a
+/// view change (e.g. out of a deposed Byzantine leader's pool) would
+/// re-execute — a double spend. With the floor, any request young enough
+/// to pass admission (requests older than the same horizon are refused)
+/// is still remembered here, so the replay window is provably closed:
+/// a copy is either too old to admit or young enough to dedup.
 #[derive(Clone, Debug, Default)]
 pub struct ExecutedCache {
-    ids: std::collections::HashMap<u64, u64>,
+    ids: std::collections::HashMap<u64, (u64, SimTime)>,
     epoch: u64,
 }
 
@@ -167,18 +172,20 @@ impl ExecutedCache {
     }
 
     /// Rebuild from a transferred id set (state-sync install); every id
-    /// lands in the current epoch and enjoys the full protection window.
-    pub fn from_set(ids: &std::collections::HashSet<u64>) -> Self {
-        ExecutedCache { ids: ids.iter().map(|id| (*id, 0)).collect(), epoch: 0 }
+    /// lands in the current epoch and enjoys the full protection window
+    /// from `now`.
+    pub fn from_set(ids: &std::collections::HashSet<u64>, now: SimTime) -> Self {
+        ExecutedCache { ids: ids.iter().map(|id| (*id, (0, now))).collect(), epoch: 0 }
     }
 
-    /// Record `id` as executed. Returns `false` if it was already known
-    /// (a replay), refreshing nothing — the original epoch tag stands.
-    pub fn insert(&mut self, id: u64) -> bool {
+    /// Record `id` as executed at `now`. Returns `false` if it was
+    /// already known (a replay), refreshing nothing — the original
+    /// epoch/time tags stand.
+    pub fn insert(&mut self, id: u64, now: SimTime) -> bool {
         match self.ids.entry(id) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(self.epoch);
+                v.insert((self.epoch, now));
                 true
             }
         }
@@ -200,11 +207,13 @@ impl ExecutedCache {
     }
 
     /// Checkpoint-boundary maintenance: forget ids older than one full
-    /// interval and advance the epoch. Returns how many ids were pruned.
-    pub fn checkpoint_prune(&mut self) -> usize {
+    /// interval *and* at least `min_age` old (see the type docs for why
+    /// both conditions are required), then advance the epoch. Returns how
+    /// many ids were pruned.
+    pub fn checkpoint_prune(&mut self, now: SimTime, min_age: SimDuration) -> usize {
         let epoch = self.epoch;
         let before = self.ids.len();
-        self.ids.retain(|_, e| *e >= epoch);
+        self.ids.retain(|_, (e, t)| *e >= epoch || now.since(*t) < min_age);
         self.epoch += 1;
         before - self.ids.len()
     }
@@ -219,6 +228,24 @@ impl ExecutedCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn executed_cache_age_floor_blocks_fast_epoch_pruning() {
+        let mut c = ExecutedCache::new();
+        let t0 = SimTime::ZERO;
+        assert!(c.insert(7, t0));
+        assert!(!c.insert(7, t0 + SimDuration::from_secs(1)), "replay detected");
+        // Two epoch boundaries pass almost immediately (high throughput):
+        // without the age floor the id would be gone now.
+        let soon = t0 + SimDuration::from_millis(10);
+        assert_eq!(c.checkpoint_prune(soon, SimDuration::from_secs(5)), 0);
+        assert_eq!(c.checkpoint_prune(soon, SimDuration::from_secs(5)), 0);
+        assert!(c.contains(7), "age floor keeps the id alive");
+        // Once the floor has passed, epoch pruning takes effect.
+        let later = t0 + SimDuration::from_secs(6);
+        assert_eq!(c.checkpoint_prune(later, SimDuration::from_secs(5)), 1);
+        assert!(!c.contains(7));
+    }
 
     #[test]
     fn request_ids_unique_per_client_seq() {

@@ -19,6 +19,9 @@ use ahl_ledger::StateStore;
 use ahl_mempool::{Mempool, MempoolConfig};
 use ahl_simkit::{Actor, Ctx, MsgClass, NodeId, SimDuration};
 
+use crate::adversary::{
+    commit_digest, equivocation_half, Attack, EquivocationTracker, SafetyChecker,
+};
 use crate::clients::ClientProtocol;
 use crate::common::{stat, Request};
 
@@ -145,6 +148,15 @@ pub struct IbftConfig {
     /// Pool eviction/ordering seed (set per node by `build_ibft_group` so
     /// it derives from the run seed).
     pub pool_seed: u64,
+    /// Number of Byzantine validators (the highest indices).
+    pub byzantine: usize,
+    /// What the Byzantine validators do (see [`Attack`]; equivocation
+    /// fires whenever a Byzantine validator's proposer turn comes up).
+    pub attack: Attack,
+    /// Global safety oracle honest validators report commits into.
+    pub safety: Option<SafetyChecker>,
+    /// This committee's id in the checker's records.
+    pub committee_id: usize,
 }
 
 impl IbftConfig {
@@ -162,12 +174,21 @@ impl IbftConfig {
             sticky_locks: false,
             mempool: MempoolConfig::default(),
             pool_seed: 0,
+            byzantine: 0,
+            attack: Attack::default(),
+            safety: None,
+            committee_id: 0,
         }
     }
 
     /// Byzantine quorum (2f + 1).
     pub fn quorum(&self) -> usize {
         2 * ((self.n.saturating_sub(1)) / 3) + 1
+    }
+
+    /// Whether validator `i` is Byzantine (highest indices).
+    pub fn is_byzantine(&self, i: usize) -> bool {
+        self.byzantine > 0 && i >= self.n - self.byzantine
     }
 }
 
@@ -202,6 +223,12 @@ pub struct IbftNode {
     pool: Mempool<Request>,
     executed: HashSet<u64>,
     state: StateStore,
+
+    byzantine: bool,
+    /// Stale-replay attack state: previous (prepare, commit) votes.
+    stale_votes: [Option<IbftMsg>; 2],
+    /// Equivocation-collusion state (shared double-signing bookkeeping).
+    byz_equiv: EquivocationTracker,
 }
 
 impl IbftNode {
@@ -209,6 +236,9 @@ impl IbftNode {
     pub fn new(cfg: IbftConfig, group: Vec<NodeId>, me: usize, reporter: bool) -> Self {
         let pool = Mempool::new(cfg.mempool.clone(), cfg.pool_seed ^ me as u64);
         IbftNode {
+            byzantine: cfg.is_byzantine(me),
+            stale_votes: [None, None],
+            byz_equiv: EquivocationTracker::new(),
             cfg,
             group,
             me,
@@ -327,6 +357,110 @@ impl IbftNode {
         }
     }
 
+    /// Double-sign equivocation (proposer side): two conflicting blocks
+    /// for the same (height, round), lower digest to committee half 0,
+    /// higher to half 1, both to Byzantine colleagues, plus the
+    /// proposer's own per-half votes. Forks exactly when f > ⌊(n−1)/3⌋.
+    fn equivocate_propose(&mut self, block: Arc<Vec<Request>>, ctx: &mut Ctx<'_, IbftMsg>) {
+        let (height, round) = (self.height, self.round);
+        let alt: Arc<Vec<Request>> = Arc::new(block[1..].to_vec());
+        let da = digest_of(height, round, &block);
+        let db = digest_of(height, round, &alt);
+        let (lo, hi) = if da.0 <= db.0 {
+            ((da, block), (db, alt))
+        } else {
+            ((db, alt), (da, block))
+        };
+        self.charge(ctx, self.cfg.sign_cost);
+        for g in 0..self.cfg.n {
+            if g == self.me {
+                continue;
+            }
+            let peer = self.group[g];
+            let sides: Vec<&(Hash, Arc<Vec<Request>>)> = if self.cfg.is_byzantine(g) {
+                vec![&lo, &hi]
+            } else if equivocation_half(g) == 0 {
+                vec![&lo]
+            } else {
+                vec![&hi]
+            };
+            for (digest, blk) in sides {
+                ctx.send(
+                    peer,
+                    IbftMsg::PrePrepare {
+                        height,
+                        round,
+                        block: blk.clone(),
+                        digest: *digest,
+                        proposer: self.me,
+                    },
+                );
+                ctx.send(peer, IbftMsg::Prepare { height, round, digest: *digest, replica: self.me });
+                ctx.send(peer, IbftMsg::Commit { height, round, digest: *digest, replica: self.me });
+            }
+        }
+    }
+
+    /// Double-sign equivocation (colluding voter side).
+    fn equivocate_echo(&mut self, height: u64, round: u32, digest: Hash, ctx: &mut Ctx<'_, IbftMsg>) {
+        let slot = ((height as u128) << 32) | round as u128;
+        let Some((half, split)) = self.byz_equiv.observe(slot, digest) else {
+            return;
+        };
+        self.charge(ctx, self.cfg.sign_cost);
+        let me = self.me;
+        let targets: Vec<NodeId> = (0..self.cfg.n)
+            .filter(|g| *g != me && (!split || equivocation_half(*g) == half))
+            .map(|g| self.group[g])
+            .collect();
+        ctx.multicast(targets.clone(), IbftMsg::Prepare { height, round, digest, replica: me });
+        ctx.multicast(targets, IbftMsg::Commit { height, round, digest, replica: me });
+    }
+
+    /// Byzantine vote emission, dispatched by the configured [`Attack`].
+    fn byzantine_vote(&mut self, prepare: bool, digest: Hash, ctx: &mut Ctx<'_, IbftMsg>) {
+        let (height, round) = (self.height, self.round);
+        let make = |digest: Hash, replica: usize| {
+            if prepare {
+                IbftMsg::Prepare { height, round, digest, replica }
+            } else {
+                IbftMsg::Commit { height, round, digest, replica }
+            }
+        };
+        match self.cfg.attack {
+            Attack::Equivocate | Attack::WithholdVotes => {}
+            Attack::StaleReplay => {
+                let slot = usize::from(!prepare);
+                if let Some(stale) = self.stale_votes[slot].clone() {
+                    ctx.stats().inc("adv.stale_replays", 1);
+                    self.charge(ctx, self.cfg.sign_cost);
+                    ctx.multicast(self.others(), stale);
+                }
+                self.stale_votes[slot] = Some(make(digest, self.me));
+            }
+            // No checkpoints in IBFT: corrupt-digest votes, conflicting
+            // per half (PaperFlood) or uniformly bogus (BogusCheckpoint).
+            Attack::PaperFlood | Attack::BogusCheckpoint => {
+                self.charge(ctx, self.cfg.sign_cost);
+                let mut bad = digest;
+                bad.0[0] ^= 0xff;
+                for g in 0..self.cfg.n {
+                    if g == self.me {
+                        continue;
+                    }
+                    let d = if self.cfg.attack == Attack::BogusCheckpoint
+                        || equivocation_half(g) == 1
+                    {
+                        bad
+                    } else {
+                        digest
+                    };
+                    ctx.send(self.group[g], make(d, self.me));
+                }
+            }
+        }
+    }
+
     fn propose(&mut self, ctx: &mut Ctx<'_, IbftMsg>) {
         if self.waiting_period {
             return;
@@ -344,6 +478,10 @@ impl IbftNode {
             ))
         };
         if block.is_empty() {
+            return;
+        }
+        if self.byzantine && self.cfg.attack == Attack::Equivocate {
+            self.equivocate_propose(block, ctx);
             return;
         }
         let digest = digest_of(self.height, self.round, &block);
@@ -365,6 +503,10 @@ impl IbftNode {
     fn send_prepare(&mut self, digest: Hash, ctx: &mut Ctx<'_, IbftMsg>) {
         let key = (self.height, self.round);
         if !self.sent_prepare.insert(key) {
+            return;
+        }
+        if self.byzantine {
+            self.byzantine_vote(true, digest, ctx);
             return;
         }
         self.charge(ctx, self.cfg.sign_cost);
@@ -394,6 +536,10 @@ impl IbftNode {
         if !self.sent_commit.insert(key) {
             return;
         }
+        if self.byzantine {
+            self.byzantine_vote(false, digest, ctx);
+            return;
+        }
         self.charge(ctx, self.cfg.sign_cost);
         ctx.multicast(
             self.others(),
@@ -420,19 +566,44 @@ impl IbftNode {
     fn finalize(&mut self, block: Arc<Vec<Request>>, ctx: &mut Ctx<'_, IbftMsg>) {
         let mut committed = 0u64;
         let mut weight = 0usize;
+        let checker = if self.byzantine { None } else { self.cfg.safety.clone() };
         for req in block.iter() {
             if !self.executed.insert(req.id) {
                 continue;
             }
             self.pool.remove(req.id);
             weight += req.op.weight();
-            if self.state.execute(&req.op).status.is_committed() {
+            let twopc_note = checker.as_ref().and_then(|_| match &req.op {
+                ahl_ledger::Op::Commit { txid } => Some((txid.0, true, true)),
+                ahl_ledger::Op::Abort { txid } => {
+                    Some((txid.0, false, self.state.has_pending(*txid)))
+                }
+                _ => None,
+            });
+            let receipt = self.state.execute(&req.op);
+            if let Some(ck) = &checker {
+                ck.record_exec(self.cfg.committee_id, self.me, req.id);
+                if let Some((txid, is_commit, had_pending)) = twopc_note {
+                    if is_commit {
+                        if receipt.status.is_committed() {
+                            ck.record_twopc(self.cfg.committee_id, txid, true);
+                        }
+                    } else if had_pending {
+                        ck.record_twopc(self.cfg.committee_id, txid, false);
+                    }
+                }
+            }
+            if receipt.status.is_committed() {
                 committed += 1;
             }
             if self.reporter {
                 let lat = ctx.now().since(req.submitted);
                 ctx.stats().record_latency(stat::TXN_LATENCY, lat);
             }
+        }
+        if let Some(ck) = &checker {
+            let digest = commit_digest(block.iter().map(|r| r.id));
+            ck.record_commit(self.cfg.committee_id, self.height, digest);
         }
         // EVM + Merkle-tree execution cost.
         let exec = self.cfg.exec_cost_per_op.saturating_mul(weight as u64);
@@ -513,6 +684,15 @@ impl Actor for IbftNode {
                     return;
                 }
                 self.charge(ctx, self.cfg.verify_cost);
+                // A colluding equivocator first emits its two-faced echo
+                // votes, then keeps processing like everyone else — it
+                // must track the committee's height (via the observed
+                // quorums) or its own proposer turns would equivocate at
+                // a stale height nobody accepts. Its honest-path votes
+                // stay suppressed by `byzantine_vote`.
+                if self.byzantine && self.cfg.attack == Attack::Equivocate {
+                    self.equivocate_echo(height, round, digest, ctx);
+                }
                 if (height, round) != (self.height, self.round) {
                     self.proposal_buf.insert((height, round), (digest, block));
                     return;

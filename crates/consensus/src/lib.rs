@@ -10,9 +10,13 @@
 //! * PoET and PoET+ (Figure 21/22): Nakamoto-style consensus with TEE wait
 //!   certificates, fork resolution and stale-block accounting.
 //! * [`clients`] — BLOCKBENCH-style open-loop and closed-loop drivers.
+//! * [`adversary`] — the scripted Byzantine attack catalogue ([`Attack`])
+//!   shared by all three BFT protocols, and the global [`SafetyChecker`]
+//!   that turns the paper's security claims into executable invariants.
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod clients;
 pub mod common;
 pub mod harness;
@@ -22,6 +26,7 @@ pub mod poet;
 pub mod raft;
 pub mod tendermint;
 
+pub use adversary::{Attack, SafetyChecker, Violation};
 pub use clients::{ClientProtocol, ClosedLoopClient, OpenLoopClient};
 pub use common::{stat, CryptoMode, OpFactory, Request};
 pub use harness::{run_shard_experiment, ClientMode, NetChoice, RunMetrics, ShardExperiment};

@@ -4,6 +4,7 @@ use ahl_mempool::MempoolConfig;
 use ahl_simkit::SimDuration;
 use ahl_tee::CostModel;
 
+use crate::adversary::{Attack, SafetyChecker};
 use crate::common::CryptoMode;
 
 /// Quorum rule: the difference trusted hardware makes (paper §4.1).
@@ -189,6 +190,20 @@ pub struct PbftConfig {
     /// simulation, `Always`/`EveryN` for durability benchmarks), and the
     /// crash-injection switch used by the recovery test matrix.
     pub wal: ahl_wal::WalConfig,
+    /// Replay-protection horizon. Requests whose `submitted` timestamp is
+    /// older than this are refused at every admission point (client
+    /// ingest, relays, gossip, and batch formation), and executed request
+    /// ids are remembered for at least this long regardless of checkpoint
+    /// epochs. Together the two rules provably close the replay window:
+    /// a stale copy (e.g. re-relayed out of a deposed Byzantine leader's
+    /// pool at a view change) is either too old to admit or young enough
+    /// that the executed cache still dedups it. For the closure to hold,
+    /// same-id client retransmissions must reuse the *original*
+    /// submission timestamp (the cross-shard driver does); retransmitting
+    /// under a fresh id (how the closed-loop client and the watchdog's
+    /// idempotent decision re-sends work) is always safe. Must exceed
+    /// the longest same-id client retry horizon.
+    pub request_ttl: SimDuration,
     /// Base view-change timeout (doubles per consecutive failure).
     pub vc_timeout: SimDuration,
     /// Reply policy.
@@ -206,8 +221,23 @@ pub struct PbftConfig {
     pub exec_cost_per_op: SimDuration,
     /// CPU scale factor (>1 = slower node, e.g. 2-vCPU GCP instances).
     pub cpu_scale: f64,
-    /// Number of Byzantine replicas (assigned to the highest indices).
+    /// Number of Byzantine replicas (assigned to the highest indices
+    /// unless [`PbftConfig::byzantine_set`] overrides the placement).
     pub byzantine: usize,
+    /// Explicit Byzantine group indices. `None` keeps the historical
+    /// rule (highest `byzantine` indices); `Some` lets a scenario make
+    /// e.g. the view-0 leader Byzantine (required by the equivocating-
+    /// leader attack and the over-threshold canary).
+    pub byzantine_set: Option<Vec<usize>>,
+    /// What the Byzantine replicas do (see [`Attack`]). The default,
+    /// [`Attack::PaperFlood`], reproduces the paper's §7.2 behaviour.
+    pub attack: Attack,
+    /// Global safety oracle honest replicas report commits, executions
+    /// and 2PC resolutions into (`None` = no observation overhead).
+    pub safety: Option<SafetyChecker>,
+    /// This committee's id in the checker's records (shard number; the
+    /// reference committee gets its own id).
+    pub committee_id: usize,
     /// Compute real MACs or charge costs only.
     pub crypto: CryptoMode,
     /// Per-queue capacity for replica inbound queues.
@@ -238,6 +268,7 @@ impl PbftConfig {
             snapshot_max_bytes: u64::MAX,
             data_dir: None,
             wal: ahl_wal::WalConfig::default(),
+            request_ttl: SimDuration::from_secs(10),
             vc_timeout: SimDuration::from_secs(2),
             reply_policy: ReplyPolicy::None,
             costs: CostModel::default(),
@@ -247,8 +278,20 @@ impl PbftConfig {
             exec_cost_per_op: SimDuration::from_micros(100),
             cpu_scale: 1.0,
             byzantine: 0,
+            byzantine_set: None,
+            attack: Attack::default(),
+            safety: None,
+            committee_id: 0,
             crypto: CryptoMode::CostOnly,
             queue_capacity: 4096,
+        }
+    }
+
+    /// Whether group index `i` is Byzantine under this configuration.
+    pub fn is_byzantine(&self, i: usize) -> bool {
+        match &self.byzantine_set {
+            Some(set) => set.contains(&i),
+            None => i >= self.n - self.byzantine,
         }
     }
 

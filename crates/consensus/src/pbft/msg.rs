@@ -162,6 +162,14 @@ pub enum PbftMsg {
     },
     /// Replica → all: view change.
     ViewChange(ViewChangeMsg),
+    /// New leader → all: pool-digest pull after a view change. Replicas
+    /// answer by re-relaying their pooled (admitted, unexecuted) requests
+    /// so client transactions stranded at the deposed — possibly
+    /// Byzantine — leader get re-proposed (`mempool.viewchange_regossip`).
+    PoolPull {
+        /// The view the new leader just installed.
+        view: u64,
+    },
     /// New leader → all: new view installation with re-proposals.
     NewView {
         /// The view being installed.
@@ -370,7 +378,7 @@ impl PbftMsg {
             }
             PbftMsg::Reply { .. } => 100,
             PbftMsg::Rejected { .. } | PbftMsg::RelayRejected { .. } => 90,
-            PbftMsg::Heartbeat { .. } => 60,
+            PbftMsg::Heartbeat { .. } | PbftMsg::PoolPull { .. } => 60,
             PbftMsg::SyncRequest { old_roots, .. } => 80 + 32 * old_roots.len(),
             PbftMsg::SyncManifest { cert, sidecar, executed, diff, diff_base, .. } => {
                 120 + cert.wire_size()

@@ -35,6 +35,7 @@ use ahl_store::{
 };
 use ahl_tee::{verify_attestation, AttestedLog, LogId, Slot, TeeOp};
 
+use crate::adversary::{equivocation_half, Attack, EquivocationTracker};
 use crate::common::{stat, CryptoMode, ExecutedCache, Request};
 use crate::pbft::config::{PbftConfig, ReplyPolicy};
 use crate::pbft::durable::{twopc_kind, NodeStore, TwoPcKind, WalRecord};
@@ -239,6 +240,11 @@ pub struct Replica {
     stall_strikes: u8,
 
     byzantine: bool,
+    /// Stale-replay attack state: the previous (prepare, commit) votes,
+    /// replayed in place of current ones.
+    stale_votes: [Option<Vote>; 2],
+    /// Equivocation-collusion state (shared double-signing bookkeeping).
+    byz_equiv: EquivocationTracker,
 }
 
 impl Replica {
@@ -258,7 +264,7 @@ impl Replica {
         genesis: &[(String, Value)],
         reporter: bool,
     ) -> Self {
-        let byzantine = me >= cfg.n - cfg.byzantine;
+        let byzantine = cfg.is_byzantine(me);
         let genesis: Arc<Vec<(Key, Value)>> = Arc::new(genesis.to_vec());
         let mut state = StateStore::new();
         state.load_genesis(&genesis);
@@ -318,6 +324,8 @@ impl Replica {
             highest_vc_sent: 0,
             last_msg_at: ahl_simkit::SimTime::ZERO,
             stall_strikes: 0,
+            stale_votes: [None, None],
+            byz_equiv: EquivocationTracker::new(),
         }
     }
 
@@ -430,8 +438,13 @@ impl Replica {
     ) -> bool {
         self.charge(ctx, self.cfg.native_verify, false);
         match cert {
-            MsgCert::Simulated => true,
-            MsgCert::Sig(sig) => self.registry.verify(digest, sig),
+            // Real-crypto mode never produces bare Simulated certs: one
+            // arriving is a Byzantine replica trying to skip the crypto.
+            MsgCert::Simulated => self.cfg.crypto != CryptoMode::Real,
+            // Attested committees require the enclave binding: a plain
+            // signature is exactly how an equivocator would dodge the
+            // attested log, so it is refused outright.
+            MsgCert::Sig(sig) => !self.cfg.attested && self.registry.verify(digest, sig),
             MsgCert::Attested(att) => {
                 att.digest == *digest
                     && att.slot == Slot { view, seq }
@@ -442,11 +455,25 @@ impl Replica {
 
     // ---------- request handling ----------
 
+    /// Replay-horizon admission check: a request older than `request_ttl`
+    /// must not (re)enter consensus — the executed-id cache is only
+    /// guaranteed to remember ids that long, so admitting an older copy
+    /// (stranded in some pool, re-relayed at a view change) could
+    /// re-execute it. Honest traffic always carries fresh timestamps.
+    fn expired(&self, req: &Request, ctx: &mut Ctx<'_, PbftMsg>) -> bool {
+        if ctx.now().since(req.submitted) > self.cfg.request_ttl {
+            ctx.stats().inc("consensus.expired_requests", 1);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Pool a gossiped copy of a request (HL re-broadcast; some other
     /// replica is the ingest point, so rejections here are only counted,
     /// not signalled — the ingest replica's copy carries the client reply).
     fn pool_request(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
-        if self.executed_reqs.contains(req.id) {
+        if self.executed_reqs.contains(req.id) || self.expired(&req, ctx) {
             return;
         }
         let now = ctx.now();
@@ -458,6 +485,12 @@ impl Replica {
         self.charge(ctx, self.cfg.ingest_cost, false);
         if self.executed_reqs.contains(req.id) {
             // Retransmission of an executed request: nothing to do.
+            return;
+        }
+        if self.expired(&req, ctx) {
+            // Past the replay horizon: bounce it like backpressure — a
+            // live client retries with a fresh timestamp.
+            ctx.send(req.client, PbftMsg::Rejected { req_id: req.id });
             return;
         }
         let now = ctx.now();
@@ -498,6 +531,15 @@ impl Replica {
         // Leader-side pooling of a relayed request: cheap enqueue.
         self.charge(ctx, SimDuration::from_micros(10), false);
         if self.executed_reqs.contains(req.id) {
+            return;
+        }
+        if self.expired(&req, ctx) {
+            // Stale copy past the replay horizon (e.g. re-relayed out of
+            // a long-stranded pool): refuse, and tell the relayer to
+            // reclaim its own copy.
+            if from != self.group[self.me] {
+                ctx.send(from, PbftMsg::RelayRejected { req_id: req.id });
+            }
             return;
         }
         let (req_id, client) = (req.id, req.client);
@@ -561,7 +603,20 @@ impl Replica {
         }
     }
 
-    fn propose_batch(&mut self, batch: Vec<Request>, ctx: &mut Ctx<'_, PbftMsg>) {
+    fn propose_batch(&mut self, mut batch: Vec<Request>, ctx: &mut Ctx<'_, PbftMsg>) {
+        // Entries can cross the replay horizon *inside* the pool (a
+        // leader that lagged for a long time still holds them): filter at
+        // batch formation, the last gate before ordering.
+        let now = ctx.now();
+        let ttl = self.cfg.request_ttl;
+        batch.retain(|r| {
+            if now.since(r.submitted) > ttl {
+                ctx.stats().inc("consensus.expired_requests", 1);
+                false
+            } else {
+                true
+            }
+        });
         if batch.is_empty() {
             return;
         }
@@ -576,25 +631,37 @@ impl Replica {
             .saturating_mul(1 + batch.len() as u64 / 8);
         self.charge(ctx, hash_cost, false);
 
-        if self.byzantine && !self.cfg.attested {
-            // Equivocating Byzantine leader: different blocks to each half.
-            let block_a = Arc::new(PbftBlock::new(view, seq, self.me, batch.clone()));
-            let mut rev = batch;
-            rev.reverse();
-            let block_b = Arc::new(PbftBlock::new(view, seq + 1_000_000, self.me, rev));
-            self.charge(ctx, self.cfg.native_sign, false);
-            for (i, peer) in self.others().into_iter().enumerate() {
-                let block = if i % 2 == 0 { block_a.clone() } else { block_b.clone() };
-                ctx.send(peer, PbftMsg::PrePrepare { block, cert: MsgCert::Simulated });
+        if self.byzantine {
+            match self.cfg.attack {
+                Attack::PaperFlood if !self.cfg.attested => {
+                    // §7.2 equivocating leader: conflicting *sequence
+                    // numbers* to different halves.
+                    let block_a = Arc::new(PbftBlock::new(view, seq, self.me, batch.clone()));
+                    let mut rev = batch;
+                    rev.reverse();
+                    let block_b = Arc::new(PbftBlock::new(view, seq + 1_000_000, self.me, rev));
+                    self.charge(ctx, self.cfg.native_sign, false);
+                    for (i, peer) in self.others().into_iter().enumerate() {
+                        let block = if i % 2 == 0 { block_a.clone() } else { block_b.clone() };
+                        ctx.send(peer, PbftMsg::PrePrepare { block, cert: MsgCert::Simulated });
+                    }
+                    return;
+                }
+                Attack::Equivocate => {
+                    self.equivocate_propose(batch, view, seq, ctx);
+                    return;
+                }
+                // The remaining attacks strike at votes/checkpoints; a
+                // Byzantine leader proposes honestly under them.
+                _ => {}
             }
-            return;
         }
 
         let block = Arc::new(PbftBlock::new(view, seq, self.me, batch));
         let Some(cert) = self.certify(ctx, PREPREPARE_LOG, view, seq, block.digest) else {
             return;
         };
-        let recipients = if self.byzantine {
+        let recipients = if self.byzantine && self.cfg.attack == Attack::PaperFlood {
             // Attested Byzantine leader cannot equivocate; the worst it can
             // do is withhold the proposal from half the replicas.
             self.others().into_iter().enumerate().filter(|(i, _)| i % 2 == 0).map(|(_, p)| p).collect()
@@ -699,11 +766,121 @@ impl Replica {
         self.check_prepared(seq, digest, ctx);
     }
 
-    /// Byzantine vote emission (the paper's attack: "Byzantine nodes send
+    /// A Byzantine replica's message authentication: it deliberately
+    /// avoids its enclave (the attested log would refuse to double-sign),
+    /// so it signs natively in real-crypto mode — which honest replicas
+    /// in attested committees reject, exactly the paper's point.
+    fn byz_cert(&self, digest: &Hash) -> MsgCert {
+        if self.cfg.crypto == CryptoMode::Real {
+            MsgCert::Sig(self.key.sign(digest))
+        } else {
+            MsgCert::Simulated
+        }
+    }
+
+    /// Double-sign equivocation (leader side): two conflicting blocks for
+    /// the *same* (view, seq), the lower digest to committee half 0, the
+    /// higher to half 1, and both to fellow Byzantine colluders. The
+    /// leader also emits per-half commit votes so each half can close its
+    /// own fork — which only succeeds when the colluding votes push a
+    /// half past quorum, i.e. when f exceeds the protocol's bound.
+    fn equivocate_propose(
+        &mut self,
+        batch: Vec<Request>,
+        view: u64,
+        seq: u64,
+        ctx: &mut Ctx<'_, PbftMsg>,
+    ) {
+        let alt: Vec<Request> = batch[1..].to_vec();
+        let x = Arc::new(PbftBlock::new(view, seq, self.me, batch));
+        let y = Arc::new(PbftBlock::new(view, seq, self.me, alt));
+        let (lo, hi) = if x.digest.0 <= y.digest.0 { (x, y) } else { (y, x) };
+        self.charge(ctx, self.cfg.native_sign, false);
+        for g in 0..self.cfg.n {
+            if g == self.me {
+                continue;
+            }
+            let peer = self.group[g];
+            let blocks: &[&Arc<PbftBlock>] = if self.cfg.is_byzantine(g) {
+                &[&lo, &hi] // colluders see both stories
+            } else if equivocation_half(g) == 0 {
+                &[&lo]
+            } else {
+                &[&hi]
+            };
+            for block in blocks {
+                let cert = self.byz_cert(&block.digest);
+                ctx.send(peer, PbftMsg::PrePrepare { block: (*block).clone(), cert });
+                let vote = Vote {
+                    view,
+                    seq,
+                    digest: block.digest,
+                    replica: self.me,
+                    cert: self.byz_cert(&block.digest),
+                };
+                ctx.send(peer, PbftMsg::Commit(vote));
+            }
+        }
+    }
+
+    /// Double-sign equivocation (colluding voter side): echo prepare and
+    /// commit votes for *every* proposal seen at a slot, each to the
+    /// committee half its digest rank assigns — the two-faced voting that
+    /// makes both forks complete once the Byzantine count exceeds the
+    /// quorum-intersection bound.
+    fn equivocate_echo(&mut self, view: u64, seq: u64, digest: Hash, ctx: &mut Ctx<'_, PbftMsg>) {
+        let Some((half, split)) = self.byz_equiv.observe(seq as u128, digest) else {
+            return;
+        };
+        self.charge(ctx, self.cfg.native_sign, false);
+        let me = self.me;
+        let targets: Vec<NodeId> = (0..self.cfg.n)
+            .filter(|g| *g != me && (!split || equivocation_half(*g) == half))
+            .map(|g| self.group[g])
+            .collect();
+        let prepare = Vote { view, seq, digest, replica: me, cert: self.byz_cert(&digest) };
+        let commit = Vote { view, seq, digest, replica: me, cert: self.byz_cert(&digest) };
+        ctx.multicast(targets.clone(), PbftMsg::Prepare(prepare));
+        ctx.multicast(targets, PbftMsg::Commit(commit));
+    }
+
+    /// Byzantine vote emission, dispatched by the configured [`Attack`].
+    /// The default is the paper's attack: "Byzantine nodes send
     /// conflicting messages (with different sequence numbers) to different
-    /// nodes"): equivocate (HL) or withhold (attested), plus a flood of
+    /// nodes" — equivocate (HL) or withhold (attested), plus a flood of
     /// junk votes at shifted sequence numbers that loads honest queues.
     fn byzantine_vote(&mut self, vote: Vote, prepare: bool, ctx: &mut Ctx<'_, PbftMsg>) {
+        match self.cfg.attack {
+            Attack::PaperFlood => self.paper_flood_vote(vote, prepare, ctx),
+            // Equivocation votes are emitted by the proposal-echo path;
+            // withholders say nothing at all.
+            Attack::Equivocate | Attack::WithholdVotes => {}
+            Attack::StaleReplay => {
+                let slot = usize::from(!prepare);
+                if let Some(stale) = self.stale_votes[slot].clone() {
+                    ctx.stats().inc("adv.stale_replays", 1);
+                    // Charge the send like IBFT/Tendermint do, so attacker
+                    // CPU accounting is comparable across matrix cells.
+                    self.charge(ctx, self.cfg.native_sign, false);
+                    let msg = if prepare {
+                        PbftMsg::Prepare(stale)
+                    } else {
+                        PbftMsg::Commit(stale)
+                    };
+                    ctx.multicast(self.others(), msg);
+                }
+                self.stale_votes[slot] = Some(vote);
+            }
+            // The checkpoint attack leaves normal-case votes honest.
+            Attack::BogusCheckpoint => {
+                let msg = if prepare { PbftMsg::Prepare(vote) } else { PbftMsg::Commit(vote) };
+                ctx.multicast(self.others(), msg);
+            }
+        }
+    }
+
+    /// The §7.2 composite vote attack (see [`Replica::byzantine_vote`]).
+    fn paper_flood_vote(&mut self, vote: Vote, prepare: bool, ctx: &mut Ctx<'_, PbftMsg>) {
         let others = self.others();
         for (i, peer) in others.iter().copied().enumerate() {
             if self.cfg.attested {
@@ -1004,14 +1181,38 @@ impl Replica {
         if let Some(store) = self.durable_store.as_mut() {
             store.log_batch(block);
         }
+        let checker = if self.byzantine { None } else { self.cfg.safety.clone() };
+        let exec_now = ctx.now();
         for req in block.reqs.iter() {
-            if !self.executed_reqs.insert(req.id) {
+            if !self.executed_reqs.insert(req.id, exec_now) {
                 continue; // replay of an already-executed request
             }
             self.pool.remove(req.id);
             weight += req.op.weight();
+            // Safety-oracle 2PC note, taken before execution: an abort
+            // only counts as a discarded decision if a prepared write set
+            // actually existed here.
+            let twopc_note = checker.as_ref().and_then(|_| match &req.op {
+                ahl_ledger::Op::Commit { txid } => Some((txid.0, true, true)),
+                ahl_ledger::Op::Abort { txid } => {
+                    Some((txid.0, false, self.state.has_pending(*txid)))
+                }
+                _ => None,
+            });
             let receipt = self.state.execute(&req.op);
             let ok = receipt.status.is_committed();
+            if let Some(ck) = &checker {
+                ck.record_exec(self.cfg.committee_id, self.me, req.id);
+                if let Some((txid, is_commit, had_pending)) = twopc_note {
+                    if is_commit {
+                        if ok {
+                            ck.record_twopc(self.cfg.committee_id, txid, true);
+                        }
+                    } else if had_pending {
+                        ck.record_twopc(self.cfg.committee_id, txid, false);
+                    }
+                }
+            }
             if ok {
                 if let (Some(kind), Some(store), Some(txid)) =
                     (twopc_kind(&req.op), self.durable_store.as_mut(), req.op.txid())
@@ -1060,6 +1261,14 @@ impl Replica {
             ctx.stats().inc(stat::BLOCKS_COMMITTED, 1);
             ctx.stats().record_point(stat::COMMIT_SERIES, now, committed as f64);
         }
+        // Safety oracle: an honest replica committed this batch at `seq`.
+        // The record is the *content* digest (ordered request ids), so a
+        // re-proposal of the same batch in a later view is no fork, while
+        // any divergence in committed content at one height is.
+        if let Some(ck) = &checker {
+            let digest = crate::adversary::commit_digest(block.reqs.iter().map(|r| r.id));
+            ck.record_commit(self.cfg.committee_id, block.seq, digest);
+        }
         // Group commit: one write+policy-fsync for the batch record plus
         // its 2PC journal. An I/O failure here is a crash — the node goes
         // dark and recovers from whatever reached the disk.
@@ -1092,7 +1301,14 @@ impl Replica {
     /// a signed vote over `(height, state_root)`.
     fn send_checkpoint(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         let seq = self.exec_seq;
-        let root = self.state.state_digest();
+        let mut root = self.state.state_digest();
+        if self.byzantine && self.cfg.attack == Attack::BogusCheckpoint {
+            // Vote for a root nobody holds: a validly signed lie. Honest
+            // votes must still quorum on the true root, and the bogus one
+            // must never certify (the tracker groups votes by root).
+            root.0[0] ^= 0xff;
+            ctx.stats().inc("adv.bogus_ckpt_votes", 1);
+        }
         // O(1) in the state size: a frozen tree handle, not a deep clone.
         // The drained write accumulator prices what keeping the previous
         // snapshot alive costs in copy-on-write duplication.
@@ -1134,7 +1350,7 @@ impl Replica {
         self.insts_floor = floor;
         let pruned = self.state.checkpoint_prune();
         ctx.stats().inc(stat::RESOLVED_PRUNED, pruned as u64);
-        let pruned_exec = self.executed_reqs.checkpoint_prune();
+        let pruned_exec = self.executed_reqs.checkpoint_prune(ctx.now(), self.cfg.request_ttl);
         ctx.stats().inc(stat::EXECUTED_PRUNED, pruned_exec as u64);
         if self.cfg.crypto == CryptoMode::Real {
             self.tee.truncate(cert.seq);
@@ -1671,7 +1887,14 @@ impl Replica {
         state.install_sidecar(&sidecar);
         debug_assert_eq!(state.state_digest(), cert.root, "chunks verified against root");
         self.state = state;
-        self.executed_reqs = ExecutedCache::from_set(&executed);
+        self.executed_reqs = ExecutedCache::from_set(&executed, ctx.now());
+        if !self.byzantine {
+            if let Some(ck) = &self.cfg.safety {
+                // Installed certified state replaces the execution
+                // history: a fresh exactly-once lineage begins here.
+                ck.record_reset(self.cfg.committee_id, self.me);
+            }
+        }
         // The node now *holds* certified state at `cert`: register it as a
         // servable snapshot and as the durable checkpoint, so a follow-up
         // sync (or the next crash) anchors here instead of at whatever
@@ -2163,6 +2386,13 @@ impl Replica {
     /// them serves only the diff).
     fn on_restart(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         ctx.stats().inc("sync.restarts", 1);
+        if !self.byzantine {
+            if let Some(ck) = &self.cfg.safety {
+                // Volatile state is gone: the replica legitimately
+                // re-executes history, so its exactly-once scope resets.
+                ck.record_reset(self.cfg.committee_id, self.me);
+            }
+        }
         self.crashed = false;
         self.chain = Chain::new();
         self.maintain_chain = false;
@@ -2191,7 +2421,7 @@ impl Replica {
                     // Resume from the certified checkpoint: O(fetched)
                     // recovery instead of re-transferring the whole state.
                     self.state = StateStore::from_snapshot(&snap.snap);
-                    self.executed_reqs = ExecutedCache::from_set(&snap.executed);
+                    self.executed_reqs = ExecutedCache::from_set(&snap.executed, ctx.now());
                     self.exec_seq = cert.seq;
                     self.next_seq = cert.seq + 1;
                     self.low_mark = cert.seq;
@@ -2246,7 +2476,7 @@ impl Replica {
                 let cert = d.cert;
                 let snap = Arc::new(d.snapshot);
                 self.state = StateStore::from_snapshot(&snap);
-                self.executed_reqs = ExecutedCache::from_set(&d.executed);
+                self.executed_reqs = ExecutedCache::from_set(&d.executed, ctx.now());
                 self.exec_seq = cert.seq;
                 self.next_seq = cert.seq + 1;
                 self.low_mark = cert.seq;
@@ -2313,12 +2543,33 @@ impl Replica {
                     skipping = false;
                     expected.clear();
                     let mut weight = 0usize;
+                    let checker = if self.byzantine { None } else { self.cfg.safety.clone() };
+                    let replay_now = ctx.now();
                     for req in &reqs {
-                        if !self.executed_reqs.insert(req.id) {
+                        if !self.executed_reqs.insert(req.id, replay_now) {
                             continue;
                         }
                         weight += req.op.weight();
+                        let twopc_note = checker.as_ref().and_then(|_| match &req.op {
+                            ahl_ledger::Op::Commit { txid } => Some((txid.0, true, true)),
+                            ahl_ledger::Op::Abort { txid } => {
+                                Some((txid.0, false, self.state.has_pending(*txid)))
+                            }
+                            _ => None,
+                        });
                         let receipt = self.state.execute(&req.op);
+                        if let Some(ck) = &checker {
+                            ck.record_exec(self.cfg.committee_id, self.me, req.id);
+                            if let Some((txid, is_commit, had_pending)) = twopc_note {
+                                if is_commit {
+                                    if receipt.status.is_committed() {
+                                        ck.record_twopc(self.cfg.committee_id, txid, true);
+                                    }
+                                } else if had_pending {
+                                    ck.record_twopc(self.cfg.committee_id, txid, false);
+                                }
+                            }
+                        }
                         if receipt.status.is_committed() {
                             if let (Some(k), Some(txid)) = (twopc_kind(&req.op), req.op.txid()) {
                                 expected.push_back((txid.0, k));
@@ -2361,7 +2612,7 @@ impl Replica {
             match &self.durable {
                 Some((cert, snap)) => {
                     self.state = StateStore::from_snapshot(&snap.snap);
-                    self.executed_reqs = ExecutedCache::from_set(&snap.executed);
+                    self.executed_reqs = ExecutedCache::from_set(&snap.executed, ctx.now());
                     self.exec_seq = cert.seq;
                     self.next_seq = cert.seq + 1;
                 }
@@ -2496,6 +2747,10 @@ impl Replica {
             self.others(),
             PbftMsg::NewView { view, reproposals: repro.clone() },
         );
+        // Gossip round: pull the peers' ingest-pool contents. Requests
+        // stranded at the deposed (possibly Byzantine) leader survive in
+        // the ingest replicas' pools; the pull gets them re-proposed.
+        ctx.multicast(self.others(), PbftMsg::PoolPull { view });
         for block in repro {
             self.insts.remove(&block.seq);
             self.accept_block(block, ctx);
@@ -2531,10 +2786,35 @@ impl Replica {
         // requests relayed to a dead leader are not lost.
         if self.cfg.relay_to_leader && !self.is_leader() {
             let leader = self.group[self.leader_of(view)];
+            let mut regossiped = 0u64;
             for req in self.pool.iter_fifo().take(2 * self.cfg.batch_size) {
                 ctx.send(leader, PbftMsg::Relay(req.clone()));
+                regossiped += 1;
             }
+            ctx.stats().inc(ahl_mempool::stat::VIEWCHANGE_REGOSSIP, regossiped);
         }
+    }
+
+    /// The new leader pulls pool digests after its view change: answer by
+    /// re-relaying every pooled, unexecuted request. Works in both relay
+    /// and gossip modes — either way the new leader's pool is the one
+    /// proposals are cut from, and transactions stranded at the deposed
+    /// leader exist only in the ingest replicas' pools.
+    fn on_pool_pull(&mut self, from_idx: usize, view: u64, ctx: &mut Ctx<'_, PbftMsg>) {
+        self.charge(ctx, SimDuration::from_micros(10), false);
+        if view != self.view || from_idx != self.leader_of(self.view) || from_idx == self.me {
+            return;
+        }
+        let leader = self.group[from_idx];
+        let mut regossiped = 0u64;
+        for req in self.pool.iter_fifo().take(4 * self.cfg.batch_size) {
+            if self.executed_reqs.contains(req.id) {
+                continue;
+            }
+            ctx.send(leader, PbftMsg::Relay(req.clone()));
+            regossiped += 1;
+        }
+        ctx.stats().inc(ahl_mempool::stat::VIEWCHANGE_REGOSSIP, regossiped);
     }
 
     // ---------- timers ----------
@@ -2616,6 +2896,16 @@ impl Actor for Replica {
             return;
         }
         self.last_msg_at = ctx.now();
+        // A colluding equivocator never runs the honest proposal path: it
+        // echoes two-faced votes for every proposal it sees and is done.
+        if self.byzantine && self.cfg.attack == Attack::Equivocate {
+            if let PbftMsg::PrePrepare { block, .. } = &msg {
+                self.charge(ctx, SimDuration::from_micros(10), false);
+                let (view, seq, digest) = (block.view, block.seq, block.digest);
+                self.equivocate_echo(view, seq, digest, ctx);
+                return;
+            }
+        }
         // While a full re-fetch is in flight the replica does not take part
         // in consensus: protocol messages are dropped cheaply (it could not
         // vote truthfully about state it is still downloading). Sync
@@ -2653,6 +2943,10 @@ impl Actor for Replica {
             PbftMsg::Checkpoint { vote } => self.on_checkpoint(vote, ctx),
             PbftMsg::ViewChange(vc) => self.on_view_change(vc, ctx),
             PbftMsg::NewView { view, reproposals } => self.on_new_view(view, reproposals, ctx),
+            PbftMsg::PoolPull { view } => {
+                let Some(idx) = self.group_index(from) else { return };
+                self.on_pool_pull(idx, view, ctx);
+            }
             PbftMsg::Reply { .. } | PbftMsg::Rejected { .. } => {}
             PbftMsg::Heartbeat { view, exec_seq } => {
                 let Some(idx) = self.group_index(from) else { return };

@@ -21,6 +21,9 @@ use ahl_ledger::StateStore;
 use ahl_mempool::{Mempool, MempoolConfig};
 use ahl_simkit::{Actor, Ctx, MsgClass, NodeId, SimDuration};
 
+use crate::adversary::{
+    commit_digest, equivocation_half, Attack, EquivocationTracker, SafetyChecker,
+};
 use crate::clients::ClientProtocol;
 use crate::common::{stat, Request};
 
@@ -135,6 +138,15 @@ pub struct TmConfig {
     /// Pool eviction/ordering seed (set per node by `build_tm_group` so
     /// it derives from the run seed).
     pub pool_seed: u64,
+    /// Number of Byzantine validators (the highest indices).
+    pub byzantine: usize,
+    /// What the Byzantine validators do (see [`Attack`]; equivocation
+    /// fires whenever a Byzantine validator's turn as proposer comes up).
+    pub attack: Attack,
+    /// Global safety oracle honest validators report commits into.
+    pub safety: Option<SafetyChecker>,
+    /// This committee's id in the checker's records.
+    pub committee_id: usize,
 }
 
 impl TmConfig {
@@ -151,12 +163,21 @@ impl TmConfig {
             exec_cost_per_op: SimDuration::from_micros(20),
             mempool: MempoolConfig::default(),
             pool_seed: 0,
+            byzantine: 0,
+            attack: Attack::default(),
+            safety: None,
+            committee_id: 0,
         }
     }
 
     /// Byzantine quorum (2f + 1).
     pub fn quorum(&self) -> usize {
         2 * ((self.n.saturating_sub(1)) / 3) + 1
+    }
+
+    /// Whether validator `i` is Byzantine (highest indices).
+    pub fn is_byzantine(&self, i: usize) -> bool {
+        self.byzantine > 0 && i >= self.n - self.byzantine
     }
 }
 
@@ -190,6 +211,12 @@ pub struct TmNode {
     pool: Mempool<Request>,
     executed: HashSet<u64>,
     state: StateStore,
+
+    byzantine: bool,
+    /// Stale-replay attack state: previous (prevote, precommit).
+    stale_votes: [Option<TmMsg>; 2],
+    /// Equivocation-collusion state (shared double-signing bookkeeping).
+    byz_equiv: EquivocationTracker,
 }
 
 impl TmNode {
@@ -197,6 +224,9 @@ impl TmNode {
     pub fn new(cfg: TmConfig, group: Vec<NodeId>, me: usize, reporter: bool) -> Self {
         let pool = Mempool::new(cfg.mempool.clone(), cfg.pool_seed ^ me as u64);
         TmNode {
+            byzantine: cfg.is_byzantine(me),
+            stale_votes: [None, None],
+            byz_equiv: EquivocationTracker::new(),
             cfg,
             group,
             me,
@@ -339,6 +369,119 @@ impl TmNode {
         }
     }
 
+    /// Double-sign equivocation (proposer side): two conflicting blocks
+    /// for the same (height, round), the lower digest to committee half 0
+    /// and the higher to half 1, both to Byzantine colleagues — plus the
+    /// proposer's own per-half prevotes/precommits. With the colluders'
+    /// echoes this forks the chain exactly when f > ⌊(n−1)/3⌋.
+    fn equivocate_propose(&mut self, block: Arc<Vec<Request>>, ctx: &mut Ctx<'_, TmMsg>) {
+        let (height, round) = (self.height, self.round);
+        let alt: Arc<Vec<Request>> = Arc::new(block[1..].to_vec());
+        let da = block_digest(height, round, &block);
+        let db = block_digest(height, round, &alt);
+        let (lo, hi) = if da.0 <= db.0 {
+            ((da, block), (db, alt))
+        } else {
+            ((db, alt), (da, block))
+        };
+        self.charge(ctx, self.cfg.sign_cost);
+        for g in 0..self.cfg.n {
+            if g == self.me {
+                continue;
+            }
+            let peer = self.group[g];
+            let sides: Vec<&(Hash, Arc<Vec<Request>>)> = if self.cfg.is_byzantine(g) {
+                vec![&lo, &hi] // colluders see both stories
+            } else if equivocation_half(g) == 0 {
+                vec![&lo]
+            } else {
+                vec![&hi]
+            };
+            for (digest, blk) in sides {
+                ctx.send(
+                    peer,
+                    TmMsg::Proposal {
+                        height,
+                        round,
+                        block: blk.clone(),
+                        digest: *digest,
+                        proposer: self.me,
+                    },
+                );
+                ctx.send(peer, TmMsg::Prevote { height, round, digest: *digest, replica: self.me });
+                ctx.send(
+                    peer,
+                    TmMsg::Precommit { height, round, digest: *digest, replica: self.me },
+                );
+            }
+        }
+    }
+
+    /// Double-sign equivocation (colluding voter side): echo prevotes and
+    /// precommits for every proposal seen at a slot, each to the half its
+    /// digest rank assigns.
+    fn equivocate_echo(&mut self, height: u64, round: u32, digest: Hash, ctx: &mut Ctx<'_, TmMsg>) {
+        let slot = ((height as u128) << 32) | round as u128;
+        let Some((half, split)) = self.byz_equiv.observe(slot, digest) else {
+            return;
+        };
+        self.charge(ctx, self.cfg.sign_cost);
+        let me = self.me;
+        let targets: Vec<NodeId> = (0..self.cfg.n)
+            .filter(|g| *g != me && (!split || equivocation_half(*g) == half))
+            .map(|g| self.group[g])
+            .collect();
+        ctx.multicast(targets.clone(), TmMsg::Prevote { height, round, digest, replica: me });
+        ctx.multicast(targets, TmMsg::Precommit { height, round, digest, replica: me });
+    }
+
+    /// Byzantine vote emission, dispatched by the configured [`Attack`].
+    fn byzantine_vote(&mut self, prevote: bool, digest: Hash, ctx: &mut Ctx<'_, TmMsg>) {
+        let (height, round) = (self.height, self.round);
+        let make = |digest: Hash, replica: usize| {
+            if prevote {
+                TmMsg::Prevote { height, round, digest, replica }
+            } else {
+                TmMsg::Precommit { height, round, digest, replica }
+            }
+        };
+        match self.cfg.attack {
+            // Equivocation votes come from the proposal-echo path;
+            // withholders say nothing.
+            Attack::Equivocate | Attack::WithholdVotes => {}
+            Attack::StaleReplay => {
+                let slot = usize::from(!prevote);
+                if let Some(stale) = self.stale_votes[slot].clone() {
+                    ctx.stats().inc("adv.stale_replays", 1);
+                    self.charge(ctx, self.cfg.sign_cost);
+                    ctx.multicast(self.others(), stale);
+                }
+                self.stale_votes[slot] = Some(make(digest, self.me));
+            }
+            // No checkpoints in Tendermint: both remaining attacks are
+            // corrupt-digest votes — conflicting per half (PaperFlood) or
+            // uniformly bogus (BogusCheckpoint).
+            Attack::PaperFlood | Attack::BogusCheckpoint => {
+                self.charge(ctx, self.cfg.sign_cost);
+                let mut bad = digest;
+                bad.0[0] ^= 0xff;
+                for g in 0..self.cfg.n {
+                    if g == self.me {
+                        continue;
+                    }
+                    let d = if self.cfg.attack == Attack::BogusCheckpoint
+                        || equivocation_half(g) == 1
+                    {
+                        bad
+                    } else {
+                        digest
+                    };
+                    ctx.send(self.group[g], make(d, self.me));
+                }
+            }
+        }
+    }
+
     fn propose(&mut self, ctx: &mut Ctx<'_, TmMsg>) {
         if self.waiting_commit {
             return;
@@ -357,6 +500,10 @@ impl TmNode {
         if block.is_empty() {
             // Nothing to propose: empty blocks are skipped (tm-bench mode);
             // the round timer will re-trigger.
+            return;
+        }
+        if self.byzantine && self.cfg.attack == Attack::Equivocate {
+            self.equivocate_propose(block, ctx);
             return;
         }
         let digest = block_digest(self.height, self.round, &block);
@@ -383,6 +530,10 @@ impl TmNode {
             Some((_, d, _)) => *d,
             None => digest,
         };
+        if self.byzantine {
+            self.byzantine_vote(true, digest, ctx);
+            return;
+        }
         self.charge(ctx, self.cfg.sign_cost);
         let msg = TmMsg::Prevote {
             height: self.height,
@@ -414,6 +565,10 @@ impl TmNode {
         if !self.sent_precommit.insert(key) {
             return;
         }
+        if self.byzantine {
+            self.byzantine_vote(false, digest, ctx);
+            return;
+        }
         self.charge(ctx, self.cfg.sign_cost);
         let msg = TmMsg::Precommit {
             height: self.height,
@@ -443,13 +598,33 @@ impl TmNode {
     fn commit(&mut self, block: Arc<Vec<Request>>, ctx: &mut Ctx<'_, TmMsg>) {
         let mut committed = 0u64;
         let mut weight = 0usize;
+        let checker = if self.byzantine { None } else { self.cfg.safety.clone() };
         for req in block.iter() {
             if !self.executed.insert(req.id) {
                 continue;
             }
             self.pool.remove(req.id);
             weight += req.op.weight();
+            let twopc_note = checker.as_ref().and_then(|_| match &req.op {
+                ahl_ledger::Op::Commit { txid } => Some((txid.0, true, true)),
+                ahl_ledger::Op::Abort { txid } => {
+                    Some((txid.0, false, self.state.has_pending(*txid)))
+                }
+                _ => None,
+            });
             let receipt = self.state.execute(&req.op);
+            if let Some(ck) = &checker {
+                ck.record_exec(self.cfg.committee_id, self.me, req.id);
+                if let Some((txid, is_commit, had_pending)) = twopc_note {
+                    if is_commit {
+                        if receipt.status.is_committed() {
+                            ck.record_twopc(self.cfg.committee_id, txid, true);
+                        }
+                    } else if had_pending {
+                        ck.record_twopc(self.cfg.committee_id, txid, false);
+                    }
+                }
+            }
             if receipt.status.is_committed() {
                 committed += 1;
             }
@@ -457,6 +632,10 @@ impl TmNode {
                 let lat = ctx.now().since(req.submitted);
                 ctx.stats().record_latency(stat::TXN_LATENCY, lat);
             }
+        }
+        if let Some(ck) = &checker {
+            let digest = commit_digest(block.iter().map(|r| r.id));
+            ck.record_commit(self.cfg.committee_id, self.height, digest);
         }
         let exec = self.cfg.exec_cost_per_op.saturating_mul(weight as u64);
         ctx.consume_cpu(exec);
@@ -536,6 +715,15 @@ impl Actor for TmNode {
                     return;
                 }
                 self.charge(ctx, self.cfg.verify_cost);
+                // A colluding equivocator first emits its two-faced echo
+                // votes, then keeps processing like everyone else — it
+                // must track the committee's height (via the observed
+                // quorums) or its own proposer turns would equivocate at
+                // a stale height nobody accepts. Its honest-path votes
+                // stay suppressed by `byzantine_vote`.
+                if self.byzantine && self.cfg.attack == Attack::Equivocate {
+                    self.equivocate_echo(height, round, digest, ctx);
+                }
                 if (height, round) == (self.height, self.round) {
                     self.proposal = Some((digest, block));
                     self.broadcast_prevote(digest, ctx);

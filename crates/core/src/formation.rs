@@ -89,6 +89,31 @@ mod tests {
         assert_eq!(with.reference_members().len(), with.committee_size);
     }
 
+    /// The sizes this pipeline actually deploys satisfy Equation 1 by an
+    /// *independent* computation: the committee-compromise probability at
+    /// the chosen size meets the 2^-20 budget per the direct-product
+    /// reference, and one node fewer would not.
+    #[test]
+    fn formed_committee_sizes_meet_reference_budget() {
+        use ahl_shard::{reference_tail, Resilience};
+        let target = 2f64.powf(-20.0);
+        for (total, s) in [(972, 0.25), (972, 0.125), (1000, 0.2)] {
+            let f = form(total, s, Resilience::OneHalf, 20.0, true, 7).expect("formable");
+            let n = f.committee_size;
+            let byz = (total as f64 * s).floor() as usize;
+            let threshold = Resilience::OneHalf.failure_threshold(n);
+            assert!(
+                reference_tail(total, byz, n, threshold) <= target,
+                "deployed n = {n} violates the budget at total {total}, s {s}"
+            );
+            let smaller = Resilience::OneHalf.failure_threshold(n - 1);
+            assert!(
+                reference_tail(total, byz, n - 1, smaller) > target,
+                "deployed n = {n} is not minimal at total {total}, s {s}"
+            );
+        }
+    }
+
     #[test]
     fn too_small_network_unformable() {
         // At a 50% adversary no committee size is safe under the one-half

@@ -2,6 +2,7 @@
 //! one AHL+ committee per shard, an optional reference committee for
 //! cross-shard transactions, and closed-loop cross-shard clients.
 
+use ahl_consensus::adversary::{Attack, SafetyChecker};
 use ahl_consensus::harness::NetChoice;
 use ahl_consensus::pbft::{add_committee, BftVariant, PbftConfig, PbftMsg, ReplyPolicy};
 use ahl_ledger::Value;
@@ -103,6 +104,19 @@ pub struct SystemConfig {
     /// WAL tuning when `data_dir` is set (fsync policy, segment size,
     /// crash injection).
     pub wal: ahl_wal::WalConfig,
+    /// Byzantine replicas per committee (highest group indices of every
+    /// shard committee *and* the reference committee).
+    pub byzantine: usize,
+    /// What the Byzantine replicas do (see [`Attack`]).
+    pub attack: Attack,
+    /// Number of clients (of [`SystemConfig::clients`]) replaced by
+    /// Byzantine 2PC drivers: they replay every protocol step and
+    /// deliver decisions selectively/duplicated/reordered. The on-chain
+    /// Figure 6 guards and replica-side dedup must mask all of it.
+    pub malicious_clients: usize,
+    /// Global safety oracle wired into every honest replica (`None` = no
+    /// observation overhead; see [`SafetyChecker`]).
+    pub safety: Option<SafetyChecker>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -126,6 +140,10 @@ impl SystemConfig {
             rate_control: crate::xclient::RateControl::Fixed,
             data_dir: None,
             wal: ahl_wal::WalConfig::default(),
+            byzantine: 0,
+            attack: Attack::default(),
+            malicious_clients: 0,
+            safety: None,
             seed: 42,
         }
     }
@@ -164,6 +182,10 @@ pub struct SystemMetrics {
     /// Sum of all integer balances across shard ledgers at the end of the
     /// run (conservation audit; `None` for non-monetary workloads).
     pub final_balance: Option<i64>,
+    /// Safety violations recorded by the run's [`SafetyChecker`]
+    /// (0 when none was configured — and 0 in every run with the
+    /// Byzantine count within bound, or the run is broken).
+    pub safety_violations: u64,
 }
 
 /// Run the full sharded system and report logical-transaction metrics.
@@ -198,6 +220,9 @@ pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
     pbft.cpu_scale = cfg.net.cpu_scale();
     pbft.data_dir = cfg.data_dir.clone();
     pbft.wal = cfg.wal.clone();
+    pbft.byzantine = cfg.byzantine;
+    pbft.attack = cfg.attack;
+    pbft.safety = cfg.safety.clone();
 
     let map = ShardMap::new(cfg.shards);
     let genesis = cfg.workload.genesis();
@@ -210,13 +235,17 @@ pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
             .filter(|(k, _)| map.shard_of(k) == shard)
             .cloned()
             .collect();
-        let group = add_committee(&mut sim, &pbft, &local, cfg.seed ^ (shard as u64 + 1) << 20);
+        let mut ccfg = pbft.clone();
+        ccfg.committee_id = shard;
+        let group = add_committee(&mut sim, &ccfg, &local, cfg.seed ^ (shard as u64 + 1) << 20);
         shard_entry.push(group[0]);
     }
     // The reference committee starts with an empty ledger.
     const REF_SEED_SALT: u64 = 0x5EF5_EF5E;
     let ref_entry: NodeId = if cfg.with_reference {
-        let group = add_committee(&mut sim, &pbft, &[], cfg.seed ^ REF_SEED_SALT);
+        let mut ccfg = pbft.clone();
+        ccfg.committee_id = cfg.shards;
+        let group = add_committee(&mut sim, &ccfg, &[], cfg.seed ^ REF_SEED_SALT);
         group[0]
     } else {
         shard_entry[0]
@@ -246,7 +275,8 @@ pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
             SimDuration::from_secs(8),
             cfg.workload.factory(),
         )
-        .with_rate_control(cfg.rate_control);
+        .with_rate_control(cfg.rate_control)
+        .with_sabotage(c < cfg.malicious_clients);
         sim.add_actor(Box::new(client), QueueConfig::unbounded());
     }
 
@@ -306,6 +336,11 @@ pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
         bytes_synced: stats.counter(ahl_consensus::stat::SYNC_BYTES),
         proof_failures: stats.counter(ahl_consensus::stat::SYNC_PROOF_FAILURES),
         final_balance,
+        safety_violations: cfg
+            .safety
+            .as_ref()
+            .map(|s| s.violations().len() as u64)
+            .unwrap_or(0),
     }
 }
 

@@ -153,6 +153,11 @@ pub struct CrossShardClient {
     req_index: HashMap<u64, Pending>,
     /// Steps bounced by pool backpressure, waiting out the backoff.
     retry_buf: Vec<Pending>,
+    /// Byzantine driver mode: replay every protocol step and deliver
+    /// decisions duplicated and in reverse shard order. The on-chain
+    /// Figure 6 guards plus replica-side request dedup must mask all of
+    /// it — exercised by the byzantine test battery.
+    sabotage: bool,
 }
 
 /// An outstanding protocol step (kept so rejected steps can be retried).
@@ -163,6 +168,13 @@ struct Pending {
     step: Step,
     target: NodeId,
     op: Op,
+    /// First-submission time. Same-id retries MUST reuse it: the
+    /// replicas' replay horizon (`request_ttl`) is anchored at the
+    /// original submission, so a request id can only be admitted while
+    /// the executed-id cache is still guaranteed to remember it.
+    /// Refreshing the timestamp on retry would re-open the
+    /// replay-after-prune window the Byzantine battery closed.
+    submitted: SimTime,
 }
 
 impl CrossShardClient {
@@ -191,30 +203,46 @@ impl CrossShardClient {
             inflight: HashMap::new(),
             req_index: HashMap::new(),
             retry_buf: Vec::new(),
+            sabotage: false,
         }
     }
 
     fn send_request(&mut self, ctx: &mut Ctx<'_, PbftMsg>, target: NodeId, op: Op, txid: TxId, step: Step) {
         let req_id = Request::make_id(ctx.id(), self.next_req);
         self.next_req = self.next_req.wrapping_add(1);
+        let submitted = ctx.now();
         self.req_index
-            .insert(req_id, Pending { req_id, txid, step, target, op: op.clone() });
-        let req = Request { id: req_id, client: ctx.id(), op, submitted: ctx.now() };
+            .insert(req_id, Pending { req_id, txid, step, target, op: op.clone(), submitted });
+        let req = Request { id: req_id, client: ctx.id(), op, submitted };
+        if self.sabotage {
+            // Replay attack: every step goes out twice under the same
+            // request id. Replica-side dedup + the on-chain vote/decision
+            // guards must make the copy a no-op.
+            ctx.send(target, PbftMsg::Request(req.clone()));
+        }
         ctx.send(target, PbftMsg::Request(req));
     }
 
-    /// Lock-releasing aborts must reach the shard even after the driver
-    /// has forgotten the transaction (the watchdog `finish`es a stalled tx
-    /// right after sending its aborts): a dropped abort would leak the 2PL
-    /// locks forever, since only Commit/Abort releases them.
+    /// Lock-releasing decisions must reach the shard even after the
+    /// driver has forgotten the transaction (the watchdog `finish`es a
+    /// stalled tx right after resending its decision): a dropped
+    /// Commit/Abort would leak the 2PL locks forever, since only they
+    /// release locks.
     fn must_deliver(op: &Op) -> bool {
-        matches!(op, Op::Abort { .. })
+        matches!(op, Op::Abort { .. } | Op::Commit { .. })
     }
 
     /// Select this driver's backpressure policy (builder-style; the
     /// default is [`RateControl::Fixed`]).
     pub fn with_rate_control(mut self, rc: RateControl) -> Self {
         self.window = AimdWindow::new(rc, self.window.max_size());
+        self
+    }
+
+    /// Turn this driver into a Byzantine 2PC participant (builder-style):
+    /// replays every step, delivers decisions duplicated and reordered.
+    pub fn with_sabotage(mut self, on: bool) -> Self {
+        self.sabotage = on;
         self
     }
 
@@ -242,14 +270,27 @@ impl CrossShardClient {
             if !self.inflight.contains_key(&p.txid) && !Self::must_deliver(&p.op) {
                 continue;
             }
-            // Retry under the ORIGINAL request id: replica-side dedup then
-            // guarantees at most one execution even if an earlier copy of
-            // this step is still sitting in some pool.
+            if Self::must_deliver(&p.op) {
+                // Lock-releasing decisions are idempotent at the shard
+                // (pending/resolved bookkeeping), so they need no dedup —
+                // re-issue them as *fresh* requests, which keeps them
+                // deliverable past the replay horizon (a refused late
+                // abort would leak 2PL locks forever).
+                self.send_request(ctx, p.target, p.op, p.txid, p.step);
+                continue;
+            }
+            // Retry under the ORIGINAL request id *and* the original
+            // submission time: the id guarantees at-most-once execution
+            // through replica-side dedup, and the unchanged timestamp
+            // keeps the retry inside the replay horizon that dedup is
+            // guaranteed to cover. A step still bouncing when the horizon
+            // expires is refused by the replicas; the stall watchdog then
+            // reaps the transaction.
             let req = Request {
                 id: p.req_id,
                 client: ctx.id(),
                 op: p.op.clone(),
-                submitted: ctx.now(),
+                submitted: p.submitted,
             };
             ctx.send(p.target, PbftMsg::Request(req));
             self.req_index.insert(p.req_id, p);
@@ -363,7 +404,7 @@ impl CrossShardClient {
                     entry.decided = true;
                     // The decision is now recorded on R's chain; deliver it.
                     let commit = !entry.any_not_ok;
-                    let sends: Vec<(NodeId, Op, usize)> = entry
+                    let mut sends: Vec<(NodeId, Op, usize)> = entry
                         .parts
                         .iter()
                         .map(|(shard, _)| {
@@ -375,6 +416,12 @@ impl CrossShardClient {
                             (self.shard_targets[*shard], op, *shard)
                         })
                         .collect();
+                    if self.sabotage {
+                        // Selective-order delivery: last shard first. The
+                        // decision is the same everywhere (it comes off
+                        // R's chain), so ordering must not matter.
+                        sends.reverse();
+                    }
                     for (target, op, shard) in sends {
                         self.send_request(ctx, target, op, txid, Step::Decide(shard));
                     }
@@ -392,7 +439,13 @@ impl CrossShardClient {
 
     fn watchdog(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         // Abandon transactions that stalled (lost replies, view changes);
-        // send aborts so shard locks are released, then refill the window.
+        // resend the decision so shard locks are released, then refill
+        // the window. A transaction whose commit was already decided on
+        // R's chain gets its *commit* resent, never an abort: aborting a
+        // decided-commit transaction whose deliveries were partially
+        // applied would discard one shard's write set after another
+        // shard applied its half — a cross-shard atomicity break the
+        // SafetyChecker flags.
         let now = ctx.now();
         let stalled: Vec<TxId> = self
             .inflight
@@ -401,18 +454,23 @@ impl CrossShardClient {
             .map(|(id, _)| *id)
             .collect();
         for txid in stalled {
+            let mut committed = false;
             if let Some(entry) = self.inflight.get(&txid) {
+                committed = entry.decided && !entry.any_not_ok;
                 let sends: Vec<(NodeId, Op)> = entry
                     .parts
                     .iter()
-                    .map(|(shard, _)| (self.shard_targets[*shard], Op::Abort { txid }))
+                    .map(|(shard, _)| {
+                        let op = if committed { Op::Commit { txid } } else { Op::Abort { txid } };
+                        (self.shard_targets[*shard], op)
+                    })
                     .collect();
                 for (target, op) in sends {
                     self.send_request(ctx, target, op, txid, Step::Decide(usize::MAX));
                 }
             }
             ctx.stats().inc(sysstat::SYS_STALLED, 1);
-            self.finish(txid, false, ctx);
+            self.finish(txid, committed, ctx);
         }
         while self.inflight.len() < self.window.effective() && ctx.now() < self.stop_at {
             let before = self.inflight.len();

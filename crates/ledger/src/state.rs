@@ -348,6 +348,13 @@ impl StateStore {
         self.pending.len()
     }
 
+    /// Whether `txid` holds a prepared-but-unresolved write set here.
+    /// (Adversary harness: distinguishes a decision that actually applied
+    /// or discarded a prepared transaction from a no-op late delivery.)
+    pub fn has_pending(&self, txid: TxId) -> bool {
+        self.pending.contains_key(&txid)
+    }
+
     /// Number of remembered resolved-transaction ids (bounded by
     /// [`StateStore::checkpoint_prune`]).
     pub fn resolved_count(&self) -> usize {

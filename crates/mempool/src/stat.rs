@@ -19,6 +19,11 @@ pub const BATCHED: &str = "mempool.batched";
 pub const BATCHES: &str = "mempool.batches";
 /// Counter: batches flushed by the timeout trigger (partial batches).
 pub const TIMEOUT_FLUSHES: &str = "mempool.timeout_flushes";
+/// Counter: pooled transactions re-relayed to the new leader after a view
+/// change (the regossip round that rescues client transactions stranded
+/// at a deposed or Byzantine leader — both the replicas' own push on
+/// entering the view and their answers to the new leader's pool pull).
+pub const VIEWCHANGE_REGOSSIP: &str = "mempool.viewchange_regossip";
 /// Histogram: admission → batch-formation queueing latency.
 pub const QUEUE_LATENCY: &str = "mempool.queue_latency";
 /// Series: pool occupancy (transactions) sampled at each batch formation.

@@ -91,6 +91,40 @@ pub fn hypergeom_tail(lf: &LnFact, total: usize, byz: usize, n: usize, threshold
     sum.min(1.0)
 }
 
+/// Independently coded reference for [`hypergeom_tail`]: the same tail
+/// probability computed by direct binomial-coefficient products (no log
+/// tables, no shared code path). Exists so property tests can pin the
+/// fast implementation — and through it the committee sizes
+/// `formation.rs` derives — against a second derivation of Equation 1.
+pub fn reference_tail(total: usize, byz: usize, n: usize, threshold: usize) -> f64 {
+    fn choose(n: usize, k: usize) -> f64 {
+        if k > n {
+            return 0.0;
+        }
+        let mut acc = 1.0f64;
+        for i in 0..k {
+            acc *= (n - i) as f64 / (i + 1) as f64;
+        }
+        acc
+    }
+    if threshold == 0 {
+        return 1.0;
+    }
+    let hi = n.min(byz);
+    if threshold > hi {
+        return 0.0;
+    }
+    let denom = choose(total, n);
+    let mut sum = 0.0f64;
+    for x in threshold..=hi {
+        if n - x > total - byz {
+            continue;
+        }
+        sum += choose(byz, x) * choose(total - byz, n - x) / denom;
+    }
+    sum.min(1.0)
+}
+
 /// Probability that a committee of `n` drawn from `total` nodes with a
 /// fraction `s` Byzantine is faulty under `rule` (Equation 1 applied to the
 /// rule's failure threshold).
@@ -248,7 +282,68 @@ mod tests {
         assert!(p_small_batch > p_big_batch);
     }
 
+    /// The committee sizes the paper's table (and `formation.rs`) is
+    /// built from: the log-factorial implementation must agree with the
+    /// direct-product reference at every (total, s) the formation
+    /// pipeline uses, and the chosen size must be *minimal* — one node
+    /// fewer already violates the 2^-20 budget.
+    #[test]
+    fn formation_table_sizes_match_reference() {
+        let target = 2f64.powf(-20.0);
+        // (The direct-product reference runs out of f64 range beyond
+        // ~1500-node networks — C(2400, 600) ≈ 10^600 — so the PBFT-rule
+        // row uses a 600-node network; the log-factorial implementation
+        // itself has no such limit.)
+        for (total, s, rule) in [
+            (972, 0.25, Resilience::OneHalf),  // §7.3 GCP, 25% adversary
+            (972, 0.125, Resilience::OneHalf), // §7.3 GCP, 12.5% adversary
+            (1000, 0.25, Resilience::OneHalf), // §5.2 running example
+            (600, 0.25, Resilience::OneThird), // PBFT rule comparison
+        ] {
+            let lf = LnFact::new(total.max(64) + 1);
+            let n = min_committee_size(&lf, total, s, rule, 20.0).expect("formable");
+            let byz = (total as f64 * s).floor() as usize;
+            let fast = faulty_committee_prob(&lf, total, s, n, rule);
+            let exact = reference_tail(total, byz, n, rule.failure_threshold(n));
+            assert!(
+                (fast - exact).abs() <= 1e-9 * exact.max(1e-30),
+                "total {total} s {s}: fast {fast} vs reference {exact}"
+            );
+            assert!(exact <= target, "chosen n = {n} must meet the budget");
+            if n > 1 {
+                let below =
+                    reference_tail(total, byz, n - 1, rule.failure_threshold(n - 1));
+                assert!(
+                    below > target,
+                    "n = {n} must be minimal: n-1 gives {below:e} <= {target:e}"
+                );
+            }
+        }
+    }
+
     proptest::proptest! {
+        /// The fast (log-factorial) Equation 1 agrees with the direct
+        /// product-form reference across the whole parameter box.
+        #[test]
+        fn tail_matches_reference_computation(
+            total in 10usize..220,
+            byz_frac in 0.0f64..0.6,
+            n_frac in 0.05f64..1.0,
+            thr_frac in 0.0f64..1.2,
+        ) {
+            let lf = LnFact::new(256);
+            let byz = (total as f64 * byz_frac) as usize;
+            let n = ((total as f64 * n_frac) as usize).clamp(1, total);
+            let threshold = (n as f64 * thr_frac) as usize;
+            let fast = hypergeom_tail(&lf, total, byz, n, threshold);
+            let exact = reference_tail(total, byz, n, threshold);
+            proptest::prop_assert!(
+                (fast - exact).abs() <= 1e-9 * exact.max(1e-30) + 1e-12,
+                "total {} byz {} n {} thr {}: {} vs {}",
+                total, byz, n, threshold, fast, exact
+            );
+        }
+
         /// Tail probabilities are valid probabilities and monotone in the
         /// threshold.
         #[test]

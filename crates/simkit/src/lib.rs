@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 mod engine;
 pub mod rng;
 pub mod stats;

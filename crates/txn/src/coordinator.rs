@@ -89,6 +89,13 @@ impl Coordinator {
         self.txs.get(&txid).map(|e| &e.state)
     }
 
+    /// The shard set `txid` registered with Begin, if known. Decisions
+    /// are delivered to exactly this recorded set — never to a shard
+    /// list claimed by an (untrusted) relay.
+    pub fn shards_of(&self, txid: TxId) -> Option<&[usize]> {
+        self.txs.get(&txid).map(|e| e.shards.as_slice())
+    }
+
     /// Number of transactions tracked.
     pub fn len(&self) -> usize {
         self.txs.len()

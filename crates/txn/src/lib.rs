@@ -14,9 +14,13 @@
 //!   OmniLedger's indefinite blocking under a malicious client coordinator.
 //! * [`crossshard`] — Appendix B: the probability that a d-argument
 //!   transaction is cross-shard.
+//! * [`adversary`] — malicious 2PC participants (lying votes, decision
+//!   equivocation, selective delivery, replay storms) and the checked
+//!   protocol surface that shows the BFT reference committee masks them.
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod baselines;
 pub mod coordinator;
 pub mod crossshard;
@@ -24,6 +28,7 @@ pub mod library;
 pub mod protocol;
 pub mod shardmap;
 
+pub use adversary::{recovery_sweep, MaliciousRelay, RelayAttack};
 pub use coordinator::{CoordAction, CoordEvent, CoordState, Coordinator};
 pub use library::{smallbank_chaincode, ChaincodeError, ChaincodeFn, ShardedChaincode, TxHandle};
 pub use protocol::{MultiShardLedger, TxOutcome};

@@ -32,6 +32,11 @@ pub struct MultiShardLedger {
     pub map: ShardMap,
     /// The (logically replicated) coordinator.
     pub coordinator: Coordinator,
+    /// Forged decision claims refused by [`MultiShardLedger::deliver_checked`].
+    pub forged_decisions: u64,
+    /// Forged prepare-vote claims refused by
+    /// [`MultiShardLedger::feed_vote_checked`].
+    pub forged_votes: u64,
 }
 
 impl MultiShardLedger {
@@ -41,6 +46,8 @@ impl MultiShardLedger {
             shards: (0..k).map(|_| StateStore::new()).collect(),
             map: ShardMap::new(k),
             coordinator: Coordinator::new(),
+            forged_decisions: 0,
+            forged_votes: 0,
         }
     }
 
@@ -182,6 +189,60 @@ impl MultiShardLedger {
             }
             _ => {}
         }
+    }
+
+    /// Deliver a *claimed* decision the way a real shard committee does:
+    /// validated against the reference committee's replicated state
+    /// first. In the distributed protocol every CommitTx/AbortTx carries
+    /// R's quorum certificate over the Figure 6 decision; a relay (the
+    /// client drives message flow in §6.3) can therefore delay a
+    /// decision, but it cannot *forge* one — this method models exactly
+    /// that check. Returns `false` (and delivers nothing) when the claim
+    /// contradicts R's recorded decision, which is how a malicious
+    /// client's coordinator equivocation is masked.
+    pub fn deliver_checked(&mut self, txid: TxId, claimed: &CoordAction) -> bool {
+        let decided = self.coordinator.state(txid);
+        let valid = match claimed {
+            CoordAction::SendCommit(_) => matches!(decided, Some(CoordState::Committed)),
+            CoordAction::SendAbort(_) => matches!(decided, Some(CoordState::Aborted)),
+            _ => true, // nothing to deliver
+        };
+        if !valid {
+            self.forged_decisions += 1;
+            return false;
+        }
+        // The shard set is likewise taken from R's records, not from the
+        // claim: a forged shard list must not reach uninvolved shards.
+        let shards: Vec<usize> = self.coordinator.shards_of(txid).unwrap_or(&[]).to_vec();
+        let op = match claimed {
+            CoordAction::SendCommit(_) => CoordAction::SendCommit(shards),
+            CoordAction::SendAbort(_) => CoordAction::SendAbort(shards),
+            _ => return true,
+        };
+        self.deliver(txid, &op);
+        true
+    }
+
+    /// Feed a *claimed* prepare vote for `shard` the way the reference
+    /// committee accepts votes in AHL: quorum-certified by the shard's
+    /// own committee, which means the claim must match what the shard
+    /// actually holds — a prepared write set for an OK, none for a
+    /// NotOK. A lying claim is refused (counted in
+    /// [`MultiShardLedger::forged_votes`]) and the coordinator state is
+    /// untouched; this is the §6.2 argument that a malicious relay
+    /// cannot turn a failed prepare into a commit.
+    pub fn feed_vote_checked(&mut self, txid: TxId, shard: usize, claimed_ok: bool) -> CoordAction {
+        let actually_prepared = self.shards[shard].has_pending(txid);
+        if claimed_ok != actually_prepared {
+            self.forged_votes += 1;
+            return CoordAction::None;
+        }
+        let vote = if claimed_ok {
+            CoordEvent::PrepareOk { shard }
+        } else {
+            CoordEvent::PrepareNotOk { shard }
+        };
+        self.coordinator.apply(txid, vote)
     }
 
     /// The coordinator's view of `txid`.

@@ -42,6 +42,12 @@ pub enum FsyncPolicy {
     Always,
     /// Sync every `n` commits (batched group commit): bounded loss window.
     EveryN(u32),
+    /// Sync once the bytes written since the last sync reach the
+    /// threshold (group commit by *volume*): bounds the loss window in
+    /// bytes rather than commits, which is the better knob when record
+    /// sizes vary wildly — many small commits amortize into one sync,
+    /// while a single huge batch still syncs promptly.
+    EveryBytes(u64),
     /// Never sync: fastest; durable through process kill but not power
     /// loss. The right policy for deterministic simulation runs.
     Off,
@@ -95,6 +101,7 @@ pub struct Wal {
     segments: Vec<u64>,
     pending: Vec<Vec<u8>>,
     commits_since_sync: u32,
+    bytes_since_sync: u64,
     stats: WalStats,
 }
 
@@ -122,6 +129,7 @@ impl Wal {
                 segments: keep,
                 pending: Vec::new(),
                 commits_since_sync: 0,
+                bytes_since_sync: 0,
                 stats: WalStats::default(),
             },
             records,
@@ -155,6 +163,7 @@ impl Wal {
             }
             self.active.write_all(&frame)?;
             self.active_bytes += frame.len() as u64;
+            self.bytes_since_sync += frame.len() as u64;
             self.stats.records += 1;
             self.stats.bytes += frame.len() as u64;
         }
@@ -163,6 +172,7 @@ impl Wal {
             FsyncPolicy::Always => {
                 self.active.sync_data()?;
                 self.stats.syncs += 1;
+                self.bytes_since_sync = 0;
             }
             FsyncPolicy::EveryN(n) => {
                 self.commits_since_sync += 1;
@@ -170,6 +180,14 @@ impl Wal {
                     self.active.sync_data()?;
                     self.stats.syncs += 1;
                     self.commits_since_sync = 0;
+                    self.bytes_since_sync = 0;
+                }
+            }
+            FsyncPolicy::EveryBytes(threshold) => {
+                if self.bytes_since_sync >= threshold.max(1) {
+                    self.active.sync_data()?;
+                    self.stats.syncs += 1;
+                    self.bytes_since_sync = 0;
                 }
             }
             FsyncPolicy::Off => {}
@@ -198,6 +216,7 @@ impl Wal {
             self.active.sync_data()?;
             self.stats.syncs += 1;
             self.commits_since_sync = 0;
+            self.bytes_since_sync = 0;
         }
         let next = self.segments.last().expect("non-empty") + 1;
         self.active = File::create(segment_path(&self.dir, next))?;
@@ -370,6 +389,36 @@ mod tests {
             assert_eq!(wal.stats().syncs, expect_syncs, "{policy:?}");
             assert_eq!(wal.stats().commits, 10);
         }
+    }
+
+    #[test]
+    fn fsync_every_bytes_amortizes_by_volume() {
+        // Fixed-size records: 16-byte payload + 8-byte frame = 24 bytes.
+        let rec = |i: u64| {
+            let mut p = i.to_be_bytes().to_vec();
+            p.extend_from_slice(&[0xCD; 8]);
+            p
+        };
+        let dir = TempDir::new("wal-fsync-bytes");
+        let cfg = WalConfig { fsync: FsyncPolicy::EveryBytes(96), ..WalConfig::default() };
+        let (mut wal, _) = Wal::open(dir.path(), cfg).expect("open");
+        // Ten 1-record commits = 240 bytes: the 96-byte threshold trips
+        // after commits 4 and 8 (96 bytes accumulated each time).
+        for i in 0..10 {
+            wal.append(rec(i));
+            wal.commit().expect("commit");
+        }
+        assert_eq!(wal.stats().syncs, 2, "volume-based group commit");
+        // One oversized batch syncs immediately — the loss window is
+        // bounded in bytes, not commits.
+        for i in 10..15 {
+            wal.append(rec(i));
+        }
+        wal.commit().expect("big batch");
+        assert_eq!(wal.stats().syncs, 3);
+        drop(wal);
+        let (_, records) = Wal::open(dir.path(), WalConfig::default()).expect("reopen");
+        assert_eq!(records.len(), 15);
     }
 
     #[test]

@@ -368,6 +368,74 @@ fn sharded_system_runs_on_disk() {
     }
 }
 
+/// Long-soak restart storm *under attack*: a rotating minority of honest
+/// replicas is repeatedly killed and restarted (recovering through their
+/// reopened node directories each time) while one Byzantine replica
+/// double-votes every proposal it sees (the equivocation-collusion
+/// attack). The committee must stay safe the whole way — the global
+/// SafetyChecker observes every honest commit, execution, and 2PC
+/// resolution across every restart lineage — and goodput must recover
+/// after the storm ends.
+#[test]
+fn restart_storm_with_equivocator_stays_safe_and_recovers() {
+    use ahl::consensus::adversary::{Attack, SafetyChecker};
+    use ahl::consensus::stat as cstat;
+
+    let dir = TempDir::new("recovery-storm");
+    let checker = SafetyChecker::new();
+    let mut cfg = PbftConfig::new(BftVariant::Hl, 5);
+    cfg.checkpoint_interval = 100;
+    cfg.sync_chunk_target = 64;
+    cfg.byzantine = 1;
+    cfg.byzantine_set = Some(vec![4]); // a colluding double-voter
+    cfg.attack = Attack::Equivocate;
+    cfg.safety = Some(checker.clone());
+    // A crashed *leader* must be deposed well inside the storm cadence,
+    // or the committee idles out the rest of the run waiting on it.
+    cfg.vc_timeout = SimDuration::from_millis(400);
+    // Rotating-minority storm: nodes 1, 2, 3 die and recover in turn;
+    // node 1 goes down twice. At most one honest replica is dark at a
+    // time, so the quorum of 3 honest live replicas always exists.
+    let storm = vec![
+        (SimDuration::from_millis(2_000), 1, PbftMsg::Crash),
+        (SimDuration::from_millis(3_500), 1, PbftMsg::Restart),
+        (SimDuration::from_millis(4_000), 2, PbftMsg::Crash),
+        (SimDuration::from_millis(5_500), 2, PbftMsg::Restart),
+        (SimDuration::from_millis(6_000), 3, PbftMsg::Crash),
+        (SimDuration::from_millis(7_500), 3, PbftMsg::Restart),
+        (SimDuration::from_millis(8_000), 1, PbftMsg::Crash),
+        (SimDuration::from_millis(9_500), 1, PbftMsg::Restart),
+    ];
+    let (sim, group, expected) =
+        run_persistent_scenario(cfg, dir.path(), 60, 12, 16, storm, 45);
+    let stats = sim.stats();
+    // The storm really happened, and recovery went through the disk.
+    assert_eq!(stats.counter("sync.crashes"), 4);
+    assert_eq!(stats.counter("sync.restarts"), 4);
+    assert!(stats.counter(cstat::WAL_REPLAYED) >= 1, "WAL tails replayed");
+    // The Byzantine replica also corrupts any sync chunks it serves;
+    // recovering nodes must detect every tampered chunk (counted as a
+    // proof failure) and complete recovery from honest peers anyway —
+    // so proof failures are *allowed* here, unverified state is not.
+    assert_eq!(stats.counter(cstat::WAL_REPLAY_MISMATCHES), 0);
+    // Safety under the combined adversary: every honest commit agreed,
+    // nothing executed twice within a lineage, 2PC stayed atomic.
+    checker.assert_clean();
+    assert!(checker.commit_records() > 0, "the checker observed the run");
+    // Goodput recovered once the storm ended: commits flow in the
+    // post-storm window (storm ends at 9.5 s, load runs to 12 s).
+    let post_storm = stats.rate_in_window(
+        cstat::COMMIT_SERIES,
+        SimTime::ZERO + SimDuration::from_secs(10),
+        SimTime::ZERO + SimDuration::from_secs(12),
+    );
+    assert!(post_storm > 50.0, "post-storm goodput {post_storm:.0} tps");
+    // And the survivors agree on the ledger, funds intact.
+    assert_recovered(&sim, &group, 1, expected);
+    assert_recovered(&sim, &group, 2, expected);
+    assert_recovered(&sim, &group, 3, expected);
+}
+
 /// Multi-root advertisement: two replicas crash and restart staggered, so
 /// one recovering node may ask a peer that itself just restarted (whose
 /// snapshot window holds only its own durable checkpoint). Because
