@@ -3,8 +3,13 @@
 //! ```sh
 //! cargo run --release -p ahl-bench --bin experiments -- <id>... [--quick]
 //! cargo run --release -p ahl-bench --bin experiments -- all --quick
+//! cargo run --release -p ahl-bench --bin experiments -- fig8 --quick --json out.json
 //! cargo run --release -p ahl-bench --bin experiments -- list
 //! ```
+//!
+//! `--json <path>` additionally runs a canonical full-system smoke cell
+//! and writes a machine-readable report (run config, aggregate metrics,
+//! per-shard committed counts, phase-latency percentiles) to `path`.
 
 use ahl_bench::{figs, run_all, Scale};
 
@@ -38,7 +43,7 @@ const IDS: &[(&str, &str)] = &[
 ];
 
 fn usage() -> ! {
-    println!("usage: experiments <id>... [--quick]\n");
+    println!("usage: experiments <id>... [--quick] [--json <path>]\n");
     println!("experiments:");
     for (id, desc) in IDS {
         println!("  {id:8} {desc}");
@@ -55,9 +60,23 @@ fn main() {
     }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let scale = if quick { Scale::Quick } else { Scale::Full };
+    let json_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+    let mut skip_next = false;
     let ids: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with('-'))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--json" {
+                skip_next = true;
+            }
+            !a.starts_with('-')
+        })
         .map(String::as_str)
         .collect();
     if ids.is_empty() || ids.contains(&"list") {
@@ -65,7 +84,7 @@ fn main() {
     }
 
     let started = std::time::Instant::now();
-    for id in ids {
+    for &id in &ids {
         match id {
             "all" => run_all(scale),
             "table1" => figs::table1(),
@@ -99,6 +118,14 @@ fn main() {
                 usage();
             }
         }
+    }
+    if let Some(path) = json_path {
+        let report = ahl_bench::json::smoke_report(quick, &ids);
+        std::fs::write(&path, report.render()).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\n(json report written to {path})");
     }
     println!("\n(total wall time: {:.1}s)", started.elapsed().as_secs_f64());
 }

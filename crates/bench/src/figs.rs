@@ -59,6 +59,11 @@ impl Scale {
 
 // ---------- shared cell runners ----------
 
+/// Format a latency as milliseconds with one decimal.
+fn lat_ms(d: SimDuration) -> String {
+    f1(d.as_nanos() as f64 / 1e6)
+}
+
 /// Run one single-committee cell with the standard KVStore open-loop load.
 fn bft_cell(variant: BftVariant, n: usize, net: NetChoice, byz: usize, scale: Scale, seed: u64) -> RunMetrics {
     let mut pbft = PbftConfig::new(variant, n);
@@ -593,7 +598,7 @@ pub fn fig13(scale: Scale) {
     });
     let mut t = Table::new(
         "Figure 13 (left): Smallbank throughput on cluster (n = 3, f = 1)",
-        &["shards", "N", "AHL+ w R (tps)", "AHL+ w/o R (tps)", "abort %"],
+        &["shards", "N", "AHL+ w R (tps)", "AHL+ w/o R (tps)", "abort %", "p50 (ms)", "p99 (ms)"],
     );
     for (k, (with_r, wo)) in cells {
         t.row(vec![
@@ -602,6 +607,8 @@ pub fn fig13(scale: Scale) {
             f1(with_r.tps),
             f1(wo.total_tps),
             f1(100.0 * with_r.abort_rate),
+            lat_ms(with_r.latency_p50),
+            lat_ms(with_r.latency_p99),
         ]);
     }
     t.print();
@@ -664,9 +671,9 @@ pub fn fig14(scale: Scale) {
 pub fn fig15(scale: Scale) {
     let ns = scale.pick(&[7usize, 19], &[7, 19, 31, 43, 55, 67, 79]);
     let cells = parallel_map(ns, |&n| {
-        let cl: Vec<f64> = VARIANTS
+        let cl: Vec<RunMetrics> = VARIANTS
             .iter()
-            .map(|&v| bft_cell(v, n, NetChoice::Cluster, 0, scale, 6).latency_mean.as_secs_f64())
+            .map(|&v| bft_cell(v, n, NetChoice::Cluster, 0, scale, 6))
             .collect();
         let gc = bft_cell(BftVariant::AhlPlus, n, NetChoice::Gcp { regions: 8 }, 0, scale, 6)
             .latency_mean
@@ -675,15 +682,17 @@ pub fn fig15(scale: Scale) {
     });
     let mut t = Table::new(
         "Figure 15: mean latency (s) vs N",
-        &["N", "HL", "AHL", "AHL+", "AHLR", "AHL+ on GCP"],
+        &["N", "HL", "AHL", "AHL+", "AHLR", "AHL+ p50", "AHL+ p99", "AHL+ on GCP"],
     );
     for (n, (cl, gc)) in cells {
         t.row(vec![
             n.to_string(),
-            f3(cl[0]),
-            f3(cl[1]),
-            f3(cl[2]),
-            f3(cl[3]),
+            f3(cl[0].latency_mean.as_secs_f64()),
+            f3(cl[1].latency_mean.as_secs_f64()),
+            f3(cl[2].latency_mean.as_secs_f64()),
+            f3(cl[3].latency_mean.as_secs_f64()),
+            f3(cl[2].latency_p50.as_secs_f64()),
+            f3(cl[2].latency_p99.as_secs_f64()),
             f3(gc),
         ]);
     }
@@ -1117,6 +1126,9 @@ pub fn overload(scale: Scale) {
             "pool rej",
             "stalled",
             "lat (ms)",
+            "p50",
+            "p99",
+            "p999",
             "conserved",
         ],
     );
@@ -1129,7 +1141,10 @@ pub fn overload(scale: Scale) {
             m.rejected.to_string(),
             m.pool_rejections.to_string(),
             m.stalled.to_string(),
-            f1(m.latency_mean.as_nanos() as f64 / 1e6),
+            lat_ms(m.latency_mean),
+            lat_ms(m.latency_p50),
+            lat_ms(m.latency_p99),
+            lat_ms(m.latency_p999),
             if conserved { "yes".into() } else { "NO".into() },
         ]);
     }
@@ -1160,7 +1175,7 @@ pub fn overload(scale: Scale) {
     });
     let mut t = Table::new(
         "Overload: goodput vs offered load, fixed backoff vs pool-aware AIMD (pool cap 48)",
-        &["open txns", "policy", "goodput tps", "rejected", "stalled", "lat (ms)", "conserved"],
+        &["open txns", "policy", "goodput tps", "rejected", "stalled", "lat (ms)", "p99", "conserved"],
     );
     let mut aimd_ok = true;
     let mut by_load: std::collections::HashMap<usize, (f64, f64, u64, u64)> =
@@ -1187,7 +1202,8 @@ pub fn overload(scale: Scale) {
             f1(m.tps),
             m.rejected.to_string(),
             m.stalled.to_string(),
-            f1(m.latency_mean.as_nanos() as f64 / 1e6),
+            lat_ms(m.latency_mean),
+            lat_ms(m.latency_p99),
             if conserved { "yes".into() } else { "NO".into() },
         ]);
     }

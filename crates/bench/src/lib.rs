@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod figs;
+pub mod json;
 pub mod report;
 
 pub use figs::Scale;

@@ -160,6 +160,44 @@ pub fn commit_digest(req_ids: impl IntoIterator<Item = u64>) -> Hash {
     ahl_crypto::sha256_parts(&refs)
 }
 
+impl Violation {
+    /// The committee (shard) whose flight-recorder trace explains this
+    /// violation, when one is attributable; atomicity breaks name the shard
+    /// that applied the write set.
+    pub fn committee(&self) -> Option<usize> {
+        match self {
+            Violation::ConflictingCommit { committee, .. } => Some(*committee),
+            Violation::AtomicityBreak { committed_in, .. } => Some(*committed_in),
+            Violation::DoubleExecution { committee, .. } => Some(*committee),
+        }
+    }
+
+    /// The request/transaction id to pull a lifecycle trace for, if any.
+    pub fn trace_id(&self) -> Option<u64> {
+        match self {
+            Violation::ConflictingCommit { .. } => None,
+            Violation::AtomicityBreak { txid, .. } => Some(*txid),
+            Violation::DoubleExecution { req_id, .. } => Some(*req_id),
+        }
+    }
+
+    /// One-line human-readable summary for anomaly dumps.
+    pub fn summary(&self) -> String {
+        match self {
+            Violation::ConflictingCommit { committee, height, a, b } => format!(
+                "conflicting commit: committee {committee} height {height} digests {:02x}{:02x}.. vs {:02x}{:02x}..",
+                a.0[0], a.0[1], b.0[0], b.0[1]
+            ),
+            Violation::AtomicityBreak { txid, committed_in, aborted_in } => format!(
+                "atomicity break: txn {txid} applied in shard {committed_in}, discarded in shard {aborted_in}"
+            ),
+            Violation::DoubleExecution { committee, replica, req_id } => format!(
+                "double execution: committee {committee} replica {replica} request {req_id}"
+            ),
+        }
+    }
+}
+
 /// One recorded safety violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Violation {
@@ -292,6 +330,35 @@ impl SafetyChecker {
             .insert(req_id)
         {
             inner.violations.push(Violation::DoubleExecution { committee, replica, req_id });
+        }
+    }
+
+    /// One honest execution, fully observed: exactly-once bookkeeping plus
+    /// the 2PC decision, when the executed op resolves a prepared
+    /// cross-shard transaction. This is the single entry point every
+    /// protocol's exec path reports through (PBFT live path, PBFT WAL
+    /// replay, IBFT, Tendermint) — the caller supplies `had_pending`
+    /// (whether the shard held a prepared write set *before* executing,
+    /// so no-op abort deliveries are not reported) and `committed`
+    /// (whether a `Commit` op actually applied).
+    pub fn observe_exec(
+        &self,
+        committee: usize,
+        replica: usize,
+        req_id: u64,
+        op: &ahl_ledger::Op,
+        had_pending: bool,
+        committed: bool,
+    ) {
+        self.record_exec(committee, replica, req_id);
+        match op {
+            ahl_ledger::Op::Commit { txid } if committed => {
+                self.record_twopc(committee, txid.0, true);
+            }
+            ahl_ledger::Op::Abort { txid } if had_pending => {
+                self.record_twopc(committee, txid.0, false);
+            }
+            _ => {}
         }
     }
 

@@ -94,6 +94,7 @@ impl<M: ClientProtocol + 'static> Actor for OpenLoopClient<M> {
         self.seq = self.seq.wrapping_add(1);
         let target = self.targets[self.next_target % self.targets.len()];
         self.next_target += 1;
+        ctx.trace(req.id, ahl_simkit::Phase::Submit);
         ctx.send(target, M::make_request(req));
         ctx.stats().inc("client.submitted", 1);
         ctx.set_timer(self.interval, TIMER_SEND);
@@ -225,6 +226,7 @@ impl<M> ClosedLoopClient<M> {
         self.outstanding.insert(req.id);
         let target = self.targets[self.next_target % self.targets.len()];
         self.next_target += 1;
+        ctx.trace(req.id, ahl_simkit::Phase::Submit);
         ctx.send(target, M::make_request(req));
         ctx.stats().inc("client.submitted", 1);
     }

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use ahl_crypto::{sha256_parts, Hash};
 use ahl_ledger::StateStore;
 use ahl_mempool::{Mempool, MempoolConfig};
-use ahl_simkit::{Actor, Ctx, MsgClass, NodeId, SimDuration};
+use ahl_simkit::{Actor, Ctx, MsgClass, NodeId, Phase, Scope, SimDuration};
 
 use crate::adversary::{
     commit_digest, equivocation_half, Attack, EquivocationTracker, SafetyChecker,
@@ -573,32 +573,29 @@ impl IbftNode {
             }
             self.pool.remove(req.id);
             weight += req.op.weight();
-            let twopc_note = checker.as_ref().and_then(|_| match &req.op {
-                ahl_ledger::Op::Commit { txid } => Some((txid.0, true, true)),
-                ahl_ledger::Op::Abort { txid } => {
-                    Some((txid.0, false, self.state.has_pending(*txid)))
-                }
-                _ => None,
-            });
+            let had_pending = match &req.op {
+                ahl_ledger::Op::Abort { txid } => self.state.has_pending(*txid),
+                _ => false,
+            };
             let receipt = self.state.execute(&req.op);
             if let Some(ck) = &checker {
-                ck.record_exec(self.cfg.committee_id, self.me, req.id);
-                if let Some((txid, is_commit, had_pending)) = twopc_note {
-                    if is_commit {
-                        if receipt.status.is_committed() {
-                            ck.record_twopc(self.cfg.committee_id, txid, true);
-                        }
-                    } else if had_pending {
-                        ck.record_twopc(self.cfg.committee_id, txid, false);
-                    }
-                }
+                ck.observe_exec(
+                    self.cfg.committee_id,
+                    self.me,
+                    req.id,
+                    &req.op,
+                    had_pending,
+                    receipt.status.is_committed(),
+                );
             }
+            ctx.trace(req.id, Phase::Exec);
             if receipt.status.is_committed() {
                 committed += 1;
             }
             if self.reporter {
                 let lat = ctx.now().since(req.submitted);
-                ctx.stats().record_latency(stat::TXN_LATENCY, lat);
+                let scope = Scope::committee(self.cfg.committee_id);
+                ctx.stats().record_latency_scoped(stat::TXN_LATENCY, scope, lat);
             }
         }
         if let Some(ck) = &checker {
@@ -611,8 +608,9 @@ impl IbftNode {
         ctx.stats().inc(stat::EXEC_CPU_NS, exec.as_nanos());
         if self.reporter {
             let now = ctx.now();
-            ctx.stats().inc(stat::TXN_COMMITTED, committed);
-            ctx.stats().inc(stat::BLOCKS_COMMITTED, 1);
+            let scope = Scope::committee(self.cfg.committee_id);
+            ctx.stats().inc_scoped(stat::TXN_COMMITTED, scope, committed);
+            ctx.stats().inc_scoped(stat::BLOCKS_COMMITTED, scope, 1);
             ctx.stats().record_point(stat::COMMIT_SERIES, now, committed as f64);
         }
         self.height += 1;

@@ -29,7 +29,7 @@ use ahl_ledger::{
     Block as LedgerBlock, Chain, Key, StateSidecar, StateSnapshot, StateStore, Value,
 };
 use ahl_mempool::{Admission, BatchBuilder, BatchConfig, Mempool};
-use ahl_simkit::{Actor, Ctx, NodeId, SimDuration, SimTime};
+use ahl_simkit::{Actor, Ctx, NodeId, Phase, Scope, SimDuration, SimTime};
 use ahl_store::{
     chunk_bits_for, CheckpointCert, CheckpointTracker, CheckpointVote, SyncError, SyncSession,
 };
@@ -483,6 +483,7 @@ impl Replica {
     fn on_request(&mut self, req: Request, ctx: &mut Ctx<'_, PbftMsg>) {
         // Client-facing ingest: REST + TLS + signature verification.
         self.charge(ctx, self.cfg.ingest_cost, false);
+        ctx.trace(req.id, Phase::Ingest);
         if self.executed_reqs.contains(req.id) {
             // Retransmission of an executed request: nothing to do.
             return;
@@ -502,6 +503,7 @@ impl Replica {
             ctx.send(req.client, PbftMsg::Rejected { req_id: req.id });
             return;
         }
+        ctx.trace(req.id, Phase::Admit);
         if self.cfg.reply_policy == ReplyPolicy::IngestReplica {
             self.ingested.insert(req.id, req.client);
         }
@@ -619,6 +621,9 @@ impl Replica {
         });
         if batch.is_empty() {
             return;
+        }
+        for r in batch.iter() {
+            ctx.trace(r.id, Phase::Propose);
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -1026,6 +1031,11 @@ impl Replica {
         if ready {
             if let Some(inst) = self.insts.get_mut(&seq) {
                 inst.committed = true;
+                if let Some(block) = &inst.block {
+                    for r in block.reqs.iter() {
+                        ctx.trace(r.id, Phase::Commit);
+                    }
+                }
             }
             self.try_execute(ctx);
         }
@@ -1130,6 +1140,11 @@ impl Replica {
         if ready {
             if let Some(inst) = self.insts.get_mut(&proof.seq) {
                 inst.committed = true;
+                if let Some(block) = &inst.block {
+                    for r in block.reqs.iter() {
+                        ctx.trace(r.id, Phase::Commit);
+                    }
+                }
             }
             self.try_execute(ctx);
         }
@@ -1189,29 +1204,25 @@ impl Replica {
             }
             self.pool.remove(req.id);
             weight += req.op.weight();
-            // Safety-oracle 2PC note, taken before execution: an abort
-            // only counts as a discarded decision if a prepared write set
-            // actually existed here.
-            let twopc_note = checker.as_ref().and_then(|_| match &req.op {
-                ahl_ledger::Op::Commit { txid } => Some((txid.0, true, true)),
-                ahl_ledger::Op::Abort { txid } => {
-                    Some((txid.0, false, self.state.has_pending(*txid)))
-                }
-                _ => None,
-            });
+            // An abort only counts as a discarded 2PC decision if a
+            // prepared write set actually existed here — read before
+            // execution releases the locks.
+            let had_pending = match &req.op {
+                ahl_ledger::Op::Abort { txid } => self.state.has_pending(*txid),
+                _ => false,
+            };
             let receipt = self.state.execute(&req.op);
             let ok = receipt.status.is_committed();
             if let Some(ck) = &checker {
-                ck.record_exec(self.cfg.committee_id, self.me, req.id);
-                if let Some((txid, is_commit, had_pending)) = twopc_note {
-                    if is_commit {
-                        if ok {
-                            ck.record_twopc(self.cfg.committee_id, txid, true);
-                        }
-                    } else if had_pending {
-                        ck.record_twopc(self.cfg.committee_id, txid, false);
-                    }
+                ck.observe_exec(self.cfg.committee_id, self.me, req.id, &req.op, had_pending, ok);
+            }
+            ctx.trace(req.id, Phase::Exec);
+            match &req.op {
+                ahl_ledger::Op::Prepare { txid, .. } => ctx.trace(txid.0, Phase::TwoPcPrepare),
+                ahl_ledger::Op::Commit { txid } | ahl_ledger::Op::Abort { txid } => {
+                    ctx.trace(txid.0, Phase::TwoPcDecide)
                 }
+                _ => {}
             }
             if ok {
                 if let (Some(kind), Some(store), Some(txid)) =
@@ -1228,7 +1239,8 @@ impl Replica {
             }
             if self.reporter {
                 let lat = ctx.now().since(req.submitted);
-                ctx.stats().record_latency(stat::TXN_LATENCY, lat);
+                let scope = Scope::committee(self.cfg.committee_id);
+                ctx.stats().record_latency_scoped(stat::TXN_LATENCY, scope, lat);
             }
             if self.cfg.reply_policy == ReplyPolicy::IngestReplica {
                 if let Some(client) = self.ingested.remove(&req.id) {
@@ -1256,9 +1268,10 @@ impl Replica {
         }
         if self.reporter {
             let now = ctx.now();
-            ctx.stats().inc(stat::TXN_COMMITTED, committed);
-            ctx.stats().inc(stat::TXN_ABORTED, aborted);
-            ctx.stats().inc(stat::BLOCKS_COMMITTED, 1);
+            let scope = Scope::committee(self.cfg.committee_id);
+            ctx.stats().inc_scoped(stat::TXN_COMMITTED, scope, committed);
+            ctx.stats().inc_scoped(stat::TXN_ABORTED, scope, aborted);
+            ctx.stats().inc_scoped(stat::BLOCKS_COMMITTED, scope, 1);
             ctx.stats().record_point(stat::COMMIT_SERIES, now, committed as f64);
         }
         // Safety oracle: an honest replica committed this batch at `seq`.
@@ -1273,7 +1286,9 @@ impl Replica {
         // its 2PC journal. An I/O failure here is a crash — the node goes
         // dark and recovers from whatever reached the disk.
         if self.durable_store.is_some() {
-            ctx.stats().inc(stat::WAL_BATCHES, 1);
+            let scope = Scope::replica(self.cfg.committee_id, self.me);
+            ctx.stats().inc_scoped(stat::WAL_BATCHES, scope, 1);
+            ctx.trace(block.seq, Phase::WalCommit);
             self.charge(ctx, SimDuration::from_micros(5), false);
             let failed =
                 self.durable_store.as_mut().map(|s| s.commit().is_err()).unwrap_or(false);
@@ -1323,6 +1338,7 @@ impl Replica {
             self.snapshots.remove(0);
         }
         self.charge(ctx, self.cfg.native_sign, false);
+        ctx.trace(seq, Phase::Checkpoint);
         let key = (self.cfg.crypto == CryptoMode::Real).then_some(&self.key);
         let vote = CheckpointVote::new(seq, root, self.me, key);
         ctx.multicast(self.others(), PbftMsg::Checkpoint { vote: vote.clone() });
@@ -1559,6 +1575,7 @@ impl Replica {
             last_activity: now,
             notify: notify.into_iter().collect(),
         });
+        ctx.trace(self.exec_seq, Phase::SyncStart);
         self.send_sync_request(ctx);
         ctx.set_timer(self.sync_retry_interval(), TIMER_SYNC);
     }
@@ -1814,12 +1831,14 @@ impl Replica {
         match outcome {
             Outcome::Done => {
                 self.charge(ctx, verify_cost, false);
-                ctx.stats().inc(stat::SYNC_BYTES, bytes as u64);
+                let scope = Scope::committee(self.cfg.committee_id);
+                ctx.stats().inc_scoped(stat::SYNC_BYTES, scope, bytes as u64);
                 self.install_synced_state(ctx);
             }
             Outcome::More => {
                 self.charge(ctx, verify_cost, false);
-                ctx.stats().inc(stat::SYNC_BYTES, bytes as u64);
+                let scope = Scope::committee(self.cfg.committee_id);
+                ctx.stats().inc_scoped(stat::SYNC_BYTES, scope, bytes as u64);
                 self.pump_chunk_requests(ctx);
             }
             Outcome::Retry(peer) => {
@@ -2078,10 +2097,12 @@ impl Replica {
     /// notify the transition controller if one is waiting.
     fn finish_sync(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         let Some(run) = self.sync.take() else { return };
+        ctx.trace(self.exec_seq, Phase::SyncDone);
         if run.chunked {
             let elapsed = ctx.now().since(run.started);
-            ctx.stats().inc(stat::SYNC_COMPLETED, 1);
-            ctx.stats().record_latency(stat::SYNC_DURATION, elapsed);
+            let scope = Scope::committee(self.cfg.committee_id);
+            ctx.stats().inc_scoped(stat::SYNC_COMPLETED, scope, 1);
+            ctx.stats().record_latency_scoped(stat::SYNC_DURATION, scope, elapsed);
         } else {
             ctx.stats().inc(stat::SYNC_TAILS, 1);
         }
@@ -2308,7 +2329,11 @@ impl Replica {
                     SimDuration::from_micros(20) + SimDuration::from_nanos((bytes / 8) as u64),
                     false,
                 );
-                ctx.stats().inc(stat::SYNC_CHUNKS_SERVED, 1);
+                ctx.stats().inc_scoped(
+                    stat::SYNC_CHUNKS_SERVED,
+                    Scope::committee(self.cfg.committee_id),
+                    1,
+                );
                 ctx.send(
                     to,
                     PbftMsg::ChunkData {
@@ -2550,25 +2575,20 @@ impl Replica {
                             continue;
                         }
                         weight += req.op.weight();
-                        let twopc_note = checker.as_ref().and_then(|_| match &req.op {
-                            ahl_ledger::Op::Commit { txid } => Some((txid.0, true, true)),
-                            ahl_ledger::Op::Abort { txid } => {
-                                Some((txid.0, false, self.state.has_pending(*txid)))
-                            }
-                            _ => None,
-                        });
+                        let had_pending = match &req.op {
+                            ahl_ledger::Op::Abort { txid } => self.state.has_pending(*txid),
+                            _ => false,
+                        };
                         let receipt = self.state.execute(&req.op);
                         if let Some(ck) = &checker {
-                            ck.record_exec(self.cfg.committee_id, self.me, req.id);
-                            if let Some((txid, is_commit, had_pending)) = twopc_note {
-                                if is_commit {
-                                    if receipt.status.is_committed() {
-                                        ck.record_twopc(self.cfg.committee_id, txid, true);
-                                    }
-                                } else if had_pending {
-                                    ck.record_twopc(self.cfg.committee_id, txid, false);
-                                }
-                            }
+                            ck.observe_exec(
+                                self.cfg.committee_id,
+                                self.me,
+                                req.id,
+                                &req.op,
+                                had_pending,
+                                receipt.status.is_committed(),
+                            );
                         }
                         if receipt.status.is_committed() {
                             if let (Some(k), Some(txid)) = (twopc_kind(&req.op), req.op.txid()) {
@@ -2741,7 +2761,12 @@ impl Replica {
         // Re-proposals count as a flush: restart the batch-timeout clock
         // so the new leader does not immediately emit an undersized block.
         self.batcher.note_flush(ctx.now());
-        ctx.stats().inc(stat::VIEW_CHANGES, 1);
+        ctx.stats().inc_scoped(
+            stat::VIEW_CHANGES,
+            Scope::committee(self.cfg.committee_id),
+            1,
+        );
+        ctx.trace(view, Phase::ViewChange);
         self.charge(ctx, self.cfg.native_sign, false);
         ctx.multicast(
             self.others(),

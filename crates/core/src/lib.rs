@@ -31,5 +31,5 @@ pub use compare::{table1, SystemRow};
 pub use formation::{form, Formation};
 pub use parallel::{run_scale_out, ScaleOutConfig, ScaleOutMetrics, ShardBench};
 pub use reshard::{run_reshard, ReshardConfig, ReshardMetrics, ReshardStrategy};
-pub use system::{run_system, SystemConfig, SystemMetrics, SystemWorkload};
+pub use system::{run_system, run_system_report, SystemConfig, SystemMetrics, SystemReport, SystemWorkload};
 pub use xclient::{sysstat, CrossShardClient, RateControl};

@@ -162,6 +162,12 @@ pub struct SystemMetrics {
     pub abort_rate: f64,
     /// Mean logical transaction latency.
     pub latency_mean: SimDuration,
+    /// Median logical transaction latency.
+    pub latency_p50: SimDuration,
+    /// 99th-percentile logical transaction latency.
+    pub latency_p99: SimDuration,
+    /// 99.9th-percentile logical transaction latency.
+    pub latency_p999: SimDuration,
     /// Fraction of transactions that were cross-shard.
     pub cross_shard_fraction: f64,
     /// Transactions abandoned after stalls.
@@ -188,8 +194,30 @@ pub struct SystemMetrics {
     pub safety_violations: u64,
 }
 
+/// A full-system run's metrics plus the raw simulator statistics that
+/// produced them: labeled per-committee counters, phase-latency
+/// histograms, and the transaction flight recorder. Everything a
+/// machine-readable report needs without re-running the simulation.
+#[derive(Clone, Debug)]
+pub struct SystemReport {
+    /// Aggregate logical-transaction metrics (what [`run_system`] returns).
+    pub metrics: SystemMetrics,
+    /// The simulator's statistics sink at the end of the run.
+    pub stats: ahl_simkit::Stats,
+}
+
 /// Run the full sharded system and report logical-transaction metrics.
 pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
+    run_system_report(cfg).metrics
+}
+
+/// How many trailing flight-recorder events to print per node when a
+/// safety violation triggers a dump.
+const DUMP_TAIL: usize = 24;
+
+/// Like [`run_system`], but also returns the simulator's raw statistics
+/// (labeled counters, phase histograms, flight recorder) for reporting.
+pub fn run_system_report(cfg: SystemConfig) -> SystemReport {
     let committees = cfg.shards + usize::from(cfg.with_reference);
     let total_nodes = committees * cfg.committee_size + cfg.clients;
 
@@ -314,15 +342,16 @@ pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
     let committed = stats.counter(sysstat::SYS_COMMITTED);
     let aborted = stats.counter(sysstat::SYS_ABORTED);
     let finished = committed + aborted;
-    SystemMetrics {
+    let latency = stats.histogram(sysstat::SYS_LATENCY);
+    let metrics = SystemMetrics {
         tps: stats.rate_in_window(sysstat::SYS_COMMIT_SERIES, from, stop),
         committed,
         aborted,
         abort_rate: if finished == 0 { 0.0 } else { aborted as f64 / finished as f64 },
-        latency_mean: stats
-            .histogram(sysstat::SYS_LATENCY)
-            .map(|h| h.mean())
-            .unwrap_or_default(),
+        latency_mean: latency.map(|h| h.mean()).unwrap_or_default(),
+        latency_p50: latency.map(|h| h.quantile(0.50)).unwrap_or_default(),
+        latency_p99: latency.map(|h| h.quantile(0.99)).unwrap_or_default(),
+        latency_p999: latency.map(|h| h.quantile(0.999)).unwrap_or_default(),
         cross_shard_fraction: if finished == 0 {
             0.0
         } else {
@@ -341,7 +370,47 @@ pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
             .as_ref()
             .map(|s| s.violations().len() as u64)
             .unwrap_or(0),
+    };
+
+    // Dump-on-anomaly: a safety violation prints a bounded causal trace
+    // from the flight recorder — the implicated committee's replicas (or
+    // every committee when the violation doesn't localise), plus the full
+    // cross-node lifecycle of the implicated transaction when known.
+    if metrics.safety_violations > 0 {
+        if let Some(checker) = &cfg.safety {
+            let violations = checker.violations();
+            eprintln!("=== SAFETY VIOLATIONS: {} ===", violations.len());
+            for v in violations.iter().take(8) {
+                eprintln!("  {}", v.summary());
+            }
+            if violations.len() > 8 {
+                eprintln!("  ... and {} more", violations.len() - 8);
+            }
+            let mut nodes: Vec<usize> = Vec::new();
+            for v in &violations {
+                if let Some(c) = v.committee() {
+                    let base = c * cfg.committee_size;
+                    nodes.extend(base..base + cfg.committee_size);
+                }
+            }
+            nodes.sort_unstable();
+            nodes.dedup();
+            if nodes.is_empty() {
+                nodes = (0..committees * cfg.committee_size).collect();
+            }
+            eprint!("{}", stats.recorder().dump(nodes.iter().copied(), DUMP_TAIL));
+            for v in &violations {
+                if let Some(id) = v.trace_id() {
+                    eprintln!("--- lifecycle of id={id} ---");
+                    for ev in stats.recorder().lifecycle(id) {
+                        eprintln!("{ev}");
+                    }
+                }
+            }
+        }
     }
+
+    SystemReport { metrics, stats: stats.clone() }
 }
 
 #[cfg(test)]

@@ -214,6 +214,7 @@ impl CrossShardClient {
         self.req_index
             .insert(req_id, Pending { req_id, txid, step, target, op: op.clone(), submitted });
         let req = Request { id: req_id, client: ctx.id(), op, submitted };
+        ctx.trace(req_id, ahl_simkit::Phase::Submit);
         if self.sabotage {
             // Replay attack: every step goes out twice under the same
             // request id. Replica-side dedup + the on-chain vote/decision
@@ -327,6 +328,7 @@ impl CrossShardClient {
             }
             n_parts => {
                 ctx.stats().inc(sysstat::SYS_CROSS_SHARD, 1);
+                ctx.trace(txid.0, ahl_simkit::Phase::TwoPcBegin);
                 self.send_request(
                     ctx,
                     self.ref_target,
@@ -400,6 +402,7 @@ impl CrossShardClient {
             }
             Step::Vote(_) => {
                 entry.vote_replies += 1;
+                ctx.trace(txid.0, ahl_simkit::Phase::TwoPcVote);
                 if entry.vote_replies == entry.parts.len() && !entry.decided {
                     entry.decided = true;
                     // The decision is now recorded on R's chain; deliver it.

@@ -389,6 +389,14 @@ impl<'a, M: Clone> Ctx<'a, M> {
         &mut self.kernel.stats
     }
 
+    /// Stamp a flight-recorder event for this node at the current time.
+    /// `id` identifies the request / transaction / session; see
+    /// [`crate::trace::Phase`] for the chain semantics.
+    pub fn trace(&mut self, id: u64, phase: crate::trace::Phase) {
+        let now = self.kernel.now;
+        self.kernel.stats.trace(now, self.node, id, phase);
+    }
+
     /// Stop the simulation after the current event.
     pub fn halt(&mut self) {
         self.kernel.halted = true;
@@ -422,6 +430,9 @@ pub struct SimConfig<M> {
     /// Abort threshold on total processed events (guards against livelock in
     /// buggy experiments; generous default).
     pub max_events: u64,
+    /// Per-node flight-recorder ring capacity (`0` keeps no events; phase
+    /// histograms still accumulate). See [`crate::trace::FlightRecorder`].
+    pub trace_capacity: usize,
 }
 
 impl<M> SimConfig<M> {
@@ -436,6 +447,7 @@ impl<M> SimConfig<M> {
             size_of: |_| 256,
             uplink_bps: None,
             max_events: 500_000_000,
+            trace_capacity: crate::trace::FlightRecorder::DEFAULT_CAPACITY,
         }
     }
 }
@@ -457,7 +469,11 @@ impl<M: Clone> Sim<M> {
                 classify: config.classify,
                 size_of: config.size_of,
                 uplink_bps: config.uplink_bps,
-                stats: Stats::new(),
+                stats: {
+                    let mut s = Stats::new();
+                    s.recorder_mut().set_capacity(config.trace_capacity);
+                    s
+                },
                 halted: false,
                 events_processed: 0,
                 max_events: config.max_events,

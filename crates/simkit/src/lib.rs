@@ -53,9 +53,11 @@ mod engine;
 pub mod rng;
 pub mod stats;
 mod time;
+pub mod trace;
 
 pub use engine::{
     Actor, Ctx, MsgClass, Network, NodeId, QueueConfig, Sim, SimConfig, UniformNetwork,
 };
-pub use stats::{Histogram, Stats};
+pub use stats::{Histogram, Scope, Stats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{FlightRecorder, Phase, TraceEvent};

@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{FlightRecorder, Phase};
 
 /// A log-bucketed latency histogram covering 1 µs .. ~17 minutes.
 ///
@@ -87,21 +88,30 @@ impl Histogram {
         SimDuration::from_nanos(self.max_ns)
     }
 
-    /// Approximate quantile (0.0 ..= 1.0) from the bucket midpoints.
-    /// Returns zero when empty.
+    /// Approximate quantile (0.0 ..= 1.0), interpolated within the winning
+    /// power-of-two bucket by cumulative position. Returns zero when empty.
     pub fn quantile(&self, q: f64) -> SimDuration {
         if self.count == 0 {
             return SimDuration::ZERO;
         }
         let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0;
+        let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // Midpoint of [2^i, 2^(i+1)) microseconds.
-                let lo = 1u64 << i;
-                return SimDuration::from_micros(lo + lo / 2);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                // Interpolate within [2^i, 2^(i+1)) µs: the target is the
+                // (target - seen)'th of this bucket's c samples, assumed
+                // uniformly spread across the bucket's width (= lo).
+                let lo = 1u64 << i;
+                let frac = (target - seen) as f64 / c as f64;
+                let us = lo as f64 + frac * lo as f64;
+                return SimDuration::from_nanos((us * 1_000.0) as u64)
+                    .min(self.max())
+                    .max(self.min());
+            }
+            seen += c;
         }
         self.max()
     }
@@ -118,16 +128,62 @@ impl Histogram {
     }
 }
 
-/// Global run statistics: named counters, named latency histograms, and
-/// named time series.
+/// A metric label: which committee (shard) and which replica within it a
+/// sample is attributable to.
+///
+/// Two granularities share one type: [`Scope::committee`] aggregates across a
+/// committee (replica field holds [`Scope::ALL`]), [`Scope::replica`] pins a
+/// single node. `Copy + Ord` and two small integers — using a `Scope` as a
+/// map key costs no allocation on the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Scope {
+    /// Committee / shard index.
+    pub committee: u32,
+    /// Replica index within the committee, or [`Scope::ALL`].
+    pub replica: u32,
+}
+
+impl Scope {
+    /// Sentinel replica value meaning "whole committee".
+    pub const ALL: u32 = u32::MAX;
+
+    /// A committee-wide scope.
+    pub fn committee(committee: usize) -> Self {
+        Scope { committee: committee as u32, replica: Scope::ALL }
+    }
+
+    /// A single-replica scope.
+    pub fn replica(committee: usize, replica: usize) -> Self {
+        Scope { committee: committee as u32, replica: replica as u32 }
+    }
+
+    /// Stable textual form: `c3` for a committee scope, `c3/r1` per replica.
+    pub fn render(&self) -> String {
+        if self.replica == Scope::ALL {
+            format!("c{}", self.committee)
+        } else {
+            format!("c{}/r{}", self.committee, self.replica)
+        }
+    }
+}
+
+/// Global run statistics: named counters, named latency histograms, named
+/// time series, scope-labeled variants of the first two, and the transaction
+/// [`FlightRecorder`].
 ///
 /// Keys are `&'static str` so recording is allocation-free on the hot path;
-/// `BTreeMap` keeps report output deterministically ordered.
+/// `BTreeMap` keeps report output deterministically ordered. Scoped writes
+/// ([`Stats::inc_scoped`], [`Stats::record_latency_scoped`]) roll up into the
+/// same global name, so readers of the unlabeled counters see identical
+/// totals whether or not call sites attribute their samples.
 #[derive(Default, Debug, Clone)]
 pub struct Stats {
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
     series: BTreeMap<&'static str, Vec<(SimTime, f64)>>,
+    scoped_counters: BTreeMap<(&'static str, Scope), u64>,
+    scoped_histograms: BTreeMap<(&'static str, Scope), Histogram>,
+    recorder: FlightRecorder,
 }
 
 impl Stats {
@@ -141,9 +197,26 @@ impl Stats {
         *self.counters.entry(name).or_insert(0) += delta;
     }
 
+    /// Increment the `(name, scope)` labeled counter by `delta` *and* roll it
+    /// up into the global counter `name`, so unlabeled readers are unaffected.
+    pub fn inc_scoped(&mut self, name: &'static str, scope: Scope, delta: u64) {
+        *self.scoped_counters.entry((name, scope)).or_insert(0) += delta;
+        self.inc(name, delta);
+    }
+
     /// Read counter `name` (zero if never written).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Read the `(name, scope)` labeled counter (zero if never written).
+    pub fn scoped_counter(&self, name: &'static str, scope: Scope) -> u64 {
+        self.scoped_counters.get(&(name, scope)).copied().unwrap_or(0)
+    }
+
+    /// Iterate all labeled counters in (name, scope) order.
+    pub fn scoped_counters(&self) -> impl Iterator<Item = (&'static str, Scope, u64)> + '_ {
+        self.scoped_counters.iter().map(|(&(n, s), &v)| (n, s, v))
     }
 
     /// Record a duration sample in histogram `name`.
@@ -151,9 +224,48 @@ impl Stats {
         self.histograms.entry(name).or_default().record(d);
     }
 
+    /// Record a duration sample in the `(name, scope)` labeled histogram
+    /// *and* in the global histogram `name` (roll-up).
+    pub fn record_latency_scoped(&mut self, name: &'static str, scope: Scope, d: SimDuration) {
+        self.scoped_histograms.entry((name, scope)).or_default().record(d);
+        self.record_latency(name, d);
+    }
+
     /// Read histogram `name` if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Read the `(name, scope)` labeled histogram if any samples were recorded.
+    pub fn scoped_histogram(&self, name: &'static str, scope: Scope) -> Option<&Histogram> {
+        self.scoped_histograms.get(&(name, scope))
+    }
+
+    /// Iterate all labeled histograms in (name, scope) order.
+    pub fn scoped_histograms(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, Scope, &Histogram)> + '_ {
+        self.scoped_histograms.iter().map(|(&(n, s), h)| (n, s, h))
+    }
+
+    /// Stamp a flight-recorder event at `at` on behalf of `node`. Completed
+    /// phase transitions land in the `phase.*` histograms (see
+    /// [`Phase::TRANSITIONS`]). Actors normally call [`crate::Ctx::trace`],
+    /// which fills in the clock and node id.
+    pub fn trace(&mut self, at: SimTime, node: usize, id: u64, phase: Phase) {
+        if let Some(tr) = self.recorder.record(at, node, id, phase) {
+            self.histograms.entry(tr.name).or_default().record(tr.delta);
+        }
+    }
+
+    /// The transaction flight recorder (post-run inspection, dumps).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Mutable access to the flight recorder (capacity configuration).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
     }
 
     /// Append a (time, value) point to series `name`.
@@ -243,6 +355,70 @@ mod tests {
         let p99 = h.quantile(0.99);
         assert!(p50 <= p99);
         assert!(p50.as_micros() >= 256 && p50.as_micros() <= 1024);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // Uniform 1..=1000 µs: interpolation must land near the true
+        // quantiles instead of the old fixed bucket midpoint (384 µs for
+        // p50, 768 µs for p99).
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        let p50 = h.quantile(0.5).as_micros();
+        let p99 = h.quantile(0.99).as_micros();
+        let p999 = h.quantile(0.999).as_micros();
+        assert!((450..=550).contains(&p50), "p50 = {p50} µs, want ~500");
+        assert!((940..=1000).contains(&p99), "p99 = {p99} µs, want ~990");
+        assert!(p99 <= p999 && p999 <= 1000, "p999 = {p999} µs");
+        // Quantiles never escape the observed range.
+        assert!(h.quantile(0.0001).as_micros() >= 1);
+        assert!(h.quantile(1.0).as_micros() <= 1000);
+    }
+
+    #[test]
+    fn scoped_counters_roll_up() {
+        let mut s = Stats::new();
+        s.inc_scoped("txn.committed", Scope::committee(0), 5);
+        s.inc_scoped("txn.committed", Scope::committee(1), 7);
+        s.inc_scoped("wal.batches", Scope::replica(1, 2), 3);
+        assert_eq!(s.counter("txn.committed"), 12, "global roll-up");
+        assert_eq!(s.scoped_counter("txn.committed", Scope::committee(0)), 5);
+        assert_eq!(s.scoped_counter("txn.committed", Scope::committee(1)), 7);
+        assert_eq!(s.counter("wal.batches"), 3);
+        assert_eq!(s.scoped_counter("wal.batches", Scope::replica(1, 2)), 3);
+        assert_eq!(s.scoped_counter("wal.batches", Scope::replica(1, 0)), 0);
+        let all: Vec<_> = s.scoped_counters().collect();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn scoped_histograms_roll_up() {
+        let mut s = Stats::new();
+        s.record_latency_scoped("txn.latency", Scope::committee(0), SimDuration::from_micros(100));
+        s.record_latency_scoped("txn.latency", Scope::committee(1), SimDuration::from_micros(300));
+        assert_eq!(s.histogram("txn.latency").unwrap().count(), 2);
+        assert_eq!(s.scoped_histogram("txn.latency", Scope::committee(1)).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn trace_derives_phase_histograms() {
+        use crate::trace::Phase;
+        let mut s = Stats::new();
+        s.trace(SimTime(0), 0, 42, Phase::Submit);
+        s.trace(SimTime(2_000_000), 1, 42, Phase::Ingest);
+        s.trace(SimTime(3_000_000), 1, 42, Phase::Admit);
+        let h = s.histogram("phase.submit_ingest").expect("hop recorded");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean().as_millis(), 2);
+        assert_eq!(s.histogram("phase.ingest_admit").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn scope_render_is_stable() {
+        assert_eq!(Scope::committee(3).render(), "c3");
+        assert_eq!(Scope::replica(3, 1).render(), "c3/r1");
     }
 
     #[test]

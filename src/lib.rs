@@ -6,7 +6,7 @@
 //!
 //! | Module | Contents |
 //! |--------|----------|
-//! | [`simkit`] | deterministic discrete-event simulation kernel + adversarial message-bus interposition (scripted partitions, drops, delays, duplication) |
+//! | [`simkit`] | deterministic discrete-event simulation kernel + adversarial message-bus interposition (scripted partitions, drops, delays, duplication); observability: labeled metrics ([`simkit::Scope`]) and the transaction flight recorder ([`simkit::FlightRecorder`]) |
 //! | [`crypto`] | SHA-256, HMAC, signatures, Merkle trees |
 //! | [`tee`] | SGX simulation: attested log, randomness beacon, sealing |
 //! | [`net`] | cluster / GCP network models (Table 3 latencies) |
@@ -34,6 +34,49 @@
 //! cfg.warmup = SimDuration::from_secs(1);
 //! let metrics = run_system(cfg);
 //! assert!(metrics.committed > 0);
+//! ```
+//!
+//! ## Observability
+//!
+//! Every simulation feeds a structured observability stack in
+//! [`simkit::Stats`]:
+//!
+//! - **Labeled metrics** — counters and latency histograms carry an
+//!   optional [`simkit::Scope`] (committee, or committee + replica), and
+//!   every scoped write also rolls up into the unlabeled global, so
+//!   per-shard breakdowns coexist with the aggregate numbers
+//!   (`stats.scoped_counter(name, Scope::committee(2))`).
+//! - **Transaction flight recorder** — replicas and clients stamp each
+//!   transaction's lifecycle ([`simkit::Phase`]: submit → ingest → admit
+//!   → propose → commit → exec, plus the cross-shard 2PC hops, view
+//!   changes, state sync and WAL commits) into bounded per-node ring
+//!   buffers ([`simkit::FlightRecorder`]); traces are deterministic in
+//!   the run seed, and phase-to-phase transitions derive `phase.*`
+//!   latency histograms with p50/p99/p999.
+//! - **Dump-on-anomaly** — a [`consensus::SafetyChecker`] violation in a
+//!   [`system::run_system`] run prints each violation's one-line summary
+//!   plus a bounded causal trace of the implicated committee.
+//! - **Machine-readable reports** — [`system::run_system_report`] returns
+//!   the raw [`simkit::Stats`] next to the metrics; `experiments -- fig8
+//!   --quick --json out.json` emits the stable JSON report (run config,
+//!   per-shard committed counts, phase-latency percentiles) that CI
+//!   validates and archives on every push.
+//!
+//! ```
+//! use ahl::system::{run_system_report, SystemConfig, SystemWorkload};
+//! use ahl::simkit::{Phase, Scope, SimDuration};
+//!
+//! let mut cfg = SystemConfig::new(2, 3);
+//! cfg.clients = 2;
+//! cfg.outstanding = 8;
+//! cfg.workload = SystemWorkload::SmallBank { accounts: 500, theta: 0.0 };
+//! cfg.duration = SimDuration::from_secs(3);
+//! cfg.warmup = SimDuration::from_secs(1);
+//! let report = run_system_report(cfg);
+//! // Per-shard committed counts, and a consensus-phase latency histogram.
+//! let shard0 = report.stats.scoped_counter("txn.committed", Scope::committee(0));
+//! assert!(shard0 > 0);
+//! assert!(report.stats.histogram(Phase::TRANSITIONS[4]).is_some()); // commit→exec
 //! ```
 //!
 //! ## Adversary model

@@ -176,15 +176,28 @@ fn viewchange_regossip_rescues_stranded_requests() {
 /// a real result and not a dead assertion.
 #[test]
 fn over_threshold_equivocation_trips_the_checker() {
-    let (checker, _, _) =
+    let (checker, _, sim) =
         pbft_cell(BftVariant::Hl, 4, vec![0, 3], Attack::Equivocate, CryptoMode::CostOnly, 2, 77);
     let violations = checker.violations();
-    assert!(
-        violations
-            .iter()
-            .any(|v| matches!(v, Violation::ConflictingCommit { .. })),
-        "f > bound must fork the chain and the checker must see it: {violations:?}"
-    );
+    let fork = violations
+        .iter()
+        .find(|v| matches!(v, Violation::ConflictingCommit { .. }))
+        .unwrap_or_else(|| {
+            panic!("f > bound must fork the chain and the checker must see it: {violations:?}")
+        });
+
+    // Dump-on-anomaly: the violation localises to a committee, its summary
+    // is human-readable, and the flight recorder yields a bounded causal
+    // trace for that committee's replicas.
+    let committee = fork.committee().expect("fork names a committee");
+    assert!(fork.summary().starts_with("conflicting commit"), "{}", fork.summary());
+    let limit = 16;
+    let dump = sim.stats().recorder().dump(committee * 4..committee * 4 + 4, limit);
+    assert!(dump.contains("--- node"), "dump has no per-node sections:\n{dump}");
+    for section in dump.split("--- node").skip(1) {
+        let events = section.lines().skip(1).filter(|l| l.contains("id=")).count();
+        assert!(events <= limit, "dump section exceeds bound ({events} > {limit}):\n{section}");
+    }
 }
 
 // ------------------------------------------------------- IBFT / Tender --

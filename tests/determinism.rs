@@ -127,6 +127,84 @@ fn overloaded_system_deterministic_per_seed() {
     assert_eq!(a, run(3), "overloaded run not reproducible");
 }
 
+/// Flight-recorder determinism: the full event sequence (not just the
+/// aggregate counters) is byte-identical for identical config + seed, and
+/// actually responds to the seed.
+#[test]
+fn trace_deterministic_per_seed() {
+    use ahl::system::{run_system_report, SystemConfig, SystemWorkload};
+
+    let run = |seed: u64| {
+        let mut cfg = SystemConfig::new(2, 3);
+        cfg.clients = 4;
+        cfg.outstanding = 16;
+        cfg.workload = SystemWorkload::SmallBank { accounts: 1_000, theta: 0.0 };
+        cfg.duration = SimDuration::from_secs(4);
+        cfg.warmup = SimDuration::from_secs(1);
+        cfg.batch_size = 20;
+        cfg.seed = seed;
+        run_system_report(cfg).stats.recorder().fingerprint()
+    };
+    let a = run(21);
+    assert!(!a.is_empty(), "recorder captured nothing");
+    assert_eq!(a, run(21), "trace not reproducible for identical config + seed");
+    assert_ne!(a, run(22), "trace ignores the seed");
+}
+
+/// A committed cross-shard transaction's reconstructed lifecycle spans
+/// replicas of at least two shard committees, with 2PC phases in causal
+/// order (begin ≤ first prepare ≤ first decide).
+#[test]
+fn cross_shard_lifecycle_spans_shards() {
+    use ahl::simkit::Phase;
+    use ahl::system::{run_system_report, SystemConfig, SystemWorkload};
+
+    let committee_size = 3;
+    let mut cfg = SystemConfig::new(2, committee_size);
+    cfg.clients = 4;
+    cfg.outstanding = 16;
+    cfg.workload = SystemWorkload::SmallBank { accounts: 1_000, theta: 0.0 };
+    cfg.duration = SimDuration::from_secs(4);
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.batch_size = 20;
+    let report = run_system_report(cfg);
+    let rec = report.stats.recorder();
+
+    // Collect every transaction whose 2PC chain opened (client-side
+    // TwoPcBegin), then find one whose prepares landed on two shards.
+    let begun: Vec<u64> = rec
+        .all_events()
+        .filter(|e| e.phase == Phase::TwoPcBegin)
+        .map(|e| e.id)
+        .collect();
+    assert!(!begun.is_empty(), "no cross-shard transactions began");
+
+    let shard_of = |node: usize| node / committee_size; // replicas only
+    let mut found = false;
+    for id in begun {
+        let life = rec.lifecycle(id);
+        let begin = life.iter().find(|e| e.phase == Phase::TwoPcBegin);
+        let prepare = life.iter().find(|e| e.phase == Phase::TwoPcPrepare);
+        let decide = life.iter().find(|e| e.phase == Phase::TwoPcDecide);
+        let (Some(begin), Some(prepare), Some(decide)) = (begin, prepare, decide) else {
+            continue;
+        };
+        let shards: std::collections::BTreeSet<usize> = life
+            .iter()
+            .filter(|e| matches!(e.phase, Phase::TwoPcPrepare | Phase::TwoPcDecide))
+            .map(|e| shard_of(e.node))
+            .collect();
+        if shards.len() < 2 {
+            continue;
+        }
+        assert!(begin.at <= prepare.at, "prepare before begin: {begin} vs {prepare}");
+        assert!(prepare.at <= decide.at, "decide before prepare: {prepare} vs {decide}");
+        found = true;
+        break;
+    }
+    assert!(found, "no lifecycle spanned two shards with a full begin→prepare→decide chain");
+}
+
 #[test]
 fn variants_differ_from_each_other() {
     // Sanity: the four variants are genuinely different protocols, not one
