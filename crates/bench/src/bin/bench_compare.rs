@@ -1,0 +1,46 @@
+//! Diff a fresh trajectory report against its committed baseline.
+//!
+//! ```sh
+//! cargo run --release -p ahl-bench --bin experiments -- fig8 --quick --json fresh.json
+//! cargo run --release -p ahl-bench --bin bench_compare -- BENCH_fig8.json fresh.json
+//! ```
+//!
+//! The budgets come from the *baseline* file, so loosening one requires a
+//! reviewed change to the committed `BENCH_<scenario>.json`. Exit codes:
+//! 0 when every budgeted metric is within budget, 1 on any breach, 2 on
+//! usage or parse errors.
+
+use ahl_bench::json::JsonValue;
+use ahl_bench::trajectory::compare_reports;
+
+fn read(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {path}: {e}");
+        std::process::exit(2);
+    });
+    JsonValue::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {path}: invalid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <current.json>");
+        std::process::exit(2);
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+    let diffs = compare_reports(&baseline, &current).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", ahl_bench::trajectory::render_comparison(&diffs));
+    let breaches = diffs.iter().filter(|d| d.breach.is_some()).count();
+    if breaches > 0 {
+        eprintln!("bench_compare: {breaches} budget breach(es) vs {baseline_path}");
+        std::process::exit(1);
+    }
+    println!("bench_compare: all {} budgeted metrics within budget", diffs.len());
+}

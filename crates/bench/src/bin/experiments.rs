@@ -7,9 +7,15 @@
 //! cargo run --release -p ahl-bench --bin experiments -- list
 //! ```
 //!
-//! `--json <path>` additionally runs a canonical full-system smoke cell
-//! and writes a machine-readable report (run config, aggregate metrics,
-//! per-shard committed counts, phase-latency percentiles) to `path`.
+//! `--json <path>` writes a machine-readable report to `path`. When the
+//! single experiment id is a trajectory scenario (`fig8`, `overload`,
+//! `statesync`, `recovery`, `byzantine`) the report is that scenario's
+//! bench-trajectory report — fixed-seed metrics plus embedded per-metric
+//! regression budgets, comparable against the committed
+//! `BENCH_<scenario>.json` baseline with the `bench_compare` binary.
+//! Otherwise it falls back to the canonical full-system smoke report
+//! (run config, aggregate metrics, per-shard committed counts,
+//! phase-latency percentiles).
 
 use ahl_bench::{figs, run_all, Scale};
 
@@ -120,7 +126,13 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        let report = ahl_bench::json::smoke_report(quick, &ids);
+        // A single scenario id gets its trajectory report (with embedded
+        // regression budgets); anything else gets the canonical smoke.
+        let report = match ids.as_slice() {
+            [id] => ahl_bench::trajectory::scenario_report(id, quick)
+                .unwrap_or_else(|| ahl_bench::json::smoke_report(quick, &ids)),
+            _ => ahl_bench::json::smoke_report(quick, &ids),
+        };
         std::fs::write(&path, report.render()).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

@@ -1228,7 +1228,7 @@ pub fn overload(scale: Scale) {
 
 /// Transfer mode of one `statesync` cell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum SyncMode {
+pub(crate) enum SyncMode {
     /// Diff sync disabled: the restarted replica re-fetches every chunk.
     Full,
     /// Diff sync enabled; a churn client rewrites `churn_keys` distinct
@@ -1258,19 +1258,19 @@ impl SyncMode {
 /// root in their snapshot windows — only the chunks that changed while it
 /// was away. The cell reports how much it transferred, how long recovery
 /// took, and whether it rejoined with intact state.
-struct StatesyncCell {
-    syncs: u64,
-    diff_syncs: u64,
-    chunks_served: u64,
-    gb_synced: f64,
-    proof_failures: u64,
-    sync_secs: f64,
-    caught_up: bool,
-    balance_ok: bool,
-    tps: f64,
+pub(crate) struct StatesyncCell {
+    pub(crate) syncs: u64,
+    pub(crate) diff_syncs: u64,
+    pub(crate) chunks_served: u64,
+    pub(crate) gb_synced: f64,
+    pub(crate) proof_failures: u64,
+    pub(crate) sync_secs: f64,
+    pub(crate) caught_up: bool,
+    pub(crate) balance_ok: bool,
+    pub(crate) tps: f64,
 }
 
-fn statesync_cell(
+pub(crate) fn statesync_cell(
     pad_keys: usize,
     pad_bytes: u64,
     chunk_target: usize,
@@ -1485,19 +1485,19 @@ pub fn statesync(scale: Scale) {
 
 // ---------- crash-kill recovery smoke (wal-subsystem experiment) ----------
 
-struct RecoveryCell {
-    io_crashes: u64,
-    wal_batches: u64,
-    checkpoints: u64,
-    pages_written: u64,
-    pages_shared: u64,
-    replayed: u64,
-    diff_syncs: u64,
-    proof_failures: u64,
-    replay_mismatches: u64,
-    committed: u64,
-    recovered: bool,
-    conserved: bool,
+pub(crate) struct RecoveryCell {
+    pub(crate) io_crashes: u64,
+    pub(crate) wal_batches: u64,
+    pub(crate) checkpoints: u64,
+    pub(crate) pages_written: u64,
+    pub(crate) pages_shared: u64,
+    pub(crate) replayed: u64,
+    pub(crate) diff_syncs: u64,
+    pub(crate) proof_failures: u64,
+    pub(crate) replay_mismatches: u64,
+    pub(crate) committed: u64,
+    pub(crate) recovered: bool,
+    pub(crate) conserved: bool,
 }
 
 /// One `recovery` cell: a 5-node AHL+ committee journaling every executed
@@ -1506,7 +1506,7 @@ struct RecoveryCell {
 /// site `kill_site` (`None` = a scripted whole-node crash instead). All
 /// five nodes are restarted mid-run and must recover by *reopening their
 /// node directories* — manifest, WAL-tail replay, then (diff) sync.
-fn recovery_cell(kill_site: Option<u64>, seed: u64) -> RecoveryCell {
+pub(crate) fn recovery_cell(kill_site: Option<u64>, seed: u64) -> RecoveryCell {
     use ahl_consensus::common::CryptoMode;
     use ahl_consensus::harness::ControlScript;
     use ahl_consensus::pbft::{build_group, PbftMsg, Replica};

@@ -14,6 +14,7 @@
 
 use ahl_core::{SystemConfig, SystemReport, SystemWorkload};
 use ahl_simkit::{Phase, Scope, SimDuration};
+use ahl_telemetry::ProfileReport;
 
 /// A JSON document node. Objects preserve insertion order so report
 /// output is byte-stable across runs of the same build.
@@ -64,6 +65,47 @@ impl JsonValue {
             JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
+    }
+
+    /// Numeric view: `Int`/`UInt`/`Num` as `f64`, `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::UInt(u) => Some(*u as f64),
+            JsonValue::Num(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Counter view: non-negative integers as `u64`, `None` otherwise.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(u) => Some(*u),
+            JsonValue::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Slash-separated path lookup through nested objects, e.g.
+    /// `report.path("metrics/tps")`. Slash (not dot) because report keys
+    /// like `phase.commit_exec` contain dots.
+    pub fn path(&self, path: &str) -> Option<&JsonValue> {
+        path.split('/').try_fold(self, |v, k| v.get(k))
+    }
+
+    /// Parse a JSON document — the inverse of [`JsonValue::render`].
+    /// Numbers without a fraction or exponent come back as
+    /// `UInt`/`Int`, everything else as `Num`. Errors carry the byte
+    /// offset of the first problem.
+    pub fn parse(s: &str) -> Result<JsonValue, String> {
+        let mut p = Parser { b: s.as_bytes(), i: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
     }
 
     /// Render with two-space indentation and a trailing newline.
@@ -128,6 +170,189 @@ impl JsonValue {
                 out.push('\n');
                 indent(out, depth);
                 out.push('}');
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", JsonValue::Null),
+            Some(b't') => self.lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.lit("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object_value(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' => {
+                    float = true;
+                    self.i += 1;
+                }
+                // Exponent sign; a bare +/- elsewhere fails the f64 parse.
+                b'+' | b'-' if float => self.i += 1,
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        text.parse::<f64>().map(JsonValue::Num).map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let end = self.i + 4;
+                            let cp = self
+                                .b
+                                .get(self.i..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+                            self.i = end;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 sequence through (input is &str,
+                    // so the bytes are valid).
+                    let start = self.i - 1;
+                    while self.peek().is_some_and(|b| b & 0xc0 == 0x80) {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i])
+                            .map_err(|_| format!("bad utf-8 at byte {start}"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object_value(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
             }
         }
     }
@@ -217,7 +442,8 @@ pub fn system_report_json(cfg: &SystemConfig, report: &SystemReport) -> JsonValu
             "final_balance",
             m.final_balance.map(JsonValue::Int).unwrap_or(JsonValue::Null),
         )
-        .set("safety_violations", JsonValue::UInt(m.safety_violations));
+        .set("safety_violations", JsonValue::UInt(m.safety_violations))
+        .set("liveness_violations", JsonValue::UInt(m.liveness_violations));
 
     // Per-shard labeled counters: one object per committee that reported
     // anything, keyed from the committee-scoped metric roll-ups.
@@ -294,7 +520,32 @@ pub fn system_report_json(cfg: &SystemConfig, report: &SystemReport) -> JsonValu
         .set("phases", phases)
         .set("counters", counters)
         .set("trace", trace);
+    if let Some(p) = &report.profile {
+        root.set("profile", profile_json(p));
+    }
     root
+}
+
+/// Convert a wall-clock profiler report into JSON (spans stay in the
+/// report's self-time-descending order).
+pub fn profile_json(p: &ProfileReport) -> JsonValue {
+    let spans = p
+        .spans
+        .iter()
+        .map(|s| {
+            let mut o = JsonValue::object();
+            o.set("name", JsonValue::Str(s.name.to_string()))
+                .set("count", JsonValue::UInt(s.count))
+                .set("self_ms", JsonValue::Num(s.self_ns as f64 / 1e6))
+                .set("total_ms", JsonValue::Num(s.total_ns as f64 / 1e6));
+            o
+        })
+        .collect();
+    let mut o = JsonValue::object();
+    o.set("wall_ms", JsonValue::Num(p.wall_ns as f64 / 1e6))
+        .set("attributed_ms", JsonValue::Num(p.self_total_ns() as f64 / 1e6))
+        .set("spans", JsonValue::Array(spans));
+    o
 }
 
 /// Run the canonical full-system smoke cell behind `--json` and build the
@@ -348,6 +599,38 @@ mod tests {
             JsonValue::Object(ref pairs) => assert_eq!(pairs.len(), 2),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let mut o = JsonValue::object();
+        o.set("s", JsonValue::Str("a\"b\\c\nd — π".into()))
+            .set("n", JsonValue::Num(1.5))
+            .set("u", JsonValue::UInt(u64::MAX))
+            .set("i", JsonValue::Int(-42))
+            .set("b", JsonValue::Bool(false))
+            .set("z", JsonValue::Null)
+            .set("a", JsonValue::Array(vec![JsonValue::Num(2e-3), JsonValue::Object(vec![])]));
+        let parsed = JsonValue::parse(&o.render()).unwrap();
+        assert_eq!(parsed, o);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(JsonValue::parse("{\"k\": }").is_err());
+        assert!(JsonValue::parse("[1, 2").is_err());
+        assert!(JsonValue::parse("{} trailing").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn path_walks_nested_objects() {
+        let v = JsonValue::parse(r#"{"metrics": {"tps": 123.5}, "phases": {"phase.commit_exec": {"p99_ms": 7}}}"#)
+            .unwrap();
+        assert_eq!(v.path("metrics/tps").and_then(JsonValue::as_f64), Some(123.5));
+        assert_eq!(v.path("phases/phase.commit_exec/p99_ms").and_then(JsonValue::as_u64), Some(7));
+        assert!(v.path("metrics/missing").is_none());
     }
 
     #[test]

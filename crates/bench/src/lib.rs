@@ -19,6 +19,7 @@
 pub mod figs;
 pub mod json;
 pub mod report;
+pub mod trajectory;
 
 pub use figs::Scale;
 

@@ -1,0 +1,425 @@
+//! Bench-trajectory reports and the regression gate.
+//!
+//! Five scenarios — `fig8`, `overload`, `statesync`, `recovery`,
+//! `byzantine` — emit machine-readable trajectory reports through
+//! `experiments -- <scenario> --quick --json <path>`. Each report embeds
+//! its own per-metric **budgets** (a direction plus a tolerance), so a
+//! committed baseline is self-describing: [`compare_reports`] re-reads
+//! the budgets from the baseline, diffs every budgeted metric of a fresh
+//! report against it, and the `bench_compare` binary exits non-zero on
+//! any breach. CI archives the baselines as `BENCH_<scenario>.json` at
+//! the repo root and gates every push on them, which turns "the numbers
+//! quietly got worse" into a red build.
+//!
+//! All scenario cells run fixed seeds on the deterministic simulator, so
+//! a baseline regenerated on the same code is byte-stable; the budgets
+//! absorb the host-speed wobble that leaks in through wall-clock-derived
+//! metrics (none of the budgeted metrics depend on host speed).
+
+use ahl_core::{RateControl, SystemConfig, SystemWorkload};
+use ahl_simkit::SimDuration;
+use ahl_telemetry::LivenessChecker;
+
+use crate::figs::{self, SyncMode};
+use crate::json::{system_report_json, JsonValue};
+
+/// The scenarios with trajectory reports (and committed baselines).
+pub const SCENARIOS: &[&str] = &["fig8", "overload", "statesync", "recovery", "byzantine"];
+
+/// Build the trajectory report for `id`, or `None` for an experiment
+/// that has no scenario report (those fall back to the canonical smoke
+/// report). Scenario cells print their profiler attribution table (when
+/// profiled) as a side effect, like the figure harnesses print theirs.
+pub fn scenario_report(id: &str, quick: bool) -> Option<JsonValue> {
+    let mut report = match id {
+        "fig8" => fig8_report(quick),
+        "overload" => overload_report(quick),
+        "statesync" => statesync_report(quick),
+        "recovery" => recovery_report(),
+        "byzantine" => byzantine_report(quick),
+        _ => return None,
+    };
+    report.set("scenario", JsonValue::Str(id.to_string()));
+    report.set("quick", JsonValue::Bool(quick));
+    Some(report)
+}
+
+fn budget(dir: &str, tol_frac: f64, tol_abs: f64) -> JsonValue {
+    let mut b = JsonValue::object();
+    b.set("dir", JsonValue::Str(dir.to_string()))
+        .set("tol_frac", JsonValue::Num(tol_frac))
+        .set("tol_abs", JsonValue::Num(tol_abs));
+    b
+}
+
+/// The canonical full-system cell (the one the old `--json` smoke ran),
+/// now with the liveness oracle attached and the wall-clock profiler on.
+fn fig8_report(quick: bool) -> JsonValue {
+    let mk = || {
+        let mut cfg = SystemConfig::new(if quick { 2 } else { 4 }, 3);
+        cfg.clients = if quick { 4 } else { 16 };
+        cfg.outstanding = if quick { 8 } else { 64 };
+        cfg.workload = SystemWorkload::SmallBank { accounts: 2_000, theta: 0.0 };
+        cfg.duration = SimDuration::from_secs(if quick { 4 } else { 12 });
+        cfg.warmup = SimDuration::from_secs(if quick { 1 } else { 3 });
+        cfg.batch_size = 20;
+        cfg
+    };
+    let mut cfg = mk();
+    cfg.liveness = Some(LivenessChecker::default());
+    cfg.profile = true;
+    let report = ahl_core::run_system_report(cfg);
+    if let Some(p) = &report.profile {
+        print!("{}", p.render());
+    }
+    let mut json = system_report_json(&mk(), &report);
+    let mut budgets = JsonValue::object();
+    budgets
+        .set("metrics/tps", budget("higher", 0.10, 0.0))
+        .set("metrics/latency_p99_ms", budget("lower", 0.25, 0.0))
+        .set("metrics/safety_violations", budget("lower", 0.0, 0.0))
+        .set("metrics/liveness_violations", budget("lower", 0.0, 0.0));
+    json.set("budgets", budgets);
+    json
+}
+
+/// The overload sweep's most adversarial cell: a deliberately small pool
+/// (cap 48) under 8 × 64 offered load with AIMD backpressure.
+fn overload_report(quick: bool) -> JsonValue {
+    let mk = || {
+        let mut cfg = SystemConfig::new(2, 3);
+        cfg.clients = 8;
+        cfg.outstanding = 64;
+        cfg.workload = SystemWorkload::SmallBank { accounts: 2_000, theta: 0.0 };
+        cfg.duration = SimDuration::from_secs(if quick { 4 } else { 12 });
+        cfg.warmup = SimDuration::from_secs(if quick { 1 } else { 3 });
+        cfg.batch_size = 20;
+        cfg.mempool = ahl_mempool::MempoolConfig::new(48);
+        cfg.rate_control = RateControl::Aimd;
+        cfg
+    };
+    let mut cfg = mk();
+    cfg.liveness = Some(LivenessChecker::default());
+    cfg.profile = true;
+    let report = ahl_core::run_system_report(cfg);
+    if let Some(p) = &report.profile {
+        print!("{}", p.render());
+    }
+    let mut json = system_report_json(&mk(), &report);
+    let mut budgets = JsonValue::object();
+    budgets
+        .set("metrics/tps", budget("higher", 0.10, 0.0))
+        .set("metrics/latency_p99_ms", budget("lower", 0.25, 0.0))
+        .set("metrics/safety_violations", budget("lower", 0.0, 0.0))
+        .set("metrics/liveness_violations", budget("lower", 0.0, 0.0));
+    json.set("budgets", budgets);
+    json
+}
+
+/// Crashed-replica catch-up, full transfer vs diff sync over the same
+/// state, fixed seed. The headline trajectory metric is the diff
+/// transfer volume: it must stay O(changed keys).
+fn statesync_report(quick: bool) -> JsonValue {
+    let (keys, bytes) = if quick { (500, 200_000) } else { (1_000, 500_000) };
+    let chunk = 16;
+    let full = figs::statesync_cell(keys, bytes, chunk, SyncMode::Full, 42);
+    let diff = figs::statesync_cell(keys, bytes, chunk, SyncMode::Diff { churn_keys: 4 }, 42);
+
+    let mut metrics = JsonValue::object();
+    metrics
+        .set("tps", JsonValue::Num(diff.tps))
+        .set("gb_full", JsonValue::Num(full.gb_synced))
+        .set("gb_diff", JsonValue::Num(diff.gb_synced))
+        .set("sync_secs_full", JsonValue::Num(full.sync_secs))
+        .set("sync_secs_diff", JsonValue::Num(diff.sync_secs))
+        .set("chunks_full", JsonValue::UInt(full.chunks_served))
+        .set("chunks_diff", JsonValue::UInt(diff.chunks_served))
+        .set("syncs", JsonValue::UInt(full.syncs + diff.syncs))
+        .set("diff_syncs", JsonValue::UInt(diff.diff_syncs))
+        .set("proof_failures", JsonValue::UInt(full.proof_failures + diff.proof_failures))
+        .set("caught_up", JsonValue::UInt((full.caught_up && diff.caught_up) as u64))
+        .set("conserved", JsonValue::UInt((full.balance_ok && diff.balance_ok) as u64));
+
+    let mut config = JsonValue::object();
+    config
+        .set("pad_keys", JsonValue::UInt(keys as u64))
+        .set("pad_bytes", JsonValue::UInt(bytes))
+        .set("chunk_target", JsonValue::UInt(chunk as u64))
+        .set("churn_keys", JsonValue::UInt(4))
+        .set("seed", JsonValue::UInt(42));
+
+    let mut budgets = JsonValue::object();
+    budgets
+        .set("metrics/tps", budget("higher", 0.15, 0.0))
+        .set("metrics/gb_full", budget("lower", 0.25, 0.0))
+        .set("metrics/gb_diff", budget("lower", 0.50, 0.0))
+        .set("metrics/proof_failures", budget("lower", 0.0, 0.0))
+        .set("metrics/caught_up", budget("higher", 0.0, 0.0))
+        .set("metrics/conserved", budget("higher", 0.0, 0.0));
+
+    let mut root = JsonValue::object();
+    root.set("report_version", JsonValue::UInt(1))
+        .set("config", config)
+        .set("metrics", metrics)
+        .set("budgets", budgets);
+    root
+}
+
+/// Crash-kill recovery, fixed seed: one scripted whole-node crash cell
+/// plus one injected I/O-crash cell (kill site 120), both restarting
+/// from their reopened on-disk directories.
+fn recovery_report() -> JsonValue {
+    let scripted = figs::recovery_cell(None, 42);
+    let killed = figs::recovery_cell(Some(120), 42);
+
+    let mut metrics = JsonValue::object();
+    metrics
+        .set("committed", JsonValue::UInt(killed.committed))
+        .set("wal_batches", JsonValue::UInt(killed.wal_batches))
+        .set("checkpoints", JsonValue::UInt(killed.checkpoints))
+        .set("pages_written", JsonValue::UInt(killed.pages_written))
+        .set("pages_shared", JsonValue::UInt(killed.pages_shared))
+        .set("replayed", JsonValue::UInt(scripted.replayed + killed.replayed))
+        .set("diff_syncs", JsonValue::UInt(scripted.diff_syncs + killed.diff_syncs))
+        .set("io_crashes", JsonValue::UInt(killed.io_crashes))
+        .set(
+            "failures",
+            JsonValue::UInt(
+                scripted.proof_failures
+                    + killed.proof_failures
+                    + scripted.replay_mismatches
+                    + killed.replay_mismatches,
+            ),
+        )
+        .set("recovered", JsonValue::UInt((scripted.recovered && killed.recovered) as u64))
+        .set("conserved", JsonValue::UInt((scripted.conserved && killed.conserved) as u64));
+
+    let mut config = JsonValue::object();
+    config.set("kill_site", JsonValue::UInt(120)).set("seed", JsonValue::UInt(42));
+
+    let mut budgets = JsonValue::object();
+    budgets
+        .set("metrics/committed", budget("higher", 0.15, 0.0))
+        .set("metrics/wal_batches", budget("higher", 0.25, 0.0))
+        .set("metrics/replayed", budget("higher", 0.90, 0.0))
+        .set("metrics/failures", budget("lower", 0.0, 0.0))
+        .set("metrics/io_crashes", budget("lower", 0.0, 0.0))
+        .set("metrics/recovered", budget("higher", 0.0, 0.0))
+        .set("metrics/conserved", budget("higher", 0.0, 0.0));
+
+    let mut root = JsonValue::object();
+    root.set("report_version", JsonValue::UInt(1))
+        .set("config", config)
+        .set("metrics", metrics)
+        .set("budgets", budgets);
+    root
+}
+
+/// A full-system run with one Byzantine replica per committee (f at the
+/// tolerated threshold for n = 4) mounting the default paper-flood
+/// attack: throughput must hold and the safety oracle must stay clean.
+fn byzantine_report(quick: bool) -> JsonValue {
+    let mk = || {
+        let mut cfg = SystemConfig::new(2, 4);
+        cfg.byzantine = 1;
+        cfg.clients = if quick { 4 } else { 8 };
+        cfg.outstanding = if quick { 8 } else { 32 };
+        cfg.workload = SystemWorkload::SmallBank { accounts: 2_000, theta: 0.0 };
+        cfg.duration = SimDuration::from_secs(if quick { 4 } else { 10 });
+        cfg.warmup = SimDuration::from_secs(if quick { 1 } else { 2 });
+        cfg.batch_size = 20;
+        cfg
+    };
+    let report = ahl_core::run_system_report(mk());
+    let mut json = system_report_json(&mk(), &report);
+    let mut budgets = JsonValue::object();
+    budgets
+        .set("metrics/tps", budget("higher", 0.15, 0.0))
+        .set("metrics/latency_p99_ms", budget("lower", 0.30, 0.0))
+        .set("metrics/safety_violations", budget("lower", 0.0, 0.0));
+    json.set("budgets", budgets);
+    json
+}
+
+/// One budgeted metric's verdict from [`compare_reports`].
+#[derive(Clone, Debug)]
+pub struct MetricDiff {
+    /// Slash-separated report path of the metric (e.g. `metrics/tps`).
+    pub path: String,
+    /// The baseline's value.
+    pub baseline: f64,
+    /// The fresh report's value.
+    pub current: f64,
+    /// `None` when within budget; otherwise what was breached.
+    pub breach: Option<String>,
+}
+
+/// Diff `current` against `baseline` using the budgets embedded in the
+/// *baseline* report (the committed file governs, so loosening a budget
+/// takes a reviewed baseline change). Returns one verdict per budgeted
+/// metric; a metric missing from either report is a breach. Errors on
+/// structurally unusable reports: no budgets, or a scenario mismatch.
+pub fn compare_reports(
+    baseline: &JsonValue,
+    current: &JsonValue,
+) -> Result<Vec<MetricDiff>, String> {
+    if let (Some(JsonValue::Str(b)), Some(JsonValue::Str(c))) =
+        (baseline.get("scenario"), current.get("scenario"))
+    {
+        if b != c {
+            return Err(format!("scenario mismatch: baseline is {b:?}, current is {c:?}"));
+        }
+    }
+    let budgets = match baseline.get("budgets") {
+        Some(JsonValue::Object(pairs)) => pairs,
+        Some(_) => return Err("baseline `budgets` is not an object".into()),
+        None => return Err("baseline report carries no `budgets` object".into()),
+    };
+    let mut out = Vec::new();
+    for (path, spec) in budgets {
+        let dir = match spec.get("dir") {
+            Some(JsonValue::Str(d)) => d.as_str(),
+            _ => return Err(format!("budget {path}: missing `dir`")),
+        };
+        let tol_frac = spec.get("tol_frac").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let tol_abs = spec.get("tol_abs").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let base = baseline.path(path).and_then(JsonValue::as_f64);
+        let cur = current.path(path).and_then(JsonValue::as_f64);
+        let (Some(base), Some(cur)) = (base, cur) else {
+            out.push(MetricDiff {
+                path: path.clone(),
+                baseline: base.unwrap_or(f64::NAN),
+                current: cur.unwrap_or(f64::NAN),
+                breach: Some("metric missing from report".into()),
+            });
+            continue;
+        };
+        let breach = match dir {
+            "higher" => {
+                let floor = base * (1.0 - tol_frac) - tol_abs;
+                (cur < floor).then(|| format!("{cur:.3} < floor {floor:.3}"))
+            }
+            "lower" => {
+                let ceiling = base * (1.0 + tol_frac) + tol_abs;
+                (cur > ceiling).then(|| format!("{cur:.3} > ceiling {ceiling:.3}"))
+            }
+            other => Some(format!("unknown budget direction {other:?}")),
+        };
+        out.push(MetricDiff { path: path.clone(), baseline: base, current: cur, breach });
+    }
+    Ok(out)
+}
+
+/// Render the comparison as the table `bench_compare` prints.
+pub fn render_comparison(diffs: &[MetricDiff]) -> String {
+    let width = diffs.iter().map(|d| d.path.len()).max().unwrap_or(6).max(6);
+    let mut out = format!(
+        "{:width$}  {:>14}  {:>14}  {:>9}  verdict\n",
+        "metric", "baseline", "current", "delta"
+    );
+    for d in diffs {
+        let delta = if d.baseline.abs() > 1e-12 {
+            format!("{:+.1}%", (d.current - d.baseline) / d.baseline * 100.0)
+        } else if d.current == d.baseline {
+            "0.0%".into()
+        } else {
+            "n/a".into()
+        };
+        let verdict = match &d.breach {
+            None => "ok".to_string(),
+            Some(b) => format!("BREACH: {b}"),
+        };
+        out.push_str(&format!(
+            "{:width$}  {:>14.3}  {:>14.3}  {:>9}  {verdict}\n",
+            d.path, d.baseline, d.current, delta
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(scenario: &str, tps: f64, p99: f64, violations: u64) -> JsonValue {
+        let mut metrics = JsonValue::object();
+        metrics
+            .set("tps", JsonValue::Num(tps))
+            .set("latency_p99_ms", JsonValue::Num(p99))
+            .set("liveness_violations", JsonValue::UInt(violations));
+        let mut budgets = JsonValue::object();
+        budgets
+            .set("metrics/tps", budget("higher", 0.10, 0.0))
+            .set("metrics/latency_p99_ms", budget("lower", 0.25, 0.0))
+            .set("metrics/liveness_violations", budget("lower", 0.0, 0.0));
+        let mut root = JsonValue::object();
+        root.set("scenario", JsonValue::Str(scenario.into()))
+            .set("metrics", metrics)
+            .set("budgets", budgets);
+        root
+    }
+
+    #[test]
+    fn within_budget_passes() {
+        let baseline = report("fig8", 1000.0, 80.0, 0);
+        let current = report("fig8", 950.0, 95.0, 0);
+        let diffs = compare_reports(&baseline, &current).unwrap();
+        assert_eq!(diffs.len(), 3);
+        assert!(diffs.iter().all(|d| d.breach.is_none()), "{diffs:?}");
+    }
+
+    // The negative control: the gate must actually fire on a regression.
+    #[test]
+    fn throughput_collapse_breaches() {
+        let baseline = report("fig8", 1000.0, 80.0, 0);
+        let current = report("fig8", 850.0, 80.0, 0); // -15% > the 10% budget
+        let diffs = compare_reports(&baseline, &current).unwrap();
+        let tps = diffs.iter().find(|d| d.path == "metrics/tps").unwrap();
+        assert!(tps.breach.is_some(), "{tps:?}");
+        assert!(diffs.iter().filter(|d| d.breach.is_some()).count() == 1);
+    }
+
+    #[test]
+    fn latency_and_liveness_breaches_fire() {
+        let baseline = report("fig8", 1000.0, 80.0, 0);
+        let current = report("fig8", 1000.0, 120.0, 1); // p99 +50%, one violation
+        let diffs = compare_reports(&baseline, &current).unwrap();
+        let breached: Vec<&str> = diffs
+            .iter()
+            .filter(|d| d.breach.is_some())
+            .map(|d| d.path.as_str())
+            .collect();
+        assert_eq!(breached, ["metrics/latency_p99_ms", "metrics/liveness_violations"]);
+    }
+
+    #[test]
+    fn missing_metric_is_a_breach() {
+        let baseline = report("fig8", 1000.0, 80.0, 0);
+        let mut current = report("fig8", 1000.0, 80.0, 0);
+        // Drop tps from the current report.
+        if let Some(JsonValue::Object(pairs)) = current.get("metrics").cloned() {
+            let pruned: Vec<_> = pairs.into_iter().filter(|(k, _)| k != "tps").collect();
+            current.set("metrics", JsonValue::Object(pruned));
+        }
+        let diffs = compare_reports(&baseline, &current).unwrap();
+        let tps = diffs.iter().find(|d| d.path == "metrics/tps").unwrap();
+        assert!(tps.breach.as_deref() == Some("metric missing from report"), "{tps:?}");
+    }
+
+    #[test]
+    fn scenario_mismatch_and_missing_budgets_error() {
+        let baseline = report("fig8", 1000.0, 80.0, 0);
+        let current = report("overload", 1000.0, 80.0, 0);
+        assert!(compare_reports(&baseline, &current).is_err());
+        let bare = JsonValue::object();
+        assert!(compare_reports(&bare, &bare).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_text_preserves_verdicts() {
+        let baseline = report("fig8", 1234.5, 80.25, 0);
+        let reparsed = JsonValue::parse(&baseline.render()).unwrap();
+        let diffs = compare_reports(&reparsed, &reparsed).unwrap();
+        assert!(diffs.iter().all(|d| d.breach.is_none()), "{diffs:?}");
+    }
+}

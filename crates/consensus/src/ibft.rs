@@ -20,7 +20,7 @@ use ahl_mempool::{Mempool, MempoolConfig};
 use ahl_simkit::{Actor, Ctx, MsgClass, NodeId, Phase, Scope, SimDuration};
 
 use crate::adversary::{
-    commit_digest, equivocation_half, Attack, EquivocationTracker, SafetyChecker,
+    self, commit_digest, Attack, EquivocationTracker, SafetyChecker, VoteAttackPlan,
 };
 use crate::clients::ClientProtocol;
 use crate::common::{stat, Request};
@@ -362,100 +362,77 @@ impl IbftNode {
     /// higher to half 1, both to Byzantine colleagues, plus the
     /// proposer's own per-half votes. Forks exactly when f > ⌊(n−1)/3⌋.
     fn equivocate_propose(&mut self, block: Arc<Vec<Request>>, ctx: &mut Ctx<'_, IbftMsg>) {
-        let (height, round) = (self.height, self.round);
-        let alt: Arc<Vec<Request>> = Arc::new(block[1..].to_vec());
-        let da = digest_of(height, round, &block);
-        let db = digest_of(height, round, &alt);
-        let (lo, hi) = if da.0 <= db.0 {
-            ((da, block), (db, alt))
-        } else {
-            ((db, alt), (da, block))
-        };
+        let (height, round, me) = (self.height, self.round, self.me);
         self.charge(ctx, self.cfg.sign_cost);
-        for g in 0..self.cfg.n {
-            if g == self.me {
-                continue;
-            }
-            let peer = self.group[g];
-            let sides: Vec<&(Hash, Arc<Vec<Request>>)> = if self.cfg.is_byzantine(g) {
-                vec![&lo, &hi]
-            } else if equivocation_half(g) == 0 {
-                vec![&lo]
-            } else {
-                vec![&hi]
-            };
-            for (digest, blk) in sides {
+        let (group, cfg) = (&self.group, &self.cfg);
+        adversary::equivocate_propose(
+            block,
+            |b| digest_of(height, round, b),
+            cfg.n,
+            me,
+            |g| cfg.is_byzantine(g),
+            |g, digest, blk| {
+                let peer = group[g];
                 ctx.send(
                     peer,
-                    IbftMsg::PrePrepare {
-                        height,
-                        round,
-                        block: blk.clone(),
-                        digest: *digest,
-                        proposer: self.me,
-                    },
+                    IbftMsg::PrePrepare { height, round, block: blk.clone(), digest, proposer: me },
                 );
-                ctx.send(peer, IbftMsg::Prepare { height, round, digest: *digest, replica: self.me });
-                ctx.send(peer, IbftMsg::Commit { height, round, digest: *digest, replica: self.me });
-            }
-        }
+                ctx.send(peer, IbftMsg::Prepare { height, round, digest, replica: me });
+                ctx.send(peer, IbftMsg::Commit { height, round, digest, replica: me });
+            },
+        );
     }
 
     /// Double-sign equivocation (colluding voter side).
     fn equivocate_echo(&mut self, height: u64, round: u32, digest: Hash, ctx: &mut Ctx<'_, IbftMsg>) {
-        let slot = ((height as u128) << 32) | round as u128;
-        let Some((half, split)) = self.byz_equiv.observe(slot, digest) else {
+        let Some(targets) = adversary::equivocation_echo_targets(
+            &mut self.byz_equiv,
+            height,
+            round,
+            digest,
+            self.cfg.n,
+            self.me,
+        ) else {
             return;
         };
         self.charge(ctx, self.cfg.sign_cost);
         let me = self.me;
-        let targets: Vec<NodeId> = (0..self.cfg.n)
-            .filter(|g| *g != me && (!split || equivocation_half(*g) == half))
-            .map(|g| self.group[g])
-            .collect();
+        let targets: Vec<NodeId> = targets.into_iter().map(|g| self.group[g]).collect();
         ctx.multicast(targets.clone(), IbftMsg::Prepare { height, round, digest, replica: me });
         ctx.multicast(targets, IbftMsg::Commit { height, round, digest, replica: me });
     }
 
-    /// Byzantine vote emission, dispatched by the configured [`Attack`].
+    /// Byzantine vote emission, dispatched by the configured [`Attack`]
+    /// through the shared [`adversary::byzantine_vote`] planner.
     fn byzantine_vote(&mut self, prepare: bool, digest: Hash, ctx: &mut Ctx<'_, IbftMsg>) {
-        let (height, round) = (self.height, self.round);
-        let make = |digest: Hash, replica: usize| {
+        let (height, round, me) = (self.height, self.round, self.me);
+        let make = |digest: Hash| {
             if prepare {
-                IbftMsg::Prepare { height, round, digest, replica }
+                IbftMsg::Prepare { height, round, digest, replica: me }
             } else {
-                IbftMsg::Commit { height, round, digest, replica }
+                IbftMsg::Commit { height, round, digest, replica: me }
             }
         };
-        match self.cfg.attack {
-            Attack::Equivocate | Attack::WithholdVotes => {}
-            Attack::StaleReplay => {
-                let slot = usize::from(!prepare);
-                if let Some(stale) = self.stale_votes[slot].clone() {
-                    ctx.stats().inc("adv.stale_replays", 1);
-                    self.charge(ctx, self.cfg.sign_cost);
-                    ctx.multicast(self.others(), stale);
-                }
-                self.stale_votes[slot] = Some(make(digest, self.me));
-            }
-            // No checkpoints in IBFT: corrupt-digest votes, conflicting
-            // per half (PaperFlood) or uniformly bogus (BogusCheckpoint).
-            Attack::PaperFlood | Attack::BogusCheckpoint => {
+        let plan = adversary::byzantine_vote(
+            self.cfg.attack,
+            &mut self.stale_votes,
+            prepare,
+            digest,
+            self.cfg.n,
+            me,
+            make,
+        );
+        match plan {
+            VoteAttackPlan::Silent | VoteAttackPlan::Replay(None) => {}
+            VoteAttackPlan::Replay(Some(stale)) => {
+                ctx.stats().inc("adv.stale_replays", 1);
                 self.charge(ctx, self.cfg.sign_cost);
-                let mut bad = digest;
-                bad.0[0] ^= 0xff;
-                for g in 0..self.cfg.n {
-                    if g == self.me {
-                        continue;
-                    }
-                    let d = if self.cfg.attack == Attack::BogusCheckpoint
-                        || equivocation_half(g) == 1
-                    {
-                        bad
-                    } else {
-                        digest
-                    };
-                    ctx.send(self.group[g], make(d, self.me));
+                ctx.multicast(self.others(), stale);
+            }
+            VoteAttackPlan::Corrupt(votes) => {
+                self.charge(ctx, self.cfg.sign_cost);
+                for (g, vote) in votes {
+                    ctx.send(self.group[g], vote);
                 }
             }
         }
@@ -483,6 +460,9 @@ impl IbftNode {
         if self.byzantine && self.cfg.attack == Attack::Equivocate {
             self.equivocate_propose(block, ctx);
             return;
+        }
+        for r in block.iter() {
+            ctx.trace(r.id, Phase::Propose);
         }
         let digest = digest_of(self.height, self.round, &block);
         self.charge(ctx, self.cfg.sign_cost);
@@ -564,6 +544,7 @@ impl IbftNode {
     }
 
     fn finalize(&mut self, block: Arc<Vec<Request>>, ctx: &mut Ctx<'_, IbftMsg>) {
+        let _prof = ahl_telemetry::Profiler::span("ibft.exec");
         let mut committed = 0u64;
         let mut weight = 0usize;
         let checker = if self.byzantine { None } else { self.cfg.safety.clone() };
@@ -664,8 +645,14 @@ impl Actor for IbftNode {
         match msg {
             IbftMsg::Request(req) => {
                 self.charge(ctx, self.cfg.ingest_cost);
+                // Client-facing ingest on the contacted replica only (the
+                // gossip fan-out below doesn't re-stamp), so the liveness
+                // oracle sees each request admitted exactly once.
+                ctx.trace(req.id, Phase::Ingest);
                 ctx.multicast(self.others(), IbftMsg::GossipTx(req.clone()));
+                let id = req.id;
                 self.pool_tx(req, ctx);
+                ctx.trace(id, Phase::Admit);
                 if self.proposer(self.height, self.round) == self.me && self.proposal.is_none() {
                     self.propose(ctx);
                 }

@@ -1186,6 +1186,7 @@ impl Replica {
     }
 
     fn execute_block(&mut self, block: &PbftBlock, ctx: &mut Ctx<'_, PbftMsg>) {
+        let _prof = ahl_telemetry::Profiler::span("pbft.exec");
         let mut committed = 0u64;
         let mut aborted = 0u64;
         let mut receipts = Vec::with_capacity(block.reqs.len());

@@ -7,7 +7,9 @@ use ahl_consensus::harness::NetChoice;
 use ahl_consensus::pbft::{add_committee, BftVariant, PbftConfig, PbftMsg, ReplyPolicy};
 use ahl_ledger::Value;
 use ahl_mempool::MempoolConfig;
+use ahl_simkit::adversary::{FaultRule, ScriptedFaults};
 use ahl_simkit::{MsgClass, NodeId, QueueConfig, Sim, SimConfig, SimDuration, SimTime};
+use ahl_telemetry::{LivenessChecker, ProfileReport, Profiler};
 use ahl_txn::ShardMap;
 use ahl_workload::{KvStoreWorkload, SmallBankWorkload, Zipf};
 use rand::rngs::SmallRng;
@@ -117,6 +119,18 @@ pub struct SystemConfig {
     /// Global safety oracle wired into every honest replica (`None` = no
     /// observation overhead; see [`SafetyChecker`]).
     pub safety: Option<SafetyChecker>,
+    /// Liveness oracle fed from the flight-recorder stream (`None` = no
+    /// observation overhead; see [`LivenessChecker`]). The run installs
+    /// the committee topology, tees every trace stamp into it, and runs
+    /// its final sweep at end of run.
+    pub liveness: Option<LivenessChecker>,
+    /// Scripted network faults (partitions, drops, delays, duplication)
+    /// installed as the simulator's message interposer — the handle
+    /// liveness canaries use to stall a committee from the outside.
+    pub faults: Vec<FaultRule<PbftMsg>>,
+    /// Enable the wall-clock [`Profiler`] for this run: hot paths record
+    /// hierarchical spans, harvested into [`SystemReport::profile`].
+    pub profile: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -144,6 +158,9 @@ impl SystemConfig {
             attack: Attack::default(),
             malicious_clients: 0,
             safety: None,
+            liveness: None,
+            faults: Vec::new(),
+            profile: false,
             seed: 42,
         }
     }
@@ -192,6 +209,9 @@ pub struct SystemMetrics {
     /// (0 when none was configured — and 0 in every run with the
     /// Byzantine count within bound, or the run is broken).
     pub safety_violations: u64,
+    /// Liveness violations recorded by the run's [`LivenessChecker`]
+    /// (0 when none was configured — and 0 in every clean run).
+    pub liveness_violations: u64,
 }
 
 /// A full-system run's metrics plus the raw simulator statistics that
@@ -204,6 +224,8 @@ pub struct SystemReport {
     pub metrics: SystemMetrics,
     /// The simulator's statistics sink at the end of the run.
     pub stats: ahl_simkit::Stats,
+    /// Wall-clock span attribution, when [`SystemConfig::profile`] was set.
+    pub profile: Option<ProfileReport>,
 }
 
 /// Run the full sharded system and report logical-transaction metrics.
@@ -217,9 +239,11 @@ const DUMP_TAIL: usize = 24;
 
 /// Like [`run_system`], but also returns the simulator's raw statistics
 /// (labeled counters, phase histograms, flight recorder) for reporting.
-pub fn run_system_report(cfg: SystemConfig) -> SystemReport {
+pub fn run_system_report(mut cfg: SystemConfig) -> SystemReport {
     let committees = cfg.shards + usize::from(cfg.with_reference);
     let total_nodes = committees * cfg.committee_size + cfg.clients;
+    let faults = std::mem::take(&mut cfg.faults);
+    let cfg = cfg;
 
     fn classify(m: &PbftMsg) -> MsgClass {
         m.class()
@@ -239,6 +263,18 @@ pub fn run_system_report(cfg: SystemConfig) -> SystemReport {
         NetChoice::Gcp { .. } => 300e6,
     });
     let mut sim: Sim<PbftMsg> = Sim::new(sim_cfg);
+    sim.stats_mut().set_topology(committees, cfg.committee_size);
+    if let Some(liveness) = &cfg.liveness {
+        liveness.install_topology(committees, cfg.committee_size);
+        let sink = std::sync::Arc::new(std::sync::Mutex::new(liveness.clone()));
+        sim.stats_mut().set_trace_sink(sink);
+    }
+    if !faults.is_empty() {
+        sim.set_interposer(Box::new(ScriptedFaults::new(faults)));
+    }
+    if cfg.profile {
+        Profiler::enable();
+    }
 
     let mut pbft = PbftConfig::new(cfg.variant, cfg.committee_size);
     pbft.reply_policy = ReplyPolicy::IngestReplica;
@@ -308,7 +344,14 @@ pub fn run_system_report(cfg: SystemConfig) -> SystemReport {
         sim.add_actor(Box::new(client), QueueConfig::unbounded());
     }
 
-    sim.run_until(stop + SimDuration::from_secs(10));
+    let end = stop + SimDuration::from_secs(10);
+    sim.run_until(end);
+    let profile = if cfg.profile { Some(Profiler::take()) } else { None };
+    if let Some(liveness) = &cfg.liveness {
+        // Final sweep: demand still waiting at end of run is a stall even
+        // if no late event triggered a periodic check.
+        liveness.finish(end);
+    }
 
     // Conservation audit: read each shard's most-advanced replica.
     let final_balance = match &cfg.workload {
@@ -370,6 +413,11 @@ pub fn run_system_report(cfg: SystemConfig) -> SystemReport {
             .as_ref()
             .map(|s| s.violations().len() as u64)
             .unwrap_or(0),
+        liveness_violations: cfg
+            .liveness
+            .as_ref()
+            .map(|l| l.violations().len() as u64)
+            .unwrap_or(0),
     };
 
     // Dump-on-anomaly: a safety violation prints a bounded causal trace
@@ -410,7 +458,44 @@ pub fn run_system_report(cfg: SystemConfig) -> SystemReport {
         }
     }
 
-    SystemReport { metrics, stats: stats.clone() }
+    // Same dump path for liveness: print each violation's summary plus the
+    // implicated committee's bounded causal trace and the lifecycle of the
+    // stuck probe transaction.
+    if metrics.liveness_violations > 0 {
+        if let Some(checker) = &cfg.liveness {
+            let violations = checker.violations();
+            eprintln!("=== LIVENESS VIOLATIONS: {} ===", violations.len());
+            for v in violations.iter().take(8) {
+                eprintln!("  {}", v.summary());
+            }
+            if violations.len() > 8 {
+                eprintln!("  ... and {} more", violations.len() - 8);
+            }
+            let mut nodes: Vec<usize> = Vec::new();
+            for v in &violations {
+                if let Some(c) = v.committee() {
+                    let base = c * cfg.committee_size;
+                    nodes.extend(base..base + cfg.committee_size);
+                }
+            }
+            nodes.sort_unstable();
+            nodes.dedup();
+            if nodes.is_empty() {
+                nodes = (0..committees * cfg.committee_size).collect();
+            }
+            eprint!("{}", stats.recorder().dump(nodes.iter().copied(), DUMP_TAIL));
+            for v in &violations {
+                if let Some(id) = v.trace_id() {
+                    eprintln!("--- lifecycle of id={id} ---");
+                    for ev in stats.recorder().lifecycle(id) {
+                        eprintln!("{ev}");
+                    }
+                }
+            }
+        }
+    }
+
+    SystemReport { metrics, stats: stats.clone(), profile }
 }
 
 #[cfg(test)]

@@ -58,6 +58,6 @@ pub mod trace;
 pub use engine::{
     Actor, Ctx, MsgClass, Network, NodeId, QueueConfig, Sim, SimConfig, UniformNetwork,
 };
-pub use stats::{Histogram, Scope, Stats};
+pub use stats::{Histogram, Scope, Stats, TRACE_DROPPED};
 pub use time::{SimDuration, SimTime};
-pub use trace::{FlightRecorder, Phase, TraceEvent};
+pub use trace::{FlightRecorder, Phase, TraceEvent, TraceSink};

@@ -5,9 +5,11 @@
 //! read back by the harness after the run.
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{FlightRecorder, Phase};
+use crate::trace::{FlightRecorder, Phase, TraceSink};
 
 /// A log-bucketed latency histogram covering 1 µs .. ~17 minutes.
 ///
@@ -184,6 +186,30 @@ pub struct Stats {
     scoped_counters: BTreeMap<(&'static str, Scope), u64>,
     scoped_histograms: BTreeMap<(&'static str, Scope), Histogram>,
     recorder: FlightRecorder,
+    sink: SinkHandle,
+    /// `(committees, committee_size)` hint: lets trace-derived counters
+    /// attribute a node id to a [`Scope`] (nodes past the committees are
+    /// clients and stay unscoped).
+    topology: Option<(usize, usize)>,
+}
+
+/// Counter name for flight-recorder ring evictions (see
+/// [`Stats::set_topology`] for the scoped variant).
+pub const TRACE_DROPPED: &str = "trace.dropped";
+
+/// Shared handle to an installed [`TraceSink`] (`None` = no tee). A newtype
+/// so `Stats` keeps its derived `Clone`/`Default` and a readable `Debug`
+/// without requiring sinks to implement either.
+#[derive(Clone, Default)]
+struct SinkHandle(Option<Arc<Mutex<dyn TraceSink + Send>>>);
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(_) => f.write_str("TraceSink(installed)"),
+            None => f.write_str("TraceSink(none)"),
+        }
+    }
 }
 
 impl Stats {
@@ -250,12 +276,52 @@ impl Stats {
 
     /// Stamp a flight-recorder event at `at` on behalf of `node`. Completed
     /// phase transitions land in the `phase.*` histograms (see
-    /// [`Phase::TRANSITIONS`]). Actors normally call [`crate::Ctx::trace`],
-    /// which fills in the clock and node id.
+    /// [`Phase::TRANSITIONS`]); ring evictions are counted under
+    /// [`TRACE_DROPPED`] (scoped per replica when a topology hint is set),
+    /// and the stamp is teed into the installed [`TraceSink`], if any.
+    /// Actors normally call [`crate::Ctx::trace`], which fills in the clock
+    /// and node id.
     pub fn trace(&mut self, at: SimTime, node: usize, id: u64, phase: Phase) {
-        if let Some(tr) = self.recorder.record(at, node, id, phase) {
+        let outcome = self.recorder.record(at, node, id, phase);
+        if let Some(tr) = outcome.transition {
             self.histograms.entry(tr.name).or_default().record(tr.delta);
         }
+        if outcome.evicted {
+            match self.scope_of(node) {
+                Some(scope) => self.inc_scoped(TRACE_DROPPED, scope, 1),
+                None => self.inc(TRACE_DROPPED, 1),
+            }
+        }
+        if let Some(sink) = self.sink.0.clone() {
+            sink.lock().expect("trace sink poisoned").on_trace(at, node, id, phase);
+        }
+    }
+
+    /// Install a [`TraceSink`] tee: every subsequent [`Stats::trace`] stamp
+    /// is forwarded to `sink` after normal recording. One sink at a time;
+    /// installing replaces the previous one.
+    pub fn set_trace_sink(&mut self, sink: Arc<Mutex<dyn TraceSink + Send>>) {
+        self.sink = SinkHandle(Some(sink));
+    }
+
+    /// Remove the installed [`TraceSink`], if any.
+    pub fn clear_trace_sink(&mut self) {
+        self.sink = SinkHandle(None);
+    }
+
+    /// Declare the run's committee layout (`committees` committees of
+    /// `committee_size` nodes, ids `committee * committee_size + replica`,
+    /// clients after) so trace-derived counters can be scope-labeled.
+    pub fn set_topology(&mut self, committees: usize, committee_size: usize) {
+        self.topology = Some((committees, committee_size));
+    }
+
+    fn scope_of(&self, node: usize) -> Option<Scope> {
+        let (committees, size) = self.topology?;
+        if size == 0 || node >= committees * size {
+            return None;
+        }
+        Some(Scope::replica(node / size, node % size))
     }
 
     /// The transaction flight recorder (post-run inspection, dumps).
@@ -412,6 +478,51 @@ mod tests {
         let h = s.histogram("phase.submit_ingest").expect("hop recorded");
         assert_eq!(h.count(), 1);
         assert_eq!(h.mean().as_millis(), 2);
+        assert_eq!(s.histogram("phase.ingest_admit").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn ring_eviction_is_counted_and_scoped() {
+        let mut s = Stats::new();
+        s.recorder_mut().set_capacity(4);
+        s.set_topology(1, 2); // nodes 0,1 are c0/r0,c0/r1; node 2+ clients
+        for i in 0..10u64 {
+            s.trace(SimTime(i), 1, i, Phase::WalCommit);
+        }
+        // 10 events into a 4-slot ring: 6 evictions, attributed to c0/r1.
+        assert_eq!(s.counter(TRACE_DROPPED), 6);
+        assert_eq!(s.scoped_counter(TRACE_DROPPED, Scope::replica(0, 1)), 6);
+        assert_eq!(s.recorder().dropped(1), 6);
+        assert_eq!(s.recorder().occupancy(), 4);
+        // A client node's evictions land in the global counter only.
+        for i in 0..5u64 {
+            s.trace(SimTime(i), 7, 100 + i, Phase::WalCommit);
+        }
+        assert_eq!(s.counter(TRACE_DROPPED), 7);
+        assert_eq!(s.recorder().total_dropped(), 7);
+    }
+
+    #[test]
+    fn trace_sink_sees_every_stamp() {
+        use std::sync::{Arc, Mutex};
+        #[derive(Default)]
+        struct Tape(Vec<(SimTime, usize, u64, Phase)>);
+        impl crate::trace::TraceSink for Tape {
+            fn on_trace(&mut self, at: SimTime, node: usize, id: u64, phase: Phase) {
+                self.0.push((at, node, id, phase));
+            }
+        }
+        let tape = Arc::new(Mutex::new(Tape::default()));
+        let mut s = Stats::new();
+        s.set_trace_sink(tape.clone());
+        s.trace(SimTime(1), 0, 9, Phase::Submit);
+        s.trace(SimTime(2), 1, 9, Phase::Ingest);
+        s.clear_trace_sink();
+        s.trace(SimTime(3), 1, 9, Phase::Admit);
+        let seen = &tape.lock().unwrap().0;
+        assert_eq!(seen.len(), 2, "tee stops after clear");
+        assert_eq!(seen[0], (SimTime(1), 0, 9, Phase::Submit));
+        // The normal recording path still ran for all three stamps.
         assert_eq!(s.histogram("phase.ingest_admit").unwrap().count(), 1);
     }
 

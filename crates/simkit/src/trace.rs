@@ -176,6 +176,27 @@ pub(crate) struct Transition {
     pub delta: SimDuration,
 }
 
+/// What one [`FlightRecorder::record`] call did: the phase transition it
+/// completed (if any), and whether retaining the event evicted the oldest
+/// entry of the node's ring (so [`crate::Stats`] can count the drop instead
+/// of losing history silently).
+pub(crate) struct RecordOutcome {
+    pub transition: Option<Transition>,
+    pub evicted: bool,
+}
+
+/// An online consumer of the flight-recorder event stream.
+///
+/// [`crate::Stats::set_trace_sink`] tees every [`crate::Stats::trace`] stamp
+/// into one installed sink *in addition to* the normal recorder/histogram
+/// path. This is how out-of-crate oracles (e.g. a liveness checker) observe
+/// the run without the simulator depending on them: the sink sees the exact
+/// deterministic event sequence, in order, as it happens.
+pub trait TraceSink {
+    /// Observe one lifecycle stamp (same arguments as [`crate::Ctx::trace`]).
+    fn on_trace(&mut self, at: SimTime, node: usize, id: u64, phase: Phase);
+}
+
 /// Per-node bounded ring buffers of [`TraceEvent`]s plus the chain tracker
 /// that derives phase-hop latencies. Owned by [`crate::Stats`]; actors write
 /// through [`crate::Ctx::trace`].
@@ -187,6 +208,8 @@ pub struct FlightRecorder {
     open: BTreeMap<(u64, u8), (u8, SimTime)>,
     /// Chains refused because `open` was at capacity.
     overflow: u64,
+    /// Events evicted from full rings, per node (oldest-first eviction).
+    dropped: BTreeMap<usize, u64>,
 }
 
 impl FlightRecorder {
@@ -208,12 +231,14 @@ impl FlightRecorder {
         self.capacity
     }
 
-    /// Change the per-node ring capacity (existing rings are trimmed).
+    /// Change the per-node ring capacity (existing rings are trimmed; trimmed
+    /// events count as drops).
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
-        for ring in self.rings.values_mut() {
+        for (&node, ring) in self.rings.iter_mut() {
             while ring.len() > capacity {
                 ring.pop_front();
+                *self.dropped.entry(node).or_insert(0) += 1;
             }
         }
     }
@@ -223,21 +248,45 @@ impl FlightRecorder {
         self.overflow
     }
 
-    /// Record one event. Returns the phase transition it completed, if any.
+    /// Events evicted from `node`'s full ring (oldest-first) over the run.
+    pub fn dropped(&self, node: usize) -> u64 {
+        self.dropped.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total events evicted from full rings across all nodes.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Total events currently retained across all rings (occupancy).
+    pub fn occupancy(&self) -> usize {
+        self.rings.values().map(VecDeque::len).sum()
+    }
+
+    /// Record one event. Reports the phase transition it completed (if any)
+    /// and whether the node's ring evicted its oldest event to make room.
     pub(crate) fn record(
         &mut self,
         at: SimTime,
         node: usize,
         id: u64,
         phase: Phase,
-    ) -> Option<Transition> {
+    ) -> RecordOutcome {
+        let mut evicted = false;
         if self.capacity > 0 {
             let ring = self.rings.entry(node).or_default();
             if ring.len() >= self.capacity {
                 ring.pop_front();
+                *self.dropped.entry(node).or_insert(0) += 1;
+                evicted = true;
             }
             ring.push_back(TraceEvent { at, node, id, phase });
         }
+        let transition = self.track_chain(at, id, phase);
+        RecordOutcome { transition, evicted }
+    }
+
+    fn track_chain(&mut self, at: SimTime, id: u64, phase: Phase) -> Option<Transition> {
         let (chain, rank) = phase.chain_rank()?;
         let key = (id, chain as u8);
         match self.open.get_mut(&key) {
@@ -350,23 +399,23 @@ mod tests {
     #[test]
     fn chain_transitions_land_in_order() {
         let mut fr = FlightRecorder::new(16);
-        assert!(fr.record(t(0), 0, 7, Phase::Submit).is_none());
-        let tr = fr.record(t(2), 1, 7, Phase::Ingest).expect("hop");
+        assert!(fr.record(t(0), 0, 7, Phase::Submit).transition.is_none());
+        let tr = fr.record(t(2), 1, 7, Phase::Ingest).transition.expect("hop");
         assert_eq!(tr.name, "phase.submit_ingest");
         assert_eq!(tr.delta.as_millis(), 2);
-        let tr = fr.record(t(3), 1, 7, Phase::Admit).expect("hop");
+        let tr = fr.record(t(3), 1, 7, Phase::Admit).transition.expect("hop");
         assert_eq!(tr.name, "phase.ingest_admit");
         assert_eq!(tr.delta.as_millis(), 1);
         // A second replica stamping Admit later must not re-measure.
-        assert!(fr.record(t(4), 2, 7, Phase::Admit).is_none());
-        let tr = fr.record(t(9), 1, 7, Phase::Commit).expect("skip propose");
+        assert!(fr.record(t(4), 2, 7, Phase::Admit).transition.is_none());
+        let tr = fr.record(t(9), 1, 7, Phase::Commit).transition.expect("skip propose");
         assert_eq!(tr.name, "phase.propose_commit");
         assert_eq!(tr.delta.as_millis(), 6);
-        let tr = fr.record(t(10), 1, 7, Phase::Exec).expect("terminal");
+        let tr = fr.record(t(10), 1, 7, Phase::Exec).transition.expect("terminal");
         assert_eq!(tr.name, "phase.commit_exec");
         // Chain closed: stragglers neither measure nor re-open.
-        assert!(fr.record(t(11), 2, 7, Phase::Exec).is_none());
-        assert!(fr.record(t(12), 2, 7, Phase::Commit).is_none());
+        assert!(fr.record(t(11), 2, 7, Phase::Exec).transition.is_none());
+        assert!(fr.record(t(12), 2, 7, Phase::Commit).transition.is_none());
     }
 
     #[test]
@@ -374,9 +423,9 @@ mod tests {
         let mut fr = FlightRecorder::new(16);
         fr.record(t(0), 0, 5, Phase::Submit);
         fr.record(t(0), 0, 5, Phase::TwoPcBegin);
-        let tr = fr.record(t(4), 1, 5, Phase::TwoPcPrepare).expect("2pc hop");
+        let tr = fr.record(t(4), 1, 5, Phase::TwoPcPrepare).transition.expect("2pc hop");
         assert_eq!(tr.name, "phase.2pc_begin_prepare");
-        let tr = fr.record(t(5), 1, 5, Phase::Ingest).expect("consensus hop");
+        let tr = fr.record(t(5), 1, 5, Phase::Ingest).transition.expect("consensus hop");
         assert_eq!(tr.name, "phase.submit_ingest");
         assert_eq!(tr.delta.as_millis(), 5);
     }
@@ -395,7 +444,7 @@ mod tests {
     fn zero_capacity_still_measures_phases() {
         let mut fr = FlightRecorder::new(0);
         fr.record(t(0), 0, 1, Phase::Submit);
-        assert!(fr.record(t(1), 0, 1, Phase::Ingest).is_some());
+        assert!(fr.record(t(1), 0, 1, Phase::Ingest).transition.is_some());
         assert_eq!(fr.all_events().count(), 0);
     }
 

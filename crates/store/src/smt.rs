@@ -612,6 +612,7 @@ impl<V: StateValue + Clone> SparseMerkleTree<V> {
     /// Insert or update `key` with `value`. O(log n) hashes; clones only
     /// the nodes on the key's root path that are shared with snapshots.
     pub fn insert(&mut self, key: &str, value: V) {
+        let _prof = ahl_telemetry::Profiler::span("smt.update");
         let path = key_path(key);
         let vhash = value.leaf_digest();
         // Find the leaf the path routes to (the crit-bit candidate).
@@ -808,6 +809,7 @@ pub fn verify_chunk(
     entries: &[(Hash, Hash)],
     siblings: &[Hash],
 ) -> bool {
+    let _prof = ahl_telemetry::Profiler::span("sync.verify_chunk");
     if siblings.len() != bits as usize || bits > 32 {
         return false;
     }

@@ -118,6 +118,7 @@ impl Coordinator {
     /// honest replica of R applying the same event sequence produces the
     /// same actions.
     pub fn apply(&mut self, txid: TxId, event: CoordEvent) -> CoordAction {
+        let _prof = ahl_telemetry::Profiler::span("txn.coordinator");
         match event {
             CoordEvent::Begin { shards } => {
                 if self.txs.contains_key(&txid) || shards.is_empty() {

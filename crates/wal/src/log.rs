@@ -154,6 +154,7 @@ impl Wal {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let _prof = ahl_telemetry::Profiler::span("wal.group_commit");
         for payload in std::mem::take(&mut self.pending) {
             let frame = encode_frame(&payload);
             if let Err(e) = self.cfg.kill.check() {

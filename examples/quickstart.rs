@@ -166,4 +166,35 @@ fn main() {
     }
     assert!(!sample.is_empty(), "the flight recorder captured the run");
     println!("OK: labeled metrics, phase percentiles and flight-recorder traces.");
+
+    // Run-time oracles (ahl-telemetry): the liveness oracle rides the same
+    // trace stream the flight recorder fills — per-committee commit-stall,
+    // mempool-starvation, view-change-storm and sync-livelock detectors
+    // with budgets an order of magnitude above healthy steady state
+    // (tune them via `LivenessConfig`). The wall-clock profiler times the
+    // *host* cost of the hot paths (consensus exec, SMT update, WAL group
+    // commit, sync verify, 2PC coordinator) and attributes self/total
+    // time per span. Both attach through `SystemConfig`; a violation
+    // dumps the implicated committee's causal trace, and the profiler
+    // table lands in the text and JSON output of `experiments`. The same
+    // JSON reports power the bench-trajectory gate: `bench_compare
+    // BENCH_fig8.json fresh.json` diffs a fresh run against the committed
+    // baseline and exits non-zero on a budget breach (see BENCHMARKS.md).
+    use ahl::telemetry::{LivenessChecker, LivenessConfig};
+    let liveness = LivenessChecker::new(LivenessConfig::default());
+    let mut cfg = SystemConfig::new(2, 3);
+    cfg.clients = 4;
+    cfg.outstanding = 8;
+    cfg.workload = SystemWorkload::SmallBank { accounts: 1_000, theta: 0.0 };
+    cfg.duration = SimDuration::from_secs(3);
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.liveness = Some(liveness.clone());
+    cfg.profile = true;
+    let report = ahl::system::run_system_report(cfg);
+    assert!(liveness.ok(), "healthy run must not trip the oracle");
+    assert_eq!(report.metrics.liveness_violations, 0);
+    let profile = report.profile.expect("profiling was enabled");
+    print!("{}", profile.render());
+    assert!(profile.self_total_ns() <= profile.wall_ns);
+    println!("OK: liveness oracle silent; profiler attributed the hot paths.");
 }

@@ -7,6 +7,7 @@
 //! | Module | Contents |
 //! |--------|----------|
 //! | [`simkit`] | deterministic discrete-event simulation kernel + adversarial message-bus interposition (scripted partitions, drops, delays, duplication); observability: labeled metrics ([`simkit::Scope`]) and the transaction flight recorder ([`simkit::FlightRecorder`]) |
+//! | [`telemetry`] | run-time oracles over the trace stream: the liveness oracle ([`telemetry::LivenessChecker`]: commit stalls, mempool starvation, view-change storms, sync livelock) and the wall-clock span profiler ([`telemetry::Profiler`]) |
 //! | [`crypto`] | SHA-256, HMAC, signatures, Merkle trees |
 //! | [`tee`] | SGX simulation: attested log, randomness beacon, sealing |
 //! | [`net`] | cluster / GCP network models (Table 3 latencies) |
@@ -53,14 +54,32 @@
 //!   buffers ([`simkit::FlightRecorder`]); traces are deterministic in
 //!   the run seed, and phase-to-phase transitions derive `phase.*`
 //!   latency histograms with p50/p99/p999.
-//! - **Dump-on-anomaly** — a [`consensus::SafetyChecker`] violation in a
-//!   [`system::run_system`] run prints each violation's one-line summary
-//!   plus a bounded causal trace of the implicated committee.
+//! - **Liveness oracle** — [`telemetry::LivenessChecker`] is an online
+//!   [`simkit::TraceSink`] tee over the same stamp stream: per-committee
+//!   commit-stall, mempool-starvation, view-change-storm and
+//!   sync-livelock detectors with deterministic verdicts. Attach it via
+//!   `SystemConfig::liveness`; violations land in
+//!   `SystemMetrics::liveness_violations` and the JSON report.
+//! - **Wall-clock profiler** — [`telemetry::Profiler`] spans
+//!   (`pbft.exec`, `smt.update`, `wal.group_commit`, `sync.verify_chunk`,
+//!   `txn.coordinator`, …) time the *host* cost of the hot paths, with
+//!   self/total attribution; `SystemConfig::profile` returns the sorted
+//!   table in `SystemReport::profile`.
+//! - **Dump-on-anomaly** — a [`consensus::SafetyChecker`] or liveness
+//!   violation in a [`system::run_system`] run prints each violation's
+//!   one-line summary plus a bounded causal trace of the implicated
+//!   committee.
 //! - **Machine-readable reports** — [`system::run_system_report`] returns
 //!   the raw [`simkit::Stats`] next to the metrics; `experiments -- fig8
 //!   --quick --json out.json` emits the stable JSON report (run config,
 //!   per-shard committed counts, phase-latency percentiles) that CI
 //!   validates and archives on every push.
+//! - **Bench trajectory** — the `fig8` / `overload` / `statesync` /
+//!   `recovery` / `byzantine` scenarios embed per-metric regression
+//!   budgets in their JSON reports; `bench_compare
+//!   BENCH_<scenario>.json fresh.json` diffs a fresh run against the
+//!   committed baseline and exits non-zero on a breach (see
+//!   BENCHMARKS.md).
 //!
 //! ```
 //! use ahl::system::{run_system_report, SystemConfig, SystemWorkload};
@@ -107,6 +126,7 @@ pub use ahl_net as net;
 pub use ahl_shard as shard;
 pub use ahl_simkit as simkit;
 pub use ahl_store as store;
+pub use ahl_telemetry as telemetry;
 pub use ahl_tee as tee;
 pub use ahl_txn as txn;
 pub use ahl_wal as wal;
