@@ -1,11 +1,12 @@
 //! End-to-end consensus simulation benchmarks: how much host time one
 //! simulated committee-second costs at several scales, plus ablations
-//! (batch size, split vs shared queues).
+//! (batch size, split vs shared queues, execution worker threads).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use ahl_consensus::clients::OpenLoopClient;
 use ahl_consensus::pbft::{build_group, BftVariant, PbftConfig};
+use ahl_ledger::{execute_ops, Condition, Mutation, Op, StateOp, StateStore, TxId, Value};
 use ahl_simkit::{QueueConfig, SimDuration, SimTime};
 use ahl_workload::KvStoreWorkload;
 
@@ -68,5 +69,77 @@ fn bench_queue_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_committee_sizes, bench_batch_ablation, bench_queue_ablation);
+/// A conflict-light batch: 1024 transfers over disjoint account pairs —
+/// one wave, the best case for the parallel engine and the configuration
+/// the acceptance criterion measures speedup on.
+fn disjoint_batch(n: u64) -> (StateStore, Vec<Op>) {
+    let mut state = StateStore::new();
+    for i in 0..2 * n {
+        state.put(format!("acct{i}"), Value::Int(1_000));
+    }
+    let ops = (0..n)
+        .map(|i| Op::Direct {
+            txid: TxId(i),
+            op: StateOp {
+                conditions: vec![Condition::IntAtLeast {
+                    key: format!("acct{}", 2 * i),
+                    min: 5,
+                }],
+                mutations: vec![
+                    (format!("acct{}", 2 * i), Mutation::Add(-5)),
+                    (format!("acct{}", 2 * i + 1), Mutation::Add(5)),
+                ],
+            },
+        })
+        .collect();
+    (state, ops)
+}
+
+fn bench_parexec_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parexec_engine_1024");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1024));
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            b.iter_batched(
+                || disjoint_batch(1024),
+                |(mut state, ops)| {
+                    let refs: Vec<&Op> = ops.iter().collect();
+                    let out = execute_ops(&mut state, &refs, workers);
+                    (state, out)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_exec_workers_committee(c: &mut Criterion) {
+    // Whole-committee cell: the engine inside PBFT block execution. The
+    // simulated metrics are identical across cells (determinism); this
+    // measures host wall-clock per simulated second.
+    let mut g = c.benchmark_group("exec_workers_committee_1s");
+    g.sample_size(10);
+    for workers in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            b.iter(|| {
+                let mut cfg = PbftConfig::new(BftVariant::AhlPlus, 7);
+                cfg.batch_size = 256;
+                cfg.exec_workers = workers;
+                run_committee(cfg, 1)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_committee_sizes,
+    bench_batch_ablation,
+    bench_queue_ablation,
+    bench_parexec_engine,
+    bench_exec_workers_committee
+);
 criterion_main!(benches);

@@ -168,5 +168,110 @@ fn bench_chunks(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_build, bench_proofs, bench_snapshots, bench_chunks);
+fn bench_batch_apply(c: &mut Criterion) {
+    // The checkpoint-path write pattern: one block's coalesced changes
+    // (inserts, updates, removes) applied in a single call. Serial
+    // (`workers = 1`) vs the parallel subtree merge.
+    let mut g = c.benchmark_group("store_batch_apply");
+    g.throughput(Throughput::Elements(1_024));
+    let changes: Vec<(String, Option<ahl_crypto::Hash>)> = (0..1_024u64)
+        .map(|i| {
+            let key = format!("acc{}", i * 97 % 20_000);
+            if i % 8 == 7 {
+                (key, None) // a remove (live roughly half the time)
+            } else {
+                (key, Some(vhash(i + 1)))
+            }
+        })
+        .collect();
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_function(format!("batch_1024_into_10k_w{workers}"), |b| {
+            b.iter_batched(
+                || (tree_with(10_000), changes.clone()),
+                |(mut t, ch)| {
+                    t.batch_apply(ch, workers);
+                    t
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    // The sequential insert/remove loop the batch path replaces.
+    g.bench_function("loop_1024_into_10k", |b| {
+        b.iter_batched(
+            || (tree_with(10_000), changes.clone()),
+            |(mut t, ch)| {
+                for (k, v) in ch {
+                    match v {
+                        Some(v) => {
+                            t.insert(&k, v);
+                        }
+                        None => {
+                            t.remove(&k);
+                        }
+                    }
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_rehash_audit(c: &mut Criterion) {
+    // The checkpoint-time paranoia pass of the parallel execution path:
+    // recompute every cached hash bottom-up and compare.
+    let mut g = c.benchmark_group("store_rehash_audit");
+    let t = tree_with(10_000);
+    for workers in [1usize, 4] {
+        g.bench_function(format!("audit_10k_w{workers}"), |b| {
+            b.iter(|| t.rehash_audit(workers));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cert_verify(c: &mut Criterion) {
+    // Checkpoint-certificate verification: the per-vote loop each vote
+    // re-deriving the digest vs the batched verifier hashing it once.
+    use ahl_crypto::{KeyId, KeyRegistry, SigningKey};
+    use ahl_store::checkpoint_digest;
+    let mut reg = KeyRegistry::new();
+    let keys: Vec<SigningKey> = (0..13).map(|i| reg.generate(i)).collect();
+    let root = vhash(99);
+    let digest = checkpoint_digest(512, &root);
+    let votes: Vec<(KeyId, ahl_crypto::Signature)> =
+        keys.iter().map(|k| (k.id(), k.sign(&digest))).collect();
+    let mut g = c.benchmark_group("store_cert_verify");
+    g.throughput(Throughput::Elements(votes.len() as u64));
+    g.bench_function("per_vote_loop_13", |b| {
+        b.iter(|| {
+            votes.iter().all(|(id, s)| {
+                s.signer == *id && reg.verify(&checkpoint_digest(512, &root), s)
+            })
+        });
+    });
+    g.bench_function("batched_13", |b| {
+        b.iter(|| {
+            reg.verify_batch(
+                &checkpoint_digest(512, &root),
+                votes.iter().map(|(id, s)| (*id, s)),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_updates,
+    bench_build,
+    bench_proofs,
+    bench_snapshots,
+    bench_chunks,
+    bench_batch_apply,
+    bench_rehash_audit,
+    bench_cert_verify
+);
 criterion_main!(benches);

@@ -46,6 +46,7 @@ const IDS: &[(&str, &str)] = &[
     ("overload", "mempool overload sweep: offered load past pool capacity; fixed vs AIMD"),
     ("statesync", "state-sync sweep: restarted replica catch-up, state size x chunk size"),
     ("recovery", "crash-kill recovery smoke: WAL + page checkpoints, restart-from-disk"),
+    ("parexec", "exec_workers sweep: parallel in-shard execution, results must be identical at every worker count"),
 ];
 
 fn usage() -> ! {
@@ -119,6 +120,7 @@ fn main() {
             "overload" => figs::overload(scale),
             "statesync" => figs::statesync(scale),
             "recovery" => figs::recovery(scale),
+            "parexec" => figs::parexec(scale),
             other => {
                 println!("unknown experiment: {other}\n");
                 usage();

@@ -1656,3 +1656,56 @@ pub fn recovery(scale: Scale) {
     t.print();
     assert!(all_ok, "recovery: some cell failed to recover cleanly — see table above");
 }
+
+/// `parexec`: the `exec_workers` sweep. Runs the same small sharded
+/// system at several worker counts and verifies the engine's contract
+/// end-to-end: every logical metric (commits, aborts, latency, the
+/// conservation audit, safety/liveness counts) must be identical in every
+/// cell — worker threads change host wall-clock only, never simulated
+/// outcomes. The printed host-time column is where the speedup shows up.
+pub fn parexec(scale: Scale) {
+    let workers = scale.pick(&[1usize, 4], &[1, 2, 4, 8]);
+    let make = move || {
+        let mut cfg = SystemConfig::new(2, 4);
+        cfg.workload = SystemWorkload::SmallBank { accounts: 5_000, theta: 0.0 };
+        cfg.clients = 4;
+        cfg.outstanding = 32;
+        cfg.duration = match scale {
+            Scale::Quick => SimDuration::from_secs(4),
+            Scale::Full => SimDuration::from_secs(12),
+        };
+        cfg.warmup = SimDuration::from_secs(1);
+        cfg.seed = 11;
+        cfg
+    };
+    let mut rows = Vec::new();
+    let mut host = Vec::new();
+    for &w in &workers {
+        let started = std::time::Instant::now();
+        let mut cells = ahl_core::run_exec_sweep(make, &[w]);
+        host.push(started.elapsed().as_secs_f64());
+        rows.push(cells.remove(0));
+    }
+    let mut t = Table::new(
+        "parexec: exec_workers sweep (identical results, host time varies)",
+        &["workers", "tps", "committed", "aborted", "p50 lat", "p99 lat", "host s"],
+    );
+    for (row, h) in rows.iter().zip(&host) {
+        t.row(vec![
+            row.workers.to_string(),
+            f1(row.metrics.tps),
+            row.metrics.committed.to_string(),
+            row.metrics.aborted.to_string(),
+            lat_ms(row.metrics.latency_p50),
+            lat_ms(row.metrics.latency_p99),
+            format!("{h:.2}"),
+        ]);
+    }
+    t.print();
+    assert!(rows[0].metrics.committed > 0, "parexec sweep committed nothing");
+    assert!(
+        ahl_core::sweep_cells_identical(&rows),
+        "exec_workers leaked into simulated results — determinism broken"
+    );
+    println!("  all {} cells byte-identical in logical metrics ✓", rows.len());
+}

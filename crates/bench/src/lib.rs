@@ -51,4 +51,5 @@ pub fn run_all(scale: Scale) {
     figs::statesync(scale);
     figs::byzantine(scale);
     figs::recovery(scale);
+    figs::parexec(scale);
 }

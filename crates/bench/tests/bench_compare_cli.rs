@@ -1,0 +1,96 @@
+//! End-to-end exit-code contract of the `bench_compare` binary.
+//!
+//! The distinction under test: a metric that the baseline budgets but the
+//! fresh report does not carry is a *budget breach* (exit 1 — CI must go
+//! red, because a silently vanished metric is how a regression hides),
+//! while structurally unusable input — unreadable files, non-JSON, a
+//! scenario mismatch, a baseline with no budgets — is exit 2.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write_tmp(name: &str, body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench_compare_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, body).expect("write report");
+    path
+}
+
+fn run(baseline: &PathBuf, current: &PathBuf) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .arg(baseline)
+        .arg(current)
+        .output()
+        .expect("spawn bench_compare");
+    let mut text = String::from_utf8_lossy(&out.stdout).into_owned();
+    text.push_str(&String::from_utf8_lossy(&out.stderr));
+    (out.status.code(), text)
+}
+
+const BASELINE: &str = r#"{
+  "scenario": "fig8",
+  "metrics": { "tps": 1000.0, "latency_p99_ms": 80.0 },
+  "budgets": {
+    "metrics/tps": { "dir": "higher", "tol_frac": 0.10 },
+    "metrics/latency_p99_ms": { "dir": "lower", "tol_frac": 0.25 }
+  }
+}"#;
+
+#[test]
+fn within_budget_exits_zero() {
+    let baseline = write_tmp("base_ok.json", BASELINE);
+    let current = write_tmp(
+        "cur_ok.json",
+        r#"{ "scenario": "fig8", "metrics": { "tps": 980.0, "latency_p99_ms": 85.0 } }"#,
+    );
+    let (code, text) = run(&baseline, &current);
+    assert_eq!(code, Some(0), "{text}");
+}
+
+#[test]
+fn missing_metric_is_a_breach_not_unusable_input() {
+    // Negative control: the fresh report parses fine and matches the
+    // scenario, but dropped a budgeted metric. That must be exit 1
+    // (breach) — never exit 2 (unusable input), which CI setups often
+    // treat as "skip".
+    let baseline = write_tmp("base_missing.json", BASELINE);
+    let current = write_tmp(
+        "cur_missing.json",
+        r#"{ "scenario": "fig8", "metrics": { "latency_p99_ms": 85.0 } }"#,
+    );
+    let (code, text) = run(&baseline, &current);
+    assert_eq!(code, Some(1), "missing metric must breach: {text}");
+    assert!(text.contains("metric missing from report"), "{text}");
+}
+
+#[test]
+fn budget_breach_exits_one() {
+    let baseline = write_tmp("base_breach.json", BASELINE);
+    let current = write_tmp(
+        "cur_breach.json",
+        r#"{ "scenario": "fig8", "metrics": { "tps": 500.0, "latency_p99_ms": 85.0 } }"#,
+    );
+    let (code, text) = run(&baseline, &current);
+    assert_eq!(code, Some(1), "{text}");
+}
+
+#[test]
+fn unusable_input_exits_two() {
+    let baseline = write_tmp("base_unusable.json", BASELINE);
+    // Scenario mismatch: structurally unusable, not a breach.
+    let mismatched = write_tmp(
+        "cur_mismatch.json",
+        r#"{ "scenario": "overload", "metrics": { "tps": 1000.0 } }"#,
+    );
+    let (code, text) = run(&baseline, &mismatched);
+    assert_eq!(code, Some(2), "{text}");
+    // Unparseable JSON: also unusable.
+    let garbage = write_tmp("cur_garbage.json", "not json at all");
+    let (code, text) = run(&baseline, &garbage);
+    assert_eq!(code, Some(2), "{text}");
+    // A missing file: unusable.
+    let gone = std::env::temp_dir().join("bench_compare_cli_does_not_exist.json");
+    let (code, text) = run(&baseline, &gone);
+    assert_eq!(code, Some(2), "{text}");
+}

@@ -91,6 +91,10 @@ pub mod stat {
     pub const CLIENT_REJECTED: &str = "client.rejected";
     /// Counter: checkpoint certificates formed (quorum of matching votes).
     pub const CKPT_CERTS: &str = "consensus.ckpt_certs";
+    /// Counter: checkpoint-time re-hash audits of the authenticated state
+    /// index that found a cached hash diverging from its recomputation
+    /// (run when `exec_workers > 1`; must stay zero).
+    pub const CKPT_AUDIT_FAILURES: &str = "consensus.ckpt_audit_failures";
     /// Counter: resolved-transaction ids pruned at checkpoint boundaries.
     pub const RESOLVED_PRUNED: &str = "consensus.resolved_pruned";
     /// Counter: state-sync chunks served to lagging/joining replicas.

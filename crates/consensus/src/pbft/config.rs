@@ -242,6 +242,13 @@ pub struct PbftConfig {
     pub crypto: CryptoMode,
     /// Per-queue capacity for replica inbound queues.
     pub queue_capacity: usize,
+    /// Worker threads for in-shard block execution. `1` (the default) is
+    /// the classic sequential loop; `> 1` routes each block's batch
+    /// through the conflict-aware wave scheduler
+    /// (`ahl_ledger::parexec::execute_ops`), whose receipts, state root,
+    /// and 2PC bookkeeping are byte-identical to sequential execution, and
+    /// additionally runs a parallel SMT re-hash audit at checkpoint time.
+    pub exec_workers: usize,
 }
 
 impl PbftConfig {
@@ -284,6 +291,7 @@ impl PbftConfig {
             committee_id: 0,
             crypto: CryptoMode::CostOnly,
             queue_capacity: 4096,
+            exec_workers: 1,
         }
     }
 

@@ -1199,20 +1199,29 @@ impl Replica {
         }
         let checker = if self.byzantine { None } else { self.cfg.safety.clone() };
         let exec_now = ctx.now();
+        // Pre-pass: admission bookkeeping in batch order. Replays are
+        // skipped exactly as the sequential loop skipped them, so the
+        // execution engine only ever sees fresh requests.
+        let mut fresh = Vec::with_capacity(block.reqs.len());
         for req in block.reqs.iter() {
             if !self.executed_reqs.insert(req.id, exec_now) {
                 continue; // replay of an already-executed request
             }
             self.pool.remove(req.id);
             weight += req.op.weight();
-            // An abort only counts as a discarded 2PC decision if a
-            // prepared write set actually existed here — read before
-            // execution releases the locks.
-            let had_pending = match &req.op {
-                ahl_ledger::Op::Abort { txid } => self.state.has_pending(*txid),
-                _ => false,
-            };
-            let receipt = self.state.execute(&req.op);
+            fresh.push(req);
+        }
+        // Execute the whole batch through the conflict-aware engine.
+        // `exec_workers <= 1` is the sequential loop; above that the batch
+        // is wave-scheduled, but receipts, state root, and the per-abort
+        // `had_pending` signal are identical to sequential by construction.
+        let ops: Vec<&ahl_ledger::Op> = fresh.iter().map(|r| &r.op).collect();
+        let outcomes = ahl_ledger::execute_ops(&mut self.state, &ops, self.cfg.exec_workers);
+        // Post-pass: observation, tracing, durability, and replies — in
+        // the same canonical batch order as before.
+        for (req, outcome) in fresh.iter().zip(outcomes) {
+            let had_pending = outcome.had_pending;
+            let receipt = outcome.receipt;
             let ok = receipt.status.is_committed();
             if let Some(ck) = &checker {
                 ck.observe_exec(self.cfg.committee_id, self.me, req.id, &req.op, had_pending, ok);
@@ -1317,6 +1326,16 @@ impl Replica {
     /// a signed vote over `(height, state_root)`.
     fn send_checkpoint(&mut self, ctx: &mut Ctx<'_, PbftMsg>) {
         let seq = self.exec_seq;
+        // Parallel-execution paranoia: before voting on a root the whole
+        // committee may certify, re-derive every cached hash of the
+        // authenticated index across the worker pool and compare. The
+        // engine is proven equivalent to sequential execution, so this
+        // must never fire; if it does, the vote still goes out (honest
+        // divergence surfaces as a failed quorum) but the counter makes
+        // the corruption impossible to miss.
+        if self.cfg.exec_workers > 1 && !self.state.rehash_audit(self.cfg.exec_workers) {
+            ctx.stats().inc(stat::CKPT_AUDIT_FAILURES, 1);
+        }
         let mut root = self.state.state_digest();
         if self.byzantine && self.cfg.attack == Attack::BogusCheckpoint {
             // Vote for a root nobody holds: a validly signed lie. Honest

@@ -147,6 +147,10 @@ pub struct TmConfig {
     pub safety: Option<SafetyChecker>,
     /// This committee's id in the checker's records.
     pub committee_id: usize,
+    /// Worker threads for block execution (`1` = the sequential loop;
+    /// above that the batch goes through the deterministic conflict-aware
+    /// engine with byte-identical results).
+    pub exec_workers: usize,
 }
 
 impl TmConfig {
@@ -167,6 +171,7 @@ impl TmConfig {
             attack: Attack::default(),
             safety: None,
             committee_id: 0,
+            exec_workers: 1,
         }
     }
 
@@ -574,17 +579,23 @@ impl TmNode {
         let mut committed = 0u64;
         let mut weight = 0usize;
         let checker = if self.byzantine { None } else { self.cfg.safety.clone() };
+        // Pre-pass admission, conflict-aware batch execution, post-pass
+        // observation — same canonical order and outputs as the old
+        // per-request loop (`exec_workers <= 1` is that loop).
+        let mut fresh = Vec::with_capacity(block.len());
         for req in block.iter() {
             if !self.executed.insert(req.id) {
                 continue;
             }
             self.pool.remove(req.id);
             weight += req.op.weight();
-            let had_pending = match &req.op {
-                ahl_ledger::Op::Abort { txid } => self.state.has_pending(*txid),
-                _ => false,
-            };
-            let receipt = self.state.execute(&req.op);
+            fresh.push(req);
+        }
+        let ops: Vec<&ahl_ledger::Op> = fresh.iter().map(|r| &r.op).collect();
+        let outcomes = ahl_ledger::execute_ops(&mut self.state, &ops, self.cfg.exec_workers);
+        for (req, outcome) in fresh.iter().zip(outcomes) {
+            let had_pending = outcome.had_pending;
+            let receipt = outcome.receipt;
             if let Some(ck) = &checker {
                 ck.observe_exec(
                     self.cfg.committee_id,

@@ -23,6 +23,7 @@
 pub mod compare;
 pub mod formation;
 pub mod parallel;
+pub mod parexec;
 pub mod reshard;
 pub mod system;
 pub mod xclient;
@@ -30,6 +31,7 @@ pub mod xclient;
 pub use compare::{table1, SystemRow};
 pub use formation::{form, Formation};
 pub use parallel::{run_scale_out, ScaleOutConfig, ScaleOutMetrics, ShardBench};
+pub use parexec::{run_exec_sweep, sweep_cells_identical, ExecSweepRow};
 pub use reshard::{run_reshard, ReshardConfig, ReshardMetrics, ReshardStrategy};
 pub use system::{run_system, run_system_report, SystemConfig, SystemMetrics, SystemReport, SystemWorkload};
 pub use xclient::{sysstat, CrossShardClient, RateControl};

@@ -131,6 +131,15 @@ pub struct SystemConfig {
     /// Enable the wall-clock [`Profiler`] for this run: hot paths record
     /// hierarchical spans, harvested into [`SystemReport::profile`].
     pub profile: bool,
+    /// Worker threads for in-shard block execution on every replica.
+    /// `1` (the default) is the classic sequential loop; above that, each
+    /// block's batch runs through the deterministic conflict-aware engine
+    /// (`ahl_ledger::parexec`) — receipts, state roots, and checkpoint
+    /// certificates are byte-identical at any worker count, so this knob
+    /// changes wall-clock only, never results. Defaults from the
+    /// `AHL_EXEC_WORKERS` environment variable when set (CI's parallel
+    /// cells flip the whole suite without new binaries).
+    pub exec_workers: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -161,9 +170,23 @@ impl SystemConfig {
             liveness: None,
             faults: Vec::new(),
             profile: false,
+            exec_workers: exec_workers_from_env(),
             seed: 42,
         }
     }
+}
+
+/// Default worker count for block execution: the `AHL_EXEC_WORKERS`
+/// environment variable when set to a positive integer, else `1`
+/// (sequential). Because parallel execution is observably identical to
+/// sequential, flipping this for an entire test or experiment run is
+/// always safe — it is how CI runs its `exec_workers = 4` cell.
+pub fn exec_workers_from_env() -> usize {
+    std::env::var("AHL_EXEC_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|w| *w >= 1)
+        .unwrap_or(1)
 }
 
 /// Metrics of a full-system run.
@@ -287,6 +310,7 @@ pub fn run_system_report(mut cfg: SystemConfig) -> SystemReport {
     pbft.byzantine = cfg.byzantine;
     pbft.attack = cfg.attack;
     pbft.safety = cfg.safety.clone();
+    pbft.exec_workers = cfg.exec_workers;
 
     let map = ShardMap::new(cfg.shards);
     let genesis = cfg.workload.genesis();

@@ -127,6 +127,49 @@ impl KeyRegistry {
     pub fn verify_bytes(&self, domain: &str, msg: &[u8], sig: &Signature) -> bool {
         self.verify(&sha256_parts(&[domain.as_bytes(), msg]), sig)
     }
+
+    /// Verify a batch of signatures over one shared `digest` — the shape
+    /// of a quorum certificate, where every vote signs the same checkpoint
+    /// or commit digest. Each `(expected, sig)` pair checks that the
+    /// signature claims the expected signer *and* verifies; the whole
+    /// batch must pass. Amortizations over the per-vote loop: the digest
+    /// and its framing are computed once (callers of
+    /// [`KeyRegistry::verify_bytes_batch`] would otherwise re-hash the
+    /// message per vote), duplicate `(signer, mac)` pairs verify once, and
+    /// the scan short-circuits on the first failure. (With real ECDSA/BLS
+    /// this is where batch verification or signature aggregation slots
+    /// in — the call shape is already the batched one.)
+    pub fn verify_batch<'a, I>(&self, digest: &Hash, sigs: I) -> bool
+    where
+        I: IntoIterator<Item = (KeyId, &'a Signature)>,
+    {
+        // Certificates are small (≤ committee size), so the dedup memo is
+        // a linear scan — no allocation-heavy set for a few dozen votes.
+        let mut seen: Vec<(KeyId, Hash)> = Vec::new();
+        for (expected, sig) in sigs {
+            if sig.signer != expected {
+                return false;
+            }
+            if seen.iter().any(|(id, mac)| *id == sig.signer && *mac == sig.mac) {
+                continue;
+            }
+            if !self.verify(digest, sig) {
+                return false;
+            }
+            seen.push((sig.signer, sig.mac));
+        }
+        true
+    }
+
+    /// Batch form of [`KeyRegistry::verify_bytes`]: frame and hash the
+    /// message once, then [`KeyRegistry::verify_batch`] the vote set
+    /// against it.
+    pub fn verify_bytes_batch<'a, I>(&self, domain: &str, msg: &[u8], sigs: I) -> bool
+    where
+        I: IntoIterator<Item = (KeyId, &'a Signature)>,
+    {
+        self.verify_batch(&sha256_parts(&[domain.as_bytes(), msg]), sigs)
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +242,79 @@ mod tests {
         reg.generate(0);
         reg.generate(1);
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn batch_accepts_full_quorum() {
+        let mut reg = KeyRegistry::new();
+        let keys: Vec<SigningKey> = (0..7).map(|i| reg.generate(i)).collect();
+        let digest = sha256(b"checkpoint 9");
+        let sigs: Vec<Signature> = keys.iter().map(|k| k.sign(&digest)).collect();
+        let pairs: Vec<(KeyId, &Signature)> =
+            keys.iter().zip(&sigs).map(|(k, s)| (k.id(), s)).collect();
+        assert!(reg.verify_batch(&digest, pairs));
+    }
+
+    #[test]
+    fn batch_rejects_single_forgery() {
+        let mut reg = KeyRegistry::new();
+        let keys: Vec<SigningKey> = (0..5).map(|i| reg.generate(i)).collect();
+        let digest = sha256(b"checkpoint 9");
+        let mut sigs: Vec<Signature> = keys.iter().map(|k| k.sign(&digest)).collect();
+        // One vote signs a different digest — the whole cert must fail.
+        sigs[3] = keys[3].sign(&sha256(b"checkpoint 10"));
+        let pairs: Vec<(KeyId, &Signature)> =
+            keys.iter().zip(&sigs).map(|(k, s)| (k.id(), s)).collect();
+        assert!(!reg.verify_batch(&digest, pairs));
+    }
+
+    #[test]
+    fn batch_enforces_signer_binding() {
+        // A valid signature attributed to the wrong slot must fail even
+        // though it would verify standalone under its true signer.
+        let mut reg = KeyRegistry::new();
+        let k0 = reg.generate(1);
+        let k1 = reg.generate(2);
+        let digest = sha256(b"m");
+        let s0 = k0.sign(&digest);
+        assert!(reg.verify(&digest, &s0));
+        assert!(!reg.verify_batch(&digest, [(k1.id(), &s0)]));
+    }
+
+    #[test]
+    fn batch_memoizes_duplicate_votes() {
+        // Duplicate (signer, mac) pairs verify once and still pass; a
+        // duplicate of a *bad* signature still fails on first sight.
+        let mut reg = KeyRegistry::new();
+        let key = reg.generate(1);
+        let digest = sha256(b"m");
+        let sig = key.sign(&digest);
+        assert!(reg.verify_batch(&digest, [(key.id(), &sig), (key.id(), &sig)]));
+        let bad = key.sign(&sha256(b"other"));
+        assert!(!reg.verify_batch(&digest, [(key.id(), &bad), (key.id(), &bad)]));
+    }
+
+    #[test]
+    fn batch_bytes_matches_per_vote_verify_bytes() {
+        let mut reg = KeyRegistry::new();
+        let keys: Vec<SigningKey> = (0..4).map(|i| reg.generate(i)).collect();
+        let sigs: Vec<Signature> =
+            keys.iter().map(|k| k.sign_bytes("commit", b"blk")).collect();
+        let pairs: Vec<(KeyId, &Signature)> =
+            keys.iter().zip(&sigs).map(|(k, s)| (k.id(), s)).collect();
+        assert!(reg.verify_bytes_batch("commit", b"blk", pairs.clone()));
+        assert!(!reg.verify_bytes_batch("prepare", b"blk", pairs));
+        for (k, s) in keys.iter().zip(&sigs) {
+            assert!(reg.verify_bytes("commit", b"blk", s));
+            assert_eq!(k.id(), s.signer);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_vacuously_valid() {
+        // Quorum-size enforcement lives with the certificate, not here.
+        let reg = KeyRegistry::new();
+        assert!(reg.verify_batch(&sha256(b"m"), std::iter::empty()));
     }
 
     proptest::proptest! {

@@ -20,18 +20,25 @@
 //!   target workloads).
 //! * [`Block`] / [`Chain`] — hash-linked blocks with Merkle roots.
 //! * [`smallbank`] / [`kvstore`] — the benchmark chaincodes.
+//! * [`access`] / [`parexec`] — deterministic conflict-aware parallel
+//!   execution: read/write-set inference, the greedy wave scheduler, and
+//!   the plan/apply engine ([`parexec::execute_ops`]) whose output is
+//!   byte-identical to sequential execution at any worker count.
 
 #![warn(missing_docs)]
 
+pub mod access;
 mod block;
 pub mod kvstore;
+pub mod parexec;
 pub mod persist;
 pub mod smallbank;
 mod state;
 mod types;
 
 pub use block::{Block, BlockHeader, Chain, ChainError};
-pub use state::{lock_key, StateSidecar, StateSnapshot, StateStore, LOCK_PREFIX};
+pub use parexec::{execute_ops, ExecOutcome};
+pub use state::{lock_key, ExecPlan, StateSidecar, StateSnapshot, StateStore, LOCK_PREFIX};
 // Proof verification for state roots (re-exported so ledger users need not
 // depend on `ahl-store` directly).
 pub use ahl_store::{verify_proof as verify_state_proof, SmtProof};

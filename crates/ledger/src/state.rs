@@ -390,17 +390,35 @@ impl StateStore {
         self.smt.prove(key)
     }
 
+    /// Re-derive every cached hash in the authenticated index bottom-up
+    /// (across up to `workers` threads on disjoint subtrees) and compare
+    /// against the stored values. `true` means the cached root is exactly
+    /// what a from-scratch rebuild would produce — the cheap paranoia
+    /// check the parallel-execution path runs at checkpoint time before
+    /// certifying a root.
+    pub fn rehash_audit(&self, workers: usize) -> bool {
+        self.smt.rehash_audit(workers)
+    }
+
     /// Snapshot the 2PC bookkeeping for a certified state transfer.
+    ///
+    /// Pending and resolved entries are sorted by transaction id: both live
+    /// in hash maps whose iteration order depends on insertion history and
+    /// the per-process hasher seed, and the sidecar's byte encoding flows
+    /// into durable checkpoint manifests and sync transfers — unsorted
+    /// iteration here made those bytes nondeterministic across replicas
+    /// holding identical state.
     pub fn export_sidecar(&self) -> StateSidecar {
-        StateSidecar {
-            pending: self
-                .pending
-                .iter()
-                .map(|(txid, p)| (*txid, p.locks.clone(), p.mutations.clone()))
-                .collect(),
-            resolved: self.resolved.iter().map(|(t, e)| (*t, *e)).collect(),
-            resolved_epoch: self.resolved_epoch,
-        }
+        let mut pending: Vec<PendingEntry> = self
+            .pending
+            .iter()
+            .map(|(txid, p)| (*txid, p.locks.clone(), p.mutations.clone()))
+            .collect();
+        pending.sort_by_key(|(txid, _, _)| *txid);
+        let mut resolved: Vec<(TxId, u64)> =
+            self.resolved.iter().map(|(t, e)| (*t, *e)).collect();
+        resolved.sort_unstable();
+        StateSidecar { pending, resolved, resolved_epoch: self.resolved_epoch }
     }
 
     /// Install transferred 2PC bookkeeping (replaces local pending/resolved
@@ -516,26 +534,50 @@ impl StateStore {
         if self.resolved.contains_key(&txid) {
             return ExecStatus::Aborted(AbortReason::AlreadyResolved);
         }
-        if let Err(r) = self.check_unlocked(op) {
-            return ExecStatus::Aborted(r);
-        }
-        if let Err(r) = self.check_conditions(op) {
-            return ExecStatus::Aborted(r);
-        }
-        // Acquire locks: write ⟨L_key, true⟩ to the blockchain state (§6.3).
+        // Acquire locks all-or-nothing: write ⟨L_key, true⟩ to the
+        // blockchain state (§6.3) as each key checks clean, and on a
+        // mid-set conflict release every lock taken *in this call* before
+        // returning the failure — a partial acquisition must never leak
+        // (nothing records it, so no watchdog would ever release it).
         let locks = op.touched_keys();
+        let mut acquired: Vec<Key> = Vec::with_capacity(locks.len());
+        let mut charged = 0u64;
         for k in &locks {
+            if self.is_locked(k) {
+                self.rollback_locks(&acquired, charged);
+                return ExecStatus::Aborted(AbortReason::LockConflict(k.clone()));
+            }
             let lk = lock_key(k);
             let v = Value::Bool(true);
+            charged += Self::write_cost(&lk, 1);
             self.write_bytes += Self::write_cost(&lk, 1);
             self.smt.insert(&lk, v.clone());
             self.map.insert(lk, v);
+            acquired.push(k.clone());
+        }
+        // Guards evaluate under the full lock set (matching the pre-2PL
+        // check order: lock conflicts report before condition failures).
+        if let Err(r) = self.check_conditions(op) {
+            self.rollback_locks(&acquired, charged);
+            return ExecStatus::Aborted(r);
         }
         self.pending.insert(
             txid,
             PendingTx { locks, mutations: op.mutations.clone() },
         );
         ExecStatus::Committed(vec![])
+    }
+
+    /// Undo a partial lock acquisition from a failed `exec_prepare`:
+    /// remove the markers and refund the bytes it charged, so a rejected
+    /// prepare is a perfect no-op on state root *and* write accounting.
+    fn rollback_locks(&mut self, acquired: &[Key], charged: u64) {
+        for k in acquired {
+            let lk = lock_key(k);
+            self.smt.remove(&lk);
+            self.map.remove(&lk);
+        }
+        self.write_bytes -= charged;
     }
 
     fn exec_commit(&mut self, txid: TxId) -> ExecStatus {
@@ -570,6 +612,260 @@ impl StateStore {
             self.smt.remove(&lk);
             self.map.remove(&lk);
         }
+    }
+
+    // ---- plan/apply split (deterministic parallel execution) ------------
+    //
+    // `plan` is `execute` factored into a read-only half: it computes the
+    // receipt and the full effect list of an operation against the current
+    // state without touching it, so many non-conflicting operations can be
+    // planned concurrently against one `&StateStore`. `apply_plan` replays
+    // the effects; for every operation and state,
+    // `apply_plan(plan(op)) ≡ execute(op)` — same receipt, same map, same
+    // root, same pending/resolved tables, same write-byte accounting (the
+    // `plan_matches_execute` proptest below pins this). `crate::parexec`
+    // builds conflict-free waves on top.
+
+    /// The pending lock set and mutated-key set of a prepared transaction,
+    /// if present — what [`crate::access`] needs to infer the write set of
+    /// a `Commit`/`Abort`.
+    pub fn pending_info(&self, txid: TxId) -> Option<(Vec<Key>, Vec<Key>)> {
+        self.pending.get(&txid).map(|p| {
+            (p.locks.clone(), p.mutations.iter().map(|(k, _)| k.clone()).collect())
+        })
+    }
+
+    /// Plan one operation against the current state without executing it:
+    /// the returned [`ExecPlan`] carries the receipt status plus the exact
+    /// effect list [`StateStore::apply_plan`] needs to make it real.
+    /// Read-only, so disjoint operations can be planned in parallel.
+    pub fn plan(&self, op: &Op) -> ExecPlan {
+        let mut effects = Vec::new();
+        let mut had_pending = false;
+        let status = match op {
+            Op::Direct { op, .. } => self.plan_direct(op, &mut effects),
+            Op::Prepare { txid, op } => self.plan_prepare(*txid, op, &mut effects),
+            Op::Commit { txid } => self.plan_commit(*txid, &mut effects),
+            Op::Abort { txid } => {
+                had_pending = self.pending.contains_key(txid);
+                self.plan_abort(*txid, &mut effects)
+            }
+            Op::Read { keys, .. } => ExecStatus::Committed(
+                keys.iter()
+                    .map(|k| (k.clone(), self.map.get(k).cloned()))
+                    .collect(),
+            ),
+            Op::Noop => ExecStatus::Committed(vec![]),
+        };
+        ExecPlan { txid: op.txid(), status, effects, had_pending }
+    }
+
+    /// Apply a plan produced by [`StateStore::plan`] against the *same*
+    /// logical state (no conflicting effect may have intervened), returning
+    /// the operation's receipt.
+    pub fn apply_plan(&mut self, plan: ExecPlan) -> Receipt {
+        for e in plan.effects {
+            self.apply_effect(e);
+        }
+        Receipt { txid: plan.txid, status: plan.status }
+    }
+
+    /// Apply one conflict-free wave of plans in canonical order. With
+    /// `workers > 1` the flat map and 2PC bookkeeping update serially (they
+    /// are cheap) while all SMT changes coalesce into one
+    /// [`SparseMerkleTree::batch_apply`] that re-hashes disjoint subtrees
+    /// in parallel — the dominant cost of applying a large wave.
+    pub fn apply_plans(&mut self, plans: Vec<ExecPlan>, workers: usize) -> Vec<Receipt> {
+        if workers <= 1 {
+            return plans.into_iter().map(|p| self.apply_plan(p)).collect();
+        }
+        let mut receipts = Vec::with_capacity(plans.len());
+        let mut changes: Vec<(Key, Option<Value>)> = Vec::new();
+        for plan in plans {
+            for e in plan.effects {
+                match e {
+                    Effect::Put(k, v) => {
+                        self.write_bytes += Self::write_cost(&k, v.resident_bytes());
+                        self.map.insert(k.clone(), v.clone());
+                        changes.push((k, Some(v)));
+                    }
+                    Effect::Remove(k) => {
+                        self.write_bytes += Self::write_cost(&k, 0);
+                        self.map.remove(&k);
+                        changes.push((k, None));
+                    }
+                    other => self.apply_effect(other),
+                }
+            }
+            receipts.push(Receipt { txid: plan.txid, status: plan.status });
+        }
+        self.smt.batch_apply(changes, workers);
+        receipts
+    }
+
+    fn apply_effect(&mut self, e: Effect) {
+        match e {
+            Effect::Put(k, v) => {
+                self.write_bytes += Self::write_cost(&k, v.resident_bytes());
+                self.smt.insert(&k, v.clone());
+                self.map.insert(k, v);
+            }
+            Effect::Remove(k) => {
+                self.write_bytes += Self::write_cost(&k, 0);
+                self.smt.remove(&k);
+                self.map.remove(&k);
+            }
+            Effect::Stash(txid, locks, mutations) => {
+                self.pending.insert(txid, PendingTx { locks, mutations });
+            }
+            Effect::Drop(txid) => {
+                self.pending.remove(&txid);
+            }
+            Effect::Resolve(txid) => {
+                self.resolved.insert(txid, self.resolved_epoch);
+            }
+        }
+    }
+
+    /// Materialize a mutation list into `Put`/`Remove` effects, threading a
+    /// local overlay so sequenced mutations of one key compose exactly as
+    /// [`StateStore::apply_mutation`] would (`Add` after `Set`/`Delete`
+    /// reads the in-op value, not the stale store).
+    fn plan_mutations(&self, muts: &[(Key, Mutation)], effects: &mut Vec<Effect>) {
+        let mut overlay: HashMap<&Key, Option<Value>> = HashMap::new();
+        for (k, m) in muts {
+            match m {
+                Mutation::Set(v) => {
+                    effects.push(Effect::Put(k.clone(), v.clone()));
+                    overlay.insert(k, Some(v.clone()));
+                }
+                Mutation::Add(d) => {
+                    let cur = match overlay.get(k) {
+                        Some(v) => v.as_ref().and_then(Value::as_int).unwrap_or(0),
+                        None => self.get_int(k),
+                    };
+                    let v = Value::Int(cur + d);
+                    effects.push(Effect::Put(k.clone(), v.clone()));
+                    overlay.insert(k, Some(v));
+                }
+                Mutation::Delete => {
+                    effects.push(Effect::Remove(k.clone()));
+                    overlay.insert(k, None);
+                }
+            }
+        }
+    }
+
+    fn plan_direct(&self, op: &StateOp, effects: &mut Vec<Effect>) -> ExecStatus {
+        if let Err(r) = self.check_unlocked(op) {
+            return ExecStatus::Aborted(r);
+        }
+        if let Err(r) = self.check_conditions(op) {
+            return ExecStatus::Aborted(r);
+        }
+        self.plan_mutations(&op.mutations, effects);
+        ExecStatus::Committed(vec![])
+    }
+
+    fn plan_prepare(&self, txid: TxId, op: &StateOp, effects: &mut Vec<Effect>) -> ExecStatus {
+        if self.pending.contains_key(&txid) {
+            return ExecStatus::Aborted(AbortReason::DuplicatePrepare);
+        }
+        if self.resolved.contains_key(&txid) {
+            return ExecStatus::Aborted(AbortReason::AlreadyResolved);
+        }
+        let locks = op.touched_keys();
+        for k in &locks {
+            if self.is_locked(k) {
+                effects.clear();
+                return ExecStatus::Aborted(AbortReason::LockConflict(k.clone()));
+            }
+            effects.push(Effect::Put(lock_key(k), Value::Bool(true)));
+        }
+        // Conditions evaluate under this op's own lock markers, exactly as
+        // `exec_prepare` sees them after acquisition (only observable when
+        // a guard targets a literal `L_`-prefixed key it is locking).
+        for c in &op.conditions {
+            let own_marker = locks.iter().any(|k| lock_key(k) == *c.key());
+            let ok = match c {
+                Condition::Exists(k) => own_marker || self.map.contains_key(k),
+                Condition::NotExists(k) => !(own_marker || self.map.contains_key(k)),
+                Condition::IntAtLeast { key, min } => {
+                    (if own_marker { 0 } else { self.get_int(key) }) >= *min
+                }
+            };
+            if !ok {
+                effects.clear();
+                return ExecStatus::Aborted(AbortReason::ConditionFailed(c.clone()));
+            }
+        }
+        effects.push(Effect::Stash(txid, locks, op.mutations.clone()));
+        ExecStatus::Committed(vec![])
+    }
+
+    fn plan_commit(&self, txid: TxId, effects: &mut Vec<Effect>) -> ExecStatus {
+        let Some(p) = self.pending.get(&txid) else {
+            return ExecStatus::Aborted(AbortReason::NoPendingTx);
+        };
+        effects.push(Effect::Drop(txid));
+        self.plan_mutations(&p.mutations, effects);
+        for k in &p.locks {
+            effects.push(Effect::Remove(lock_key(k)));
+        }
+        effects.push(Effect::Resolve(txid));
+        ExecStatus::Committed(vec![])
+    }
+
+    fn plan_abort(&self, txid: TxId, effects: &mut Vec<Effect>) -> ExecStatus {
+        effects.push(Effect::Resolve(txid));
+        if let Some(p) = self.pending.get(&txid) {
+            effects.push(Effect::Drop(txid));
+            for k in &p.locks {
+                effects.push(Effect::Remove(lock_key(k)));
+            }
+        }
+        ExecStatus::Committed(vec![])
+    }
+}
+
+/// One primitive state change recorded in an [`ExecPlan`].
+#[derive(Clone, Debug)]
+enum Effect {
+    /// Insert/overwrite a key (data or lock marker).
+    Put(Key, Value),
+    /// Delete a key (data or lock marker; no-op if absent, but the write
+    /// cost is still charged — matching [`StateStore::apply_mutation`]).
+    Remove(Key),
+    /// Stash a prepared write set under its transaction id.
+    Stash(TxId, Vec<Key>, Vec<(Key, Mutation)>),
+    /// Discard a prepared write set.
+    Drop(TxId),
+    /// Record a commit/abort decision for replay protection.
+    Resolve(TxId),
+}
+
+/// The planned outcome of one operation: the receipt it will produce plus
+/// the effect list that realizes it. Produced read-only by
+/// [`StateStore::plan`], consumed by [`StateStore::apply_plan`].
+#[derive(Clone, Debug)]
+pub struct ExecPlan {
+    txid: Option<TxId>,
+    status: ExecStatus,
+    effects: Vec<Effect>,
+    had_pending: bool,
+}
+
+impl ExecPlan {
+    /// Whether the planned operation was an `Abort` that found (and will
+    /// discard) a prepared write set — the signal the safety checker's
+    /// exactly-once accounting needs from the execution site.
+    pub fn had_pending(&self) -> bool {
+        self.had_pending
+    }
+
+    /// The planned receipt status (inspection/tests).
+    pub fn status(&self) -> &ExecStatus {
+        &self.status
     }
 }
 
@@ -879,7 +1175,174 @@ mod tests {
         assert!(!r.status.is_committed());
     }
 
+    #[test]
+    fn prepare_lock_acquisition_is_all_or_nothing() {
+        // tx1 locks "b"; tx2 then prepares over ["a", "b"]: "a"'s lock is
+        // taken mid-set before the conflict on "b" surfaces, and must be
+        // released before the failure returns — a leaked L_a would be
+        // invisible to the 2PC watchdog (no pending entry records it).
+        let mut s = store_with_balances();
+        s.execute(&Op::Prepare {
+            txid: TxId(1),
+            op: StateOp {
+                conditions: vec![],
+                mutations: vec![("b".into(), Mutation::Add(1))],
+            },
+        });
+        let root = s.state_digest();
+        let bytes = s.take_write_bytes();
+        let r = s.execute(&Op::Prepare { txid: TxId(2), op: transfer("a", "b", 10) });
+        assert!(matches!(
+            r.status,
+            ExecStatus::Aborted(AbortReason::LockConflict(ref k)) if k == "b"
+        ));
+        assert!(!s.is_locked("a"), "mid-set lock must be released on conflict");
+        assert!(s.is_locked("b"), "the conflicting holder keeps its lock");
+        assert_eq!(s.pending_count(), 1);
+        assert_eq!(s.state_digest(), root, "failed prepare must not move the root");
+        assert_eq!(s.take_write_bytes(), 0, "failed prepare must not charge writes");
+        let _ = bytes;
+    }
+
+    #[test]
+    fn failed_condition_rolls_back_acquired_locks() {
+        // All locks acquire cleanly, then a guard fails: every lock taken
+        // in the call must be rolled back with the write accounting.
+        let mut s = store_with_balances();
+        s.take_write_bytes();
+        let r = s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "b", 500) });
+        assert!(matches!(
+            r.status,
+            ExecStatus::Aborted(AbortReason::ConditionFailed(_))
+        ));
+        assert!(!s.is_locked("a"));
+        assert!(!s.is_locked("b"));
+        assert_eq!(s.pending_count(), 0);
+        assert_eq!(s.take_write_bytes(), 0);
+    }
+
+    #[test]
+    fn sidecar_export_is_insertion_order_independent() {
+        // Two stores reach identical pending/resolved content through
+        // different insertion orders; their hash maps iterate differently,
+        // but the exported sidecar (whose encoding feeds durable manifests
+        // and sync transfers) must serialize to identical bytes.
+        let build = |txids: &[u64]| {
+            let mut s = StateStore::new();
+            for i in 0..64u64 {
+                s.put(format!("k{i}"), Value::Int(100));
+            }
+            for &t in txids {
+                let key = format!("k{t}");
+                s.execute(&Op::Prepare {
+                    txid: TxId(t),
+                    op: StateOp {
+                        conditions: vec![],
+                        mutations: vec![(key, Mutation::Add(1))],
+                    },
+                });
+            }
+            // Resolve half of them (odd ids) so `resolved` is populated.
+            for &t in txids {
+                if t % 2 == 1 {
+                    s.execute(&Op::Commit { txid: TxId(t) });
+                }
+            }
+            s
+        };
+        let fwd: Vec<u64> = (0..64).collect();
+        let rev: Vec<u64> = (0..64).rev().collect();
+        let a = build(&fwd);
+        let b = build(&rev);
+        let encode = |s: &StateStore| {
+            let mut w = ahl_wal::codec::Writer::new();
+            s.export_sidecar().encode(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(encode(&a), encode(&b), "sidecar bytes must be canonical");
+    }
+
+    #[test]
+    fn plan_apply_equals_execute_on_lifecycle() {
+        // Spot checks of the plan/apply ≡ execute invariant across every
+        // op variant (the proptest below randomizes the sequence).
+        let ops = [
+            Op::Direct { txid: TxId(1), op: transfer("a", "b", 10) },
+            Op::Prepare { txid: TxId(2), op: transfer("a", "b", 5) },
+            Op::Commit { txid: TxId(2) },
+            Op::Prepare { txid: TxId(3), op: transfer("b", "a", 7) },
+            Op::Abort { txid: TxId(3) },
+            Op::Commit { txid: TxId(99) },           // NoPendingTx
+            Op::Abort { txid: TxId(98) },            // lock-free abort
+            Op::Prepare { txid: TxId(3), op: transfer("b", "a", 7) }, // AlreadyResolved
+            Op::Read { txid: TxId(4), keys: vec!["a".into(), "missing".into()] },
+            Op::Direct { txid: TxId(5), op: transfer("a", "b", 100_000) }, // ConditionFailed
+            Op::Noop,
+        ];
+        let mut via_exec = store_with_balances();
+        let mut via_plan = store_with_balances();
+        for op in &ops {
+            let r1 = via_exec.execute(op);
+            let plan = via_plan.plan(op);
+            let r2 = via_plan.apply_plan(plan);
+            assert_eq!(r1, r2, "op {op:?}");
+            assert_eq!(via_exec.state_digest(), via_plan.state_digest(), "op {op:?}");
+            assert_eq!(via_exec.pending_count(), via_plan.pending_count());
+            assert_eq!(via_exec.resolved_count(), via_plan.resolved_count());
+        }
+        assert_eq!(via_exec.take_write_bytes(), via_plan.take_write_bytes());
+    }
+
     proptest::proptest! {
+        /// `apply_plan(plan(op)) ≡ execute(op)` over random op sequences:
+        /// same receipts, same root, same bookkeeping, same write bytes.
+        #[test]
+        fn plan_matches_execute(
+            steps in proptest::collection::vec((0u8..5, 0usize..4, 0usize..4, 1i64..50), 1..60)
+        ) {
+            let accounts = ["w", "x", "y", "z"];
+            let mut via_exec = StateStore::new();
+            let mut via_plan = StateStore::new();
+            for a in accounts {
+                via_exec.put(a.into(), Value::Int(1000));
+                via_plan.put(a.into(), Value::Int(1000));
+            }
+            let mut open: Vec<TxId> = Vec::new();
+            for (next_tx, (kind, from, to, amt)) in steps.into_iter().enumerate() {
+                let txid = TxId(next_tx as u64);
+                let op = match kind {
+                    0 => Op::Prepare { txid, op: transfer(accounts[from], accounts[to], amt) },
+                    1 => match open.pop() {
+                        Some(t) => Op::Commit { txid: t },
+                        None => Op::Commit { txid: TxId(9999) },
+                    },
+                    2 => match open.pop() {
+                        Some(t) => Op::Abort { txid: t },
+                        None => Op::Abort { txid: TxId(9998) },
+                    },
+                    3 => Op::Read {
+                        txid,
+                        keys: vec![accounts[from].into(), accounts[to].into()],
+                    },
+                    _ => Op::Direct { txid, op: transfer(accounts[from], accounts[to], amt) },
+                };
+                let r1 = via_exec.execute(&op);
+                let plan = via_plan.plan(&op);
+                let r2 = via_plan.apply_plan(plan);
+                if matches!(op, Op::Prepare { .. }) && r1.status.is_committed() {
+                    open.push(txid);
+                }
+                proptest::prop_assert_eq!(r1, r2);
+                proptest::prop_assert_eq!(
+                    via_exec.state_digest(), via_plan.state_digest()
+                );
+                proptest::prop_assert_eq!(
+                    via_exec.take_write_bytes(), via_plan.take_write_bytes()
+                );
+            }
+        }
+
         /// Atomicity invariant: a sequence of random transfers through
         /// prepare/commit/abort conserves the total balance.
         #[test]

@@ -77,14 +77,19 @@ impl CheckpointCert {
         match registry {
             None => true,
             Some(reg) => {
-                let digest = checkpoint_digest(self.seq, &self.root);
-                // Each signature must come from the key of the replica it
-                // is claimed for: a single Byzantine signer cannot lend its
-                // one genuine signature to every slot of a forged quorum.
-                self.votes.iter().all(|(replica, sig)| {
-                    matches!(sig, Some(s)
-                        if s.signer == KeyId(*replica as u64) && reg.verify(&digest, s))
-                })
+                // Every vote signs the same digest, so the whole set goes
+                // through the batched verifier: the digest is computed once
+                // and the signer ↔ claimed-index binding (a single
+                // Byzantine signer cannot lend its one genuine signature to
+                // every slot of a forged quorum) is enforced per pair.
+                let mut pairs = Vec::with_capacity(self.votes.len());
+                for (replica, sig) in &self.votes {
+                    match sig {
+                        Some(s) => pairs.push((KeyId(*replica as u64), s)),
+                        None => return false,
+                    }
+                }
+                reg.verify_batch(&checkpoint_digest(self.seq, &self.root), pairs)
             }
         }
     }
@@ -122,15 +127,18 @@ impl CheckpointTracker {
         if matching < quorum {
             return None;
         }
-        let cert = CheckpointCert {
-            seq: vote.seq,
-            root: vote.root,
-            votes: votes
-                .iter()
-                .filter(|(_, (r, _))| *r == vote.root)
-                .map(|(replica, (_, sig))| (*replica, *sig))
-                .collect(),
-        };
+        // Sort by replica index: the vote map is a HashMap, and its
+        // iteration order must not leak into the certificate — certs are
+        // persisted in the manifest and compared across replicas, so two
+        // nodes seeing the same votes in different arrival orders must
+        // still emit byte-identical certificates.
+        let mut backing: Vec<(usize, Option<Signature>)> = votes
+            .iter()
+            .filter(|(_, (r, _))| *r == vote.root)
+            .map(|(replica, (_, sig))| (*replica, *sig))
+            .collect();
+        backing.sort_by_key(|(replica, _)| *replica);
+        let cert = CheckpointCert { seq: vote.seq, root: vote.root, votes: backing };
         self.latest = Some(cert.clone());
         self.votes.retain(|s, _| *s > cert.seq);
         Some(cert)
@@ -233,6 +241,54 @@ mod tests {
         // And a vote claiming someone else's index fails verification.
         let impostor = CheckpointVote { seq: 7, root: root(4), replica: 2, sig: Some(own_sig) };
         assert!(!impostor.verify(&reg));
+    }
+
+    #[test]
+    fn cert_vote_order_is_arrival_order_independent() {
+        // The tracker's vote buffer is a HashMap; the certificate it emits
+        // is durable and compared across replicas, so its vote order must
+        // be canonical (sorted by replica) regardless of arrival order.
+        let mut reg = KeyRegistry::new();
+        let keys: Vec<SigningKey> = (0..5).map(|i| reg.generate(i)).collect();
+        let forward: Vec<usize> = (0..5).collect();
+        let backward: Vec<usize> = (0..5).rev().collect();
+        let shuffled: Vec<usize> = vec![2, 0, 4, 1, 3];
+        let mut certs = Vec::new();
+        for order in [&forward, &backward, &shuffled] {
+            let mut t = CheckpointTracker::new();
+            let mut cert = None;
+            for &i in order {
+                let v = CheckpointVote::new(12, root(6), i, Some(&keys[i]));
+                cert = t.record(v, 5).or(cert);
+            }
+            certs.push(cert.expect("quorum of 5"));
+        }
+        let canonical: Vec<Vec<u8>> = certs[0]
+            .votes
+            .iter()
+            .map(|(r, s)| {
+                let mut b = r.to_be_bytes().to_vec();
+                b.extend_from_slice(&s.expect("signed").to_bytes());
+                b
+            })
+            .collect();
+        for cert in &certs {
+            assert_eq!(
+                cert.votes.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+                vec![0, 1, 2, 3, 4]
+            );
+            let bytes: Vec<Vec<u8>> = cert
+                .votes
+                .iter()
+                .map(|(r, s)| {
+                    let mut b = r.to_be_bytes().to_vec();
+                    b.extend_from_slice(&s.expect("signed").to_bytes());
+                    b
+                })
+                .collect();
+            assert_eq!(bytes, canonical);
+            assert!(cert.verify(5, Some(&reg)));
+        }
     }
 
     #[test]

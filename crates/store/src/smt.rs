@@ -731,6 +731,284 @@ impl<V: StateValue + Clone> SparseMerkleTree<V> {
             Node::Empty => unreachable!("probe found the key"),
         }
     }
+
+    /// Mutate a stored value in place *without* refreshing the cached
+    /// digests — the only way to manufacture the cache corruption
+    /// `rehash_audit` exists to detect. Test-only by construction.
+    #[cfg(test)]
+    pub(crate) fn get_mut_for_test(&mut self, key: &str) -> Option<&mut V> {
+        let path = key_path(key);
+        Self::get_mut_rec(&mut self.root, &path)
+    }
+
+    #[cfg(test)]
+    fn get_mut_rec<'a>(node: &'a mut Node<V>, path: &Hash) -> Option<&'a mut V> {
+        match node {
+            Node::Empty => None,
+            Node::Leaf(l) => {
+                if l.path == *path {
+                    Some(&mut Arc::make_mut(l).value)
+                } else {
+                    None
+                }
+            }
+            Node::Branch(b) => {
+                let b = Arc::make_mut(b);
+                let dir = path_bit(path, b.bit);
+                Self::get_mut_rec(&mut b.children[dir], path)
+            }
+        }
+    }
+
+    fn contains_path(&self, path: &Hash) -> bool {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Empty => return false,
+                Node::Leaf(l) => return l.path == *path,
+                Node::Branch(b) => node = &b.children[path_bit(path, b.bit)],
+            }
+        }
+    }
+}
+
+/// Below this many changes, [`SparseMerkleTree::batch_apply`] runs the
+/// plain insert/remove loop: the merge setup (sort, dedup, probes) costs
+/// more than it saves on a handful of keys.
+const MIN_PARALLEL_BATCH: usize = 32;
+
+/// A side of a recursive merge split must carry at least this many changes
+/// before a thread is spawned for it.
+const MIN_SPAWN_CHANGES: usize = 8;
+
+/// One pending change in a batch merge: `(path, key, value_hash, value)`;
+/// a `None` value is a removal. `Option`-wrapped so slices can hand
+/// ownership to [`SparseMerkleTree::build_node`]-style consumers.
+type ApplyEntry<V> = Option<(Hash, String, Hash, Option<V>)>;
+
+impl<V: StateValue + Clone + Send + Sync> SparseMerkleTree<V> {
+    /// Apply a batch of changes (`Some(value)` = insert/update, `None` =
+    /// remove), equivalent to calling [`SparseMerkleTree::insert`] /
+    /// [`SparseMerkleTree::remove`] in order — later changes to the same
+    /// key win. With `workers > 1` the batch is merged in one recursive
+    /// descent that re-hashes disjoint subtrees on separate threads and
+    /// hashes each shared ancestor once per batch instead of once per key;
+    /// the resulting tree is the canonical crit-bit tree over the final
+    /// content, so the root is bit-identical to the sequential loop.
+    pub fn batch_apply(&mut self, changes: Vec<(String, Option<V>)>, workers: usize) {
+        if changes.is_empty() {
+            return;
+        }
+        if workers <= 1 || changes.len() < MIN_PARALLEL_BATCH {
+            for (k, v) in changes {
+                match v {
+                    Some(v) => self.insert(&k, v),
+                    None => {
+                        self.remove(&k);
+                    }
+                }
+            }
+            return;
+        }
+        let _prof = ahl_telemetry::Profiler::span("smt.batch_apply");
+        let mut slots: Vec<(Hash, String, Option<V>)> = changes
+            .into_iter()
+            .map(|(k, v)| (key_path(&k), k, v))
+            .collect();
+        // Stable sort + keep-the-later-change dedup (same discipline as
+        // `build`): the batch collapses to its final per-key content.
+        slots.sort_by_key(|s| s.0 .0);
+        slots.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                std::mem::swap(earlier, later);
+                true
+            } else {
+                false
+            }
+        });
+        // Removals of absent keys are no-ops; dropping them up front means
+        // every surviving removal routes to a live leaf, which keeps the
+        // recursive split well-defined (only *inserts* can diverge above a
+        // subtree) and makes the length delta exact.
+        slots.retain(|(path, _, v)| v.is_some() || self.contains_path(path));
+        if slots.is_empty() {
+            return;
+        }
+        let mut entries: Vec<ApplyEntry<V>> = slots
+            .into_iter()
+            .map(|(path, key, v)| {
+                let vhash = v.as_ref().map_or(Hash::ZERO, StateValue::leaf_digest);
+                Some((path, key, vhash, v))
+            })
+            .collect();
+        let root = std::mem::take(&mut self.root);
+        let (root, delta) = Self::merge_node(root, &mut entries, workers);
+        self.root = root;
+        self.len = (self.len as isize + delta) as usize;
+    }
+
+    /// Merge sorted, per-path-unique `entries` into `node`, returning the
+    /// new node and the leaf-count delta. All entry paths share the
+    /// routing prefix that led to `node`. `threads` is the spawn budget
+    /// for disjoint subtrees.
+    fn merge_node(node: Node<V>, entries: &mut [ApplyEntry<V>], threads: usize) -> (Node<V>, isize) {
+        if entries.is_empty() {
+            return (node, 0);
+        }
+        match node {
+            Node::Empty => {
+                // Only reachable at the root of an empty tree; removals of
+                // absent keys were filtered, so everything is an insert.
+                let mut puts = Self::take_puts(entries);
+                let delta = puts.len() as isize;
+                (Self::build_node(&mut puts), delta)
+            }
+            Node::Leaf(l) => {
+                let touched = entries
+                    .iter()
+                    .any(|s| s.as_ref().expect("unconsumed").0 == l.path);
+                let mut puts = Self::take_puts(entries);
+                if !touched {
+                    // The existing leaf survives: slot it into path order.
+                    let (path, key, vhash, value) = match Arc::try_unwrap(l) {
+                        Ok(leaf) => (leaf.path, leaf.key, leaf.vhash, leaf.value),
+                        Err(l) => (l.path, l.key.clone(), l.vhash, l.value.clone()),
+                    };
+                    let pos = puts.partition_point(|s| {
+                        s.as_ref().expect("unconsumed").0 .0 < path.0
+                    });
+                    puts.insert(pos, Some((path, key, vhash, value)));
+                }
+                let delta = puts.len() as isize - 1;
+                (Self::build_node(&mut puts), delta)
+            }
+            Node::Branch(b) => {
+                let rep = *b.children[0].representative().expect("branches are non-empty");
+                // An insert whose path diverges from the subtree's shared
+                // prefix belongs *above* this branch. Splice at the
+                // shallowest such divergence first. (Removals always route
+                // to live leaves, so they never diverge.)
+                let div = entries
+                    .iter()
+                    .filter_map(|s| {
+                        let e = s.as_ref().expect("unconsumed");
+                        e.3.as_ref().and(first_diff_bit(&e.0, &rep))
+                    })
+                    .filter(|d| *d < b.bit)
+                    .min();
+                let bit = div.unwrap_or(b.bit);
+                // Every entry shares path bits `0..bit` (divergences are
+                // at >= bit), so the sorted slice splits cleanly on it.
+                let split = entries.partition_point(|s| {
+                    path_bit(&s.as_ref().expect("unconsumed").0, bit) == 0
+                });
+                let (ls, rs) = entries.split_at_mut(split);
+                match div {
+                    Some(d) => {
+                        // New ancestor at `d`: the subtree keeps the side
+                        // the representative routes to, the far side is
+                        // built fresh from its inserts.
+                        let dir = path_bit(&rep, d);
+                        let (near, far) = if dir == 0 { (ls, rs) } else { (rs, ls) };
+                        let (merged, d1) = Self::merge_node(Node::Branch(b), near, threads);
+                        let mut far_puts = Self::take_puts(far);
+                        let d2 = far_puts.len() as isize;
+                        let far_node = Self::build_node(&mut far_puts);
+                        (Self::join(d, dir, merged, far_node), d1 + d2)
+                    }
+                    None => {
+                        let [c0, c1] = match Arc::try_unwrap(b) {
+                            Ok(b) => b.children,
+                            Err(b) => b.children.clone(),
+                        };
+                        let spawn = threads > 1
+                            && ls.len() >= MIN_SPAWN_CHANGES
+                            && rs.len() >= MIN_SPAWN_CHANGES;
+                        let ((n0, d0), (n1, d1)) = if spawn {
+                            std::thread::scope(|s| {
+                                let h = s.spawn(|| Self::merge_node(c0, ls, threads / 2));
+                                let right =
+                                    Self::merge_node(c1, rs, threads - threads / 2);
+                                (h.join().expect("merge thread panicked"), right)
+                            })
+                        } else {
+                            (
+                                Self::merge_node(c0, ls, threads),
+                                Self::merge_node(c1, rs, threads),
+                            )
+                        };
+                        (Self::join(bit, 0, n0, n1), d0 + d1)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Extract the inserts of a consumed entry slice as build slots (in
+    /// path order); removals are dropped (their leaves are not in `node0`'s
+    /// side of the split, or the subtree is being rebuilt without them).
+    fn take_puts(entries: &mut [ApplyEntry<V>]) -> Vec<BuildEntry<V>> {
+        let mut puts: Vec<BuildEntry<V>> = Vec::with_capacity(entries.len());
+        for s in entries.iter_mut() {
+            let (path, key, vhash, value) = s.take().expect("slot consumed once");
+            if let Some(v) = value {
+                puts.push(Some((path, key, vhash, v)));
+            }
+        }
+        puts
+    }
+
+    /// Rebuild a branch at `bit` whose `dir` child is `near`, collapsing if
+    /// either side came back empty (removals can empty a whole subtree).
+    fn join(bit: u16, dir: usize, near: Node<V>, far: Node<V>) -> Node<V> {
+        match (&near, &far) {
+            (Node::Empty, _) => far,
+            (_, Node::Empty) => near,
+            _ => {
+                let mut children = [Node::Empty, Node::Empty];
+                children[dir] = near;
+                children[1 - dir] = far;
+                let hash = branch_hash(&children);
+                Node::Branch(Arc::new(Branch { bit, hash, children }))
+            }
+        }
+    }
+}
+
+impl<V: StateValue + Send + Sync> SparseMerkleTree<V> {
+    /// Recompute every node hash bottom-up from leaf content — value
+    /// digests, leaf hashes, branch hashes — across up to `workers`
+    /// threads (disjoint subtrees audit concurrently), and compare against
+    /// the cached hashes. Returns `true` when the entire tree is
+    /// consistent. Checkpoint integrity check: a corrupted cache or a
+    /// miscomputed parallel batch merge cannot certify a bad root.
+    pub fn rehash_audit(&self, workers: usize) -> bool {
+        Self::audit_node(&self.root, workers.max(1))
+    }
+
+    fn audit_node(node: &Node<V>, threads: usize) -> bool {
+        match node {
+            Node::Empty => true,
+            Node::Leaf(l) => {
+                l.vhash == l.value.leaf_digest() && l.hash == leaf_hash(&l.path, &l.vhash)
+            }
+            Node::Branch(b) => {
+                let children_ok = if threads > 1 {
+                    std::thread::scope(|s| {
+                        let h = s.spawn(|| Self::audit_node(&b.children[0], threads / 2));
+                        let right = Self::audit_node(&b.children[1], threads - threads / 2);
+                        h.join().expect("audit thread panicked") && right
+                    })
+                } else {
+                    Self::audit_node(&b.children[0], 1) && Self::audit_node(&b.children[1], 1)
+                };
+                children_ok
+                    && !matches!(b.children[0], Node::Empty)
+                    && !matches!(b.children[1], Node::Empty)
+                    && b.hash == branch_hash(&b.children)
+            }
+        }
+    }
 }
 
 /// First bit (0 = most significant) where two paths differ.
@@ -1192,6 +1470,117 @@ mod tests {
         assert!(new.diff_chunks(&new.clone(), bits).is_empty());
     }
 
+    /// The change mix every batch-apply test runs: fresh inserts, updates,
+    /// removals of live keys, removals of absent keys, and same-key
+    /// rewrites within one batch (later must win).
+    fn batch_changes() -> Vec<(String, Option<Hash>)> {
+        let mut changes: Vec<(String, Option<Hash>)> = Vec::new();
+        for i in 0..120u64 {
+            changes.push((format!("new-{i}"), Some(vh(1000 + i))));
+        }
+        for i in 0..40u64 {
+            changes.push((format!("key-{i}"), Some(vh(2000 + i)))); // update
+        }
+        for i in 40..80u64 {
+            changes.push((format!("key-{i}"), None)); // remove live
+        }
+        for i in 0..20u64 {
+            changes.push((format!("ghost-{i}"), None)); // remove absent
+        }
+        for i in 0..10u64 {
+            changes.push((format!("new-{i}"), Some(vh(3000 + i)))); // rewrite
+            changes.push((format!("key-{}", 40 + i), Some(vh(4000 + i)))); // resurrect
+        }
+        changes
+    }
+
+    #[test]
+    fn batch_apply_matches_sequential_loop() {
+        for workers in [1usize, 2, 4, 8] {
+            let mut seq = tree_of(100);
+            let mut par = tree_of(100);
+            for (k, v) in batch_changes() {
+                match v {
+                    Some(v) => seq.insert(&k, v),
+                    None => {
+                        seq.remove(&k);
+                    }
+                }
+            }
+            par.batch_apply(batch_changes(), workers);
+            assert_eq!(par.root_hash(), seq.root_hash(), "workers={workers}");
+            assert_eq!(par.len(), seq.len(), "workers={workers}");
+            assert!(par.rehash_audit(workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn batch_apply_into_empty_and_single_leaf_trees() {
+        for base in [0u64, 1] {
+            let mut seq = tree_of(base);
+            let mut par = tree_of(base);
+            let changes: Vec<(String, Option<Hash>)> = (0..64u64)
+                .map(|i| (format!("k{i}"), Some(vh(i))))
+                .chain(std::iter::once(("key-0".to_string(), None)))
+                .collect();
+            for (k, v) in changes.clone() {
+                match v {
+                    Some(v) => seq.insert(&k, v),
+                    None => {
+                        seq.remove(&k);
+                    }
+                }
+            }
+            par.batch_apply(changes, 4);
+            assert_eq!(par.root_hash(), seq.root_hash(), "base={base}");
+            assert_eq!(par.len(), seq.len(), "base={base}");
+        }
+    }
+
+    #[test]
+    fn batch_apply_can_empty_the_tree() {
+        let mut t = tree_of(40);
+        let changes: Vec<(String, Option<Hash>)> =
+            (0..40u64).map(|i| (format!("key-{i}"), None)).collect();
+        t.batch_apply(changes, 4);
+        assert_eq!(t.root_hash(), Hash::ZERO);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn batch_apply_shares_structure_with_snapshots() {
+        // A frozen clone must be unaffected by a parallel batch apply.
+        let mut t = tree_of(80);
+        let snap = t.clone();
+        let before = snap.root_hash();
+        t.batch_apply(batch_changes(), 4);
+        assert_eq!(snap.root_hash(), before);
+        assert_eq!(snap.len(), 80);
+        assert!(snap.rehash_audit(2));
+        assert_ne!(t.root_hash(), before);
+    }
+
+    #[test]
+    fn rehash_audit_detects_stale_cache() {
+        let t = tree_of(50);
+        assert!(t.rehash_audit(4));
+        // Mutate one value behind the digest cache: the audit must notice
+        // the leaf's content no longer matches its committed digest.
+        #[derive(Clone)]
+        struct Bad(Hash);
+        impl StateValue for Bad {
+            fn leaf_digest(&self) -> Hash {
+                self.0
+            }
+        }
+        let mut bad: SparseMerkleTree<Bad> = SparseMerkleTree::build(
+            (0..50u64).map(|i| (format!("key-{i}"), Bad(vh(i)))),
+        );
+        assert!(bad.rehash_audit(2));
+        bad.get_mut_for_test("key-7").expect("present").0 = vh(999);
+        assert!(!bad.rehash_audit(2));
+    }
+
     proptest::proptest! {
         /// Random op sequences: the incremental tree equals a bulk rebuild
         /// of the surviving reference map, regardless of operation order.
@@ -1220,6 +1609,41 @@ mod tests {
             );
             proptest::prop_assert_eq!(t.root_hash(), bulk.root_hash());
             proptest::prop_assert_eq!(t.len(), reference.len());
+        }
+
+        /// Parallel batch apply ≡ the sequential insert/remove loop, for
+        /// random change sets (inserts, updates, removals, duplicates)
+        /// at every worker count the exec engine uses.
+        #[test]
+        fn batch_apply_equals_loop(
+            changes in proptest::collection::vec((0u8..4, 0u64..60, 0u64..1000), 0..150),
+            workers in 2usize..9,
+        ) {
+            let mut seq = SparseMerkleTree::new();
+            for i in 0..30u64 {
+                seq.insert(&format!("k{i}"), vh(i));
+            }
+            let mut par = seq.clone();
+            let batch: Vec<(String, Option<Hash>)> = changes
+                .into_iter()
+                .map(|(kind, k, v)| {
+                    // kind 3 = remove, 0..=2 = insert/update (insert-biased
+                    // so batches grow past the parallel threshold).
+                    (format!("k{k}"), (kind != 3).then(|| vh(v)))
+                })
+                .collect();
+            for (k, v) in batch.clone() {
+                match v {
+                    Some(v) => seq.insert(&k, v),
+                    None => {
+                        seq.remove(&k);
+                    }
+                }
+            }
+            par.batch_apply(batch, workers);
+            proptest::prop_assert_eq!(par.root_hash(), seq.root_hash());
+            proptest::prop_assert_eq!(par.len(), seq.len());
+            proptest::prop_assert!(par.rehash_audit(workers));
         }
 
         /// Chunk decomposition always reassembles the root.

@@ -13,7 +13,7 @@
 //! | [`net`] | cluster / GCP network models (Table 3 latencies) |
 //! | [`store`] | authenticated state: sparse Merkle tree, signed checkpoints, chunked state sync |
 //! | [`wal`] | durable write-ahead log, content-addressed page store, manifests, crash-kill recovery |
-//! | [`ledger`] | blocks, KV state with 2PL + SMT state roots, KVStore & SmallBank chaincode |
+//! | [`ledger`] | blocks, KV state with 2PL + SMT state roots, KVStore & SmallBank chaincode; conflict-aware parallel execution ([`ledger::access`], [`ledger::execute_ops`]) |
 //! | [`mempool`] | per-shard transaction pool: dedup, admission control, per-sender quotas, batch pipeline |
 //! | [`consensus`] | PBFT (HL/AHL/AHL+/AHLR), Tendermint, IBFT, Raft, PoET; the scripted Byzantine attack catalogue ([`consensus::Attack`]) and the global [`consensus::SafetyChecker`] |
 //! | [`shard`] | committee sizing (Eq 1), beacon protocol, reconfiguration |
@@ -96,6 +96,46 @@
 //! let shard0 = report.stats.scoped_counter("txn.committed", Scope::committee(0));
 //! assert!(shard0 > 0);
 //! assert!(report.stats.histogram(Phase::TRANSITIONS[4]).is_some()); // commit→exec
+//! ```
+//!
+//! ## Parallel in-shard execution
+//!
+//! Each replica can execute a committed block's batch across a fixed
+//! worker pool — `SystemConfig::exec_workers` (default 1, or the
+//! `AHL_EXEC_WORKERS` env var) threads through PBFT, IBFT and Tendermint
+//! into [`ledger::execute_ops`]. The scheduler ([`ledger::access`])
+//! infers a conservative read/write set per operation — state keys, 2PL
+//! lock markers (`"L_" + key`), and one bookkeeping slot per transaction
+//! id — and partitions the batch into conflict-free *waves*: an op lands
+//! one wave past the last earlier op that writes what it touches (or
+//! reads what it writes). Waves execute on scoped worker threads
+//! (plan phase is read-only), and effects merge in canonical batch
+//! order.
+//!
+//! **Determinism guarantee**: the receipt stream, state root, lock
+//! table, 2PC sidecar and flight-recorder event stream are byte-identical
+//! at every worker count — parallelism changes host wall-clock only,
+//! never simulated outcomes. `tests/parexec.rs` pins this with a
+//! proptest battery over random mixed batches (`exec_workers ∈ {2,4,8}`)
+//! and a full-system fingerprint comparison; `experiments -- parexec`
+//! sweeps worker counts and asserts every cell identical. At checkpoint
+//! time a parallel run additionally re-hashes the SMT bottom-up
+//! ([`store::SparseMerkleTree::rehash_audit`]) and counts any mismatch in
+//! `consensus.ckpt_audit_failures`.
+//!
+//! ```
+//! use ahl::system::{run_system, SystemConfig, SystemWorkload};
+//! use ahl::simkit::SimDuration;
+//!
+//! let mut cfg = SystemConfig::new(2, 3);
+//! cfg.clients = 2;
+//! cfg.outstanding = 8;
+//! cfg.workload = SystemWorkload::SmallBank { accounts: 500, theta: 0.0 };
+//! cfg.duration = SimDuration::from_secs(2);
+//! cfg.warmup = SimDuration::from_secs(1);
+//! cfg.exec_workers = 4; // same results as 1, faster wall-clock
+//! let metrics = run_system(cfg);
+//! assert!(metrics.committed > 0);
 //! ```
 //!
 //! ## Adversary model
