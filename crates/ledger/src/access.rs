@@ -183,17 +183,25 @@ pub fn schedule(ops: &[&Op], pending: impl Fn(TxId) -> Option<PendingInfo>) -> V
             last_write.insert(r, wave);
         }
         if let Op::Prepare { txid, op } = op {
-            // First prepare wins, mirroring execution: a duplicate-txid
-            // prepare aborts without acquiring anything, so overwriting
-            // the live entry here would hand the eventual Commit/Abort
-            // the *wrong* lock set and lose its release edges. A stale
-            // surviving entry (txid already decided in-batch) only adds
-            // phantom writes — conservative, never incorrect.
-            batch_prepares.entry(*txid).or_insert_with(|| {
-                let locks = op.touched_keys();
-                let mutated = op.mutations.iter().map(|(k, _)| k.clone()).collect();
-                (locks, mutated)
-            });
+            // *Any* same-txid prepare in the batch may be the one that
+            // actually creates the pending entry: an earlier one can fail
+            // at execution (its key already locked, say) and leave a later
+            // one to succeed. The memo is therefore the union of every
+            // prepare's lock/mutated key sets — a conservative superset of
+            // whichever prepare wins, so the eventual Commit/Abort keeps
+            // its release edges no matter which one created the entry.
+            // Keys from losing prepares only add phantom edges.
+            let (locks, mutated) = batch_prepares.entry(*txid).or_default();
+            for k in op.touched_keys() {
+                if !locks.contains(&k) {
+                    locks.push(k);
+                }
+            }
+            for (k, _) in &op.mutations {
+                if !mutated.contains(k) {
+                    mutated.push(k.clone());
+                }
+            }
         }
         waves.push(wave);
     }
@@ -307,7 +315,8 @@ mod tests {
         // Prepare(T) locks "a"; a duplicate Prepare(T) over different keys
         // aborts at execution without acquiring anything, so Commit(T)
         // still releases "a" — its schedule edge to a later Direct on "a"
-        // must survive the duplicate.
+        // must survive the duplicate (the memo unions both key sets, so
+        // the duplicate's keys become phantom edges, never lost ones).
         let ops = [
             Op::Prepare { txid: TxId(5), op: transfer("a", "b", 1) },
             Op::Prepare { txid: TxId(5), op: transfer("x", "y", 1) }, // dup
@@ -319,6 +328,30 @@ mod tests {
         assert!(
             waves[3] > waves[2],
             "direct must run after the commit that frees its lock: {waves:?}"
+        );
+    }
+
+    #[test]
+    fn failed_first_prepare_keeps_commit_release_edges() {
+        // The mirror case of the duplicate test: the *first* Prepare(T)
+        // fails at execution ("x" is locked by tx 1), so the *second*
+        // Prepare(T) — over different keys — creates the pending entry.
+        // Commit(T) then releases L_a/L_b, so the later Direct on "a" must
+        // wave strictly after it; with a first-prepare-wins memo the
+        // commit's write set would only cover {x, w} and the Direct could
+        // share the commit's wave, planning against stale locked state.
+        let ops = [
+            Op::Prepare { txid: TxId(1), op: transfer("x", "y", 1) },
+            Op::Prepare { txid: TxId(5), op: transfer("x", "w", 1) }, // fails: x locked
+            Op::Prepare { txid: TxId(5), op: transfer("a", "b", 1) }, // wins
+            Op::Commit { txid: TxId(5) },
+            Op::Direct { txid: TxId(6), op: transfer("a", "z", 1) },
+        ];
+        let refs: Vec<&Op> = ops.iter().collect();
+        let waves = schedule(&refs, no_pending);
+        assert!(
+            waves[4] > waves[3],
+            "direct must run after the commit that frees L_a: {waves:?}"
         );
     }
 

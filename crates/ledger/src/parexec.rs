@@ -231,6 +231,28 @@ mod tests {
     }
 
     #[test]
+    fn failed_then_successful_same_tx_prepare_matches_sequential() {
+        // Regression: the first Prepare(T5) fails at execution (acct0 is
+        // locked by T1) and the *second* Prepare(T5), over different keys,
+        // creates the pending entry. Commit(T5) therefore releases
+        // L_acct3, and the trailing Direct on acct3 must observe that
+        // release — under a first-prepare-wins scheduler memo it shared a
+        // wave with the commit, planned against the still-locked state,
+        // and produced a LockConflict receipt (and root) that sequential
+        // execution never sees.
+        let ops = vec![
+            Op::Prepare { txid: TxId(1), op: transfer("acct0", "acct1", 1) },
+            Op::Prepare { txid: TxId(5), op: transfer("acct0", "acct2", 1) }, // LockConflict
+            Op::Prepare { txid: TxId(5), op: transfer("acct3", "acct4", 1) }, // wins
+            Op::Commit { txid: TxId(5) },
+            Op::Direct { txid: TxId(6), op: transfer("acct3", "acct5", 1) },
+        ];
+        for workers in [2, 4, 8] {
+            assert_equivalent(ops.clone(), workers, 8);
+        }
+    }
+
+    #[test]
     fn reads_and_noops_match_sequential() {
         let mut ops = Vec::new();
         for i in 0..24u64 {

@@ -534,50 +534,34 @@ impl StateStore {
         if self.resolved.contains_key(&txid) {
             return ExecStatus::Aborted(AbortReason::AlreadyResolved);
         }
-        // Acquire locks all-or-nothing: write ⟨L_key, true⟩ to the
-        // blockchain state (§6.3) as each key checks clean, and on a
-        // mid-set conflict release every lock taken *in this call* before
-        // returning the failure — a partial acquisition must never leak
-        // (nothing records it, so no watchdog would ever release it).
+        // Every check runs before any lock marker is written, so lock
+        // acquisition is all-or-nothing by construction: a rejected
+        // prepare is a perfect no-op on the state root and the write
+        // accounting, and a partial acquisition can never leak (nothing
+        // would record it, so no watchdog could ever release it).
+        // Conditions therefore evaluate against the pre-acquisition state
+        // — a guard targeting a literal `L_`-prefixed key this op is about
+        // to lock does not observe its own marker.
+        if let Err(r) = self.check_unlocked(op) {
+            return ExecStatus::Aborted(r);
+        }
+        if let Err(r) = self.check_conditions(op) {
+            return ExecStatus::Aborted(r);
+        }
+        // Acquire locks: write ⟨L_key, true⟩ to the blockchain state (§6.3).
         let locks = op.touched_keys();
-        let mut acquired: Vec<Key> = Vec::with_capacity(locks.len());
-        let mut charged = 0u64;
         for k in &locks {
-            if self.is_locked(k) {
-                self.rollback_locks(&acquired, charged);
-                return ExecStatus::Aborted(AbortReason::LockConflict(k.clone()));
-            }
             let lk = lock_key(k);
             let v = Value::Bool(true);
-            charged += Self::write_cost(&lk, 1);
             self.write_bytes += Self::write_cost(&lk, 1);
             self.smt.insert(&lk, v.clone());
             self.map.insert(lk, v);
-            acquired.push(k.clone());
-        }
-        // Guards evaluate under the full lock set (matching the pre-2PL
-        // check order: lock conflicts report before condition failures).
-        if let Err(r) = self.check_conditions(op) {
-            self.rollback_locks(&acquired, charged);
-            return ExecStatus::Aborted(r);
         }
         self.pending.insert(
             txid,
             PendingTx { locks, mutations: op.mutations.clone() },
         );
         ExecStatus::Committed(vec![])
-    }
-
-    /// Undo a partial lock acquisition from a failed `exec_prepare`:
-    /// remove the markers and refund the bytes it charged, so a rejected
-    /// prepare is a perfect no-op on state root *and* write accounting.
-    fn rollback_locks(&mut self, acquired: &[Key], charged: u64) {
-        for k in acquired {
-            let lk = lock_key(k);
-            self.smt.remove(&lk);
-            self.map.remove(&lk);
-        }
-        self.write_bytes -= charged;
     }
 
     fn exec_commit(&mut self, txid: TxId) -> ExecStatus {
@@ -774,30 +758,18 @@ impl StateStore {
         if self.resolved.contains_key(&txid) {
             return ExecStatus::Aborted(AbortReason::AlreadyResolved);
         }
+        // Same check-before-write order as `exec_prepare`: conditions see
+        // the pre-acquisition state, and no effect is emitted until every
+        // check passes.
+        if let Err(r) = self.check_unlocked(op) {
+            return ExecStatus::Aborted(r);
+        }
+        if let Err(r) = self.check_conditions(op) {
+            return ExecStatus::Aborted(r);
+        }
         let locks = op.touched_keys();
         for k in &locks {
-            if self.is_locked(k) {
-                effects.clear();
-                return ExecStatus::Aborted(AbortReason::LockConflict(k.clone()));
-            }
             effects.push(Effect::Put(lock_key(k), Value::Bool(true)));
-        }
-        // Conditions evaluate under this op's own lock markers, exactly as
-        // `exec_prepare` sees them after acquisition (only observable when
-        // a guard targets a literal `L_`-prefixed key it is locking).
-        for c in &op.conditions {
-            let own_marker = locks.iter().any(|k| lock_key(k) == *c.key());
-            let ok = match c {
-                Condition::Exists(k) => own_marker || self.map.contains_key(k),
-                Condition::NotExists(k) => !(own_marker || self.map.contains_key(k)),
-                Condition::IntAtLeast { key, min } => {
-                    (if own_marker { 0 } else { self.get_int(key) }) >= *min
-                }
-            };
-            if !ok {
-                effects.clear();
-                return ExecStatus::Aborted(AbortReason::ConditionFailed(c.clone()));
-            }
         }
         effects.push(Effect::Stash(txid, locks, op.mutations.clone()));
         ExecStatus::Committed(vec![])
@@ -1177,10 +1149,11 @@ mod tests {
 
     #[test]
     fn prepare_lock_acquisition_is_all_or_nothing() {
-        // tx1 locks "b"; tx2 then prepares over ["a", "b"]: "a"'s lock is
-        // taken mid-set before the conflict on "b" surfaces, and must be
-        // released before the failure returns — a leaked L_a would be
+        // tx1 locks "b"; tx2 then prepares over ["a", "b"]: the conflict
+        // on "b" must leave no trace of "a"'s lock — a leaked L_a would be
         // invisible to the 2PC watchdog (no pending entry records it).
+        // All checks run before any marker is written, so the failure is
+        // a perfect no-op on root and write accounting.
         let mut s = store_with_balances();
         s.execute(&Op::Prepare {
             txid: TxId(1),
@@ -1206,8 +1179,8 @@ mod tests {
 
     #[test]
     fn failed_condition_rolls_back_acquired_locks() {
-        // All locks acquire cleanly, then a guard fails: every lock taken
-        // in the call must be rolled back with the write accounting.
+        // Every key checks lock-free, then a guard fails: no lock marker
+        // and no write-byte charge may survive the rejected prepare.
         let mut s = store_with_balances();
         s.take_write_bytes();
         let r = s.execute(&Op::Prepare { txid: TxId(1), op: transfer("a", "b", 500) });
