@@ -47,6 +47,7 @@ const IDS: &[(&str, &str)] = &[
     ("statesync", "state-sync sweep: restarted replica catch-up, state size x chunk size"),
     ("recovery", "crash-kill recovery smoke: WAL + page checkpoints, restart-from-disk"),
     ("parexec", "exec_workers sweep: parallel in-shard execution, results must be identical at every worker count"),
+    ("cluster", "multi-process localhost PBFT committee over TCP: measured vs simkit-predicted throughput, kill/restart survival"),
 ];
 
 fn usage() -> ! {
@@ -58,6 +59,40 @@ fn usage() -> ! {
     println!("  all      run everything");
     println!("  list     print this list");
     std::process::exit(2);
+}
+
+/// `experiments -- cluster`: spawn the localhost committee from the
+/// sibling `node` binary and report measured vs predicted throughput.
+/// Any safety violation or unclean node exit aborts the whole run.
+fn run_cluster_cmd(quick: bool) {
+    use ahl_bench::cluster::{run_cluster, ClusterSpec};
+    let exe = std::env::current_exe().expect("current exe path");
+    let node_bin = exe.with_file_name("node");
+    let root = std::env::temp_dir().join(format!("ahl-cluster-{}", std::process::id()));
+    let mut spec = ClusterSpec::new(root.clone(), node_bin);
+    if quick {
+        spec.warmup = std::time::Duration::from_secs(1);
+        spec.measure = std::time::Duration::from_secs(3);
+        spec.kill_restart = false;
+    }
+    println!(
+        "== cluster: {} x {} over TCP (localhost), {} clients x {} outstanding ==",
+        spec.n,
+        spec.variant.name(),
+        spec.clients,
+        spec.outstanding
+    );
+    match run_cluster(&spec) {
+        Ok(report) => {
+            print!("{}", report.render());
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        Err(e) => {
+            eprintln!("cluster experiment failed: {e}");
+            eprintln!("(node logs left under {})", root.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -121,6 +156,7 @@ fn main() {
             "statesync" => figs::statesync(scale),
             "recovery" => figs::recovery(scale),
             "parexec" => figs::parexec(scale),
+            "cluster" => run_cluster_cmd(quick),
             other => {
                 println!("unknown experiment: {other}\n");
                 usage();

@@ -1,0 +1,538 @@
+//! Multi-process localhost cluster: the real-node counterpart of
+//! [`run_shard_experiment`].
+//!
+//! The driver writes a cluster config file, spawns one `node` process per
+//! replica (each runs the *unmodified* [`ahl_consensus::pbft::Replica`]
+//! over [`ahl_net::TcpTransport`]), hosts the closed-loop clients on its
+//! own [`NodeRuntime`], drives load for a measured window, optionally
+//! kills and restarts one node (exercising reconnect + state sync), and
+//! compares the measured throughput against the simkit prediction for
+//! the same configuration — same [`committee_config`]-derived replica
+//! settings, same client mode, same operation factory.
+//!
+//! Safety is checked from the outside: every [`Control::Status`] probe
+//! reports `(height, state digest)`, and two replicas reporting different
+//! digests at the same height is a violation (the experiment then fails,
+//! and `experiments -- cluster` exits nonzero).
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ahl_consensus::harness::{run_shard_experiment, ClientMode, NetChoice, ShardExperiment};
+use ahl_consensus::pbft::{BftVariant, PbftConfig, PbftMsg};
+use ahl_consensus::{ClosedLoopClient, OpFactory};
+use ahl_core::{committee_config, SystemConfig};
+use ahl_crypto::{sha256, Hash};
+use ahl_ledger::{kvstore, Op, TxId};
+use ahl_net::wire::Control;
+use ahl_net::{runtime::wall_now, NodeRuntime, StatusReport, TcpConfig, TcpTransport};
+use ahl_simkit::{NodeId, SimDuration};
+
+/// Parameters of one localhost-cluster run.
+pub struct ClusterSpec {
+    /// Committee size (one OS process per replica).
+    pub n: usize,
+    /// Protocol variant.
+    pub variant: BftVariant,
+    /// Transactions per block.
+    pub batch_size: usize,
+    /// Stable checkpoint interval (drives state-sync anchoring).
+    pub checkpoint_interval: u64,
+    /// Execution worker threads per replica.
+    pub exec_workers: usize,
+    /// Closed-loop client actors hosted by the driver.
+    pub clients: usize,
+    /// Outstanding requests per client.
+    pub outstanding: usize,
+    /// RNG seed (keys, pools, client streams — shared with the sim run).
+    pub seed: u64,
+    /// Load before the measured window opens.
+    pub warmup: Duration,
+    /// Measured window.
+    pub measure: Duration,
+    /// Kill one follower mid-run and verify it restarts, reconnects and
+    /// catches back up from disk + state sync.
+    pub kill_restart: bool,
+    /// Scratch directory for config, node data dirs, and node logs.
+    pub root: PathBuf,
+    /// Path of the `node` binary to spawn.
+    pub node_bin: PathBuf,
+    /// Also run the simkit prediction for the same configuration.
+    pub predict: bool,
+}
+
+impl ClusterSpec {
+    /// Defaults: a 4-process AHL+ committee under 2 clients × 64
+    /// outstanding, 2 s warmup + 5 s measured, with the kill/restart
+    /// phase on.
+    pub fn new(root: PathBuf, node_bin: PathBuf) -> Self {
+        ClusterSpec {
+            n: 4,
+            variant: BftVariant::AhlPlus,
+            batch_size: 64,
+            checkpoint_interval: 32,
+            exec_workers: 1,
+            clients: 2,
+            outstanding: 64,
+            seed: 42,
+            warmup: Duration::from_secs(2),
+            measure: Duration::from_secs(5),
+            kill_restart: true,
+            root,
+            node_bin,
+            predict: true,
+        }
+    }
+}
+
+/// What one cluster run produced.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Client-observed completions per second over the measured window.
+    pub measured_tps: f64,
+    /// Simkit-predicted completions per second (same configuration);
+    /// `None` when prediction was skipped.
+    pub predicted_tps: Option<f64>,
+    /// Total client completions over the whole run.
+    pub completed: u64,
+    /// Final `(replica, height)` from the last status sweep.
+    pub heights: Vec<(NodeId, u64)>,
+    /// Height the killed replica had to re-reach (kill/restart runs).
+    pub catchup_height: u64,
+}
+
+impl ClusterReport {
+    /// Human-readable summary lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "measured   {:>10.1} tx/s  ({} completions)\n",
+            self.measured_tps, self.completed
+        ));
+        if let Some(p) = self.predicted_tps {
+            let ratio = if p > 0.0 { self.measured_tps / p } else { f64::NAN };
+            out.push_str(&format!("simkit     {p:>10.1} tx/s  (measured/predicted = {ratio:.2})\n"));
+        }
+        for (id, h) in &self.heights {
+            out.push_str(&format!("replica {id}: height {h}\n"));
+        }
+        out
+    }
+}
+
+/// The cluster config file: everything a `node` process needs to run one
+/// replica, and everything the driver needs to reach it. Hand-parsed
+/// `key value` lines (the workspace has no serde).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterFile {
+    /// Shared RNG seed (key generation must agree across processes).
+    pub seed: u64,
+    /// Protocol variant.
+    pub variant: BftVariant,
+    /// Transactions per block.
+    pub batch_size: usize,
+    /// Stable checkpoint interval.
+    pub checkpoint_interval: u64,
+    /// Execution worker threads.
+    pub exec_workers: usize,
+    /// Persistence root; each replica journals under `node-<id>`.
+    pub data_dir: Option<PathBuf>,
+    /// Committee: `(actor id, listen address)` per replica, id order.
+    pub replicas: Vec<(NodeId, SocketAddr)>,
+    /// Driver-hosted client actors and the address hosting them.
+    pub clients: Vec<(NodeId, SocketAddr)>,
+}
+
+impl ClusterFile {
+    /// Canonical text form (what [`ClusterFile::parse`] reads back; the
+    /// handshake digest is computed over exactly these bytes).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!("variant {}\n", self.variant.name()));
+        s.push_str(&format!("batch-size {}\n", self.batch_size));
+        s.push_str(&format!("checkpoint-interval {}\n", self.checkpoint_interval));
+        s.push_str(&format!("exec-workers {}\n", self.exec_workers));
+        if let Some(d) = &self.data_dir {
+            s.push_str(&format!("data-dir {}\n", d.display()));
+        }
+        for (id, addr) in &self.replicas {
+            s.push_str(&format!("replica {id} {addr}\n"));
+        }
+        for (id, addr) in &self.clients {
+            s.push_str(&format!("client {id} {addr}\n"));
+        }
+        s
+    }
+
+    /// Parse the canonical form. Errors name the offending line.
+    pub fn parse(text: &str) -> Result<ClusterFile, String> {
+        let mut cf = ClusterFile {
+            seed: 0,
+            variant: BftVariant::AhlPlus,
+            batch_size: 64,
+            checkpoint_interval: 32,
+            exec_workers: 1,
+            data_dir: None,
+            replicas: Vec::new(),
+            clients: Vec::new(),
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let key = it.next().expect("non-empty line");
+            let bad = |what: &str| format!("line {}: bad {what}: {line:?}", lineno + 1);
+            match key {
+                "seed" => {
+                    cf.seed = it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("seed"))?
+                }
+                "variant" => {
+                    cf.variant = match it.next() {
+                        Some("HL") => BftVariant::Hl,
+                        Some("AHL") => BftVariant::Ahl,
+                        Some("AHL+") => BftVariant::AhlPlus,
+                        Some("AHLR") => BftVariant::Ahlr,
+                        _ => return Err(bad("variant")),
+                    }
+                }
+                "batch-size" => {
+                    cf.batch_size =
+                        it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("batch-size"))?
+                }
+                "checkpoint-interval" => {
+                    cf.checkpoint_interval = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("checkpoint-interval"))?
+                }
+                "exec-workers" => {
+                    cf.exec_workers =
+                        it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("exec-workers"))?
+                }
+                "data-dir" => {
+                    cf.data_dir = Some(PathBuf::from(it.next().ok_or_else(|| bad("data-dir"))?))
+                }
+                "replica" | "client" => {
+                    let id: NodeId =
+                        it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("id"))?;
+                    let addr: SocketAddr =
+                        it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("address"))?;
+                    if key == "replica" {
+                        cf.replicas.push((id, addr));
+                    } else {
+                        cf.clients.push((id, addr));
+                    }
+                }
+                _ => return Err(bad("key")),
+            }
+        }
+        if cf.replicas.is_empty() {
+            return Err("no replicas in config".into());
+        }
+        Ok(cf)
+    }
+
+    /// Session-handshake digest: every process must parse byte-identical
+    /// cluster parameters or connections are refused.
+    pub fn digest(&self) -> Hash {
+        sha256(self.render().as_bytes())
+    }
+
+    /// The per-replica PBFT configuration, derived through the same
+    /// [`committee_config`] path the simulator uses.
+    pub fn pbft_config(&self) -> PbftConfig {
+        let mut sys = SystemConfig::new(1, self.replicas.len());
+        sys.variant = self.variant;
+        sys.batch_size = self.batch_size;
+        sys.exec_workers = self.exec_workers;
+        sys.data_dir = self.data_dir.clone();
+        sys.seed = self.seed;
+        let mut pbft = committee_config(&sys);
+        pbft.checkpoint_interval = self.checkpoint_interval;
+        pbft
+    }
+
+    /// Total actor count (replicas + clients) — what `Ctx::num_nodes`
+    /// reports inside node processes.
+    pub fn num_nodes(&self) -> usize {
+        self.replicas.len() + self.clients.len()
+    }
+}
+
+/// The deterministic per-client operation stream shared by the measured
+/// run and the simkit prediction: single-key writes with globally unique
+/// transaction ids.
+pub fn kv_factory(client: usize) -> OpFactory {
+    let mut i = client as u64 * 1_000_000;
+    Box::new(move |_rng| {
+        i += 1;
+        Op::Direct { txid: TxId(i), op: kvstore::kv_write(&[i % 1000], 16) }
+    })
+}
+
+/// Reserve `count` distinct localhost addresses by binding ephemeral
+/// listeners, then releasing them (the usual spawn-time race is
+/// negligible on a scratch machine).
+fn free_addrs(count: usize) -> std::io::Result<Vec<SocketAddr>> {
+    let listeners: Vec<TcpListener> =
+        (0..count).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<Result<_, _>>()?;
+    listeners.iter().map(|l| l.local_addr()).collect()
+}
+
+/// Child-process guard: whatever is still running when the driver
+/// unwinds gets killed (no orphan committees from failed runs).
+struct Fleet {
+    children: Vec<Option<Child>>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for c in self.children.iter_mut().flatten() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+fn spawn_node(spec: &ClusterSpec, cfg_path: &Path, index: usize) -> Result<Child, String> {
+    let log = std::fs::File::create(spec.root.join(format!("node-{index}.log")))
+        .map_err(|e| format!("create node log: {e}"))?;
+    Command::new(&spec.node_bin)
+        .arg(cfg_path)
+        .arg(index.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::from(log.try_clone().map_err(|e| e.to_string())?))
+        .stderr(Stdio::from(log))
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", spec.node_bin.display()))
+}
+
+/// Cross-replica safety ledger: any height reported with two different
+/// state digests is a divergence.
+#[derive(Default)]
+struct DigestLedger {
+    seen: BTreeMap<u64, Hash>,
+}
+
+impl DigestLedger {
+    fn note(&mut self, id: NodeId, r: &StatusReport) -> Result<(), String> {
+        match self.seen.get(&r.height) {
+            Some(d) if *d != r.digest => Err(format!(
+                "SAFETY VIOLATION: replica {id} reports digest {:?} at height {} but {:?} was \
+                 already certified there",
+                r.digest, r.height, d
+            )),
+            Some(_) => Ok(()),
+            None => {
+                self.seen.insert(r.height, r.digest);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Probe every replica once and fold the answers into the safety ledger.
+fn probe(
+    rt: &mut NodeRuntime<PbftMsg>,
+    n: usize,
+    ledger: &mut DigestLedger,
+) -> Result<BTreeMap<NodeId, StatusReport>, String> {
+    rt.clear_status_replies();
+    for r in 0..n {
+        rt.send_control(r, Control::Status);
+    }
+    rt.run_for(Duration::from_millis(400));
+    let replies: BTreeMap<NodeId, StatusReport> =
+        rt.status_replies().iter().map(|(k, v)| (*k, v.clone())).collect();
+    for (id, rep) in &replies {
+        ledger.note(*id, rep)?;
+    }
+    Ok(replies)
+}
+
+/// Run the localhost cluster end to end. Returns an error (→ nonzero
+/// exit from `experiments -- cluster`) on any safety violation, node
+/// crash, failed catch-up, or unclean shutdown.
+pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, String> {
+    std::fs::create_dir_all(&spec.root).map_err(|e| format!("create {:?}: {e}", spec.root))?;
+    let addrs = free_addrs(spec.n + 1).map_err(|e| format!("reserve ports: {e}"))?;
+    let driver_addr = addrs[spec.n];
+    let cf = ClusterFile {
+        seed: spec.seed,
+        variant: spec.variant,
+        batch_size: spec.batch_size,
+        checkpoint_interval: spec.checkpoint_interval,
+        exec_workers: spec.exec_workers,
+        data_dir: Some(spec.root.join("data")),
+        replicas: (0..spec.n).map(|i| (i, addrs[i])).collect(),
+        clients: (0..spec.clients).map(|c| (spec.n + c, driver_addr)).collect(),
+    };
+    let cfg_path = spec.root.join("cluster.cfg");
+    std::fs::File::create(&cfg_path)
+        .and_then(|mut f| f.write_all(cf.render().as_bytes()))
+        .map_err(|e| format!("write {cfg_path:?}: {e}"))?;
+
+    let mut fleet = Fleet { children: Vec::new() };
+    for i in 0..spec.n {
+        fleet.children.push(Some(spawn_node(spec, &cfg_path, i)?));
+    }
+
+    // Driver runtime: hosts the closed-loop clients over its own TCP
+    // endpoint; replicas reply to client actor ids routed back here.
+    let client_ids: Vec<NodeId> = cf.clients.iter().map(|(id, _)| *id).collect();
+    let mut tcp = TcpConfig::new(driver_addr, client_ids.clone(), cf.replicas.clone());
+    tcp.cluster = cf.digest();
+    let transport = TcpTransport::start(tcp).map_err(|e| format!("driver transport: {e}"))?;
+    let mut rt: NodeRuntime<PbftMsg> =
+        NodeRuntime::new(Box::new(transport), cf.num_nodes(), spec.seed);
+    let horizon = spec.warmup + spec.measure + Duration::from_secs(if spec.kill_restart { 90 } else { 5 });
+    let stop_at = wall_now() + SimDuration::from_nanos(horizon.as_nanos() as u64);
+    for (c, id) in client_ids.iter().enumerate() {
+        let target = c % spec.n;
+        let client = ClosedLoopClient::new(
+            vec![target],
+            spec.outstanding,
+            stop_at,
+            SimDuration::from_secs(4),
+            kv_factory(c),
+        );
+        rt.add_actor(*id, Box::new(client));
+    }
+    rt.start();
+
+    let mut ledger = DigestLedger::default();
+
+    // Warmup, then the measured window.
+    rt.run_for(spec.warmup);
+    let c0 = rt.stats().counter(ahl_consensus::stat::CLIENT_COMPLETED);
+    rt.run_for(spec.measure);
+    let c1 = rt.stats().counter(ahl_consensus::stat::CLIENT_COMPLETED);
+    let measured_tps = (c1 - c0) as f64 / spec.measure.as_secs_f64();
+    if c1 == c0 {
+        return Err("no client completions during the measured window".into());
+    }
+
+    let mut catchup_height = 0;
+    if spec.kill_restart {
+        // Kill the highest-index follower (never the view-0 leader, never
+        // the reporter), let the committee run without it, then restart
+        // it and require it to re-reach the committee's height.
+        let victim = spec.n - 1;
+        let pre = probe(&mut rt, spec.n, &mut ledger)?;
+        catchup_height = pre.values().map(|r| r.height).max().unwrap_or(0);
+        if let Some(child) = fleet.children[victim].as_mut() {
+            child.kill().map_err(|e| format!("kill node {victim}: {e}"))?;
+            let _ = child.wait();
+        }
+        fleet.children[victim] = None;
+        rt.run_for(Duration::from_secs(2));
+        fleet.children[victim] = Some(spawn_node(spec, &cfg_path, victim)?);
+
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let replies = probe(&mut rt, spec.n, &mut ledger)?;
+            if replies.get(&victim).is_some_and(|r| r.height >= catchup_height) {
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "node {victim} failed to catch up to height {catchup_height} within 60s \
+                     (last: {:?})",
+                    replies.get(&victim)
+                ));
+            }
+            rt.run_for(Duration::from_millis(500));
+        }
+    }
+
+    // Final status sweep (also the last safety check), then shutdown.
+    let fin = probe(&mut rt, spec.n, &mut ledger)?;
+    let heights: Vec<(NodeId, u64)> = fin.iter().map(|(id, r)| (*id, r.height)).collect();
+    for r in 0..spec.n {
+        rt.send_control(r, Control::Shutdown);
+    }
+    rt.run_for(Duration::from_millis(200));
+    let deadline = Instant::now() + Duration::from_secs(15);
+    for (i, slot) in fleet.children.iter_mut().enumerate() {
+        let Some(child) = slot.as_mut() else { continue };
+        loop {
+            match child.try_wait().map_err(|e| format!("wait node {i}: {e}"))? {
+                Some(status) => {
+                    if !status.success() {
+                        return Err(format!("node {i} exited uncleanly: {status}"));
+                    }
+                    *slot = None;
+                    break;
+                }
+                None if Instant::now() > deadline => {
+                    return Err(format!("node {i} did not shut down within 15s"));
+                }
+                None => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    }
+    rt.shutdown_transport();
+    let completed = rt.stats().counter(ahl_consensus::stat::CLIENT_COMPLETED);
+
+    // The simkit prediction: identical replica configuration (minus the
+    // data dir — the sim run stays in-memory), identical client mode.
+    let predicted_tps = spec.predict.then(|| {
+        let mut pbft = cf.pbft_config();
+        pbft.data_dir = None;
+        let mut exp = ShardExperiment::new(pbft, Box::new(kv_factory));
+        exp.net = NetChoice::Cluster;
+        exp.clients = spec.clients;
+        exp.client_mode = ClientMode::Closed { outstanding: spec.outstanding };
+        exp.warmup = SimDuration::from_nanos(spec.warmup.as_nanos() as u64);
+        exp.duration = SimDuration::from_nanos(spec.measure.as_nanos() as u64);
+        exp.seed = spec.seed;
+        run_shard_experiment(exp).tps
+    });
+
+    Ok(ClusterReport { measured_tps, predicted_tps, completed, heights, catchup_height })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_file_roundtrips() {
+        let cf = ClusterFile {
+            seed: 7,
+            variant: BftVariant::Ahlr,
+            batch_size: 32,
+            checkpoint_interval: 16,
+            exec_workers: 2,
+            data_dir: Some(PathBuf::from("/tmp/x")),
+            replicas: vec![(0, "127.0.0.1:7000".parse().unwrap()), (1, "127.0.0.1:7001".parse().unwrap())],
+            clients: vec![(2, "127.0.0.1:7100".parse().unwrap())],
+        };
+        let back = ClusterFile::parse(&cf.render()).expect("parses");
+        assert_eq!(cf, back);
+        assert_eq!(cf.digest(), back.digest());
+    }
+
+    #[test]
+    fn cluster_file_rejects_garbage() {
+        assert!(ClusterFile::parse("bogus 1\n").is_err());
+        assert!(ClusterFile::parse("replica zero 127.0.0.1:1\n").is_err());
+        assert!(ClusterFile::parse("seed 1\n").is_err(), "no replicas");
+    }
+
+    #[test]
+    fn pbft_config_matches_simulator_derivation() {
+        let cf = ClusterFile::parse("seed 9\nvariant AHL+\nreplica 0 127.0.0.1:1\nreplica 1 127.0.0.1:2\nreplica 2 127.0.0.1:3\nreplica 3 127.0.0.1:4\n").unwrap();
+        let pbft = cf.pbft_config();
+        assert_eq!(pbft.n, 4);
+        assert_eq!(pbft.variant, BftVariant::AhlPlus);
+        assert_eq!(pbft.reply_policy, ahl_consensus::pbft::ReplyPolicy::IngestReplica);
+    }
+}

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod figs;
 pub mod json;
 pub mod report;

@@ -161,6 +161,12 @@ pub struct IbftConfig {
     /// above that the batch goes through the deterministic conflict-aware
     /// engine with byte-identical results).
     pub exec_workers: usize,
+    /// Re-derive every cached hash of the authenticated index across the
+    /// worker pool every this-many committed heights when
+    /// `exec_workers > 1` (the same paranoia audit PBFT runs at each
+    /// checkpoint; IBFT has no checkpoint machinery, so the cadence is
+    /// its own knob).
+    pub audit_interval: u64,
 }
 
 impl IbftConfig {
@@ -183,6 +189,7 @@ impl IbftConfig {
             safety: None,
             committee_id: 0,
             exec_workers: 1,
+            audit_interval: 128,
         }
     }
 
@@ -606,6 +613,18 @@ impl IbftNode {
             ctx.stats().record_point(stat::COMMIT_SERIES, now, committed as f64);
         }
         self.height += 1;
+        // Parallel-execution paranoia, mirroring the PBFT checkpoint-time
+        // audit: periodically re-derive every cached hash of the
+        // authenticated index across the worker pool and compare. Proven
+        // equivalent to sequential execution, so a hit means engine
+        // corruption — count it loudly, don't mask it.
+        if self.cfg.exec_workers > 1
+            && self.cfg.audit_interval > 0
+            && self.height.is_multiple_of(self.cfg.audit_interval)
+            && !self.state.rehash_audit(self.cfg.exec_workers)
+        {
+            ctx.stats().inc(stat::CKPT_AUDIT_FAILURES, 1);
+        }
         self.round = 0;
         if !self.cfg.sticky_locks {
             self.locked = None;
@@ -815,7 +834,10 @@ mod tests {
     use ahl_simkit::{QueueConfig, SimTime, UniformNetwork};
 
     fn run_ibft(n: usize, secs: u64) -> (u64, u64) {
-        let cfg = IbftConfig::new(n);
+        run_ibft_cfg(IbftConfig::new(n), secs).0
+    }
+
+    fn run_ibft_cfg(cfg: IbftConfig, secs: u64) -> ((u64, u64), u64) {
         let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
         let (mut sim, group) = build_ibft_group(&cfg, net, Some(1e9), 23);
         let stop = SimTime::ZERO + SimDuration::from_secs(secs);
@@ -828,9 +850,27 @@ mod tests {
         sim.add_actor(Box::new(client), QueueConfig::unbounded());
         sim.run_until(stop + SimDuration::from_secs(3));
         (
-            sim.stats().counter(stat::TXN_COMMITTED),
-            sim.stats().counter(stat::BLOCKS_COMMITTED),
+            (
+                sim.stats().counter(stat::TXN_COMMITTED),
+                sim.stats().counter(stat::BLOCKS_COMMITTED),
+            ),
+            sim.stats().counter(stat::CKPT_AUDIT_FAILURES),
         )
+    }
+
+    /// With parallel block execution the per-height rehash audit must run
+    /// (and pass) without perturbing commits: parallel execution is
+    /// byte-identical to sequential by contract.
+    #[test]
+    fn parallel_exec_audit_stays_clean() {
+        let mut cfg = IbftConfig::new(4);
+        cfg.exec_workers = 4;
+        cfg.audit_interval = 1; // audit at every committed height
+        let ((committed, blocks), audit_failures) = run_ibft_cfg(cfg, 5);
+        let (seq_committed, seq_blocks) = run_ibft(4, 5);
+        assert_eq!((committed, blocks), (seq_committed, seq_blocks), "workers leaked into sim");
+        assert!(committed > 500, "committed {committed}");
+        assert_eq!(audit_failures, 0, "hash-cache divergence under parallel execution");
     }
 
     #[test]

@@ -4,6 +4,7 @@ mod config;
 mod durable;
 mod msg;
 mod replica;
+mod wire;
 
 pub use config::{BftVariant, FaultModel, PbftConfig, ReplyPolicy};
 pub use msg::{chunk_entry_bytes, AggProof, MsgCert, PbftBlock, PbftMsg, ViewChangeMsg, Vote};
@@ -251,5 +252,125 @@ mod tests {
                 assert_eq!(*d, digests.iter().find(|(s2, _)| *s2 == max_seq).expect("exists").1);
             }
         }
+    }
+
+    /// Minimal [`ahl_simkit::Host`] for driving one replica handler at a
+    /// time — the same entry point [`ahl_net::NodeRuntime`] uses — so a
+    /// test can inspect the exact outbox each delivery produces.
+    struct TestHost {
+        now: SimTime,
+        rng: rand::rngs::SmallRng,
+        stats: ahl_simkit::Stats,
+    }
+
+    impl ahl_simkit::Host for TestHost {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn num_nodes(&self) -> usize {
+            4
+        }
+        fn set_timer(&mut self, _node: NodeId, _delay: SimDuration, _kind: u64) {}
+        fn rng(&mut self, _node: NodeId) -> &mut rand::rngs::SmallRng {
+            &mut self.rng
+        }
+        fn stats(&mut self) -> &mut ahl_simkit::Stats {
+            &mut self.stats
+        }
+        fn halt(&mut self) {}
+    }
+
+    /// Deferred batch verification must not let a forged signature vote
+    /// count toward a quorum: votes with `MsgCert::Sig` are admitted
+    /// tentatively, then settled via [`KeyRegistry::verify_batch`] when
+    /// the digest reaches quorum. A forged vote (right key id, wrong
+    /// digest signed) must be evicted at settle time — no commit until a
+    /// genuine quorum exists.
+    #[test]
+    fn forged_sig_vote_is_evicted_at_quorum_settle() {
+        use ahl_simkit::{Actor, Ctx};
+        use rand::SeedableRng;
+
+        let seed = 42u64;
+        let mut cfg = PbftConfig::new(BftVariant::Hl, 4);
+        cfg.crypto = CryptoMode::Real;
+        let mut registry = KeyRegistry::new();
+        let mut keys: Vec<_> =
+            (0..cfg.n).map(|i| registry.generate(seed ^ (i as u64) << 8)).collect();
+        let tee_keys: Vec<_> =
+            (0..cfg.n).map(|i| registry.generate(seed ^ ((i as u64) << 8) ^ 1)).collect();
+        let registry = Arc::new(registry);
+
+        let block = Arc::new(PbftBlock::new(0, 1, 0, vec![]));
+        let leader_cert = MsgCert::Sig(keys[0].sign(&block.digest));
+        let valid_vote = |replica: usize, keys: &[ahl_crypto::SigningKey]| Vote {
+            view: 0,
+            seq: 1,
+            digest: block.digest,
+            replica,
+            cert: MsgCert::Sig(keys[replica].sign(&block.digest)),
+        };
+        let vote2 = valid_vote(2, &keys);
+        let vote3_good = valid_vote(3, &keys);
+        // Replica 3's genuine key signing the WRONG digest: the signer id
+        // matches, the MAC does not — exactly what batch verification has
+        // to catch.
+        let forged3 = Vote {
+            cert: MsgCert::Sig(keys[3].sign(&ahl_crypto::sha256(b"some other block"))),
+            ..vote3_good.clone()
+        };
+
+        let mut tee_keys = tee_keys.into_iter();
+        let mut replica = Replica::new(
+            cfg,
+            (0..4).collect(),
+            1,
+            keys.swap_remove(1),
+            tee_keys.nth(1).expect("tee key"),
+            registry,
+            &[],
+            false,
+        );
+        let mut host = TestHost {
+            now: SimTime::ZERO + SimDuration::from_millis(1),
+            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+            stats: ahl_simkit::Stats::new(),
+        };
+        let deliver = |r: &mut Replica, host: &mut TestHost, from: NodeId, msg: PbftMsg| {
+            let mut ctx = Ctx::for_host(host, 1);
+            r.on_message(from, msg, &mut ctx);
+            ctx.finish().1
+        };
+
+        // Leader proposal: replica 1 accepts and multicasts its prepare.
+        let out =
+            deliver(&mut replica, &mut host, 0, PbftMsg::PrePrepare { block: block.clone(), cert: leader_cert });
+        assert!(
+            out.iter().any(|(_, m)| matches!(m, PbftMsg::Prepare(_))),
+            "follower must prepare after a certified pre-prepare"
+        );
+
+        // Forged vote from replica 3 trips the quorum count (leader + self
+        // + forged = 2f + 1) — batch settle must reject it and evict the
+        // vote, so no commit goes out.
+        let out = deliver(&mut replica, &mut host, 3, PbftMsg::Prepare(forged3));
+        assert!(
+            !out.iter().any(|(_, m)| matches!(m, PbftMsg::Commit(_))),
+            "forged vote must not complete a prepare quorum"
+        );
+        assert_eq!(host.stats.counter("consensus.invalid_msg"), 1, "forgery counted");
+
+        // A genuine third vote completes the quorum: commit goes out.
+        let out = deliver(&mut replica, &mut host, 2, PbftMsg::Prepare(vote2));
+        assert!(
+            out.iter().any(|(_, m)| matches!(m, PbftMsg::Commit(_))),
+            "genuine quorum must produce a commit"
+        );
+
+        // Replica 3 re-voting honestly is counted normally (its forged
+        // vote was evicted, not blacklisted) and settles clean.
+        let before = host.stats.counter("consensus.invalid_msg");
+        deliver(&mut replica, &mut host, 3, PbftMsg::Prepare(vote3_good));
+        assert_eq!(host.stats.counter("consensus.invalid_msg"), before);
     }
 }

@@ -59,6 +59,12 @@ struct Instance {
     commits: HashMap<Hash, HashSet<usize>>,
     relay_prepares: HashMap<Hash, HashSet<usize>>,
     relay_commits: HashMap<Hash, HashSet<usize>>,
+    /// Signature certificates admitted tentatively, awaiting quorum-time
+    /// batch verification ([`KeyRegistry::verify_batch`]): digest → voter
+    /// → signature. Only populated for `MsgCert::Sig` votes (HL under
+    /// real crypto); prepare and commit votes by one replica sign the
+    /// same block digest, so one pool covers both phases.
+    pending_sigs: HashMap<Hash, HashMap<usize, ahl_crypto::Signature>>,
     sent_prepare: bool,
     sent_commit: bool,
     agg_prepare_sent: bool,
@@ -941,6 +947,72 @@ impl Replica {
         seq > self.low_mark && seq <= self.low_mark + window
     }
 
+    /// Admit a vote's certificate. `MsgCert::Sig` votes (HL under real
+    /// crypto) are admitted *tentatively*: the arrival pays the same
+    /// verification cost as before, but the actual signature check is
+    /// deferred and runs as one [`KeyRegistry::verify_batch`] call when
+    /// the digest reaches quorum ([`Replica::settle_deferred`]) — the
+    /// quorum-certificate shape batch verification is built for. Eagerly
+    /// verified certs return `Ok(None)`; rejected votes return `Err(())`.
+    fn admit_vote(
+        &mut self,
+        vote: &Vote,
+        ctx: &mut Ctx<'_, PbftMsg>,
+    ) -> Result<Option<ahl_crypto::Signature>, ()> {
+        if let MsgCert::Sig(sig) = &vote.cert {
+            if !self.cfg.attested && self.cfg.crypto == CryptoMode::Real {
+                self.charge(ctx, self.cfg.native_verify, false);
+                return Ok(Some(*sig));
+            }
+        }
+        if self.verify_cert(ctx, &vote.cert, vote.view, vote.seq, &vote.digest) {
+            Ok(None)
+        } else {
+            Err(())
+        }
+    }
+
+    /// Batch-verify the deferred signatures pooled for `(seq, digest)`.
+    /// Returns true when the collected vote sets stand; on a batch
+    /// failure it falls back per-signature, evicts the forgeries from
+    /// both vote sets (counting each as an invalid message), and returns
+    /// false so the caller re-evaluates quorum over the survivors.
+    fn settle_deferred(&mut self, seq: u64, digest: &Hash, ctx: &mut Ctx<'_, PbftMsg>) -> bool {
+        let registry = self.registry.clone();
+        let Some(inst) = self.insts.get_mut(&seq) else { return true };
+        let Some(pending) = inst.pending_sigs.get_mut(digest) else { return true };
+        if pending.is_empty() {
+            return true;
+        }
+        let ok = registry.verify_batch(
+            digest,
+            pending.iter().map(|(r, s)| (ahl_crypto::KeyId(*r as u64), s)),
+        );
+        if ok {
+            // Verified: the votes are final, nothing left to settle.
+            inst.pending_sigs.remove(digest);
+            return true;
+        }
+        let forged: Vec<usize> = pending
+            .iter()
+            .filter(|(r, s)| {
+                s.signer != ahl_crypto::KeyId(**r as u64) || !registry.verify(digest, s)
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        for r in &forged {
+            pending.remove(r);
+            if let Some(set) = inst.prepares.get_mut(digest) {
+                set.remove(r);
+            }
+            if let Some(set) = inst.commits.get_mut(digest) {
+                set.remove(r);
+            }
+            ctx.stats().inc("consensus.invalid_msg", 1);
+        }
+        false
+    }
+
     fn on_prepare(&mut self, vote: Vote, ctx: &mut Ctx<'_, PbftMsg>) {
         if vote.view != self.view || vote.seq <= self.low_mark {
             return;
@@ -950,12 +1022,15 @@ impl Replica {
             ctx.stats().inc("consensus.out_of_window", 1);
             return;
         }
-        if !self.verify_cert(ctx, &vote.cert, vote.view, vote.seq, &vote.digest) {
+        let Ok(deferred) = self.admit_vote(&vote, ctx) else {
             ctx.stats().inc("consensus.invalid_msg", 1);
             return;
-        }
+        };
         let inst = self.insts.entry(vote.seq).or_default();
         inst.prepares.entry(vote.digest).or_default().insert(vote.replica);
+        if let Some(sig) = deferred {
+            inst.pending_sigs.entry(vote.digest).or_default().insert(vote.replica, sig);
+        }
         self.check_prepared(vote.seq, vote.digest, ctx);
     }
 
@@ -964,16 +1039,26 @@ impl Replica {
             return; // prepared is signalled by AggPrepare in AHLR
         }
         let quorum = self.quorum();
-        let ready = {
-            let Some(inst) = self.insts.get(&seq) else { return };
-            let Some(block) = &inst.block else { return };
-            block.digest == digest
-                && !inst.sent_commit
-                && inst.prepares.get(&digest).map_or(0, HashSet::len) >= quorum
-        };
-        if ready {
-            self.send_commit(seq, digest, ctx);
+        // Loop: a failed batch settle evicts forged votes, shrinking the
+        // prepare set, so quorum must be re-checked over the survivors.
+        // Terminates because each settle failure strictly shrinks the
+        // pending pool.
+        loop {
+            let ready = {
+                let Some(inst) = self.insts.get(&seq) else { return };
+                let Some(block) = &inst.block else { return };
+                block.digest == digest
+                    && !inst.sent_commit
+                    && inst.prepares.get(&digest).map_or(0, HashSet::len) >= quorum
+            };
+            if !ready {
+                return;
+            }
+            if self.settle_deferred(seq, &digest, ctx) {
+                break;
+            }
         }
+        self.send_commit(seq, digest, ctx);
     }
 
     fn send_commit(&mut self, seq: u64, digest: Hash, ctx: &mut Ctx<'_, PbftMsg>) {
@@ -1010,23 +1095,36 @@ impl Replica {
             ctx.stats().inc("consensus.out_of_window", 1);
             return;
         }
-        if !self.verify_cert(ctx, &vote.cert, vote.view, vote.seq, &vote.digest) {
+        let Ok(deferred) = self.admit_vote(&vote, ctx) else {
             ctx.stats().inc("consensus.invalid_msg", 1);
             return;
-        }
+        };
         let inst = self.insts.entry(vote.seq).or_default();
         inst.commits.entry(vote.digest).or_default().insert(vote.replica);
+        if let Some(sig) = deferred {
+            inst.pending_sigs.entry(vote.digest).or_default().insert(vote.replica, sig);
+        }
         self.check_committed(vote.seq, vote.digest, ctx);
     }
 
     fn check_committed(&mut self, seq: u64, digest: Hash, ctx: &mut Ctx<'_, PbftMsg>) {
         let quorum = self.quorum();
-        let ready = {
-            let Some(inst) = self.insts.get(&seq) else { return };
-            let Some(block) = &inst.block else { return };
-            block.digest == digest
-                && !inst.committed
-                && inst.commits.get(&digest).map_or(0, HashSet::len) >= quorum
+        // Same settle-at-quorum loop as check_prepared: see the comment
+        // there for the termination argument.
+        let ready = loop {
+            let ready = {
+                let Some(inst) = self.insts.get(&seq) else { return };
+                let Some(block) = &inst.block else { return };
+                block.digest == digest
+                    && !inst.committed
+                    && inst.commits.get(&digest).map_or(0, HashSet::len) >= quorum
+            };
+            if !ready {
+                break false;
+            }
+            if self.settle_deferred(seq, &digest, ctx) {
+                break true;
+            }
         };
         if ready {
             if let Some(inst) = self.insts.get_mut(&seq) {
@@ -2690,17 +2788,26 @@ impl Replica {
             );
         }
         self.highest_vc_sent = target;
-        let prepared: Vec<(u64, Hash)> = self
+        // A prepared claim in a view-change message is a safety-relevant
+        // assertion, so tentatively admitted (deferred-Sig) votes must be
+        // settled before they can back one: settle every candidate digest
+        // first, then count the surviving prepare votes.
+        let candidates: Vec<(u64, Hash)> = self
             .insts
             .iter()
-            .filter(|(s, i)| {
-                **s > self.low_mark
-                    && !i.executed
-                    && i.block.as_ref().is_some_and(|b| {
-                        i.prepares.get(&b.digest).map_or(0, HashSet::len) >= self.quorum()
-                    })
+            .filter(|(s, i)| **s > self.low_mark && !i.executed)
+            .filter_map(|(s, i)| i.block.as_ref().map(|b| (*s, b.digest)))
+            .collect();
+        for (seq, digest) in &candidates {
+            while !self.settle_deferred(*seq, digest, ctx) {}
+        }
+        let prepared: Vec<(u64, Hash)> = candidates
+            .into_iter()
+            .filter(|(s, d)| {
+                self.insts.get(s).is_some_and(|i| {
+                    i.prepares.get(d).map_or(0, HashSet::len) >= self.quorum()
+                })
             })
-            .map(|(s, i)| (*s, i.block.as_ref().expect("filtered").digest))
             .collect();
         self.charge(ctx, self.cfg.native_sign, false);
         let msg = ViewChangeMsg {

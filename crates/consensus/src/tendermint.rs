@@ -151,6 +151,12 @@ pub struct TmConfig {
     /// above that the batch goes through the deterministic conflict-aware
     /// engine with byte-identical results).
     pub exec_workers: usize,
+    /// Re-derive every cached hash of the authenticated index across the
+    /// worker pool every this-many committed heights when
+    /// `exec_workers > 1` (the same paranoia audit PBFT runs at each
+    /// checkpoint; Tendermint has no checkpoint machinery, so the
+    /// cadence is its own knob).
+    pub audit_interval: u64,
 }
 
 impl TmConfig {
@@ -172,6 +178,7 @@ impl TmConfig {
             safety: None,
             committee_id: 0,
             exec_workers: 1,
+            audit_interval: 128,
         }
     }
 
@@ -632,6 +639,18 @@ impl TmNode {
         }
         // Advance height; lockstep: wait timeout_commit before next round.
         self.height += 1;
+        // Parallel-execution paranoia, mirroring the PBFT checkpoint-time
+        // audit: periodically re-derive every cached hash of the
+        // authenticated index across the worker pool and compare. Proven
+        // equivalent to sequential execution, so a hit means engine
+        // corruption — count it loudly, don't mask it.
+        if self.cfg.exec_workers > 1
+            && self.cfg.audit_interval > 0
+            && self.height.is_multiple_of(self.cfg.audit_interval)
+            && !self.state.rehash_audit(self.cfg.exec_workers)
+        {
+            ctx.stats().inc(stat::CKPT_AUDIT_FAILURES, 1);
+        }
         self.round = 0;
         self.locked = None;
         self.proposal = None;
@@ -813,7 +832,10 @@ mod tests {
     use ahl_simkit::{QueueConfig, SimTime, UniformNetwork};
 
     fn run_tm(n: usize, secs: u64) -> (u64, u64) {
-        let cfg = TmConfig::new(n);
+        run_tm_cfg(TmConfig::new(n), secs).0
+    }
+
+    fn run_tm_cfg(cfg: TmConfig, secs: u64) -> ((u64, u64), u64) {
         let net = Box::new(UniformNetwork::new(SimDuration::from_micros(300)));
         let (mut sim, group) = build_tm_group(&cfg, net, Some(1e9), 11);
         let stop = SimTime::ZERO + SimDuration::from_secs(secs);
@@ -826,9 +848,27 @@ mod tests {
         sim.add_actor(Box::new(client), QueueConfig::unbounded());
         sim.run_until(stop + SimDuration::from_secs(3));
         (
-            sim.stats().counter(stat::TXN_COMMITTED),
-            sim.stats().counter(stat::BLOCKS_COMMITTED),
+            (
+                sim.stats().counter(stat::TXN_COMMITTED),
+                sim.stats().counter(stat::BLOCKS_COMMITTED),
+            ),
+            sim.stats().counter(stat::CKPT_AUDIT_FAILURES),
         )
+    }
+
+    /// With parallel block execution the per-height rehash audit must run
+    /// (and pass) without perturbing commits: parallel execution is
+    /// byte-identical to sequential by contract.
+    #[test]
+    fn parallel_exec_audit_stays_clean() {
+        let mut cfg = TmConfig::new(4);
+        cfg.exec_workers = 4;
+        cfg.audit_interval = 1; // audit at every committed height
+        let ((committed, blocks), audit_failures) = run_tm_cfg(cfg, 5);
+        let (seq_committed, seq_blocks) = run_tm(4, 5);
+        assert_eq!((committed, blocks), (seq_committed, seq_blocks), "workers leaked into sim");
+        assert!(committed > 1000, "committed {committed}");
+        assert_eq!(audit_failures, 0, "hash-cache divergence under parallel execution");
     }
 
     #[test]

@@ -33,5 +33,8 @@ pub use formation::{form, Formation};
 pub use parallel::{run_scale_out, ScaleOutConfig, ScaleOutMetrics, ShardBench};
 pub use parexec::{run_exec_sweep, sweep_cells_identical, ExecSweepRow};
 pub use reshard::{run_reshard, ReshardConfig, ReshardMetrics, ReshardStrategy};
-pub use system::{run_system, run_system_report, SystemConfig, SystemMetrics, SystemReport, SystemWorkload};
+pub use system::{
+    committee_config, run_system, run_system_report, SystemConfig, SystemMetrics, SystemReport,
+    SystemWorkload,
+};
 pub use xclient::{sysstat, CrossShardClient, RateControl};

@@ -256,6 +256,29 @@ pub fn run_system(cfg: SystemConfig) -> SystemMetrics {
     run_system_report(cfg).metrics
 }
 
+/// Per-replica PBFT configuration derived from a [`SystemConfig`].
+///
+/// The single source of replica settings shared by the simulator
+/// ([`run_system`] builds every committee from it) and the real-node
+/// path (the `node` binary and the localhost-cluster experiment derive
+/// their replicas from the same function), so a TCP cluster provably
+/// runs the configuration the simulator predicts.
+pub fn committee_config(cfg: &SystemConfig) -> PbftConfig {
+    let mut pbft = PbftConfig::new(cfg.variant, cfg.committee_size);
+    pbft.reply_policy = ReplyPolicy::IngestReplica;
+    pbft.batch_size = cfg.batch_size;
+    pbft.batch_timeout = SimDuration::from_millis(10);
+    pbft.mempool = cfg.mempool.clone();
+    pbft.cpu_scale = cfg.net.cpu_scale();
+    pbft.data_dir = cfg.data_dir.clone();
+    pbft.wal = cfg.wal.clone();
+    pbft.byzantine = cfg.byzantine;
+    pbft.attack = cfg.attack;
+    pbft.safety = cfg.safety.clone();
+    pbft.exec_workers = cfg.exec_workers;
+    pbft
+}
+
 /// How many trailing flight-recorder events to print per node when a
 /// safety violation triggers a dump.
 const DUMP_TAIL: usize = 24;
@@ -299,18 +322,7 @@ pub fn run_system_report(mut cfg: SystemConfig) -> SystemReport {
         Profiler::enable();
     }
 
-    let mut pbft = PbftConfig::new(cfg.variant, cfg.committee_size);
-    pbft.reply_policy = ReplyPolicy::IngestReplica;
-    pbft.batch_size = cfg.batch_size;
-    pbft.batch_timeout = SimDuration::from_millis(10);
-    pbft.mempool = cfg.mempool.clone();
-    pbft.cpu_scale = cfg.net.cpu_scale();
-    pbft.data_dir = cfg.data_dir.clone();
-    pbft.wal = cfg.wal.clone();
-    pbft.byzantine = cfg.byzantine;
-    pbft.attack = cfg.attack;
-    pbft.safety = cfg.safety.clone();
-    pbft.exec_workers = cfg.exec_workers;
+    let pbft = committee_config(&cfg);
 
     let map = ShardMap::new(cfg.shards);
     let genesis = cfg.workload.genesis();

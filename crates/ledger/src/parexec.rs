@@ -43,6 +43,15 @@ pub struct ExecOutcome {
 /// than planning a handful of operations.
 const MIN_PARALLEL_WAVE: usize = 8;
 
+/// Whether the conflict graph is too dense to pay for wave scheduling:
+/// fewer than two operations per wave on average means the batch is an
+/// (almost) serial dependency chain, and the per-wave snapshot/plan/apply
+/// machinery costs more than it parallelizes. Public so the regression
+/// test pins the policy.
+pub fn dense_schedule(n_ops: usize, n_waves: usize) -> bool {
+    n_ops < 2 * n_waves
+}
+
 /// Execute a batch against `state`, identical in every observable way to
 /// executing the operations sequentially in order, but using up to
 /// `workers` threads on conflict-free waves. `workers <= 1` *is* the
@@ -63,6 +72,22 @@ pub fn execute_ops(state: &mut StateStore, ops: &[&Op], workers: usize) -> Vec<E
 
     let waves = crate::access::schedule(ops, |t| state.pending_info(t));
     let n_waves = waves.iter().copied().max().map_or(0, |w| w + 1);
+    if dense_schedule(ops.len(), n_waves) {
+        // Contention-adaptive fallback: a dense conflict graph yields
+        // mostly single-op waves, where per-wave plan/apply framing is
+        // pure overhead over the plain sequential loop. Both paths are
+        // observably identical, so this is a wall-clock decision only.
+        return ops
+            .iter()
+            .map(|op| {
+                let had_pending = match op {
+                    Op::Abort { txid } => state.has_pending(*txid),
+                    _ => false,
+                };
+                ExecOutcome { receipt: state.execute(op), had_pending }
+            })
+            .collect();
+    }
     let mut by_wave: Vec<Vec<usize>> = vec![Vec::new(); n_waves];
     for (i, w) in waves.iter().enumerate() {
         by_wave[*w].push(i); // in batch order — `waves` is indexed by op
@@ -159,6 +184,34 @@ mod tests {
         assert_eq!(seq.take_write_bytes(), par.take_write_bytes());
         assert_eq!(seq.export_sidecar().wire_size(), par.export_sidecar().wire_size());
         ops.clear();
+    }
+
+    /// Pins the contention-adaptive policy: a fully serial dependency
+    /// chain (every op touches the same key) schedules into one op per
+    /// wave, which must trip the dense-schedule fallback — and the
+    /// fallback must stay observably identical to the wave path.
+    #[test]
+    fn dense_conflict_chain_takes_sequential_fallback() {
+        // Policy boundary: fewer than 2 ops/wave on average is dense.
+        assert!(dense_schedule(64, 64), "serial chain is dense");
+        assert!(dense_schedule(3, 2), "1.5 ops/wave is dense");
+        assert!(!dense_schedule(4, 2), "2 ops/wave pays for scheduling");
+        assert!(!dense_schedule(64, 1), "conflict-free batch is not dense");
+        assert!(!dense_schedule(0, 0), "empty batch never falls back");
+
+        // A same-key chain really is scheduled one-op-per-wave.
+        let ops: Vec<Op> = (0..32)
+            .map(|i| Op::Direct { txid: TxId(i), op: transfer("acct0", "acct1", 1) })
+            .collect();
+        let refs: Vec<&Op> = ops.iter().collect();
+        let state = seeded_store(4);
+        let waves = crate::access::schedule(&refs, |t| state.pending_info(t));
+        let n_waves = waves.iter().copied().max().map_or(0, |w| w + 1);
+        assert_eq!(n_waves, refs.len(), "same-key ops must serialize");
+        assert!(dense_schedule(refs.len(), n_waves));
+
+        // And the fallback path is byte-identical to sequential.
+        assert_equivalent(ops, 4, 4);
     }
 
     #[test]

@@ -12,10 +12,29 @@
 //!
 //! Latency = propagation (matrix lookup + jitter) + serialization
 //! (bytes / bandwidth).
+//!
+//! Beyond the simulation models, this crate is also the **real**
+//! networking subsystem: the [`Transport`] trait abstracts the message
+//! bus, with an in-process [`MemTransport`] backend for tests and a
+//! threaded `std::net` [`TcpTransport`] backend (length-framed CRC'd
+//! codec reusing the WAL framing, [`Hello`] session handshake, peer
+//! table, per-peer reconnect with exponential backoff, bounded outbound
+//! queues). [`NodeRuntime`] drives unmodified simkit actors over any
+//! transport via the [`ahl_simkit::Host`] seam — the same replica code
+//! the deterministic simulator exercises runs as N OS processes.
 
 #![warn(missing_docs)]
 
 pub mod gcp;
+pub mod runtime;
+pub mod transport;
+pub mod wire;
+
+pub use runtime::{NodeRuntime, StatusReport, Stopped};
+pub use transport::{
+    MemHub, MemTransport, NetEvent, TcpConfig, TcpTransport, Transport, TransportStats,
+};
+pub use wire::{Control, Hello, Packet, Wire};
 
 use ahl_simkit::{Network, NodeId, SimDuration, SimTime};
 use rand::rngs::SmallRng;

@@ -326,18 +326,81 @@ impl<M: Clone> Kernel<M> {
     }
 }
 
-/// Handle passed to actor callbacks for interacting with the simulation.
+/// Runtime services an actor needs when it runs *outside* the simulation
+/// kernel — the seam that lets the same replica code drive real sockets.
+///
+/// The simulator provides these services through its internal kernel; a real
+/// deployment (e.g. `ahl-net`'s `NodeRuntime`) implements this trait over
+/// wall-clock time, OS threads, and a TCP transport. An actor cannot tell
+/// the difference: every [`Ctx`] method behaves identically, which is the
+/// "production code runs unmodified" contract.
+pub trait Host {
+    /// Current time. In a real deployment this is wall-clock time encoded
+    /// as a [`SimTime`] (nanoseconds since an epoch the host chooses).
+    fn now(&self) -> SimTime;
+    /// Number of logical nodes known to the host (committee + clients).
+    fn num_nodes(&self) -> usize;
+    /// Schedule an `on_timer(kind)` callback for `node` after `delay`.
+    fn set_timer(&mut self, node: NodeId, delay: SimDuration, kind: u64);
+    /// Deterministic per-node random number generator.
+    fn rng(&mut self, node: NodeId) -> &mut SmallRng;
+    /// The host's statistics store.
+    fn stats(&mut self) -> &mut Stats;
+    /// Request shutdown of the hosting runtime.
+    fn halt(&mut self);
+}
+
+/// Where a [`Ctx`] routes its backend calls: the simulation kernel, or an
+/// external [`Host`] runtime.
+enum CtxBackend<'a, M> {
+    Sim(&'a mut Kernel<M>),
+    Host(&'a mut dyn Host),
+}
+
+/// Handle passed to actor callbacks for interacting with the simulation
+/// (or, via [`Host`], with a real node runtime).
 pub struct Ctx<'a, M> {
-    kernel: &'a mut Kernel<M>,
+    backend: CtxBackend<'a, M>,
     node: NodeId,
     cpu_used: SimDuration,
     outbox: Vec<(NodeId, M)>,
 }
 
 impl<'a, M: Clone> Ctx<'a, M> {
+    fn for_sim(kernel: &'a mut Kernel<M>, node: NodeId) -> Self {
+        Ctx {
+            backend: CtxBackend::Sim(kernel),
+            node,
+            cpu_used: SimDuration::ZERO,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Build a context backed by an external [`Host`] runtime, for driving
+    /// an actor outside the simulator. Collect the effects with
+    /// [`Ctx::finish`] after the actor callback returns.
+    pub fn for_host(host: &'a mut dyn Host, node: NodeId) -> Self {
+        Ctx {
+            backend: CtxBackend::Host(host),
+            node,
+            cpu_used: SimDuration::ZERO,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Consume the context, returning the CPU time the handler charged and
+    /// the messages it queued for sending (host runtimes deliver these
+    /// through their transport).
+    pub fn finish(self) -> (SimDuration, Vec<(NodeId, M)>) {
+        (self.cpu_used, self.outbox)
+    }
+
     /// Current simulation time (start of this handler invocation).
     pub fn now(&self) -> SimTime {
-        self.kernel.now
+        match &self.backend {
+            CtxBackend::Sim(k) => k.now,
+            CtxBackend::Host(h) => h.now(),
+        }
     }
 
     /// This actor's node id.
@@ -347,7 +410,10 @@ impl<'a, M: Clone> Ctx<'a, M> {
 
     /// Number of nodes in the simulation.
     pub fn num_nodes(&self) -> usize {
-        self.kernel.nodes.len()
+        match &self.backend {
+            CtxBackend::Sim(k) => k.nodes.len(),
+            CtxBackend::Host(h) => h.num_nodes(),
+        }
     }
 
     /// Send `msg` to `to`. The message departs when this handler finishes
@@ -375,31 +441,46 @@ impl<'a, M: Clone> Ctx<'a, M> {
 
     /// Schedule [`Actor::on_timer`] with `kind` after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, kind: u64) {
-        let at = self.kernel.now + delay;
-        self.kernel.push(at, self.node, EventKind::Timer { kind });
+        match &mut self.backend {
+            CtxBackend::Sim(k) => {
+                let at = k.now + delay;
+                k.push(at, self.node, EventKind::Timer { kind });
+            }
+            CtxBackend::Host(h) => h.set_timer(self.node, delay, kind),
+        }
     }
 
     /// Deterministic per-node random number generator.
     pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.kernel.nodes[self.node].rng
+        match &mut self.backend {
+            CtxBackend::Sim(k) => &mut k.nodes[self.node].rng,
+            CtxBackend::Host(h) => h.rng(self.node),
+        }
     }
 
     /// Mutable access to the run's statistics store.
     pub fn stats(&mut self) -> &mut Stats {
-        &mut self.kernel.stats
+        match &mut self.backend {
+            CtxBackend::Sim(k) => &mut k.stats,
+            CtxBackend::Host(h) => h.stats(),
+        }
     }
 
     /// Stamp a flight-recorder event for this node at the current time.
     /// `id` identifies the request / transaction / session; see
     /// [`crate::trace::Phase`] for the chain semantics.
     pub fn trace(&mut self, id: u64, phase: crate::trace::Phase) {
-        let now = self.kernel.now;
-        self.kernel.stats.trace(now, self.node, id, phase);
+        let now = self.now();
+        let node = self.node;
+        self.stats().trace(now, node, id, phase);
     }
 
     /// Stop the simulation after the current event.
     pub fn halt(&mut self) {
-        self.kernel.halted = true;
+        match &mut self.backend {
+            CtxBackend::Sim(k) => k.halted = true,
+            CtxBackend::Host(h) => h.halt(),
+        }
     }
 }
 
@@ -552,16 +633,9 @@ impl<M: Clone> Sim<M> {
         }
         self.started = true;
         for id in 0..self.actors.len() {
-            let mut ctx = Ctx {
-                kernel: &mut self.kernel,
-                node: id,
-                cpu_used: SimDuration::ZERO,
-                outbox: Vec::new(),
-            };
+            let mut ctx = Ctx::for_sim(&mut self.kernel, id);
             self.actors[id].on_start(&mut ctx);
-            let cpu = ctx.cpu_used;
-            let outbox = std::mem::take(&mut ctx.outbox);
-            drop(ctx);
+            let (cpu, outbox) = ctx.finish();
             let done = self.kernel.now + cpu;
             let sent = self.kernel.flush_outbox(id, outbox, done);
             self.kernel.nodes[id].busy_until = sent;
@@ -627,16 +701,9 @@ impl<M: Clone> Sim<M> {
                     rt.processing_scheduled = false;
                     return;
                 };
-                let mut ctx = Ctx {
-                    kernel: &mut self.kernel,
-                    node,
-                    cpu_used: SimDuration::ZERO,
-                    outbox: Vec::new(),
-                };
+                let mut ctx = Ctx::for_sim(&mut self.kernel, node);
                 self.actors[node].on_message(from, msg, &mut ctx);
-                let cpu = ctx.cpu_used;
-                let outbox = std::mem::take(&mut ctx.outbox);
-                drop(ctx);
+                let (cpu, outbox) = ctx.finish();
                 let done = self.kernel.now + cpu;
                 let sent = self.kernel.flush_outbox(node, outbox, done);
                 let rt = &mut self.kernel.nodes[node];
@@ -648,16 +715,9 @@ impl<M: Clone> Sim<M> {
                 }
             }
             EventKind::Timer { kind } => {
-                let mut ctx = Ctx {
-                    kernel: &mut self.kernel,
-                    node,
-                    cpu_used: SimDuration::ZERO,
-                    outbox: Vec::new(),
-                };
+                let mut ctx = Ctx::for_sim(&mut self.kernel, node);
                 self.actors[node].on_timer(kind, &mut ctx);
-                let cpu = ctx.cpu_used;
-                let outbox = std::mem::take(&mut ctx.outbox);
-                drop(ctx);
+                let (cpu, outbox) = ctx.finish();
                 let done = self.kernel.now + cpu;
                 let sent = self.kernel.flush_outbox(node, outbox, done);
                 let rt = &mut self.kernel.nodes[node];

@@ -56,7 +56,7 @@ mod time;
 pub mod trace;
 
 pub use engine::{
-    Actor, Ctx, MsgClass, Network, NodeId, QueueConfig, Sim, SimConfig, UniformNetwork,
+    Actor, Ctx, Host, MsgClass, Network, NodeId, QueueConfig, Sim, SimConfig, UniformNetwork,
 };
 pub use stats::{Histogram, Scope, Stats, TRACE_DROPPED};
 pub use time::{SimDuration, SimTime};

@@ -10,7 +10,7 @@
 //! | [`telemetry`] | run-time oracles over the trace stream: the liveness oracle ([`telemetry::LivenessChecker`]: commit stalls, mempool starvation, view-change storms, sync livelock) and the wall-clock span profiler ([`telemetry::Profiler`]) |
 //! | [`crypto`] | SHA-256, HMAC, signatures, Merkle trees |
 //! | [`tee`] | SGX simulation: attested log, randomness beacon, sealing |
-//! | [`net`] | cluster / GCP network models (Table 3 latencies) |
+//! | [`net`] | cluster / GCP network models (Table 3 latencies); the real node runtime: [`net::Transport`] trait with in-process ([`net::MemHub`]) and threaded TCP ([`net::TcpTransport`]) backends, length-framed CRC wire codec, version/identity handshake, reconnect with backoff, and the [`net::NodeRuntime`] actor host |
 //! | [`store`] | authenticated state: sparse Merkle tree, signed checkpoints, chunked state sync |
 //! | [`wal`] | durable write-ahead log, content-addressed page store, manifests, crash-kill recovery |
 //! | [`ledger`] | blocks, KV state with 2PL + SMT state roots, KVStore & SmallBank chaincode; conflict-aware parallel execution ([`ledger::access`], [`ledger::execute_ops`]) |
@@ -137,6 +137,53 @@
 //! let metrics = run_system(cfg);
 //! assert!(metrics.committed > 0);
 //! ```
+//!
+//! ## Real node runtime (TCP)
+//!
+//! The same replica code the deterministic simulator exercises also runs
+//! as N actual OS processes over real sockets. The seam is two traits:
+//!
+//! - [`simkit::Host`] — replicas are simkit [`simkit::Actor`]s and only
+//!   ever talk to a [`simkit::Ctx`]; a `Ctx` is backed either by the
+//!   simulation kernel or by any `Host` (clock, timers, per-node RNG,
+//!   stats). The sim path is byte-identical — hosting is an additive
+//!   backend, so every Byzantine/recovery/liveness battery stays
+//!   deterministic.
+//! - [`net::Transport`] — the message bus: `send(from, to, packet)`,
+//!   `recv_timeout`, peer table, connect/disconnect [`net::NetEvent`]s,
+//!   and backpressure counters in [`net::TransportStats`] (bounded
+//!   outbound queues drop-and-count, mirroring `trace.dropped`). Two
+//!   backends: [`net::MemHub`] (in-process, for tests) and
+//!   [`net::TcpTransport`] — thread-per-peer `std::net`, length-framed
+//!   CRC'd codec reusing the WAL framing discipline, a [`net::Hello`]
+//!   version/identity/cluster handshake, and per-peer reconnect with
+//!   exponential backoff. Consensus messages cross the wire via the
+//!   hand-rolled [`net::Wire`] codec (`consensus::pbft` implements it
+//!   for the full `PbftMsg` enum; decoding recomputes block digests and
+//!   rejects torn, truncated, trailing-byte and corrupt frames).
+//!
+//! [`net::NodeRuntime`] glues them together: it pumps a `Transport`,
+//! delivers packets to hosted actors through `Ctx::for_host`, fires
+//! timers, and answers [`net::Control::Status`] probes with
+//! height/state-digest reports. The `node` binary
+//! (`cargo run -p ahl-bench --bin node -- cluster.cfg <index>`) runs one
+//! replica this way from a cluster config file — a canonical `key value`
+//! text format (`seed` / `variant` / `batch-size` /
+//! `checkpoint-interval` / `exec-workers` / `data-dir` /
+//! `replica <id> <addr>` / `client <id> <addr>`) whose digest doubles as
+//! the handshake cluster id, so misconfigured processes refuse to peer.
+//! Replica settings derive through [`system::committee_config`] — the
+//! same code path `system::run_system` uses — and a non-empty `data-dir`
+//! triggers the WAL restart-from-disk path on boot.
+//!
+//! `experiments -- cluster` spawns a 4-process localhost committee,
+//! drives closed-loop load over TCP, kills and restarts one replica
+//! (reconnect + catch-up), cross-checks state digests at matching
+//! heights, and reports measured throughput next to the simkit
+//! prediction for the same configuration (the real path is faster — it
+//! does not pay the simulator's modeled CPU costs — so the comparison is
+//! a sanity band, not an identity). `tests/cluster.rs` in `ahl-bench`
+//! pins the whole loop as a tier-1 CI step.
 //!
 //! ## Adversary model
 //!
