@@ -9,7 +9,7 @@
 //!
 //! `--json <path>` writes a machine-readable report to `path`. When the
 //! single experiment id is a trajectory scenario (`fig8`, `overload`,
-//! `statesync`, `recovery`, `byzantine`) the report is that scenario's
+//! `statesync`, `recovery`, `byzantine`, `soak`) the report is that scenario's
 //! bench-trajectory report — fixed-seed metrics plus embedded per-metric
 //! regression budgets, comparable against the committed
 //! `BENCH_<scenario>.json` baseline with the `bench_compare` binary.
@@ -46,6 +46,7 @@ const IDS: &[(&str, &str)] = &[
     ("overload", "mempool overload sweep: offered load past pool capacity; fixed vs AIMD"),
     ("statesync", "state-sync sweep: restarted replica catch-up, state size x chunk size"),
     ("recovery", "crash-kill recovery smoke: WAL + page checkpoints, restart-from-disk"),
+    ("soak", "bounded-disk soak: sustained churn under page GC + WAL retention, crash mid-GC, lazy reopen"),
     ("parexec", "exec_workers sweep: parallel in-shard execution, results must be identical at every worker count"),
     ("cluster", "multi-process localhost PBFT committee over TCP: measured vs simkit-predicted throughput, kill/restart survival"),
 ];
@@ -155,6 +156,7 @@ fn main() {
             "overload" => figs::overload(scale),
             "statesync" => figs::statesync(scale),
             "recovery" => figs::recovery(scale),
+            "soak" => figs::soak(scale),
             "parexec" => figs::parexec(scale),
             "cluster" => run_cluster_cmd(quick),
             other => {

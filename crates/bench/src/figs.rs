@@ -1709,3 +1709,296 @@ pub fn parexec(scale: Scale) {
     );
     println!("  all {} cells byte-identical in logical metrics ✓", rows.len());
 }
+
+// ---------- bounded-disk soak (storage-subsystem experiment) ----------
+
+/// Knobs for one [`soak_cell`] run. Everything is deterministic: the key
+/// sequence, the values, the kill site, and the working set all derive
+/// from the parameters, so a cell is byte-reproducible.
+pub(crate) struct SoakParams {
+    /// Size of the live key set (steady state).
+    pub(crate) live_keys: u64,
+    /// Churn rounds; each round ends in a durable checkpoint.
+    pub(crate) rounds: u64,
+    /// Keys overwritten per round (a sliding window over the live set).
+    pub(crate) churn_per_round: u64,
+    /// Payload bytes per value (leaf page weight).
+    pub(crate) value_bytes: usize,
+    /// Round at which a crash is injected *inside* a forced GC pass,
+    /// followed by a reopen-and-continue restart.
+    pub(crate) kill_round: u64,
+    /// Byte budget for the lazy page cache at reopen.
+    pub(crate) cache_bytes: u64,
+    /// Keys read through the lazy snapshot after the final reopen.
+    pub(crate) working_set: u64,
+}
+
+impl SoakParams {
+    pub(crate) fn for_scale(scale: Scale) -> SoakParams {
+        match scale {
+            Scale::Quick => SoakParams {
+                live_keys: 2_000,
+                rounds: 12,
+                churn_per_round: 500,
+                value_bytes: 64,
+                kill_round: 8,
+                cache_bytes: 64 << 10,
+                working_set: 300,
+            },
+            Scale::Full => SoakParams {
+                live_keys: 50_000,
+                rounds: 100,
+                churn_per_round: 20_000,
+                value_bytes: 256,
+                kill_round: 60,
+                cache_bytes: 1 << 20,
+                working_set: 2_000,
+            },
+        }
+    }
+}
+
+pub(crate) struct SoakCell {
+    pub(crate) keys_churned: u64,
+    pub(crate) bytes_churned: u64,
+    pub(crate) peak_disk_bytes: u64,
+    pub(crate) final_disk_bytes: u64,
+    pub(crate) disk_cap_bytes: u64,
+    pub(crate) gc: ahl_wal::GcStats,
+    pub(crate) retention_unlinked: u64,
+    pub(crate) retention_bytes: u64,
+    pub(crate) recovered_mid_gc: bool,
+    pub(crate) reopen_indexed: u64,
+    pub(crate) reopen_scanned: u64,
+    pub(crate) lazy_misses: u64,
+    pub(crate) lazy_hits: u64,
+    pub(crate) cache_resident_bytes: u64,
+    pub(crate) cache_evictions: u64,
+    pub(crate) final_page_count: u64,
+    pub(crate) reads_ok: bool,
+}
+
+/// One bounded-disk soak cell: sustained overwrite churn against a real
+/// node directory, a durable checkpoint (pages → sync → manifest → WAL
+/// compaction + retention → page GC) every round, one SIGKILL-style crash
+/// injected *mid-GC* with a reopen-and-continue restart, and a final
+/// cold reopen whose reads go through the lazy, byte-bounded page cache
+/// instead of materializing the tree.
+pub(crate) fn soak_cell(p: &SoakParams) -> SoakCell {
+    use ahl_ledger::persist::open_snapshot_lazy;
+    use ahl_ledger::{StateSidecar, Value};
+    use ahl_store::SparseMerkleTree;
+    use ahl_wal::{open_node_dir, write_manifest, GcStats, Manifest, TempDir, WalConfig, WalStats};
+
+    let key = |i: u64| format!("soak-key-{i:08}");
+    // Deterministic value of key `i` as of round `r` (distinct per round,
+    // so every overwrite really deadens the previous leaf page).
+    let val = |r: u64, i: u64| -> Value {
+        let h = ahl_crypto::sha256_parts(&[&r.to_be_bytes()[..], &i.to_be_bytes()[..]]);
+        let mut b = vec![0u8; p.value_bytes];
+        for (dst, src) in b.iter_mut().zip(h.0.iter().cycle()) {
+            *dst = *src;
+        }
+        Value::Bytes(b)
+    };
+    // Round `r` overwrites the churn-sized cyclic window starting at
+    // `r * churn` — the last round that touched key `i` is therefore
+    // recomputable, which is what the read-back verification needs.
+    let touched = |r: u64, i: u64| {
+        (i + p.live_keys - (r * p.churn_per_round) % p.live_keys) % p.live_keys
+            < p.churn_per_round
+    };
+    let last_round = |i: u64| (1..=p.rounds).rev().find(|&r| touched(r, i)).unwrap_or(0);
+
+    // Rough on-disk weight of one live key (leaf frame + its share of
+    // branch frames + framing overhead) — sizes the segment/GC/cap knobs
+    // relative to the live set instead of hard-coding byte counts.
+    let per_key = p.value_bytes as u64 + 240;
+    let live_est = p.live_keys * per_key;
+    let cfg = WalConfig {
+        segment_bytes: (live_est / 8).max(32 << 10),
+        gc_trigger_bytes: live_est * 2,
+        gc_live_frac: 0.5,
+        retain_wal_segments: 1,
+        ..WalConfig::default()
+    };
+    // The bounded-disk acceptance cap: trigger level plus the churn that
+    // can land before the next checkpoint-driven collection.
+    let disk_cap = live_est * 8;
+
+    let dir = TempDir::new("soak-exp");
+    let mut node = open_node_dir(dir.path(), &cfg).expect("open node dir");
+    let mut tree: SparseMerkleTree<Value> = SparseMerkleTree::new();
+    for i in 0..p.live_keys {
+        tree.insert(&key(i), val(0, i));
+    }
+
+    let mut keys_churned = 0u64;
+    let mut bytes_churned = 0u64;
+    let mut peak_disk = 0u64;
+    let mut recovered_mid_gc = false;
+    // GC totals and WAL retention stats reset when the directory reopens
+    // mid-run, so accumulate across generations.
+    let mut gc_acc = GcStats::default();
+    let mut ret_acc = WalStats::default();
+
+    for r in 1..=p.rounds {
+        for j in 0..p.churn_per_round {
+            let i = ((r * p.churn_per_round) % p.live_keys + j) % p.live_keys;
+            tree.insert(&key(i), val(r, i));
+            keys_churned += 1;
+            node.wal.append(format!("churn r{r} j{j}").into_bytes());
+        }
+        node.wal.commit().expect("wal commit");
+        let stats = node.pages.persist_tree(&tree).expect("persist");
+        bytes_churned += stats.bytes_written;
+        node.pages.sync().expect("page sync");
+        let root = tree.root_hash();
+        write_manifest(dir.path(), &Manifest { seq: r, root, meta: vec![] }, &cfg.kill)
+            .expect("manifest");
+        // Space reclamation strictly after the manifest is durable.
+        node.wal.rotate_keep(2).expect("rotate");
+        if r == p.kill_round {
+            // Force a collection with the kill switch armed so the crash
+            // lands inside GC (mid-copy or mid-sweep) — the hardest spot:
+            // some segments are gone, some live pages exist twice.
+            cfg.kill.arm(1);
+            let crashed = node.pages.gc(&[root]).is_err();
+            cfg.kill.disarm();
+            gc_acc.absorb(&node.pages.gc_totals());
+            ret_acc.retention_unlinked += node.wal.stats().retention_unlinked;
+            ret_acc.retention_bytes += node.wal.stats().retention_bytes;
+            // "SIGKILL": drop every handle, reopen the directory, and
+            // demand the durable checkpoint published just before the
+            // crash anchors recovery.
+            node = open_node_dir(dir.path(), &cfg).expect("reopen after mid-GC crash");
+            recovered_mid_gc = crashed
+                && node.manifest.as_ref().is_some_and(|m| m.seq == r && m.root == root);
+        } else {
+            node.pages.maybe_gc(&[root]).expect("gc");
+        }
+        peak_disk = peak_disk.max(node.pages.total_bytes() + node.wal.disk_bytes());
+    }
+
+    gc_acc.absorb(&node.pages.gc_totals());
+    ret_acc.retention_unlinked += node.wal.stats().retention_unlinked;
+    ret_acc.retention_bytes += node.wal.stats().retention_bytes;
+    let final_disk = node.pages.total_bytes() + node.wal.disk_bytes();
+    let final_root = tree.root_hash();
+    drop(tree);
+    drop(node);
+
+    // Cold reopen: sealed segments must come back through their sidecar
+    // indexes (no frame scans), and reads must go through the bounded
+    // lazy cache without materializing the tree.
+    let node = open_node_dir(dir.path(), &cfg).expect("final reopen");
+    let os = node.pages.open_stats();
+    let manifest = node.manifest.as_ref().expect("final manifest");
+    assert_eq!(manifest.root, final_root, "final manifest anchors the last checkpoint");
+    let mut lazy = open_snapshot_lazy(manifest.root, StateSidecar::default(), p.cache_bytes);
+    let mut reads_ok = true;
+    for w in 0..p.working_set {
+        let i = (w * 7919) % p.live_keys;
+        let expect = val(last_round(i), i);
+        match lazy.get(&node.pages, &key(i)) {
+            Ok(Some(v)) => reads_ok &= v == expect,
+            _ => reads_ok = false,
+        }
+    }
+    let cs = lazy.cache_stats();
+    reads_ok &= cs.resident_bytes <= p.cache_bytes;
+
+    SoakCell {
+        keys_churned,
+        bytes_churned,
+        peak_disk_bytes: peak_disk,
+        final_disk_bytes: final_disk,
+        disk_cap_bytes: disk_cap,
+        gc: gc_acc,
+        retention_unlinked: ret_acc.retention_unlinked,
+        retention_bytes: ret_acc.retention_bytes,
+        recovered_mid_gc,
+        reopen_indexed: os.segments_indexed,
+        reopen_scanned: os.segments_scanned,
+        lazy_misses: cs.misses,
+        lazy_hits: cs.hits,
+        cache_resident_bytes: cs.resident_bytes,
+        cache_evictions: cs.evictions,
+        final_page_count: node.pages.page_count() as u64,
+        reads_ok,
+    }
+}
+
+/// `soak`: the bounded-disk long-churn experiment. A node directory
+/// absorbs sustained overwrite churn (hundreds of MB to GBs of page
+/// writes at full scale) with a durable checkpoint every round; page GC,
+/// WAL compaction, and the retention caps must hold total disk below a
+/// fixed multiple of the live set the whole time, a crash injected
+/// mid-GC must recover, and the final reopen must serve verified reads
+/// through the bounded lazy cache without materializing the tree.
+pub fn soak(scale: Scale) {
+    let p = SoakParams::for_scale(scale);
+    let m = soak_cell(&p);
+    let mut t = Table::new(
+        "Bounded-disk soak: page GC + WAL retention + lazy reopen",
+        &["metric", "value"],
+    );
+    let mb = |b: u64| format!("{:.1} MB", b as f64 / 1e6);
+    t.row(vec!["keys churned".into(), m.keys_churned.to_string()]);
+    t.row(vec!["bytes churned".into(), mb(m.bytes_churned)]);
+    t.row(vec!["peak disk".into(), mb(m.peak_disk_bytes)]);
+    t.row(vec!["final disk".into(), mb(m.final_disk_bytes)]);
+    t.row(vec!["disk cap".into(), mb(m.disk_cap_bytes)]);
+    t.row(vec!["gc runs".into(), m.gc.runs.to_string()]);
+    t.row(vec!["gc swept segments".into(), m.gc.swept_segments.to_string()]);
+    t.row(vec!["gc reclaimed".into(), mb(m.gc.reclaimed_bytes)]);
+    t.row(vec!["gc copied pages".into(), m.gc.copied_pages.to_string()]);
+    t.row(vec!["wal retention unlinks".into(), m.retention_unlinked.to_string()]);
+    t.row(vec!["wal retention reclaimed".into(), mb(m.retention_bytes)]);
+    t.row(vec![
+        "recovered mid-GC crash".into(),
+        if m.recovered_mid_gc { "yes".into() } else { "NO".into() },
+    ]);
+    t.row(vec!["reopen: segments via index".into(), m.reopen_indexed.to_string()]);
+    t.row(vec!["reopen: segments scanned".into(), m.reopen_scanned.to_string()]);
+    t.row(vec!["lazy faults (misses)".into(), m.lazy_misses.to_string()]);
+    t.row(vec!["lazy hits".into(), m.lazy_hits.to_string()]);
+    t.row(vec!["cache resident".into(), mb(m.cache_resident_bytes)]);
+    t.row(vec!["cache evictions".into(), m.cache_evictions.to_string()]);
+    t.row(vec![
+        "reads verified".into(),
+        if m.reads_ok { "yes".into() } else { "NO".into() },
+    ]);
+    t.print();
+    // Process-fatal acceptance, mirroring the other subsystem smokes.
+    assert!(m.reads_ok, "soak: lazy read-back failed verification");
+    assert!(m.recovered_mid_gc, "soak: mid-GC crash did not recover cleanly");
+    assert!(m.gc.runs > 0 && m.gc.swept_segments > 0, "soak: GC never collected");
+    assert!(m.gc.reclaimed_bytes > 0, "soak: GC reclaimed nothing");
+    assert!(m.retention_unlinked > 0, "soak: WAL retention never fired");
+    assert!(
+        m.peak_disk_bytes <= m.disk_cap_bytes,
+        "soak: disk exceeded the cap ({} > {})",
+        m.peak_disk_bytes,
+        m.disk_cap_bytes
+    );
+    assert!(m.reopen_indexed > 0, "soak: reopen never used a sidecar index");
+    assert!(
+        m.reopen_scanned <= 1 + m.reopen_indexed / 4,
+        "soak: reopen fell back to frame scans ({} scanned)",
+        m.reopen_scanned
+    );
+    assert!(
+        m.lazy_misses < m.final_page_count / 2,
+        "soak: lazy reopen faulted {} of {} pages — that is a materialization, not a working set",
+        m.lazy_misses,
+        m.final_page_count
+    );
+    println!(
+        "  disk stayed <= {} across {} churn rounds; reopen faulted {} / {} pages ✓",
+        mb(m.disk_cap_bytes),
+        p.rounds,
+        m.lazy_misses,
+        m.final_page_count
+    );
+}

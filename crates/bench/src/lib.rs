@@ -52,5 +52,6 @@ pub fn run_all(scale: Scale) {
     figs::statesync(scale);
     figs::byzantine(scale);
     figs::recovery(scale);
+    figs::soak(scale);
     figs::parexec(scale);
 }

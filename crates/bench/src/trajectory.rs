@@ -24,7 +24,7 @@ use crate::figs::{self, SyncMode};
 use crate::json::{system_report_json, JsonValue};
 
 /// The scenarios with trajectory reports (and committed baselines).
-pub const SCENARIOS: &[&str] = &["fig8", "overload", "statesync", "recovery", "byzantine"];
+pub const SCENARIOS: &[&str] = &["fig8", "overload", "statesync", "recovery", "byzantine", "soak"];
 
 /// Build the trajectory report for `id`, or `None` for an experiment
 /// that has no scenario report (those fall back to the canonical smoke
@@ -37,6 +37,7 @@ pub fn scenario_report(id: &str, quick: bool) -> Option<JsonValue> {
         "statesync" => statesync_report(quick),
         "recovery" => recovery_report(),
         "byzantine" => byzantine_report(quick),
+        "soak" => soak_report(quick),
         _ => return None,
     };
     report.set("scenario", JsonValue::Str(id.to_string()));
@@ -206,6 +207,75 @@ fn recovery_report() -> JsonValue {
         .set("metrics/io_crashes", budget("lower", 0.0, 0.0))
         .set("metrics/recovered", budget("higher", 0.0, 0.0))
         .set("metrics/conserved", budget("higher", 0.0, 0.0));
+
+    let mut root = JsonValue::object();
+    root.set("report_version", JsonValue::UInt(1))
+        .set("config", config)
+        .set("metrics", metrics)
+        .set("budgets", budgets);
+    root
+}
+
+/// Bounded-disk soak, fixed parameters: sustained overwrite churn with a
+/// durable checkpoint per round, page GC + WAL retention keeping disk
+/// under a fixed multiple of the live set, one crash injected mid-GC,
+/// and a lazy (fault-on-demand) final reopen. Every budgeted metric is a
+/// deterministic byte/page count — nothing here depends on host speed.
+fn soak_report(quick: bool) -> JsonValue {
+    let p = figs::SoakParams::for_scale(if quick { crate::Scale::Quick } else { crate::Scale::Full });
+    let m = figs::soak_cell(&p);
+
+    let mut metrics = JsonValue::object();
+    metrics
+        .set("keys_churned", JsonValue::UInt(m.keys_churned))
+        .set("bytes_churned", JsonValue::UInt(m.bytes_churned))
+        .set("peak_disk_bytes", JsonValue::UInt(m.peak_disk_bytes))
+        .set("final_disk_bytes", JsonValue::UInt(m.final_disk_bytes))
+        .set("gc_runs", JsonValue::UInt(m.gc.runs))
+        .set("gc_swept_segments", JsonValue::UInt(m.gc.swept_segments))
+        .set("gc_reclaimed_bytes", JsonValue::UInt(m.gc.reclaimed_bytes))
+        .set("gc_copied_pages", JsonValue::UInt(m.gc.copied_pages))
+        .set("retention_unlinked", JsonValue::UInt(m.retention_unlinked))
+        .set("disk_bounded", JsonValue::UInt((m.peak_disk_bytes <= m.disk_cap_bytes) as u64))
+        .set("recovered_mid_gc", JsonValue::UInt(m.recovered_mid_gc as u64))
+        .set("reopen_indexed", JsonValue::UInt(m.reopen_indexed))
+        .set("reopen_scanned", JsonValue::UInt(m.reopen_scanned))
+        .set("lazy_misses", JsonValue::UInt(m.lazy_misses))
+        .set("cache_resident_bytes", JsonValue::UInt(m.cache_resident_bytes))
+        .set("reads_verified", JsonValue::UInt(m.reads_ok as u64));
+
+    let mut config = JsonValue::object();
+    config
+        .set("live_keys", JsonValue::UInt(p.live_keys))
+        .set("rounds", JsonValue::UInt(p.rounds))
+        .set("churn_per_round", JsonValue::UInt(p.churn_per_round))
+        .set("value_bytes", JsonValue::UInt(p.value_bytes as u64))
+        .set("kill_round", JsonValue::UInt(p.kill_round))
+        .set("cache_bytes", JsonValue::UInt(p.cache_bytes))
+        .set("disk_cap_bytes", JsonValue::UInt(m.disk_cap_bytes));
+
+    let mut budgets = JsonValue::object();
+    budgets
+        // The bounded-disk headline: peak and steady-state disk must not
+        // drift up, and the boolean cap check must stay green.
+        .set("metrics/peak_disk_bytes", budget("lower", 0.15, 0.0))
+        .set("metrics/final_disk_bytes", budget("lower", 0.15, 0.0))
+        .set("metrics/disk_bounded", budget("higher", 0.0, 0.0))
+        // GC must keep actually collecting (a silently disabled GC would
+        // show up as zeros here long before the disk metrics drift).
+        .set("metrics/gc_runs", budget("higher", 0.50, 0.0))
+        .set("metrics/gc_reclaimed_bytes", budget("higher", 0.50, 0.0))
+        .set("metrics/retention_unlinked", budget("higher", 0.50, 0.0))
+        // Reopen cost: sealed segments via sidecar index, not frame scans.
+        .set("metrics/reopen_indexed", budget("higher", 0.50, 0.0))
+        .set("metrics/reopen_scanned", budget("lower", 0.0, 1.0))
+        // O(working set) reads: the fault count is the materialization
+        // canary — load_tree-style behavior would blow it up by orders.
+        .set("metrics/lazy_misses", budget("lower", 0.30, 0.0))
+        .set("metrics/cache_resident_bytes", budget("lower", 0.0, 4096.0))
+        // Hard correctness bits.
+        .set("metrics/recovered_mid_gc", budget("higher", 0.0, 0.0))
+        .set("metrics/reads_verified", budget("higher", 0.0, 0.0));
 
     let mut root = JsonValue::object();
     root.set("report_version", JsonValue::UInt(1))

@@ -148,6 +148,15 @@ pub mod stat {
     /// Counter: retained snapshots evicted by the resident-byte budget
     /// (`snapshot_max_bytes`).
     pub const SNAPSHOT_EVICTIONS: &str = "sync.snapshot_evictions";
+    /// Counter: page-store mark-and-sweep passes triggered by disk
+    /// pressure at a durable checkpoint.
+    pub const WAL_GC_RUNS: &str = "wal.gc_runs";
+    /// Counter: on-disk bytes reclaimed by page-store GC (swept segment
+    /// bytes minus live bytes copied forward).
+    pub const WAL_GC_RECLAIMED: &str = "wal.gc_reclaimed_bytes";
+    /// Counter: live pages copied into the active segment so their
+    /// mostly-dead segment could be unlinked.
+    pub const WAL_GC_COPIED: &str = "wal.gc_copied_pages";
 }
 
 /// Replay-protection cache of executed request ids, pruned at checkpoint

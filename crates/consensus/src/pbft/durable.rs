@@ -35,7 +35,7 @@ use ahl_ledger::{StateSidecar, StateSnapshot};
 use ahl_simkit::SimTime;
 use ahl_store::CheckpointCert;
 use ahl_wal::codec::{Reader, Writer};
-use ahl_wal::{open_node_dir, write_manifest, Manifest, NodeDir, PersistStats, WalConfig};
+use ahl_wal::{open_node_dir, write_manifest, GcStats, Manifest, NodeDir, PersistStats, WalConfig};
 
 use crate::common::Request;
 use crate::pbft::msg::PbftBlock;
@@ -225,6 +225,17 @@ pub struct DurableState {
     pub executed: HashSet<u64>,
 }
 
+/// What one [`NodeStore::persist_checkpoint`] did on disk: the page
+/// writes themselves plus the page-store GC pass, when the disk-pressure
+/// trigger fired one.
+pub struct CheckpointIo {
+    /// Page-write accounting (new vs structurally shared pages).
+    pub pages: PersistStats,
+    /// Mark-and-sweep accounting, `None` when the store stayed under
+    /// `gc_trigger_bytes` and no collection ran.
+    pub gc: Option<GcStats>,
+}
+
 /// A replica's open node directory (see module docs).
 pub struct NodeStore {
     dir: PathBuf,
@@ -291,13 +302,21 @@ impl NodeStore {
 
     /// Persist a certified checkpoint: pages (deduplicated against every
     /// earlier checkpoint), sync barrier, manifest swap, WAL marker, then
-    /// compact the log to the last two checkpoint generations.
+    /// compact the log to the last two checkpoint generations and collect
+    /// dead page segments if disk pressure asks for it.
+    ///
+    /// Ordering audit (the invariant the post-rename manifest kill point
+    /// pins): every space-reclaiming step — WAL compaction in
+    /// `rotate_keep`, page GC in `maybe_gc` — runs strictly *after*
+    /// `write_manifest` returns, i.e. after the rename's directory fsync.
+    /// Reclaiming earlier would let a lost rename resurrect the old
+    /// manifest while the WAL records and pages it still needs are gone.
     pub fn persist_checkpoint(
         &mut self,
         cert: &CheckpointCert,
         snapshot: &StateSnapshot,
         executed: &HashSet<u64>,
-    ) -> std::io::Result<PersistStats> {
+    ) -> std::io::Result<CheckpointIo> {
         let stats = snapshot.persist(&mut self.node.pages)?;
         self.node.pages.sync()?;
         let mut meta = Writer::new();
@@ -318,7 +337,11 @@ impl NodeStore {
         self.node.wal.append(encode_ckpt_record(cert.seq, &cert.root));
         self.node.wal.commit()?;
         self.node.wal.rotate_keep(2)?;
-        Ok(stats)
+        // The manifest just published is the only checkpoint a restart
+        // can anchor on, so its root is the whole live set — older
+        // checkpoints' unshared pages are garbage from here on.
+        let gc = self.node.pages.maybe_gc(&[cert.root])?;
+        Ok(CheckpointIo { pages: stats, gc })
     }
 }
 

@@ -1516,16 +1516,25 @@ impl Replica {
             .expect("checked above")
             .persist_checkpoint(&cert, &snap.snap, &snap.executed);
         match result {
-            Ok(stats) => {
+            Ok(io) => {
+                let stats = io.pages;
                 ctx.stats().inc(stat::WAL_CHECKPOINTS, 1);
                 ctx.stats().inc(stat::WAL_PAGES_WRITTEN, stats.pages_written);
                 ctx.stats().inc(stat::WAL_PAGES_SHARED, stats.subtrees_shared);
+                let mut gc_copied_bytes = 0;
+                if let Some(gc) = io.gc {
+                    ctx.stats().inc(stat::WAL_GC_RUNS, gc.runs);
+                    ctx.stats().inc(stat::WAL_GC_RECLAIMED, gc.reclaimed_bytes);
+                    ctx.stats().inc(stat::WAL_GC_COPIED, gc.copied_pages);
+                    gc_copied_bytes = gc.copied_bytes;
+                }
                 // Serialization + page I/O cost (bytes actually written —
-                // shared pages cost nothing, the point of the dedup).
+                // shared pages cost nothing, the point of the dedup; a GC
+                // pass additionally pays for the live pages it copied).
                 self.charge(
                     ctx,
                     SimDuration::from_micros(20)
-                        + SimDuration::from_nanos(stats.bytes_written / 4),
+                        + SimDuration::from_nanos((stats.bytes_written + gc_copied_bytes) / 4),
                     false,
                 );
             }

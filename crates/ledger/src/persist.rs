@@ -18,7 +18,7 @@
 
 use ahl_crypto::Hash;
 use ahl_wal::codec::{Reader, Writer};
-use ahl_wal::{PageStore, PageValue, PersistStats, WalError};
+use ahl_wal::{CacheStats, PageCache, PageStore, PageValue, PersistStats, WalError};
 
 use crate::state::{StateSidecar, StateSnapshot};
 use crate::types::{Condition, Key, Mutation, Op, StateOp, TxId, Value};
@@ -218,6 +218,58 @@ pub fn open_snapshot(
 ) -> Result<StateSnapshot, WalError> {
     let smt = pages.load_tree::<Value>(root)?;
     Ok(StateSnapshot::from_parts(smt, sidecar))
+}
+
+/// A lazily opened snapshot: the fault-on-demand alternative to
+/// [`open_snapshot`]. Instead of materializing the whole tree up front
+/// (O(history) reads and memory), it holds only the certified root, the
+/// recovered sidecar, and a byte-bounded [`PageCache`] — each
+/// [`LazySnapshot::get`] faults in just the ~log n Merkle-verified pages
+/// along the key's path. Reopening a multi-GB store this way costs
+/// O(working set), which is what the `soak` experiment budgets.
+pub struct LazySnapshot {
+    root: Hash,
+    sidecar: StateSidecar,
+    cache: PageCache<Value>,
+}
+
+impl LazySnapshot {
+    /// The certified state root this snapshot serves.
+    pub fn root(&self) -> Hash {
+        self.root
+    }
+
+    /// The recovered 2PC sidecar.
+    pub fn sidecar(&self) -> &StateSidecar {
+        &self.sidecar
+    }
+
+    /// Read one key, faulting in only its path. Every faulted page is
+    /// verified against the hash that named it, so a walk from the
+    /// certified root fails closed on any corruption.
+    pub fn get(&mut self, pages: &PageStore, key: &str) -> Result<Option<Value>, WalError> {
+        self.cache.get(pages, self.root, key)
+    }
+
+    /// Cache counters (the `store.cache_*` scoped stats).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Materialize the full [`StateSnapshot`] (eager load + root
+    /// verification) — the upgrade path when a consumer needs complete
+    /// state, e.g. to resume execution.
+    pub fn materialize(&self, pages: &PageStore) -> Result<StateSnapshot, WalError> {
+        open_snapshot(pages, self.root, self.sidecar.clone())
+    }
+}
+
+/// Open a snapshot lazily: no page is read until the first
+/// [`LazySnapshot::get`]. `cache_bytes` bounds the resident decoded
+/// pages (`snapshot_max_bytes`-style accounting with LRU eviction of
+/// clean pages).
+pub fn open_snapshot_lazy(root: Hash, sidecar: StateSidecar, cache_bytes: u64) -> LazySnapshot {
+    LazySnapshot { root, sidecar, cache: PageCache::new(cache_bytes) }
 }
 
 #[cfg(test)]

@@ -22,6 +22,10 @@ struct Inner {
     /// Durable write sites visited so far (monotonic across arm cycles).
     visited: AtomicU64,
     fired: AtomicBool,
+    /// Whether the pending (and, once fired, the most recent) injection is
+    /// a *transient* I/O error — the write fails short but the process
+    /// survives — rather than a power-cut crash.
+    transient: AtomicBool,
 }
 
 /// Shared, cloneable crash injector (see module docs). The default switch
@@ -50,6 +54,19 @@ impl KillSwitch {
     pub fn arm(&self, at: u64) {
         self.inner.visited.store(0, Ordering::SeqCst);
         self.inner.fired.store(false, Ordering::SeqCst);
+        self.inner.transient.store(false, Ordering::SeqCst);
+        self.inner.armed.store(at as i64, Ordering::SeqCst);
+    }
+
+    /// Like [`KillSwitch::arm`], but inject a *transient* I/O error
+    /// instead of a crash: the site still tears its write (a short
+    /// `write(2)` return), but the caller is expected to survive — which
+    /// is exactly what pins the all-or-nothing rollback discipline at
+    /// every durable write site.
+    pub fn arm_transient(&self, at: u64) {
+        self.inner.visited.store(0, Ordering::SeqCst);
+        self.inner.fired.store(false, Ordering::SeqCst);
+        self.inner.transient.store(true, Ordering::SeqCst);
         self.inner.armed.store(at as i64, Ordering::SeqCst);
     }
 
@@ -69,15 +86,28 @@ impl KillSwitch {
         self.inner.fired.load(Ordering::SeqCst)
     }
 
-    /// Visit one write site. `Err` means the injected crash fires *now*:
-    /// the caller must emulate a torn write (persist only a prefix) and
-    /// propagate the error as a node crash.
+    /// Whether the most recent fire was armed as transient
+    /// ([`KillSwitch::arm_transient`]). A write site that got `Err` from
+    /// [`KillSwitch::check`] consults this to decide between the crash
+    /// emulation (torn bytes stay, process is dead) and the transient
+    /// path (roll the file back, stay usable).
+    pub fn fired_transient(&self) -> bool {
+        self.inner.fired.load(Ordering::SeqCst) && self.inner.transient.load(Ordering::SeqCst)
+    }
+
+    /// Visit one write site. `Err` means the injected fault fires *now*:
+    /// the caller must emulate a torn write (persist only a prefix) and —
+    /// unless [`KillSwitch::fired_transient`] — propagate the error as a
+    /// node crash.
     pub fn check(&self) -> std::io::Result<()> {
         let site = self.inner.visited.fetch_add(1, Ordering::SeqCst);
         let armed = self.inner.armed.load(Ordering::SeqCst);
         if armed >= 0 && site == armed as u64 {
             self.inner.armed.store(-1, Ordering::SeqCst);
             self.inner.fired.store(true, Ordering::SeqCst);
+            if self.inner.transient.load(Ordering::SeqCst) {
+                return Err(std::io::Error::other("killswitch: injected transient io error"));
+            }
             return Err(std::io::Error::other("killswitch: injected crash"));
         }
         Ok(())
@@ -107,9 +137,25 @@ mod tests {
         assert!(k.check().is_ok());
         assert!(k.check().is_err(), "site 2 after arming fires");
         assert!(k.fired());
+        assert!(!k.fired_transient());
         // One-shot: the restarted node persists freely afterwards.
         for _ in 0..10 {
             k.check().expect("disarmed after firing");
         }
+    }
+
+    #[test]
+    fn transient_arm_is_distinguishable() {
+        let k = KillSwitch::new();
+        k.arm_transient(1);
+        assert!(k.check().is_ok());
+        let err = k.check().expect_err("site 1 fires");
+        assert!(err.to_string().contains("transient"));
+        assert!(k.fired());
+        assert!(k.fired_transient());
+        // Re-arming as a crash clears the transient flag.
+        k.arm(0);
+        assert!(k.check().is_err());
+        assert!(!k.fired_transient());
     }
 }

@@ -9,11 +9,33 @@
 //! <node-dir>/
 //!   wal/wal-00000000.seg      append-only CRC-framed record segments
 //!   wal/wal-00000001.seg      (rotated; whole old segments unlinked at
-//!   ...                        checkpoints — no in-place rewriting)
+//!   ...                        checkpoints and by the retention caps —
+//!                              no in-place rewriting; ids may have gaps)
 //!   pages/pages-00000000.seg  content-addressed SMT node pages
-//!   ...
+//!   pages/pages-00000000.idx  sidecar index of a sealed segment (pure
+//!   ...                        cache: open() loads it instead of
+//!                              re-scanning frames; ignored if invalid)
 //!   MANIFEST                  atomically swapped checkpoint pointer
 //! ```
+//!
+//! ## Bounded disk, bounded reopen
+//!
+//! Storage stays bounded under sustained churn through three knobs, all
+//! on [`WalConfig`]:
+//!
+//! * **Page GC/compaction** ([`PageStore::gc`] /
+//!   [`PageStore::maybe_gc`], triggered at `gc_trigger_bytes`):
+//!   mark-and-sweep from the retained checkpoint roots; fully-dead
+//!   segments are unlinked, mostly-dead ones (live fraction below
+//!   `gc_live_frac`) have their live pages copied into the active segment
+//!   first. Gated on a durable manifest, like WAL compaction.
+//! * **WAL retention caps** (`retain_wal_segments` / `retain_wal_bytes`):
+//!   enforced inside [`Wal::rotate_keep`], i.e. only at the moment a
+//!   durable checkpoint has made old records redundant.
+//! * **Lazy reads** ([`PageCache`]): fault-on-demand, byte-bounded,
+//!   per-node Merkle-verified key lookups — O(working set) instead of
+//!   [`PageStore::load_tree`]'s O(history); the `.idx` sidecars keep
+//!   [`PageStore::open`] itself O(index) for sealed segments.
 //!
 //! Three layers:
 //!
@@ -88,6 +110,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 pub mod codec;
 mod kill;
 mod log;
@@ -96,10 +119,11 @@ mod pages;
 mod segscan;
 mod tempdir;
 
+pub use cache::{CacheStats, PageCache};
 pub use kill::KillSwitch;
 pub use log::{FsyncPolicy, Wal, WalConfig, WalStats};
 pub use manifest::{read_manifest, write_manifest, Manifest};
-pub use pages::{PageStore, PageValue, PersistStats};
+pub use pages::{GcStats, OpenStats, PageStore, PageValue, PersistStats};
 pub use tempdir::TempDir;
 
 use std::path::Path;

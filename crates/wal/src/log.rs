@@ -62,6 +62,22 @@ pub struct WalConfig {
     pub fsync: FsyncPolicy,
     /// Crash injector consulted at every durable write site.
     pub kill: KillSwitch,
+    /// Run page-store garbage collection
+    /// ([`crate::PageStore::maybe_gc`]) once total page bytes reach this
+    /// threshold. `u64::MAX` (the default) disables automatic GC.
+    pub gc_trigger_bytes: u64,
+    /// Compaction threshold: a sealed page segment whose live fraction
+    /// (root-reachable frame bytes / total frame bytes) falls below this
+    /// has its live pages copied into the active segment and is unlinked.
+    /// Fully-dead segments are always unlinked regardless.
+    pub gc_live_frac: f64,
+    /// Retention cap on WAL segment *files* kept after a checkpoint
+    /// compaction ([`Wal::rotate_keep`]). Segments seal strictly in
+    /// order, so a count cap is an age cap. `usize::MAX` = uncapped.
+    pub retain_wal_segments: usize,
+    /// Retention cap on total WAL frame bytes kept after a checkpoint
+    /// compaction. `u64::MAX` = uncapped.
+    pub retain_wal_bytes: u64,
 }
 
 impl Default for WalConfig {
@@ -70,6 +86,10 @@ impl Default for WalConfig {
             segment_bytes: 8 << 20,
             fsync: FsyncPolicy::Off,
             kill: KillSwitch::new(),
+            gc_trigger_bytes: u64::MAX,
+            gc_live_frac: 0.5,
+            retain_wal_segments: usize::MAX,
+            retain_wal_bytes: u64::MAX,
         }
     }
 }
@@ -85,6 +105,11 @@ pub struct WalStats {
     pub syncs: u64,
     /// Frame bytes written.
     pub bytes: u64,
+    /// Segment files unlinked by the retention caps (beyond the `keep`
+    /// generations the checkpoint compaction already drops).
+    pub retention_unlinked: u64,
+    /// Frame bytes reclaimed by the retention caps.
+    pub retention_bytes: u64,
 }
 
 fn segment_path(dir: &Path, id: u64) -> PathBuf {
@@ -99,6 +124,10 @@ pub struct Wal {
     active_bytes: u64,
     /// Live segment ids, ascending; the last is the active one.
     segments: Vec<u64>,
+    /// Intact bytes per live segment, parallel to `segments`. The active
+    /// segment's entry is only finalized on rotate; [`Wal::disk_bytes`]
+    /// substitutes `active_bytes` for it.
+    seg_bytes: Vec<u64>,
     pending: Vec<Vec<u8>>,
     commits_since_sync: u32,
     bytes_since_sync: u64,
@@ -120,6 +149,12 @@ impl Wal {
         let mut active =
             OpenOptions::new().read(true).write(true).open(segment_path(dir, active_id))?;
         let active_bytes = active.seek(SeekFrom::End(0))?;
+        // Sizes are read *after* the recovery scan, so a truncated torn
+        // tail is already excluded.
+        let mut seg_bytes = Vec::with_capacity(keep.len());
+        for &id in &keep {
+            seg_bytes.push(std::fs::metadata(segment_path(dir, id))?.len());
+        }
         Ok((
             Wal {
                 dir: dir.to_path_buf(),
@@ -127,6 +162,7 @@ impl Wal {
                 active,
                 active_bytes,
                 segments: keep,
+                seg_bytes,
                 pending: Vec::new(),
                 commits_since_sync: 0,
                 bytes_since_sync: 0,
@@ -220,9 +256,13 @@ impl Wal {
             self.bytes_since_sync = 0;
         }
         let next = self.segments.last().expect("non-empty") + 1;
+        if let Some(last) = self.seg_bytes.last_mut() {
+            *last = self.active_bytes;
+        }
         self.active = File::create(segment_path(&self.dir, next))?;
         self.active_bytes = 0;
         self.segments.push(next);
+        self.seg_bytes.push(0);
         if !matches!(self.cfg.fsync, FsyncPolicy::Off) {
             fsync_dir(&self.dir)?;
         }
@@ -230,17 +270,32 @@ impl Wal {
     }
 
     /// Checkpoint compaction: rotate to a fresh segment, then unlink the
-    /// oldest segments until at most `keep` remain. Callers keep two
+    /// oldest segments until at most `keep` remain, then apply the
+    /// retention caps ([`WalConfig::retain_wal_segments`] /
+    /// [`WalConfig::retain_wal_bytes`]) on top. Callers keep two
     /// generations (the fresh segment plus everything since the *previous*
     /// checkpoint), mirroring the one-interval retention of executed
     /// protocol instances: records between the last durable checkpoint and
     /// the crash point stay replayable.
+    ///
+    /// The caps are enforced *only here* — at the moment a durable
+    /// checkpoint has just landed, every record in the older segments is
+    /// already folded into it, so dropping more generations trades replay
+    /// and catch-up depth for bounded disk, never durability. Between
+    /// checkpoints nothing above the last durable cert is redundant yet,
+    /// so the log may transiently exceed the caps.
     pub fn rotate_keep(&mut self, keep: usize) -> std::io::Result<()> {
         self.rotate()?;
         let mut removed = false;
         while self.segments.len() > keep.max(1) {
-            let old = self.segments.remove(0);
-            std::fs::remove_file(segment_path(&self.dir, old))?;
+            self.unlink_oldest(false)?;
+            removed = true;
+        }
+        while self.segments.len() > 1
+            && (self.segments.len() > self.cfg.retain_wal_segments.max(1)
+                || self.disk_bytes() > self.cfg.retain_wal_bytes)
+        {
+            self.unlink_oldest(true)?;
             removed = true;
         }
         // A lost unlink only resurrects pre-checkpoint records (skipped
@@ -252,9 +307,33 @@ impl Wal {
         Ok(())
     }
 
+    /// Unlink the oldest live segment. Each unlink is a durable write
+    /// site: the kill-point matrix covers a crash after any subset of the
+    /// removals (recovery then sees fewer — but only pre-checkpoint —
+    /// records).
+    fn unlink_oldest(&mut self, retention: bool) -> std::io::Result<()> {
+        self.cfg.kill.check()?;
+        let old = self.segments.remove(0);
+        let bytes = self.seg_bytes.remove(0);
+        std::fs::remove_file(segment_path(&self.dir, old))?;
+        if retention {
+            self.stats.retention_unlinked += 1;
+            self.stats.retention_bytes += bytes;
+        }
+        Ok(())
+    }
+
     /// Number of live segment files.
     pub fn segment_count(&self) -> usize {
         self.segments.len()
+    }
+
+    /// Intact frame bytes across all live segments (disk-pressure
+    /// accounting for the retention caps and the soak budgets).
+    pub fn disk_bytes(&self) -> u64 {
+        let sealed: u64 =
+            self.seg_bytes[..self.seg_bytes.len().saturating_sub(1)].iter().sum();
+        sealed + self.active_bytes
     }
 
     /// Write-side counters since open.
@@ -371,6 +450,50 @@ mod tests {
         // reopened log parses cleanly.
         let (_, records) = Wal::open(dir.path(), cfg).expect("reopen");
         assert_eq!(records.last().expect("non-empty"), &rec(100));
+    }
+
+    #[test]
+    fn retention_caps_trim_beyond_keep() {
+        let dir = TempDir::new("wal-retain");
+        let cfg = WalConfig {
+            segment_bytes: 64,
+            retain_wal_segments: 2,
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = Wal::open(dir.path(), cfg.clone()).expect("open");
+        for i in 0..40 {
+            wal.append(rec(i));
+            wal.commit().expect("commit");
+        }
+        assert!(wal.segment_count() > 4);
+        // A generous `keep` would leave 8 segments; the retention cap
+        // trims past it down to 2.
+        wal.rotate_keep(8).expect("compact");
+        assert_eq!(wal.segment_count(), 2);
+        assert!(wal.stats().retention_unlinked > 0);
+        assert!(wal.stats().retention_bytes > 0);
+        drop(wal);
+        let (wal, _) = Wal::open(dir.path(), cfg).expect("reopen");
+        assert_eq!(wal.segment_count(), 2);
+    }
+
+    #[test]
+    fn retention_byte_cap_bounds_disk() {
+        let dir = TempDir::new("wal-retain-bytes");
+        let cfg = WalConfig {
+            segment_bytes: 64,
+            retain_wal_bytes: 200,
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = Wal::open(dir.path(), cfg.clone()).expect("open");
+        for i in 0..60 {
+            wal.append(rec(i));
+            wal.commit().expect("commit");
+        }
+        assert!(wal.disk_bytes() > 200, "enough churn to exceed the cap");
+        wal.rotate_keep(usize::MAX).expect("compact");
+        assert!(wal.disk_bytes() <= 200, "byte cap enforced: {}", wal.disk_bytes());
+        assert!(wal.segment_count() >= 1, "the active segment always survives");
     }
 
     #[test]

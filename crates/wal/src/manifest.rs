@@ -42,9 +42,12 @@ fn tmp_path(dir: &Path) -> std::path::PathBuf {
     dir.join("MANIFEST.tmp")
 }
 
-/// Publish `m` atomically. Two kill points: the temp-file write (torn temp
-/// is ignored by readers) and the rename (the old manifest stays live —
-/// the *stale manifest* recovery case).
+/// Publish `m` atomically. Three kill points: the temp-file write (torn
+/// temp is ignored by readers), the rename (the old manifest stays live —
+/// the *stale manifest* recovery case), and the directory fsync after the
+/// rename (the rename itself can be lost to a power cut, resurrecting the
+/// old manifest *after* the caller saw success-so-far — which is exactly
+/// why WAL compaction must wait for this function to return).
 pub fn write_manifest(dir: &Path, m: &Manifest, kill: &KillSwitch) -> std::io::Result<()> {
     let mut body = Writer::new();
     body.u64(m.seq);
@@ -69,10 +72,30 @@ pub fn write_manifest(dir: &Path, m: &Manifest, kill: &KillSwitch) -> std::io::R
     // Crash between temp write and rename: the previous manifest remains
     // the durable truth and recovery replays a longer WAL tail.
     kill.check()?;
-    std::fs::rename(&tmp, manifest_path(dir))?;
+    let dst = manifest_path(dir);
+    // Capture the pre-swap bytes so the post-rename kill point below can
+    // emulate the rename being lost to a power cut.
+    let prev = std::fs::read(&dst).ok();
+    std::fs::rename(&tmp, &dst)?;
     // The rename is atomic, but only the directory fsync makes it survive
     // power loss — without it a "published" checkpoint could vanish while
-    // the WAL segments it authorized compacting are already gone.
+    // the WAL segments it authorized compacting are already gone. This is
+    // the kill point that pins the cert-then-compact ordering: the caller
+    // must treat the checkpoint as durable ONLY after this function
+    // returns, because a crash here rolls the directory entry back to the
+    // old manifest. Compacting the WAL before this point would drop
+    // records the resurrected old manifest still needs.
+    if let Err(e) = kill.check() {
+        match prev {
+            Some(bytes) => {
+                let _ = std::fs::write(&dst, &bytes);
+            }
+            None => {
+                let _ = std::fs::remove_file(&dst);
+            }
+        }
+        return Err(e);
+    }
     crate::codec::fsync_dir(dir)?;
     Ok(())
 }
@@ -139,6 +162,33 @@ mod tests {
         // A later successful publish wins.
         write_manifest(dir.path(), &sample(12), &kill).expect("publish");
         assert_eq!(read_manifest(dir.path()), Some(sample(12)));
+    }
+
+    #[test]
+    fn crash_after_rename_before_dir_fsync_resurrects_old_manifest() {
+        // The lost-rename case: the rename happened in the directory
+        // cache but the crash hits before the directory fsync, so the
+        // entry reverts. Anything the caller did on the strength of the
+        // "published" checkpoint (WAL compaction!) would be wrong — which
+        // is why rotate_keep runs only after write_manifest returns Ok.
+        let dir = TempDir::new("manifest-lostrename");
+        let kill = KillSwitch::new();
+        write_manifest(dir.path(), &sample(5), &kill).expect("write");
+        kill.arm(2);
+        write_manifest(dir.path(), &sample(9), &kill).expect_err("kill after rename");
+        assert_eq!(
+            read_manifest(dir.path()),
+            Some(sample(5)),
+            "old manifest is the durable truth again"
+        );
+        // On a cold store the same crash leaves no manifest at all.
+        let dir2 = TempDir::new("manifest-lostrename-cold");
+        kill.arm(2);
+        write_manifest(dir2.path(), &sample(3), &kill).expect_err("kill after first rename");
+        assert_eq!(read_manifest(dir2.path()), None);
+        // Recovery retries and wins.
+        write_manifest(dir2.path(), &sample(3), &kill).expect("retry");
+        assert_eq!(read_manifest(dir2.path()), Some(sample(3)));
     }
 
     #[test]

@@ -18,16 +18,11 @@ pub(crate) fn segment_path(dir: &Path, prefix: &str, id: u64) -> PathBuf {
     dir.join(format!("{prefix}-{id:08}.seg"))
 }
 
-/// Scan (and repair) the segment files under `dir`, invoking `on_frame`
-/// with `(segment id, frame offset, payload)` for every intact frame in
-/// order. Creates segment 0 if the directory is empty. Returns the
-/// surviving segment ids, ascending; the last one is the append target.
-pub(crate) fn recover_segments(
-    dir: &Path,
-    prefix: &str,
-    min_payload: usize,
-    on_frame: &mut dyn FnMut(u64, u64, &[u8]),
-) -> std::io::Result<Vec<u64>> {
+/// List the segment ids present under `dir` for `prefix`, ascending.
+/// Creates the directory (and segment 0) if nothing exists yet, so the
+/// returned list is never empty. Gaps in the id sequence are legal: GC
+/// and retention unlink whole segments out of the middle.
+pub(crate) fn list_segment_ids(dir: &Path, prefix: &str) -> std::io::Result<Vec<u64>> {
     std::fs::create_dir_all(dir)?;
     let mut ids: Vec<u64> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok())
@@ -42,6 +37,20 @@ pub(crate) fn recover_segments(
         ids.push(0);
         File::create(segment_path(dir, prefix, 0))?;
     }
+    Ok(ids)
+}
+
+/// Scan (and repair) the segment files under `dir`, invoking `on_frame`
+/// with `(segment id, frame offset, payload)` for every intact frame in
+/// order. Creates segment 0 if the directory is empty. Returns the
+/// surviving segment ids, ascending; the last one is the append target.
+pub(crate) fn recover_segments(
+    dir: &Path,
+    prefix: &str,
+    min_payload: usize,
+    on_frame: &mut dyn FnMut(u64, u64, &[u8]),
+) -> std::io::Result<Vec<u64>> {
+    let ids = list_segment_ids(dir, prefix)?;
     let mut keep: Vec<u64> = Vec::new();
     let mut torn_at: Option<(u64, u64)> = None;
     for &id in &ids {

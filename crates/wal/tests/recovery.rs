@@ -12,7 +12,7 @@
 use ahl_crypto::{sha256_parts, Hash};
 use ahl_store::SparseMerkleTree;
 use ahl_wal::codec::{Reader, Writer};
-use ahl_wal::{open_node_dir, write_manifest, Manifest, NodeDir, TempDir, WalConfig};
+use ahl_wal::{open_node_dir, write_manifest, GcStats, Manifest, NodeDir, TempDir, WalConfig};
 
 const BATCHES: u64 = 24;
 const OPS_PER_BATCH: u64 = 3;
@@ -87,7 +87,9 @@ fn state_from(node: &NodeDir) -> (SparseMerkleTree, u64) {
 
 /// Open, recover, and run the workload to completion from wherever the
 /// directory left off; `Err` when the armed kill switch fires mid-run.
-fn run_workload(dir: &std::path::Path, cfg: &WalConfig) -> std::io::Result<u64> {
+/// Returns the resume point plus the run's GC accounting (all zeros under
+/// a config that never triggers collection).
+fn run_workload(dir: &std::path::Path, cfg: &WalConfig) -> std::io::Result<(u64, GcStats)> {
     let mut node = open_node_dir(dir, cfg)?;
     let (mut tree, start) = state_from(&node);
     for b in (start + 1)..=BATCHES {
@@ -102,10 +104,14 @@ fn run_workload(dir: &std::path::Path, cfg: &WalConfig) -> std::io::Result<u64> 
                 &Manifest { seq: b, root: tree.root_hash(), meta: vec![] },
                 &cfg.kill,
             )?;
+            // Space reclamation strictly after the manifest is durable:
+            // WAL compaction + retention, then page GC from the one root
+            // a restart can now anchor on.
             node.wal.rotate_keep(2)?;
+            node.pages.maybe_gc(&[tree.root_hash()])?;
         }
     }
-    Ok(start)
+    Ok((start, node.pages.gc_totals()))
 }
 
 /// Recovery check: reopen and rebuild.
@@ -114,53 +120,105 @@ fn recover_state(dir: &std::path::Path, cfg: &WalConfig) -> (SparseMerkleTree, u
     state_from(&node)
 }
 
-/// Count the kill sites of a full crash-free run.
-fn count_sites() -> u64 {
+/// A config whose unarmed run exercises every *new* durable write site:
+/// tiny segments force frequent seals (sidecar-index writes), a trigger
+/// of 1 byte runs page GC at every checkpoint (copy + sweep sites), a
+/// high live fraction forces live-page copies rather than pure sweeps,
+/// and a one-segment WAL retention cap fires `unlink_oldest` beyond the
+/// keep generations.
+fn tight_cfg() -> WalConfig {
+    WalConfig {
+        segment_bytes: 1024,
+        gc_trigger_bytes: 1,
+        gc_live_frac: 0.95,
+        retain_wal_segments: 1,
+        ..WalConfig::default()
+    }
+}
+
+/// Count the kill sites of a full crash-free run under `cfg`.
+fn count_sites(cfg: &WalConfig) -> u64 {
     let dir = TempDir::new("recovery-count");
-    let cfg = WalConfig::default();
-    run_workload(dir.path(), &cfg).expect("unarmed run completes");
+    run_workload(dir.path(), cfg).expect("unarmed run completes");
     cfg.kill.visited()
 }
 
-#[test]
-fn kill_point_matrix_recovers_at_every_write_site() {
+/// The full matrix: crash at every site `0..total` of the workload under
+/// `make_cfg()`, and demand recovery to a valid prefix plus a clean
+/// finish every time.
+fn exhaust_matrix(make_cfg: fn() -> WalConfig, label: &str) {
     let roots = prefix_roots();
-    let total = count_sites();
-    assert!(total > 50, "workload must exercise many write sites, got {total}");
+    let total = count_sites(&make_cfg());
+    assert!(total > 50, "{label}: workload must exercise many write sites, got {total}");
     for site in 0..total {
         let dir = TempDir::new("recovery-kill");
-        let cfg = WalConfig::default();
+        let cfg = make_cfg();
         cfg.kill.arm(site);
         let err = run_workload(dir.path(), &cfg).expect_err("armed run must crash");
-        assert!(err.to_string().contains("killswitch"), "site {site}: {err}");
+        assert!(err.to_string().contains("killswitch"), "{label} site {site}: {err}");
 
         // Recover: the state must be a valid workload prefix, at least as
         // new as the last durable checkpoint.
         let (tree, applied) = recover_state(dir.path(), &cfg);
         assert!(
             (applied as usize) < roots.len(),
-            "site {site}: recovered past the workload"
+            "{label} site {site}: recovered past the workload"
         );
         assert_eq!(
             tree.root_hash(),
             roots[applied as usize],
-            "site {site}: recovered root must equal the prefix root at batch {applied}"
+            "{label} site {site}: recovered root must equal the prefix root at batch {applied}"
         );
         {
             let node = open_node_dir(dir.path(), &cfg).expect("open");
             if let Some(m) = &node.manifest {
-                assert!(applied >= m.seq, "site {site}: lost a checkpointed batch");
+                assert!(applied >= m.seq, "{label} site {site}: lost a checkpointed batch");
             }
         }
 
         // The recovered directory keeps working: finishing the workload
         // lands on the crash-free final root.
-        let resumed_from = run_workload(dir.path(), &cfg).expect("resume completes");
-        assert_eq!(resumed_from, applied, "site {site}: resume starts at the recovered point");
+        let (resumed_from, _) = run_workload(dir.path(), &cfg).expect("resume completes");
+        assert_eq!(
+            resumed_from, applied,
+            "{label} site {site}: resume starts at the recovered point"
+        );
         let (final_tree, final_applied) = recover_state(dir.path(), &cfg);
-        assert_eq!(final_applied, BATCHES, "site {site}");
-        assert_eq!(final_tree.root_hash(), roots[BATCHES as usize], "site {site}");
+        assert_eq!(final_applied, BATCHES, "{label} site {site}");
+        assert_eq!(final_tree.root_hash(), roots[BATCHES as usize], "{label} site {site}");
     }
+}
+
+#[test]
+fn kill_point_matrix_recovers_at_every_write_site() {
+    exhaust_matrix(WalConfig::default, "default");
+}
+
+#[test]
+fn kill_point_matrix_covers_gc_index_and_retention_sites() {
+    // First prove the tight config actually reaches the new machinery in
+    // an unarmed run — a matrix over sites that never fire proves nothing.
+    {
+        let dir = TempDir::new("recovery-tight-probe");
+        let cfg = tight_cfg();
+        let (_, gc) = run_workload(dir.path(), &cfg).expect("unarmed run completes");
+        assert!(gc.runs > 0, "page GC must trigger under the tight config");
+        assert!(gc.swept_segments > 0, "GC must sweep dead segments");
+        assert!(gc.copied_pages > 0, "GC must copy live pages out of mostly-dead segments");
+        let idx_files = std::fs::read_dir(dir.path().join("pages"))
+            .expect("pages dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "idx"))
+            .count();
+        assert!(idx_files > 0, "sealed segments must carry sidecar indexes");
+        let tight_sites = cfg.kill.visited();
+        let default_sites = count_sites(&WalConfig::default());
+        assert!(
+            tight_sites > default_sites,
+            "tight config must add kill sites: {tight_sites} vs {default_sites}"
+        );
+    }
+    exhaust_matrix(tight_cfg, "tight");
 }
 
 #[test]
@@ -169,21 +227,23 @@ fn double_crash_recovers_too() {
     // run's first half — recovery after the second crash must still be a
     // valid prefix (the matrix above covers single crashes exhaustively).
     let roots = prefix_roots();
-    for (first, second) in [(5u64, 3u64), (20, 10), (40, 2), (60, 25)] {
-        let dir = TempDir::new("recovery-double");
-        let cfg = WalConfig::default();
-        cfg.kill.arm(first);
-        if run_workload(dir.path(), &cfg).is_ok() {
-            continue; // workload finished before the armed site — nothing to crash
+    for make_cfg in [WalConfig::default as fn() -> WalConfig, tight_cfg] {
+        for (first, second) in [(5u64, 3u64), (20, 10), (40, 2), (60, 25)] {
+            let dir = TempDir::new("recovery-double");
+            let cfg = make_cfg();
+            cfg.kill.arm(first);
+            if run_workload(dir.path(), &cfg).is_ok() {
+                continue; // workload finished before the armed site — nothing to crash
+            }
+            cfg.kill.arm(second);
+            let _ = run_workload(dir.path(), &cfg); // may crash again or finish
+            let (tree, applied) = recover_state(dir.path(), &cfg);
+            assert_eq!(tree.root_hash(), roots[applied as usize], "first {first} second {second}");
+            // Finish and verify the final root.
+            run_workload(dir.path(), &cfg).expect("final resume");
+            let (final_tree, final_applied) = recover_state(dir.path(), &cfg);
+            assert_eq!(final_applied, BATCHES);
+            assert_eq!(final_tree.root_hash(), roots[BATCHES as usize]);
         }
-        cfg.kill.arm(second);
-        let _ = run_workload(dir.path(), &cfg); // may crash again or finish
-        let (tree, applied) = recover_state(dir.path(), &cfg);
-        assert_eq!(tree.root_hash(), roots[applied as usize], "first {first} second {second}");
-        // Finish and verify the final root.
-        run_workload(dir.path(), &cfg).expect("final resume");
-        let (final_tree, final_applied) = recover_state(dir.path(), &cfg);
-        assert_eq!(final_applied, BATCHES);
-        assert_eq!(final_tree.root_hash(), roots[BATCHES as usize]);
     }
 }

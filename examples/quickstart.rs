@@ -63,12 +63,20 @@ fn main() {
     // CRC-framed write-ahead log (`wal/wal-*.seg`, group-committed under
     // a configurable fsync policy), content-addressed snapshot pages
     // (`pages/pages-*.seg` — consecutive checkpoints share unchanged
-    // pages), and an atomically swapped `MANIFEST` naming the durable
-    // checkpoint. Reopening the directory is crash recovery: torn tails
-    // are truncated, the manifest is validated, the checkpoint tree is
-    // root-verified, and the WAL tail past the checkpoint replays.
-    // (`SystemConfig::data_dir` wires the same machinery under every
-    // replica; `experiments -- recovery` crash-tests it.)
+    // pages — with `pages-*.idx` sidecar indexes so reopening sealed
+    // segments never rescans their frames), and an atomically swapped
+    // `MANIFEST` naming the durable checkpoint. Disk stays bounded under
+    // churn: once a manifest is durable, mark-and-sweep page GC compacts
+    // mostly-dead segments away and `WalConfig` retention caps
+    // (`retain_wal_segments` / `retain_wal_bytes`) drop WAL segments the
+    // checkpoint has superseded. Reopening the directory is crash
+    // recovery: torn tails are truncated, the manifest is validated, and
+    // the WAL tail past the checkpoint replays — the checkpoint tree
+    // itself can load eagerly (root-verified `open_snapshot`) or fault
+    // in on demand through a byte-bounded, per-node-verified page cache
+    // (`open_snapshot_lazy`). (`SystemConfig::data_dir` wires the same
+    // machinery under every replica; `experiments -- recovery`
+    // crash-tests it and `experiments -- soak` churn-tests the bounds.)
     let dir = TempDir::new("quickstart");
     let cfg = WalConfig::default();
     {

@@ -12,7 +12,7 @@
 //! | [`tee`] | SGX simulation: attested log, randomness beacon, sealing |
 //! | [`net`] | cluster / GCP network models (Table 3 latencies); the real node runtime: [`net::Transport`] trait with in-process ([`net::MemHub`]) and threaded TCP ([`net::TcpTransport`]) backends, length-framed CRC wire codec, version/identity handshake, reconnect with backoff, and the [`net::NodeRuntime`] actor host |
 //! | [`store`] | authenticated state: sparse Merkle tree, signed checkpoints, chunked state sync |
-//! | [`wal`] | durable write-ahead log, content-addressed page store, manifests, crash-kill recovery |
+//! | [`wal`] | durable write-ahead log with segment retention caps, content-addressed page store with checkpoint-gated GC/compaction and sidecar segment indexes, byte-bounded lazy page cache ([`wal::PageCache`]), manifests, crash-kill recovery |
 //! | [`ledger`] | blocks, KV state with 2PL + SMT state roots, KVStore & SmallBank chaincode; conflict-aware parallel execution ([`ledger::access`], [`ledger::execute_ops`]) |
 //! | [`mempool`] | per-shard transaction pool: dedup, admission control, per-sender quotas, batch pipeline |
 //! | [`consensus`] | PBFT (HL/AHL/AHL+/AHLR), Tendermint, IBFT, Raft, PoET; the scripted Byzantine attack catalogue ([`consensus::Attack`]) and the global [`consensus::SafetyChecker`] |
